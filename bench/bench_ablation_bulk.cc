@@ -1,0 +1,65 @@
+// Ablation: does clipping help regardless of how the tree was packed?
+// Compares dynamic insertion, Hilbert packing, and STR packing of the
+// same R-tree structure, unclipped vs CSTA-clipped (DESIGN.md extension).
+#include "common.h"
+
+#include "rtree/bulk.h"
+#include "stats/node_stats.h"
+
+namespace clipbb::bench {
+namespace {
+
+constexpr int kQueries = 200;
+
+template <int D>
+void RunDataset(const std::string& name, Table* t) {
+  const auto data = LoadDataset<D>(name);
+  const auto queries = workload::MakeQueries<D>(data, 10.0, kQueries);
+
+  auto evaluate = [&](const char* label,
+                      std::unique_ptr<rtree::RTree<D>> tree) {
+    const uint64_t plain =
+        RunQueries<D>(*tree, queries.queries).leaf_accesses;
+    stats::SpaceOptions sopts;
+    sopts.max_nodes = 512;
+    if (D == 3) sopts.mc_samples = 4096;
+    const auto space = stats::MeasureSpace<D>(*tree, sopts);
+    tree->EnableClipping(core::ClipConfig<D>::Sta());
+    const uint64_t clipped =
+        RunQueries<D>(*tree, queries.queries).leaf_accesses;
+    t->AddRow({name, label, Table::Percent(space.avg_dead_fraction),
+               Table::Fixed(static_cast<double>(plain) / kQueries, 2),
+               Table::Fixed(plain ? 100.0 * clipped / plain : 100.0, 1)});
+  };
+
+  evaluate("dynamic R*",
+           rtree::BuildTree<D>(rtree::Variant::kRStar, data.items,
+                               data.domain));
+  {
+    auto tree = rtree::MakeRTree<D>(rtree::Variant::kRStar, data.domain);
+    rtree::BulkLoad<D>(tree.get(), data.items, rtree::BulkOrder::kHilbert);
+    evaluate("Hilbert-packed", std::move(tree));
+  }
+  {
+    auto tree = rtree::MakeRTree<D>(rtree::Variant::kRStar, data.domain);
+    rtree::BulkLoad<D>(tree.get(), data.items, rtree::BulkOrder::kStr);
+    evaluate("STR-packed", std::move(tree));
+  }
+}
+
+void Run() {
+  PrintHeader("Ablation — packing method vs clipping benefit (QR1)");
+  Table t({"dataset", "packing", "dead space", "leafAcc/query",
+           "clipped leafAcc (%)"});
+  RunDataset<2>("par02", &t);
+  RunDataset<3>("axo03", &t);
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 1: motivation measurements on rea02 (2d) and axo03 (3d).
+//  (a) average fraction of node volume covered by >= 2 children (overlap)
+//  (b) average dead space per node
+//  (c) optimal/actual leaf accesses of the RR*-tree per query selectivity
+#include "common.h"
+
+#include "stats/node_stats.h"
+
+namespace clipbb::bench {
+namespace {
+
+template <int D>
+void RunDataset(const std::string& name, Table* overlap, Table* dead,
+                Table* optimality) {
+  const auto data = LoadDataset<D>(name);
+  stats::SpaceOptions opts;
+  opts.max_nodes = 1024;
+  if (D == 3) opts.mc_samples = 4096;
+  // The paper's Fig. 1a overlap is "averaged over all internal nodes".
+  stats::SpaceOptions overlap_opts = opts;
+  overlap_opts.measure_overlap = true;
+  overlap_opts.internal_only = true;
+
+  for (rtree::Variant v : rtree::kAllVariants) {
+    auto tree = Build<D>(v, data);
+    const auto report = stats::MeasureSpace<D>(*tree, opts);
+    const auto over = stats::MeasureSpace<D>(*tree, overlap_opts);
+    overlap->AddRow({name, rtree::VariantName(v),
+                     Table::Percent(over.avg_overlap_fraction)});
+    dead->AddRow({name, rtree::VariantName(v),
+                  Table::Percent(report.avg_dead_fraction)});
+    if (v == rtree::Variant::kRRStar) {
+      // Fig 1c: fraction of accessed leaves that contribute results.
+      static const char* kSelectivity[] = {"high", "medium", "low"};
+      for (int p = 0; p < 3; ++p) {
+        auto queries =
+            workload::MakeQueries<D>(data, workload::kQueryTargets[p], 200);
+        const auto io = RunQueries<D>(*tree, queries.queries);
+        const double ratio =
+            io.leaf_accesses
+                ? static_cast<double>(io.contributing_leaf_accesses) /
+                      io.leaf_accesses
+                : 1.0;
+        optimality->AddRow({name, kSelectivity[p], Table::Percent(ratio)});
+      }
+    }
+  }
+}
+
+void Run() {
+  Table overlap({"dataset", "variant", "avg overlap within node"});
+  Table dead({"dataset", "variant", "avg dead space per node"});
+  Table optimality({"dataset", "selectivity", "optimal/actual #leafAcc"});
+  RunDataset<2>("rea02", &overlap, &dead, &optimality);
+  RunDataset<3>("axo03", &overlap, &dead, &optimality);
+  PrintHeader("Fig 1(a) — overlap (volume covered by >=2 children)");
+  overlap.Print();
+  PrintHeader("Fig 1(b) — dead space per node");
+  dead.Print();
+  PrintHeader("Fig 1(c) — I/O optimality of the RR*-tree");
+  optimality.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 8: the running example (Figs. 2/3) — dead space of each bounding
+// method over the two leaf nodes {o1..o5} and {o6, o7}. The object layout
+// mirrors the figure qualitatively; the printed dead-space percentages
+// reproduce the paper's ordering MBC > MBB ~ RMBB > 4-C > 5-C ~ CH, with
+// CBB_STA beating them all.
+#include <span>
+
+#include "common.h"
+#include "core/clip_builder.h"
+#include "geom/bounding.h"
+#include "geom/union_volume.h"
+
+namespace clipbb::bench {
+namespace {
+
+using geom::BoundingKind;
+using geom::Rect2;
+
+// Objects of the bottom leaf node (Fig. 2): a tall box top-left, small
+// boxes along a rough diagonal, and a wide box bottom-right.
+const std::vector<Rect2> kNode1 = {
+    {{0.05, 0.55}, {0.22, 0.95}},  // o1
+    {{0.10, 0.35}, {0.30, 0.52}},  // o2
+    {{0.36, 0.22}, {0.55, 0.38}},  // o3
+    {{0.58, 0.05}, {0.90, 0.30}},  // o4
+    {{0.86, 0.12}, {0.98, 0.34}},  // o5
+};
+
+// Objects of the top leaf node (Fig. 3): two elongated boxes.
+const std::vector<Rect2> kNode2 = {
+    {{0.15, 0.60}, {0.80, 0.78}},  // o6
+    {{0.55, 0.30}, {0.95, 0.55}},  // o7
+};
+
+double CbbDeadSpace(std::span<const Rect2> objects, core::ClipMode mode,
+                    double* num_points) {
+  const Rect2 mbb = geom::BoundingRect<2>(objects.begin(), objects.end());
+  core::ClipConfig<2> cfg;
+  cfg.mode = mode;
+  const auto clips = core::BuildClips<2>(mbb, objects, cfg);
+  std::vector<Rect2> regions;
+  for (const auto& c : clips) regions.push_back(core::ClipRegion<2>(mbb, c));
+  const double shape_area = mbb.Volume() - geom::UnionArea(regions);
+  *num_points = 2.0 + static_cast<double>(clips.size());
+  if (shape_area <= 0.0) return 0.0;
+  return 1.0 - geom::UnionArea(objects) / shape_area;
+}
+
+void Run() {
+  PrintHeader("Fig 8 — dead space of bounding methods on the running example");
+  Table t({"method", "#points", "dead space (node {o1..o5})",
+           "dead space (node {o6,o7})"});
+  for (BoundingKind kind :
+       {BoundingKind::kMbc, BoundingKind::kMbb, BoundingKind::kRmbb,
+        BoundingKind::kC4, BoundingKind::kC5, BoundingKind::kCh}) {
+    const auto s1 = geom::ComputeBounding(kind, kNode1);
+    const auto s2 = geom::ComputeBounding(kind, kNode2);
+    t.AddRow({geom::BoundingKindName(kind),
+              Table::Fixed(0.5 * (s1.num_points + s2.num_points), 1),
+              Table::Percent(geom::ShapeDeadSpaceFraction(kind, kNode1)),
+              Table::Percent(geom::ShapeDeadSpaceFraction(kind, kNode2))});
+  }
+  for (core::ClipMode mode :
+       {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    double pts1 = 0.0, pts2 = 0.0;
+    const double d1 = CbbDeadSpace(kNode1, mode, &pts1);
+    const double d2 = CbbDeadSpace(kNode2, mode, &pts2);
+    t.AddRow({core::ClipModeName(mode), Table::Fixed(0.5 * (pts1 + pts2), 1),
+              Table::Percent(d1), Table::Percent(d2)});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 9: bounding-method comparison on par02 and rea02 over RR*-tree
+// nodes — (a) average dead space, (b) average representation cost in
+// points. The CBB rows replace the node MBB with its clipped shape.
+#include "common.h"
+
+#include "core/clip_builder.h"
+#include "geom/bounding.h"
+#include "geom/union_volume.h"
+#include "stats/node_stats.h"
+
+namespace clipbb::bench {
+namespace {
+
+using geom::BoundingKind;
+using geom::Rect2;
+
+struct ShapeAccum {
+  double dead = 0.0;
+  double points = 0.0;
+  size_t nodes = 0;
+};
+
+void Run() {
+  PrintHeader("Fig 9 — bounding methods on RR*-tree nodes (2d datasets)");
+  Table t({"dataset", "method", "avg dead space", "avg #points"});
+  for (const std::string& name : DatasetNames<2>()) {
+    const auto data = LoadDataset2(name);
+    auto tree = Build<2>(rtree::Variant::kRRStar, data);
+    const auto ids = stats::SampleNodes<2>(*tree, /*leaves_only=*/false,
+                                           /*max_nodes=*/768);
+
+    constexpr BoundingKind kKinds[] = {
+        BoundingKind::kMbc, BoundingKind::kMbb, BoundingKind::kRmbb,
+        BoundingKind::kC4,  BoundingKind::kC5,  BoundingKind::kCh};
+    ShapeAccum acc[6];
+    ShapeAccum cbb_sky, cbb_sta;
+
+    for (storage::PageId id : ids) {
+      const auto& n = tree->NodeAt(id);
+      const auto children = n.ChildRects();
+      const double occupied = geom::UnionArea(children);
+      for (size_t k = 0; k < 6; ++k) {
+        const auto s = geom::ComputeBounding(kKinds[k], children);
+        if (s.area > 0.0) {
+          acc[k].dead += std::max(0.0, 1.0 - occupied / s.area);
+        } else {
+          acc[k].dead += 1.0;
+        }
+        acc[k].points += s.num_points;
+        ++acc[k].nodes;
+      }
+      // CBBs: MBB area minus clipped regions.
+      const Rect2 mbb = n.ComputeMbb();
+      for (auto* out : {&cbb_sky, &cbb_sta}) {
+        core::ClipConfig<2> cfg;
+        cfg.mode = out == &cbb_sky ? core::ClipMode::kSkyline
+                                   : core::ClipMode::kStairline;
+        const auto clips = core::BuildClips<2>(mbb, children, cfg);
+        std::vector<Rect2> regions;
+        for (const auto& c : clips) {
+          regions.push_back(core::ClipRegion<2>(mbb, c));
+        }
+        const double area = mbb.Volume() - geom::UnionArea(regions);
+        out->dead += area > 0.0 ? std::max(0.0, 1.0 - occupied / area) : 0.0;
+        out->points += 2.0 + static_cast<double>(clips.size());
+        ++out->nodes;
+      }
+    }
+    auto add = [&](const char* method, const ShapeAccum& a) {
+      t.AddRow({name, method, Table::Percent(a.dead / a.nodes),
+                Table::Fixed(a.points / a.nodes, 1)});
+    };
+    for (size_t k = 0; k < 6; ++k) add(geom::BoundingKindName(kKinds[k]), acc[k]);
+    add("CBB_SKY", cbb_sky);
+    add("CBB_STA", cbb_sta);
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

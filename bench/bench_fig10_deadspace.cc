@@ -1,0 +1,67 @@
+// Fig. 10: average dead space per node and the fraction clipped away, for
+// k = 1 .. 2^(d+1) clip points, skyline (a) and stairline (b) clipping, on
+// par02/par03/rea02/axo03 across the four R-tree variants.
+#include "common.h"
+
+#include "stats/node_stats.h"
+
+namespace clipbb::bench {
+namespace {
+
+template <int D>
+void RunDataset(const std::string& name, Table* sky, Table* sta) {
+  const auto data = LoadDataset<D>(name);
+  const std::vector<int> ks = D == 2 ? std::vector<int>{1, 2, 4, 6, 8}
+                                     : std::vector<int>{1, 4, 8, 12, 16};
+  stats::SpaceOptions opts;
+  opts.max_nodes = D == 2 ? 1024 : 384;
+  if (D == 3) opts.mc_samples = 4096;
+
+  for (rtree::Variant v : rtree::kAllVariants) {
+    auto tree = Build<D>(v, data);
+    for (auto [mode, table] :
+         {std::pair{core::ClipMode::kSkyline, sky},
+          std::pair{core::ClipMode::kStairline, sta}}) {
+      std::vector<core::ClipConfig<D>> configs;
+      for (int k : ks) {
+        core::ClipConfig<D> cfg;
+        cfg.mode = mode;
+        cfg.max_clips = k;
+        configs.push_back(cfg);
+      }
+      const auto reports =
+          stats::MeasureClippingSweep<D>(*tree, configs, opts);
+      for (size_t i = 0; i < ks.size(); ++i) {
+        const auto& r = reports[i];
+        table->AddRow({name, rtree::VariantName(v), Table::Int(ks[i]),
+                       Table::Percent(r.avg_dead_fraction),
+                       Table::Percent(r.avg_clipped_fraction),
+                       Table::Percent(r.avg_remaining_fraction()),
+                       Table::Fixed(r.avg_clip_points, 2)});
+      }
+    }
+  }
+}
+
+void Run() {
+  const std::vector<std::string> header = {
+      "dataset", "variant",     "k",          "dead space",
+      "clipped",  "remaining",  "avg #clips"};
+  Table sky(header), sta(header);
+  RunDataset<2>("par02", &sky, &sta);
+  RunDataset<2>("rea02", &sky, &sta);
+  RunDataset<3>("par03", &sky, &sta);
+  RunDataset<3>("axo03", &sky, &sta);
+  PrintHeader("Fig 10(a) — dead space clipped by CSKY points, varying k");
+  sky.Print();
+  PrintHeader("Fig 10(b) — dead space clipped by CSTA points, varying k");
+  sta.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

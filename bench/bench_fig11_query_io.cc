@@ -1,0 +1,73 @@
+// Fig. 11: average leaf accesses of clipped R-trees relative to their
+// unclipped counterparts (100 %), per query profile QR0/QR1/QR2, for all
+// seven datasets and four variants, stairline (CSTA) clipping.
+// Also prints the CSKY numbers used by Table I (see
+// bench_table1_io_reduction for the aggregated table).
+#include "common.h"
+
+namespace clipbb::bench {
+namespace {
+
+constexpr int kQueriesPerProfile = 200;
+
+template <int D>
+void RunDataset(const std::string& name, Table* tables /*3 profiles*/) {
+  const auto data = LoadDataset<D>(name);
+  // Pre-generate the three calibrated workloads once per dataset.
+  std::vector<workload::QueryWorkload<D>> profiles;
+  for (double target : workload::kQueryTargets) {
+    profiles.push_back(
+        workload::MakeQueries<D>(data, target, kQueriesPerProfile));
+  }
+  for (rtree::Variant v : rtree::kAllVariants) {
+    auto tree = Build<D>(v, data);
+    std::vector<uint64_t> plain(3), sky(3), sta(3);
+    for (int p = 0; p < 3; ++p) {
+      plain[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    tree->EnableClipping(core::ClipConfig<D>::Sky());
+    for (int p = 0; p < 3; ++p) {
+      sky[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    tree->EnableClipping(core::ClipConfig<D>::Sta());
+    for (int p = 0; p < 3; ++p) {
+      sta[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    for (int p = 0; p < 3; ++p) {
+      const double rel_sky = plain[p] ? 100.0 * sky[p] / plain[p] : 100.0;
+      const double rel_sta = plain[p] ? 100.0 * sta[p] / plain[p] : 100.0;
+      tables[p].AddRow({name, rtree::VariantName(v),
+                        Table::Fixed(static_cast<double>(plain[p]) /
+                                         kQueriesPerProfile,
+                                     2),
+                        Table::Fixed(rel_sky, 1), Table::Fixed(rel_sta, 1)});
+    }
+  }
+}
+
+void Run() {
+  Table tables[3] = {
+      Table({"dataset", "variant", "leafAcc/query (plain)", "CSKY %",
+             "CSTA %"}),
+      Table({"dataset", "variant", "leafAcc/query (plain)", "CSKY %",
+             "CSTA %"}),
+      Table({"dataset", "variant", "leafAcc/query (plain)", "CSKY %",
+             "CSTA %"}),
+  };
+  for (const auto& name : DatasetNames<2>()) RunDataset<2>(name, tables);
+  for (const auto& name : DatasetNames<3>()) RunDataset<3>(name, tables);
+  for (int p = 0; p < 3; ++p) {
+    PrintHeader(std::string("Fig 11(") + static_cast<char>('a' + p) +
+                ") — avg #leafAcc w.r.t. unclipped (100%), profile " +
+                workload::kQueryProfiles[p]);
+    tables[p].Print();
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 12: expected number of re-clipped CBBs per insertion — build each
+// clipped tree on a random 90 % of the dataset, insert the remaining 10 %,
+// and break re-clips down by cause (node split / MBB change / CBB-only).
+#include <algorithm>
+
+#include "common.h"
+#include "util/rng.h"
+
+namespace clipbb::bench {
+namespace {
+
+template <int D>
+void RunDataset(const std::string& name, Table* t) {
+  auto data = LoadDataset<D>(name);
+  // Deterministic shuffle, then split 90/10.
+  Rng rng(0xF16'12);
+  for (size_t i = data.items.size(); i > 1; --i) {
+    std::swap(data.items[i - 1], data.items[rng.Below(i)]);
+  }
+  const size_t cut = data.items.size() * 9 / 10;
+
+  for (rtree::Variant v : rtree::kAllVariants) {
+    workload::Dataset<D> bulk = data;
+    bulk.items.resize(cut);
+    auto tree = Build<D>(v, bulk);
+    tree->EnableClipping(core::ClipConfig<D>::Sta());
+    for (size_t i = cut; i < data.items.size(); ++i) {
+      tree->Insert(data.items[i].rect, data.items[i].id);
+    }
+    const auto& s = tree->reclip_stats();
+    const double n = static_cast<double>(s.inserts);
+    t->AddRow({name, rtree::VariantName(v),
+               Table::Fixed(s.splits / n, 3),
+               Table::Fixed(s.mbb_changes / n, 3),
+               Table::Fixed(s.cbb_changes / n, 3),
+               Table::Fixed(s.TotalReclips() / n, 3)});
+  }
+}
+
+void Run() {
+  PrintHeader("Fig 12 — expected #re-clipped CBBs per insertion");
+  Table t({"dataset", "variant", "node splits", "MBB changes", "CBB changes",
+           "total/insert"});
+  for (const auto& name : DatasetNames<2>()) RunDataset<2>(name, &t);
+  for (const auto& name : DatasetNames<3>()) RunDataset<3>(name, &t);
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

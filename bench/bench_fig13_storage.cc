@@ -1,0 +1,46 @@
+// Fig. 13: storage breakdown of clipped RR*-trees — bytes devoted to
+// directory nodes, leaf nodes and clip points, plus the average number of
+// clip points stored per node, for CSKY and CSTA.
+#include "common.h"
+
+#include "stats/storage_stats.h"
+
+namespace clipbb::bench {
+namespace {
+
+template <int D>
+void RunDataset(const std::string& name, Table* t) {
+  const auto data = LoadDataset<D>(name);
+  auto tree = Build<D>(rtree::Variant::kRRStar, data);
+  for (core::ClipMode mode :
+       {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    core::ClipConfig<D> cfg;
+    cfg.mode = mode;
+    tree->EnableClipping(cfg);
+    const auto b = stats::MeasureStorage<D>(*tree);
+    const double total = static_cast<double>(b.TotalBytes());
+    t->AddRow({name, core::ClipModeName(mode),
+               Table::Percent(b.dir_bytes / total),
+               Table::Percent(b.leaf_bytes / total),
+               Table::Percent(b.clip_bytes / total),
+               Table::Fixed(b.AvgClipPointsPerNode(), 1),
+               Table::Fixed(total / (1024.0 * 1024.0), 1)});
+  }
+}
+
+void Run() {
+  PrintHeader("Fig 13 — CBB storage overhead (clipped RR*-trees)");
+  Table t({"dataset", "mode", "dir nodes", "leaf nodes", "clip points",
+           "avg #clips/node", "total MiB"});
+  for (const auto& name : DatasetNames<2>()) RunDataset<2>(name, &t);
+  for (const auto& name : DatasetNames<3>()) RunDataset<3>(name, &t);
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 14: memory-resident index construction time relative to the
+// RR*-tree (100 %), with the CBB computation share of the clipped
+// RR*-trees broken out.
+#include "common.h"
+
+namespace clipbb::bench {
+namespace {
+
+template <int D>
+void RunDataset(const std::string& name, Table* t) {
+  const auto data = LoadDataset<D>(name);
+
+  Timer timer;
+  auto rrstar = Build<D>(rtree::Variant::kRRStar, data);
+  const double rrstar_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto hr = Build<D>(rtree::Variant::kHilbert, data);
+  const double hr_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto rstar = Build<D>(rtree::Variant::kRStar, data);
+  const double rstar_s = timer.ElapsedSeconds();
+
+  // Clipped RR*: construction + clip computation (clip time isolated).
+  double clip_s[2];
+  int i = 0;
+  for (core::ClipMode mode :
+       {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    core::ClipConfig<D> cfg;
+    cfg.mode = mode;
+    rrstar->ResetClipSeconds();
+    rrstar->EnableClipping(cfg);
+    clip_s[i++] = rrstar->clip_seconds();
+  }
+
+  auto rel = [&](double s) { return Table::Fixed(100.0 * s / rrstar_s, 0); };
+  t->AddRow({name, rel(hr_s), rel(rstar_s), "100",
+             rel(rrstar_s + clip_s[0]) + " (clip " + rel(clip_s[0]) + ")",
+             rel(rrstar_s + clip_s[1]) + " (clip " + rel(clip_s[1]) + ")"});
+}
+
+void Run() {
+  PrintHeader("Fig 14 — build time w.r.t. RR*-tree (100%)");
+  Table t({"dataset", "HR-tree", "R*-tree", "RR*-tree", "CSKY-RR*-tree",
+           "CSTA-RR*-tree"});
+  for (const auto& name : DatasetNames<2>()) RunDataset<2>(name, &t);
+  for (const auto& name : DatasetNames<3>()) RunDataset<3>(name, &t);
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

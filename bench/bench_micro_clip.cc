@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark): the cost of Algorithm 2 relative to
+// the plain MBB intersection test, and of clip construction (Algorithm 1)
+// in both modes. Supports the paper's claim that the clip test is cheaper
+// than the preceding MBB test.
+#include <benchmark/benchmark.h>
+
+#include "core/clip_builder.h"
+#include "core/intersect.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace clipbb {
+namespace {
+
+using geom::Rect2;
+using geom::Rect3;
+
+// Synthetic node: `n` child boxes in the unit square.
+template <int D>
+std::vector<geom::Rect<D>> MakeChildren(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Rect<D>> rs;
+  rs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    geom::Vec<D> c, h;
+    for (int k = 0; k < D; ++k) c[k] = rng.Uniform(0.1, 0.9);
+    for (int k = 0; k < D; ++k) h[k] = rng.Uniform(0.005, 0.05);
+    geom::Rect<D> r;
+    for (int k = 0; k < D; ++k) {
+      r.lo[k] = c[k] - h[k];
+      r.hi[k] = c[k] + h[k];
+    }
+    rs.push_back(r);
+  }
+  return rs;
+}
+
+template <int D>
+std::vector<geom::Rect<D>> MakeQueries(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Rect<D>> qs;
+  qs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    geom::Vec<D> c;
+    for (int k = 0; k < D; ++k) c[k] = rng.Uniform();
+    geom::Rect<D> q;
+    for (int k = 0; k < D; ++k) {
+      q.lo[k] = c[k] - 0.01;
+      q.hi[k] = c[k] + 0.01;
+    }
+    qs.push_back(q);
+  }
+  return qs;
+}
+
+void BM_MbbIntersect2d(benchmark::State& state) {
+  const auto children = MakeChildren<2>(64, 1);
+  const Rect2 mbb = geom::BoundingRect<2>(children.begin(), children.end());
+  const auto queries = MakeQueries<2>(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbb.Intersects(queries[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MbbIntersect2d);
+
+template <int D>
+void BM_CbbIntersect(benchmark::State& state) {
+  const auto children = MakeChildren<D>(64, 1);
+  const geom::Rect<D> mbb =
+      geom::BoundingRect<D>(children.begin(), children.end());
+  core::ClipConfig<D> cfg;
+  cfg.max_clips = static_cast<int>(state.range(0));
+  cfg.tau = 0.0;
+  const auto clips = core::BuildClips<D>(mbb, children, cfg);
+  const auto queries = MakeQueries<D>(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CbbIntersects<D>(mbb, clips, queries[i++ & 1023]));
+  }
+  state.counters["clips"] = static_cast<double>(clips.size());
+}
+BENCHMARK(BM_CbbIntersect<2>)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_CbbIntersect<3>)->Arg(1)->Arg(8)->Arg(16);
+
+template <int D>
+void BM_BuildClipsSky(benchmark::State& state) {
+  const auto children =
+      MakeChildren<D>(static_cast<int>(state.range(0)), 3);
+  const geom::Rect<D> mbb =
+      geom::BoundingRect<D>(children.begin(), children.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BuildClips<D>(mbb, children, core::ClipConfig<D>::Sky()));
+  }
+}
+BENCHMARK(BM_BuildClipsSky<2>)->Arg(32)->Arg(102);
+BENCHMARK(BM_BuildClipsSky<3>)->Arg(32)->Arg(73);
+
+template <int D>
+void BM_BuildClipsSta(benchmark::State& state) {
+  const auto children =
+      MakeChildren<D>(static_cast<int>(state.range(0)), 3);
+  const geom::Rect<D> mbb =
+      geom::BoundingRect<D>(children.begin(), children.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BuildClips<D>(mbb, children, core::ClipConfig<D>::Sta()));
+  }
+}
+BENCHMARK(BM_BuildClipsSta<2>)->Arg(32)->Arg(102);
+BENCHMARK(BM_BuildClipsSta<3>)->Arg(32)->Arg(73);
+
+void BM_Skyline2d(benchmark::State& state) {
+  const auto children =
+      MakeChildren<2>(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OrientedSkyline<2>(
+        core::CornerPoints<2>(children, 0), 0));
+  }
+}
+BENCHMARK(BM_Skyline2d)->Arg(32)->Arg(102);
+
+}  // namespace
+}  // namespace clipbb

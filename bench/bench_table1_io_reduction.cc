@@ -1,0 +1,95 @@
+// Table I: average % I/O reduction of skyline/stairline clipping per R-tree
+// variant and query profile, averaged over the seven datasets (the paper's
+// headline "skyline/stairline" cells, e.g. RR*-tree total 10/19).
+#include "common.h"
+
+namespace clipbb::bench {
+namespace {
+
+constexpr int kQueriesPerProfile = 200;
+constexpr int kNumVariants = 4;
+
+struct Accum {
+  // reduction_sum[variant][profile], in percent.
+  double sky[kNumVariants][3] = {};
+  double sta[kNumVariants][3] = {};
+  int datasets = 0;
+};
+
+template <int D>
+void RunDataset(const std::string& name, Accum* acc) {
+  const auto data = LoadDataset<D>(name);
+  std::vector<workload::QueryWorkload<D>> profiles;
+  for (double target : workload::kQueryTargets) {
+    profiles.push_back(
+        workload::MakeQueries<D>(data, target, kQueriesPerProfile));
+  }
+  int vi = 0;
+  for (rtree::Variant v : rtree::kAllVariants) {
+    auto tree = Build<D>(v, data);
+    uint64_t plain[3], sky[3], sta[3];
+    for (int p = 0; p < 3; ++p) {
+      plain[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    tree->EnableClipping(core::ClipConfig<D>::Sky());
+    for (int p = 0; p < 3; ++p) {
+      sky[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    tree->EnableClipping(core::ClipConfig<D>::Sta());
+    for (int p = 0; p < 3; ++p) {
+      sta[p] = RunQueries<D>(*tree, profiles[p].queries).leaf_accesses;
+    }
+    for (int p = 0; p < 3; ++p) {
+      if (plain[p] == 0) continue;
+      acc->sky[vi][p] += 100.0 * (1.0 - static_cast<double>(sky[p]) /
+                                            static_cast<double>(plain[p]));
+      acc->sta[vi][p] += 100.0 * (1.0 - static_cast<double>(sta[p]) /
+                                            static_cast<double>(plain[p]));
+    }
+    ++vi;
+  }
+  ++acc->datasets;
+}
+
+void Run() {
+  Accum acc;
+  for (const auto& name : DatasetNames<2>()) RunDataset<2>(name, &acc);
+  for (const auto& name : DatasetNames<3>()) RunDataset<3>(name, &acc);
+
+  PrintHeader(
+      "Table I — avg % I/O reduction (skyline/stairline) per R-tree");
+  Table t({"variant", "QR0", "QR1", "QR2", "Total"});
+  double col_sky[4] = {}, col_sta[4] = {};
+  int vi = 0;
+  for (rtree::Variant v : rtree::kAllVariants) {
+    std::vector<std::string> row{rtree::VariantName(v)};
+    double tot_sky = 0.0, tot_sta = 0.0;
+    for (int p = 0; p < 3; ++p) {
+      const double s = acc.sky[vi][p] / acc.datasets;
+      const double a = acc.sta[vi][p] / acc.datasets;
+      tot_sky += s / 3.0;
+      tot_sta += a / 3.0;
+      col_sky[p] += s / kNumVariants;
+      col_sta[p] += a / kNumVariants;
+      row.push_back(Table::Fixed(s, 0) + "/" + Table::Fixed(a, 0));
+    }
+    col_sky[3] += tot_sky / kNumVariants;
+    col_sta[3] += tot_sta / kNumVariants;
+    row.push_back(Table::Fixed(tot_sky, 0) + "/" + Table::Fixed(tot_sta, 0));
+    t.AddRow(std::move(row));
+    ++vi;
+  }
+  t.AddRow({"Total", Table::Fixed(col_sky[0], 0) + "/" + Table::Fixed(col_sta[0], 0),
+            Table::Fixed(col_sky[1], 0) + "/" + Table::Fixed(col_sta[1], 0),
+            Table::Fixed(col_sky[2], 0) + "/" + Table::Fixed(col_sta[2], 0),
+            Table::Fixed(col_sky[3], 0) + "/" + Table::Fixed(col_sta[3], 0)});
+  t.Print();
+}
+
+}  // namespace
+}  // namespace clipbb::bench
+
+int main() {
+  clipbb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared harness for the figure/table benches: dataset registry with
+// paper-proportional (down-scaled) cardinalities, tree builders, and query
+// helpers. Every bench prints plain aligned tables (util/table.h) so output
+// can be diffed against EXPERIMENTS.md.
+#ifndef CLIPBB_BENCH_COMMON_H_
+#define CLIPBB_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/dataset.h"
+#include "workload/query.h"
+
+namespace clipbb::bench {
+
+/// Down-scaled dataset cardinalities, proportional to the paper's (§V-B:
+/// par* 1.05 M, rea02 1.9 M, rea03 12 M, axo03 2.6 M, den03 1.3 M,
+/// neu03 3.9 M), divided by ~20 and multiplied by CLIPBB_SCALE.
+inline size_t DatasetNominal(const std::string& name) {
+  size_t n = 50'000;
+  if (name == "par02" || name == "par03") n = 52'000;
+  if (name == "rea02") n = 94'000;
+  if (name == "rea03") n = 150'000;
+  if (name == "axo03") n = 128'000;
+  if (name == "den03") n = 64'000;
+  if (name == "neu03") n = 190'000;
+  return ScaledCount(n);
+}
+
+inline workload::Dataset2 LoadDataset2(const std::string& name) {
+  return workload::MakeDataset2(name, DatasetNominal(name));
+}
+
+inline workload::Dataset3 LoadDataset3(const std::string& name) {
+  return workload::MakeDataset3(name, DatasetNominal(name));
+}
+
+/// All seven evaluation datasets in paper order, dispatched by dimension.
+inline const std::vector<std::string> kDatasets2 = {"par02", "rea02"};
+inline const std::vector<std::string> kDatasets3 = {"par03", "rea03",
+                                                    "axo03", "den03",
+                                                    "neu03"};
+
+template <int D>
+workload::Dataset<D> LoadDataset(const std::string& name);
+
+template <>
+inline workload::Dataset<2> LoadDataset<2>(const std::string& name) {
+  return LoadDataset2(name);
+}
+template <>
+inline workload::Dataset<3> LoadDataset<3>(const std::string& name) {
+  return LoadDataset3(name);
+}
+
+template <int D>
+const std::vector<std::string>& DatasetNames();
+
+template <>
+inline const std::vector<std::string>& DatasetNames<2>() {
+  return kDatasets2;
+}
+template <>
+inline const std::vector<std::string>& DatasetNames<3>() {
+  return kDatasets3;
+}
+
+template <int D>
+std::unique_ptr<rtree::RTree<D>> Build(rtree::Variant v,
+                                       const workload::Dataset<D>& data) {
+  return rtree::BuildTree<D>(v, data.items, data.domain);
+}
+
+/// Mean leaf accesses per query over a workload.
+template <int D>
+storage::IoStats RunQueries(const rtree::RTree<D>& tree,
+                            const std::vector<geom::Rect<D>>& queries,
+                            size_t* results = nullptr) {
+  storage::IoStats io;
+  size_t total = 0;
+  for (const auto& q : queries) total += tree.RangeCount(q, &io);
+  if (results) *results = total;
+  return io;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace clipbb::bench
+
+#endif  // CLIPBB_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Geometry playground: compares every bounding shape in the library on a
+// node's worth of objects — the Fig. 8 experiment as a reusable tool.
+// Pass an optional seed to explore different layouts.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/clip_builder.h"
+#include "geom/bounding.h"
+#include "geom/union_volume.h"
+#include "util/rng.h"
+
+using namespace clipbb;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  Rng rng(seed);
+
+  // A node's worth of elongated objects (street-segment-like).
+  std::vector<geom::Rect2> objects;
+  for (int i = 0; i < 12; ++i) {
+    const double cx = rng.Uniform(), cy = rng.Uniform();
+    const bool horizontal = rng.Uniform() < 0.5;
+    const double len = rng.Uniform(0.05, 0.25), w = rng.Uniform(0.002, 0.01);
+    objects.push_back(horizontal
+                          ? geom::Rect2{{cx, cy}, {cx + len, cy + w}}
+                          : geom::Rect2{{cx, cy}, {cx + w, cy + len}});
+  }
+  const double occupied = geom::UnionArea(objects);
+
+  std::printf("%-8s %8s %12s\n", "shape", "#points", "dead space");
+  for (auto kind :
+       {geom::BoundingKind::kMbc, geom::BoundingKind::kMbb,
+        geom::BoundingKind::kRmbb, geom::BoundingKind::kC4,
+        geom::BoundingKind::kC5, geom::BoundingKind::kCh}) {
+    const auto s = geom::ComputeBounding(kind, objects);
+    std::printf("%-8s %8.1f %11.1f%%\n", geom::BoundingKindName(kind),
+                s.num_points, 100.0 * (1.0 - occupied / s.area));
+  }
+
+  const geom::Rect2 mbb =
+      geom::BoundingRect<2>(objects.begin(), objects.end());
+  for (auto mode : {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    core::ClipConfig<2> cfg;
+    cfg.mode = mode;
+    const auto clips = core::BuildClips<2>(mbb, objects, cfg);
+    std::vector<geom::Rect2> regions;
+    for (const auto& c : clips) {
+      regions.push_back(core::ClipRegion<2>(mbb, c));
+    }
+    const double area = mbb.Volume() - geom::UnionArea(regions);
+    std::printf("%-8s %8.1f %11.1f%%\n", core::ClipModeName(mode),
+                2.0 + static_cast<double>(clips.size()),
+                100.0 * (1.0 - occupied / area));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Domain scenario from the paper's motivation: indexing neuroscience
+// meshes (Human Brain Project). Axon segments are long, skinny 3d boxes
+// whose MBBs are ~95 % dead space; clipping recovers most of the wasted
+// filtering precision. This example builds the state-of-the-art RR*-tree
+// over an axon-like dataset, reports dead space, and shows how range
+// queries (e.g. "which segments pass near this probe?") get cheaper.
+#include <cstdio>
+
+#include "rtree/factory.h"
+#include "stats/node_stats.h"
+#include "workload/dataset.h"
+#include "workload/query.h"
+
+using namespace clipbb;  // NOLINT: example brevity
+
+int main() {
+  const workload::Dataset3 axons = workload::MakeAxo03(150'000);
+  std::printf("axon segments: %zu\n", axons.size());
+
+  auto tree =
+      rtree::BuildTree<3>(rtree::Variant::kRRStar, axons.items, axons.domain);
+
+  // How bad are plain MBBs here? (paper Fig. 1b: ~94 % dead space)
+  stats::SpaceOptions sopts;
+  sopts.max_nodes = 512;
+  sopts.mc_samples = 4096;
+  const auto space = stats::MeasureSpace<3>(*tree, sopts);
+  std::printf("%s: avg dead space per node = %.1f%%\n", tree->Name(),
+              100.0 * space.avg_dead_fraction);
+
+  // Probe queries: small boxes around random tissue locations that should
+  // touch only a handful of segments (the paper's QR0/QR1 profiles).
+  for (double target : {1.0, 10.0}) {
+    const auto queries = workload::MakeQueries<3>(axons, target, 400);
+
+    tree->DisableClipping();
+    storage::IoStats plain;
+    size_t results = 0;
+    for (const auto& q : queries.queries) {
+      results += tree->RangeCount(q, &plain);
+    }
+
+    tree->EnableClipping(core::ClipConfig<3>::Sta());
+    storage::IoStats clipped;
+    size_t clipped_results = 0;
+    for (const auto& q : queries.queries) {
+      clipped_results += tree->RangeCount(q, &clipped);
+    }
+    if (clipped_results != results) {
+      std::printf("ERROR: clipped results diverge!\n");
+      return 1;
+    }
+    std::printf(
+        "~%.0f-result probes: leaf I/O %llu -> %llu (%.1f%% saved), "
+        "%zu results identical\n",
+        target, static_cast<unsigned long long>(plain.leaf_accesses),
+        static_cast<unsigned long long>(clipped.leaf_accesses),
+        100.0 * (1.0 - static_cast<double>(clipped.leaf_accesses) /
+                           static_cast<double>(plain.leaf_accesses)),
+        results);
+  }
+
+  // How much of the dead space did the stairline CBB eliminate?
+  const auto clip_report =
+      stats::MeasureClipping<3>(*tree, core::ClipConfig<3>::Sta(), sopts);
+  std::printf(
+      "CSTA clipping removes %.1f%% of node volume (= %.0f%% of the dead "
+      "space) with %.1f clip points/node\n",
+      100.0 * clip_report.avg_clipped_fraction,
+      100.0 * clip_report.clipped_share_of_dead(),
+      clip_report.avg_clip_points);
+  return 0;
+}

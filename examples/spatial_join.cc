@@ -1,0 +1,45 @@
+// Spatial join scenario (§V-C): find all (axon, dendrite) segment pairs
+// that touch — the "synapse candidate" join from the paper's neuroscience
+// use case — with both join strategies, clipped and unclipped.
+#include <cstdio>
+
+#include "join/inlj.h"
+#include "join/stt.h"
+#include "rtree/factory.h"
+#include "workload/dataset.h"
+
+using namespace clipbb;  // NOLINT: example brevity
+
+int main() {
+  const auto axons = workload::MakeAxo03(120'000);
+  const auto dendrites = workload::MakeDen03(60'000);
+  std::printf("join: %zu axon segments x %zu dendrite segments\n",
+              axons.size(), dendrites.size());
+
+  // Index the larger dataset; both strategies need it, STT needs both.
+  auto axon_tree = rtree::BuildTree<3>(rtree::Variant::kRRStar, axons.items,
+                                       axons.domain);
+  auto dendrite_tree = rtree::BuildTree<3>(rtree::Variant::kRRStar,
+                                           dendrites.items, dendrites.domain);
+
+  auto report = [](const char* label, const join::JoinStats& s) {
+    std::printf("%-28s pairs=%zu leafAcc=%llu\n", label, s.result_pairs,
+                static_cast<unsigned long long>(s.TotalLeafAccesses()));
+  };
+
+  // Unclipped baselines.
+  report("INLJ (plain)", join::IndexNestedLoopJoin<3>(*axon_tree,
+                                                      dendrites.items));
+  report("STT  (plain)",
+         join::SynchronizedTreeTraversal<3>(*axon_tree, *dendrite_tree));
+
+  // Clip both indexes with stairline points and repeat: same pairs, fewer
+  // leaf reads; STT needs far fewer accesses overall (paper §V-C).
+  axon_tree->EnableClipping(core::ClipConfig<3>::Sta());
+  dendrite_tree->EnableClipping(core::ClipConfig<3>::Sta());
+  report("INLJ (CSTA-clipped)", join::IndexNestedLoopJoin<3>(
+                                    *axon_tree, dendrites.items));
+  report("STT  (CSTA-clipped)",
+         join::SynchronizedTreeTraversal<3>(*axon_tree, *dendrite_tree));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Algorithm 1 of the paper: compute the clip points of one node.
+//
+// Per corner b: take the oriented skyline of the children's b-corners
+// (CSKY), optionally extend it with stairline splices (CSTA), score every
+// candidate with the overlap approximation of Fig. 5, keep candidates whose
+// score exceeds tau * vol(MBB), and finally keep the k highest-scoring clip
+// points across all corners, ordered by score so queries test the biggest
+// region first.
+#ifndef CLIPBB_CORE_CLIP_BUILDER_H_
+#define CLIPBB_CORE_CLIP_BUILDER_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/clip_point.h"
+#include "core/skyline.h"
+#include "core/stairline.h"
+
+namespace clipbb::core {
+
+/// Which §III instantiation of the CBB to build.
+enum class ClipMode {
+  kSkyline,    // CSKY, §III-B
+  kStairline,  // CSTA, §III-C (skyline ∪ valid splices; DESIGN.md §6)
+};
+
+inline const char* ClipModeName(ClipMode mode) {
+  return mode == ClipMode::kSkyline ? "CSKY" : "CSTA";
+}
+
+/// Parameters of Algorithm 1. Paper defaults: k = 2^(d+1), tau = 2.5 %.
+template <int D>
+struct ClipConfig {
+  ClipMode mode = ClipMode::kStairline;
+  int max_clips = 1 << (D + 1);  // k
+  double tau = 0.025;            // minimum clipped-volume fraction
+
+  static ClipConfig Sky(int k = 1 << (D + 1), double tau = 0.025) {
+    return ClipConfig{ClipMode::kSkyline, k, tau};
+  }
+  static ClipConfig Sta(int k = 1 << (D + 1), double tau = 0.025) {
+    return ClipConfig{ClipMode::kStairline, k, tau};
+  }
+};
+
+/// Scores candidates of one corner per Fig. 5: the best candidate keeps its
+/// full clipped volume; every other candidate is debited its overlap with
+/// the best. The overlap of two same-corner clip boxes is the clip box of
+/// their towards-the-corner splice.
+template <int D>
+void ScoreCorner(const Rect<D>& mbb, Mask b, std::span<const Vec<D>> cands,
+                 std::vector<ClipPoint<D>>* out) {
+  if (cands.empty()) return;
+  size_t best = 0;
+  std::vector<double> volume(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) {
+    volume[i] = ClipVolume<D>(mbb, cands[i], b);
+    if (volume[i] > volume[best]) best = i;
+  }
+  for (size_t i = 0; i < cands.size(); ++i) {
+    double score = volume[i];
+    if (i != best) {
+      const Vec<D> overlap_corner =
+          geom::Splice<D>(cands[i], cands[best], b);
+      score -= ClipVolume<D>(mbb, overlap_corner, b);
+    }
+    out->push_back(ClipPoint<D>{cands[i], b, score});
+  }
+}
+
+/// Algorithm 1: clip points for a node with bounding box `mbb` and child
+/// boxes `children`, ordered by descending score, at most `config.max_clips`
+/// of them, each clipping more than `config.tau` of the node's volume.
+template <int D>
+std::vector<ClipPoint<D>> BuildClips(const Rect<D>& mbb,
+                                     std::span<const Rect<D>> children,
+                                     const ClipConfig<D>& config) {
+  std::vector<ClipPoint<D>> scored;
+  for (Mask b = 0; b < geom::kNumCorners<D>; ++b) {
+    std::vector<Vec<D>> cands =
+        OrientedSkyline<D>(CornerPoints<D>(children, b), b);
+    if (config.mode == ClipMode::kStairline) {
+      std::vector<Vec<D>> splices = OrientedStairline<D>(cands, b);
+      cands.insert(cands.end(), splices.begin(), splices.end());
+    }
+    ScoreCorner<D>(mbb, b, cands, &scored);
+  }
+  const double floor = config.tau * mbb.Volume();
+  std::vector<ClipPoint<D>> kept;
+  for (const ClipPoint<D>& c : scored) {
+    if (c.score > floor && c.score > 0.0) kept.push_back(c);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const ClipPoint<D>& a, const ClipPoint<D>& b) {
+              return a.score > b.score;
+            });
+  if (static_cast<int>(kept.size()) > config.max_clips) {
+    kept.resize(config.max_clips);
+  }
+  return kept;
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_CLIP_BUILDER_H_

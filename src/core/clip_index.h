@@ -1,0 +1,69 @@
+// The auxiliary clip-point structure of Fig. 4b: a memory-resident table
+// mapping R-tree node ids to their (variable-length) clip point arrays.
+#ifndef CLIPBB_CORE_CLIP_INDEX_H_
+#define CLIPBB_CORE_CLIP_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clip_point.h"
+
+namespace clipbb::core {
+
+/// Node id type shared with the R-tree page store.
+using NodeId = int64_t;
+
+/// Clip table: node id -> ordered clip points. Mirrors the paper's directory
+/// (length + pointer per node; bitmask + coordinates per clip point).
+template <int D>
+class ClipIndex {
+ public:
+  /// Replaces the clip points of a node (empty vector clears the entry).
+  void Set(NodeId id, std::vector<ClipPoint<D>> clips) {
+    if (clips.empty()) {
+      table_.erase(id);
+    } else {
+      table_[id] = std::move(clips);
+    }
+  }
+
+  /// Clip points of a node; empty span when the node has none.
+  std::span<const ClipPoint<D>> Get(NodeId id) const {
+    auto it = table_.find(id);
+    if (it == table_.end()) return {};
+    return it->second;
+  }
+
+  void Erase(NodeId id) { table_.erase(id); }
+
+  void Clear() { table_.clear(); }
+
+  /// Number of nodes with at least one clip point.
+  size_t NumClippedNodes() const { return table_.size(); }
+
+  /// Total clip points stored.
+  size_t TotalClipPoints() const {
+    size_t n = 0;
+    for (const auto& [id, clips] : table_) n += clips.size();
+    return n;
+  }
+
+  /// Bytes of the on-disk representation (Fig. 4b): per node a 4-byte count
+  /// + 8-byte pointer, per clip point coordinates + corner flag.
+  size_t ByteSize() const {
+    return table_.size() * (sizeof(uint32_t) + sizeof(uint64_t)) +
+           TotalClipPoints() * ClipPointBytes<D>();
+  }
+
+  auto begin() const { return table_.begin(); }
+  auto end() const { return table_.end(); }
+
+ private:
+  std::unordered_map<NodeId, std::vector<ClipPoint<D>>> table_;
+};
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_CLIP_INDEX_H_

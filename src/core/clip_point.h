@@ -1,0 +1,53 @@
+// Clip points (paper Definition 2): a point + corner mask declaring the box
+// between the point and the MBB corner to be dead space.
+#ifndef CLIPBB_CORE_CLIP_POINT_H_
+#define CLIPBB_CORE_CLIP_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace clipbb::core {
+
+using geom::Mask;
+using geom::Rect;
+using geom::Vec;
+
+/// A clip point <p, b> for some MBB R: the box MBB{p, R^b} contains no
+/// object (interior-wise). `score` is the approximate clipped volume used
+/// for ordering (paper §IV-B); it is not part of the on-disk representation.
+template <int D>
+struct ClipPoint {
+  Vec<D> coord;
+  Mask mask = 0;
+  double score = 0.0;
+};
+
+/// On-disk size of one clip point: d coordinates + a d-bit corner flag
+/// (rounded to one byte), per the layout of Fig. 4b.
+template <int D>
+constexpr size_t ClipPointBytes() {
+  return D * sizeof(double) + 1;
+}
+
+/// Volume clipped away by <p, b> from MBB `r` (the paper's Vol_R(<p,b>)).
+template <int D>
+double ClipVolume(const Rect<D>& r, const Vec<D>& p, Mask b) {
+  return Rect<D>::Bounding(p, r.Corner(b)).Volume();
+}
+
+template <int D>
+double ClipVolume(const Rect<D>& r, const ClipPoint<D>& c) {
+  return ClipVolume<D>(r, c.coord, c.mask);
+}
+
+/// The clip region itself as a rect (for measurement and tests).
+template <int D>
+Rect<D> ClipRegion(const Rect<D>& r, const ClipPoint<D>& c) {
+  return Rect<D>::Bounding(c.coord, r.Corner(c.mask));
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_CLIP_POINT_H_

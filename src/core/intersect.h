@@ -1,0 +1,56 @@
+// Algorithm 2 of the paper: CBB intersection and update-validity tests.
+//
+// A query rectangle Q is pruned by clip point <p, b> when the corner of Q
+// least favourable to pruning (Q^{~b}) still lies strictly inside the
+// clipped region — then Q ∩ R is entirely dead space. An inserted object O
+// invalidates <p, b> when O's b-corner lies strictly inside the clipped
+// region — then the region is no longer dead. These are the paper's
+// selector = 2^d - 1 (query) and selector = 0 (insert) cases; strictness is
+// the measure-exact interpretation documented in geom/strict.h.
+#ifndef CLIPBB_CORE_INTERSECT_H_
+#define CLIPBB_CORE_INTERSECT_H_
+
+#include <span>
+
+#include "core/clip_point.h"
+#include "geom/strict.h"
+
+namespace clipbb::core {
+
+/// True iff some clip point proves Q disjoint from the node contents.
+/// Clip points are expected sorted by descending score so the most likely
+/// pruner is tested first (paper §IV-A).
+template <int D>
+bool ClipsPruneQuery(std::span<const ClipPoint<D>> clips, const Rect<D>& q) {
+  for (const ClipPoint<D>& c : clips) {
+    const Vec<D> far_corner = q.Corner(geom::OppositeMask<D>(c.mask));
+    if (geom::StrictlyDominates<D>(far_corner, c.coord, c.mask)) return true;
+  }
+  return false;
+}
+
+/// Algorithm 2 with selector = 2^d - 1: full intersection test of query `q`
+/// against the CBB <r, clips>.
+template <int D>
+bool CbbIntersects(const Rect<D>& r, std::span<const ClipPoint<D>> clips,
+                   const Rect<D>& q) {
+  if (!r.Intersects(q)) return false;
+  return !ClipsPruneQuery<D>(clips, q);
+}
+
+/// Algorithm 2 with selector = 0: returns true iff inserting `obj` leaves
+/// every clip point valid (the object does not intrude into any clipped
+/// region with positive volume).
+template <int D>
+bool ClipsValidAfterInsert(std::span<const ClipPoint<D>> clips,
+                           const Rect<D>& obj) {
+  for (const ClipPoint<D>& c : clips) {
+    const Vec<D> near_corner = obj.Corner(c.mask);
+    if (geom::StrictlyDominates<D>(near_corner, c.coord, c.mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_INTERSECT_H_

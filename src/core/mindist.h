@@ -1,0 +1,77 @@
+// CBB-aware minimum distance — the natural kNN extension of clipping.
+//
+// Classic R-tree kNN (best-first search) orders nodes by MINDIST(q, MBB).
+// When the nearest point of the MBB to q lies inside a clipped (dead)
+// corner region, the true distance to the node's contents is larger: the
+// nearest non-dead point sits on one of the region's inner faces. Taking
+// the maximum of this adjustment over all clip points yields an admissible
+// (never over-estimating) tighter bound, so best-first search with it
+// returns exactly the classic results while popping fewer nodes.
+#ifndef CLIPBB_CORE_MINDIST_H_
+#define CLIPBB_CORE_MINDIST_H_
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "core/clip_point.h"
+
+namespace clipbb::core {
+
+/// Squared L2 distance from q to the closed box r (0 when inside).
+template <int D>
+double MinDist2(const Vec<D>& q, const Rect<D>& r) {
+  double d2 = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double d = 0.0;
+    if (q[i] < r.lo[i]) {
+      d = r.lo[i] - q[i];
+    } else if (q[i] > r.hi[i]) {
+      d = q[i] - r.hi[i];
+    }
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Squared distance from q to `mbb` with the clipped corner regions
+/// removed (lower bound; exact when at most one region contains the
+/// projection of q). Falls back to MinDist2 with no clips.
+template <int D>
+double CbbMinDist2(const Vec<D>& q, const Rect<D>& mbb,
+                   std::span<const ClipPoint<D>> clips) {
+  const double base = MinDist2<D>(q, mbb);
+  if (clips.empty()) return base;
+  // Projection of q onto the MBB (its nearest point).
+  Vec<D> p;
+  for (int i = 0; i < D; ++i) p[i] = std::clamp(q[i], mbb.lo[i], mbb.hi[i]);
+  double best = base;
+  for (const ClipPoint<D>& c : clips) {
+    // Is p strictly inside the clipped region (towards corner c.mask)?
+    bool inside = true;
+    for (int i = 0; i < D && inside; ++i) {
+      if (geom::MaskBit<D>(c.mask, i)) {
+        inside = p[i] > c.coord[i];
+      } else {
+        inside = p[i] < c.coord[i];
+      }
+    }
+    if (!inside) continue;
+    // Nearest point of MBB \ region: move p to the cheapest inner face of
+    // the region (coordinate i snapped to c.coord[i]).
+    double region_best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < D; ++i) {
+      Vec<D> face = p;
+      face[i] = c.coord[i];
+      double d2 = 0.0;
+      for (int k = 0; k < D; ++k) d2 += (q[k] - face[k]) * (q[k] - face[k]);
+      region_best = std::min(region_best, d2);
+    }
+    best = std::max(best, region_best);
+  }
+  return best;
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_MINDIST_H_

@@ -1,0 +1,82 @@
+// Oriented skylines (paper Definition 5) over child corner points.
+//
+// For corner mask b and children with MBBs {o_1..o_n}, the candidate set is
+// the children's b-corners; the skyline keeps the points not dominated
+// (Def. 4) by any other. Inputs are node-sized (n <= M, a few hundred), so
+// the O(n^2) scan is the right tool; a sort-based 2d variant exists for
+// cross-checking in tests.
+#ifndef CLIPBB_CORE_SKYLINE_H_
+#define CLIPBB_CORE_SKYLINE_H_
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/dominance.h"
+#include "geom/rect.h"
+
+namespace clipbb::core {
+
+using geom::Dominates;
+using geom::Mask;
+using geom::Rect;
+using geom::Vec;
+
+/// The b-corner of every child rect (the paper's {o_i^b}).
+template <int D>
+std::vector<Vec<D>> CornerPoints(std::span<const Rect<D>> children, Mask b) {
+  std::vector<Vec<D>> pts;
+  pts.reserve(children.size());
+  for (const Rect<D>& c : children) pts.push_back(c.Corner(b));
+  return pts;
+}
+
+/// Oriented skyline S_b(P): points of P not dominated w.r.t. b by another
+/// point of P. Duplicate points do not dominate each other (Def. 4 requires
+/// distinctness), so they are deduplicated first.
+template <int D>
+std::vector<Vec<D>> OrientedSkyline(std::vector<Vec<D>> pts, Mask b) {
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::vector<Vec<D>> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (j != i && Dominates<D>(pts[j], pts[i], b)) dominated = true;
+    }
+    if (!dominated) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+/// Sort-based 2d skyline (O(n log n)); used as a test oracle for the O(n^2)
+/// scan. Same output set as OrientedSkyline<2>, possibly different order.
+inline std::vector<Vec<2>> OrientedSkyline2Sorted(std::vector<Vec<2>> pts,
+                                                  Mask b) {
+  // Fold the orientation into the coordinates so "closer to the corner"
+  // always means "larger".
+  const double sx = geom::MaskBit<2>(b, 0) ? 1.0 : -1.0;
+  const double sy = geom::MaskBit<2>(b, 1) ? 1.0 : -1.0;
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::sort(pts.begin(), pts.end(), [&](const Vec<2>& a, const Vec<2>& c) {
+    const double ax = sx * a[0], cx = sx * c[0];
+    if (ax != cx) return ax > cx;
+    return sy * a[1] > sy * c[1];
+  });
+  std::vector<Vec<2>> out;
+  double best_y = -std::numeric_limits<double>::infinity();
+  for (const Vec<2>& p : pts) {
+    const double py = sy * p[1];
+    if (py > best_y) {
+      out.push_back(p);
+      best_y = py;
+    }
+  }
+  return out;
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_SKYLINE_H_

@@ -1,0 +1,53 @@
+// Stairline points (paper §III-C, Definitions 6-7): splices of skyline point
+// pairs that remain valid clip points.
+//
+// For corner b the splice uses mask ~b, i.e. per dimension the coordinate of
+// the pair *farthest* from the corner; the result clips at least as much
+// dead space as either source. Validity ("no child corner inside the region
+// the splice would clip away") is checked against the skyline only — by
+// transitivity of dominance that suffices (DESIGN.md §6). The pair loop is
+// the paper's "unfortunately-cubic" algorithm; inputs are skylines of
+// node-sized sets, so this is cheap in practice.
+#ifndef CLIPBB_CORE_STAIRLINE_H_
+#define CLIPBB_CORE_STAIRLINE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/skyline.h"
+#include "geom/strict.h"
+
+namespace clipbb::core {
+
+/// All valid stairline points for corner `b`, given the oriented skyline of
+/// the child corners. Deduplicated; does not include the skyline itself.
+template <int D>
+std::vector<Vec<D>> OrientedStairline(const std::vector<Vec<D>>& skyline,
+                                      Mask b) {
+  const Mask opposite = geom::OppositeMask<D>(b);
+  std::vector<Vec<D>> out;
+  const size_t n = skyline.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Vec<D> s = geom::Splice<D>(skyline[i], skyline[j], opposite);
+      // A splice equal to one of its sources adds nothing.
+      if (geom::VecEq<D>(s, skyline[i]) || geom::VecEq<D>(s, skyline[j])) {
+        continue;
+      }
+      // Validity: no skyline point may lie strictly inside MBB{s, R^b},
+      // i.e. strictly dominate s towards the corner.
+      bool valid = true;
+      for (size_t k = 0; k < n && valid; ++k) {
+        if (geom::StrictlyDominates<D>(skyline[k], s, b)) valid = false;
+      }
+      if (valid) out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace clipbb::core
+
+#endif  // CLIPBB_CORE_STAIRLINE_H_

@@ -1,0 +1,81 @@
+#include "geom/bounding.h"
+
+#include "geom/convex_hull.h"
+#include "geom/kgon.h"
+#include "geom/min_circle.h"
+#include "geom/rmbb.h"
+#include "geom/union_volume.h"
+
+namespace clipbb::geom {
+
+const char* BoundingKindName(BoundingKind kind) {
+  switch (kind) {
+    case BoundingKind::kMbc:
+      return "MBC";
+    case BoundingKind::kMbb:
+      return "MBB";
+    case BoundingKind::kRmbb:
+      return "RMBB";
+    case BoundingKind::kC4:
+      return "4-C";
+    case BoundingKind::kC5:
+      return "5-C";
+    case BoundingKind::kCh:
+      return "CH";
+  }
+  return "?";
+}
+
+BoundingStats ComputeBounding(BoundingKind kind,
+                              std::span<const Rect2> children) {
+  BoundingStats stats;
+  switch (kind) {
+    case BoundingKind::kMbc: {
+      Circle c = MinEnclosingCircleOfRects(children);
+      stats.area = c.Area();
+      stats.num_points = 2.0;  // center point + radius, as stored in SS-trees
+      break;
+    }
+    case BoundingKind::kMbb: {
+      Rect2 r = Rect2::Empty();
+      for (const Rect2& c : children) r.ExpandToInclude(c);
+      stats.area = r.Volume();
+      stats.num_points = 2.0;
+      break;
+    }
+    case BoundingKind::kRmbb: {
+      OrientedRect r = RmbbOfRects(children);
+      stats.area = r.area;
+      stats.num_points = 3.0;  // three corners determine the fourth
+      break;
+    }
+    case BoundingKind::kC4:
+    case BoundingKind::kC5: {
+      const int m = kind == BoundingKind::kC4 ? 4 : 5;
+      Polygon poly = KgonOfRects(children, m);
+      stats.area = PolygonArea(poly);
+      stats.num_points = static_cast<double>(poly.size());
+      break;
+    }
+    case BoundingKind::kCh: {
+      Polygon hull = ConvexHullOfRects(children);
+      stats.area = PolygonArea(hull);
+      stats.num_points = static_cast<double>(hull.size());
+      break;
+    }
+  }
+  return stats;
+}
+
+double ShapeDeadSpaceFraction(BoundingKind kind,
+                              std::span<const Rect2> children) {
+  BoundingStats stats = ComputeBounding(kind, children);
+  if (stats.area <= 0.0) return 0.0;
+  const double occupied = UnionArea(children);
+  double dead = 1.0 - occupied / stats.area;
+  if (dead < 0.0) dead = 0.0;
+  if (dead > 1.0) dead = 1.0;
+  return dead;
+}
+
+}  // namespace clipbb::geom

@@ -1,0 +1,50 @@
+// Unified front door over the bounding-geometry zoo used by the Fig. 8 and
+// Fig. 9 experiments: for a set of child rectangles, compute the area and
+// representation cost of each alternative bounding shape.
+//
+// The clipped bounding box (CBB) itself lives in src/core; benches combine
+// the two layers (core depends on geom, not vice versa).
+#ifndef CLIPBB_GEOM_BOUNDING_H_
+#define CLIPBB_GEOM_BOUNDING_H_
+
+#include <span>
+#include <string>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+/// The convex bounding shapes compared in Fig. 8 / Fig. 9.
+enum class BoundingKind {
+  kMbc,   // minimum bounding circle (Welzl)
+  kMbb,   // axis-aligned minimum bounding box
+  kRmbb,  // rotated minimum bounding box (rotating calipers)
+  kC4,    // <=4-corner enclosing polygon
+  kC5,    // <=5-corner enclosing polygon
+  kCh,    // convex hull
+};
+
+const char* BoundingKindName(BoundingKind kind);
+
+/// Area + representation cost of one bounding shape over child rects.
+struct BoundingStats {
+  double area = 0.0;
+  /// Number of 2d points needed to represent the shape (MBB = 2, circle = 2
+  /// [center + radius packed as the paper does], polygons = vertex count,
+  /// oriented box = 3).
+  double num_points = 0.0;
+};
+
+/// Computes the requested shape over the corners of `children`.
+BoundingStats ComputeBounding(BoundingKind kind,
+                              std::span<const Rect2> children);
+
+/// Fraction of the shape's area not covered by any child (paper's dead
+/// space, Def. 1, evaluated against this shape instead of the MBB).
+/// Returns 0 for zero-area shapes.
+double ShapeDeadSpaceFraction(BoundingKind kind,
+                              std::span<const Rect2> children);
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_BOUNDING_H_

@@ -1,0 +1,41 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace clipbb::geom {
+
+Polygon ConvexHull(std::span<const Vec2> points) {
+  Polygon pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](const Vec2& a, const Vec2& b) {
+    return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  Polygon hull(2 * n);
+  size_t k = 0;
+  // Lower chain.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper chain.
+  for (size_t i = n - 1, lower = k + 1; i-- > 0;) {
+    while (k >= lower && Cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+Polygon ConvexHullOfRects(std::span<const Rect2> rects) {
+  Polygon corners;
+  corners.reserve(rects.size() * 4);
+  for (const Rect2& r : rects) {
+    for (Mask b = 0; b < kNumCorners<2>; ++b) corners.push_back(r.Corner(b));
+  }
+  return ConvexHull(corners);
+}
+
+}  // namespace clipbb::geom

@@ -1,0 +1,20 @@
+// 2d convex hull (Andrew's monotone chain; output equals Graham scan's).
+#ifndef CLIPBB_GEOM_CONVEX_HULL_H_
+#define CLIPBB_GEOM_CONVEX_HULL_H_
+
+#include <span>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+/// Convex hull of `points` in counter-clockwise order, collinear points
+/// removed. Degenerate inputs (all collinear) return the extreme segment.
+Polygon ConvexHull(std::span<const Vec2> points);
+
+/// Convenience: hull of the 4 corners of each rect.
+Polygon ConvexHullOfRects(std::span<const Rect2> rects);
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_CONVEX_HULL_H_

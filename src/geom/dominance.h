@@ -1,0 +1,52 @@
+// Oriented dominance (paper Definition 4) and splice points (Definition 6).
+//
+// `p ≺_b q` reads "p dominates q with respect to corner b": p is at least as
+// close to the MBB corner R^b as q in every dimension, and p != q. For a
+// dimension where bit i of b is set the corner maximises coordinate i, so
+// "closer" means a *larger* coordinate; otherwise smaller. Equivalently,
+// p ≺_b q iff p lies inside the MBB of {q, R^b}.
+#ifndef CLIPBB_GEOM_DOMINANCE_H_
+#define CLIPBB_GEOM_DOMINANCE_H_
+
+#include <algorithm>
+
+#include "geom/vec.h"
+
+namespace clipbb::geom {
+
+/// Weak dominance: p at least as close to corner b as q in every dimension
+/// (allows p == q).
+template <int D>
+bool WeaklyDominates(const Vec<D>& p, const Vec<D>& q, Mask b) {
+  for (int i = 0; i < D; ++i) {
+    if (MaskBit<D>(b, i)) {
+      if (p[i] < q[i]) return false;
+    } else {
+      if (p[i] > q[i]) return false;
+    }
+  }
+  return true;
+}
+
+/// Strict dominance per Definition 4 (weak dominance and p != q).
+template <int D>
+bool Dominates(const Vec<D>& p, const Vec<D>& q, Mask b) {
+  return !VecEq<D>(p, q) && WeaklyDominates<D>(p, q, b);
+}
+
+/// Splice point ~of Definition 6: per dimension takes the coordinate of p or
+/// q selected by mask `b` (bit set -> max, clear -> min). The paper writes
+/// the stairline generator as splice with mask ~b, i.e. the coordinates
+/// *farthest* from corner R^b.
+template <int D>
+Vec<D> Splice(const Vec<D>& p, const Vec<D>& q, Mask b) {
+  Vec<D> s;
+  for (int i = 0; i < D; ++i) {
+    s[i] = MaskBit<D>(b, i) ? std::max(p[i], q[i]) : std::min(p[i], q[i]);
+  }
+  return s;
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_DOMINANCE_H_

@@ -1,0 +1,84 @@
+#include "geom/hilbert.h"
+
+namespace clipbb::geom {
+
+namespace {
+
+// Skilling's in-place transformation between axis coordinates and the
+// "transposed" Hilbert representation (one word per dimension, bit j of word
+// i is bit i of Hilbert digit j).
+void AxesToTranspose(uint32_t* x, int bits, int n) {
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint32_t* x, int bits, int n) {
+  uint32_t big = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != big; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertFromAxes(const uint32_t* axes, int n, int bits) {
+  uint32_t x[8];
+  for (int i = 0; i < n; ++i) x[i] = axes[i];
+  AxesToTranspose(x, bits, n);
+  // Interleave: the Hilbert index takes, from most significant bit position
+  // downwards, bit j of each transposed word in dimension order.
+  uint64_t h = 0;
+  for (int j = bits - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      h = (h << 1) | ((x[i] >> j) & 1u);
+    }
+  }
+  return h;
+}
+
+void AxesFromHilbert(uint64_t index, uint32_t* axes, int n, int bits) {
+  uint32_t x[8] = {};
+  for (int j = bits - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      int shift = j * n + (n - 1 - i);
+      x[i] = (x[i] << 1) | static_cast<uint32_t>((index >> shift) & 1u);
+    }
+  }
+  TransposeToAxes(x, bits, n);
+  for (int i = 0; i < n; ++i) axes[i] = x[i];
+}
+
+}  // namespace clipbb::geom

@@ -1,0 +1,44 @@
+// d-dimensional Hilbert space-filling curve (Skilling's transpose algorithm,
+// "Programming the Hilbert curve", AIP 2004). Substrate for the HR-tree.
+#ifndef CLIPBB_GEOM_HILBERT_H_
+#define CLIPBB_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace clipbb::geom {
+
+/// Converts `n` axis values of `bits` bits each into a Hilbert index of
+/// n*bits bits. Requires n*bits <= 64. Axis values must be < 2^bits.
+uint64_t HilbertFromAxes(const uint32_t* axes, int n, int bits);
+
+/// Inverse of HilbertFromAxes (used by tests and the curve validator).
+void AxesFromHilbert(uint64_t index, uint32_t* axes, int n, int bits);
+
+/// Hilbert index of a point within `domain`, quantised to `bits` bits per
+/// dimension. Points outside the domain are clamped.
+template <int D>
+uint64_t HilbertIndex(const Vec<D>& p, const Rect<D>& domain, int bits) {
+  uint32_t axes[D];
+  const uint32_t max_cell = (bits >= 32) ? 0xffffffffu : ((1u << bits) - 1);
+  for (int i = 0; i < D; ++i) {
+    double extent = domain.hi[i] - domain.lo[i];
+    double t = extent > 0.0 ? (p[i] - domain.lo[i]) / extent : 0.0;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+    auto cell = static_cast<uint64_t>(t * max_cell);
+    axes[i] = static_cast<uint32_t>(cell > max_cell ? max_cell : cell);
+  }
+  return HilbertFromAxes(axes, D, bits);
+}
+
+/// Default per-dimension resolution that keeps D*bits within 64 bits.
+template <int D>
+constexpr int DefaultHilbertBits() {
+  return 63 / D;  // 31 bits in 2d, 21 bits in 3d
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_HILBERT_H_

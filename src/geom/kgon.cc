@@ -1,0 +1,85 @@
+#include "geom/kgon.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geom/convex_hull.h"
+
+namespace clipbb::geom {
+
+namespace {
+
+// Intersection of infinite lines (a1,a2) and (b1,b2); false when parallel.
+bool LineIntersection(const Vec2& a1, const Vec2& a2, const Vec2& b1,
+                      const Vec2& b2, Vec2* out) {
+  const double d1x = a2[0] - a1[0], d1y = a2[1] - a1[1];
+  const double d2x = b2[0] - b1[0], d2y = b2[1] - b1[1];
+  const double denom = d1x * d2y - d1y * d2x;
+  if (std::fabs(denom) < 1e-12) return false;
+  const double t = ((b1[0] - a1[0]) * d2y - (b1[1] - a1[1]) * d2x) / denom;
+  (*out)[0] = a1[0] + t * d1x;
+  (*out)[1] = a1[1] + t * d1y;
+  return true;
+}
+
+}  // namespace
+
+Polygon EnclosingKgon(const Polygon& hull, int m) {
+  Polygon poly = hull;
+  if (m < 3) m = 3;
+  while (static_cast<int>(poly.size()) > m) {
+    const size_t n = poly.size();
+    double best_added = std::numeric_limits<double>::infinity();
+    size_t best_edge = n;  // sentinel: none removable
+    Vec2 best_apex{};
+    // Removing edge (i, i+1): extend edge (i-1, i) and edge (i+2, i+1)
+    // until they meet at an apex outside the polygon.
+    for (size_t i = 0; i < n; ++i) {
+      const Vec2& prev = poly[(i + n - 1) % n];
+      const Vec2& a = poly[i];
+      const Vec2& b = poly[(i + 1) % n];
+      const Vec2& next = poly[(i + 2) % n];
+      Vec2 apex;
+      if (!LineIntersection(prev, a, next, b, &apex)) continue;
+      // The apex must lie on the extensions beyond a and beyond b, i.e. on
+      // the outside; otherwise the replacement polygon would cut the hull.
+      const double along_prev =
+          (apex[0] - a[0]) * (a[0] - prev[0]) + (apex[1] - a[1]) * (a[1] - prev[1]);
+      const double along_next =
+          (apex[0] - b[0]) * (b[0] - next[0]) + (apex[1] - b[1]) * (b[1] - next[1]);
+      if (along_prev < 0.0 || along_next < 0.0) continue;
+      const double added = 0.5 * std::fabs(Cross(a, apex, b));
+      if (added < best_added) {
+        best_added = added;
+        best_edge = i;
+        best_apex = apex;
+      }
+    }
+    if (best_edge == n) break;  // nothing removable; give up gracefully
+    Polygon reduced;
+    reduced.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == best_edge) {
+        reduced.push_back(best_apex);
+        ++j;  // also skip vertex i+1 (handles wrap below)
+        continue;
+      }
+      reduced.push_back(poly[j]);
+    }
+    // Wrap case: removing edge (n-1, 0) drops vertex 0, which the loop above
+    // cannot skip; rebuild explicitly.
+    if (best_edge == n - 1) {
+      reduced.clear();
+      reduced.push_back(best_apex);
+      for (size_t j = 1; j + 1 < n; ++j) reduced.push_back(poly[j]);
+    }
+    poly = std::move(reduced);
+  }
+  return poly;
+}
+
+Polygon KgonOfRects(std::span<const Rect2> rects, int m) {
+  return EnclosingKgon(ConvexHullOfRects(rects), m);
+}
+
+}  // namespace clipbb::geom

@@ -1,0 +1,29 @@
+// Enclosing convex polygon with at most m corners (the paper's 4-C / 5-C
+// baselines, after Aggarwal, Chang & Chee [35]).
+//
+// The exact minimum-area algorithm is replaced by the classical greedy
+// edge-removal heuristic: starting from the convex hull, repeatedly remove
+// the edge whose removal (extending its two neighbouring edges until they
+// meet) adds the least area, until at most m vertices remain. The result
+// always encloses the hull; the area is an upper bound on the optimum.
+// See DESIGN.md §5 for why this substitution is acceptable.
+#ifndef CLIPBB_GEOM_KGON_H_
+#define CLIPBB_GEOM_KGON_H_
+
+#include <span>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+/// Shrinks hull's vertex count to <= m by greedy edge removal. Returns the
+/// hull itself when it already has <= m vertices or no edge is removable
+/// (e.g. a rectangle's neighbouring edges are parallel).
+Polygon EnclosingKgon(const Polygon& hull, int m);
+
+/// K-gon over all corners of the given rects.
+Polygon KgonOfRects(std::span<const Rect2> rects, int m);
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_KGON_H_

@@ -1,0 +1,79 @@
+#include "geom/min_circle.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace clipbb::geom {
+
+namespace {
+
+Circle FromTwo(const Vec2& a, const Vec2& b) {
+  Circle c;
+  c.center = {0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])};
+  c.radius = 0.5 * std::sqrt(Dist2(a, b));
+  return c;
+}
+
+// Circumcircle of a non-degenerate triangle; falls back to the widest
+// two-point circle when (nearly) collinear.
+Circle FromThree(const Vec2& a, const Vec2& b, const Vec2& c) {
+  const double bx = b[0] - a[0], by = b[1] - a[1];
+  const double cx = c[0] - a[0], cy = c[1] - a[1];
+  const double d = 2.0 * (bx * cy - by * cx);
+  if (std::fabs(d) < 1e-12) {
+    Circle best = FromTwo(a, b);
+    Circle t = FromTwo(a, c);
+    if (t.radius > best.radius) best = t;
+    t = FromTwo(b, c);
+    if (t.radius > best.radius) best = t;
+    return best;
+  }
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  const double ux = (cy * b2 - by * c2) / d;
+  const double uy = (bx * c2 - cx * b2) / d;
+  Circle out;
+  out.center = {a[0] + ux, a[1] + uy};
+  out.radius = std::sqrt(ux * ux + uy * uy);
+  return out;
+}
+
+}  // namespace
+
+Circle MinEnclosingCircle(std::span<const Vec2> points) {
+  Polygon pts(points.begin(), points.end());
+  if (pts.empty()) return Circle{};
+  if (pts.size() == 1) return Circle{pts[0], 0.0};
+  // Deterministic shuffle for the expected-linear behaviour.
+  Rng rng(0x9c1c1eULL);
+  for (size_t i = pts.size(); i > 1; --i) {
+    std::swap(pts[i - 1], pts[rng.Below(i)]);
+  }
+  // Incremental Welzl (iterative form).
+  Circle c{pts[0], 0.0};
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (c.Contains(pts[i])) continue;
+    c = Circle{pts[i], 0.0};
+    for (size_t j = 0; j < i; ++j) {
+      if (c.Contains(pts[j])) continue;
+      c = FromTwo(pts[i], pts[j]);
+      for (size_t k = 0; k < j; ++k) {
+        if (c.Contains(pts[k])) continue;
+        c = FromThree(pts[i], pts[j], pts[k]);
+      }
+    }
+  }
+  return c;
+}
+
+Circle MinEnclosingCircleOfRects(std::span<const Rect2> rects) {
+  Polygon corners;
+  corners.reserve(rects.size() * 4);
+  for (const Rect2& r : rects) {
+    for (Mask b = 0; b < kNumCorners<2>; ++b) corners.push_back(r.Corner(b));
+  }
+  return MinEnclosingCircle(corners);
+}
+
+}  // namespace clipbb::geom

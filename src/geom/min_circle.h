@@ -1,0 +1,30 @@
+// Smallest enclosing circle (Welzl's algorithm, as cited by the paper [30]).
+#ifndef CLIPBB_GEOM_MIN_CIRCLE_H_
+#define CLIPBB_GEOM_MIN_CIRCLE_H_
+
+#include <span>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+struct Circle {
+  Vec2 center{0.0, 0.0};
+  double radius = 0.0;
+
+  double Area() const { return 3.141592653589793 * radius * radius; }
+  bool Contains(const Vec2& p, double eps = 1e-7) const {
+    return Dist2(center, p) <= (radius + eps) * (radius + eps);
+  }
+};
+
+/// Minimum enclosing circle of the points. Expected O(n) (Welzl with random
+/// shuffling driven by the input order; inputs here are node-sized).
+Circle MinEnclosingCircle(std::span<const Vec2> points);
+
+/// Minimum circle enclosing every corner of every rect.
+Circle MinEnclosingCircleOfRects(std::span<const Rect2> rects);
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_MIN_CIRCLE_H_

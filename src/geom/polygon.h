@@ -1,0 +1,51 @@
+// Small 2d polygon helpers shared by the bounding-geometry zoo (Fig. 8/9).
+#ifndef CLIPBB_GEOM_POLYGON_H_
+#define CLIPBB_GEOM_POLYGON_H_
+
+#include <cmath>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace clipbb::geom {
+
+/// Counter-clockwise simple polygon as a vertex list.
+using Polygon = std::vector<Vec2>;
+
+/// Twice the signed area of triangle (a, b, c); > 0 for a left turn.
+inline double Cross(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+/// Shoelace area (non-negative for CCW polygons).
+inline double PolygonArea(const Polygon& poly) {
+  double twice = 0.0;
+  const size_t n = poly.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& a = poly[i];
+    const Vec2& b = poly[(i + 1) % n];
+    twice += a[0] * b[1] - a[1] * b[0];
+  }
+  return 0.5 * twice;
+}
+
+/// True iff `p` is inside or on the boundary of convex CCW polygon `poly`.
+inline bool ConvexContains(const Polygon& poly, const Vec2& p,
+                           double eps = 1e-9) {
+  const size_t n = poly.size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (Cross(poly[i], poly[(i + 1) % n], p) < -eps) return false;
+  }
+  return true;
+}
+
+inline double Dist2(const Vec2& a, const Vec2& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  return dx * dx + dy * dy;
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_POLYGON_H_

@@ -1,0 +1,174 @@
+// Axis-aligned hyperrectangles (the paper's MBB R = <l, u>).
+#ifndef CLIPBB_GEOM_RECT_H_
+#define CLIPBB_GEOM_RECT_H_
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+
+#include "geom/vec.h"
+
+namespace clipbb::geom {
+
+/// Closed axis-aligned box <lo, hi>. An "empty" rect has inverted bounds and
+/// absorbs anything under ExpandToInclude.
+template <int D>
+struct Rect {
+  Vec<D> lo;
+  Vec<D> hi;
+
+  /// The identity element for ExpandToInclude.
+  static Rect Empty() {
+    Rect r;
+    for (int i = 0; i < D; ++i) {
+      r.lo[i] = std::numeric_limits<double>::infinity();
+      r.hi[i] = -std::numeric_limits<double>::infinity();
+    }
+    return r;
+  }
+
+  /// A degenerate rect covering a single point.
+  static Rect FromPoint(const Vec<D>& p) { return Rect{p, p}; }
+
+  /// The MBB of two points in arbitrary order (the paper's MBB of {p, R^b}).
+  static Rect Bounding(const Vec<D>& a, const Vec<D>& b) {
+    Rect r;
+    for (int i = 0; i < D; ++i) {
+      r.lo[i] = std::min(a[i], b[i]);
+      r.hi[i] = std::max(a[i], b[i]);
+    }
+    return r;
+  }
+
+  bool IsEmpty() const {
+    for (int i = 0; i < D; ++i) {
+      if (lo[i] > hi[i]) return true;
+    }
+    return false;
+  }
+
+  /// Corner R^b (Def. in §III-A): bit i of b set -> hi[i], else lo[i].
+  Vec<D> Corner(Mask b) const {
+    Vec<D> c;
+    for (int i = 0; i < D; ++i) c[i] = MaskBit<D>(b, i) ? hi[i] : lo[i];
+    return c;
+  }
+
+  Vec<D> Center() const {
+    Vec<D> c;
+    for (int i = 0; i < D; ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+    return c;
+  }
+
+  double Extent(int dim) const { return hi[dim] - lo[dim]; }
+
+  /// Volume (area in 2d). Zero for degenerate boxes.
+  double Volume() const {
+    double v = 1.0;
+    for (int i = 0; i < D; ++i) v *= std::max(0.0, hi[i] - lo[i]);
+    return v;
+  }
+
+  /// Sum of side lengths (half the perimeter in 2d); the R*-family "margin".
+  double Margin() const {
+    double m = 0.0;
+    for (int i = 0; i < D; ++i) m += std::max(0.0, hi[i] - lo[i]);
+    return m;
+  }
+
+  bool Intersects(const Rect& o) const {
+    for (int i = 0; i < D; ++i) {
+      if (lo[i] > o.hi[i] || hi[i] < o.lo[i]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Rect& o) const {
+    for (int i = 0; i < D; ++i) {
+      if (o.lo[i] < lo[i] || o.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool ContainsPoint(const Vec<D>& p) const {
+    for (int i = 0; i < D; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Intersection box; may be empty (inverted) when disjoint.
+  Rect Intersection(const Rect& o) const {
+    Rect r;
+    for (int i = 0; i < D; ++i) {
+      r.lo[i] = std::max(lo[i], o.lo[i]);
+      r.hi[i] = std::min(hi[i], o.hi[i]);
+    }
+    return r;
+  }
+
+  double OverlapVolume(const Rect& o) const {
+    double v = 1.0;
+    for (int i = 0; i < D; ++i) {
+      double w = std::min(hi[i], o.hi[i]) - std::max(lo[i], o.lo[i]);
+      if (w <= 0.0) return 0.0;
+      v *= w;
+    }
+    return v;
+  }
+
+  /// Grows in place to cover `o`.
+  void ExpandToInclude(const Rect& o) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], o.lo[i]);
+      hi[i] = std::max(hi[i], o.hi[i]);
+    }
+  }
+
+  void ExpandToInclude(const Vec<D>& p) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+
+  /// Volume growth if `o` were merged in (R-tree enlargement criterion).
+  double Enlargement(const Rect& o) const {
+    Rect merged = *this;
+    merged.ExpandToInclude(o);
+    return merged.Volume() - Volume();
+  }
+
+  /// Margin growth if `o` were merged in (RR*-tree criterion).
+  double MarginEnlargement(const Rect& o) const {
+    Rect merged = *this;
+    merged.ExpandToInclude(o);
+    return merged.Margin() - Margin();
+  }
+
+  bool operator==(const Rect& o) const {
+    return VecEq<D>(lo, o.lo) && VecEq<D>(hi, o.hi);
+  }
+
+  std::string ToString() const {
+    return VecToString<D>(lo) + "-" + VecToString<D>(hi);
+  }
+};
+
+/// The MBB of a range of rects.
+template <int D, typename It>
+Rect<D> BoundingRect(It begin, It end) {
+  Rect<D> r = Rect<D>::Empty();
+  for (It it = begin; it != end; ++it) r.ExpandToInclude(*it);
+  return r;
+}
+
+using Rect2 = Rect<2>;
+using Rect3 = Rect<3>;
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_RECT_H_

@@ -1,0 +1,63 @@
+#include "geom/rmbb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/convex_hull.h"
+
+namespace clipbb::geom {
+
+OrientedRect MinAreaOrientedRect(const Polygon& hull) {
+  OrientedRect best;
+  const size_t n = hull.size();
+  if (n == 0) return best;
+  if (n <= 2) {
+    // Degenerate: a point or a segment; zero-area "rectangle".
+    best.corners = hull;
+    best.area = 0.0;
+    return best;
+  }
+  best.area = std::numeric_limits<double>::infinity();
+  for (size_t e = 0; e < n; ++e) {
+    const Vec2& a = hull[e];
+    const Vec2& b = hull[(e + 1) % n];
+    double ux = b[0] - a[0];
+    double uy = b[1] - a[1];
+    const double len = std::hypot(ux, uy);
+    if (len < 1e-15) continue;
+    ux /= len;
+    uy /= len;
+    // Perpendicular axis.
+    const double vx = -uy;
+    const double vy = ux;
+    double min_u = std::numeric_limits<double>::infinity(), max_u = -min_u;
+    double min_v = min_u, max_v = -min_u;
+    for (const Vec2& p : hull) {
+      const double pu = p[0] * ux + p[1] * uy;
+      const double pv = p[0] * vx + p[1] * vy;
+      min_u = std::min(min_u, pu);
+      max_u = std::max(max_u, pu);
+      min_v = std::min(min_v, pv);
+      max_v = std::max(max_v, pv);
+    }
+    const double area = (max_u - min_u) * (max_v - min_v);
+    if (area < best.area) {
+      best.area = area;
+      best.corners = {
+          Vec2{min_u * ux + min_v * vx, min_u * uy + min_v * vy},
+          Vec2{max_u * ux + min_v * vx, max_u * uy + min_v * vy},
+          Vec2{max_u * ux + max_v * vx, max_u * uy + max_v * vy},
+          Vec2{min_u * ux + max_v * vx, min_u * uy + max_v * vy},
+      };
+    }
+  }
+  if (!std::isfinite(best.area)) best.area = 0.0;
+  return best;
+}
+
+OrientedRect RmbbOfRects(std::span<const Rect2> rects) {
+  return MinAreaOrientedRect(ConvexHullOfRects(rects));
+}
+
+}  // namespace clipbb::geom

@@ -1,0 +1,27 @@
+// Rotated minimum bounding box via rotating calipers over the convex hull
+// (the paper's RMBB baseline, Fig. 8c / Fig. 9).
+#ifndef CLIPBB_GEOM_RMBB_H_
+#define CLIPBB_GEOM_RMBB_H_
+
+#include <span>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+/// An oriented rectangle: 4 corners in CCW order plus its area.
+struct OrientedRect {
+  Polygon corners;  // 4 vertices (may be degenerate for <3 hull points)
+  double area = 0.0;
+};
+
+/// Minimum-area oriented rectangle enclosing the convex CCW polygon `hull`,
+/// found by iterating hull edges (each optimal rectangle is flush with one).
+OrientedRect MinAreaOrientedRect(const Polygon& hull);
+
+/// RMBB over all corners of the given rects.
+OrientedRect RmbbOfRects(std::span<const Rect2> rects);
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_RMBB_H_

@@ -1,0 +1,95 @@
+// 2d line segments with exact segment/rect predicates — the refinement
+// step of the classic filter-and-refine pipeline (Brinkhoff et al. [20] in
+// the paper): the R-tree filters on MBBs (optionally clipped), then
+// candidates are verified against the exact geometry.
+#ifndef CLIPBB_GEOM_SEGMENT_H_
+#define CLIPBB_GEOM_SEGMENT_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/polygon.h"
+
+namespace clipbb::geom {
+
+/// A capsule: segment [a, b] thickened by `radius` (streets, fibres).
+struct Segment2 {
+  Vec2 a{0, 0};
+  Vec2 b{0, 0};
+  double radius = 0.0;
+
+  /// Tight axis-aligned bounding box.
+  Rect2 Mbb() const {
+    Rect2 r = Rect2::Bounding(a, b);
+    for (int i = 0; i < 2; ++i) {
+      r.lo[i] -= radius;
+      r.hi[i] += radius;
+    }
+    return r;
+  }
+};
+
+/// Squared distance from point p to segment [a, b].
+inline double PointSegmentDist2(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const double abx = b[0] - a[0];
+  const double aby = b[1] - a[1];
+  const double len2 = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((p[0] - a[0]) * abx + (p[1] - a[1]) * aby) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double cx = a[0] + t * abx - p[0];
+  const double cy = a[1] + t * aby - p[1];
+  return cx * cx + cy * cy;
+}
+
+/// True iff open segments (p1,p2) and (p3,p4) properly intersect or touch.
+inline bool SegmentsIntersect(const Vec2& p1, const Vec2& p2, const Vec2& p3,
+                              const Vec2& p4) {
+  const double d1 = Cross(p3, p4, p1);
+  const double d2 = Cross(p3, p4, p2);
+  const double d3 = Cross(p1, p2, p3);
+  const double d4 = Cross(p1, p2, p4);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  auto on = [](const Vec2& a, const Vec2& b, const Vec2& c, double d) {
+    return d == 0.0 && c[0] >= std::min(a[0], b[0]) &&
+           c[0] <= std::max(a[0], b[0]) && c[1] >= std::min(a[1], b[1]) &&
+           c[1] <= std::max(a[1], b[1]);
+  };
+  return on(p3, p4, p1, d1) || on(p3, p4, p2, d2) || on(p1, p2, p3, d3) ||
+         on(p1, p2, p4, d4);
+}
+
+/// Squared distance between segment [a, b] and the closed rect r (0 when
+/// they intersect).
+inline double SegmentRectDist2(const Vec2& a, const Vec2& b, const Rect2& r) {
+  if (r.ContainsPoint(a) || r.ContainsPoint(b)) return 0.0;
+  const Vec2 c00 = r.Corner(0b00), c01 = r.Corner(0b01);
+  const Vec2 c10 = r.Corner(0b10), c11 = r.Corner(0b11);
+  const Vec2 edges[4][2] = {{c00, c01}, {c01, c11}, {c11, c10}, {c10, c00}};
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : edges) {
+    if (SegmentsIntersect(a, b, e[0], e[1])) return 0.0;
+    // Min distance between two non-crossing segments is attained at an
+    // endpoint of one against the other.
+    best = std::min(best, PointSegmentDist2(e[0], a, b));
+    best = std::min(best, PointSegmentDist2(e[1], a, b));
+    best = std::min(best, PointSegmentDist2(a, e[0], e[1]));
+    best = std::min(best, PointSegmentDist2(b, e[0], e[1]));
+  }
+  return best;
+}
+
+/// Exact refinement predicate: does the capsule intersect the query rect?
+inline bool SegmentIntersectsRect(const Segment2& s, const Rect2& q) {
+  const double d2 = SegmentRectDist2(s.a, s.b, q);
+  return d2 <= s.radius * s.radius;
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_SEGMENT_H_

@@ -1,0 +1,32 @@
+// Strict (all-dimensions) dominance — the measure-exact companion of Def. 4.
+//
+// The paper treats clip regions with closed-box dominance (Def. 4); on
+// continuous data the boundary cases have measure zero. To make the library
+// *exactly* correct even under coordinate ties, clip regions are interpreted
+// as open boxes: a clip point is invalidated only by an object with a
+// positive-volume intrusion, and a query is pruned only when its intersection
+// with the MBB lies strictly inside the clipped region. Both conditions
+// reduce to strict dominance in every dimension. See DESIGN.md §6.
+#ifndef CLIPBB_GEOM_STRICT_H_
+#define CLIPBB_GEOM_STRICT_H_
+
+#include "geom/vec.h"
+
+namespace clipbb::geom {
+
+/// p strictly closer to corner R^b than q in *every* dimension.
+template <int D>
+bool StrictlyDominates(const Vec<D>& p, const Vec<D>& q, Mask b) {
+  for (int i = 0; i < D; ++i) {
+    if (MaskBit<D>(b, i)) {
+      if (p[i] <= q[i]) return false;
+    } else {
+      if (p[i] >= q[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_STRICT_H_

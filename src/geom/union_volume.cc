@@ -1,0 +1,83 @@
+#include "geom/union_volume.h"
+
+#include <algorithm>
+
+namespace clipbb::geom {
+
+namespace {
+
+// Length of [events] y-coverage >= min_cover. Events are (y, +1/-1) deltas.
+double CoveredLength(std::vector<std::pair<double, int>>& events,
+                     int min_cover) {
+  std::sort(events.begin(), events.end());
+  double covered = 0.0;
+  int depth = 0;
+  double entered = 0.0;
+  for (const auto& [y, delta] : events) {
+    if (depth >= min_cover) covered += y - entered;
+    depth += delta;
+    entered = y;
+  }
+  return covered;
+}
+
+// Sorted unique slab boundaries along dimension `dim`.
+template <int D>
+std::vector<double> SlabBoundaries(std::span<const Rect<D>> rects, int dim) {
+  std::vector<double> xs;
+  xs.reserve(rects.size() * 2);
+  for (const Rect<D>& r : rects) {
+    if (r.IsEmpty()) continue;
+    xs.push_back(r.lo[dim]);
+    xs.push_back(r.hi[dim]);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+double CoverageArea(std::span<const Rect2> rects, int min_cover) {
+  std::vector<double> xs = SlabBoundaries<2>(rects, 0);
+  if (xs.size() < 2) return 0.0;
+  double total = 0.0;
+  std::vector<std::pair<double, int>> events;
+  for (size_t s = 0; s + 1 < xs.size(); ++s) {
+    const double x0 = xs[s];
+    const double x1 = xs[s + 1];
+    if (x1 <= x0) continue;
+    events.clear();
+    for (const Rect2& r : rects) {
+      if (r.IsEmpty() || r.lo[0] > x0 || r.hi[0] < x1) continue;
+      if (r.hi[1] <= r.lo[1]) continue;
+      events.emplace_back(r.lo[1], +1);
+      events.emplace_back(r.hi[1], -1);
+    }
+    if (events.empty()) continue;
+    total += (x1 - x0) * CoveredLength(events, min_cover);
+  }
+  return total;
+}
+
+double CoverageVolume(std::span<const Rect3> rects, int min_cover) {
+  std::vector<double> xs = SlabBoundaries<3>(rects, 0);
+  if (xs.size() < 2) return 0.0;
+  double total = 0.0;
+  std::vector<Rect2> active;
+  for (size_t s = 0; s + 1 < xs.size(); ++s) {
+    const double x0 = xs[s];
+    const double x1 = xs[s + 1];
+    if (x1 <= x0) continue;
+    active.clear();
+    for (const Rect3& r : rects) {
+      if (r.IsEmpty() || r.lo[0] > x0 || r.hi[0] < x1) continue;
+      active.push_back(Rect2{{r.lo[1], r.lo[2]}, {r.hi[1], r.hi[2]}});
+    }
+    if (active.empty()) continue;
+    total += (x1 - x0) * CoverageArea(active, min_cover);
+  }
+  return total;
+}
+
+}  // namespace clipbb::geom

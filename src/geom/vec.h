@@ -1,0 +1,67 @@
+// d-dimensional points and corner bitmasks (paper §III-A notation).
+//
+// A corner of a hyperrectangle is addressed by a d-bit mask `b`: bit i set
+// means the corner takes the rectangle's maximum in dimension i (the paper's
+// `R^b`). Masks are plain uint32_t; dimension D is a compile-time constant
+// (the library instantiates D = 2 and D = 3, matching the evaluation).
+#ifndef CLIPBB_GEOM_VEC_H_
+#define CLIPBB_GEOM_VEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace clipbb::geom {
+
+/// Corner/orientation bitmask `b` from the paper; bit i = 1 selects the
+/// maximum side of dimension i.
+using Mask = uint32_t;
+
+/// A point in D-dimensional space.
+template <int D>
+using Vec = std::array<double, D>;
+
+/// Number of corners of a D-dimensional hyperrectangle (2^D).
+template <int D>
+inline constexpr Mask kNumCorners = Mask{1} << D;
+
+/// All-ones mask for D dimensions (the paper's 2^d - 1 selector).
+template <int D>
+inline constexpr Mask kFullMask = kNumCorners<D> - 1;
+
+/// Flips a corner mask to the opposite corner (the paper's ~b restricted to
+/// d bits).
+template <int D>
+constexpr Mask OppositeMask(Mask b) {
+  return ~b & kFullMask<D>;
+}
+
+template <int D>
+constexpr bool MaskBit(Mask b, int dim) {
+  return (b >> dim) & 1u;
+}
+
+/// Componentwise equality.
+template <int D>
+constexpr bool VecEq(const Vec<D>& a, const Vec<D>& b) {
+  for (int i = 0; i < D; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Debug rendering, e.g. "(1.5, -2)".
+template <int D>
+std::string VecToString(const Vec<D>& v) {
+  std::string out = "(";
+  for (int i = 0; i < D; ++i) {
+    if (i) out += ", ";
+    out += std::to_string(v[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace clipbb::geom
+
+#endif  // CLIPBB_GEOM_VEC_H_

@@ -1,0 +1,223 @@
+// MX-CIF quadtree (Kedem; see Samet [7] in the paper's related work):
+// space-oriented partitioning baseline. Each rectangle is stored at the
+// smallest cell that fully contains it; cells split into 2^D equal
+// children when they hold too many fitting items.
+//
+// The paper's §II argues space-oriented partitions "do not minimally bound
+// the enclosed data objects and therefore contain dead space" — this
+// substrate lets the ablation bench quantify that against (clipped)
+// R-trees on identical workloads.
+#ifndef CLIPBB_QUADTREE_QUADTREE_H_
+#define CLIPBB_QUADTREE_QUADTREE_H_
+
+#include <vector>
+
+#include "rtree/node.h"
+#include "storage/io_stats.h"
+#include "storage/page_store.h"
+
+namespace clipbb::quadtree {
+
+using rtree::Entry;
+using rtree::ObjectId;
+using storage::PageId;
+
+template <int D>
+class Quadtree {
+ public:
+  using RectT = geom::Rect<D>;
+  static constexpr int kFanout = 1 << D;
+
+  struct Cell {
+    RectT box;
+    std::vector<Entry<D>> items;
+    bool split = false;
+    PageId children[kFanout] = {};  // valid when split
+  };
+
+  /// `domain` bounds all insertable rects; items outside are clamped to
+  /// the root. `capacity` is the split threshold, `max_depth` bounds
+  /// subdivision (items at max depth accumulate).
+  explicit Quadtree(const RectT& domain, int capacity = 16,
+                    int max_depth = 16)
+      : capacity_(capacity), max_depth_(max_depth) {
+    root_ = store_.Allocate();
+    store_.At(root_).box = domain;
+  }
+
+  void Insert(const RectT& rect, ObjectId id) {
+    InsertAt(root_, Entry<D>{rect, id}, 0);
+    ++num_objects_;
+  }
+
+  /// Removes the object (exact rect + id match); false if absent.
+  bool Delete(const RectT& rect, ObjectId id) {
+    if (DeleteAt(root_, rect, id)) {
+      --num_objects_;
+      return true;
+    }
+    return false;
+  }
+
+  size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out,
+                    storage::IoStats* io = nullptr) const {
+    return QueryAt(root_, q, out, io);
+  }
+
+  size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr) const {
+    return RangeQuery(q, nullptr, io);
+  }
+
+  size_t NumObjects() const { return num_objects_; }
+  size_t NumCells() const { return store_.Size(); }
+  PageId root() const { return root_; }
+  const Cell& CellAt(PageId id) const { return store_.At(id); }
+
+  /// Depth-first visit of every cell.
+  template <typename F>
+  void ForEachCell(F&& fn) const {
+    std::vector<PageId> stack{root_};
+    while (!stack.empty()) {
+      const PageId id = stack.back();
+      stack.pop_back();
+      const Cell& c = store_.At(id);
+      fn(id, c);
+      if (c.split) {
+        for (PageId child : c.children) stack.push_back(child);
+      }
+    }
+  }
+
+ private:
+  // Child cell index for a rect fully containable in one child, or -1.
+  static int ChildIndexFor(const Cell& cell, const RectT& r) {
+    const auto center = cell.box.Center();
+    int idx = 0;
+    for (int i = 0; i < D; ++i) {
+      if (r.lo[i] >= center[i]) {
+        idx |= 1 << i;
+      } else if (r.hi[i] > center[i]) {
+        return -1;  // straddles the split plane
+      }
+    }
+    return idx;
+  }
+
+  static RectT ChildBox(const RectT& box, int idx) {
+    const auto center = box.Center();
+    RectT c;
+    for (int i = 0; i < D; ++i) {
+      if ((idx >> i) & 1) {
+        c.lo[i] = center[i];
+        c.hi[i] = box.hi[i];
+      } else {
+        c.lo[i] = box.lo[i];
+        c.hi[i] = center[i];
+      }
+    }
+    return c;
+  }
+
+  void SplitCell(PageId id) {
+    // Allocate children first (allocation may invalidate references).
+    PageId kids[kFanout];
+    for (int k = 0; k < kFanout; ++k) kids[k] = store_.Allocate();
+    Cell& cell = store_.At(id);
+    for (int k = 0; k < kFanout; ++k) {
+      cell.children[k] = kids[k];
+      store_.At(kids[k]).box = ChildBox(cell.box, k);
+    }
+    cell.split = true;
+    // Re-distribute items that fit entirely within one child. A child may
+    // temporarily exceed capacity; it splits on its next insertion (lazy
+    // subdivision keeps splits O(items moved)).
+    std::vector<Entry<D>> keep;
+    std::vector<Entry<D>> moved = std::move(cell.items);
+    cell.items.clear();
+    for (const Entry<D>& e : moved) {
+      const int idx = ChildIndexFor(store_.At(id), e.rect);
+      if (idx < 0) {
+        keep.push_back(e);
+      } else {
+        store_.At(store_.At(id).children[idx]).items.push_back(e);
+      }
+    }
+    store_.At(id).items = std::move(keep);
+  }
+
+  void InsertAt(PageId id, const Entry<D>& e, int depth) {
+    while (true) {
+      Cell& cell = store_.At(id);
+      if (cell.split) {
+        const int idx = ChildIndexFor(cell, e.rect);
+        if (idx < 0) {
+          cell.items.push_back(e);
+          return;
+        }
+        id = cell.children[idx];
+        ++depth;
+        continue;
+      }
+      cell.items.push_back(e);
+      if (static_cast<int>(cell.items.size()) > capacity_ &&
+          depth < max_depth_) {
+        SplitCell(id);
+      }
+      return;
+    }
+  }
+
+  bool DeleteAt(PageId id, const RectT& rect, ObjectId oid) {
+    Cell& cell = store_.At(id);
+    for (size_t i = 0; i < cell.items.size(); ++i) {
+      if (cell.items[i].id == oid && cell.items[i].rect == rect) {
+        cell.items.erase(cell.items.begin() + i);
+        return true;
+      }
+    }
+    if (!cell.split) return false;
+    const int idx = ChildIndexFor(cell, rect);
+    if (idx >= 0) return DeleteAt(cell.children[idx], rect, oid);
+    return false;
+  }
+
+  size_t QueryAt(PageId id, const RectT& q, std::vector<ObjectId>* out,
+                 storage::IoStats* io) const {
+    const Cell& cell = store_.At(id);
+    if (io) {
+      if (cell.split) {
+        ++io->internal_accesses;
+      } else {
+        ++io->leaf_accesses;
+      }
+    }
+    size_t found = 0;
+    bool contributed = false;
+    for (const Entry<D>& e : cell.items) {
+      if (e.rect.Intersects(q)) {
+        ++found;
+        contributed = true;
+        if (out) out->push_back(e.id);
+      }
+    }
+    if (io && !cell.split && contributed) ++io->contributing_leaf_accesses;
+    if (cell.split) {
+      for (PageId child : cell.children) {
+        if (store_.At(child).box.Intersects(q)) {
+          found += QueryAt(child, q, out, io);
+        }
+      }
+    }
+    return found;
+  }
+
+  int capacity_;
+  int max_depth_;
+  storage::PageStore<Cell> store_;
+  PageId root_ = storage::kInvalidPage;
+  size_t num_objects_ = 0;
+};
+
+}  // namespace clipbb::quadtree
+
+#endif  // CLIPBB_QUADTREE_QUADTREE_H_

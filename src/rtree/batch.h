@@ -1,0 +1,55 @@
+// Parallel batch query execution. The read path of RTree is const and the
+// clip table is immutable during queries, so a batch of range queries can
+// fan out across threads with per-thread I/O accounting that is summed at
+// the end — the pattern an analytics workload (e.g. INLJ probing) uses.
+#ifndef CLIPBB_RTREE_BATCH_H_
+#define CLIPBB_RTREE_BATCH_H_
+
+#include <atomic>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+struct BatchResult {
+  std::vector<size_t> counts;  // per query, aligned with the input
+  storage::IoStats io;         // summed over all threads
+};
+
+/// Runs RangeCount for every query, fanned out over `threads` workers
+/// (0 = hardware concurrency). Deterministic counts; I/O totals are exact.
+template <int D>
+BatchResult BatchRangeCount(const RTree<D>& tree,
+                            std::span<const geom::Rect<D>> queries,
+                            unsigned threads = 0) {
+  BatchResult result;
+  result.counts.assign(queries.size(), 0);
+  if (queries.empty()) return result;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > queries.size()) {
+    threads = static_cast<unsigned>(queries.size());
+  }
+
+  std::vector<storage::IoStats> per_thread(threads);
+  std::atomic<size_t> next{0};
+  auto worker = [&](unsigned t) {
+    for (size_t i = next.fetch_add(1); i < queries.size();
+         i = next.fetch_add(1)) {
+      result.counts[i] = tree.RangeCount(queries[i], &per_thread[t]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+  for (const auto& io : per_thread) result.io += io;
+  return result;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_BATCH_H_

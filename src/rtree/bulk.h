@@ -1,0 +1,86 @@
+// Bulk-loading orders: Hilbert packing (HR-tree build) and STR
+// (Leutenegger et al., ICDE 1997; related-work extension used by ablation
+// benches). Both produce an ordered entry list consumed by
+// RTree::ReplaceWithPackedLevels.
+#ifndef CLIPBB_RTREE_BULK_H_
+#define CLIPBB_RTREE_BULK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/hilbert.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+/// Orders items by Hilbert value of their centers over `domain`.
+template <int D>
+std::vector<Entry<D>> HilbertOrder(std::vector<Entry<D>> items,
+                                   const geom::Rect<D>& domain) {
+  std::vector<std::pair<uint64_t, size_t>> keyed(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    keyed[i] = {geom::HilbertIndex<D>(items[i].rect.Center(), domain,
+                                      geom::DefaultHilbertBits<D>()),
+                i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Entry<D>> ordered;
+  ordered.reserve(items.size());
+  for (const auto& [h, i] : keyed) ordered.push_back(items[i]);
+  return ordered;
+}
+
+namespace bulk_internal {
+
+/// Recursive STR tiling: sort by dimension `dim`, slice into
+/// ceil((n / leaf_cap)^(1/(D-dim))) vertical runs, recurse per run.
+template <int D>
+void StrRecurse(std::vector<Entry<D>>& items, size_t lo, size_t hi, int dim,
+                int leaf_cap) {
+  if (dim >= D || hi - lo <= static_cast<size_t>(leaf_cap)) return;
+  std::sort(items.begin() + lo, items.begin() + hi,
+            [dim](const Entry<D>& a, const Entry<D>& b) {
+              return a.rect.Center()[dim] < b.rect.Center()[dim];
+            });
+  if (dim == D - 1) return;  // final dimension: keep the sorted run
+  const size_t n = hi - lo;
+  const double leaves = std::ceil(static_cast<double>(n) / leaf_cap);
+  const double slices_d = std::ceil(std::pow(leaves, 1.0 / (D - dim)));
+  const size_t slices = static_cast<size_t>(slices_d);
+  const size_t per_slice = (n + slices - 1) / slices;
+  for (size_t s = lo; s < hi; s += per_slice) {
+    StrRecurse<D>(items, s, std::min(hi, s + per_slice), dim + 1, leaf_cap);
+  }
+}
+
+}  // namespace bulk_internal
+
+/// Orders items by the Sort-Tile-Recursive tiling.
+template <int D>
+std::vector<Entry<D>> StrOrder(std::vector<Entry<D>> items, int leaf_cap) {
+  if (leaf_cap < 1) leaf_cap = 1;
+  bulk_internal::StrRecurse<D>(items, 0, items.size(), 0, leaf_cap);
+  return items;
+}
+
+/// Bulk loads `tree` with `items` using the given pre-ordering.
+enum class BulkOrder { kHilbert, kStr };
+
+template <int D>
+void BulkLoad(RTree<D>* tree, std::vector<Entry<D>> items, BulkOrder order) {
+  if (order == BulkOrder::kHilbert) {
+    geom::Rect<D> domain = geom::Rect<D>::Empty();
+    for (const Entry<D>& e : items) domain.ExpandToInclude(e.rect);
+    tree->ReplaceWithPackedLevels(HilbertOrder<D>(std::move(items), domain));
+  } else {
+    const int cap = static_cast<int>(tree->options().max_entries *
+                                     tree->options().bulk_fill);
+    tree->ReplaceWithPackedLevels(
+        StrOrder<D>(std::move(items), cap < 2 ? 2 : cap));
+  }
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_BULK_H_

@@ -1,0 +1,76 @@
+// Variant factory + whole-dataset builders: QR/R*/RR* build by one-by-one
+// insertion, HR by Hilbert bulk loading — matching the benchmark the paper
+// modifies (§V-A).
+#ifndef CLIPBB_RTREE_FACTORY_H_
+#define CLIPBB_RTREE_FACTORY_H_
+
+#include <memory>
+
+#include "rtree/guttman.h"
+#include "rtree/hilbert_rtree.h"
+#include "rtree/rrstar.h"
+#include "rtree/rstar.h"
+
+namespace clipbb::rtree {
+
+enum class Variant { kGuttman, kHilbert, kRStar, kRRStar };
+
+inline constexpr Variant kAllVariants[] = {Variant::kGuttman,
+                                           Variant::kHilbert, Variant::kRStar,
+                                           Variant::kRRStar};
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kGuttman:
+      return "QR-tree";
+    case Variant::kHilbert:
+      return "HR-tree";
+    case Variant::kRStar:
+      return "R*-tree";
+    case Variant::kRRStar:
+      return "RR*-tree";
+  }
+  return "?";
+}
+
+/// Creates an empty tree of the given variant. `domain` is required by the
+/// HR-tree's Hilbert grid and ignored by the others.
+template <int D>
+std::unique_ptr<RTree<D>> MakeRTree(Variant v, const geom::Rect<D>& domain,
+                                    RTreeOptions opts = {}) {
+  switch (v) {
+    case Variant::kGuttman:
+      return std::make_unique<GuttmanRTree<D>>(opts);
+    case Variant::kHilbert:
+      return std::make_unique<HilbertRTree<D>>(domain, opts);
+    case Variant::kRStar:
+      return std::make_unique<RStarTree<D>>(opts);
+    case Variant::kRRStar: {
+      if (opts.min_fraction == RTreeOptions{}.min_fraction) {
+        opts.min_fraction = 0.2;  // RR* default fanout minimum
+      }
+      return std::make_unique<RRStarTree<D>>(opts);
+    }
+  }
+  return nullptr;
+}
+
+/// Builds a tree over `items` the way the paper's benchmark does: HR-tree
+/// by Hilbert bulk load, the others by repeated insertion.
+template <int D>
+std::unique_ptr<RTree<D>> BuildTree(Variant v,
+                                    const std::vector<Entry<D>>& items,
+                                    const geom::Rect<D>& domain,
+                                    RTreeOptions opts = {}) {
+  std::unique_ptr<RTree<D>> tree = MakeRTree<D>(v, domain, opts);
+  if (v == Variant::kHilbert) {
+    static_cast<HilbertRTree<D>*>(tree.get())->BulkLoad(items);
+  } else {
+    for (const Entry<D>& e : items) tree->Insert(e.rect, e.id);
+  }
+  return tree;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_FACTORY_H_

@@ -1,0 +1,124 @@
+// The original R-tree with quadratic split (Guttman, SIGMOD 1984) — the
+// paper's QR-tree.
+#ifndef CLIPBB_RTREE_GUTTMAN_H_
+#define CLIPBB_RTREE_GUTTMAN_H_
+
+#include <limits>
+
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+template <int D>
+class GuttmanRTree : public RTree<D> {
+ public:
+  using Base = RTree<D>;
+  using typename Base::EntryT;
+  using typename Base::NodeT;
+  using typename Base::RectT;
+
+  explicit GuttmanRTree(const RTreeOptions& opts = {}) : Base(opts) {}
+
+  const char* Name() const override { return "QR-tree"; }
+
+ protected:
+  /// ChooseLeaf: least volume enlargement, ties by smallest volume.
+  int ChooseSubtreeEntry(const NodeT& node, const RectT& rect) override {
+    int best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_vol = best_enl;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double enl = node.entries[i].rect.Enlargement(rect);
+      const double vol = node.entries[i].rect.Volume();
+      if (enl < best_enl || (enl == best_enl && vol < best_vol)) {
+        best = static_cast<int>(i);
+        best_enl = enl;
+        best_vol = vol;
+      }
+    }
+    return best;
+  }
+
+  /// Quadratic split: seeds maximise wasted volume; remaining entries go to
+  /// the group with the strongest preference.
+  void SplitNode(NodeT& full, NodeT& fresh) override {
+    std::vector<EntryT> pool = std::move(full.entries);
+    full.entries.clear();
+    fresh.entries.clear();
+    const int m = this->min_entries();
+
+    // PickSeeds.
+    size_t seed_a = 0, seed_b = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        RectT merged = pool[i].rect;
+        merged.ExpandToInclude(pool[j].rect);
+        const double waste = merged.Volume() - pool[i].rect.Volume() -
+                             pool[j].rect.Volume();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    full.entries.push_back(pool[seed_a]);
+    fresh.entries.push_back(pool[seed_b]);
+    RectT box_a = pool[seed_a].rect;
+    RectT box_b = pool[seed_b].rect;
+    // Erase higher index first to keep the lower one valid.
+    pool.erase(pool.begin() + seed_b);
+    pool.erase(pool.begin() + seed_a);
+
+    // Distribute.
+    while (!pool.empty()) {
+      const int remaining = static_cast<int>(pool.size());
+      // If one group needs every remaining entry to reach m, give them all.
+      if (static_cast<int>(full.entries.size()) + remaining == m) {
+        for (const EntryT& e : pool) full.entries.push_back(e);
+        break;
+      }
+      if (static_cast<int>(fresh.entries.size()) + remaining == m) {
+        for (const EntryT& e : pool) fresh.entries.push_back(e);
+        break;
+      }
+      // PickNext: entry with the greatest preference difference.
+      size_t pick = 0;
+      double best_diff = -1.0;
+      double d_a_pick = 0.0, d_b_pick = 0.0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const double da = box_a.Enlargement(pool[i].rect);
+        const double db = box_b.Enlargement(pool[i].rect);
+        const double diff = da > db ? da - db : db - da;
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          d_a_pick = da;
+          d_b_pick = db;
+        }
+      }
+      const EntryT e = pool[pick];
+      pool.erase(pool.begin() + pick);
+      bool to_a;
+      if (d_a_pick != d_b_pick) {
+        to_a = d_a_pick < d_b_pick;
+      } else if (box_a.Volume() != box_b.Volume()) {
+        to_a = box_a.Volume() < box_b.Volume();
+      } else {
+        to_a = full.entries.size() <= fresh.entries.size();
+      }
+      if (to_a) {
+        full.entries.push_back(e);
+        box_a.ExpandToInclude(e.rect);
+      } else {
+        fresh.entries.push_back(e);
+        box_b.ExpandToInclude(e.rect);
+      }
+    }
+  }
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_GUTTMAN_H_

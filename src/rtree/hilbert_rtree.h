@@ -1,0 +1,100 @@
+// The Hilbert R-tree (Kamel & Faloutsos, VLDB 1994) — the paper's HR-tree.
+//
+// Construction is Hilbert-order bulk packing (the benchmark's usage).
+// Dynamic inserts are guided by per-node largest Hilbert values (LHV) with
+// 1-to-2 overflow splits by Hilbert order — a documented simplification of
+// the original 2-to-3 cooperative split (DESIGN.md §6).
+#ifndef CLIPBB_RTREE_HILBERT_RTREE_H_
+#define CLIPBB_RTREE_HILBERT_RTREE_H_
+
+#include <algorithm>
+
+#include "geom/hilbert.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+template <int D>
+class HilbertRTree : public RTree<D> {
+ public:
+  using Base = RTree<D>;
+  using typename Base::EntryT;
+  using typename Base::NodeT;
+  using typename Base::RectT;
+
+  /// `domain` fixes the Hilbert grid; objects outside are clamped.
+  HilbertRTree(const RectT& domain, const RTreeOptions& opts = {})
+      : Base(opts), domain_(domain) {}
+
+  const char* Name() const override { return "HR-tree"; }
+
+  const RectT& domain() const { return domain_; }
+
+  uint64_t HilbertOf(const RectT& rect) const {
+    return geom::HilbertIndex<D>(rect.Center(), domain_,
+                                 geom::DefaultHilbertBits<D>());
+  }
+
+  /// Bulk loads by Hilbert order of object centers (the HR-tree build).
+  void BulkLoad(std::vector<EntryT> items) {
+    std::vector<std::pair<uint64_t, size_t>> keyed(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      keyed[i] = {HilbertOf(items[i].rect), i};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<EntryT> ordered;
+    ordered.reserve(items.size());
+    for (const auto& [h, i] : keyed) ordered.push_back(items[i]);
+    this->ReplaceWithPackedLevels(ordered);
+  }
+
+ protected:
+  /// Descend into the first child whose LHV is >= the entry's Hilbert
+  /// value; fall back to the last child.
+  int ChooseSubtreeEntry(const NodeT& node, const RectT& rect) override {
+    const uint64_t h = HilbertOf(rect);
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (this->NodeAt(node.entries[i].id).lhv >= h) {
+        return static_cast<int>(i);
+      }
+    }
+    return static_cast<int>(node.entries.size()) - 1;
+  }
+
+  /// Split by Hilbert order (leaf entries by center value, directory
+  /// entries by child LHV): first half stays, second half moves.
+  void SplitNode(NodeT& full, NodeT& fresh) override {
+    const bool leaf = full.IsLeaf();
+    std::vector<EntryT> pool = std::move(full.entries);
+    full.entries.clear();
+    auto key = [this, leaf](const EntryT& e) {
+      return leaf ? HilbertOf(e.rect) : this->NodeAt(e.id).lhv;
+    };
+    std::stable_sort(pool.begin(), pool.end(),
+                     [&key](const EntryT& a, const EntryT& b) {
+                       return key(a) < key(b);
+                     });
+    const size_t half = pool.size() / 2;
+    full.entries.assign(pool.begin(), pool.begin() + half);
+    fresh.entries.assign(pool.begin() + half, pool.end());
+  }
+
+  /// Maintain LHV = max Hilbert value of the subtree.
+  void OnNodeUpdated(storage::PageId nid) override {
+    NodeT& n = this->MutableNode(nid);
+    uint64_t lhv = 0;
+    for (const EntryT& e : n.entries) {
+      const uint64_t h =
+          n.IsLeaf() ? HilbertOf(e.rect) : this->NodeAt(e.id).lhv;
+      if (h > lhv) lhv = h;
+    }
+    n.lhv = lhv;
+  }
+
+ private:
+  RectT domain_;
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_HILBERT_RTREE_H_

@@ -1,0 +1,76 @@
+// k-nearest-neighbour search over (clipped) R-trees — best-first traversal
+// (Hjaltason & Samet) whose node ordering uses the CBB-aware MINDIST when
+// the tree is clipped. Results are identical to the classic algorithm; the
+// tighter bound only prunes nodes earlier.
+#ifndef CLIPBB_RTREE_KNN_H_
+#define CLIPBB_RTREE_KNN_H_
+
+#include <queue>
+#include <vector>
+
+#include "core/mindist.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+template <int D>
+struct KnnNeighbor {
+  ObjectId id = kInvalidPage;
+  double dist2 = 0.0;
+};
+
+/// k nearest objects to `q` by (squared) rect distance, ascending. Counts
+/// page accesses into `io` if non-null.
+template <int D>
+std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
+                                     const geom::Vec<D>& q, int k,
+                                     storage::IoStats* io = nullptr) {
+  std::vector<KnnNeighbor<D>> result;
+  if (k <= 0) return result;
+
+  struct QueueItem {
+    double dist2;
+    bool is_object;
+    int64_t id;  // page id or object id
+    bool operator>(const QueueItem& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  frontier.push({0.0, false, tree.root()});
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (item.is_object) {
+      result.push_back(KnnNeighbor<D>{item.id, item.dist2});
+      if (static_cast<int>(result.size()) == k) break;
+      continue;
+    }
+    const Node<D>& n = tree.NodeAt(item.id);
+    if (io) {
+      if (n.IsLeaf()) {
+        ++io->leaf_accesses;
+      } else {
+        ++io->internal_accesses;
+      }
+    }
+    for (const Entry<D>& e : n.entries) {
+      if (n.IsLeaf()) {
+        frontier.push({core::MinDist2<D>(q, e.rect), true, e.id});
+      } else {
+        const double bound =
+            tree.clipping_enabled()
+                ? core::CbbMinDist2<D>(q, e.rect,
+                                       tree.clip_index().Get(e.id))
+                : core::MinDist2<D>(q, e.rect);
+        frontier.push({bound, false, e.id});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_KNN_H_

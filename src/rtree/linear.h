@@ -1,0 +1,110 @@
+// Guttman's linear-split R-tree — an extension variant beyond the paper's
+// four, used by the ablation benches to confirm that clipping is
+// orthogonal to the split policy (§II: "all the above ... operate on MBBs
+// and thus our proposed clipping techniques can be applied orthogonally").
+#ifndef CLIPBB_RTREE_LINEAR_H_
+#define CLIPBB_RTREE_LINEAR_H_
+
+#include <limits>
+
+#include "rtree/guttman.h"
+
+namespace clipbb::rtree {
+
+template <int D>
+class LinearRTree : public GuttmanRTree<D> {
+ public:
+  using Base = GuttmanRTree<D>;
+  using typename Base::EntryT;
+  using typename Base::NodeT;
+  using typename Base::RectT;
+
+  explicit LinearRTree(const RTreeOptions& opts = {}) : Base(opts) {}
+
+  const char* Name() const override { return "LR-tree"; }
+
+ protected:
+  /// Linear PickSeeds: on the dimension with the greatest normalised
+  /// separation, the entry with the highest low side and the one with the
+  /// lowest high side seed the two groups; the rest are assigned by least
+  /// enlargement in arrival order.
+  void SplitNode(NodeT& full, NodeT& fresh) override {
+    std::vector<EntryT> pool = std::move(full.entries);
+    full.entries.clear();
+    fresh.entries.clear();
+    const int m = this->min_entries();
+
+    int best_dim = 0;
+    size_t seed_a = 0, seed_b = 1;
+    double best_sep = -std::numeric_limits<double>::infinity();
+    for (int dim = 0; dim < D; ++dim) {
+      double min_lo = std::numeric_limits<double>::infinity();
+      double max_hi = -min_lo;
+      double max_lo = -min_lo;
+      double min_hi = min_lo;
+      size_t max_lo_i = 0, min_hi_i = 0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const RectT& r = pool[i].rect;
+        min_lo = std::min(min_lo, r.lo[dim]);
+        max_hi = std::max(max_hi, r.hi[dim]);
+        if (r.lo[dim] > max_lo) {
+          max_lo = r.lo[dim];
+          max_lo_i = i;
+        }
+        if (r.hi[dim] < min_hi) {
+          min_hi = r.hi[dim];
+          min_hi_i = i;
+        }
+      }
+      const double width = max_hi - min_lo;
+      if (width <= 0.0 || max_lo_i == min_hi_i) continue;
+      const double sep = (max_lo - min_hi) / width;
+      if (sep > best_sep) {
+        best_sep = sep;
+        best_dim = dim;
+        seed_a = max_lo_i;
+        seed_b = min_hi_i;
+      }
+    }
+    (void)best_dim;
+    if (seed_a == seed_b) seed_b = seed_a == 0 ? 1 : 0;
+    if (seed_a > seed_b) std::swap(seed_a, seed_b);
+
+    full.entries.push_back(pool[seed_a]);
+    fresh.entries.push_back(pool[seed_b]);
+    RectT box_a = pool[seed_a].rect;
+    RectT box_b = pool[seed_b].rect;
+    pool.erase(pool.begin() + seed_b);
+    pool.erase(pool.begin() + seed_a);
+
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const int remaining = static_cast<int>(pool.size() - i);
+      if (static_cast<int>(full.entries.size()) + remaining == m) {
+        for (size_t j = i; j < pool.size(); ++j) {
+          full.entries.push_back(pool[j]);
+        }
+        break;
+      }
+      if (static_cast<int>(fresh.entries.size()) + remaining == m) {
+        for (size_t j = i; j < pool.size(); ++j) {
+          fresh.entries.push_back(pool[j]);
+        }
+        break;
+      }
+      const double da = box_a.Enlargement(pool[i].rect);
+      const double db = box_b.Enlargement(pool[i].rect);
+      if (da < db || (da == db && full.entries.size() <=
+                                      fresh.entries.size())) {
+        full.entries.push_back(pool[i]);
+        box_a.ExpandToInclude(pool[i].rect);
+      } else {
+        fresh.entries.push_back(pool[i]);
+        box_b.ExpandToInclude(pool[i].rect);
+      }
+    }
+  }
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_LINEAR_H_

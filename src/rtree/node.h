@@ -1,0 +1,69 @@
+// R-tree node/entry layout (paper Fig. 4a): every node is an array of
+// <MBB, child-or-object id> entries plus its level; leaves are level 0.
+#ifndef CLIPBB_RTREE_NODE_H_
+#define CLIPBB_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "storage/page_store.h"
+
+namespace clipbb::rtree {
+
+using storage::kInvalidPage;
+using storage::PageId;
+
+/// Object identifiers live in a different namespace than page ids; both are
+/// 64-bit so leaf and directory entries share one layout.
+using ObjectId = int64_t;
+
+template <int D>
+struct Entry {
+  geom::Rect<D> rect;
+  int64_t id = kInvalidPage;  // child page id (internal) or object id (leaf)
+};
+
+template <int D>
+struct Node {
+  int32_t level = 0;  // 0 = leaf
+  /// Largest Hilbert value of the subtree; maintained only by the HR-tree.
+  uint64_t lhv = 0;
+  std::vector<Entry<D>> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  geom::Rect<D> ComputeMbb() const {
+    geom::Rect<D> r = geom::Rect<D>::Empty();
+    for (const Entry<D>& e : entries) r.ExpandToInclude(e.rect);
+    return r;
+  }
+
+  /// Child rects as a plain vector (clip construction input).
+  std::vector<geom::Rect<D>> ChildRects() const {
+    std::vector<geom::Rect<D>> rs;
+    rs.reserve(entries.size());
+    for (const Entry<D>& e : entries) rs.push_back(e.rect);
+    return rs;
+  }
+
+  /// Index of the entry pointing at `child`, or -1.
+  int FindChild(int64_t child) const {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].id == child) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// On-disk byte size of a node with `n` entries: header (level + count) plus
+/// per entry 2*D coordinates and an 8-byte id. Used by the Fig. 13 storage
+/// accounting; nodes occupy a full page on disk.
+template <int D>
+constexpr size_t NodeBytes(size_t n) {
+  return 8 + n * (2 * D * sizeof(double) + 8);
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_NODE_H_

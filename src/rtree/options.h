@@ -1,0 +1,50 @@
+// R-tree configuration, with capacities derived from the page size exactly
+// like the disk-based benchmark the paper builds on.
+#ifndef CLIPBB_RTREE_OPTIONS_H_
+#define CLIPBB_RTREE_OPTIONS_H_
+
+#include "geom/rect.h"
+
+namespace clipbb::rtree {
+
+struct RTreeOptions {
+  /// Disk page size in bytes; capacities derive from it when max_entries==0.
+  int page_size = 4096;
+  /// Maximum entries per node (M); 0 = derive from page_size.
+  int max_entries = 0;
+  /// Minimum entries per node (m); 0 = derive as min_fraction * M.
+  int min_entries = 0;
+  /// m/M ratio when min_entries == 0 (0.4 for QR/R*/HR, 0.2 for RR*; [12],[13]).
+  double min_fraction = 0.4;
+  /// Leaf fill factor for bulk loading (1.0 = full pages, HR-tree style).
+  double bulk_fill = 1.0;
+};
+
+/// Entries that fit a page: header 8 B, entry = 2*D doubles + 8-byte id.
+template <int D>
+constexpr int DeriveMaxEntries(int page_size) {
+  const int entry_bytes = 2 * D * static_cast<int>(sizeof(double)) + 8;
+  int m = (page_size - 8) / entry_bytes;
+  return m < 4 ? 4 : m;
+}
+
+/// Fills in derived fields; clamps m to [2, M/2].
+template <int D>
+RTreeOptions ResolveOptions(RTreeOptions opts) {
+  if (opts.max_entries <= 0) {
+    opts.max_entries = DeriveMaxEntries<D>(opts.page_size);
+  }
+  if (opts.min_entries <= 0) {
+    opts.min_entries =
+        static_cast<int>(opts.min_fraction * opts.max_entries);
+  }
+  if (opts.min_entries < 2) opts.min_entries = 2;
+  if (opts.min_entries > opts.max_entries / 2) {
+    opts.min_entries = opts.max_entries / 2;
+  }
+  return opts;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_OPTIONS_H_

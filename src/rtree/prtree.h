@@ -1,0 +1,84 @@
+// Pseudo-PR-tree bulk loading (Arge, de Berg, Haverkort, Yi — SIGMOD 2004;
+// the paper's related work [25]): groups all objects with extreme
+// coordinates in the same dimension into the same "priority" leaves, then
+// splits the remainder by the median of a round-robin dimension. The
+// practical variant packs the emitted leaves bottom-up like the other bulk
+// loaders (the worst-case-optimal kd-structure on top is not needed for
+// the experiments here).
+#ifndef CLIPBB_RTREE_PRTREE_H_
+#define CLIPBB_RTREE_PRTREE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+namespace prtree_internal {
+
+/// Extracts up to `take` entries extreme in the given coordinate
+/// (side < D: minimal lo[side]; side >= D: maximal hi[side - D]).
+template <int D>
+std::vector<Entry<D>> TakeExtreme(std::vector<Entry<D>>& pool, int side,
+                                  size_t take) {
+  if (take > pool.size()) take = pool.size();
+  auto key = [side](const Entry<D>& e) {
+    return side < D ? e.rect.lo[side] : -e.rect.hi[side - D];
+  };
+  std::nth_element(pool.begin(), pool.begin() + take - 1, pool.end(),
+                   [&](const Entry<D>& a, const Entry<D>& b) {
+                     return key(a) < key(b);
+                   });
+  std::vector<Entry<D>> out(pool.begin(), pool.begin() + take);
+  pool.erase(pool.begin(), pool.begin() + take);
+  return out;
+}
+
+template <int D>
+void BuildLeaves(std::vector<Entry<D>> items, int cap, int dim,
+                 std::vector<std::vector<Entry<D>>>* leaves) {
+  while (true) {
+    if (items.size() <= static_cast<size_t>(cap)) {
+      if (!items.empty()) leaves->push_back(std::move(items));
+      return;
+    }
+    // Priority leaves: one per extreme side.
+    for (int side = 0; side < 2 * D; ++side) {
+      if (items.size() <= static_cast<size_t>(cap)) break;
+      leaves->push_back(
+          TakeExtreme<D>(items, side, static_cast<size_t>(cap)));
+    }
+    if (items.size() <= static_cast<size_t>(cap)) continue;
+    // Split the remainder at the median of the round-robin dimension.
+    const size_t mid = items.size() / 2;
+    std::nth_element(items.begin(), items.begin() + mid, items.end(),
+                     [dim](const Entry<D>& a, const Entry<D>& b) {
+                       return a.rect.Center()[dim] < b.rect.Center()[dim];
+                     });
+    std::vector<Entry<D>> right(items.begin() + mid, items.end());
+    items.resize(mid);
+    const int next_dim = (dim + 1) % D;
+    BuildLeaves<D>(std::move(right), cap, next_dim, leaves);
+    dim = next_dim;  // tail-recurse on the left half
+  }
+}
+
+}  // namespace prtree_internal
+
+/// Bulk loads `tree` with PR-tree leaf grouping. Groups smaller than the
+/// tree's minimum fanout are merged into their predecessor so the packed
+/// tree satisfies the usual [m, M] invariants.
+template <int D>
+void PrTreeBulkLoad(RTree<D>* tree, std::vector<Entry<D>> items) {
+  int cap = static_cast<int>(tree->options().max_entries *
+                             tree->options().bulk_fill);
+  if (cap < 2) cap = 2;
+  std::vector<std::vector<Entry<D>>> leaves;
+  prtree_internal::BuildLeaves<D>(std::move(items), cap, 0, &leaves);
+  tree->ReplaceWithPackedLeafGroups(leaves);
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_PRTREE_H_

@@ -1,0 +1,91 @@
+// Additional query types over (clipped) R-trees beyond the range query:
+// point stabbing, containment (objects fully inside a window), and
+// enclosure (objects containing a point). All reuse the CBB pruning test —
+// every candidate must intersect the query region, so Algorithm 2 applies
+// unchanged; only the leaf predicate differs.
+#ifndef CLIPBB_RTREE_QUERIES_H_
+#define CLIPBB_RTREE_QUERIES_H_
+
+#include <vector>
+
+#include "core/intersect.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+namespace queries_internal {
+
+/// Shared traversal: visits leaf entries whose rect intersects `window`,
+/// applying the leaf `predicate` to decide membership.
+template <int D, typename Pred>
+size_t Traverse(const RTree<D>& tree, const geom::Rect<D>& window,
+                Pred&& predicate, std::vector<ObjectId>* out,
+                storage::IoStats* io) {
+  size_t found = 0;
+  std::vector<storage::PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    const Node<D>& n = tree.NodeAt(id);
+    if (n.IsLeaf()) {
+      if (io) ++io->leaf_accesses;
+      bool contributed = false;
+      for (const Entry<D>& e : n.entries) {
+        if (e.rect.Intersects(window) && predicate(e.rect)) {
+          ++found;
+          contributed = true;
+          if (out) out->push_back(e.id);
+        }
+      }
+      if (io && contributed) ++io->contributing_leaf_accesses;
+    } else {
+      if (io) ++io->internal_accesses;
+      for (const Entry<D>& e : n.entries) {
+        if (!e.rect.Intersects(window)) continue;
+        if (tree.clipping_enabled() &&
+            core::ClipsPruneQuery<D>(tree.clip_index().Get(e.id), window)) {
+          continue;
+        }
+        stack.push_back(e.id);
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace queries_internal
+
+/// Objects whose rect contains the point (stabbing query).
+template <int D>
+size_t PointQuery(const RTree<D>& tree, const geom::Vec<D>& p,
+                  std::vector<ObjectId>* out = nullptr,
+                  storage::IoStats* io = nullptr) {
+  const geom::Rect<D> window = geom::Rect<D>::FromPoint(p);
+  return queries_internal::Traverse<D>(
+      tree, window, [&](const geom::Rect<D>& r) { return r.ContainsPoint(p); },
+      out, io);
+}
+
+/// Objects entirely inside the window (the "WITHIN" predicate).
+template <int D>
+size_t ContainedInQuery(const RTree<D>& tree, const geom::Rect<D>& window,
+                        std::vector<ObjectId>* out = nullptr,
+                        storage::IoStats* io = nullptr) {
+  return queries_internal::Traverse<D>(
+      tree, window,
+      [&](const geom::Rect<D>& r) { return window.Contains(r); }, out, io);
+}
+
+/// Objects whose rect contains the whole window (enclosure query).
+template <int D>
+size_t EnclosureQuery(const RTree<D>& tree, const geom::Rect<D>& window,
+                      std::vector<ObjectId>* out = nullptr,
+                      storage::IoStats* io = nullptr) {
+  return queries_internal::Traverse<D>(
+      tree, window,
+      [&](const geom::Rect<D>& r) { return r.Contains(window); }, out, io);
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_QUERIES_H_

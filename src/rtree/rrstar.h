@@ -1,0 +1,163 @@
+// The revised R*-tree (Beckmann & Seeger, SIGMOD 2009) — the paper's
+// state-of-the-art RR*-tree baseline.
+//
+// Implemented per the 2009 paper's structure: ChooseSubtree prefers covering
+// nodes by volume, otherwise scans candidates in order of perimeter
+// enlargement and minimises total overlap-enlargement with an early exit;
+// splits pick the minimum-margin axis and prefer overlap-free distributions
+// by perimeter, otherwise minimise overlap weighted by the balance function
+// wf (s = 0.5). The asymmetry term of wf is fixed at 0 (balanced); see
+// DESIGN.md §6 for this documented simplification. No forced reinsertion.
+#ifndef CLIPBB_RTREE_RRSTAR_H_
+#define CLIPBB_RTREE_RRSTAR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "rtree/rstar.h"
+
+namespace clipbb::rtree {
+
+template <int D>
+class RRStarTree : public RTree<D> {
+ public:
+  using Base = RTree<D>;
+  using typename Base::EntryT;
+  using typename Base::NodeT;
+  using typename Base::RectT;
+
+  /// RR* recommends a smaller minimum fanout than the R* family.
+  static RTreeOptions DefaultOptions() {
+    RTreeOptions o;
+    o.min_fraction = 0.2;
+    return o;
+  }
+
+  explicit RRStarTree(const RTreeOptions& opts = DefaultOptions())
+      : Base(opts) {}
+
+  const char* Name() const override { return "RR*-tree"; }
+
+ protected:
+  int ChooseSubtreeEntry(const NodeT& node, const RectT& rect) override {
+    const size_t n = node.entries.size();
+    // 1. If some children cover the rect, take the smallest of them.
+    int best_cover = -1;
+    double best_cover_vol = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (node.entries[i].rect.Contains(rect)) {
+        const double vol = node.entries[i].rect.Volume();
+        if (vol < best_cover_vol) {
+          best_cover_vol = vol;
+          best_cover = static_cast<int>(i);
+        }
+      }
+    }
+    if (best_cover >= 0) return best_cover;
+
+    // 2. Candidates ordered by perimeter (margin) enlargement.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return node.entries[a].rect.MarginEnlargement(rect) <
+             node.entries[b].rect.MarginEnlargement(rect);
+    });
+    const size_t limit = std::min<size_t>(n, 32);
+    int best = order[0];
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (size_t oi = 0; oi < limit; ++oi) {
+      const int i = order[oi];
+      RectT enlarged = node.entries[i].rect;
+      enlarged.ExpandToInclude(rect);
+      double delta = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (static_cast<int>(j) == i) continue;
+        delta += enlarged.OverlapVolume(node.entries[j].rect) -
+                 node.entries[i].rect.OverlapVolume(node.entries[j].rect);
+      }
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = i;
+        if (delta == 0.0) break;  // success: no overlap enlargement at all
+      }
+    }
+    return best;
+  }
+
+  void SplitNode(NodeT& full, NodeT& fresh) override {
+    using rstar_internal::AxisSort;
+    using rstar_internal::BoundOf;
+    using rstar_internal::MarginSum;
+    using rstar_internal::SortAxis;
+    std::vector<EntryT> pool = std::move(full.entries);
+    full.entries.clear();
+    const int m = this->min_entries();
+    const int total = static_cast<int>(pool.size());
+
+    // Split axis: minimum margin sum (as in the R*-tree).
+    int best_axis = 0;
+    double best_margin = std::numeric_limits<double>::infinity();
+    for (int axis = 0; axis < D; ++axis) {
+      AxisSort<D> s = SortAxis<D>(pool, axis);
+      const double margin =
+          MarginSum<D>(s.by_lo, m) + MarginSum<D>(s.by_hi, m);
+      if (margin < best_margin) {
+        best_margin = margin;
+        best_axis = axis;
+      }
+    }
+
+    // Distribution: prefer overlap-free candidates by weighted perimeter,
+    // otherwise minimise overlap volume divided by wf.
+    AxisSort<D> s = SortAxis<D>(pool, best_axis);
+    const std::vector<EntryT>* best_sort = &s.by_lo;
+    int best_k = m;
+    bool any_free = false;
+    double best_goal = std::numeric_limits<double>::infinity();
+    for (const auto* sorted : {&s.by_lo, &s.by_hi}) {
+      for (int k = m; k <= total - m; ++k) {
+        const RectT a = BoundOf<D>(*sorted, 0, k);
+        const RectT b = BoundOf<D>(*sorted, k, sorted->size());
+        const double w = Wf(k, total);
+        const double overlap = a.OverlapVolume(b);
+        const bool free = overlap == 0.0;
+        double goal;
+        if (free) {
+          // Dividing by w rewards balanced distributions among the
+          // overlap-free candidates.
+          goal = (a.Margin() + b.Margin()) / w;
+        } else {
+          goal = overlap / w;
+        }
+        // Overlap-free candidates strictly beat overlapping ones.
+        if ((free && !any_free) ||
+            (free == any_free && goal < best_goal)) {
+          any_free = any_free || free;
+          best_goal = goal;
+          best_sort = sorted;
+          best_k = k;
+        }
+      }
+    }
+    full.entries.assign(best_sort->begin(), best_sort->begin() + best_k);
+    fresh.entries.assign(best_sort->begin() + best_k, best_sort->end());
+  }
+
+ private:
+  /// RR* weighting function with s = 0.5 and symmetric mean; returns a
+  /// value in (0, 1], maximal for balanced distributions.
+  double Wf(int k, int total) const {
+    constexpr double kS = 0.5;
+    const double xi = 2.0 * k / (total)-1.0;
+    const double y1 = std::exp(-1.0 / (kS * kS));
+    const double ys = 1.0 / (1.0 - y1);
+    const double w = ys * (std::exp(-(xi * xi) / (kS * kS)) - y1);
+    return w > 1e-9 ? w : 1e-9;
+  }
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_RRSTAR_H_

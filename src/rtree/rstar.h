@@ -1,0 +1,216 @@
+// The R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990):
+// overlap-aware ChooseSubtree, margin-driven topological split, and forced
+// reinsertion of the 30 % outermost entries on first overflow per level.
+#ifndef CLIPBB_RTREE_RSTAR_H_
+#define CLIPBB_RTREE_RSTAR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+namespace rstar_internal {
+
+/// Sorted candidate distributions shared by the R* and RR* splits: entries
+/// sorted by lower then upper coordinate of one axis, split after k entries
+/// for k in [m, M+1-m].
+template <int D>
+struct AxisSort {
+  std::vector<Entry<D>> by_lo;
+  std::vector<Entry<D>> by_hi;
+};
+
+template <int D>
+AxisSort<D> SortAxis(const std::vector<Entry<D>>& pool, int axis) {
+  AxisSort<D> s{pool, pool};
+  std::sort(s.by_lo.begin(), s.by_lo.end(),
+            [axis](const Entry<D>& a, const Entry<D>& b) {
+              if (a.rect.lo[axis] != b.rect.lo[axis]) {
+                return a.rect.lo[axis] < b.rect.lo[axis];
+              }
+              return a.rect.hi[axis] < b.rect.hi[axis];
+            });
+  std::sort(s.by_hi.begin(), s.by_hi.end(),
+            [axis](const Entry<D>& a, const Entry<D>& b) {
+              if (a.rect.hi[axis] != b.rect.hi[axis]) {
+                return a.rect.hi[axis] < b.rect.hi[axis];
+              }
+              return a.rect.lo[axis] < b.rect.lo[axis];
+            });
+  return s;
+}
+
+template <int D>
+geom::Rect<D> BoundOf(const std::vector<Entry<D>>& v, size_t from,
+                      size_t to) {
+  geom::Rect<D> r = geom::Rect<D>::Empty();
+  for (size_t i = from; i < to; ++i) r.ExpandToInclude(v[i].rect);
+  return r;
+}
+
+/// Sum of group margins over every candidate distribution of one sort.
+template <int D>
+double MarginSum(const std::vector<Entry<D>>& v, int m) {
+  const int total = static_cast<int>(v.size());
+  double sum = 0.0;
+  for (int k = m; k <= total - m; ++k) {
+    sum += BoundOf<D>(v, 0, k).Margin() + BoundOf<D>(v, k, v.size()).Margin();
+  }
+  return sum;
+}
+
+}  // namespace rstar_internal
+
+template <int D>
+class RStarTree : public RTree<D> {
+ public:
+  using Base = RTree<D>;
+  using typename Base::EntryT;
+  using typename Base::NodeT;
+  using typename Base::RectT;
+
+  explicit RStarTree(const RTreeOptions& opts = {}) : Base(opts) {}
+
+  const char* Name() const override { return "R*-tree"; }
+
+ protected:
+  /// ChooseSubtree: at the level above the leaves minimise overlap
+  /// enlargement (over the 32 least-enlarging candidates); higher up
+  /// minimise volume enlargement.
+  int ChooseSubtreeEntry(const NodeT& node, const RectT& rect) override {
+    const size_t n = node.entries.size();
+    if (node.level > 1) {
+      int best = 0;
+      double best_enl = std::numeric_limits<double>::infinity();
+      double best_vol = best_enl;
+      for (size_t i = 0; i < n; ++i) {
+        const double enl = node.entries[i].rect.Enlargement(rect);
+        const double vol = node.entries[i].rect.Volume();
+        if (enl < best_enl || (enl == best_enl && vol < best_vol)) {
+          best = static_cast<int>(i);
+          best_enl = enl;
+          best_vol = vol;
+        }
+      }
+      return best;
+    }
+    // Children are leaves: overlap enlargement on the candidate subset.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return node.entries[a].rect.Enlargement(rect) <
+             node.entries[b].rect.Enlargement(rect);
+    });
+    const size_t limit = std::min<size_t>(n, 32);
+    int best = order[0];
+    double best_overlap_enl = std::numeric_limits<double>::infinity();
+    double best_enl = best_overlap_enl;
+    double best_vol = best_overlap_enl;
+    for (size_t oi = 0; oi < limit; ++oi) {
+      const int i = order[oi];
+      RectT enlarged = node.entries[i].rect;
+      enlarged.ExpandToInclude(rect);
+      double overlap_enl = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (static_cast<int>(j) == i) continue;
+        overlap_enl += enlarged.OverlapVolume(node.entries[j].rect) -
+                       node.entries[i].rect.OverlapVolume(
+                           node.entries[j].rect);
+      }
+      const double enl = node.entries[i].rect.Enlargement(rect);
+      const double vol = node.entries[i].rect.Volume();
+      if (overlap_enl < best_overlap_enl ||
+          (overlap_enl == best_overlap_enl &&
+           (enl < best_enl || (enl == best_enl && vol < best_vol)))) {
+        best = i;
+        best_overlap_enl = overlap_enl;
+        best_enl = enl;
+        best_vol = vol;
+      }
+    }
+    return best;
+  }
+
+  /// R* split: axis with minimum margin sum; on it the distribution with
+  /// minimum overlap volume, ties by minimum total volume.
+  void SplitNode(NodeT& full, NodeT& fresh) override {
+    using rstar_internal::AxisSort;
+    using rstar_internal::BoundOf;
+    using rstar_internal::MarginSum;
+    using rstar_internal::SortAxis;
+    std::vector<EntryT> pool = std::move(full.entries);
+    full.entries.clear();
+    const int m = this->min_entries();
+    const int total = static_cast<int>(pool.size());
+
+    int best_axis = 0;
+    double best_margin = std::numeric_limits<double>::infinity();
+    for (int axis = 0; axis < D; ++axis) {
+      AxisSort<D> s = SortAxis<D>(pool, axis);
+      const double margin =
+          MarginSum<D>(s.by_lo, m) + MarginSum<D>(s.by_hi, m);
+      if (margin < best_margin) {
+        best_margin = margin;
+        best_axis = axis;
+      }
+    }
+
+    AxisSort<D> s = SortAxis<D>(pool, best_axis);
+    const std::vector<EntryT>* best_sort = &s.by_lo;
+    int best_k = m;
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_vol = best_overlap;
+    for (const auto* sorted : {&s.by_lo, &s.by_hi}) {
+      for (int k = m; k <= total - m; ++k) {
+        const RectT a = BoundOf<D>(*sorted, 0, k);
+        const RectT b = BoundOf<D>(*sorted, k, sorted->size());
+        const double overlap = a.OverlapVolume(b);
+        const double vol = a.Volume() + b.Volume();
+        if (overlap < best_overlap ||
+            (overlap == best_overlap && vol < best_vol)) {
+          best_overlap = overlap;
+          best_vol = vol;
+          best_sort = sorted;
+          best_k = k;
+        }
+      }
+    }
+    full.entries.assign(best_sort->begin(), best_sort->begin() + best_k);
+    fresh.entries.assign(best_sort->begin() + best_k, best_sort->end());
+  }
+
+  /// Forced reinsertion: on first overflow per level, remove the 30 % of
+  /// entries whose centers are farthest from the node center and re-insert
+  /// them (farthest first — "close reinsert" order reversed as in [12]).
+  bool MaybeReinsert(storage::PageId nid, int level,
+                     std::vector<EntryT>* removed) override {
+    if (this->LevelReinserted(level)) return false;
+    this->reinserted_levels_.push_back(level);
+    NodeT& n = this->MutableNode(nid);
+    const geom::Vec<D> center = n.ComputeMbb().Center();
+    auto dist2 = [&center](const EntryT& e) {
+      const geom::Vec<D> c = e.rect.Center();
+      double d = 0.0;
+      for (int i = 0; i < D; ++i) d += (c[i] - center[i]) * (c[i] - center[i]);
+      return d;
+    };
+    std::sort(n.entries.begin(), n.entries.end(),
+              [&](const EntryT& a, const EntryT& b) {
+                return dist2(a) < dist2(b);
+              });
+    int p = static_cast<int>(0.3 * (this->max_entries() + 1));
+    if (p < 1) p = 1;
+    const int keep = static_cast<int>(n.entries.size()) - p;
+    removed->assign(n.entries.begin() + keep, n.entries.end());
+    n.entries.resize(keep);
+    return true;
+  }
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_RSTAR_H_

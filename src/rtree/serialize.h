@@ -1,0 +1,159 @@
+// Binary persistence for (clipped) R-trees: dump the node pages and the
+// auxiliary clip table to a stream and restore them later — the "index
+// disk dump" of the paper's scalability setup (§V, Fig. 15).
+//
+// Node ids are remapped to dense BFS order on dump, so a restored tree is
+// structurally identical up to page numbering; queries, statistics, and
+// clip points are preserved exactly.
+#ifndef CLIPBB_RTREE_SERIALIZE_H_
+#define CLIPBB_RTREE_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+namespace serialize_internal {
+
+inline constexpr uint64_t kMagic = 0xC11BB0CC'5EED0001ULL;
+
+template <typename T>
+void Put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace serialize_internal
+
+/// Writes the tree (structure + clip table) to `out`. Returns bytes
+/// written on success, 0 on stream failure.
+template <int D>
+size_t SerializeTree(const RTree<D>& tree, std::ostream& out) {
+  using serialize_internal::Put;
+  const auto start = out.tellp();
+  Put(out, serialize_internal::kMagic);
+  Put(out, static_cast<uint32_t>(D));
+  Put(out, static_cast<int32_t>(tree.options().page_size));
+  Put(out, static_cast<int32_t>(tree.options().max_entries));
+  Put(out, static_cast<int32_t>(tree.options().min_entries));
+  Put(out, static_cast<uint64_t>(tree.NumObjects()));
+
+  // BFS id remap: root becomes page 0.
+  std::unordered_map<storage::PageId, storage::PageId> remap;
+  std::vector<storage::PageId> order;
+  tree.ForEachNode([&](storage::PageId id, const Node<D>&) {
+    remap[id] = static_cast<storage::PageId>(order.size());
+    order.push_back(id);
+  });
+  Put(out, static_cast<uint64_t>(order.size()));
+  Put(out, remap[tree.root()]);
+  for (storage::PageId id : order) {
+    const Node<D>& n = tree.NodeAt(id);
+    Put(out, n.level);
+    Put(out, n.lhv);
+    Put(out, static_cast<uint32_t>(n.entries.size()));
+    for (const Entry<D>& e : n.entries) {
+      Put(out, e.rect);
+      const int64_t child =
+          n.IsLeaf() ? e.id : remap.at(e.id);
+      Put(out, child);
+    }
+  }
+
+  // Clip table.
+  Put(out, static_cast<uint8_t>(tree.clipping_enabled() ? 1 : 0));
+  if (tree.clipping_enabled()) {
+    Put(out, tree.clip_config().mode);
+    Put(out, static_cast<int32_t>(tree.clip_config().max_clips));
+    Put(out, tree.clip_config().tau);
+    Put(out, static_cast<uint64_t>(tree.clip_index().NumClippedNodes()));
+    for (const auto& [id, clips] : tree.clip_index()) {
+      Put(out, remap.at(id));
+      Put(out, static_cast<uint32_t>(clips.size()));
+      for (const auto& c : clips) Put(out, c);
+    }
+  }
+  if (!out) return 0;
+  return static_cast<size_t>(out.tellp() - start);
+}
+
+/// Restores a tree previously written by SerializeTree into `tree`
+/// (which supplies the variant's query/update behaviour; its previous
+/// contents are discarded). Returns false on format mismatch.
+template <int D>
+bool DeserializeTree(std::istream& in, RTree<D>* tree) {
+  using serialize_internal::Get;
+  uint64_t magic = 0;
+  uint32_t dim = 0;
+  if (!Get(in, &magic) || magic != serialize_internal::kMagic) return false;
+  if (!Get(in, &dim) || dim != static_cast<uint32_t>(D)) return false;
+  int32_t page_size = 0, max_entries = 0, min_entries = 0;
+  uint64_t num_objects = 0, num_pages = 0;
+  storage::PageId root = 0;
+  if (!Get(in, &page_size) || !Get(in, &max_entries) ||
+      !Get(in, &min_entries) || !Get(in, &num_objects) ||
+      !Get(in, &num_pages) || !Get(in, &root)) {
+    return false;
+  }
+
+  std::vector<Node<D>> nodes(num_pages);
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    Node<D>& n = nodes[p];
+    uint32_t count = 0;
+    if (!Get(in, &n.level) || !Get(in, &n.lhv) || !Get(in, &count)) {
+      return false;
+    }
+    n.entries.resize(count);
+    for (uint32_t e = 0; e < count; ++e) {
+      if (!Get(in, &n.entries[e].rect) || !Get(in, &n.entries[e].id)) {
+        return false;
+      }
+    }
+  }
+
+  uint8_t clipped = 0;
+  if (!Get(in, &clipped)) return false;
+  core::ClipConfig<D> cfg;
+  std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>
+      clip_table;
+  if (clipped) {
+    int32_t k = 0;
+    if (!Get(in, &cfg.mode) || !Get(in, &k) || !Get(in, &cfg.tau)) {
+      return false;
+    }
+    cfg.max_clips = k;
+    uint64_t clipped_nodes = 0;
+    if (!Get(in, &clipped_nodes)) return false;
+    for (uint64_t c = 0; c < clipped_nodes; ++c) {
+      storage::PageId id = 0;
+      uint32_t n = 0;
+      if (!Get(in, &id) || !Get(in, &n)) return false;
+      std::vector<core::ClipPoint<D>> clips(n);
+      for (uint32_t j = 0; j < n; ++j) {
+        if (!Get(in, &clips[j])) return false;
+      }
+      clip_table[id] = std::move(clips);
+    }
+  }
+
+  RTreeOptions opts = tree->options();
+  opts.page_size = page_size;
+  opts.max_entries = max_entries;
+  opts.min_entries = min_entries;
+  tree->RestoreFromPages(opts, std::move(nodes), root, num_objects,
+                         clipped != 0, cfg, std::move(clip_table));
+  return true;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_SERIALIZE_H_

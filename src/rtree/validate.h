@@ -1,0 +1,121 @@
+// Structural and clipping invariant checker, used heavily by tests and
+// available to applications as a debugging aid.
+#ifndef CLIPBB_RTREE_VALIDATE_H_
+#define CLIPBB_RTREE_VALIDATE_H_
+
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/strict.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void Fail(std::string msg) {
+    ok = false;
+    if (errors.size() < 32) errors.push_back(std::move(msg));
+  }
+
+  std::string Summary() const {
+    std::string s;
+    for (const auto& e : errors) {
+      s += e;
+      s += '\n';
+    }
+    return s;
+  }
+};
+
+/// Checks every R-tree invariant:
+///  - parent entry rects equal child MBBs exactly;
+///  - entry counts within [m, M] (root exempt: >= 1 entry, or empty leaf);
+///  - child levels are parent level - 1; leaves at level 0;
+///  - object ids are unique and NumObjects() matches;
+///  - every stored clip point is valid: no child rect intrudes with
+///    positive volume into the clipped region, the clip point lies inside
+///    the node MBB, and clip lists are sorted by descending score.
+template <int D>
+ValidationResult ValidateTree(const RTree<D>& tree) {
+  ValidationResult res;
+  std::unordered_set<int64_t> object_ids;
+  size_t object_count = 0;
+
+  tree.ForEachNode([&](storage::PageId id, const Node<D>& n) {
+    const bool is_root = (id == tree.root());
+    const int count = static_cast<int>(n.entries.size());
+    if (count > tree.options().max_entries) {
+      res.Fail("node " + std::to_string(id) + " overflows: " +
+               std::to_string(count));
+    }
+    if (!is_root && count < tree.options().min_entries) {
+      res.Fail("node " + std::to_string(id) + " underflows: " +
+               std::to_string(count));
+    }
+    if (is_root && !n.IsLeaf() && count < 2) {
+      res.Fail("internal root with < 2 entries");
+    }
+    if (n.IsLeaf()) {
+      for (const Entry<D>& e : n.entries) {
+        ++object_count;
+        if (!object_ids.insert(e.id).second) {
+          res.Fail("duplicate object id " + std::to_string(e.id));
+        }
+      }
+    } else {
+      for (const Entry<D>& e : n.entries) {
+        if (!tree.NodeLive(e.id)) {
+          res.Fail("dangling child " + std::to_string(e.id));
+          continue;
+        }
+        const Node<D>& child = tree.NodeAt(e.id);
+        if (child.level != n.level - 1) {
+          res.Fail("level mismatch under node " + std::to_string(id));
+        }
+        if (!(child.ComputeMbb() == e.rect)) {
+          res.Fail("stale parent rect for child " + std::to_string(e.id));
+        }
+      }
+    }
+    // Clip invariants.
+    if (tree.clipping_enabled()) {
+      const auto clips = tree.clip_index().Get(id);
+      const geom::Rect<D> mbb = n.ComputeMbb();
+      double prev_score = std::numeric_limits<double>::infinity();
+      for (const core::ClipPoint<D>& c : clips) {
+        if (!mbb.ContainsPoint(c.coord)) {
+          res.Fail("clip point outside MBB in node " + std::to_string(id));
+        }
+        if (c.score > prev_score) {
+          res.Fail("clip points not score-ordered in node " +
+                   std::to_string(id));
+        }
+        prev_score = c.score;
+        for (const Entry<D>& e : n.entries) {
+          const geom::Vec<D> corner = e.rect.Corner(c.mask);
+          if (geom::StrictlyDominates<D>(corner, c.coord, c.mask)) {
+            res.Fail("invalid clip point in node " + std::to_string(id) +
+                     " (child intrudes clipped region)");
+            break;
+          }
+        }
+      }
+    }
+  });
+
+  if (object_count != tree.NumObjects()) {
+    res.Fail("object count mismatch: counted " +
+             std::to_string(object_count) + ", tracked " +
+             std::to_string(tree.NumObjects()));
+  }
+  return res;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_VALIDATE_H_

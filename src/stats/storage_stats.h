@@ -1,0 +1,51 @@
+// Storage accounting for the Fig. 13 experiment: bytes devoted to directory
+// pages, leaf pages, and the auxiliary clip table.
+#ifndef CLIPBB_STATS_STORAGE_STATS_H_
+#define CLIPBB_STATS_STORAGE_STATS_H_
+
+#include "rtree/rtree.h"
+
+namespace clipbb::stats {
+
+struct StorageBreakdown {
+  size_t dir_bytes = 0;   // internal-node pages (page_size each on disk)
+  size_t leaf_bytes = 0;  // leaf pages
+  size_t clip_bytes = 0;  // auxiliary clip table (Fig. 4b layout)
+  size_t num_leaves = 0;
+  size_t num_dir_nodes = 0;
+  size_t total_clip_points = 0;
+
+  size_t TotalBytes() const { return dir_bytes + leaf_bytes + clip_bytes; }
+  double ClipFraction() const {
+    const size_t t = TotalBytes();
+    return t ? static_cast<double>(clip_bytes) / t : 0.0;
+  }
+  double AvgClipPointsPerNode() const {
+    const size_t nodes = num_leaves + num_dir_nodes;
+    return nodes ? static_cast<double>(total_clip_points) / nodes : 0.0;
+  }
+};
+
+template <int D>
+StorageBreakdown MeasureStorage(const rtree::RTree<D>& tree) {
+  StorageBreakdown b;
+  const size_t page = static_cast<size_t>(tree.options().page_size);
+  tree.ForEachNode([&](storage::PageId, const rtree::Node<D>& n) {
+    if (n.IsLeaf()) {
+      ++b.num_leaves;
+      b.leaf_bytes += page;
+    } else {
+      ++b.num_dir_nodes;
+      b.dir_bytes += page;
+    }
+  });
+  if (tree.clipping_enabled()) {
+    b.clip_bytes = tree.clip_index().ByteSize();
+    b.total_clip_points = tree.clip_index().TotalClipPoints();
+  }
+  return b;
+}
+
+}  // namespace clipbb::stats
+
+#endif  // CLIPBB_STATS_STORAGE_STATS_H_

@@ -1,0 +1,86 @@
+// Per-level structural report of an R-tree: node counts, fanout,
+// utilization, and clip density — the "EXPLAIN" view used by the CLI and
+// handy when debugging packing quality.
+#ifndef CLIPBB_STATS_TREE_REPORT_H_
+#define CLIPBB_STATS_TREE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "util/table.h"
+
+namespace clipbb::stats {
+
+struct LevelStats {
+  int level = 0;
+  size_t nodes = 0;
+  size_t entries = 0;
+  size_t clip_points = 0;
+  double total_volume = 0.0;
+
+  double AvgFanout() const {
+    return nodes ? static_cast<double>(entries) / nodes : 0.0;
+  }
+  double AvgClips() const {
+    return nodes ? static_cast<double>(clip_points) / nodes : 0.0;
+  }
+};
+
+struct TreeReport {
+  std::vector<LevelStats> levels;  // index = level, 0 = leaves
+  size_t objects = 0;
+  int max_entries = 0;
+
+  /// Leaf utilization relative to node capacity.
+  double LeafUtilization() const {
+    if (levels.empty() || levels[0].nodes == 0 || max_entries == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(levels[0].entries) /
+           (static_cast<double>(levels[0].nodes) * max_entries);
+  }
+};
+
+template <int D>
+TreeReport BuildTreeReport(const rtree::RTree<D>& tree) {
+  TreeReport report;
+  report.objects = tree.NumObjects();
+  report.max_entries = tree.options().max_entries;
+  report.levels.resize(tree.Height());
+  tree.ForEachNode([&](storage::PageId id, const rtree::Node<D>& n) {
+    if (n.level < 0 || n.level >= static_cast<int>(report.levels.size())) {
+      return;
+    }
+    LevelStats& l = report.levels[n.level];
+    l.level = n.level;
+    ++l.nodes;
+    l.entries += n.entries.size();
+    l.total_volume += n.ComputeMbb().Volume();
+    if (tree.clipping_enabled()) {
+      l.clip_points += tree.clip_index().Get(id).size();
+    }
+  });
+  return report;
+}
+
+/// Renders the report as an aligned table (level 0 = leaves at the top).
+template <int D>
+std::string FormatTreeReport(const rtree::RTree<D>& tree) {
+  const TreeReport report = BuildTreeReport<D>(tree);
+  Table t({"level", "nodes", "avg fanout", "utilization", "avg #clips",
+           "total volume"});
+  for (const LevelStats& l : report.levels) {
+    t.AddRow({l.level == 0 ? "0 (leaves)" : Table::Int(l.level),
+              Table::Int(static_cast<long long>(l.nodes)),
+              Table::Fixed(l.AvgFanout(), 1),
+              Table::Percent(l.AvgFanout() / report.max_entries),
+              Table::Fixed(l.AvgClips(), 1),
+              Table::Fixed(l.total_volume, 4)});
+  }
+  return t.ToString();
+}
+
+}  // namespace clipbb::stats
+
+#endif  // CLIPBB_STATS_TREE_REPORT_H_

@@ -1,0 +1,32 @@
+#include "storage/buffer_pool.h"
+
+namespace clipbb::storage {
+
+BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {}
+
+bool BufferPool::Access(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (capacity_ == 0) return false;
+  if (map_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+  ResetCounters();
+}
+
+}  // namespace clipbb::storage

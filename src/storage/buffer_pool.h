@@ -1,0 +1,47 @@
+// LRU buffer pool used by the Fig. 15 scalability experiment to model a
+// cold, disk-resident index: every page access is classified hit or miss,
+// and the bench charges a synthetic latency per miss.
+#ifndef CLIPBB_STORAGE_BUFFER_POOL_H_
+#define CLIPBB_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page_store.h"
+
+namespace clipbb::storage {
+
+/// Classic LRU page cache over page ids (contents live in the PageStore;
+/// the pool only tracks residency).
+class BufferPool {
+ public:
+  /// capacity = number of resident pages; 0 means "everything misses".
+  explicit BufferPool(size_t capacity);
+
+  /// Touches a page; returns true on hit, false on miss (after which the
+  /// page is resident, possibly evicting the LRU page).
+  bool Access(PageId id);
+
+  bool Resident(PageId id) const { return map_.contains(id); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+  void ResetCounters() { hits_ = misses_ = 0; }
+  void Clear();
+
+ private:
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<PageId> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,32 @@
+// I/O accounting. The paper's headline metric is leaf-node accesses
+// (internal nodes and the clip table are assumed memory-resident, §V-C);
+// we additionally count internal accesses and result-contributing leaf
+// accesses (for the Fig. 1c optimality ratio).
+#ifndef CLIPBB_STORAGE_IO_STATS_H_
+#define CLIPBB_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace clipbb::storage {
+
+struct IoStats {
+  uint64_t internal_accesses = 0;
+  uint64_t leaf_accesses = 0;
+  /// Leaf accesses that contributed at least one result (Fig. 1c numerator).
+  uint64_t contributing_leaf_accesses = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& o) {
+    internal_accesses += o.internal_accesses;
+    leaf_accesses += o.leaf_accesses;
+    contributing_leaf_accesses += o.contributing_leaf_accesses;
+    return *this;
+  }
+
+  uint64_t TotalAccesses() const { return internal_accesses + leaf_accesses; }
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_IO_STATS_H_

@@ -1,0 +1,32 @@
+// Environment-variable knobs shared by the benchmark harness.
+#ifndef CLIPBB_UTIL_ENV_H_
+#define CLIPBB_UTIL_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace clipbb {
+
+/// Reads a double-valued environment variable, returning `fallback` when the
+/// variable is unset or unparsable.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+/// Global dataset scale multiplier for benches. CLIPBB_SCALE=4 quadruples
+/// every generated dataset; default 1.0 keeps bench runtimes laptop-scale.
+inline double BenchScale() { return EnvDouble("CLIPBB_SCALE", 1.0); }
+
+/// Scales a nominal dataset cardinality by BenchScale(), keeping >= 1.
+inline size_t ScaledCount(size_t nominal) {
+  double scaled = static_cast<double>(nominal) * BenchScale();
+  return scaled < 1.0 ? 1 : static_cast<size_t>(scaled);
+}
+
+}  // namespace clipbb
+
+#endif  // CLIPBB_UTIL_ENV_H_

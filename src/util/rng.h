@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All randomness in the library flows through Rng so that every dataset,
+// query workload, and Monte-Carlo estimate is reproducible from a seed.
+// The generator is xoshiro256**, seeded via splitmix64 (public-domain
+// algorithms by Blackman & Vigna).
+#ifndef CLIPBB_UTIL_RNG_H_
+#define CLIPBB_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace clipbb {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate).
+  double Normal() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * Normal());
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace clipbb
+
+#endif  // CLIPBB_UTIL_RNG_H_

@@ -1,0 +1,39 @@
+// Minimal fixed-width ASCII table printer for the benchmark harness.
+//
+// Every bench binary reports its figure/table as plain rows so that output
+// can be diffed against EXPERIMENTS.md and grepped by scripts.
+#ifndef CLIPBB_UTIL_TABLE_H_
+#define CLIPBB_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace clipbb {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Helpers for formatting numeric cells.
+  static std::string Fixed(double v, int precision = 1);
+  static std::string Percent(double fraction, int precision = 1);
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clipbb
+
+#endif  // CLIPBB_UTIL_TABLE_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the build-time and scalability benchmarks.
+#ifndef CLIPBB_UTIL_TIMER_H_
+#define CLIPBB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace clipbb {
+
+/// Monotonic stopwatch. Starts on construction; ElapsedSeconds() may be
+/// called repeatedly; Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace clipbb
+
+#endif  // CLIPBB_UTIL_TIMER_H_

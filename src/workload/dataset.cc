@@ -1,0 +1,256 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace clipbb::workload {
+
+namespace {
+
+using geom::Rect2;
+using geom::Rect3;
+using geom::Vec2;
+using geom::Vec3;
+using rtree::Entry;
+
+// Default cardinalities: the paper's datasets hold 1-12 M objects; the
+// bench defaults are scaled down ~10x-100x (DESIGN.md §5) and multiplied by
+// CLIPBB_SCALE at the call sites that want it.
+constexpr size_t kDefaultN = 100'000;
+
+template <int D>
+geom::Rect<D> UnitDomain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = 0.0;
+    r.hi[i] = 1.0;
+  }
+  return r;
+}
+
+// A box with the given center and per-dimension half-extents, clamped to
+// the unit domain.
+template <int D>
+geom::Rect<D> BoxAt(const geom::Vec<D>& center, const geom::Vec<D>& half) {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = std::max(0.0, center[i] - half[i]);
+    r.hi[i] = std::min(1.0, center[i] + half[i]);
+  }
+  return r;
+}
+
+// par0d generator: uniform centers; extents drawn lognormally with a large
+// sigma so sizes and aspect ratios vary over orders of magnitude ("very
+// large variance in size and shape", §V-B).
+template <int D>
+Dataset<D> MakePar(size_t n, uint64_t seed, const char* name) {
+  Dataset<D> d;
+  d.name = name;
+  d.domain = UnitDomain<D>();
+  d.items.reserve(n);
+  Rng rng(seed);
+  // Median half-extent chosen so expected total coverage stays moderate.
+  const double median = 0.25 * std::pow(1.0 / static_cast<double>(n), 1.0 / D);
+  const double mu = std::log(median);
+  for (size_t i = 0; i < n; ++i) {
+    geom::Vec<D> center, half;
+    for (int k = 0; k < D; ++k) center[k] = rng.Uniform();
+    for (int k = 0; k < D; ++k) {
+      half[k] = std::min(0.4, rng.LogNormal(mu, 1.6));
+    }
+    d.items.push_back(Entry<D>{BoxAt<D>(center, half),
+                               static_cast<rtree::ObjectId>(i)});
+  }
+  return d;
+}
+
+}  // namespace
+
+Dataset2 MakePar02(size_t n, uint64_t seed) {
+  return MakePar<2>(n, seed, "par02");
+}
+
+Dataset3 MakePar03(size_t n, uint64_t seed) {
+  return MakePar<3>(n, seed, "par03");
+}
+
+Dataset2 MakeRea02(size_t n, uint64_t seed) {
+  Dataset2 d;
+  d.name = "rea02";
+  d.domain = UnitDomain<2>();
+  d.items.reserve(n);
+  Rng rng(seed);
+  rtree::ObjectId next_id = 0;
+  const double street_halfwidth = 4e-6;  // streets are nearly 1-dimensional
+
+  // Cities: jittered Manhattan grids of horizontal/vertical street
+  // segments (real street grids are irregular: offsets vary per row/column
+  // and some blocks are missing).
+  while (d.items.size() < n * 7 / 10) {
+    const Vec2 center{rng.Uniform(), rng.Uniform()};
+    const double radius = rng.Uniform(0.01, 0.06);
+    const int blocks = 4 + static_cast<int>(rng.Below(14));
+    const double spacing = 2.0 * radius / blocks;
+    for (int row = 0; row <= blocks && d.items.size() < n; ++row) {
+      const double y =
+          center[1] - radius + row * spacing + rng.Uniform(-0.2, 0.2) * spacing;
+      for (int col = 0; col < blocks && d.items.size() < n; ++col) {
+        if (rng.Uniform() < 0.25) continue;  // missing block
+        const double x0 = center[0] - radius + col * spacing;
+        Rect2 seg{{x0, y - street_halfwidth},
+                  {x0 + spacing, y + street_halfwidth}};
+        seg = seg.Intersection(d.domain);
+        if (seg.IsEmpty()) continue;
+        d.items.push_back(Entry<2>{seg, next_id++});
+      }
+    }
+    for (int col = 0; col <= blocks && d.items.size() < n; ++col) {
+      const double x =
+          center[0] - radius + col * spacing + rng.Uniform(-0.2, 0.2) * spacing;
+      for (int row = 0; row < blocks && d.items.size() < n; ++row) {
+        if (rng.Uniform() < 0.25) continue;  // missing block
+        const double y0 = center[1] - radius + row * spacing;
+        Rect2 seg{{x - street_halfwidth, y0},
+                  {x + street_halfwidth, y0 + spacing}};
+        seg = seg.Intersection(d.domain);
+        if (seg.IsEmpty()) continue;
+        d.items.push_back(Entry<2>{seg, next_id++});
+      }
+    }
+  }
+  // Diagonal arterials and rural roads: tilted segments stored as MBBs.
+  while (d.items.size() < n) {
+    Vec2 p{rng.Uniform(), rng.Uniform()};
+    const double angle = rng.Uniform(0.0, 6.283185307179586);
+    const double len = rng.Uniform(0.002, 0.02);
+    const Vec2 q{p[0] + len * std::cos(angle), p[1] + len * std::sin(angle)};
+    Rect2 seg = Rect2::Bounding(p, q).Intersection(d.domain);
+    if (seg.IsEmpty()) continue;
+    d.items.push_back(Entry<2>{seg, next_id++});
+  }
+  return d;
+}
+
+Dataset3 MakeRea03(size_t n, uint64_t seed) {
+  Dataset3 d;
+  d.name = "rea03";
+  d.domain = UnitDomain<3>();
+  d.items.reserve(n);
+  Rng rng(seed);
+  const int num_clusters = 64;
+  std::vector<Vec3> centers(num_clusters);
+  std::vector<double> sigma(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) {
+    centers[c] = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    sigma[c] = rng.Uniform(0.005, 0.08);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.Below(num_clusters));
+    Vec3 p;
+    for (int k = 0; k < 3; ++k) {
+      p[k] = std::clamp(centers[c][k] + sigma[c] * rng.Normal(), 0.0, 1.0);
+    }
+    d.items.push_back(
+        Entry<3>{Rect3::FromPoint(p), static_cast<rtree::ObjectId>(i)});
+  }
+  return d;
+}
+
+namespace {
+
+// Chops random-walk fibres into skinny boxes: each step advances by
+// `step` along a slowly turning direction; the segment from p to p+dp,
+// inflated by `radius`, is one object. Models axon/dendrite meshes.
+Dataset3 MakeFibres(size_t n, uint64_t seed, const char* name, double step,
+                    double radius_lo, double radius_hi, double tortuosity,
+                    int segments_per_fibre) {
+  Dataset3 d;
+  d.name = name;
+  d.domain = UnitDomain<3>();
+  d.items.reserve(n);
+  Rng rng(seed);
+  rtree::ObjectId next_id = 0;
+  while (d.items.size() < n) {
+    Vec3 p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    // Random initial direction.
+    Vec3 dir{rng.Normal(), rng.Normal(), rng.Normal()};
+    double norm = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] +
+                            dir[2] * dir[2]);
+    if (norm < 1e-9) continue;
+    for (int k = 0; k < 3; ++k) dir[k] /= norm;
+    const double radius = rng.Uniform(radius_lo, radius_hi);
+    for (int s = 0; s < segments_per_fibre && d.items.size() < n; ++s) {
+      Vec3 q;
+      for (int k = 0; k < 3; ++k) {
+        q[k] = std::clamp(p[k] + step * dir[k], 0.0, 1.0);
+      }
+      Rect3 seg = Rect3::Bounding(p, q);
+      for (int k = 0; k < 3; ++k) {
+        seg.lo[k] = std::max(0.0, seg.lo[k] - radius);
+        seg.hi[k] = std::min(1.0, seg.hi[k] + radius);
+      }
+      d.items.push_back(Entry<3>{seg, next_id++});
+      p = q;
+      // Perturb direction (tortuosity) and renormalise.
+      for (int k = 0; k < 3; ++k) dir[k] += tortuosity * rng.Normal();
+      norm = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]);
+      if (norm < 1e-9) break;
+      for (int k = 0; k < 3; ++k) dir[k] /= norm;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Dataset3 MakeAxo03(size_t n, uint64_t seed) {
+  return MakeFibres(n, seed, "axo03", /*step=*/0.008, /*radius_lo=*/2e-5,
+                    /*radius_hi=*/1e-4, /*tortuosity=*/0.35,
+                    /*segments_per_fibre=*/80);
+}
+
+Dataset3 MakeDen03(size_t n, uint64_t seed) {
+  return MakeFibres(n, seed, "den03", /*step=*/0.007, /*radius_lo=*/4e-5,
+                    /*radius_hi=*/2e-4, /*tortuosity=*/0.4,
+                    /*segments_per_fibre=*/50);
+}
+
+Dataset3 MakeNeu03(size_t n, uint64_t seed) {
+  Dataset3 axons = MakeFibres(n / 2, seed, "neu03", 0.008, 2e-5, 1e-4, 0.35,
+                              80);
+  Dataset3 dendrites = MakeFibres(n - n / 2, seed + 1, "neu03", 0.007, 4e-5,
+                                  2e-4, 0.4, 50);
+  Dataset3 d;
+  d.name = "neu03";
+  d.domain = axons.domain;
+  d.items = std::move(axons.items);
+  const rtree::ObjectId base = static_cast<rtree::ObjectId>(d.items.size());
+  for (auto& e : dendrites.items) {
+    e.id += base;
+    d.items.push_back(e);
+  }
+  return d;
+}
+
+Dataset2 MakeDataset2(const std::string& name, size_t n) {
+  if (n == 0) n = ScaledCount(kDefaultN);
+  if (name == "par02") return MakePar02(n);
+  if (name == "rea02") return MakeRea02(n);
+  return MakePar02(n);
+}
+
+Dataset3 MakeDataset3(const std::string& name, size_t n) {
+  if (n == 0) n = ScaledCount(kDefaultN);
+  if (name == "par03") return MakePar03(n);
+  if (name == "rea03") return MakeRea03(n);
+  if (name == "axo03") return MakeAxo03(n);
+  if (name == "den03") return MakeDen03(n);
+  if (name == "neu03") return MakeNeu03(n);
+  return MakePar03(n);
+}
+
+}  // namespace clipbb::workload

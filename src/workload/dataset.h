@@ -1,0 +1,61 @@
+// Deterministic synthetic stand-ins for the paper's seven datasets
+// (DESIGN.md §5 documents each substitution):
+//   par02/par03 — boxes with very large size/shape variance [33]
+//   rea02       — street segments (Manhattan grids + diagonal arterials)
+//   rea03       — clustered 3d points
+//   axo03/den03/neu03 — skinny boxes chopped from tortuous 3d fibres
+#ifndef CLIPBB_WORKLOAD_DATASET_H_
+#define CLIPBB_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "rtree/node.h"
+
+namespace clipbb::workload {
+
+template <int D>
+struct Dataset {
+  std::string name;
+  geom::Rect<D> domain;
+  std::vector<rtree::Entry<D>> items;
+
+  size_t size() const { return items.size(); }
+};
+
+using Dataset2 = Dataset<2>;
+using Dataset3 = Dataset<3>;
+
+/// par02: n 2d boxes, uniform centers, heavy-tailed per-dimension extents.
+Dataset2 MakePar02(size_t n, uint64_t seed = 2);
+
+/// par03: the 3d counterpart of par02.
+Dataset3 MakePar03(size_t n, uint64_t seed = 3);
+
+/// rea02: ~n street segments as thin axis-aligned blocks within Manhattan
+/// grid "cities" plus diagonal arterial segments.
+Dataset2 MakeRea02(size_t n, uint64_t seed = 22);
+
+/// rea03: n clustered 3d points (zero-volume rects).
+Dataset3 MakeRea03(size_t n, uint64_t seed = 33);
+
+/// Fibre-derived neuroscience stand-ins: ~n skinny boxes along 3d random
+/// walks. axo03 = many long thin axon segments, den03 = fewer/thicker
+/// dendrites, neu03 = mixture.
+Dataset3 MakeAxo03(size_t n, uint64_t seed = 103);
+Dataset3 MakeDen03(size_t n, uint64_t seed = 104);
+Dataset3 MakeNeu03(size_t n, uint64_t seed = 105);
+
+/// The paper's seven dataset names in evaluation order.
+inline const char* const kDatasetNames2[] = {"par02", "rea02"};
+inline const char* const kDatasetNames3[] = {"par03", "rea03", "axo03",
+                                             "den03", "neu03"};
+
+/// Builds a dataset by name with a nominal cardinality comparable (after
+/// down-scaling, DESIGN.md §5) to the paper's; `n` = 0 uses the default.
+Dataset2 MakeDataset2(const std::string& name, size_t n = 0);
+Dataset3 MakeDataset3(const std::string& name, size_t n = 0);
+
+}  // namespace clipbb::workload
+
+#endif  // CLIPBB_WORKLOAD_DATASET_H_

@@ -1,0 +1,79 @@
+// Binary dataset files: a simple versioned container for <rect, id> items
+// so datasets can be generated once and shared between tools and runs.
+#ifndef CLIPBB_WORKLOAD_IO_H_
+#define CLIPBB_WORKLOAD_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "workload/dataset.h"
+
+namespace clipbb::workload {
+
+namespace io_internal {
+inline constexpr uint64_t kMagic = 0xC11BB0CCDA7A0001ULL;
+}
+
+/// Writes a dataset; returns false on stream failure.
+template <int D>
+bool SaveDataset(const Dataset<D>& d, std::ostream& out) {
+  auto put = [&out](const auto& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(io_internal::kMagic);
+  put(static_cast<uint32_t>(D));
+  const uint32_t name_len = static_cast<uint32_t>(d.name.size());
+  put(name_len);
+  out.write(d.name.data(), name_len);
+  put(d.domain);
+  put(static_cast<uint64_t>(d.items.size()));
+  for (const auto& e : d.items) {
+    put(e.rect);
+    put(e.id);
+  }
+  return static_cast<bool>(out);
+}
+
+/// Reads a dataset written by SaveDataset; false on mismatch/corruption.
+template <int D>
+bool LoadDataset(std::istream& in, Dataset<D>* d) {
+  auto get = [&in](auto* v) {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0;
+  uint32_t dim = 0, name_len = 0;
+  if (!get(&magic) || magic != io_internal::kMagic) return false;
+  if (!get(&dim) || dim != static_cast<uint32_t>(D)) return false;
+  if (!get(&name_len) || name_len > 4096) return false;
+  d->name.resize(name_len);
+  in.read(d->name.data(), name_len);
+  if (!in) return false;
+  uint64_t n = 0;
+  if (!get(&d->domain) || !get(&n)) return false;
+  d->items.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!get(&d->items[i].rect) || !get(&d->items[i].id)) return false;
+  }
+  return true;
+}
+
+/// Peeks the dimensionality of a dataset stream (2 or 3; 0 on error).
+/// Leaves the stream position at the start.
+inline int PeekDatasetDimension(std::istream& in) {
+  const auto pos = in.tellg();
+  uint64_t magic = 0;
+  uint32_t dim = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.clear();
+  in.seekg(pos);
+  if (magic != io_internal::kMagic) return 0;
+  return (dim == 2 || dim == 3) ? static_cast<int>(dim) : 0;
+}
+
+}  // namespace clipbb::workload
+
+#endif  // CLIPBB_WORKLOAD_IO_H_

@@ -1,0 +1,118 @@
+// Query workload generator, following the benchmark the paper uses (§V-B):
+// queries are squares centered at the dithered centers of randomly chosen
+// objects (dense regions are queried most), with the extent calibrated so
+// queries return approximately the target number of objects — QR0 ≈ 1,
+// QR1 ≈ 10, QR2 ≈ 100 results.
+#ifndef CLIPBB_WORKLOAD_QUERY_H_
+#define CLIPBB_WORKLOAD_QUERY_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace clipbb::workload {
+
+template <int D>
+struct QueryWorkload {
+  std::string profile;  // "QR0", "QR1", "QR2"
+  double target_results = 1.0;
+  /// Calibrated query half-extent as a fraction of each domain extent.
+  double extent_fraction = 0.0;
+  std::vector<geom::Rect<D>> queries;
+};
+
+/// The three paper profiles.
+inline const double kQueryTargets[] = {1.0, 10.0, 100.0};
+inline const char* const kQueryProfiles[] = {"QR0", "QR1", "QR2"};
+
+namespace query_internal {
+
+/// Square query of half-extent fraction f centered at `c` (clamped).
+template <int D>
+geom::Rect<D> QueryAt(const geom::Vec<D>& c, const geom::Rect<D>& domain,
+                      double f) {
+  geom::Rect<D> q;
+  for (int i = 0; i < D; ++i) {
+    const double half = f * domain.Extent(i);
+    q.lo[i] = c[i] - half;
+    q.hi[i] = c[i] + half;
+  }
+  return q;
+}
+
+/// Dithered center of a random object.
+template <int D>
+geom::Vec<D> DitheredCenter(const Dataset<D>& data, Rng& rng) {
+  const auto& e = data.items[rng.Below(data.items.size())];
+  geom::Vec<D> c = e.rect.Center();
+  for (int i = 0; i < D; ++i) {
+    const double span = std::max(e.rect.Extent(i),
+                                 1e-4 * data.domain.Extent(i));
+    c[i] += rng.Uniform(-0.5, 0.5) * span;
+  }
+  return c;
+}
+
+/// Average result count of `samples` queries of fraction f (linear scan).
+template <int D>
+double EstimateResults(const Dataset<D>& data, double f, int samples,
+                       uint64_t seed) {
+  Rng rng(seed);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const geom::Rect<D> q =
+        QueryAt<D>(DitheredCenter<D>(data, rng), data.domain, f);
+    size_t hits = 0;
+    for (const auto& e : data.items) {
+      if (e.rect.Intersects(q)) ++hits;
+    }
+    total += static_cast<double>(hits);
+  }
+  return total / samples;
+}
+
+}  // namespace query_internal
+
+/// Calibrates the query extent fraction so the mean result count is close
+/// to `target` (log-scale bisection over sample queries).
+template <int D>
+double CalibrateExtent(const Dataset<D>& data, double target,
+                       uint64_t seed = 7, int samples = 24) {
+  using query_internal::EstimateResults;
+  double lo = 1e-7, hi = 0.5;
+  for (int step = 0; step < 22; ++step) {
+    const double mid = std::sqrt(lo * hi);
+    const double got = EstimateResults<D>(data, mid, samples, seed);
+    if (got < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+/// Generates `num_queries` queries targeting ~`target` results each.
+template <int D>
+QueryWorkload<D> MakeQueries(const Dataset<D>& data, double target,
+                             int num_queries, uint64_t seed = 77) {
+  QueryWorkload<D> w;
+  w.target_results = target;
+  w.profile = target <= 1.5 ? "QR0" : (target <= 30.0 ? "QR1" : "QR2");
+  w.extent_fraction = CalibrateExtent<D>(data, target, seed ^ 0xCA11B);
+  Rng rng(seed);
+  w.queries.reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    w.queries.push_back(query_internal::QueryAt<D>(
+        query_internal::DitheredCenter<D>(data, rng), data.domain,
+        w.extent_fraction));
+  }
+  return w;
+}
+
+}  // namespace clipbb::workload
+
+#endif  // CLIPBB_WORKLOAD_QUERY_H_

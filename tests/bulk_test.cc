@@ -1,0 +1,189 @@
+// Bulk-loading tests: Hilbert packing (HR-tree build) and STR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/bulk.h"
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+template <int D>
+geom::Rect<D> UnitDomain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = 0.0;
+    r.hi[i] = 1.0;
+  }
+  return r;
+}
+
+template <int D>
+std::vector<Entry<D>> RandomItems(Rng& rng, int n) {
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, 0.02), i});
+  }
+  return items;
+}
+
+TEST(HilbertBulk, ValidTreeAndCorrectQueries) {
+  Rng rng(231);
+  const auto items = RandomItems<2>(rng, 3000);
+  HilbertRTree<2> tree(UnitDomain<2>());
+  tree.BulkLoad(items);
+  EXPECT_EQ(tree.NumObjects(), items.size());
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 80; ++q) {
+    const auto query = RandomRect<2>(rng, 0.1);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(HilbertBulk, HighLeafUtilization) {
+  Rng rng(232);
+  const auto items = RandomItems<2>(rng, 5000);
+  HilbertRTree<2> tree(UnitDomain<2>());
+  tree.BulkLoad(items);
+  // Full packing: about n / M leaves.
+  const size_t min_leaves = items.size() / tree.options().max_entries;
+  EXPECT_LE(tree.NumLeaves(), min_leaves + 2);
+}
+
+TEST(HilbertBulk, FillFactorRespected) {
+  Rng rng(233);
+  const auto items = RandomItems<2>(rng, 3000);
+  RTreeOptions opts;
+  opts.bulk_fill = 0.5;
+  HilbertRTree<2> tree(UnitDomain<2>(), opts);
+  tree.BulkLoad(items);
+  // Every node respects the reduced fill, except possibly one tail node
+  // per level that absorbed an underfull remainder.
+  const size_t cap = static_cast<size_t>(0.5 * tree.options().max_entries);
+  size_t over_cap = 0;
+  tree.ForEachNode([&](storage::PageId, const Node<2>& n) {
+    if (n.entries.size() > cap) ++over_cap;
+    EXPECT_LE(static_cast<int>(n.entries.size()),
+              tree.options().max_entries);
+  });
+  EXPECT_LE(over_cap, static_cast<size_t>(tree.Height()));
+  EXPECT_TRUE(ValidateTree<2>(tree).ok);
+}
+
+TEST(HilbertBulk, LhvIsMaxOfSubtree) {
+  Rng rng(234);
+  const auto items = RandomItems<2>(rng, 2000);
+  HilbertRTree<2> tree(UnitDomain<2>());
+  tree.BulkLoad(items);
+  tree.ForEachNode([&](storage::PageId, const Node<2>& n) {
+    uint64_t expect = 0;
+    for (const auto& e : n.entries) {
+      expect = std::max(expect, n.IsLeaf() ? tree.HilbertOf(e.rect)
+                                           : tree.NodeAt(e.id).lhv);
+    }
+    EXPECT_EQ(n.lhv, expect);
+  });
+}
+
+TEST(HilbertBulk, ThenDynamicInsertsKeepInvariants) {
+  Rng rng(235);
+  auto items = RandomItems<2>(rng, 1500);
+  HilbertRTree<2> tree(UnitDomain<2>());
+  tree.BulkLoad(items);
+  for (int i = 0; i < 500; ++i) {
+    Entry<2> e{RandomRect<2>(rng, 0.02), 10000 + i};
+    tree.Insert(e.rect, e.id);
+    items.push_back(e);
+  }
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 50; ++q) {
+    const auto query = RandomRect<2>(rng, 0.15);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(StrBulk, ValidAndCorrect) {
+  Rng rng(236);
+  const auto items = RandomItems<2>(rng, 4000);
+  GuttmanRTree<2> tree;
+  BulkLoad<2>(&tree, items, BulkOrder::kStr);
+  EXPECT_EQ(tree.NumObjects(), items.size());
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<2>(rng, 0.1);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(StrBulk, BeatsRandomOrderPacking) {
+  // STR tiling should produce fewer leaf accesses than packing the items
+  // in insertion (random) order.
+  Rng rng(237);
+  const auto items = RandomItems<2>(rng, 6000);
+  GuttmanRTree<2> str_tree;
+  BulkLoad<2>(&str_tree, items, BulkOrder::kStr);
+  GuttmanRTree<2> random_tree;
+  random_tree.ReplaceWithPackedLevels(items);  // unsorted packing
+
+  storage::IoStats str_io, rand_io;
+  for (int q = 0; q < 100; ++q) {
+    const auto query = RandomRect<2>(rng, 0.05);
+    str_tree.RangeCount(query, &str_io);
+    random_tree.RangeCount(query, &rand_io);
+  }
+  EXPECT_LT(str_io.leaf_accesses * 2, rand_io.leaf_accesses);
+}
+
+TEST(StrBulk, Order3d) {
+  Rng rng(238);
+  const auto items = RandomItems<3>(rng, 3000);
+  RStarTree<3> tree;
+  BulkLoad<3>(&tree, items, BulkOrder::kStr);
+  EXPECT_TRUE(ValidateTree<3>(tree).ok);
+}
+
+TEST(HilbertOrderFn, SortsByCenterHilbertValue) {
+  Rng rng(239);
+  const auto items = RandomItems<2>(rng, 500);
+  const auto domain = UnitDomain<2>();
+  const auto ordered = HilbertOrder<2>(items, domain);
+  ASSERT_EQ(ordered.size(), items.size());
+  uint64_t prev = 0;
+  for (const auto& e : ordered) {
+    const uint64_t h = geom::HilbertIndex<2>(e.rect.Center(), domain,
+                                             geom::DefaultHilbertBits<2>());
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(BulkLoad, TinyInputs) {
+  for (int n : {0, 1, 2, 5}) {
+    Rng rng(240 + n);
+    const auto items = RandomItems<2>(rng, n);
+    HilbertRTree<2> tree(UnitDomain<2>());
+    tree.BulkLoad(items);
+    EXPECT_EQ(tree.NumObjects(), static_cast<size_t>(n));
+    EXPECT_TRUE(ValidateTree<2>(tree).ok);
+    geom::Rect<2> all{{-1, -1}, {2, 2}};
+    EXPECT_EQ(tree.RangeCount(all), static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

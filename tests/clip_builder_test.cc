@@ -1,0 +1,208 @@
+// Tests for Algorithm 1 (clip construction with scoring, tau, top-k).
+#include <gtest/gtest.h>
+
+#include "core/clip_builder.h"
+#include "geom/strict.h"
+#include "geom/union_volume.h"
+#include "test_util.h"
+
+namespace clipbb::core {
+namespace {
+
+using clipbb::testing::RandomGridRect;
+using clipbb::testing::RandomRects;
+
+template <int D>
+Rect<D> MbbOf(const std::vector<Rect<D>>& rs) {
+  return geom::BoundingRect<D>(rs.begin(), rs.end());
+}
+
+TEST(ClipVolume, CornerBoxVolume) {
+  const Rect<2> r{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(ClipVolume<2>(r, {4.0, 4.0}, 0b00), 16.0);
+  EXPECT_DOUBLE_EQ(ClipVolume<2>(r, {4.0, 4.0}, 0b11), 36.0);
+  EXPECT_DOUBLE_EQ(ClipVolume<2>(r, {4.0, 4.0}, 0b01), 24.0);
+}
+
+TEST(ClipRegion, AnchoredAtCorner) {
+  const Rect<2> r{{0, 0}, {10, 10}};
+  const ClipPoint<2> c{{4.0, 6.0}, 0b10, 0.0};
+  const Rect<2> region = ClipRegion<2>(r, c);
+  EXPECT_EQ(region, (Rect<2>{{0.0, 6.0}, {4.0, 10.0}}));
+}
+
+TEST(ClipPointBytes, Layout) {
+  EXPECT_EQ(ClipPointBytes<2>(), 17u);  // 2 doubles + flag byte
+  EXPECT_EQ(ClipPointBytes<3>(), 25u);
+}
+
+TEST(BuildClips, RespectsK) {
+  Rng rng(130);
+  const auto children = RandomRects<2>(rng, 20, 0.1);
+  const auto mbb = MbbOf<2>(children);
+  for (int k = 1; k <= 8; ++k) {
+    ClipConfig<2> cfg = ClipConfig<2>::Sta(k, /*tau=*/0.0);
+    const auto clips = BuildClips<2>(mbb, children, cfg);
+    EXPECT_LE(static_cast<int>(clips.size()), k);
+  }
+}
+
+TEST(BuildClips, TauFiltersSmallClips) {
+  Rng rng(131);
+  const auto children = RandomRects<2>(rng, 20, 0.1);
+  const auto mbb = MbbOf<2>(children);
+  const auto all = BuildClips<2>(mbb, children, ClipConfig<2>::Sta(64, 0.0));
+  const auto filtered =
+      BuildClips<2>(mbb, children, ClipConfig<2>::Sta(64, 0.25));
+  EXPECT_LE(filtered.size(), all.size());
+  const double floor = 0.25 * mbb.Volume();
+  for (const auto& c : filtered) {
+    EXPECT_GT(c.score, floor);
+  }
+}
+
+TEST(BuildClips, OrderedByDescendingScore) {
+  Rng rng(132);
+  for (int t = 0; t < 100; ++t) {
+    const auto children = RandomRects<3>(rng, 15, 0.15);
+    const auto clips = BuildClips<3>(MbbOf<3>(children), children,
+                                     ClipConfig<3>::Sta());
+    for (size_t i = 1; i < clips.size(); ++i) {
+      EXPECT_LE(clips[i].score, clips[i - 1].score);
+    }
+  }
+}
+
+// The central safety property: no clip region may strictly contain any part
+// of a child box — checked via strict dominance of child corners.
+template <int D>
+void CheckValidity(const std::vector<Rect<D>>& children,
+                   const std::vector<ClipPoint<D>>& clips,
+                   const Rect<D>& mbb) {
+  for (const auto& c : clips) {
+    EXPECT_TRUE(mbb.ContainsPoint(c.coord));
+    for (const auto& ch : children) {
+      EXPECT_FALSE(
+          geom::StrictlyDominates<D>(ch.Corner(c.mask), c.coord, c.mask))
+          << "child intrudes into clip region";
+    }
+  }
+}
+
+TEST(BuildClips, AllClipsValid2d) {
+  Rng rng(133);
+  for (int t = 0; t < 300; ++t) {
+    const auto children = RandomRects<2>(rng, 12, 0.2);
+    const auto mbb = MbbOf<2>(children);
+    for (auto mode : {ClipMode::kSkyline, ClipMode::kStairline}) {
+      ClipConfig<2> cfg;
+      cfg.mode = mode;
+      CheckValidity<2>(children, BuildClips<2>(mbb, children, cfg), mbb);
+    }
+  }
+}
+
+TEST(BuildClips, AllClipsValid3d) {
+  Rng rng(134);
+  for (int t = 0; t < 150; ++t) {
+    const auto children = RandomRects<3>(rng, 10, 0.25);
+    const auto mbb = MbbOf<3>(children);
+    for (auto mode : {ClipMode::kSkyline, ClipMode::kStairline}) {
+      ClipConfig<3> cfg;
+      cfg.mode = mode;
+      CheckValidity<3>(children, BuildClips<3>(mbb, children, cfg), mbb);
+    }
+  }
+}
+
+TEST(BuildClips, ValidUnderCoordinateTies) {
+  // Integer-grid children force heavy coordinate ties; strict-dominance
+  // semantics must still never clip occupied space.
+  Rng rng(135);
+  for (int t = 0; t < 300; ++t) {
+    std::vector<Rect<2>> children;
+    for (int i = 0; i < 8; ++i) children.push_back(RandomGridRect<2>(rng));
+    const auto mbb = MbbOf<2>(children);
+    const auto clips =
+        BuildClips<2>(mbb, children, ClipConfig<2>::Sta(16, 0.0));
+    CheckValidity<2>(children, clips, mbb);
+  }
+}
+
+TEST(BuildClips, StairlineClipsAtLeastAsMuchAsSkyline) {
+  Rng rng(136);
+  int sta_wins = 0, trials = 0;
+  for (int t = 0; t < 100; ++t) {
+    const auto children = RandomRects<2>(rng, 12, 0.15);
+    const auto mbb = MbbOf<2>(children);
+    if (mbb.Volume() <= 0.0) continue;
+    auto clipped_volume = [&](ClipMode mode) {
+      ClipConfig<2> cfg;
+      cfg.mode = mode;
+      cfg.tau = 0.0;
+      const auto clips = BuildClips<2>(mbb, children, cfg);
+      std::vector<Rect<2>> regions;
+      for (const auto& c : clips) regions.push_back(ClipRegion<2>(mbb, c));
+      return geom::UnionArea(regions);
+    };
+    ++trials;
+    if (clipped_volume(ClipMode::kStairline) >=
+        clipped_volume(ClipMode::kSkyline) - 1e-12) {
+      ++sta_wins;
+    }
+  }
+  // Stairline candidates are a superset per corner, but top-k interaction
+  // can rarely flip a case; expect a strong majority.
+  EXPECT_GE(sta_wins * 10, trials * 9);
+}
+
+TEST(BuildClips, SingleChildClipsMostOfTheBox) {
+  // One child in a corner: the opposite corner region is clipped away.
+  std::vector<Rect<2>> children = {{{0.0, 0.0}, {0.2, 0.2}}};
+  const Rect<2> mbb{{0.0, 0.0}, {0.2, 0.2}};
+  // MBB == child: nothing to clip (dead space is zero).
+  const auto clips = BuildClips<2>(mbb, children, ClipConfig<2>::Sta());
+  for (const auto& c : clips) {
+    EXPECT_LE(c.score, 1e-12);
+  }
+}
+
+TEST(BuildClips, EmptyChildren) {
+  const auto clips = BuildClips<2>(Rect<2>::Empty(), {}, ClipConfig<2>::Sta());
+  EXPECT_TRUE(clips.empty());
+}
+
+TEST(BuildClips, ZeroVolumeMbbYieldsNoClips) {
+  // Point dataset leaf: MBB is a segment, all clip volumes are zero.
+  std::vector<Rect<2>> children = {Rect<2>::FromPoint({0.5, 0.5}),
+                                   Rect<2>::FromPoint({0.5, 0.9})};
+  const auto mbb = MbbOf<2>(children);
+  EXPECT_DOUBLE_EQ(mbb.Volume(), 0.0);
+  EXPECT_TRUE(BuildClips<2>(mbb, children, ClipConfig<2>::Sta()).empty());
+}
+
+TEST(ScoreCorner, Fig5OverlapApproximation) {
+  // Three candidates for corner 00; the biggest keeps its volume, others
+  // are debited their overlap with it.
+  const Rect<2> mbb{{0, 0}, {10, 10}};
+  std::vector<Vec<2>> cands = {{2.0, 6.0}, {4.0, 4.0}, {6.0, 2.0}};
+  std::vector<ClipPoint<2>> scored;
+  ScoreCorner<2>(mbb, 0b00, cands, &scored);
+  ASSERT_EQ(scored.size(), 3u);
+  // Volumes: 12, 16, 12 -> best is index 1 with score 16.
+  EXPECT_DOUBLE_EQ(scored[1].score, 16.0);
+  // Others: 12 - overlap(8) = 4.
+  EXPECT_DOUBLE_EQ(scored[0].score, 12.0 - 8.0);
+  EXPECT_DOUBLE_EQ(scored[2].score, 12.0 - 8.0);
+}
+
+TEST(ClipConfig, PaperDefaults) {
+  EXPECT_EQ(ClipConfig<2>{}.max_clips, 8);   // 2^(d+1), d=2
+  EXPECT_EQ(ClipConfig<3>{}.max_clips, 16);  // 2^(d+1), d=3
+  EXPECT_DOUBLE_EQ(ClipConfig<2>{}.tau, 0.025);
+  EXPECT_STREQ(ClipModeName(ClipMode::kSkyline), "CSKY");
+  EXPECT_STREQ(ClipModeName(ClipMode::kStairline), "CSTA");
+}
+
+}  // namespace
+}  // namespace clipbb::core

@@ -1,0 +1,62 @@
+// Tests for the auxiliary clip table (Fig. 4b layout accounting).
+#include <gtest/gtest.h>
+
+#include "core/clip_index.h"
+
+namespace clipbb::core {
+namespace {
+
+ClipPoint<2> P(double x, double y, Mask m) { return {{x, y}, m, 1.0}; }
+
+TEST(ClipIndex, SetGetErase) {
+  ClipIndex<2> idx;
+  EXPECT_TRUE(idx.Get(7).empty());
+  idx.Set(7, {P(1, 2, 0b01), P(3, 4, 0b10)});
+  ASSERT_EQ(idx.Get(7).size(), 2u);
+  EXPECT_EQ(idx.Get(7)[0].mask, 0b01u);
+  idx.Erase(7);
+  EXPECT_TRUE(idx.Get(7).empty());
+}
+
+TEST(ClipIndex, SettingEmptyClearsEntry) {
+  ClipIndex<2> idx;
+  idx.Set(1, {P(1, 1, 0)});
+  EXPECT_EQ(idx.NumClippedNodes(), 1u);
+  idx.Set(1, {});
+  EXPECT_EQ(idx.NumClippedNodes(), 0u);
+}
+
+TEST(ClipIndex, Counters) {
+  ClipIndex<3> idx;
+  idx.Set(1, {{{0, 0, 0}, 0, 1.0}});
+  idx.Set(2, {{{0, 0, 0}, 1, 1.0}, {{1, 1, 1}, 2, 0.5}});
+  EXPECT_EQ(idx.NumClippedNodes(), 2u);
+  EXPECT_EQ(idx.TotalClipPoints(), 3u);
+}
+
+TEST(ClipIndex, ByteSizeMatchesLayout) {
+  ClipIndex<2> idx;
+  idx.Set(1, {P(0, 0, 0), P(1, 1, 1)});
+  idx.Set(2, {P(2, 2, 2)});
+  // Per node: 4-byte count + 8-byte pointer; per clip: 2 doubles + 1 flag.
+  EXPECT_EQ(idx.ByteSize(), 2 * 12 + 3 * 17);
+}
+
+TEST(ClipIndex, ClearAndIteration) {
+  ClipIndex<2> idx;
+  idx.Set(1, {P(0, 0, 0)});
+  idx.Set(5, {P(1, 1, 1)});
+  size_t seen = 0;
+  for (const auto& [id, clips] : idx) {
+    EXPECT_TRUE(id == 1 || id == 5);
+    EXPECT_EQ(clips.size(), 1u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2u);
+  idx.Clear();
+  EXPECT_EQ(idx.NumClippedNodes(), 0u);
+  EXPECT_EQ(idx.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace clipbb::core

@@ -1,0 +1,107 @@
+// Property sweep across the full configuration space: (variant × clip
+// mode × k × tau) via testing::Combine — the clipped tree must answer
+// every query exactly like a linear scan and pass the validator, for
+// every configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+using SweepParam = std::tuple<Variant, core::ClipMode, int, double>;
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ConfigSweepTest, ClippedQueriesExactUnderEveryConfig) {
+  const auto [variant, mode, k, tau] = GetParam();
+  RTreeOptions opts;
+  opts.max_entries = 12;
+  geom::Rect<2> domain{{-0.5, -0.5}, {1.5, 1.5}};
+  auto tree = MakeRTree<2>(variant, domain, opts);
+
+  core::ClipConfig<2> cfg;
+  cfg.mode = mode;
+  cfg.max_clips = k;
+  cfg.tau = tau;
+
+  Rng rng(400 + static_cast<int>(variant) * 31 + k);
+  std::vector<Entry<2>> live;
+  for (int i = 0; i < 500; ++i) {
+    live.push_back(Entry<2>{RandomRect<2>(rng, 0.1), i});
+    tree->Insert(live.back().rect, live.back().id);
+  }
+  tree->EnableClipping(cfg);
+  // Continue updating with clipping live.
+  for (int i = 500; i < 650; ++i) {
+    live.push_back(Entry<2>{RandomRect<2>(rng, 0.1), i});
+    tree->Insert(live.back().rect, live.back().id);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree->Delete(live[i].rect, live[i].id));
+  }
+  live.erase(live.begin(), live.begin() + 100);
+
+  const auto res = ValidateTree<2>(*tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+
+  for (int q = 0; q < 40; ++q) {
+    const auto query = RandomRect<2>(rng, 0.25);
+    std::vector<ObjectId> got;
+    tree->RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : live) {
+      if (e.rect.Intersects(query)) want.push_back(e.id);
+    }
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+  }
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const Variant v = std::get<0>(info.param);
+  const core::ClipMode m = std::get<1>(info.param);
+  const int k = std::get<2>(info.param);
+  const double tau = std::get<3>(info.param);
+  std::string name;
+  switch (v) {
+    case Variant::kGuttman:
+      name = "Guttman";
+      break;
+    case Variant::kHilbert:
+      name = "Hilbert";
+      break;
+    case Variant::kRStar:
+      name = "RStar";
+      break;
+    case Variant::kRRStar:
+      name = "RRStar";
+      break;
+  }
+  name += m == core::ClipMode::kSkyline ? "_Sky" : "_Sta";
+  name += "_k" + std::to_string(k);
+  name += tau == 0.0 ? "_tau0" : (tau < 0.1 ? "_tau25m" : "_tau200m");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigSweepTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllVariants),
+        ::testing::Values(core::ClipMode::kSkyline,
+                          core::ClipMode::kStairline),
+        ::testing::Values(1, 4, 8),
+        ::testing::Values(0.0, 0.025, 0.2)),
+    SweepName);
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,176 @@
+// Tests for the 2d bounding-geometry zoo: convex hull, min circle, rotated
+// MBB, k-gon, and the unified BoundingKind front door.
+#include <gtest/gtest.h>
+
+#include "geom/bounding.h"
+#include "geom/convex_hull.h"
+#include "geom/kgon.h"
+#include "geom/min_circle.h"
+#include "geom/rmbb.h"
+#include "geom/union_volume.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using clipbb::testing::RandomRects;
+
+std::vector<Vec2> RandomPoints(Rng& rng, int n) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(RandomPoint<2>(rng));
+  return pts;
+}
+
+TEST(ConvexHull, Square) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const Polygon hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(PolygonArea(hull), 1.0, 1e-12);
+}
+
+TEST(ConvexHull, CollinearInput) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const Polygon hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 2u);  // extreme segment
+}
+
+TEST(ConvexHull, SinglePointAndEmpty) {
+  EXPECT_EQ(ConvexHull(std::vector<Vec2>{{1, 2}}).size(), 1u);
+  EXPECT_TRUE(ConvexHull(std::vector<Vec2>{}).empty());
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  Rng rng(51);
+  for (int t = 0; t < 100; ++t) {
+    const auto pts = RandomPoints(rng, 40);
+    const Polygon hull = ConvexHull(pts);
+    ASSERT_GE(hull.size(), 3u);
+    EXPECT_GT(PolygonArea(hull), 0.0);
+    for (const auto& p : pts) {
+      EXPECT_TRUE(ConvexContains(hull, p));
+    }
+  }
+}
+
+TEST(ConvexHull, IsCcwAndConvex) {
+  Rng rng(52);
+  for (int t = 0; t < 100; ++t) {
+    const Polygon hull = ConvexHull(RandomPoints(rng, 30));
+    const size_t n = hull.size();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GT(Cross(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]), 0.0);
+    }
+  }
+}
+
+TEST(MinCircle, TwoPoints) {
+  std::vector<Vec2> pts = {{0, 0}, {2, 0}};
+  const Circle c = MinEnclosingCircle(pts);
+  EXPECT_NEAR(c.radius, 1.0, 1e-9);
+  EXPECT_NEAR(c.center[0], 1.0, 1e-9);
+}
+
+TEST(MinCircle, EquilateralTriangle) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {0.5, std::sqrt(3.0) / 2}};
+  const Circle c = MinEnclosingCircle(pts);
+  EXPECT_NEAR(c.radius, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MinCircle, ContainsAllAndMinimalish) {
+  Rng rng(53);
+  for (int t = 0; t < 60; ++t) {
+    const auto pts = RandomPoints(rng, 25);
+    const Circle c = MinEnclosingCircle(pts);
+    double max_d2 = 0.0;
+    for (const auto& p : pts) {
+      EXPECT_TRUE(c.Contains(p));
+      max_d2 = std::max(max_d2, Dist2(c.center, p));
+    }
+    // Tight: the farthest point lies on the boundary.
+    EXPECT_NEAR(std::sqrt(max_d2), c.radius, 1e-6);
+  }
+}
+
+TEST(Rmbb, AxisAlignedSquare) {
+  std::vector<Rect2> rs = {{{0, 0}, {2, 2}}};
+  const OrientedRect r = RmbbOfRects(rs);
+  EXPECT_NEAR(r.area, 4.0, 1e-9);
+}
+
+TEST(Rmbb, RotatedSquareBeatsAabb) {
+  // A diamond (rotated square) has an AABB twice its RMBB area.
+  std::vector<Vec2> pts = {{1, 0}, {2, 1}, {1, 2}, {0, 1}};
+  const Polygon hull = ConvexHull(pts);
+  const OrientedRect r = MinAreaOrientedRect(hull);
+  EXPECT_NEAR(r.area, 2.0, 1e-9);
+}
+
+TEST(Rmbb, NeverWorseThanAabb) {
+  Rng rng(54);
+  for (int t = 0; t < 100; ++t) {
+    const auto rs = RandomRects<2>(rng, 8);
+    const OrientedRect r = RmbbOfRects(rs);
+    Rect2 aabb = Rect2::Empty();
+    for (const auto& b : rs) aabb.ExpandToInclude(b);
+    EXPECT_LE(r.area, aabb.Volume() + 1e-9);
+    // And still contains every corner.
+    ASSERT_EQ(r.corners.size(), 4u);
+    for (const auto& b : rs) {
+      for (Mask m = 0; m < kNumCorners<2>; ++m) {
+        EXPECT_TRUE(ConvexContains(r.corners, b.Corner(m), 1e-6));
+      }
+    }
+  }
+}
+
+TEST(Kgon, ReducesVertexCount) {
+  Rng rng(55);
+  for (int t = 0; t < 60; ++t) {
+    const Polygon hull = ConvexHull(RandomPoints(rng, 50));
+    if (hull.size() < 6) continue;
+    for (int m : {4, 5}) {
+      const Polygon kg = EnclosingKgon(hull, m);
+      EXPECT_LE(static_cast<int>(kg.size()), std::max<int>(m, 4));
+      // Encloses the hull.
+      for (const auto& p : hull) {
+        EXPECT_TRUE(ConvexContains(kg, p, 1e-6));
+      }
+      // Costs area relative to the hull, saves relative to nothing.
+      EXPECT_GE(PolygonArea(kg), PolygonArea(hull) - 1e-9);
+    }
+  }
+}
+
+TEST(Kgon, AlreadySmallIsUnchanged) {
+  const Polygon tri = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(EnclosingKgon(tri, 5), tri);
+}
+
+TEST(Bounding, DeadSpaceOrdering) {
+  // More corners => less (or equal) dead space: MBC >= MBB >= ... >= CH.
+  Rng rng(56);
+  int mbb_ge_c4 = 0, c4_ge_ch = 0, total = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto rs = RandomRects<2>(rng, 10, 0.15);
+    const double mbb = ShapeDeadSpaceFraction(BoundingKind::kMbb, rs);
+    const double rmbb = ShapeDeadSpaceFraction(BoundingKind::kRmbb, rs);
+    const double c4 = ShapeDeadSpaceFraction(BoundingKind::kC4, rs);
+    const double ch = ShapeDeadSpaceFraction(BoundingKind::kCh, rs);
+    EXPECT_LE(ch, c4 + 1e-9);      // hull is the convex lower bound
+    EXPECT_LE(rmbb, mbb + 1e-9);   // rotation can only help
+    ++total;
+    if (mbb >= c4 - 1e-9) ++mbb_ge_c4;
+    if (c4 >= ch - 1e-9) ++c4_ge_ch;
+  }
+  EXPECT_EQ(mbb_ge_c4, total);
+  EXPECT_EQ(c4_ge_ch, total);
+}
+
+TEST(Bounding, Names) {
+  EXPECT_STREQ(BoundingKindName(BoundingKind::kMbc), "MBC");
+  EXPECT_STREQ(BoundingKindName(BoundingKind::kCh), "CH");
+}
+
+}  // namespace
+}  // namespace clipbb::geom

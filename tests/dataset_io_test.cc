@@ -1,0 +1,88 @@
+// Round-trip tests for the binary dataset container (workload/io.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/dataset.h"
+#include "workload/io.h"
+
+namespace clipbb::workload {
+namespace {
+
+TEST(DatasetIo, RoundTrip2d) {
+  const auto d = MakeRea02(2000);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDataset<2>(d, buf));
+  Dataset2 back;
+  ASSERT_TRUE(LoadDataset<2>(buf, &back));
+  EXPECT_EQ(back.name, d.name);
+  EXPECT_EQ(back.domain, d.domain);
+  ASSERT_EQ(back.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.items[i].rect, d.items[i].rect);
+    EXPECT_EQ(back.items[i].id, d.items[i].id);
+  }
+}
+
+TEST(DatasetIo, RoundTrip3d) {
+  const auto d = MakeAxo03(1500);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDataset<3>(d, buf));
+  Dataset3 back;
+  ASSERT_TRUE(LoadDataset<3>(buf, &back));
+  EXPECT_EQ(back.size(), d.size());
+  EXPECT_EQ(back.items.back().rect, d.items.back().rect);
+}
+
+TEST(DatasetIo, DimensionMismatchRejected) {
+  const auto d = MakePar03(100);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDataset<3>(d, buf));
+  Dataset2 wrong;
+  EXPECT_FALSE(LoadDataset<2>(buf, &wrong));
+}
+
+TEST(DatasetIo, GarbageRejected) {
+  std::stringstream buf("this is not a dataset");
+  Dataset2 d;
+  EXPECT_FALSE(LoadDataset<2>(buf, &d));
+}
+
+TEST(DatasetIo, TruncationRejected) {
+  const auto d = MakePar02(500);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDataset<2>(d, buf));
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() - 8));
+  Dataset2 back;
+  EXPECT_FALSE(LoadDataset<2>(cut, &back));
+}
+
+TEST(DatasetIo, PeekDimension) {
+  const auto d2 = MakePar02(10);
+  const auto d3 = MakePar03(10);
+  std::stringstream b2, b3, junk("xx");
+  SaveDataset<2>(d2, b2);
+  SaveDataset<3>(d3, b3);
+  EXPECT_EQ(PeekDatasetDimension(b2), 2);
+  EXPECT_EQ(PeekDatasetDimension(b3), 3);
+  EXPECT_EQ(PeekDatasetDimension(junk), 0);
+  // Peeking must not consume the stream.
+  Dataset2 back;
+  EXPECT_TRUE(LoadDataset<2>(b2, &back));
+}
+
+TEST(DatasetIo, EmptyDataset) {
+  Dataset2 d;
+  d.name = "empty";
+  d.domain = {{0, 0}, {1, 1}};
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDataset<2>(d, buf));
+  Dataset2 back;
+  ASSERT_TRUE(LoadDataset<2>(buf, &back));
+  EXPECT_EQ(back.name, "empty");
+  EXPECT_TRUE(back.items.empty());
+}
+
+}  // namespace
+}  // namespace clipbb::workload

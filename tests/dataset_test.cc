@@ -1,0 +1,102 @@
+// Tests for the synthetic dataset generators (DESIGN.md §5 stand-ins).
+#include <gtest/gtest.h>
+
+#include "geom/union_volume.h"
+#include "workload/dataset.h"
+
+namespace clipbb::workload {
+namespace {
+
+template <int D>
+void CheckBasics(const Dataset<D>& d, size_t expected_n) {
+  EXPECT_EQ(d.size(), expected_n);
+  size_t unique_check = 0;
+  for (size_t i = 0; i < d.items.size(); ++i) {
+    const auto& e = d.items[i];
+    EXPECT_FALSE(e.rect.IsEmpty());
+    EXPECT_TRUE(d.domain.Contains(e.rect))
+        << "object " << i << " escapes the domain";
+    unique_check += static_cast<size_t>(e.id);
+  }
+  // Ids are 0..n-1 in some order.
+  EXPECT_EQ(unique_check, expected_n * (expected_n - 1) / 2);
+}
+
+TEST(Datasets, Par02Basics) { CheckBasics(MakePar02(5000), 5000); }
+TEST(Datasets, Par03Basics) { CheckBasics(MakePar03(5000), 5000); }
+TEST(Datasets, Rea02Basics) { CheckBasics(MakeRea02(5000), 5000); }
+TEST(Datasets, Rea03Basics) { CheckBasics(MakeRea03(5000), 5000); }
+TEST(Datasets, Axo03Basics) { CheckBasics(MakeAxo03(5000), 5000); }
+TEST(Datasets, Den03Basics) { CheckBasics(MakeDen03(5000), 5000); }
+TEST(Datasets, Neu03Basics) { CheckBasics(MakeNeu03(5000), 5000); }
+
+TEST(Datasets, Deterministic) {
+  const auto a = MakePar02(1000);
+  const auto b = MakePar02(1000);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].rect, b.items[i].rect);
+    EXPECT_EQ(a.items[i].id, b.items[i].id);
+  }
+  // Different seeds differ.
+  const auto c = MakePar02(1000, 999);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.items[i].rect == c.items[i].rect)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Datasets, ParHasLargeSizeVariance) {
+  const auto d = MakePar02(20000);
+  double min_v = 1e300, max_v = 0.0;
+  for (const auto& e : d.items) {
+    const double v = e.rect.Volume();
+    if (v > 0) {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+  }
+  EXPECT_GT(max_v / min_v, 1e4) << "par02 must vary over orders of magnitude";
+}
+
+TEST(Datasets, Rea02SegmentsAreThin) {
+  const auto d = MakeRea02(20000);
+  size_t thin = 0;
+  for (const auto& e : d.items) {
+    const double w = std::min(e.rect.Extent(0), e.rect.Extent(1));
+    const double l = std::max(e.rect.Extent(0), e.rect.Extent(1));
+    if (l > 20.0 * w) ++thin;
+  }
+  // The street grid dominates; most objects are very elongated.
+  EXPECT_GT(thin * 3, d.size() * 2);
+}
+
+TEST(Datasets, Rea03IsPoints) {
+  const auto d = MakeRea03(5000);
+  for (const auto& e : d.items) {
+    EXPECT_DOUBLE_EQ(e.rect.Volume(), 0.0);
+    EXPECT_EQ(e.rect.lo, e.rect.hi);
+  }
+}
+
+TEST(Datasets, FibresAreSmallAndSkinnyOverall) {
+  const auto d = MakeAxo03(20000);
+  double total_volume = 0.0;
+  for (const auto& e : d.items) total_volume += e.rect.Volume();
+  // Fibre segments cover a vanishing share of the unit domain — the
+  // precondition for the paper's ~94 % dead space observation.
+  EXPECT_LT(total_volume, 0.05);
+}
+
+TEST(Datasets, ByNameDispatch) {
+  EXPECT_EQ(MakeDataset2("par02", 100).name, "par02");
+  EXPECT_EQ(MakeDataset2("rea02", 100).name, "rea02");
+  EXPECT_EQ(MakeDataset3("axo03", 100).name, "axo03");
+  EXPECT_EQ(MakeDataset3("neu03", 100).name, "neu03");
+  EXPECT_EQ(MakeDataset3("den03", 100).size(), 100u);
+  EXPECT_EQ(MakeDataset3("rea03", 100).name, "rea03");
+}
+
+}  // namespace
+}  // namespace clipbb::workload

@@ -1,0 +1,155 @@
+// Tests for oriented dominance (Def. 4), strict dominance, and splice
+// points (Def. 6) — the primitives everything in core/ builds on.
+#include <gtest/gtest.h>
+
+#include "geom/dominance.h"
+#include "geom/rect.h"
+#include "geom/strict.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+using clipbb::testing::RandomPoint;
+
+TEST(Dominance, PaperExampleFig2) {
+  // "given b = 00, o4^00 ≺_b o5^00 because it is closer to R00 in both x
+  // and y" — closer to the minimum corner means smaller coordinates.
+  const Vec2 o4{0.58, 0.05};
+  const Vec2 o5{0.86, 0.12};
+  EXPECT_TRUE(Dominates<2>(o4, o5, 0b00));
+  EXPECT_FALSE(Dominates<2>(o5, o4, 0b00));
+  // Towards the opposite corner the relation flips.
+  EXPECT_TRUE(Dominates<2>(o5, o4, 0b11));
+}
+
+TEST(Dominance, RequiresDistinctness) {
+  const Vec2 p{1.0, 2.0};
+  EXPECT_FALSE(Dominates<2>(p, p, 0b00));
+  EXPECT_TRUE(WeaklyDominates<2>(p, p, 0b00));
+}
+
+TEST(Dominance, MixedMasks) {
+  const Vec2 p{0.0, 1.0};
+  const Vec2 q{1.0, 0.0};
+  // b = 01: corner maximises x, minimises y -> closer means larger x,
+  // smaller y. Neither dominates with equal trade-offs... check each.
+  EXPECT_FALSE(Dominates<2>(p, q, 0b01));
+  EXPECT_TRUE(Dominates<2>(q, p, 0b01));
+  EXPECT_TRUE(Dominates<2>(p, q, 0b10));
+}
+
+TEST(StrictDominance, StrictImpliesWeak) {
+  Rng rng(21);
+  for (int t = 0; t < 2000; ++t) {
+    const auto p = RandomPoint<3>(rng);
+    const auto q = RandomPoint<3>(rng);
+    for (Mask b = 0; b < kNumCorners<3>; ++b) {
+      if (StrictlyDominates<3>(p, q, b)) {
+        EXPECT_TRUE(Dominates<3>(p, q, b));
+      }
+    }
+  }
+}
+
+TEST(StrictDominance, TiesBreakStrictness) {
+  const Vec2 p{1.0, 5.0};
+  const Vec2 q{1.0, 3.0};
+  // p is weakly closer to corner 11 (x ties, y larger) but not strictly.
+  EXPECT_TRUE(Dominates<2>(p, q, 0b11));
+  EXPECT_FALSE(StrictlyDominates<2>(p, q, 0b11));
+}
+
+// Def. 4's geometric reading: p ≺_b q iff p lies in MBB{q, R^b}.
+TEST(Dominance, EquivalentToMembershipInCornerBox) {
+  Rng rng(22);
+  const Rect3 r{{0, 0, 0}, {1, 1, 1}};
+  for (int t = 0; t < 3000; ++t) {
+    const auto p = RandomPoint<3>(rng);
+    const auto q = RandomPoint<3>(rng);
+    for (Mask b = 0; b < kNumCorners<3>; ++b) {
+      const Rect3 corner_box = Rect3::Bounding(q, r.Corner(b));
+      EXPECT_EQ(WeaklyDominates<3>(p, q, b), corner_box.ContainsPoint(p))
+          << "mask " << b;
+    }
+  }
+}
+
+TEST(Dominance, Transitive) {
+  Rng rng(23);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = RandomPoint<2>(rng);
+    const auto b = RandomPoint<2>(rng);
+    const auto c = RandomPoint<2>(rng);
+    for (Mask m = 0; m < kNumCorners<2>; ++m) {
+      if (WeaklyDominates<2>(a, b, m) && WeaklyDominates<2>(b, c, m)) {
+        EXPECT_TRUE(WeaklyDominates<2>(a, c, m));
+      }
+      if (StrictlyDominates<2>(a, b, m) && StrictlyDominates<2>(b, c, m)) {
+        EXPECT_TRUE(StrictlyDominates<2>(a, c, m));
+      }
+    }
+  }
+}
+
+TEST(Dominance, Antisymmetric) {
+  Rng rng(24);
+  for (int t = 0; t < 2000; ++t) {
+    const auto p = RandomPoint<3>(rng);
+    const auto q = RandomPoint<3>(rng);
+    for (Mask b = 0; b < kNumCorners<3>; ++b) {
+      EXPECT_FALSE(Dominates<3>(p, q, b) && Dominates<3>(q, p, b));
+    }
+  }
+}
+
+TEST(Dominance, FlipsUnderOppositeMask) {
+  Rng rng(25);
+  for (int t = 0; t < 2000; ++t) {
+    const auto p = RandomPoint<3>(rng);
+    const auto q = RandomPoint<3>(rng);
+    for (Mask b = 0; b < kNumCorners<3>; ++b) {
+      EXPECT_EQ(Dominates<3>(p, q, b),
+                Dominates<3>(q, p, OppositeMask<3>(b)));
+    }
+  }
+}
+
+TEST(Splice, TakesExtremesPerMask) {
+  const Vec2 p{1.0, 5.0};
+  const Vec2 q{3.0, 2.0};
+  EXPECT_EQ((Splice<2>(p, q, 0b11)), (Vec2{3.0, 5.0}));
+  EXPECT_EQ((Splice<2>(p, q, 0b00)), (Vec2{1.0, 2.0}));
+  EXPECT_EQ((Splice<2>(p, q, 0b01)), (Vec2{3.0, 2.0}));
+  EXPECT_EQ((Splice<2>(p, q, 0b10)), (Vec2{1.0, 5.0}));
+}
+
+TEST(Splice, PaperExampleStairPoint) {
+  // c = ~11(o1^11, o4^11) takes the smallest x and y of its sources.
+  const Vec2 o1_11{0.22, 0.95};
+  const Vec2 o4_11{0.90, 0.30};
+  const Vec2 c = Splice<2>(o1_11, o4_11, OppositeMask<2>(0b11));
+  EXPECT_EQ(c, (Vec2{0.22, 0.30}));
+}
+
+TEST(Splice, Properties) {
+  Rng rng(26);
+  for (int t = 0; t < 2000; ++t) {
+    const auto p = RandomPoint<3>(rng);
+    const auto q = RandomPoint<3>(rng);
+    for (Mask b = 0; b < kNumCorners<3>; ++b) {
+      const auto s = Splice<3>(p, q, b);
+      // Commutative and idempotent.
+      EXPECT_EQ(s, (Splice<3>(q, p, b)));
+      EXPECT_EQ((Splice<3>(p, p, b)), p);
+      // The splice towards mask b weakly dominates both sources w.r.t. b.
+      EXPECT_TRUE(WeaklyDominates<3>(s, p, b));
+      EXPECT_TRUE(WeaklyDominates<3>(s, q, b));
+      // And is inside the sources' bounding box.
+      EXPECT_TRUE(Rect3::Bounding(p, q).ContainsPoint(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::geom

@@ -1,0 +1,110 @@
+// Tests for the uniform grid baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+#include "workload/grid.h"
+
+namespace clipbb::workload {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+using rtree::Entry;
+using rtree::ObjectId;
+
+Rect<2> Domain2() { return {{0.0, 0.0}, {1.0, 1.0}}; }
+
+TEST(UniformGrid, SingleObject) {
+  UniformGrid<2> grid(Domain2(), 8);
+  grid.Insert(Rect<2>{{0.1, 0.1}, {0.4, 0.2}}, 7);
+  EXPECT_EQ(grid.NumObjects(), 1u);
+  EXPECT_GE(grid.StoredEntries(), 1u);  // may be replicated across cells
+  std::vector<ObjectId> out;
+  EXPECT_EQ(grid.RangeQuery(Rect<2>{{0.0, 0.0}, {0.5, 0.5}}, &out), 1u);
+  EXPECT_EQ(out, std::vector<ObjectId>{7});
+  EXPECT_EQ(grid.RangeCount(Rect<2>{{0.6, 0.6}, {0.9, 0.9}}), 0u);
+}
+
+TEST(UniformGrid, ResultsDeduplicated) {
+  UniformGrid<2> grid(Domain2(), 16);
+  // Object spanning many cells must be reported once.
+  grid.Insert(Rect<2>{{0.0, 0.45}, {1.0, 0.55}}, 1);
+  EXPECT_GT(grid.ReplicationFactor(), 4.0);
+  std::vector<ObjectId> out;
+  EXPECT_EQ(grid.RangeQuery(Rect<2>{{0.0, 0.0}, {1.0, 1.0}}, &out), 1u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(UniformGrid, MatchesLinearScan2d) {
+  UniformGrid<2> grid(Domain2(), 24);
+  Rng rng(351);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2000; ++i) {
+    Entry<2> e{RandomRect<2>(rng, 0.06).Intersection(Domain2()), i};
+    items.push_back(e);
+    grid.Insert(e.rect, e.id);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const auto query = RandomRect<2>(rng, 0.15);
+    std::vector<ObjectId> got;
+    grid.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (e.rect.Intersects(query)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(UniformGrid, MatchesLinearScan3d) {
+  const Rect<3> domain{{0, 0, 0}, {1, 1, 1}};
+  UniformGrid<3> grid(domain, 10);
+  Rng rng(352);
+  std::vector<Entry<3>> items;
+  for (int i = 0; i < 1200; ++i) {
+    Entry<3> e{RandomRect<3>(rng, 0.1).Intersection(domain), i};
+    items.push_back(e);
+    grid.Insert(e.rect, e.id);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const auto query = RandomRect<3>(rng, 0.3);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(grid.RangeCount(query), want);
+  }
+}
+
+TEST(UniformGrid, OutOfDomainObjectsClampToEdgeCells) {
+  UniformGrid<2> grid(Domain2(), 4);
+  grid.Insert(Rect<2>{{-5.0, -5.0}, {-4.0, -4.0}}, 1);
+  grid.Insert(Rect<2>{{4.0, 4.0}, {5.0, 5.0}}, 2);
+  // Queries near the clamped corners find them.
+  EXPECT_EQ(grid.RangeCount(Rect<2>{{-9, -9}, {-3, -3}}), 1u);
+  EXPECT_EQ(grid.RangeCount(Rect<2>{{3, 3}, {9, 9}}), 1u);
+}
+
+TEST(UniformGrid, IoCountsScaleWithQueryExtent) {
+  UniformGrid<2> grid(Domain2(), 16);
+  Rng rng(353);
+  for (int i = 0; i < 1000; ++i) {
+    grid.Insert(RandomRect<2>(rng, 0.02).Intersection(Domain2()), i);
+  }
+  storage::IoStats small_io, big_io;
+  grid.RangeCount(Rect<2>{{0.5, 0.5}, {0.52, 0.52}}, &small_io);
+  grid.RangeCount(Rect<2>{{0.1, 0.1}, {0.9, 0.9}}, &big_io);
+  EXPECT_LT(small_io.leaf_accesses, big_io.leaf_accesses);
+  EXPECT_LE(small_io.leaf_accesses, 4u);  // at most a 2x2 cell window
+}
+
+TEST(UniformGrid, DegenerateResolution) {
+  UniformGrid<2> grid(Domain2(), 0);  // clamps to 1 cell
+  EXPECT_EQ(grid.NumCells(), 1u);
+  grid.Insert(Rect<2>{{0.2, 0.2}, {0.3, 0.3}}, 1);
+  EXPECT_EQ(grid.RangeCount(Domain2()), 1u);
+}
+
+}  // namespace
+}  // namespace clipbb::workload

@@ -1,0 +1,138 @@
+// Tests for the d-dimensional Hilbert curve (Skilling transpose).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/hilbert.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+TEST(Hilbert, Order1Curve2d) {
+  // The 2x2 Hilbert curve visits (0,0),(0,1),(1,1),(1,0) in some rotation;
+  // all four indices are distinct and within range.
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      uint32_t axes[2] = {x, y};
+      const uint64_t h = HilbertFromAxes(axes, 2, 1);
+      EXPECT_LT(h, 4u);
+      seen.insert(h);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Hilbert, RoundTrip2d) {
+  const int bits = 6;
+  for (uint32_t x = 0; x < 64; x += 3) {
+    for (uint32_t y = 0; y < 64; y += 5) {
+      uint32_t axes[2] = {x, y};
+      const uint64_t h = HilbertFromAxes(axes, 2, bits);
+      uint32_t back[2];
+      AxesFromHilbert(h, back, 2, bits);
+      EXPECT_EQ(back[0], x);
+      EXPECT_EQ(back[1], y);
+    }
+  }
+}
+
+TEST(Hilbert, RoundTrip3d) {
+  const int bits = 5;
+  Rng rng(41);
+  for (int t = 0; t < 4000; ++t) {
+    uint32_t axes[3];
+    for (auto& a : axes) a = static_cast<uint32_t>(rng.Below(32));
+    const uint64_t h = HilbertFromAxes(axes, 3, bits);
+    EXPECT_LT(h, 1ull << 15);
+    uint32_t back[3];
+    AxesFromHilbert(h, back, 3, bits);
+    EXPECT_EQ(back[0], axes[0]);
+    EXPECT_EQ(back[1], axes[1]);
+    EXPECT_EQ(back[2], axes[2]);
+  }
+}
+
+TEST(Hilbert, Bijective2dOrder3) {
+  // Every index in [0, 64) maps to a unique cell of the 8x8 grid.
+  std::set<std::pair<uint32_t, uint32_t>> cells;
+  for (uint64_t h = 0; h < 64; ++h) {
+    uint32_t axes[2];
+    AxesFromHilbert(h, axes, 2, 3);
+    EXPECT_LT(axes[0], 8u);
+    EXPECT_LT(axes[1], 8u);
+    cells.insert({axes[0], axes[1]});
+  }
+  EXPECT_EQ(cells.size(), 64u);
+}
+
+TEST(Hilbert, UnitStepAdjacency) {
+  // The defining Hilbert property: consecutive indices are grid neighbours
+  // (exactly one axis changes, by exactly 1).
+  for (int n = 2; n <= 3; ++n) {
+    const int bits = n == 2 ? 5 : 4;
+    const uint64_t total = 1ull << (n * bits);
+    uint32_t prev[3], cur[3];
+    AxesFromHilbert(0, prev, n, bits);
+    for (uint64_t h = 1; h < total; ++h) {
+      AxesFromHilbert(h, cur, n, bits);
+      int changed = 0;
+      int delta = 0;
+      for (int i = 0; i < n; ++i) {
+        if (cur[i] != prev[i]) {
+          ++changed;
+          delta = static_cast<int>(cur[i]) - static_cast<int>(prev[i]);
+        }
+        prev[i] = cur[i];
+      }
+      ASSERT_EQ(changed, 1) << "h=" << h << " n=" << n;
+      ASSERT_TRUE(delta == 1 || delta == -1) << "h=" << h;
+    }
+  }
+}
+
+TEST(HilbertIndex, ClampsOutOfDomain) {
+  const Rect2 domain{{0, 0}, {1, 1}};
+  const int bits = 8;
+  EXPECT_EQ(HilbertIndex<2>({-5.0, -5.0}, domain, bits),
+            HilbertIndex<2>({0.0, 0.0}, domain, bits));
+  EXPECT_EQ(HilbertIndex<2>({7.0, 7.0}, domain, bits),
+            HilbertIndex<2>({1.0, 1.0}, domain, bits));
+}
+
+TEST(HilbertIndex, DegenerateDomain) {
+  const Rect2 domain{{0.5, 0.0}, {0.5, 1.0}};  // zero x-extent
+  EXPECT_NO_FATAL_FAILURE(HilbertIndex<2>({0.5, 0.5}, domain, 8));
+}
+
+TEST(HilbertIndex, LocalityBeatsRowMajorOrder) {
+  // Mean index distance of spatial neighbours should be far below that of
+  // random pairs (a weak but meaningful locality check).
+  const Rect2 domain{{0, 0}, {1, 1}};
+  const int bits = 10;
+  Rng rng(42);
+  double neighbour = 0.0, random_pairs = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const Vec2 p{rng.Uniform(), rng.Uniform()};
+    const Vec2 q{p[0] + 1e-3, p[1] + 1e-3};
+    const Vec2 r{rng.Uniform(), rng.Uniform()};
+    const auto hp = static_cast<double>(HilbertIndex<2>(p, domain, bits));
+    const auto hq = static_cast<double>(HilbertIndex<2>(q, domain, bits));
+    const auto hr = static_cast<double>(HilbertIndex<2>(r, domain, bits));
+    neighbour += std::abs(hp - hq);
+    random_pairs += std::abs(hp - hr);
+  }
+  EXPECT_LT(neighbour * 20.0, random_pairs);
+}
+
+TEST(Hilbert, DefaultBitsFitIn64) {
+  EXPECT_EQ(DefaultHilbertBits<2>(), 31);
+  EXPECT_EQ(DefaultHilbertBits<3>(), 21);
+  static_assert(2 * 31 <= 64);
+  static_assert(3 * 21 <= 64);
+}
+
+}  // namespace
+}  // namespace clipbb::geom

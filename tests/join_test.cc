@@ -1,0 +1,142 @@
+// Spatial join tests: INLJ and STT against a brute-force oracle, with and
+// without clipping, across variants and unequal tree heights.
+#include <gtest/gtest.h>
+
+#include "join/inlj.h"
+#include "join/stt.h"
+#include "rtree/factory.h"
+#include "test_util.h"
+
+namespace clipbb::join {
+namespace {
+
+using clipbb::testing::RandomRect;
+using rtree::Entry;
+using rtree::Variant;
+
+template <int D>
+geom::Rect<D> Domain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+template <int D>
+std::vector<Entry<D>> RandomItems(Rng& rng, int n, double extent) {
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, extent), i});
+  }
+  return items;
+}
+
+template <int D>
+size_t BrutePairs(const std::vector<Entry<D>>& a,
+                  const std::vector<Entry<D>>& b) {
+  size_t pairs = 0;
+  for (const auto& ea : a) {
+    for (const auto& eb : b) {
+      if (ea.rect.Intersects(eb.rect)) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+class JoinTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(JoinTest, InljMatchesBruteForce) {
+  Rng rng(261);
+  const auto a = RandomItems<2>(rng, 1200, 0.03);
+  const auto b = RandomItems<2>(rng, 400, 0.03);
+  auto tree = rtree::BuildTree<2>(GetParam(), a, Domain<2>());
+  const auto stats = IndexNestedLoopJoin<2>(*tree, b);
+  EXPECT_EQ(stats.result_pairs, BrutePairs<2>(a, b));
+  EXPECT_GT(stats.io_a.leaf_accesses, 0u);
+  EXPECT_EQ(stats.io_b.leaf_accesses, 0u);
+}
+
+TEST_P(JoinTest, SttMatchesBruteForce) {
+  Rng rng(262);
+  const auto a = RandomItems<2>(rng, 1000, 0.03);
+  const auto b = RandomItems<2>(rng, 900, 0.03);
+  auto ta = rtree::BuildTree<2>(GetParam(), a, Domain<2>());
+  auto tb = rtree::BuildTree<2>(GetParam(), b, Domain<2>());
+  const auto stats = SynchronizedTreeTraversal<2>(*ta, *tb);
+  EXPECT_EQ(stats.result_pairs, BrutePairs<2>(a, b));
+}
+
+TEST_P(JoinTest, SttHandlesUnequalHeights) {
+  Rng rng(263);
+  const auto big = RandomItems<2>(rng, 3000, 0.02);
+  const auto small = RandomItems<2>(rng, 40, 0.05);
+  auto ta = rtree::BuildTree<2>(GetParam(), big, Domain<2>());
+  auto tb = rtree::BuildTree<2>(GetParam(), small, Domain<2>());
+  ASSERT_GT(ta->Height(), tb->Height());
+  EXPECT_EQ(SynchronizedTreeTraversal<2>(*ta, *tb).result_pairs,
+            BrutePairs<2>(big, small));
+  // And symmetric.
+  EXPECT_EQ(SynchronizedTreeTraversal<2>(*tb, *ta).result_pairs,
+            BrutePairs<2>(big, small));
+}
+
+TEST_P(JoinTest, ClippingPreservesResultsAndSavesIo) {
+  Rng rng(264);
+  const auto a = RandomItems<3>(rng, 1500, 0.02);
+  const auto b = RandomItems<3>(rng, 800, 0.02);
+  auto ta = rtree::BuildTree<3>(GetParam(), a, Domain<3>());
+  auto tb = rtree::BuildTree<3>(GetParam(), b, Domain<3>());
+  const auto inlj_plain = IndexNestedLoopJoin<3>(*ta, b);
+  const auto stt_plain = SynchronizedTreeTraversal<3>(*ta, *tb);
+  EXPECT_EQ(inlj_plain.result_pairs, stt_plain.result_pairs);
+
+  ta->EnableClipping(core::ClipConfig<3>::Sta());
+  tb->EnableClipping(core::ClipConfig<3>::Sta());
+  const auto inlj_clip = IndexNestedLoopJoin<3>(*ta, b);
+  const auto stt_clip = SynchronizedTreeTraversal<3>(*ta, *tb);
+  EXPECT_EQ(inlj_clip.result_pairs, inlj_plain.result_pairs);
+  EXPECT_EQ(stt_clip.result_pairs, stt_plain.result_pairs);
+  EXPECT_LE(inlj_clip.TotalLeafAccesses(), inlj_plain.TotalLeafAccesses());
+  EXPECT_LE(stt_clip.TotalLeafAccesses(), stt_plain.TotalLeafAccesses());
+}
+
+TEST_P(JoinTest, EmptyInputs) {
+  Rng rng(265);
+  const auto a = RandomItems<2>(rng, 500, 0.05);
+  auto ta = rtree::BuildTree<2>(GetParam(), a, Domain<2>());
+  auto empty = rtree::MakeRTree<2>(GetParam(), Domain<2>());
+  EXPECT_EQ(IndexNestedLoopJoin<2>(*ta, {}).result_pairs, 0u);
+  EXPECT_EQ(SynchronizedTreeTraversal<2>(*ta, *empty).result_pairs, 0u);
+  EXPECT_EQ(SynchronizedTreeTraversal<2>(*empty, *ta).result_pairs, 0u);
+}
+
+TEST_P(JoinTest, SelfJoinCountsTouchingPairs) {
+  Rng rng(266);
+  const auto a = RandomItems<2>(rng, 600, 0.04);
+  auto ta = rtree::BuildTree<2>(GetParam(), a, Domain<2>());
+  auto tb = rtree::BuildTree<2>(GetParam(), a, Domain<2>());
+  // Self-join counts every pair incl. (i, i) in both directions.
+  EXPECT_EQ(SynchronizedTreeTraversal<2>(*ta, *tb).result_pairs,
+            BrutePairs<2>(a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, JoinTest,
+                         ::testing::ValuesIn(rtree::kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::join

@@ -1,0 +1,165 @@
+// Tests for the space measurements (dead space, overlap, clipped volume).
+#include <gtest/gtest.h>
+
+#include "rtree/factory.h"
+#include "rtree/bulk.h"
+#include "stats/node_stats.h"
+#include "stats/storage_stats.h"
+#include "test_util.h"
+
+namespace clipbb::stats {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+using rtree::Entry;
+using rtree::Variant;
+
+geom::Rect<2> Domain2() { return {{0.0, 0.0}, {1.0, 1.0}}; }
+
+TEST(DeadSpaceFraction, HandComputed) {
+  const Rect<2> mbb{{0, 0}, {4, 4}};
+  // One 2x2 child: dead space = (16 - 4) / 16.
+  std::vector<Rect<2>> children = {{{0, 0}, {2, 2}}};
+  EXPECT_DOUBLE_EQ(DeadSpaceFraction<2>(mbb, children), 0.75);
+  // Fully covered: zero dead space.
+  children = {{{0, 0}, {4, 4}}};
+  EXPECT_DOUBLE_EQ(DeadSpaceFraction<2>(mbb, children), 0.0);
+}
+
+TEST(MeasureSpace, FullyPackedGridHasNoDeadSpace) {
+  // A perfect grid of touching unit squares: every node's children tile
+  // its MBB exactly.
+  rtree::GuttmanRTree<2> tree;
+  std::vector<Entry<2>> items;
+  int id = 0;
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      items.push_back(
+          Entry<2>{Rect<2>{{1.0 * x, 1.0 * y}, {x + 1.0, y + 1.0}}, id++});
+    }
+  }
+  rtree::BulkLoad<2>(&tree, items, rtree::BulkOrder::kStr);
+  SpaceOptions opts;
+  opts.leaves_only = true;
+  const auto report = MeasureSpace<2>(tree, opts);
+  EXPECT_LT(report.avg_dead_fraction, 0.35);  // STR tiles leave small gaps
+  EXPECT_GT(report.measured_nodes, 0u);
+}
+
+TEST(MeasureSpace, SparsePointsAreAllDeadSpace) {
+  auto tree = rtree::MakeRTree<2>(Variant::kRStar, Domain2());
+  Rng rng(251);
+  for (int i = 0; i < 500; ++i) {
+    tree->Insert(Rect<2>::FromPoint(clipbb::testing::RandomPoint<2>(rng)),
+                 i);
+  }
+  const auto report = MeasureSpace<2>(*tree, {.leaves_only = true});
+  EXPECT_GT(report.avg_dead_fraction, 0.95);
+}
+
+TEST(MeasureSpace, MonteCarloAgreesWithExact) {
+  Rng rng(252);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 1000; ++i) tree->Insert(RandomRect<2>(rng, 0.05), i);
+  const auto exact = MeasureSpace<2>(*tree, {});
+  SpaceOptions mc;
+  mc.mc_samples = 20000;
+  const auto estimated = MeasureSpace<2>(*tree, mc);
+  EXPECT_NEAR(estimated.avg_dead_fraction, exact.avg_dead_fraction, 0.02);
+}
+
+TEST(MeasureSpace, OverlapOnlyWhenRequested) {
+  Rng rng(253);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 800; ++i) tree->Insert(RandomRect<2>(rng, 0.2), i);
+  const auto without = MeasureSpace<2>(*tree, {});
+  EXPECT_DOUBLE_EQ(without.avg_overlap_fraction, 0.0);
+  const auto with = MeasureSpace<2>(*tree, {.measure_overlap = true});
+  EXPECT_GT(with.avg_overlap_fraction, 0.0);
+  EXPECT_LE(with.avg_overlap_fraction, with.avg_dead_fraction + 1.0);
+}
+
+TEST(SampleNodes, RespectsCapAndFilters) {
+  Rng rng(254);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 2000; ++i) tree->Insert(RandomRect<2>(rng, 0.02), i);
+  const auto all = SampleNodes<2>(*tree, false, 1 << 20);
+  const auto capped = SampleNodes<2>(*tree, false, 5);
+  EXPECT_EQ(capped.size(), 5u);
+  const auto leaves = SampleNodes<2>(*tree, true, 1 << 20);
+  const auto internals = SampleNodes<2>(*tree, false, 1 << 20, true);
+  EXPECT_EQ(leaves.size() + internals.size(), all.size());
+  for (auto id : leaves) EXPECT_TRUE(tree->NodeAt(id).IsLeaf());
+  for (auto id : internals) EXPECT_FALSE(tree->NodeAt(id).IsLeaf());
+}
+
+TEST(MeasureClipping, ClippedNeverExceedsDeadSpace) {
+  Rng rng(255);
+  auto tree = rtree::MakeRTree<2>(Variant::kRStar, Domain2());
+  for (int i = 0; i < 1500; ++i) tree->Insert(RandomRect<2>(rng, 0.03), i);
+  for (auto mode : {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    core::ClipConfig<2> cfg;
+    cfg.mode = mode;
+    const auto r = MeasureClipping<2>(*tree, cfg);
+    EXPECT_GT(r.avg_clipped_fraction, 0.0);
+    EXPECT_LE(r.avg_clipped_fraction, r.avg_dead_fraction + 1e-9);
+    EXPECT_GE(r.clipped_share_of_dead(), 0.0);
+    EXPECT_LE(r.clipped_share_of_dead(), 1.0 + 1e-9);
+  }
+}
+
+TEST(MeasureClippingSweep, MonotoneInK) {
+  Rng rng(256);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 1200; ++i) tree->Insert(RandomRect<2>(rng, 0.03), i);
+  std::vector<core::ClipConfig<2>> configs;
+  for (int k : {1, 2, 4, 8}) {
+    configs.push_back(core::ClipConfig<2>::Sta(k));
+  }
+  const auto reports = MeasureClippingSweep<2>(*tree, configs);
+  ASSERT_EQ(reports.size(), 4u);
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i].avg_clipped_fraction,
+              reports[i - 1].avg_clipped_fraction - 1e-9)
+        << "more clip points must clip at least as much";
+    EXPECT_DOUBLE_EQ(reports[i].avg_dead_fraction,
+                     reports[0].avg_dead_fraction);
+  }
+}
+
+TEST(MeasureClippingSweep, MatchesSingleMeasure) {
+  Rng rng(257);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 800; ++i) tree->Insert(RandomRect<2>(rng, 0.05), i);
+  const auto cfg = core::ClipConfig<2>::Sta();
+  const auto single = MeasureClipping<2>(*tree, cfg);
+  const auto sweep = MeasureClippingSweep<2>(*tree, {cfg});
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_NEAR(sweep[0].avg_clipped_fraction, single.avg_clipped_fraction,
+              1e-12);
+  EXPECT_NEAR(sweep[0].avg_clip_points, single.avg_clip_points, 1e-12);
+}
+
+TEST(MeasureStorage, CountsPagesAndClipBytes) {
+  Rng rng(258);
+  auto tree = rtree::MakeRTree<2>(Variant::kGuttman, Domain2());
+  for (int i = 0; i < 2000; ++i) tree->Insert(RandomRect<2>(rng, 0.02), i);
+  const auto plain = MeasureStorage<2>(*tree);
+  EXPECT_EQ(plain.clip_bytes, 0u);
+  EXPECT_EQ(plain.num_leaves, tree->NumLeaves());
+  EXPECT_EQ(plain.num_leaves + plain.num_dir_nodes, tree->NumNodes());
+  EXPECT_EQ(plain.leaf_bytes,
+            plain.num_leaves * static_cast<size_t>(tree->options().page_size));
+
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  const auto clipped = MeasureStorage<2>(*tree);
+  EXPECT_GT(clipped.clip_bytes, 0u);
+  EXPECT_EQ(clipped.clip_bytes, tree->clip_index().ByteSize());
+  EXPECT_GT(clipped.AvgClipPointsPerNode(), 0.0);
+  // The paper's observation: clip storage is a few percent of the total.
+  EXPECT_LT(clipped.ClipFraction(), 0.15);
+}
+
+}  // namespace
+}  // namespace clipbb::stats

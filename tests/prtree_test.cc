@@ -1,0 +1,147 @@
+// Tests for PR-tree bulk loading and the leaf-group packer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/factory.h"
+#include "rtree/prtree.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+geom::Rect<2> Domain2() { return {{-0.5, -0.5}, {1.5, 1.5}}; }
+
+template <int D>
+std::vector<Entry<D>> RandomItems(Rng& rng, int n, double extent = 0.03) {
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, extent), i});
+  }
+  return items;
+}
+
+TEST(PrTree, ValidAndCorrect2d) {
+  Rng rng(341);
+  const auto items = RandomItems<2>(rng, 4000);
+  GuttmanRTree<2> tree;
+  PrTreeBulkLoad<2>(&tree, items);
+  EXPECT_EQ(tree.NumObjects(), items.size());
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 80; ++q) {
+    const auto query = RandomRect<2>(rng, 0.1);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(PrTree, ValidAndCorrect3d) {
+  Rng rng(342);
+  const auto items = RandomItems<3>(rng, 3000, 0.05);
+  RStarTree<3> tree;
+  PrTreeBulkLoad<3>(&tree, items);
+  const auto res = ValidateTree<3>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 40; ++q) {
+    const auto query = RandomRect<3>(rng, 0.2);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(PrTree, TinyInputs) {
+  for (int n : {0, 1, 3, 10}) {
+    Rng rng(343 + n);
+    const auto items = RandomItems<2>(rng, n);
+    GuttmanRTree<2> tree;
+    PrTreeBulkLoad<2>(&tree, items);
+    EXPECT_EQ(tree.NumObjects(), static_cast<size_t>(n));
+    EXPECT_TRUE(ValidateTree<2>(tree).ok);
+    EXPECT_EQ(tree.RangeCount(Rect<2>{{-2, -2}, {3, 3}}), static_cast<size_t>(n));
+  }
+}
+
+TEST(PrTree, HandlesExtremeAspectRatios) {
+  // The PR-tree's selling point: extreme objects (long slivers spanning
+  // the domain) are grouped into priority leaves.
+  Rng rng(344);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.02), i});
+  }
+  for (int i = 0; i < 50; ++i) {  // full-width slivers
+    const double y = rng.Uniform();
+    items.push_back(
+        Entry<2>{Rect<2>{{0.0, y}, {1.0, y + 1e-4}}, 2000 + i});
+  }
+  GuttmanRTree<2> tree;
+  PrTreeBulkLoad<2>(&tree, items);
+  {
+    const auto res = ValidateTree<2>(tree);
+    ASSERT_TRUE(res.ok) << res.Summary();
+  }
+  for (int q = 0; q < 50; ++q) {
+    const auto query = RandomRect<2>(rng, 0.05);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(PrTree, ClippingComposes) {
+  Rng rng(345);
+  const auto items = RandomItems<2>(rng, 3000, 0.02);
+  GuttmanRTree<2> tree;
+  PrTreeBulkLoad<2>(&tree, items);
+  std::vector<Rect<2>> queries;
+  for (int q = 0; q < 100; ++q) queries.push_back(RandomRect<2>(rng, 0.05));
+  storage::IoStats plain;
+  std::vector<size_t> counts;
+  for (const auto& q : queries) counts.push_back(tree.RangeCount(q, &plain));
+  tree.EnableClipping(core::ClipConfig<2>::Sta());
+  {
+    const auto res = ValidateTree<2>(tree);
+    ASSERT_TRUE(res.ok) << res.Summary();
+  }
+  storage::IoStats clipped;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(tree.RangeCount(queries[i], &clipped), counts[i]);
+  }
+  EXPECT_LE(clipped.leaf_accesses, plain.leaf_accesses);
+}
+
+TEST(LeafGroups, MergesUndersizedGroups) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  GuttmanRTree<2> tree(opts);
+  Rng rng(346);
+  // Many groups of 1 (far below m = 4) must merge into valid leaves.
+  std::vector<std::vector<Entry<2>>> groups;
+  for (int i = 0; i < 60; ++i) {
+    groups.push_back({Entry<2>{RandomRect<2>(rng, 0.05), i}});
+  }
+  tree.ReplaceWithPackedLeafGroups(groups);
+  EXPECT_EQ(tree.NumObjects(), 60u);
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+}
+
+TEST(LeafGroups, EmptyGroupsIgnored) {
+  GuttmanRTree<2> tree;
+  tree.ReplaceWithPackedLeafGroups({});
+  EXPECT_EQ(tree.NumObjects(), 0u);
+  std::vector<std::vector<Entry<2>>> groups(3);  // all empty
+  tree.ReplaceWithPackedLeafGroups(groups);
+  EXPECT_EQ(tree.NumObjects(), 0u);
+  EXPECT_TRUE(ValidateTree<2>(tree).ok);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

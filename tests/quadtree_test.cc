@@ -1,0 +1,145 @@
+// Tests for the MX-CIF quadtree baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "quadtree/quadtree.h"
+#include "test_util.h"
+
+namespace clipbb::quadtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+using rtree::Entry;
+using rtree::ObjectId;
+
+Rect<2> Domain2() { return {{0.0, 0.0}, {1.0, 1.0}}; }
+
+TEST(Quadtree, InsertAndQuerySingle) {
+  Quadtree<2> qt(Domain2());
+  qt.Insert(Rect<2>{{0.1, 0.1}, {0.2, 0.2}}, 5);
+  EXPECT_EQ(qt.NumObjects(), 1u);
+  std::vector<ObjectId> out;
+  EXPECT_EQ(qt.RangeQuery(Rect<2>{{0.0, 0.0}, {0.15, 0.15}}, &out), 1u);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(qt.RangeCount(Rect<2>{{0.5, 0.5}, {0.6, 0.6}}), 0u);
+}
+
+TEST(Quadtree, SplitsUnderLoad) {
+  Quadtree<2> qt(Domain2(), /*capacity=*/4);
+  Rng rng(321);
+  for (int i = 0; i < 500; ++i) {
+    qt.Insert(RandomRect<2>(rng, 0.01).Intersection(Domain2()), i);
+  }
+  EXPECT_GT(qt.NumCells(), 1u);
+}
+
+TEST(Quadtree, QueriesMatchLinearScan2d) {
+  Quadtree<2> qt(Domain2(), 8);
+  Rng rng(322);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2000; ++i) {
+    Entry<2> e{RandomRect<2>(rng, 0.05).Intersection(Domain2()), i};
+    items.push_back(e);
+    qt.Insert(e.rect, e.id);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const auto query = RandomRect<2>(rng, 0.15);
+    std::vector<ObjectId> got;
+    qt.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (e.rect.Intersects(query)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Quadtree, QueriesMatchLinearScan3d) {
+  const Rect<3> domain{{0, 0, 0}, {1, 1, 1}};
+  Quadtree<3> qt(domain, 8);
+  Rng rng(323);
+  std::vector<Entry<3>> items;
+  for (int i = 0; i < 1500; ++i) {
+    Entry<3> e{RandomRect<3>(rng, 0.08).Intersection(domain), i};
+    items.push_back(e);
+    qt.Insert(e.rect, e.id);
+  }
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<3>(rng, 0.25);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(qt.RangeCount(query), want);
+  }
+}
+
+TEST(Quadtree, ItemsStoredAtSmallestContainingCell) {
+  Quadtree<2> qt(Domain2(), 2, /*max_depth=*/10);
+  Rng rng(324);
+  for (int i = 0; i < 600; ++i) {
+    qt.Insert(RandomRect<2>(rng, 0.02).Intersection(Domain2()), i);
+  }
+  // MX-CIF invariant: every stored item fits its cell; in a split cell,
+  // resident items straddle the split planes (no child contains them).
+  qt.ForEachCell([&](storage::PageId, const Quadtree<2>::Cell& c) {
+    const auto center = c.box.Center();
+    for (const auto& e : c.items) {
+      EXPECT_TRUE(c.box.Contains(e.rect));
+      if (c.split) {
+        bool straddles = false;
+        for (int i = 0; i < 2; ++i) {
+          if (e.rect.lo[i] < center[i] && e.rect.hi[i] > center[i]) {
+            straddles = true;
+          }
+        }
+        EXPECT_TRUE(straddles);
+      }
+    }
+  });
+}
+
+TEST(Quadtree, DeleteWorks) {
+  Quadtree<2> qt(Domain2(), 4);
+  Rng rng(325);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 300; ++i) {
+    Entry<2> e{RandomRect<2>(rng, 0.05).Intersection(Domain2()), i};
+    items.push_back(e);
+    qt.Insert(e.rect, e.id);
+  }
+  for (int i = 0; i < 150; ++i) {
+    EXPECT_TRUE(qt.Delete(items[i].rect, items[i].id)) << i;
+  }
+  EXPECT_FALSE(qt.Delete(items[0].rect, items[0].id));
+  EXPECT_EQ(qt.NumObjects(), 150u);
+  const Rect<2> all{{-1, -1}, {2, 2}};
+  EXPECT_EQ(qt.RangeCount(all), 150u);
+}
+
+TEST(Quadtree, MaxDepthBoundsSubdivision) {
+  Quadtree<2> qt(Domain2(), 1, /*max_depth=*/2);
+  // Pile identical tiny rects into one corner: depth cap must stop splits.
+  for (int i = 0; i < 100; ++i) {
+    qt.Insert(Rect<2>{{0.01, 0.01}, {0.02, 0.02}}, i);
+  }
+  // Depth <= 2 => at most 1 + 4 + 16 cells.
+  EXPECT_LE(qt.NumCells(), 21u);
+  EXPECT_EQ(qt.RangeCount(Domain2()), 100u);
+}
+
+TEST(Quadtree, IoCountsPopulated) {
+  Quadtree<2> qt(Domain2(), 4);
+  Rng rng(326);
+  for (int i = 0; i < 1000; ++i) {
+    qt.Insert(RandomRect<2>(rng, 0.02).Intersection(Domain2()), i);
+  }
+  storage::IoStats io;
+  qt.RangeCount(Rect<2>{{0.4, 0.4}, {0.6, 0.6}}, &io);
+  EXPECT_GT(io.TotalAccesses(), 0u);
+  EXPECT_LE(io.contributing_leaf_accesses, io.leaf_accesses);
+}
+
+}  // namespace
+}  // namespace clipbb::quadtree

@@ -1,0 +1,200 @@
+// Tests for the additional query types (point/containment/enclosure), the
+// parallel batch executor, the linear-split variant, and the tree report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/batch.h"
+#include "rtree/factory.h"
+#include "rtree/linear.h"
+#include "rtree/queries.h"
+#include "rtree/validate.h"
+#include "stats/tree_report.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using clipbb::testing::RandomRect;
+using geom::Rect;
+using geom::Vec;
+
+geom::Rect<2> Domain2() { return {{-0.5, -0.5}, {1.5, 1.5}}; }
+
+std::vector<Entry<2>> RandomItems(Rng& rng, int n, double extent = 0.05) {
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, extent), i});
+  }
+  return items;
+}
+
+TEST(PointQuery, MatchesLinearScan) {
+  Rng rng(311);
+  const auto items = RandomItems(rng, 2000, 0.1);
+  auto tree = BuildTree<2>(Variant::kRStar, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  for (int t = 0; t < 100; ++t) {
+    const auto p = RandomPoint<2>(rng);
+    std::vector<ObjectId> got;
+    PointQuery<2>(*tree, p, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (e.rect.ContainsPoint(p)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ContainedInQuery, MatchesLinearScan) {
+  Rng rng(312);
+  const auto items = RandomItems(rng, 2000, 0.05);
+  auto tree = BuildTree<2>(Variant::kGuttman, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  for (int t = 0; t < 100; ++t) {
+    const auto window = RandomRect<2>(rng, 0.3);
+    std::vector<ObjectId> got;
+    ContainedInQuery<2>(*tree, window, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (window.Contains(e.rect)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(EnclosureQuery, MatchesLinearScan) {
+  Rng rng(313);
+  const auto items = RandomItems(rng, 2000, 0.2);
+  auto tree = BuildTree<2>(Variant::kRRStar, items, Domain2());
+  for (int t = 0; t < 100; ++t) {
+    const auto window = RandomRect<2>(rng, 0.02);
+    std::vector<ObjectId> got;
+    EnclosureQuery<2>(*tree, window, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (e.rect.Contains(window)) want.push_back(e.id);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ContainedInQuery, ClippingSavesIoOnSparseData) {
+  Rng rng(314);
+  const auto items = RandomItems(rng, 4000, 0.01);
+  auto tree = BuildTree<2>(Variant::kGuttman, items, Domain2());
+  storage::IoStats plain, clipped;
+  std::vector<Rect<2>> windows;
+  for (int t = 0; t < 150; ++t) windows.push_back(RandomRect<2>(rng, 0.05));
+  for (const auto& w : windows) ContainedInQuery<2>(*tree, w, nullptr, &plain);
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  for (const auto& w : windows) {
+    ContainedInQuery<2>(*tree, w, nullptr, &clipped);
+  }
+  EXPECT_LE(clipped.leaf_accesses, plain.leaf_accesses);
+}
+
+TEST(BatchRangeCount, MatchesSerialExecution) {
+  Rng rng(315);
+  const auto items = RandomItems(rng, 3000);
+  auto tree = BuildTree<2>(Variant::kRStar, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  std::vector<Rect<2>> queries;
+  for (int t = 0; t < 300; ++t) queries.push_back(RandomRect<2>(rng, 0.1));
+
+  storage::IoStats serial_io;
+  std::vector<size_t> serial;
+  for (const auto& q : queries) {
+    serial.push_back(tree->RangeCount(q, &serial_io));
+  }
+  for (unsigned threads : {1u, 2u, 4u, 0u}) {
+    const auto batch = BatchRangeCount<2>(*tree, queries, threads);
+    EXPECT_EQ(batch.counts, serial);
+    EXPECT_EQ(batch.io.leaf_accesses, serial_io.leaf_accesses);
+    serial_io.leaf_accesses += 0;  // keep totals comparable per run
+  }
+}
+
+TEST(BatchRangeCount, EmptyBatch) {
+  auto tree = MakeRTree<2>(Variant::kGuttman, Domain2());
+  const auto batch = BatchRangeCount<2>(*tree, {}, 4);
+  EXPECT_TRUE(batch.counts.empty());
+  EXPECT_EQ(batch.io.TotalAccesses(), 0u);
+}
+
+TEST(LinearRTree, InvariantsAndQueries) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  LinearRTree<2> tree(opts);
+  Rng rng(316);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 800; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.08), i});
+    tree.Insert(items.back().rect, items.back().id);
+  }
+  EXPECT_STREQ(tree.Name(), "LR-tree");
+  const auto res = ValidateTree<2>(tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<2>(rng, 0.2);
+    size_t want = 0;
+    for (const auto& e : items) want += e.rect.Intersects(query);
+    EXPECT_EQ(tree.RangeCount(query), want);
+  }
+}
+
+TEST(LinearRTree, ClippingOrthogonal) {
+  LinearRTree<2> tree;
+  Rng rng(317);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.02), i});
+    tree.Insert(items.back().rect, items.back().id);
+  }
+  std::vector<Rect<2>> queries;
+  for (int q = 0; q < 120; ++q) queries.push_back(RandomRect<2>(rng, 0.05));
+  storage::IoStats plain;
+  std::vector<size_t> counts;
+  for (const auto& q : queries) counts.push_back(tree.RangeCount(q, &plain));
+  tree.EnableClipping(core::ClipConfig<2>::Sta());
+  ASSERT_TRUE(ValidateTree<2>(tree).ok);
+  storage::IoStats clipped;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(tree.RangeCount(queries[i], &clipped), counts[i]);
+  }
+  EXPECT_LE(clipped.leaf_accesses, plain.leaf_accesses);
+}
+
+TEST(TreeReport, PerLevelNumbersAddUp) {
+  Rng rng(318);
+  const auto items = RandomItems(rng, 2500);
+  auto tree = BuildTree<2>(Variant::kRStar, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  const auto report = stats::BuildTreeReport<2>(*tree);
+  ASSERT_EQ(static_cast<int>(report.levels.size()), tree->Height());
+  EXPECT_EQ(report.levels[0].entries, items.size());
+  size_t total_nodes = 0;
+  for (const auto& l : report.levels) total_nodes += l.nodes;
+  EXPECT_EQ(total_nodes, tree->NumNodes());
+  // Directory entries at level l+1 point at level-l nodes 1:1.
+  for (size_t l = 1; l < report.levels.size(); ++l) {
+    EXPECT_EQ(report.levels[l].entries, report.levels[l - 1].nodes);
+  }
+  EXPECT_GT(report.LeafUtilization(), 0.3);
+  EXPECT_LE(report.LeafUtilization(), 1.0);
+  // Clip points accounted per level sum to the index total.
+  size_t clips = 0;
+  for (const auto& l : report.levels) clips += l.clip_points;
+  EXPECT_EQ(clips, tree->clip_index().TotalClipPoints());
+  // The formatted report renders one row per level.
+  const std::string rendered = stats::FormatTreeReport<2>(*tree);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'),
+            2 + tree->Height());
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,101 @@
+// Tests for the selectivity-calibrated query generator (§V-B).
+#include <gtest/gtest.h>
+
+#include "workload/query.h"
+
+namespace clipbb::workload {
+namespace {
+
+template <int D>
+double MeanResults(const Dataset<D>& data, const QueryWorkload<D>& w) {
+  double total = 0.0;
+  for (const auto& q : w.queries) {
+    size_t hits = 0;
+    for (const auto& e : data.items) hits += e.rect.Intersects(q);
+    total += static_cast<double>(hits);
+  }
+  return total / static_cast<double>(w.queries.size());
+}
+
+TEST(QueryGen, CalibratesToTargets2d) {
+  // par02 contains huge overlapping boxes, so a point query at a dithered
+  // object center already hits several objects — QR0 has a density floor
+  // the generator cannot undercut. Require order-of-magnitude separation
+  // and 3x calibration for the two larger profiles.
+  const auto data = MakePar02(20000);
+  const auto w0 = MakeQueries<2>(data, 1.0, 100);
+  const auto w1 = MakeQueries<2>(data, 10.0, 100);
+  const auto w2 = MakeQueries<2>(data, 100.0, 100);
+  const double m0 = MeanResults<2>(data, w0);
+  const double m1 = MeanResults<2>(data, w1);
+  const double m2 = MeanResults<2>(data, w2);
+  EXPECT_LT(m0, 10.0);
+  EXPECT_GT(m1, 10.0 / 3.0);
+  EXPECT_LT(m1, 30.0);
+  EXPECT_GT(m2, 100.0 / 3.0);
+  EXPECT_LT(m2, 300.0);
+  EXPECT_LT(m0, m1);
+  EXPECT_LT(m1, m2);
+}
+
+TEST(QueryGen, CalibratesToTargets3d) {
+  const auto data = MakeAxo03(20000);
+  for (double target : {1.0, 10.0, 100.0}) {
+    const auto w = MakeQueries<3>(data, target, 100);
+    const double got = MeanResults<3>(data, w);
+    EXPECT_GT(got, target / 3.5) << "target " << target;
+    EXPECT_LT(got, target * 3.5) << "target " << target;
+  }
+}
+
+TEST(QueryGen, ProfilesOrderedByExtent) {
+  const auto data = MakePar02(10000);
+  const auto q0 = MakeQueries<2>(data, 1.0, 10);
+  const auto q1 = MakeQueries<2>(data, 10.0, 10);
+  const auto q2 = MakeQueries<2>(data, 100.0, 10);
+  EXPECT_LT(q0.extent_fraction, q1.extent_fraction);
+  EXPECT_LT(q1.extent_fraction, q2.extent_fraction);
+  EXPECT_EQ(q0.profile, "QR0");
+  EXPECT_EQ(q1.profile, "QR1");
+  EXPECT_EQ(q2.profile, "QR2");
+}
+
+TEST(QueryGen, Deterministic) {
+  const auto data = MakePar02(5000);
+  const auto a = MakeQueries<2>(data, 10.0, 20, 5);
+  const auto b = MakeQueries<2>(data, 10.0, 20, 5);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i], b.queries[i]);
+  }
+  const auto c = MakeQueries<2>(data, 10.0, 20, 6);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    if (!(a.queries[i] == c.queries[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QueryGen, QueriesAreSquaresNearTheData) {
+  const auto data = MakeRea02(10000);
+  const auto w = MakeQueries<2>(data, 10.0, 50);
+  for (const auto& q : w.queries) {
+    EXPECT_NEAR(q.Extent(0) / data.domain.Extent(0),
+                q.Extent(1) / data.domain.Extent(1), 1e-9);
+    // Centers are dithered object centers, so near the domain.
+    geom::Rect2 grown = data.domain;
+    for (int i = 0; i < 2; ++i) {
+      grown.lo[i] -= 0.5 * q.Extent(i) + 1e-3;
+      grown.hi[i] += 0.5 * q.Extent(i) + 1e-3;
+    }
+    EXPECT_TRUE(grown.Contains(q));
+  }
+}
+
+TEST(QueryGen, RequestedCountHonoured) {
+  const auto data = MakePar03(2000);
+  EXPECT_EQ(MakeQueries<3>(data, 1.0, 37).queries.size(), 37u);
+}
+
+}  // namespace
+}  // namespace clipbb::workload

@@ -1,0 +1,166 @@
+// Unit and property tests for the geometry kernel: Vec, Mask, Rect.
+#include <gtest/gtest.h>
+
+#include "geom/rect.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+TEST(Mask, Basics) {
+  EXPECT_EQ(kNumCorners<2>, 4u);
+  EXPECT_EQ(kNumCorners<3>, 8u);
+  EXPECT_EQ(kFullMask<2>, 3u);
+  EXPECT_EQ(kFullMask<3>, 7u);
+  EXPECT_EQ(OppositeMask<2>(0b01), 0b10u);
+  EXPECT_EQ(OppositeMask<3>(0b101), 0b010u);
+  EXPECT_TRUE(MaskBit<3>(0b100, 2));
+  EXPECT_FALSE(MaskBit<3>(0b100, 0));
+}
+
+TEST(Mask, OppositeIsInvolution) {
+  for (Mask b = 0; b < kNumCorners<3>; ++b) {
+    EXPECT_EQ(OppositeMask<3>(OppositeMask<3>(b)), b);
+  }
+}
+
+TEST(Rect, CornersMatchMask) {
+  Rect2 r{{1.0, 2.0}, {3.0, 5.0}};
+  EXPECT_EQ(r.Corner(0b00), (Vec2{1.0, 2.0}));
+  EXPECT_EQ(r.Corner(0b01), (Vec2{3.0, 2.0}));
+  EXPECT_EQ(r.Corner(0b10), (Vec2{1.0, 5.0}));
+  EXPECT_EQ(r.Corner(0b11), (Vec2{3.0, 5.0}));
+}
+
+TEST(Rect, VolumeAndMargin) {
+  Rect2 r{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(r.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  Rect3 cube{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_DOUBLE_EQ(cube.Volume(), 8.0);
+  EXPECT_DOUBLE_EQ(cube.Margin(), 6.0);
+}
+
+TEST(Rect, EmptyAbsorbs) {
+  Rect2 e = Rect2::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Volume(), 0.0);
+  Rect2 r{{0.5, 0.5}, {1.0, 1.0}};
+  e.ExpandToInclude(r);
+  EXPECT_EQ(e, r);
+}
+
+TEST(Rect, IntersectionAndOverlap) {
+  Rect2 a{{0, 0}, {2, 2}};
+  Rect2 b{{1, 1}, {3, 3}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_EQ(a.Intersection(b), (Rect2{{1, 1}, {2, 2}}));
+  Rect2 c{{5, 5}, {6, 6}};
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+}
+
+TEST(Rect, TouchingBoxesIntersect) {
+  // Closed-box semantics: shared boundaries count as intersection.
+  Rect2 a{{0, 0}, {1, 1}};
+  Rect2 b{{1, 0}, {2, 1}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.0);
+}
+
+TEST(Rect, ContainsSelfAndPoint) {
+  Rect3 r{{0, 0, 0}, {1, 2, 3}};
+  EXPECT_TRUE(r.Contains(r));
+  EXPECT_TRUE(r.ContainsPoint({0.0, 2.0, 1.5}));
+  EXPECT_FALSE(r.ContainsPoint({0.0, 2.1, 1.5}));
+}
+
+TEST(Rect, EnlargementZeroWhenContained) {
+  Rect2 big{{0, 0}, {10, 10}};
+  Rect2 small{{2, 2}, {3, 3}};
+  EXPECT_DOUBLE_EQ(big.Enlargement(small), 0.0);
+  EXPECT_GT(small.Enlargement(big), 0.0);
+  EXPECT_DOUBLE_EQ(big.MarginEnlargement(small), 0.0);
+}
+
+TEST(Rect, BoundingOfPointsOrderless) {
+  Vec2 p{3.0, 1.0};
+  Vec2 q{1.0, 4.0};
+  EXPECT_EQ(Rect2::Bounding(p, q), Rect2::Bounding(q, p));
+  EXPECT_EQ(Rect2::Bounding(p, q), (Rect2{{1.0, 1.0}, {3.0, 4.0}}));
+}
+
+// ------------------------- property tests ---------------------------------
+
+template <typename T>
+class RectPropertyTest : public ::testing::Test {};
+
+template <int N>
+struct Dim {
+  static constexpr int value = N;
+};
+using Dims = ::testing::Types<Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(RectPropertyTest, Dims);
+
+TYPED_TEST(RectPropertyTest, IntersectsIffPositiveIntersectionOrTouch) {
+  constexpr int D = TypeParam::value;
+  Rng rng(11);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = RandomRect<D>(rng);
+    const auto b = RandomRect<D>(rng);
+    const auto inter = a.Intersection(b);
+    EXPECT_EQ(a.Intersects(b), !inter.IsEmpty());
+    EXPECT_DOUBLE_EQ(a.OverlapVolume(b), inter.IsEmpty() ? 0.0 : inter.Volume());
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+  }
+}
+
+TYPED_TEST(RectPropertyTest, ExpandProducesCover) {
+  constexpr int D = TypeParam::value;
+  Rng rng(12);
+  for (int t = 0; t < 2000; ++t) {
+    auto a = RandomRect<D>(rng);
+    const auto b = RandomRect<D>(rng);
+    const auto orig = a;
+    a.ExpandToInclude(b);
+    EXPECT_TRUE(a.Contains(orig));
+    EXPECT_TRUE(a.Contains(b));
+    EXPECT_GE(a.Volume(), std::max(orig.Volume(), b.Volume()));
+  }
+}
+
+TYPED_TEST(RectPropertyTest, CornerRoundTripThroughMasks) {
+  constexpr int D = TypeParam::value;
+  Rng rng(13);
+  for (int t = 0; t < 500; ++t) {
+    const auto r = RandomRect<D>(rng);
+    // The bounding box of all corners is the rect itself.
+    geom::Rect<D> rebuilt = geom::Rect<D>::Empty();
+    for (Mask b = 0; b < kNumCorners<D>; ++b) {
+      rebuilt.ExpandToInclude(r.Corner(b));
+      EXPECT_TRUE(r.ContainsPoint(r.Corner(b)));
+    }
+    EXPECT_EQ(rebuilt, r);
+    // Opposite corners bound the rect.
+    EXPECT_EQ(geom::Rect<D>::Bounding(r.Corner(0), r.Corner(kFullMask<D>)), r);
+  }
+}
+
+TYPED_TEST(RectPropertyTest, CenterInsideAndExtents) {
+  constexpr int D = TypeParam::value;
+  Rng rng(14);
+  for (int t = 0; t < 500; ++t) {
+    const auto r = RandomRect<D>(rng);
+    EXPECT_TRUE(r.ContainsPoint(r.Center()));
+    double vol = 1.0;
+    for (int i = 0; i < D; ++i) vol *= r.Extent(i);
+    EXPECT_NEAR(r.Volume(), vol, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::geom

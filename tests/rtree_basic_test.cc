@@ -1,0 +1,206 @@
+// Structural and query-correctness tests for all four R-tree variants,
+// parameterized (TEST_P) over the variant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+template <int D>
+std::vector<Entry<D>> RandomItems(Rng& rng, int n, double extent = 0.05) {
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, extent), i});
+  }
+  return items;
+}
+
+template <int D>
+std::vector<ObjectId> BruteQuery(const std::vector<Entry<D>>& items,
+                                 const Rect<D>& q) {
+  std::vector<ObjectId> out;
+  for (const auto& e : items) {
+    if (e.rect.Intersects(q)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <int D>
+geom::Rect<D> UnitDomain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+class VariantTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(VariantTest, EmptyTree) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  EXPECT_EQ(tree->NumObjects(), 0u);
+  EXPECT_EQ(tree->Height(), 1);
+  std::vector<ObjectId> out;
+  EXPECT_EQ(tree->RangeQuery(Rect<2>{{0, 0}, {1, 1}}, &out), 0u);
+  EXPECT_TRUE(ValidateTree<2>(*tree).ok);
+}
+
+TEST_P(VariantTest, SingleInsertAndQuery) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  tree->Insert(Rect<2>{{0.4, 0.4}, {0.6, 0.6}}, 99);
+  std::vector<ObjectId> out;
+  EXPECT_EQ(tree->RangeQuery(Rect<2>{{0.5, 0.5}, {0.7, 0.7}}, &out), 1u);
+  EXPECT_EQ(out[0], 99);
+  EXPECT_EQ(tree->RangeCount(Rect<2>{{0.7, 0.7}, {0.9, 0.9}}), 0u);
+}
+
+TEST_P(VariantTest, InvariantsHoldWhileGrowing2d) {
+  RTreeOptions opts;
+  opts.max_entries = 8;  // small fanout forces deep trees and many splits
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  Rng rng(201);
+  for (int i = 0; i < 600; ++i) {
+    tree->Insert(RandomRect<2>(rng, 0.1), i);
+    if (i % 97 == 0) {
+      const auto res = ValidateTree<2>(*tree);
+      ASSERT_TRUE(res.ok) << "after " << i << " inserts:\n" << res.Summary();
+    }
+  }
+  EXPECT_EQ(tree->NumObjects(), 600u);
+  EXPECT_GE(tree->Height(), 3);
+  const auto res = ValidateTree<2>(*tree);
+  EXPECT_TRUE(res.ok) << res.Summary();
+}
+
+TEST_P(VariantTest, InvariantsHoldWhileGrowing3d) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  auto tree = MakeRTree<3>(GetParam(), UnitDomain<3>(), opts);
+  Rng rng(202);
+  for (int i = 0; i < 500; ++i) {
+    tree->Insert(RandomRect<3>(rng, 0.15), i);
+  }
+  const auto res = ValidateTree<3>(*tree);
+  EXPECT_TRUE(res.ok) << res.Summary();
+}
+
+TEST_P(VariantTest, QueriesMatchLinearScan) {
+  Rng rng(203);
+  const auto items = RandomItems<2>(rng, 1500);
+  auto tree =
+      BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  for (int q = 0; q < 100; ++q) {
+    const auto query = RandomRect<2>(rng, 0.2);
+    std::vector<ObjectId> got;
+    tree->RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteQuery<2>(items, query));
+  }
+}
+
+TEST_P(VariantTest, QueriesMatchLinearScan3d) {
+  Rng rng(204);
+  const auto items = RandomItems<3>(rng, 1000, 0.1);
+  auto tree = BuildTree<3>(GetParam(), items, UnitDomain<3>());
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<3>(rng, 0.3);
+    std::vector<ObjectId> got;
+    tree->RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteQuery<3>(items, query));
+  }
+}
+
+TEST_P(VariantTest, PointObjectsRetrievable) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  Rng rng(205);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 300; ++i) {
+    const auto p = clipbb::testing::RandomPoint<2>(rng);
+    items.push_back(Entry<2>{Rect<2>::FromPoint(p), i});
+    tree->Insert(items.back().rect, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const auto query = RandomRect<2>(rng, 0.3);
+    EXPECT_EQ(tree->RangeCount(query), BruteQuery<2>(items, query).size());
+  }
+}
+
+TEST_P(VariantTest, DuplicateRectsAllowed) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  const Rect<2> r{{0.3, 0.3}, {0.4, 0.4}};
+  for (int i = 0; i < 50; ++i) tree->Insert(r, i);
+  EXPECT_EQ(tree->RangeCount(r), 50u);
+  EXPECT_TRUE(ValidateTree<2>(*tree).ok);
+}
+
+TEST_P(VariantTest, IoCountsAreSane) {
+  Rng rng(206);
+  const auto items = RandomItems<2>(rng, 2000);
+  auto tree = BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  storage::IoStats io;
+  tree->RangeCount(Rect<2>{{0.45, 0.45}, {0.55, 0.55}}, &io);
+  EXPECT_GE(io.leaf_accesses, 1u);
+  EXPECT_LE(io.leaf_accesses, tree->NumLeaves());
+  EXPECT_GE(io.internal_accesses, 1u);  // at least the root
+  EXPECT_LE(io.contributing_leaf_accesses, io.leaf_accesses);
+}
+
+TEST_P(VariantTest, NameIsStable) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  EXPECT_STREQ(tree->Name(), VariantName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Options, DerivedCapacities) {
+  const auto o2 = ResolveOptions<2>(RTreeOptions{});
+  EXPECT_EQ(o2.max_entries, (4096 - 8) / (2 * 2 * 8 + 8));  // 102
+  EXPECT_EQ(o2.min_entries, static_cast<int>(0.4 * o2.max_entries));
+  const auto o3 = ResolveOptions<3>(RTreeOptions{});
+  EXPECT_EQ(o3.max_entries, (4096 - 8) / (2 * 3 * 8 + 8));  // 73
+  // m clamps.
+  RTreeOptions tight;
+  tight.max_entries = 4;
+  tight.min_fraction = 0.9;
+  EXPECT_LE(ResolveOptions<2>(tight).min_entries, 2);
+}
+
+TEST(Factory, RRStarGetsSmallerMinFraction) {
+  auto tree = MakeRTree<2>(Variant::kRRStar, UnitDomain<2>());
+  const auto resolved = tree->options();
+  EXPECT_EQ(resolved.min_entries, static_cast<int>(0.2 * resolved.max_entries));
+}
+
+TEST(NodeBytes, Layout) {
+  EXPECT_EQ(NodeBytes<2>(0), 8u);
+  EXPECT_EQ(NodeBytes<2>(1), 8u + 40u);
+  EXPECT_EQ(NodeBytes<3>(2), 8u + 2 * 56u);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

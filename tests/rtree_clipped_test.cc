@@ -1,0 +1,241 @@
+// The central integration property: a clipped R-tree answers every query
+// exactly like its unclipped counterpart while touching no more pages,
+// across variants, dimensions, updates, and coordinate ties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomGridRect;
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+template <int D>
+geom::Rect<D> UnitDomain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -1.0;
+    r.hi[i] = 9.0;
+  }
+  return r;
+}
+
+class ClippedTest : public ::testing::TestWithParam<Variant> {};
+
+template <int D>
+void CheckEquivalence(RTree<D>& tree, const std::vector<Entry<D>>& items,
+                      Rng& rng, int queries, double extent) {
+  for (int q = 0; q < queries; ++q) {
+    const auto query = RandomRect<D>(rng, extent);
+    std::vector<ObjectId> got;
+    tree.RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : items) {
+      if (e.rect.Intersects(query)) want.push_back(e.id);
+    }
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST_P(ClippedTest, ClippedNeverReadsMorePages) {
+  Rng rng(221);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  std::vector<Rect<2>> queries;
+  for (int q = 0; q < 150; ++q) queries.push_back(RandomRect<2>(rng, 0.05));
+
+  storage::IoStats plain;
+  for (const auto& q : queries) tree->RangeCount(q, &plain);
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  storage::IoStats clipped;
+  for (const auto& q : queries) tree->RangeCount(q, &clipped);
+  EXPECT_LE(clipped.leaf_accesses, plain.leaf_accesses);
+  EXPECT_LE(clipped.internal_accesses, plain.internal_accesses);
+}
+
+TEST_P(ClippedTest, EquivalenceUnderMixedUpdates) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  tree->EnableClipping(core::ClipConfig<2>::Sta(8, 0.01));
+  Rng rng(222);
+  std::vector<Entry<2>> live;
+  int next_id = 0;
+  for (int step = 0; step < 900; ++step) {
+    if (!live.empty() && rng.Uniform() < 0.35) {
+      const size_t pick = rng.Below(live.size());
+      ASSERT_TRUE(tree->Delete(live[pick].rect, live[pick].id));
+      live.erase(live.begin() + pick);
+    } else {
+      Entry<2> e{RandomRect<2>(rng, 0.6), next_id++};
+      tree->Insert(e.rect, e.id);
+      live.push_back(e);
+    }
+    if (step % 149 == 0) {
+      const auto res = ValidateTree<2>(*tree);
+      ASSERT_TRUE(res.ok) << "step " << step << "\n" << res.Summary();
+      CheckEquivalence<2>(*tree, live, rng, 25, 1.0);
+    }
+  }
+  CheckEquivalence<2>(*tree, live, rng, 100, 1.5);
+}
+
+TEST_P(ClippedTest, EquivalenceUnderCoordinateTies) {
+  // Integer-grid data exercises every boundary case of the strict
+  // dominance semantics; results must match exactly, including touches.
+  RTreeOptions opts;
+  opts.max_entries = 6;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  tree->EnableClipping(core::ClipConfig<2>::Sta(8, 0.0));
+  Rng rng(223);
+  std::vector<Entry<2>> live;
+  for (int i = 0; i < 400; ++i) {
+    Entry<2> e{RandomGridRect<2>(rng, 6), i};
+    tree->Insert(e.rect, e.id);
+    live.push_back(e);
+  }
+  const auto res = ValidateTree<2>(*tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 400; ++q) {
+    const auto query = RandomGridRect<2>(rng, 6);
+    std::vector<ObjectId> got;
+    tree->RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& e : live) {
+      if (e.rect.Intersects(query)) want.push_back(e.id);
+    }
+    ASSERT_EQ(got, want) << "tie-case query mismatch";
+  }
+}
+
+TEST_P(ClippedTest, EquivalenceIn3d) {
+  Rng rng(224);
+  std::vector<Entry<3>> items;
+  for (int i = 0; i < 1200; ++i) {
+    items.push_back(Entry<3>{RandomRect<3>(rng, 0.05), i});
+  }
+  RTreeOptions opts;
+  opts.max_entries = 16;
+  auto tree = BuildTree<3>(GetParam(), items, UnitDomain<3>(), opts);
+  for (auto mode : {core::ClipMode::kSkyline, core::ClipMode::kStairline}) {
+    core::ClipConfig<3> cfg;
+    cfg.mode = mode;
+    tree->EnableClipping(cfg);
+    ASSERT_TRUE(ValidateTree<3>(*tree).ok);
+    CheckEquivalence<3>(*tree, items, rng, 60, 0.2);
+  }
+}
+
+TEST_P(ClippedTest, ReclipStatsAccount) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  Rng rng(225);
+  for (int i = 0; i < 300; ++i) tree->Insert(RandomRect<2>(rng, 0.2), i);
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  EXPECT_EQ(tree->reclip_stats().TotalReclips(), 0u);  // reset on enable
+  for (int i = 300; i < 400; ++i) tree->Insert(RandomRect<2>(rng, 0.2), i);
+  const auto& s = tree->reclip_stats();
+  EXPECT_EQ(s.inserts, 100u);
+  EXPECT_GT(s.TotalReclips(), 0u);  // dense small tree must re-clip
+  tree->ResetReclipStats();
+  EXPECT_EQ(tree->reclip_stats().TotalReclips(), 0u);
+}
+
+TEST_P(ClippedTest, LazyDeletionsNeverBreakValidity) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  Rng rng(226);
+  std::vector<Entry<2>> live;
+  for (int i = 0; i < 400; ++i) {
+    live.push_back(Entry<2>{RandomRect<2>(rng, 0.3), i});
+    tree->Insert(live.back().rect, live.back().id);
+  }
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  // Deleting cannot invalidate clips (it only creates dead space); the
+  // validator's clip check must stay green throughout.
+  for (int i = 0; i < 200; ++i) {
+    const size_t pick = rng.Below(live.size());
+    ASSERT_TRUE(tree->Delete(live[pick].rect, live[pick].id));
+    live.erase(live.begin() + pick);
+    if (i % 40 == 0) {
+      const auto res = ValidateTree<2>(*tree);
+      ASSERT_TRUE(res.ok) << res.Summary();
+    }
+  }
+  CheckEquivalence<2>(*tree, live, rng, 60, 0.6);
+}
+
+TEST_P(ClippedTest, ParallelClippingMatchesSerial) {
+  Rng rng(228);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2500; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto serial = BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  auto parallel = BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  serial->EnableClipping(core::ClipConfig<2>::Sta());
+  parallel->EnableClipping(core::ClipConfig<2>::Sta(), /*threads=*/4);
+  EXPECT_EQ(parallel->clip_index().TotalClipPoints(),
+            serial->clip_index().TotalClipPoints());
+  EXPECT_EQ(parallel->clip_index().NumClippedNodes(),
+            serial->clip_index().NumClippedNodes());
+  ASSERT_TRUE(ValidateTree<2>(*parallel).ok);
+  storage::IoStats io_s, io_p;
+  for (int q = 0; q < 100; ++q) {
+    const auto query = RandomRect<2>(rng, 0.08);
+    EXPECT_EQ(parallel->RangeCount(query, &io_p),
+              serial->RangeCount(query, &io_s));
+  }
+  EXPECT_EQ(io_p.leaf_accesses, io_s.leaf_accesses);
+}
+
+TEST_P(ClippedTest, DisableClippingRestoresPlainBehaviour) {
+  Rng rng(227);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 800; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, UnitDomain<2>());
+  const auto query = RandomRect<2>(rng, 0.3);
+  storage::IoStats io_before;
+  const size_t n_before = tree->RangeCount(query, &io_before);
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  tree->DisableClipping();
+  EXPECT_EQ(tree->clip_index().NumClippedNodes(), 0u);
+  storage::IoStats io_after;
+  EXPECT_EQ(tree->RangeCount(query, &io_after), n_before);
+  EXPECT_EQ(io_after.leaf_accesses, io_before.leaf_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ClippedTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

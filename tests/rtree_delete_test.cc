@@ -1,0 +1,142 @@
+// Deletion and condense-tree tests across variants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+template <int D>
+geom::Rect<D> UnitDomain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+class DeleteTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(DeleteTest, DeleteMissingReturnsFalse) {
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>());
+  tree->Insert(Rect<2>{{0, 0}, {1, 1}}, 1);
+  EXPECT_FALSE(tree->Delete(Rect<2>{{0, 0}, {1, 1}}, 2));       // wrong id
+  EXPECT_FALSE(tree->Delete(Rect<2>{{0, 0}, {0.5, 1}}, 1));     // wrong rect
+  EXPECT_TRUE(tree->Delete(Rect<2>{{0, 0}, {1, 1}}, 1));
+  EXPECT_FALSE(tree->Delete(Rect<2>{{0, 0}, {1, 1}}, 1));       // again
+  EXPECT_EQ(tree->NumObjects(), 0u);
+}
+
+TEST_P(DeleteTest, DeleteHalfKeepsQueriesCorrect) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  Rng rng(211);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 500; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.08), i});
+    tree->Insert(items.back().rect, i);
+  }
+  // Delete every other object.
+  for (int i = 0; i < 500; i += 2) {
+    ASSERT_TRUE(tree->Delete(items[i].rect, items[i].id)) << i;
+  }
+  EXPECT_EQ(tree->NumObjects(), 250u);
+  const auto res = ValidateTree<2>(*tree);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<2>(rng, 0.25);
+    std::vector<ObjectId> got;
+    tree->RangeQuery(query, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (int i = 1; i < 500; i += 2) {
+      if (items[i].rect.Intersects(query)) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(DeleteTest, DeleteAllShrinksToEmptyRoot) {
+  RTreeOptions opts;
+  opts.max_entries = 6;
+  auto tree = MakeRTree<2>(GetParam(), UnitDomain<2>(), opts);
+  Rng rng(212);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.1), i});
+    tree->Insert(items.back().rect, i);
+  }
+  // Delete in a shuffled order.
+  for (size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[rng.Below(i)]);
+  }
+  for (const auto& e : items) {
+    ASSERT_TRUE(tree->Delete(e.rect, e.id));
+  }
+  EXPECT_EQ(tree->NumObjects(), 0u);
+  EXPECT_EQ(tree->Height(), 1);
+  EXPECT_TRUE(ValidateTree<2>(*tree).ok);
+  // And the tree is reusable afterwards.
+  tree->Insert(Rect<2>{{0, 0}, {0.1, 0.1}}, 9999);
+  EXPECT_EQ(tree->RangeCount(Rect<2>{{0, 0}, {1, 1}}), 1u);
+}
+
+TEST_P(DeleteTest, InterleavedInsertDelete) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  auto tree = MakeRTree<3>(GetParam(), UnitDomain<3>(), opts);
+  Rng rng(213);
+  std::vector<Entry<3>> live;
+  int next_id = 0;
+  for (int step = 0; step < 1200; ++step) {
+    const bool do_delete = !live.empty() && rng.Uniform() < 0.4;
+    if (do_delete) {
+      const size_t pick = rng.Below(live.size());
+      ASSERT_TRUE(tree->Delete(live[pick].rect, live[pick].id));
+      live.erase(live.begin() + pick);
+    } else {
+      Entry<3> e{RandomRect<3>(rng, 0.1), next_id++};
+      tree->Insert(e.rect, e.id);
+      live.push_back(e);
+    }
+    if (step % 211 == 0) {
+      const auto res = ValidateTree<3>(*tree);
+      ASSERT_TRUE(res.ok) << "step " << step << "\n" << res.Summary();
+    }
+  }
+  EXPECT_EQ(tree->NumObjects(), live.size());
+  // Final full check: every live object findable, every count matches.
+  const auto res = ValidateTree<3>(*tree);
+  EXPECT_TRUE(res.ok) << res.Summary();
+  for (const auto& e : live) {
+    EXPECT_GE(tree->RangeCount(e.rect), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, DeleteTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

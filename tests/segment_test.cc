@@ -1,0 +1,84 @@
+// Tests for exact segment geometry (the refinement-step substrate).
+#include <gtest/gtest.h>
+
+#include "geom/segment.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+using clipbb::testing::RandomPoint;
+
+TEST(PointSegmentDist, Cases) {
+  const Vec2 a{0, 0}, b{2, 0};
+  EXPECT_DOUBLE_EQ(PointSegmentDist2({1, 0}, a, b), 0.0);   // on segment
+  EXPECT_DOUBLE_EQ(PointSegmentDist2({1, 3}, a, b), 9.0);   // above middle
+  EXPECT_DOUBLE_EQ(PointSegmentDist2({-3, 4}, a, b), 25.0);  // past endpoint
+  EXPECT_DOUBLE_EQ(PointSegmentDist2({5, 0}, a, b), 9.0);
+  // Degenerate segment = point distance.
+  EXPECT_DOUBLE_EQ(PointSegmentDist2({3, 4}, a, a), 25.0);
+}
+
+TEST(SegmentsIntersect, Cases) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));  // cross
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));  // T touch
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));  // collinear
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentRectDist, Cases) {
+  const Rect2 r{{0, 0}, {2, 2}};
+  // Through the box.
+  EXPECT_DOUBLE_EQ(SegmentRectDist2({-1, 1}, {3, 1}, r), 0.0);
+  // Endpoint inside.
+  EXPECT_DOUBLE_EQ(SegmentRectDist2({1, 1}, {5, 5}, r), 0.0);
+  // Fully outside, parallel to the top edge at distance 1.
+  EXPECT_DOUBLE_EQ(SegmentRectDist2({0, 3}, {2, 3}, r), 1.0);
+  // Diagonal near the corner.
+  EXPECT_NEAR(SegmentRectDist2({3, 3}, {4, 2}, r),
+              PointSegmentDist2({2, 2}, {3, 3}, {4, 2}), 1e-12);
+}
+
+TEST(SegmentIntersectsRect, RadiusMatters) {
+  const Rect2 r{{0, 0}, {2, 2}};
+  Segment2 s{{0, 3}, {2, 3}, 0.5};
+  EXPECT_FALSE(SegmentIntersectsRect(s, r));  // gap of 1, radius 0.5
+  s.radius = 1.0;
+  EXPECT_TRUE(SegmentIntersectsRect(s, r));  // touches exactly
+}
+
+TEST(Segment, MbbCoversCapsule) {
+  Rng rng(331);
+  for (int t = 0; t < 500; ++t) {
+    Segment2 s{RandomPoint<2>(rng), RandomPoint<2>(rng),
+               rng.Uniform(0.0, 0.05)};
+    const Rect2 mbb = s.Mbb();
+    EXPECT_TRUE(mbb.ContainsPoint(s.a));
+    EXPECT_TRUE(mbb.ContainsPoint(s.b));
+    // Sample points on the capsule boundary stay within the MBB.
+    for (int k = 0; k < 8; ++k) {
+      const double t01 = k / 7.0;
+      const Vec2 p{s.a[0] + t01 * (s.b[0] - s.a[0]) + s.radius,
+                   s.a[1] + t01 * (s.b[1] - s.a[1])};
+      EXPECT_TRUE(mbb.ContainsPoint(p));
+    }
+  }
+}
+
+// Filter-vs-refine consistency: the MBB test never misses a true hit.
+TEST(Segment, MbbFilterIsConservative) {
+  Rng rng(332);
+  for (int t = 0; t < 2000; ++t) {
+    Segment2 s{RandomPoint<2>(rng), RandomPoint<2>(rng),
+               rng.Uniform(0.0, 0.02)};
+    const Rect2 q = clipbb::testing::RandomRect<2>(rng, 0.3);
+    if (SegmentIntersectsRect(s, q)) {
+      EXPECT_TRUE(s.Mbb().Intersects(q))
+          << "refinement hit escaped the filter";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::geom

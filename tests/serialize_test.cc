@@ -1,0 +1,150 @@
+// Round-trip tests for tree serialization (rtree/serialize.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rtree/factory.h"
+#include "rtree/serialize.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+template <int D>
+geom::Rect<D> Domain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+class SerializeTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SerializeTest, RoundTripPreservesQueries) {
+  Rng rng(281);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2500; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, Domain<2>());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+
+  std::stringstream buf;
+  const size_t bytes = SerializeTree<2>(*tree, buf);
+  EXPECT_GT(bytes, 0u);
+
+  auto restored = MakeRTree<2>(GetParam(), Domain<2>());
+  ASSERT_TRUE(DeserializeTree<2>(buf, restored.get()));
+  EXPECT_EQ(restored->NumObjects(), tree->NumObjects());
+  EXPECT_EQ(restored->NumNodes(), tree->NumNodes());
+  EXPECT_EQ(restored->Height(), tree->Height());
+  EXPECT_TRUE(restored->clipping_enabled());
+  EXPECT_EQ(restored->clip_index().TotalClipPoints(),
+            tree->clip_index().TotalClipPoints());
+  const auto res = ValidateTree<2>(*restored);
+  ASSERT_TRUE(res.ok) << res.Summary();
+
+  for (int q = 0; q < 60; ++q) {
+    const auto query = RandomRect<2>(rng, 0.1);
+    storage::IoStats io_a, io_b;
+    std::vector<ObjectId> a, b;
+    tree->RangeQuery(query, &a, &io_a);
+    restored->RangeQuery(query, &b, &io_b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(io_a.leaf_accesses, io_b.leaf_accesses);
+  }
+}
+
+TEST_P(SerializeTest, RestoredTreeAcceptsUpdates) {
+  Rng rng(282);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 800; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, Domain<2>());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  std::stringstream buf;
+  SerializeTree<2>(*tree, buf);
+  auto restored = MakeRTree<2>(GetParam(), Domain<2>());
+  ASSERT_TRUE(DeserializeTree<2>(buf, restored.get()));
+
+  for (int i = 800; i < 1100; ++i) {
+    restored->Insert(RandomRect<2>(rng, 0.05), i);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(restored->Delete(items[i].rect, items[i].id));
+  }
+  const auto res = ValidateTree<2>(*restored);
+  ASSERT_TRUE(res.ok) << res.Summary();
+  EXPECT_EQ(restored->NumObjects(), 800u + 300u - 200u);
+}
+
+TEST_P(SerializeTest, UnclippedRoundTrip3d) {
+  Rng rng(283);
+  std::vector<Entry<3>> items;
+  for (int i = 0; i < 1500; ++i) {
+    items.push_back(Entry<3>{RandomRect<3>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<3>(GetParam(), items, Domain<3>());
+  std::stringstream buf;
+  SerializeTree<3>(*tree, buf);
+  auto restored = MakeRTree<3>(GetParam(), Domain<3>());
+  ASSERT_TRUE(DeserializeTree<3>(buf, restored.get()));
+  EXPECT_FALSE(restored->clipping_enabled());
+  EXPECT_TRUE(ValidateTree<3>(*restored).ok);
+  for (int q = 0; q < 30; ++q) {
+    const auto query = RandomRect<3>(rng, 0.2);
+    EXPECT_EQ(restored->RangeCount(query), tree->RangeCount(query));
+  }
+}
+
+TEST(SerializeFormat, RejectsGarbageAndWrongDimension) {
+  auto tree = MakeRTree<2>(Variant::kRStar, Domain<2>());
+  std::stringstream garbage("not a tree at all");
+  EXPECT_FALSE(DeserializeTree<2>(garbage, tree.get()));
+
+  auto tree3 = MakeRTree<3>(Variant::kRStar, Domain<3>());
+  tree3->Insert(Rect<3>{{0, 0, 0}, {1, 1, 1}}, 1);
+  std::stringstream buf;
+  SerializeTree<3>(*tree3, buf);
+  EXPECT_FALSE(DeserializeTree<2>(buf, tree.get()));  // dimension mismatch
+}
+
+TEST(SerializeFormat, TruncatedStreamFails) {
+  auto tree = MakeRTree<2>(Variant::kGuttman, Domain<2>());
+  Rng rng(284);
+  for (int i = 0; i < 300; ++i) tree->Insert(RandomRect<2>(rng, 0.1), i);
+  std::stringstream buf;
+  SerializeTree<2>(*tree, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  auto restored = MakeRTree<2>(Variant::kGuttman, Domain<2>());
+  EXPECT_FALSE(DeserializeTree<2>(cut, restored.get()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SerializeTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,159 @@
+// Tests for oriented skylines (Def. 5), parameterized over corner masks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/skyline.h"
+#include "test_util.h"
+
+namespace clipbb::core {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using clipbb::testing::RandomRects;
+using geom::Dominates;
+
+template <int D>
+std::vector<Vec<D>> RandomPoints(Rng& rng, int n) {
+  std::vector<Vec<D>> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(RandomPoint<D>(rng));
+  return pts;
+}
+
+// Brute-force oracle straight from Definition 5.
+template <int D>
+std::vector<Vec<D>> BruteSkyline(std::vector<Vec<D>> pts, Mask b) {
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::vector<Vec<D>> out;
+  for (const auto& p : pts) {
+    bool dominated = false;
+    for (const auto& q : pts) {
+      if (Dominates<D>(q, p, b)) dominated = true;
+    }
+    if (!dominated) out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Skyline, PaperExampleCorner00) {
+  // Fig. 2: for corner 00 the skyline is {o1, o2, o3, o4}; o5 is dominated
+  // by o3 and o4.
+  std::vector<Vec<2>> corners = {
+      {0.05, 0.55},  // o1^00
+      {0.10, 0.35},  // o2^00
+      {0.36, 0.22},  // o3^00
+      {0.58, 0.05},  // o4^00
+      {0.86, 0.12},  // o5^00 (dominated by o4)
+  };
+  const auto sky = OrientedSkyline<2>(corners, 0b00);
+  EXPECT_EQ(sky.size(), 4u);
+  EXPECT_EQ(std::count(sky.begin(), sky.end(), Vec<2>{0.86, 0.12}), 0);
+}
+
+class SkylineMaskTest2d : public ::testing::TestWithParam<Mask> {};
+class SkylineMaskTest3d : public ::testing::TestWithParam<Mask> {};
+
+TEST_P(SkylineMaskTest2d, MatchesBruteForce) {
+  const Mask b = GetParam();
+  Rng rng(60 + b);
+  for (int t = 0; t < 200; ++t) {
+    const auto pts = RandomPoints<2>(rng, 20);
+    auto got = OrientedSkyline<2>(pts, b);
+    auto want = BruteSkyline<2>(pts, b);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SkylineMaskTest2d, MatchesSortedAlgorithm) {
+  const Mask b = GetParam();
+  Rng rng(70 + b);
+  for (int t = 0; t < 200; ++t) {
+    const auto pts = RandomPoints<2>(rng, 24);
+    auto got = OrientedSkyline2Sorted(pts, b);
+    auto want = OrientedSkyline<2>(pts, b);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SkylineMaskTest3d, MatchesBruteForce) {
+  const Mask b = GetParam();
+  Rng rng(80 + b);
+  for (int t = 0; t < 100; ++t) {
+    const auto pts = RandomPoints<3>(rng, 16);
+    auto got = OrientedSkyline<3>(pts, b);
+    auto want = BruteSkyline<3>(pts, b);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(SkylineMaskTest3d, SkylineIsDominationFree) {
+  const Mask b = GetParam();
+  Rng rng(90 + b);
+  for (int t = 0; t < 100; ++t) {
+    const auto sky = OrientedSkyline<3>(RandomPoints<3>(rng, 20), b);
+    for (const auto& p : sky) {
+      for (const auto& q : sky) {
+        EXPECT_FALSE(Dominates<3>(q, p, b));
+      }
+    }
+  }
+}
+
+TEST_P(SkylineMaskTest3d, EveryInputDominatedBySkyline) {
+  const Mask b = GetParam();
+  Rng rng(100 + b);
+  for (int t = 0; t < 100; ++t) {
+    const auto pts = RandomPoints<3>(rng, 20);
+    const auto sky = OrientedSkyline<3>(pts, b);
+    for (const auto& p : pts) {
+      bool covered = false;
+      for (const auto& q : sky) {
+        if (geom::WeaklyDominates<3>(q, p, b)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorners2d, SkylineMaskTest2d,
+                         ::testing::Values(0b00, 0b01, 0b10, 0b11));
+INSTANTIATE_TEST_SUITE_P(AllCorners3d, SkylineMaskTest3d,
+                         ::testing::Range<Mask>(0, 8));
+
+TEST(Skyline, DuplicatesCollapse) {
+  std::vector<Vec<2>> pts = {{1, 1}, {1, 1}, {2, 2}};
+  const auto sky = OrientedSkyline<2>(pts, 0b00);
+  EXPECT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0], (Vec<2>{1, 1}));
+}
+
+TEST(Skyline, SinglePointAndEmpty) {
+  EXPECT_TRUE(OrientedSkyline<2>({}, 0b00).empty());
+  const auto one = OrientedSkyline<2>({{0.5, 0.5}}, 0b11);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(CornerPoints, ExtractsRequestedCorner) {
+  Rng rng(110);
+  const auto rects = RandomRects<3>(rng, 10);
+  for (Mask b = 0; b < geom::kNumCorners<3>; ++b) {
+    const auto pts = CornerPoints<3>(rects, b);
+    ASSERT_EQ(pts.size(), rects.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(pts[i], rects[i].Corner(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::core

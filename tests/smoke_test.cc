@@ -1,0 +1,84 @@
+// End-to-end smoke test: builds every variant in 2d and 3d, clips them,
+// and checks clipped queries return exactly the unclipped results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "join/inlj.h"
+#include "join/stt.h"
+#include "rtree/bulk.h"
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "stats/node_stats.h"
+#include "workload/dataset.h"
+#include "workload/query.h"
+
+namespace clipbb {
+namespace {
+
+using rtree::Variant;
+
+template <int D>
+void SmokeVariant(Variant v, const workload::Dataset<D>& data) {
+  auto tree = rtree::BuildTree<D>(v, data.items, data.domain);
+  ASSERT_TRUE(rtree::ValidateTree<D>(*tree).ok)
+      << rtree::ValidateTree<D>(*tree).Summary();
+
+  auto queries = workload::MakeQueries<D>(data, 10.0, 20);
+  std::vector<std::vector<rtree::ObjectId>> plain;
+  for (const auto& q : queries.queries) {
+    std::vector<rtree::ObjectId> r;
+    tree->RangeQuery(q, &r);
+    std::sort(r.begin(), r.end());
+    plain.push_back(std::move(r));
+  }
+
+  tree->EnableClipping(core::ClipConfig<D>::Sta());
+  ASSERT_TRUE(rtree::ValidateTree<D>(*tree).ok)
+      << rtree::ValidateTree<D>(*tree).Summary();
+  storage::IoStats io;
+  for (size_t i = 0; i < queries.queries.size(); ++i) {
+    std::vector<rtree::ObjectId> r;
+    tree->RangeQuery(queries.queries[i], &r, &io);
+    std::sort(r.begin(), r.end());
+    EXPECT_EQ(r, plain[i]) << "query " << i;
+  }
+}
+
+TEST(Smoke, AllVariants2d) {
+  const auto data = workload::MakePar02(3000);
+  for (Variant v : rtree::kAllVariants) {
+    SCOPED_TRACE(rtree::VariantName(v));
+    SmokeVariant<2>(v, data);
+  }
+}
+
+TEST(Smoke, AllVariants3d) {
+  const auto data = workload::MakeAxo03(3000);
+  for (Variant v : rtree::kAllVariants) {
+    SCOPED_TRACE(rtree::VariantName(v));
+    SmokeVariant<3>(v, data);
+  }
+}
+
+TEST(Smoke, JoinAndStats) {
+  const auto a = workload::MakeAxo03(2000);
+  const auto b = workload::MakeDen03(1000);
+  auto ta = rtree::BuildTree<3>(Variant::kRStar, a.items, a.domain);
+  auto tb = rtree::BuildTree<3>(Variant::kRStar, b.items, b.domain);
+  const auto stt_plain = join::SynchronizedTreeTraversal<3>(*ta, *tb);
+  const auto inlj_plain = join::IndexNestedLoopJoin<3>(*ta, b.items);
+  EXPECT_EQ(stt_plain.result_pairs, inlj_plain.result_pairs);
+
+  ta->EnableClipping(core::ClipConfig<3>::Sta());
+  tb->EnableClipping(core::ClipConfig<3>::Sta());
+  const auto stt_clip = join::SynchronizedTreeTraversal<3>(*ta, *tb);
+  EXPECT_EQ(stt_clip.result_pairs, stt_plain.result_pairs);
+  EXPECT_LE(stt_clip.TotalLeafAccesses(), stt_plain.TotalLeafAccesses());
+
+  const auto report = stats::MeasureSpace<3>(*ta, {.measure_overlap = true});
+  EXPECT_GT(report.avg_dead_fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace clipbb

@@ -1,0 +1,152 @@
+// Split- and ChooseSubtree-policy tests specific to each variant: balance
+// bounds, quality orderings, and the R* internals shared with RR*.
+#include <gtest/gtest.h>
+
+#include "rtree/factory.h"
+#include "rtree/validate.h"
+#include "stats/node_stats.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+geom::Rect<2> Domain2() { return {{-0.5, -0.5}, {1.5, 1.5}}; }
+
+/// Drives a tree to overflow repeatedly and checks every node satisfies
+/// the [m, M] bound (i.e. the split distributed within limits).
+template <typename TreeT>
+void CheckSplitBalance(TreeT& tree, int inserts, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < inserts; ++i) {
+    tree.Insert(RandomRect<2>(rng, 0.1), i);
+  }
+  const int m = tree.options().min_entries;
+  const int kMax = tree.options().max_entries;
+  tree.ForEachNode([&](storage::PageId id, const Node<2>& n) {
+    EXPECT_LE(static_cast<int>(n.entries.size()), kMax);
+    if (id != tree.root()) {
+      EXPECT_GE(static_cast<int>(n.entries.size()), m);
+    }
+  });
+}
+
+TEST(GuttmanSplit, RespectsBalanceBounds) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  GuttmanRTree<2> tree(opts);
+  CheckSplitBalance(tree, 800, 301);
+}
+
+TEST(RStarSplit, RespectsBalanceBounds) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  RStarTree<2> tree(opts);
+  CheckSplitBalance(tree, 800, 302);
+}
+
+TEST(RRStarSplit, RespectsBalanceBounds) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  opts.min_fraction = 0.2;
+  RRStarTree<2> tree(opts);
+  CheckSplitBalance(tree, 800, 303);
+}
+
+TEST(HilbertSplit, RespectsBalanceBounds) {
+  RTreeOptions opts;
+  opts.max_entries = 10;
+  HilbertRTree<2> tree(Domain2(), opts);
+  CheckSplitBalance(tree, 800, 304);
+}
+
+TEST(RStarInternals, AxisSortsAreConsistent) {
+  Rng rng(305);
+  std::vector<Entry<2>> pool;
+  for (int i = 0; i < 20; ++i) {
+    pool.push_back(Entry<2>{RandomRect<2>(rng, 0.2), i});
+  }
+  for (int axis = 0; axis < 2; ++axis) {
+    const auto s = rstar_internal::SortAxis<2>(pool, axis);
+    ASSERT_EQ(s.by_lo.size(), pool.size());
+    for (size_t i = 1; i < s.by_lo.size(); ++i) {
+      EXPECT_LE(s.by_lo[i - 1].rect.lo[axis], s.by_lo[i].rect.lo[axis]);
+      EXPECT_LE(s.by_hi[i - 1].rect.hi[axis], s.by_hi[i].rect.hi[axis]);
+    }
+    // Margin sum over distributions is positive for non-degenerate input.
+    EXPECT_GT(rstar_internal::MarginSum<2>(s.by_lo, 4), 0.0);
+  }
+}
+
+TEST(RStarInternals, BoundOfIsPrefixSuffixMbb) {
+  Rng rng(306);
+  std::vector<Entry<2>> pool;
+  for (int i = 0; i < 10; ++i) {
+    pool.push_back(Entry<2>{RandomRect<2>(rng, 0.3), i});
+  }
+  const auto full = rstar_internal::BoundOf<2>(pool, 0, pool.size());
+  for (size_t k = 1; k < pool.size(); ++k) {
+    auto a = rstar_internal::BoundOf<2>(pool, 0, k);
+    const auto b = rstar_internal::BoundOf<2>(pool, k, pool.size());
+    a.ExpandToInclude(b);
+    EXPECT_EQ(a, full);
+  }
+}
+
+// Quality ordering: on clustered data the R*/RR* trees should produce
+// nodes with clearly less overlap than Guttman's quadratic split.
+TEST(SplitQuality, RStarFamilyBeatsGuttmanOnOverlap) {
+  Rng rng(307);
+  std::vector<Entry<2>> items;
+  // Clustered boxes (splits matter most here).
+  for (int c = 0; c < 40; ++c) {
+    const double cx = rng.Uniform(), cy = rng.Uniform();
+    for (int i = 0; i < 60; ++i) {
+      geom::Rect2 r;
+      r.lo = {cx + 0.02 * rng.Uniform(), cy + 0.02 * rng.Uniform()};
+      r.hi = {r.lo[0] + 0.005, r.lo[1] + 0.005};
+      items.push_back(Entry<2>{r, c * 60 + i});
+    }
+  }
+  RTreeOptions opts;
+  opts.max_entries = 16;
+  auto measure = [&](Variant v) {
+    auto tree = BuildTree<2>(v, items, Domain2(), opts);
+    stats::SpaceOptions so;
+    so.measure_overlap = true;
+    so.internal_only = true;
+    return stats::MeasureSpace<2>(*tree, so).avg_overlap_fraction;
+  };
+  const double guttman = measure(Variant::kGuttman);
+  const double rstar = measure(Variant::kRStar);
+  const double rrstar = measure(Variant::kRRStar);
+  EXPECT_LT(rstar, guttman);
+  // RR* optimises perimeter/query goals rather than directory overlap
+  // directly; require it to stay in Guttman's ballpark here (its query
+  // superiority is asserted separately below).
+  EXPECT_LT(rrstar, guttman * 1.3);
+}
+
+// Query-quality ordering on uniform data: RR* should not be worse than
+// Guttman in leaf accesses (it is the paper's strongest baseline).
+TEST(SplitQuality, RRStarQueriesNoWorseThanGuttman) {
+  Rng rng(308);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 4000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.02), i});
+  }
+  auto guttman = BuildTree<2>(Variant::kGuttman, items, Domain2());
+  auto rrstar = BuildTree<2>(Variant::kRRStar, items, Domain2());
+  storage::IoStats io_g, io_r;
+  for (int q = 0; q < 200; ++q) {
+    const auto query = RandomRect<2>(rng, 0.04);
+    guttman->RangeCount(query, &io_g);
+    rrstar->RangeCount(query, &io_r);
+  }
+  EXPECT_LE(io_r.leaf_accesses, io_g.leaf_accesses * 11 / 10);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

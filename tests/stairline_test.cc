@@ -1,0 +1,130 @@
+// Tests for stairline points (Definitions 6-7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/stairline.h"
+#include "test_util.h"
+
+namespace clipbb::core {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using geom::StrictlyDominates;
+using geom::WeaklyDominates;
+
+template <int D>
+std::vector<Vec<D>> RandomPoints(Rng& rng, int n) {
+  std::vector<Vec<D>> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(RandomPoint<D>(rng));
+  return pts;
+}
+
+TEST(Stairline, TwoPointStaircase) {
+  // Two skyline points for corner 11 produce exactly one stair point that
+  // combines their weaker coordinates.
+  std::vector<Vec<2>> sky = {{0.2, 0.9}, {0.9, 0.3}};
+  const auto stairs = OrientedStairline<2>(sky, 0b11);
+  ASSERT_EQ(stairs.size(), 1u);
+  EXPECT_EQ(stairs[0], (Vec<2>{0.2, 0.3}));
+}
+
+TEST(Stairline, PaperFig2PointC) {
+  // c = ~11(o1^11, o4^11): x of o1, y of o4 — the strongest clip point for
+  // corner R^11 in the running example (in the figure, only o1 and o4 are
+  // on the 11-skyline; o3 and o5 are dominated).
+  std::vector<Vec<2>> corners = {
+      {0.22, 0.95},  // o1^11
+      {0.55, 0.25},  // o3^11 (dominated by o4 w.r.t. corner 11)
+      {0.90, 0.30},  // o4^11
+      {0.88, 0.28},  // o5^11 (dominated by o4)
+  };
+  const auto sky = OrientedSkyline<2>(corners, 0b11);
+  ASSERT_EQ(sky.size(), 2u);
+  const auto stairs = OrientedStairline<2>(sky, 0b11);
+  ASSERT_EQ(stairs.size(), 1u);
+  EXPECT_EQ(stairs[0], (Vec<2>{0.22, 0.30}));
+}
+
+template <typename T>
+class StairlinePropertyTest : public ::testing::Test {};
+template <int N>
+struct Dim {
+  static constexpr int value = N;
+};
+using Dims = ::testing::Types<Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(StairlinePropertyTest, Dims);
+
+TYPED_TEST(StairlinePropertyTest, StairPointsAreValidClipPoints) {
+  constexpr int D = TypeParam::value;
+  Rng rng(120);
+  for (int t = 0; t < 200; ++t) {
+    const auto pts = RandomPoints<D>(rng, 16);
+    for (Mask b = 0; b < geom::kNumCorners<D>; ++b) {
+      const auto sky = OrientedSkyline<D>(pts, b);
+      const auto stairs = OrientedStairline<D>(sky, b);
+      // Validity: no input point may intrude (strictly dominate towards
+      // the corner) into any stair point's clipped region.
+      for (const auto& s : stairs) {
+        for (const auto& p : pts) {
+          EXPECT_FALSE(StrictlyDominates<D>(p, s, b));
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(StairlinePropertyTest, StairPointsDominateSomeSourcePair) {
+  constexpr int D = TypeParam::value;
+  Rng rng(121);
+  for (int t = 0; t < 100; ++t) {
+    const auto pts = RandomPoints<D>(rng, 12);
+    for (Mask b = 0; b < geom::kNumCorners<D>; ++b) {
+      const auto sky = OrientedSkyline<D>(pts, b);
+      const auto stairs = OrientedStairline<D>(sky, b);
+      // Every stair point is weakly dominated (towards ~b, i.e. it is
+      // farther from the corner) by at least two skyline points it mixes.
+      for (const auto& s : stairs) {
+        int sources = 0;
+        for (const auto& p : sky) {
+          if (WeaklyDominates<D>(p, s, b)) ++sources;
+        }
+        EXPECT_GE(sources, 2) << "stair point not between skyline points";
+      }
+    }
+  }
+}
+
+TEST(Stairline, In2dConsecutivePairsSuffice) {
+  // In 2d, every stairline point arises from x-consecutive skyline points:
+  // the count is at most |skyline| - 1.
+  Rng rng(122);
+  for (int t = 0; t < 300; ++t) {
+    const auto pts = RandomPoints<2>(rng, 20);
+    for (Mask b = 0; b < geom::kNumCorners<2>; ++b) {
+      const auto sky = OrientedSkyline<2>(pts, b);
+      const auto stairs = OrientedStairline<2>(sky, b);
+      if (!sky.empty()) {
+        EXPECT_LE(stairs.size(), sky.size() - 1);
+      }
+    }
+  }
+}
+
+TEST(Stairline, EmptyAndSingleton) {
+  EXPECT_TRUE(OrientedStairline<2>({}, 0b00).empty());
+  EXPECT_TRUE(OrientedStairline<2>({{0.5, 0.5}}, 0b00).empty());
+}
+
+TEST(Stairline, DuplicateSplicesDeduplicated) {
+  // Three collinear-staircase points produce coincident splices.
+  std::vector<Vec<2>> sky = {{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}};
+  const auto stairs = OrientedStairline<2>(sky, 0b11);
+  std::vector<Vec<2>> sorted = stairs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+}  // namespace
+}  // namespace clipbb::core

@@ -1,0 +1,112 @@
+// Tests for the page store and the LRU buffer pool.
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_store.h"
+
+namespace clipbb::storage {
+namespace {
+
+TEST(PageStore, AllocateAndAccess) {
+  PageStore<int> store;
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  EXPECT_NE(a, b);
+  store.At(a) = 42;
+  store.At(b) = 7;
+  EXPECT_EQ(store.At(a), 42);
+  EXPECT_EQ(store.Size(), 2u);
+}
+
+TEST(PageStore, FreeAndRecycle) {
+  PageStore<int> store;
+  const PageId a = store.Allocate();
+  store.At(a) = 9;
+  store.Free(a);
+  EXPECT_FALSE(store.IsLive(a));
+  EXPECT_EQ(store.Size(), 0u);
+  const PageId b = store.Allocate();
+  EXPECT_EQ(b, a);  // recycled
+  EXPECT_EQ(store.At(b), 0);  // reset to default
+}
+
+TEST(PageStore, IsLiveBounds) {
+  PageStore<int> store;
+  EXPECT_FALSE(store.IsLive(-1));
+  EXPECT_FALSE(store.IsLive(0));
+  const PageId a = store.Allocate();
+  EXPECT_TRUE(store.IsLive(a));
+  EXPECT_FALSE(store.IsLive(a + 1));
+}
+
+TEST(PageStore, Clear) {
+  PageStore<int> store;
+  store.Allocate();
+  store.Allocate();
+  store.Clear();
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_EQ(store.Capacity(), 0u);
+}
+
+TEST(BufferPool, HitsAndMisses) {
+  BufferPool pool(2);
+  EXPECT_FALSE(pool.Access(1));  // miss
+  EXPECT_TRUE(pool.Access(1));   // hit
+  EXPECT_FALSE(pool.Access(2));  // miss
+  EXPECT_TRUE(pool.Access(2));
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(BufferPool, LruEviction) {
+  BufferPool pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);           // 1 most recent
+  EXPECT_FALSE(pool.Access(3));  // evicts 2
+  EXPECT_TRUE(pool.Resident(1));
+  EXPECT_FALSE(pool.Resident(2));
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));  // 2 was evicted -> miss
+}
+
+TEST(BufferPool, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(pool.Access(1));
+  EXPECT_EQ(pool.misses(), 5u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPool, SizeNeverExceedsCapacity) {
+  BufferPool pool(3);
+  for (PageId p = 0; p < 100; ++p) pool.Access(p);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.misses(), 100u);
+}
+
+TEST(BufferPool, ClearResetsEverything) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Clear();
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_FALSE(pool.Resident(1));
+}
+
+TEST(IoStats, Accumulate) {
+  IoStats a, b;
+  a.leaf_accesses = 3;
+  a.internal_accesses = 2;
+  b.leaf_accesses = 5;
+  b.contributing_leaf_accesses = 4;
+  a += b;
+  EXPECT_EQ(a.leaf_accesses, 8u);
+  EXPECT_EQ(a.TotalAccesses(), 10u);
+  a.Reset();
+  EXPECT_EQ(a.TotalAccesses(), 0u);
+}
+
+}  // namespace
+}  // namespace clipbb::storage

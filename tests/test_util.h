@@ -1,0 +1,55 @@
+// Shared helpers for the test suite: deterministic random geometry.
+#ifndef CLIPBB_TESTS_TEST_UTIL_H_
+#define CLIPBB_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/rng.h"
+
+namespace clipbb::testing {
+
+template <int D>
+geom::Vec<D> RandomPoint(Rng& rng, double lo = 0.0, double hi = 1.0) {
+  geom::Vec<D> p;
+  for (int i = 0; i < D; ++i) p[i] = rng.Uniform(lo, hi);
+  return p;
+}
+
+template <int D>
+geom::Rect<D> RandomRect(Rng& rng, double max_extent = 0.3) {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    const double c = rng.Uniform();
+    const double h = 0.5 * rng.Uniform(0.0, max_extent);
+    r.lo[i] = c - h;
+    r.hi[i] = c + h;
+  }
+  return r;
+}
+
+template <int D>
+std::vector<geom::Rect<D>> RandomRects(Rng& rng, int n,
+                                       double max_extent = 0.3) {
+  std::vector<geom::Rect<D>> rs;
+  rs.reserve(n);
+  for (int i = 0; i < n; ++i) rs.push_back(RandomRect<D>(rng, max_extent));
+  return rs;
+}
+
+/// Integer-grid rect: exercises coordinate ties.
+template <int D>
+geom::Rect<D> RandomGridRect(Rng& rng, int grid = 8) {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    const int a = static_cast<int>(rng.Below(grid));
+    const int b = static_cast<int>(rng.Below(grid));
+    r.lo[i] = std::min(a, b);
+    r.hi[i] = std::max(a, b) + 1;
+  }
+  return r;
+}
+
+}  // namespace clipbb::testing
+
+#endif  // CLIPBB_TESTS_TEST_UTIL_H_

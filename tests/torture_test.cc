@@ -1,0 +1,110 @@
+// Long randomized differential test: interleaves inserts, deletes, clip
+// mode changes, serialization round-trips, and queries on all four
+// variants against a flat oracle, validating invariants throughout. This
+// is the closest thing to a fuzzer in the suite; the op mix is chosen so
+// splits, condenses, re-clips, and root changes all occur.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "rtree/factory.h"
+#include "rtree/serialize.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using geom::Rect;
+
+class TortureTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(TortureTest, MixedOperationStream) {
+  const geom::Rect<2> domain{{-1.0, -1.0}, {2.0, 2.0}};
+  RTreeOptions opts;
+  opts.max_entries = 9;
+  auto tree = MakeRTree<2>(GetParam(), domain, opts);
+  Rng rng(0xF422 + static_cast<int>(GetParam()));
+
+  std::map<ObjectId, Rect<2>> oracle;
+  ObjectId next_id = 0;
+  int clip_state = 0;  // 0 = off, 1 = sky, 2 = sta
+
+  auto check_queries = [&](int count) {
+    for (int q = 0; q < count; ++q) {
+      const auto query = RandomRect<2>(rng, 0.4);
+      std::vector<ObjectId> got;
+      tree->RangeQuery(query, &got);
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> want;
+      for (const auto& [id, r] : oracle) {
+        if (r.Intersects(query)) want.push_back(id);
+      }
+      ASSERT_EQ(got, want);
+    }
+  };
+
+  for (int step = 0; step < 2500; ++step) {
+    const double dice = rng.Uniform();
+    if (dice < 0.55 || oracle.empty()) {
+      const Rect<2> r = RandomRect<2>(rng, rng.Uniform() < 0.1 ? 1.0 : 0.1);
+      tree->Insert(r, next_id);
+      oracle[next_id] = r;
+      ++next_id;
+    } else if (dice < 0.90) {
+      // Delete a pseudo-random live object.
+      auto it = oracle.lower_bound(
+          static_cast<ObjectId>(rng.Below(static_cast<uint64_t>(next_id))));
+      if (it == oracle.end()) it = oracle.begin();
+      ASSERT_TRUE(tree->Delete(it->second, it->first));
+      oracle.erase(it);
+    } else if (dice < 0.94) {
+      // Toggle clipping configuration.
+      clip_state = (clip_state + 1) % 3;
+      if (clip_state == 0) {
+        tree->DisableClipping();
+      } else {
+        core::ClipConfig<2> cfg;
+        cfg.mode = clip_state == 1 ? core::ClipMode::kSkyline
+                                   : core::ClipMode::kStairline;
+        tree->EnableClipping(cfg);
+      }
+    } else if (dice < 0.96) {
+      // Serialization round trip mid-stream.
+      std::stringstream buf;
+      ASSERT_GT(SerializeTree<2>(*tree, buf), 0u);
+      auto restored = MakeRTree<2>(GetParam(), domain, opts);
+      ASSERT_TRUE(DeserializeTree<2>(buf, restored.get()));
+      tree = std::move(restored);
+    }
+    if (step % 250 == 249) {
+      const auto res = ValidateTree<2>(*tree);
+      ASSERT_TRUE(res.ok) << "step " << step << "\n" << res.Summary();
+      check_queries(10);
+    }
+  }
+  EXPECT_EQ(tree->NumObjects(), oracle.size());
+  check_queries(50);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TortureTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,144 @@
+// Tests for the exact union/coverage measures and the Monte-Carlo
+// estimator they are cross-checked against.
+#include <gtest/gtest.h>
+
+#include "geom/union_volume.h"
+#include "test_util.h"
+
+namespace clipbb::geom {
+namespace {
+
+using clipbb::testing::RandomRects;
+
+TEST(UnionArea, Disjoint) {
+  std::vector<Rect2> rs = {{{0, 0}, {1, 1}}, {{2, 0}, {3, 2}}};
+  EXPECT_DOUBLE_EQ(UnionArea(rs), 3.0);
+}
+
+TEST(UnionArea, FullOverlapCountedOnce) {
+  std::vector<Rect2> rs = {{{0, 0}, {2, 2}}, {{0, 0}, {2, 2}}};
+  EXPECT_DOUBLE_EQ(UnionArea(rs), 4.0);
+}
+
+TEST(UnionArea, PartialOverlap) {
+  std::vector<Rect2> rs = {{{0, 0}, {2, 2}}, {{1, 1}, {3, 3}}};
+  EXPECT_DOUBLE_EQ(UnionArea(rs), 7.0);  // 4 + 4 - 1
+}
+
+TEST(UnionArea, NestedRects) {
+  std::vector<Rect2> rs = {{{0, 0}, {4, 4}}, {{1, 1}, {2, 2}}};
+  EXPECT_DOUBLE_EQ(UnionArea(rs), 16.0);
+}
+
+TEST(UnionArea, ZeroAreaSegmentsContributeNothing) {
+  std::vector<Rect2> rs = {{{0, 0}, {1, 0}}, {{0, 0}, {0, 1}}};
+  EXPECT_DOUBLE_EQ(UnionArea(rs), 0.0);
+}
+
+TEST(UnionArea, EmptyInput) {
+  EXPECT_DOUBLE_EQ(UnionArea({}), 0.0);
+  EXPECT_DOUBLE_EQ(UnionVolume({}), 0.0);
+}
+
+TEST(CoverageArea, AtLeastTwo) {
+  std::vector<Rect2> rs = {{{0, 0}, {2, 2}}, {{1, 1}, {3, 3}},
+                           {{1, 1}, {2, 2}}};
+  EXPECT_DOUBLE_EQ(CoverageArea(rs, 1), 7.0);
+  EXPECT_DOUBLE_EQ(CoverageArea(rs, 2), 1.0);  // the shared unit square
+  EXPECT_DOUBLE_EQ(CoverageArea(rs, 3), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageArea(rs, 4), 0.0);
+}
+
+TEST(UnionVolume3, KnownCases) {
+  std::vector<Rect3> rs = {{{0, 0, 0}, {1, 1, 1}}, {{0, 0, 0}, {1, 1, 1}}};
+  EXPECT_DOUBLE_EQ(UnionVolume(rs), 1.0);
+  rs.push_back({{2, 2, 2}, {3, 3, 4}});
+  EXPECT_DOUBLE_EQ(UnionVolume(rs), 3.0);
+  // Overlapping pair: 8 + 8 - 1.
+  std::vector<Rect3> pair = {{{0, 0, 0}, {2, 2, 2}}, {{1, 1, 1}, {3, 3, 3}}};
+  EXPECT_DOUBLE_EQ(UnionVolume(pair), 15.0);
+  EXPECT_DOUBLE_EQ(CoverageVolume(pair, 2), 1.0);
+}
+
+TEST(UnionMeasure, MonotoneInInput) {
+  Rng rng(31);
+  for (int t = 0; t < 200; ++t) {
+    auto rs = RandomRects<2>(rng, 12);
+    const double all = UnionArea(rs);
+    rs.pop_back();
+    EXPECT_LE(UnionArea(rs), all + 1e-12);
+  }
+}
+
+TEST(UnionMeasure, BoundedBySumAndMax) {
+  Rng rng(32);
+  for (int t = 0; t < 200; ++t) {
+    const auto rs = RandomRects<3>(rng, 10);
+    double sum = 0.0, max_one = 0.0;
+    for (const auto& r : rs) {
+      sum += r.Volume();
+      max_one = std::max(max_one, r.Volume());
+    }
+    const double u = UnionVolume(rs);
+    EXPECT_LE(u, sum + 1e-9);
+    EXPECT_GE(u, max_one - 1e-9);
+  }
+}
+
+TEST(UnionMeasure, InclusionExclusionForPairs) {
+  Rng rng(33);
+  for (int t = 0; t < 500; ++t) {
+    const auto rs = RandomRects<2>(rng, 2);
+    const double expect =
+        rs[0].Volume() + rs[1].Volume() - rs[0].OverlapVolume(rs[1]);
+    EXPECT_NEAR(UnionArea(rs), expect, 1e-9);
+  }
+}
+
+TEST(UnionMeasure, CoverageLevelsAreNested) {
+  Rng rng(34);
+  for (int t = 0; t < 100; ++t) {
+    const auto rs = RandomRects<2>(rng, 10, 0.6);
+    double prev = CoverageArea(rs, 1);
+    for (int k = 2; k <= 5; ++k) {
+      const double cur = CoverageArea(rs, k);
+      EXPECT_LE(cur, prev + 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+// Monte-Carlo estimator agrees with the exact sweep within sampling error.
+TEST(MonteCarlo, AgreesWithExact2d) {
+  Rng rng(35);
+  for (int t = 0; t < 20; ++t) {
+    const auto rs = RandomRects<2>(rng, 15, 0.5);
+    Rect2 domain = Rect2::Empty();
+    for (const auto& r : rs) domain.ExpandToInclude(r);
+    Rng mc(1000 + t);
+    const double est =
+        CoverageMeasureMC<2>(rs, domain, 1, 40000, mc);
+    EXPECT_NEAR(est, UnionArea(rs), 0.03 * domain.Volume());
+  }
+}
+
+TEST(MonteCarlo, AgreesWithExact3d) {
+  Rng rng(36);
+  for (int t = 0; t < 10; ++t) {
+    const auto rs = RandomRects<3>(rng, 12, 0.6);
+    Rect3 domain = Rect3::Empty();
+    for (const auto& r : rs) domain.ExpandToInclude(r);
+    Rng mc(2000 + t);
+    const double est = CoverageMeasureMC<3>(rs, domain, 2, 60000, mc);
+    EXPECT_NEAR(est, CoverageVolume(rs, 2), 0.03 * domain.Volume());
+  }
+}
+
+TEST(MonteCarlo, ZeroSamplesIsZero) {
+  Rng mc(1);
+  std::vector<Rect2> rs = {{{0, 0}, {1, 1}}};
+  EXPECT_DOUBLE_EQ(CoverageMeasureMC<2>(rs, rs[0], 1, 0, mc), 0.0);
+}
+
+}  // namespace
+}  // namespace clipbb::geom

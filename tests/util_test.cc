@@ -1,0 +1,132 @@
+// Tests for the utility layer: RNG, table printer, env knobs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace clipbb {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    all_equal = all_equal && (va == b.Next());
+    any_diff_seed = any_diff_seed || (va != c.Next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng rng(2);
+  uint64_t histogram[7] = {};
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t v = rng.Below(7);
+    ASSERT_LT(v, 7u);
+    ++histogram[v];
+  }
+  for (uint64_t h : histogram) {
+    EXPECT_NEAR(static_cast<double>(h), 10000.0, 600.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(-3.0, 1.5), 0.0);
+  }
+}
+
+TEST(SplitMix64, AdvancesState) {
+  uint64_t s = 0;
+  const uint64_t a = SplitMix64(s);
+  const uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "22"});
+  const std::string s = t.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Every line has the same length (alignment) except possibly trailing
+  // spaces; check the rule spans the width of the widest row.
+  const size_t rule_pos = s.find('-');
+  ASSERT_NE(rule_pos, std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("CLIPBB_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CLIPBB_TEST_KNOB", 1.0), 2.5);
+  ::setenv("CLIPBB_TEST_KNOB", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CLIPBB_TEST_KNOB", 1.0), 1.0);
+  ::unsetenv("CLIPBB_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(EnvDouble("CLIPBB_TEST_KNOB", 7.0), 7.0);
+}
+
+TEST(Env, ScaledCountFloorsAtOne) {
+  ::setenv("CLIPBB_SCALE", "0.000001", 1);
+  EXPECT_EQ(ScaledCount(100), 1u);
+  ::setenv("CLIPBB_SCALE", "2", 1);
+  EXPECT_EQ(ScaledCount(100), 200u);
+  ::unsetenv("CLIPBB_SCALE");
+  EXPECT_EQ(ScaledCount(100), 100u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace clipbb

@@ -1,0 +1,239 @@
+// clipbb command-line tool: generate datasets, build/persist (clipped)
+// indexes, run queries, and inspect statistics — the end-to-end workflow a
+// downstream user runs before writing any code.
+//
+//   clipbb_cli gen   <dataset> <n> <out.data>
+//   clipbb_cli build <variant> <none|sky|sta> <in.data> <out.idx>
+//   clipbb_cli stats <idx> <data>
+//   clipbb_cli query <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
+//   clipbb_cli knn   <idx> <data> k p1 p2 [p3]
+//
+// Datasets: par02 rea02 par03 rea03 axo03 den03 neu03.
+// Variants: qr hr r* rr*.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "rtree/factory.h"
+#include "rtree/knn.h"
+#include "rtree/serialize.h"
+#include "stats/node_stats.h"
+#include "stats/storage_stats.h"
+#include "stats/tree_report.h"
+#include "workload/dataset.h"
+#include "workload/io.h"
+
+namespace clipbb {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  clipbb_cli gen   <dataset> <n> <out.data>\n"
+               "  clipbb_cli build <qr|hr|r*|rr*> <none|sky|sta> <in.data> "
+               "<out.idx>\n"
+               "  clipbb_cli stats <idx> <data>\n"
+               "  clipbb_cli query <idx> <data> lo... hi...\n"
+               "  clipbb_cli knn   <idx> <data> <k> point...\n");
+  return 2;
+}
+
+bool ParseVariant(const std::string& s, rtree::Variant* v) {
+  if (s == "qr") {
+    *v = rtree::Variant::kGuttman;
+  } else if (s == "hr") {
+    *v = rtree::Variant::kHilbert;
+  } else if (s == "r*") {
+    *v = rtree::Variant::kRStar;
+  } else if (s == "rr*") {
+    *v = rtree::Variant::kRRStar;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// The index file prepends one byte for the variant so `stats`/`query` can
+// reconstruct the right tree class, followed by the serialized tree.
+template <int D>
+std::unique_ptr<rtree::RTree<D>> LoadIndex(std::ifstream& in,
+                                           const geom::Rect<D>& domain) {
+  char variant_byte = 0;
+  in.read(&variant_byte, 1);
+  rtree::Variant v = static_cast<rtree::Variant>(variant_byte);
+  auto tree = rtree::MakeRTree<D>(v, domain);
+  if (!tree || !rtree::DeserializeTree<D>(in, tree.get())) return nullptr;
+  return tree;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const std::string name = argv[0];
+  const size_t n = std::strtoull(argv[1], nullptr, 10);
+  std::ofstream out(argv[2], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  const bool is2d = name == "par02" || name == "rea02";
+  bool ok;
+  if (is2d) {
+    ok = workload::SaveDataset<2>(workload::MakeDataset2(name, n), out);
+  } else {
+    ok = workload::SaveDataset<3>(workload::MakeDataset3(name, n), out);
+  }
+  std::printf("wrote %s (%zu objects, %s)\n", argv[2], n,
+              is2d ? "2d" : "3d");
+  return ok ? 0 : 1;
+}
+
+template <int D>
+int BuildAndSave(const std::string& variant_s, const std::string& mode,
+                 std::ifstream& in, const char* out_path) {
+  rtree::Variant v;
+  if (!ParseVariant(variant_s, &v)) return Usage();
+  workload::Dataset<D> data;
+  if (!workload::LoadDataset<D>(in, &data)) {
+    std::fprintf(stderr, "bad dataset file\n");
+    return 1;
+  }
+  auto tree = rtree::BuildTree<D>(v, data.items, data.domain);
+  if (mode == "sky") {
+    tree->EnableClipping(core::ClipConfig<D>::Sky());
+  } else if (mode == "sta") {
+    tree->EnableClipping(core::ClipConfig<D>::Sta());
+  } else if (mode != "none") {
+    return Usage();
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  const char variant_byte = static_cast<char>(v);
+  out.write(&variant_byte, 1);
+  const size_t bytes = rtree::SerializeTree<D>(*tree, out);
+  std::printf("%s over %zu objects: %zu nodes, height %d, %zu clip points, "
+              "%.1f MiB index\n",
+              tree->Name(), data.size(), tree->NumNodes(), tree->Height(),
+              tree->clip_index().TotalClipPoints(),
+              bytes / (1024.0 * 1024.0));
+  return bytes > 0 ? 0 : 1;
+}
+
+template <int D>
+int CmdStats(std::ifstream& idx, std::ifstream& dat) {
+  workload::Dataset<D> data;
+  if (!workload::LoadDataset<D>(dat, &data)) return 1;
+  auto tree = LoadIndex<D>(idx, data.domain);
+  if (!tree) {
+    std::fprintf(stderr, "bad index file\n");
+    return 1;
+  }
+  stats::SpaceOptions opts;
+  opts.max_nodes = 512;
+  if (D == 3) opts.mc_samples = 4096;
+  const auto space = stats::MeasureSpace<D>(*tree, opts);
+  const auto storage = stats::MeasureStorage<D>(*tree);
+  std::printf("%s: %zu objects, %zu nodes, height %d\n", tree->Name(),
+              tree->NumObjects(), tree->NumNodes(), tree->Height());
+  std::printf("dead space/node: %.1f%%\n",
+              100.0 * space.avg_dead_fraction);
+  std::printf("storage: dir %.1f%%, leaf %.1f%%, clips %.2f%% "
+              "(%.1f clips/node)\n",
+              100.0 * storage.dir_bytes / storage.TotalBytes(),
+              100.0 * storage.leaf_bytes / storage.TotalBytes(),
+              100.0 * storage.ClipFraction(),
+              storage.AvgClipPointsPerNode());
+  std::printf("\n%s", stats::FormatTreeReport<D>(*tree).c_str());
+  return 0;
+}
+
+template <int D>
+int CmdQuery(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
+  if (argc != 2 * D) return Usage();
+  workload::Dataset<D> data;
+  if (!workload::LoadDataset<D>(dat, &data)) return 1;
+  auto tree = LoadIndex<D>(idx, data.domain);
+  if (!tree) return 1;
+  geom::Rect<D> q;
+  for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
+  for (int i = 0; i < D; ++i) q.hi[i] = std::atof(argv[D + i]);
+  std::vector<rtree::ObjectId> ids;
+  storage::IoStats io;
+  tree->RangeQuery(q, &ids, &io);
+  std::printf("%zu results, %llu leaf accesses\n", ids.size(),
+              static_cast<unsigned long long>(io.leaf_accesses));
+  for (size_t i = 0; i < ids.size() && i < 20; ++i) {
+    std::printf("  id=%lld\n", static_cast<long long>(ids[i]));
+  }
+  if (ids.size() > 20) std::printf("  ... (%zu more)\n", ids.size() - 20);
+  return 0;
+}
+
+template <int D>
+int CmdKnn(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
+  if (argc != 1 + D) return Usage();
+  workload::Dataset<D> data;
+  if (!workload::LoadDataset<D>(dat, &data)) return 1;
+  auto tree = LoadIndex<D>(idx, data.domain);
+  if (!tree) return 1;
+  const int k = std::atoi(argv[0]);
+  geom::Vec<D> p;
+  for (int i = 0; i < D; ++i) p[i] = std::atof(argv[1 + i]);
+  storage::IoStats io;
+  const auto res = rtree::KnnQuery<D>(*tree, p, k, &io);
+  std::printf("%zu neighbours, %llu node accesses\n", res.size(),
+              static_cast<unsigned long long>(io.TotalAccesses()));
+  for (const auto& r : res) {
+    std::printf("  id=%lld dist=%.6g\n", static_cast<long long>(r.id),
+                std::sqrt(r.dist2));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+  if (cmd == "build") {
+    if (argc != 6) return Usage();
+    std::ifstream in(argv[4], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[4]);
+      return 1;
+    }
+    const int dim = workload::PeekDatasetDimension(in);
+    if (dim == 2) return BuildAndSave<2>(argv[2], argv[3], in, argv[5]);
+    if (dim == 3) return BuildAndSave<3>(argv[2], argv[3], in, argv[5]);
+    std::fprintf(stderr, "bad dataset file\n");
+    return 1;
+  }
+  if (cmd == "stats" || cmd == "query" || cmd == "knn") {
+    if (argc < 4) return Usage();
+    std::ifstream idx(argv[2], std::ios::binary);
+    std::ifstream dat(argv[3], std::ios::binary);
+    if (!idx || !dat) {
+      std::fprintf(stderr, "cannot open inputs\n");
+      return 1;
+    }
+    const int dim = workload::PeekDatasetDimension(dat);
+    if (dim == 0) {
+      std::fprintf(stderr, "bad dataset file\n");
+      return 1;
+    }
+    if (cmd == "stats") {
+      return dim == 2 ? CmdStats<2>(idx, dat) : CmdStats<3>(idx, dat);
+    }
+    if (cmd == "query") {
+      return dim == 2 ? CmdQuery<2>(idx, dat, argc - 4, argv + 4)
+                      : CmdQuery<3>(idx, dat, argc - 4, argv + 4);
+    }
+    return dim == 2 ? CmdKnn<2>(idx, dat, argc - 4, argv + 4)
+                    : CmdKnn<3>(idx, dat, argc - 4, argv + 4);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace clipbb
+
+int main(int argc, char** argv) { return clipbb::Main(argc, argv); }
