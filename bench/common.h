@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rtree/factory.h"
+#include "rtree/query_batch.h"
 #include "rtree/validate.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -78,16 +79,20 @@ std::unique_ptr<rtree::RTree<D>> Build(rtree::Variant v,
   return rtree::BuildTree<D>(v, data.items, data.domain);
 }
 
-/// Mean leaf accesses per query over a workload.
+/// Mean leaf accesses per query over a workload. Runs the batched hot path
+/// (reusable traversal context, Hilbert-ordered scheduling); counts and
+/// I/O totals are identical to issuing the queries one by one.
 template <int D>
 storage::IoStats RunQueries(const rtree::RTree<D>& tree,
                             const std::vector<geom::Rect<D>>& queries,
                             size_t* results = nullptr) {
-  storage::IoStats io;
-  size_t total = 0;
-  for (const auto& q : queries) total += tree.RangeCount(q, &io);
-  if (results) *results = total;
-  return io;
+  const rtree::QueryBatchResult r = rtree::RunQueryBatch<D>(tree, queries);
+  if (results) {
+    size_t total = 0;
+    for (size_t c : r.counts) total += c;
+    *results = total;
+  }
+  return r.io;
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -1,8 +1,18 @@
 // The auxiliary clip-point structure of Fig. 4b: a memory-resident table
 // mapping R-tree node ids to their (variable-length) clip point arrays.
+//
+// Hot-path layout: a CSR-style arena — one contiguous ClipPoint pool plus a
+// dense offset/length directory indexed by node id — so the per-node lookup
+// on the query path is two array reads instead of a hash probe. Updates land
+// in a small unordered_map overlay that shadows the arena; Compact() merges
+// the overlay back into a freshly flattened arena (called after bulk clip
+// construction and whenever the overlay grows past a threshold is up to the
+// owner). Clip points are kept sorted by descending score on every Set, the
+// precondition ClipsPruneQuery relies on.
 #ifndef CLIPBB_CORE_CLIP_INDEX_H_
 #define CLIPBB_CORE_CLIP_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -21,47 +31,135 @@ template <int D>
 class ClipIndex {
  public:
   /// Replaces the clip points of a node (empty vector clears the entry).
+  /// Enforces the descending-score order queries depend on.
   void Set(NodeId id, std::vector<ClipPoint<D>> clips) {
     if (clips.empty()) {
-      table_.erase(id);
+      Erase(id);
+      return;
+    }
+    if (!std::is_sorted(clips.begin(), clips.end(),
+                        [](const ClipPoint<D>& a, const ClipPoint<D>& b) {
+                          return a.score > b.score;
+                        })) {
+      std::stable_sort(clips.begin(), clips.end(),
+                       [](const ClipPoint<D>& a, const ClipPoint<D>& b) {
+                         return a.score > b.score;
+                       });
+    }
+    const size_t old_n = Get(id).size();
+    num_points_ += clips.size() - old_n;
+    if (old_n == 0) ++num_nodes_;
+    overlay_[id] = std::move(clips);
+  }
+
+  /// Clip points of a node; empty span when the node has none. When the
+  /// index is compact (no pending updates) this is two contiguous array
+  /// reads keyed by node id.
+  std::span<const ClipPoint<D>> Get(NodeId id) const {
+    if (!overlay_.empty()) {
+      auto it = overlay_.find(id);
+      if (it != overlay_.end()) return it->second;  // empty = tombstone
+    }
+    if (id >= 0 && id < static_cast<NodeId>(count_.size()) && count_[id]) {
+      return {pool_.data() + offset_[id], count_[id]};
+    }
+    return {};
+  }
+
+  void Erase(NodeId id) {
+    const size_t old_n = Get(id).size();
+    if (old_n > 0) {
+      num_points_ -= old_n;
+      --num_nodes_;
+    }
+    if (InArena(id)) {
+      overlay_[id].clear();  // tombstone shadowing the arena slot
     } else {
-      table_[id] = std::move(clips);
+      overlay_.erase(id);
     }
   }
 
-  /// Clip points of a node; empty span when the node has none.
-  std::span<const ClipPoint<D>> Get(NodeId id) const {
-    auto it = table_.find(id);
-    if (it == table_.end()) return {};
-    return it->second;
+  void Clear() {
+    pool_.clear();
+    offset_.clear();
+    count_.clear();
+    overlay_.clear();
+    num_nodes_ = 0;
+    num_points_ = 0;
   }
 
-  void Erase(NodeId id) { table_.erase(id); }
+  /// Re-flattens arena + overlay into a fresh contiguous arena. Cheap to
+  /// call when already compact.
+  void Compact() {
+    if (overlay_.empty()) return;
+    const NodeId max_id = MaxId();
+    std::vector<ClipPoint<D>> pool;
+    pool.reserve(num_points_);
+    std::vector<uint32_t> offset(max_id, 0);
+    std::vector<uint32_t> count(max_id, 0);
+    ForEach([&](NodeId id, std::span<const ClipPoint<D>> clips) {
+      offset[id] = static_cast<uint32_t>(pool.size());
+      count[id] = static_cast<uint32_t>(clips.size());
+      pool.insert(pool.end(), clips.begin(), clips.end());
+    });
+    pool_ = std::move(pool);
+    offset_ = std::move(offset);
+    count_ = std::move(count);
+    overlay_.clear();
+  }
 
-  void Clear() { table_.clear(); }
+  /// True when every entry lives in the flat arena (no pending updates).
+  bool IsCompact() const { return overlay_.empty(); }
+
+  /// Nodes whose clips changed since the last Compact().
+  size_t PendingUpdates() const { return overlay_.size(); }
 
   /// Number of nodes with at least one clip point.
-  size_t NumClippedNodes() const { return table_.size(); }
+  size_t NumClippedNodes() const { return num_nodes_; }
 
   /// Total clip points stored.
-  size_t TotalClipPoints() const {
-    size_t n = 0;
-    for (const auto& [id, clips] : table_) n += clips.size();
-    return n;
-  }
+  size_t TotalClipPoints() const { return num_points_; }
 
   /// Bytes of the on-disk representation (Fig. 4b): per node a 4-byte count
   /// + 8-byte pointer, per clip point coordinates + corner flag.
   size_t ByteSize() const {
-    return table_.size() * (sizeof(uint32_t) + sizeof(uint64_t)) +
-           TotalClipPoints() * ClipPointBytes<D>();
+    return num_nodes_ * (sizeof(uint32_t) + sizeof(uint64_t)) +
+           num_points_ * ClipPointBytes<D>();
   }
 
-  auto begin() const { return table_.begin(); }
-  auto end() const { return table_.end(); }
+  /// Visits every (node id, clip span) pair in ascending id order.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    const NodeId max_id = MaxId();
+    for (NodeId id = 0; id < max_id; ++id) {
+      const std::span<const ClipPoint<D>> clips = Get(id);
+      if (!clips.empty()) fn(id, clips);
+    }
+  }
 
  private:
-  std::unordered_map<NodeId, std::vector<ClipPoint<D>>> table_;
+  bool InArena(NodeId id) const {
+    return id >= 0 && id < static_cast<NodeId>(count_.size()) && count_[id];
+  }
+
+  /// One past the largest node id present in arena or overlay.
+  NodeId MaxId() const {
+    NodeId max_id = static_cast<NodeId>(count_.size());
+    for (const auto& [id, clips] : overlay_) {
+      max_id = std::max(max_id, id + 1);
+    }
+    return max_id;
+  }
+
+  // Flat arena: clips of node id occupy pool_[offset_[id] .. +count_[id]).
+  std::vector<ClipPoint<D>> pool_;
+  std::vector<uint32_t> offset_;
+  std::vector<uint32_t> count_;
+  // Updates since the last Compact(); an empty vector is a tombstone for an
+  // arena entry. Checked before the arena so fresh values win.
+  std::unordered_map<NodeId, std::vector<ClipPoint<D>>> overlay_;
+  size_t num_nodes_ = 0;
+  size_t num_points_ = 0;
 };
 
 }  // namespace clipbb::core

@@ -10,6 +10,7 @@
 #ifndef CLIPBB_CORE_INTERSECT_H_
 #define CLIPBB_CORE_INTERSECT_H_
 
+#include <cassert>
 #include <span>
 
 #include "core/clip_point.h"
@@ -17,11 +18,22 @@
 
 namespace clipbb::core {
 
+/// Debug-only check of the descending-score precondition ClipsPruneQuery
+/// relies on; ClipIndex::Set enforces it on every write.
+template <int D>
+inline bool ClipsSortedByScore(std::span<const ClipPoint<D>> clips) {
+  for (size_t i = 1; i < clips.size(); ++i) {
+    if (clips[i - 1].score < clips[i].score) return false;
+  }
+  return true;
+}
+
 /// True iff some clip point proves Q disjoint from the node contents.
 /// Clip points are expected sorted by descending score so the most likely
 /// pruner is tested first (paper §IV-A).
 template <int D>
 bool ClipsPruneQuery(std::span<const ClipPoint<D>> clips, const Rect<D>& q) {
+  assert(ClipsSortedByScore<D>(clips));
   for (const ClipPoint<D>& c : clips) {
     const Vec<D> far_corner = q.Corner(geom::OppositeMask<D>(c.mask));
     if (geom::StrictlyDominates<D>(far_corner, c.coord, c.mask)) return true;

@@ -7,6 +7,7 @@
 
 #include <span>
 
+#include "rtree/query_batch.h"
 #include "rtree/rtree.h"
 
 namespace clipbb::join {
@@ -22,14 +23,19 @@ struct JoinStats {
 };
 
 /// Joins `probes` against `indexed`; result pairs are (probe, object)
-/// rect intersections. I/O is accounted on the indexed tree.
+/// rect intersections. I/O is accounted on the indexed tree. Probes run
+/// through the batched hot path (reusable context, Hilbert-ordered
+/// scheduling); pair counts and I/O totals are order-independent.
 template <int D>
 JoinStats IndexNestedLoopJoin(const rtree::RTree<D>& indexed,
                               std::span<const rtree::Entry<D>> probes) {
   JoinStats stats;
-  for (const rtree::Entry<D>& p : probes) {
-    stats.result_pairs += indexed.RangeCount(p.rect, &stats.io_a);
-  }
+  std::vector<geom::Rect<D>> windows;
+  windows.reserve(probes.size());
+  for (const rtree::Entry<D>& p : probes) windows.push_back(p.rect);
+  rtree::QueryBatchResult r = rtree::RunQueryBatch<D>(indexed, windows);
+  for (size_t c : r.counts) stats.result_pairs += c;
+  stats.io_a = r.io;
   return stats;
 }
 

@@ -2,15 +2,17 @@
 // clip table is immutable during queries, so a batch of range queries can
 // fan out across threads with per-thread I/O accounting that is summed at
 // the end — the pattern an analytics workload (e.g. INLJ probing) uses.
+//
+// Thin wrapper over RunQueryBatch (rtree/query_batch.h): each worker owns
+// a reusable QueryContext and works through Hilbert-ordered chunks, so the
+// fan-out gains the flattened hot path for free.
 #ifndef CLIPBB_RTREE_BATCH_H_
 #define CLIPBB_RTREE_BATCH_H_
 
-#include <atomic>
 #include <span>
-#include <thread>
 #include <vector>
 
-#include "rtree/rtree.h"
+#include "rtree/query_batch.h"
 
 namespace clipbb::rtree {
 
@@ -25,29 +27,10 @@ template <int D>
 BatchResult BatchRangeCount(const RTree<D>& tree,
                             std::span<const geom::Rect<D>> queries,
                             unsigned threads = 0) {
-  BatchResult result;
-  result.counts.assign(queries.size(), 0);
-  if (queries.empty()) return result;
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  if (threads > queries.size()) {
-    threads = static_cast<unsigned>(queries.size());
-  }
-
-  std::vector<storage::IoStats> per_thread(threads);
-  std::atomic<size_t> next{0};
-  auto worker = [&](unsigned t) {
-    for (size_t i = next.fetch_add(1); i < queries.size();
-         i = next.fetch_add(1)) {
-      result.counts[i] = tree.RangeCount(queries[i], &per_thread[t]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-  for (auto& th : pool) th.join();
-  for (const auto& io : per_thread) result.io += io;
-  return result;
+  QueryBatchOptions opts;
+  opts.threads = threads;
+  QueryBatchResult r = RunQueryBatch<D>(tree, queries, opts);
+  return BatchResult{std::move(r.counts), r.io};
 }
 
 }  // namespace clipbb::rtree

@@ -55,6 +55,18 @@ std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
         ++io->internal_accesses;
       }
     }
+    if (tree.AccelFresh() && (n.IsLeaf() || !tree.clipping_enabled())) {
+      // SoA fast path: per-entry distances from the contiguous coordinate
+      // pools instead of chasing the AoS entry array. Clipped internal
+      // nodes need the full rect + clip list anyway, so they fall through
+      // to the scalar loop below.
+      const SoaNodeView<D> v = tree.soa().NodeView(item.id);
+      const bool leaf = n.IsLeaf();
+      for (uint32_t i = 0; i < v.n; ++i) {
+        frontier.push({SoaMinDist2<D>(v, i, q), leaf, v.id[i]});
+      }
+      continue;
+    }
     for (const Entry<D>& e : n.entries) {
       if (n.IsLeaf()) {
         frontier.push({core::MinDist2<D>(q, e.rect), true, e.id});

@@ -3,6 +3,12 @@
 // enclosure (objects containing a point). All reuse the CBB pruning test —
 // every candidate must intersect the query region, so Algorithm 2 applies
 // unchanged; only the leaf predicate differs.
+//
+// All three run on RTree::TraverseWindow, the shared SoA-aware traversal.
+// Their predicates imply window intersection (a rect containing the query
+// point intersects the point window, a rect inside the window intersects
+// it, a rect enclosing the window intersects it), so the redundant
+// per-entry Intersects test is compiled out of the leaf loop.
 #ifndef CLIPBB_RTREE_QUERIES_H_
 #define CLIPBB_RTREE_QUERIES_H_
 
@@ -16,41 +22,16 @@ namespace clipbb::rtree {
 namespace queries_internal {
 
 /// Shared traversal: visits leaf entries whose rect intersects `window`,
-/// applying the leaf `predicate` to decide membership.
+/// applying the leaf `predicate` to decide membership. The predicate must
+/// imply window intersection. A caller-provided `scratch` (e.g. from a
+/// QueryContext) makes repeated queries allocation-free; otherwise a local
+/// stack sized by tree height is used.
 template <int D, typename Pred>
 size_t Traverse(const RTree<D>& tree, const geom::Rect<D>& window,
                 Pred&& predicate, std::vector<ObjectId>* out,
-                storage::IoStats* io) {
-  size_t found = 0;
-  std::vector<storage::PageId> stack{tree.root()};
-  while (!stack.empty()) {
-    const storage::PageId id = stack.back();
-    stack.pop_back();
-    const Node<D>& n = tree.NodeAt(id);
-    if (n.IsLeaf()) {
-      if (io) ++io->leaf_accesses;
-      bool contributed = false;
-      for (const Entry<D>& e : n.entries) {
-        if (e.rect.Intersects(window) && predicate(e.rect)) {
-          ++found;
-          contributed = true;
-          if (out) out->push_back(e.id);
-        }
-      }
-      if (io && contributed) ++io->contributing_leaf_accesses;
-    } else {
-      if (io) ++io->internal_accesses;
-      for (const Entry<D>& e : n.entries) {
-        if (!e.rect.Intersects(window)) continue;
-        if (tree.clipping_enabled() &&
-            core::ClipsPruneQuery<D>(tree.clip_index().Get(e.id), window)) {
-          continue;
-        }
-        stack.push_back(e.id);
-      }
-    }
-  }
-  return found;
+                storage::IoStats* io, TraversalScratch* scratch = nullptr) {
+  return tree.template TraverseWindow<true>(
+      window, std::forward<Pred>(predicate), out, io, scratch);
 }
 
 }  // namespace queries_internal
@@ -59,31 +40,36 @@ size_t Traverse(const RTree<D>& tree, const geom::Rect<D>& window,
 template <int D>
 size_t PointQuery(const RTree<D>& tree, const geom::Vec<D>& p,
                   std::vector<ObjectId>* out = nullptr,
-                  storage::IoStats* io = nullptr) {
+                  storage::IoStats* io = nullptr,
+                  TraversalScratch* scratch = nullptr) {
   const geom::Rect<D> window = geom::Rect<D>::FromPoint(p);
   return queries_internal::Traverse<D>(
       tree, window, [&](const geom::Rect<D>& r) { return r.ContainsPoint(p); },
-      out, io);
+      out, io, scratch);
 }
 
 /// Objects entirely inside the window (the "WITHIN" predicate).
 template <int D>
 size_t ContainedInQuery(const RTree<D>& tree, const geom::Rect<D>& window,
                         std::vector<ObjectId>* out = nullptr,
-                        storage::IoStats* io = nullptr) {
+                        storage::IoStats* io = nullptr,
+                        TraversalScratch* scratch = nullptr) {
   return queries_internal::Traverse<D>(
       tree, window,
-      [&](const geom::Rect<D>& r) { return window.Contains(r); }, out, io);
+      [&](const geom::Rect<D>& r) { return window.Contains(r); }, out, io,
+      scratch);
 }
 
 /// Objects whose rect contains the whole window (enclosure query).
 template <int D>
 size_t EnclosureQuery(const RTree<D>& tree, const geom::Rect<D>& window,
                       std::vector<ObjectId>* out = nullptr,
-                      storage::IoStats* io = nullptr) {
+                      storage::IoStats* io = nullptr,
+                      TraversalScratch* scratch = nullptr) {
   return queries_internal::Traverse<D>(
       tree, window,
-      [&](const geom::Rect<D>& r) { return r.Contains(window); }, out, io);
+      [&](const geom::Rect<D>& r) { return r.Contains(window); }, out, io,
+      scratch);
 }
 
 }  // namespace clipbb::rtree

@@ -57,13 +57,17 @@ class RRStarTree : public RTree<D> {
     }
     if (best_cover >= 0) return best_cover;
 
-    // 2. Candidates ordered by perimeter (margin) enlargement.
+    // 2. Candidates ordered by perimeter (margin) enlargement. Keys are
+    // cached so the comparator never recomputes floating-point expressions
+    // (FP contraction can make recomputed keys compare inconsistently).
+    std::vector<double> denlarge(n);
+    for (size_t i = 0; i < n; ++i) {
+      denlarge[i] = node.entries[i].rect.MarginEnlargement(rect);
+    }
     std::vector<int> order(n);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return node.entries[a].rect.MarginEnlargement(rect) <
-             node.entries[b].rect.MarginEnlargement(rect);
-    });
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return denlarge[a] < denlarge[b]; });
     const size_t limit = std::min<size_t>(n, 32);
     int best = order[0];
     double best_delta = std::numeric_limits<double>::infinity();

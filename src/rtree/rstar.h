@@ -99,12 +99,17 @@ class RStarTree : public RTree<D> {
       return best;
     }
     // Children are leaves: overlap enlargement on the candidate subset.
+    // Enlargements are computed once and cached: recomputing them inside
+    // the comparator lets FP contraction (FMA) produce inconsistent
+    // results between inlined comparator copies, which corrupts std::sort.
+    std::vector<double> enlargement(n);
+    for (size_t i = 0; i < n; ++i) {
+      enlargement[i] = node.entries[i].rect.Enlargement(rect);
+    }
     std::vector<int> order(n);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return node.entries[a].rect.Enlargement(rect) <
-             node.entries[b].rect.Enlargement(rect);
-    });
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return enlargement[a] < enlargement[b]; });
     const size_t limit = std::min<size_t>(n, 32);
     int best = order[0];
     double best_overlap_enl = std::numeric_limits<double>::infinity();
@@ -192,16 +197,18 @@ class RStarTree : public RTree<D> {
     this->reinserted_levels_.push_back(level);
     NodeT& n = this->MutableNode(nid);
     const geom::Vec<D> center = n.ComputeMbb().Center();
-    auto dist2 = [&center](const EntryT& e) {
+    // Cache distances before sorting (see ChooseSubtreeEntry for why).
+    std::vector<std::pair<double, EntryT>> keyed;
+    keyed.reserve(n.entries.size());
+    for (const EntryT& e : n.entries) {
       const geom::Vec<D> c = e.rect.Center();
       double d = 0.0;
       for (int i = 0; i < D; ++i) d += (c[i] - center[i]) * (c[i] - center[i]);
-      return d;
-    };
-    std::sort(n.entries.begin(), n.entries.end(),
-              [&](const EntryT& a, const EntryT& b) {
-                return dist2(a) < dist2(b);
-              });
+      keyed.emplace_back(d, e);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < keyed.size(); ++i) n.entries[i] = keyed[i].second;
     int p = static_cast<int>(0.3 * (this->max_entries() + 1));
     if (p < 1) p = 1;
     const int keep = static_cast<int>(n.entries.size()) - p;

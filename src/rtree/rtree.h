@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -25,10 +26,20 @@
 #include "core/intersect.h"
 #include "rtree/node.h"
 #include "rtree/options.h"
+#include "rtree/soa.h"
 #include "storage/io_stats.h"
 #include "storage/page_store.h"
 
 namespace clipbb::rtree {
+
+/// Leaf predicate tag for plain range queries: window intersection alone
+/// decides membership, so the traversal skips the per-entry callback.
+struct MatchAllPred {
+  template <typename RectT>
+  constexpr bool operator()(const RectT&) const {
+    return true;
+  }
+};
 
 /// Why a node was re-clipped (Fig. 12 breakdown).
 enum class ReclipCause { kSplit, kMbbChange, kCbbChange };
@@ -70,6 +81,7 @@ class RTree {
     reinserted_levels_.clear();
     if (clipping_) ++reclip_stats_.inserts;
     ++num_objects_;
+    ++version_;
     InsertEntryAtLevel(EntryT{rect, oid}, 0);
   }
 
@@ -78,6 +90,7 @@ class RTree {
     reinserted_levels_.clear();
     std::vector<PageId> path;
     if (!FindLeaf(root_, rect, oid, &path)) return false;
+    ++version_;
     NodeT& leaf = store_.At(path.back());
     for (size_t i = 0; i < leaf.entries.size(); ++i) {
       if (leaf.entries[i].id == oid && leaf.entries[i].rect == rect) {
@@ -92,11 +105,44 @@ class RTree {
   // ----------------------------------------------------------------- query
 
   /// Range query; returns result count, appends ids to `out` if non-null,
-  /// accumulates page accesses into `io` if non-null.
+  /// accumulates page accesses into `io` if non-null. Passing a
+  /// `scratch` reuses its stack/bitmask across queries (batch hot path);
+  /// without one a per-query stack is allocated as before.
   size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out,
-                    storage::IoStats* io = nullptr) const {
+                    storage::IoStats* io = nullptr,
+                    TraversalScratch* scratch = nullptr) const {
+    return TraverseWindow<false>(q, MatchAllPred{}, out, io, scratch);
+  }
+
+  size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr,
+                    TraversalScratch* scratch = nullptr) const {
+    return RangeQuery(q, nullptr, io, scratch);
+  }
+
+  /// Shared window traversal all query types run on. Visits leaf entries
+  /// that intersect `window` AND satisfy `pred`; when `PredImpliesIntersect`
+  /// the explicit intersection test is skipped on the scalar path (the
+  /// predicate already implies it — point/containment/enclosure cases).
+  /// Uses the flat SoA mirror + IntersectsAll bitmask kernel whenever the
+  /// accelerator is fresh; falls back to the AoS scan otherwise. Both paths
+  /// visit nodes in identical order and produce identical results and I/O
+  /// counts. A null `scratch` allocates a per-call stack (batch callers
+  /// pass a reused one).
+  template <bool PredImpliesIntersect, typename Pred>
+  size_t TraverseWindow(const RectT& window, Pred&& pred,
+                        std::vector<ObjectId>* out, storage::IoStats* io,
+                        TraversalScratch* scratch = nullptr) const {
+    constexpr bool kMatchAll = std::is_same_v<std::decay_t<Pred>, MatchAllPred>;
+    TraversalScratch local;
+    if (!scratch) {
+      scratch = &local;
+      local.Reserve(Height(), opts_.max_entries);
+    }
+    const bool use_soa = AccelFresh();
+    auto& stack = scratch->stack;
+    stack.clear();
+    stack.push_back(root_);
     size_t found = 0;
-    std::vector<PageId> stack{root_};
     while (!stack.empty()) {
       const PageId id = stack.back();
       stack.pop_back();
@@ -104,31 +150,72 @@ class RTree {
       if (n.IsLeaf()) {
         if (io) ++io->leaf_accesses;
         bool contributed = false;
-        for (const EntryT& e : n.entries) {
-          if (e.rect.Intersects(q)) {
-            ++found;
-            contributed = true;
-            if (out) out->push_back(e.id);
+        if (use_soa) {
+          const SoaNodeView<D> v = soa_.NodeView(id);
+          uint64_t* mask = scratch->MaskFor(v.n);
+          IntersectsAll<D>(v, window, mask, scratch->FlagsFor(v.n));
+          for (uint32_t w = 0; w * 64 < v.n; ++w) {
+            uint64_t m = mask[w];
+            while (m) {
+              const uint32_t i =
+                  w * 64 + static_cast<uint32_t>(std::countr_zero(m));
+              m &= m - 1;
+              if (kMatchAll || pred(n.entries[i].rect)) {
+                ++found;
+                contributed = true;
+                if (out) out->push_back(v.id[i]);
+              }
+            }
+          }
+        } else {
+          for (const EntryT& e : n.entries) {
+            const bool hit = PredImpliesIntersect
+                                 ? pred(e.rect)
+                                 : (e.rect.Intersects(window) &&
+                                    (kMatchAll || pred(e.rect)));
+            if (hit) {
+              ++found;
+              contributed = true;
+              if (out) out->push_back(e.id);
+            }
           }
         }
         if (io && contributed) ++io->contributing_leaf_accesses;
       } else {
         if (io) ++io->internal_accesses;
-        for (const EntryT& e : n.entries) {
-          if (!e.rect.Intersects(q)) continue;
-          if (clipping_ &&
-              core::ClipsPruneQuery<D>(clip_index_.Get(e.id), q)) {
-            continue;
+        if (use_soa) {
+          const SoaNodeView<D> v = soa_.NodeView(id);
+          uint64_t* mask = scratch->MaskFor(v.n);
+          IntersectsAll<D>(v, window, mask, scratch->FlagsFor(v.n));
+          // Same push order as the scalar loop (ascending entry index), so
+          // both paths traverse and emit results identically.
+          for (uint32_t w = 0; w * 64 < v.n; ++w) {
+            uint64_t m = mask[w];
+            while (m) {
+              const uint32_t i =
+                  w * 64 + static_cast<uint32_t>(std::countr_zero(m));
+              m &= m - 1;
+              const int64_t child = v.id[i];
+              if (clipping_ && core::ClipsPruneQuery<D>(
+                                   clip_index_.Get(child), window)) {
+                continue;
+              }
+              stack.push_back(child);
+            }
           }
-          stack.push_back(e.id);
+        } else {
+          for (const EntryT& e : n.entries) {
+            if (!e.rect.Intersects(window)) continue;
+            if (clipping_ &&
+                core::ClipsPruneQuery<D>(clip_index_.Get(e.id), window)) {
+              continue;
+            }
+            stack.push_back(e.id);
+          }
         }
       }
     }
     return found;
-  }
-
-  size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr) const {
-    return RangeQuery(q, nullptr, io);
   }
 
   // -------------------------------------------------------------- clipping
@@ -144,6 +231,7 @@ class RTree {
     } else {
       RebuildAllClipsParallel(threads);
     }
+    clip_index_.Compact();
     reclip_stats_.Reset();
   }
 
@@ -162,9 +250,31 @@ class RTree {
   double clip_seconds() const { return clip_seconds_; }
   void ResetClipSeconds() { clip_seconds_ = 0.0; }
 
+  // ----------------------------------------------------------- accelerator
+
+  /// Rebuilds the flat read-path accelerators in one pass: the SoA mirror
+  /// of all node entries and the compacted clip arena. Called automatically
+  /// after bulk loads and restores; call manually after a burst of updates
+  /// to re-flatten (queries fall back to the AoS path while stale).
+  void RefreshAccel() {
+    soa_.Build(*this);
+    soa_version_ = version_;
+    clip_index_.Compact();
+  }
+
+  /// True when the SoA mirror matches the current tree contents.
+  bool AccelFresh() const { return soa_version_ == version_; }
+
+  const SoaMatrix<D>& soa() const { return soa_; }
+
+  /// Monotonic mutation counter (bumped by Insert/Delete/bulk load).
+  uint64_t Version() const { return version_; }
+
   // ------------------------------------------------------------- structure
 
   PageId root() const { return root_; }
+  /// Upper bound over ever-allocated page ids (dense; includes free slots).
+  size_t PageCapacity() const { return store_.Capacity(); }
   const NodeT& NodeAt(PageId id) const { return store_.At(id); }
   bool NodeLive(PageId id) const { return store_.IsLive(id); }
   int Height() const { return store_.At(root_).level + 1; }
@@ -202,8 +312,10 @@ class RTree {
     store_.Clear();
     clip_index_.Clear();
     num_objects_ = items.size();
+    ++version_;
     if (items.empty()) {
       root_ = store_.Allocate();
+      RefreshAccel();
       return;
     }
     PackUpperLevels(items, 0);
@@ -211,6 +323,7 @@ class RTree {
       RebuildAllClips();
       reclip_stats_.Reset();
     }
+    RefreshAccel();
   }
 
  private:
@@ -267,8 +380,10 @@ class RTree {
     store_.Clear();
     clip_index_.Clear();
     num_objects_ = 0;
+    ++version_;
     if (groups.empty()) {
       root_ = store_.Allocate();
+      RefreshAccel();
       return;
     }
     // Normalize so every leaf holds >= min_entries (except a lone root
@@ -311,6 +426,7 @@ class RTree {
     }
     if (merged.empty()) {
       root_ = store_.Allocate();  // all groups were empty
+      RefreshAccel();
       return;
     }
     std::vector<EntryT> parents;
@@ -332,6 +448,7 @@ class RTree {
       RebuildAllClips();
       reclip_stats_.Reset();
     }
+    RefreshAccel();
   }
 
   /// Restores a tree from serialized pages (see rtree/serialize.h). The
@@ -353,6 +470,8 @@ class RTree {
     clip_index_.Clear();
     for (auto& [id, c] : clips) clip_index_.Set(id, std::move(c));
     reclip_stats_.Reset();
+    ++version_;
+    RefreshAccel();
   }
 
  protected:
@@ -576,6 +695,11 @@ class RTree {
 
   void CondenseTree(std::vector<PageId>& path) {
     --num_objects_;
+    // The root has no parent entry, so the loop below cannot detect its
+    // MBB shrinking; snapshot it and re-clip at the end if it moved (same
+    // rule as RefreshMbbsUpward).
+    const RectT root_before =
+        clipping_ ? store_.At(path[0]).ComputeMbb() : RectT::Empty();
     std::vector<std::pair<EntryT, int>> orphans;  // entry + target level
     for (int i = static_cast<int>(path.size()) - 1; i >= 1; --i) {
       const PageId nid = path[i];
@@ -602,6 +726,12 @@ class RTree {
         // Lazy rule (§IV-D): content removal without MBB change never
         // requires a re-clip.
       }
+    }
+    // Root MBB shrank: its clip anchors are stale (they may now lie
+    // outside the box), so rebuild them before the root possibly changes.
+    if (clipping_ &&
+        !(store_.At(path[0]).ComputeMbb() == root_before)) {
+      Reclip(path[0], ReclipCause::kMbbChange);
     }
     // Shrink the root if it became a chain (or empty).
     while (true) {
@@ -704,6 +834,12 @@ class RTree {
   core::ClipIndex<D> clip_index_;
   ReclipStats reclip_stats_;
   double clip_seconds_ = 0.0;
+
+  // Flat read-path accelerator: SoA mirror of all entries, rebuilt by
+  // RefreshAccel and valid only while soa_version_ == version_.
+  SoaMatrix<D> soa_;
+  uint64_t version_ = 1;
+  uint64_t soa_version_ = 0;
 };
 
 }  // namespace clipbb::rtree

@@ -76,11 +76,12 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out) {
     Put(out, static_cast<int32_t>(tree.clip_config().max_clips));
     Put(out, tree.clip_config().tau);
     Put(out, static_cast<uint64_t>(tree.clip_index().NumClippedNodes()));
-    for (const auto& [id, clips] : tree.clip_index()) {
-      Put(out, remap.at(id));
-      Put(out, static_cast<uint32_t>(clips.size()));
-      for (const auto& c : clips) Put(out, c);
-    }
+    tree.clip_index().ForEach(
+        [&](core::NodeId id, std::span<const core::ClipPoint<D>> clips) {
+          Put(out, remap.at(id));
+          Put(out, static_cast<uint32_t>(clips.size()));
+          for (const auto& c : clips) Put(out, c);
+        });
   }
   if (!out) return 0;
   return static_cast<size_t>(out.tellp() - start);

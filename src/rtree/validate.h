@@ -91,6 +91,9 @@ ValidationResult ValidateTree(const RTree<D>& tree) {
         if (!mbb.ContainsPoint(c.coord)) {
           res.Fail("clip point outside MBB in node " + std::to_string(id));
         }
+        // ClipIndex::Set sorts on every write, so this branch is
+        // defense-in-depth against code that mutates clip storage below
+        // the Set API (serialization bugs, future arena surgery).
         if (c.score > prev_score) {
           res.Fail("clip points not score-ordered in node " +
                    std::to_string(id));

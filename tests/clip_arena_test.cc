@@ -1,0 +1,171 @@
+// Tests for the CSR clip arena: flat build, overlay updates shadowing the
+// arena, tombstones, re-flattening via Compact, and the descending-score
+// ordering ClipIndex::Set enforces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/clip_index.h"
+
+namespace clipbb::core {
+namespace {
+
+ClipPoint<2> P(double x, double y, Mask m, double score) {
+  return {{x, y}, m, score};
+}
+
+std::vector<ClipPoint<2>> Clips(std::initializer_list<double> scores) {
+  std::vector<ClipPoint<2>> v;
+  double c = 0.0;
+  for (double s : scores) {
+    v.push_back(P(c, c, 0, s));
+    c += 1.0;
+  }
+  return v;
+}
+
+TEST(ClipArena, CompactPreservesContents) {
+  ClipIndex<2> idx;
+  idx.Set(0, Clips({5.0, 3.0}));
+  idx.Set(4, Clips({9.0}));
+  idx.Set(7, Clips({2.0, 1.5, 1.0}));
+  EXPECT_FALSE(idx.IsCompact());
+
+  const size_t nodes = idx.NumClippedNodes();
+  const size_t points = idx.TotalClipPoints();
+  const size_t bytes = idx.ByteSize();
+
+  idx.Compact();
+  EXPECT_TRUE(idx.IsCompact());
+  EXPECT_EQ(idx.PendingUpdates(), 0u);
+  EXPECT_EQ(idx.NumClippedNodes(), nodes);
+  EXPECT_EQ(idx.TotalClipPoints(), points);
+  EXPECT_EQ(idx.ByteSize(), bytes);
+  ASSERT_EQ(idx.Get(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(idx.Get(0)[0].score, 5.0);
+  ASSERT_EQ(idx.Get(4).size(), 1u);
+  ASSERT_EQ(idx.Get(7).size(), 3u);
+  EXPECT_TRUE(idx.Get(1).empty());
+  EXPECT_TRUE(idx.Get(99).empty());
+
+  idx.Compact();  // idempotent
+  EXPECT_EQ(idx.TotalClipPoints(), points);
+}
+
+TEST(ClipArena, OverlayShadowsArena) {
+  ClipIndex<2> idx;
+  idx.Set(3, Clips({4.0, 2.0}));
+  idx.Compact();
+
+  // Update after compaction lands in the overlay and wins over the arena.
+  idx.Set(3, Clips({7.0}));
+  EXPECT_FALSE(idx.IsCompact());
+  ASSERT_EQ(idx.Get(3).size(), 1u);
+  EXPECT_DOUBLE_EQ(idx.Get(3)[0].score, 7.0);
+  EXPECT_EQ(idx.NumClippedNodes(), 1u);
+  EXPECT_EQ(idx.TotalClipPoints(), 1u);
+
+  // A brand-new node also lands in the overlay.
+  idx.Set(11, Clips({1.0}));
+  EXPECT_EQ(idx.NumClippedNodes(), 2u);
+  EXPECT_EQ(idx.TotalClipPoints(), 2u);
+
+  idx.Compact();
+  ASSERT_EQ(idx.Get(3).size(), 1u);
+  EXPECT_DOUBLE_EQ(idx.Get(3)[0].score, 7.0);
+  ASSERT_EQ(idx.Get(11).size(), 1u);
+}
+
+TEST(ClipArena, EraseTombstonesArenaEntry) {
+  ClipIndex<2> idx;
+  idx.Set(2, Clips({4.0}));
+  idx.Set(5, Clips({3.0, 1.0}));
+  idx.Compact();
+
+  idx.Erase(5);
+  EXPECT_TRUE(idx.Get(5).empty());
+  EXPECT_EQ(idx.NumClippedNodes(), 1u);
+  EXPECT_EQ(idx.TotalClipPoints(), 1u);
+
+  // Setting an empty vector is the same as erasing.
+  idx.Set(2, {});
+  EXPECT_TRUE(idx.Get(2).empty());
+  EXPECT_EQ(idx.NumClippedNodes(), 0u);
+  EXPECT_EQ(idx.ByteSize(), 0u);
+
+  idx.Compact();
+  EXPECT_TRUE(idx.Get(2).empty());
+  EXPECT_TRUE(idx.Get(5).empty());
+  EXPECT_EQ(idx.NumClippedNodes(), 0u);
+
+  // A tombstoned slot can be refilled.
+  idx.Set(5, Clips({8.0}));
+  ASSERT_EQ(idx.Get(5).size(), 1u);
+  EXPECT_EQ(idx.NumClippedNodes(), 1u);
+}
+
+TEST(ClipArena, SetSortsByDescendingScore) {
+  ClipIndex<2> idx;
+  idx.Set(1, {P(0, 0, 0, 1.0), P(1, 1, 1, 5.0), P(2, 2, 2, 3.0)});
+  const auto clips = idx.Get(1);
+  ASSERT_EQ(clips.size(), 3u);
+  EXPECT_DOUBLE_EQ(clips[0].score, 5.0);
+  EXPECT_DOUBLE_EQ(clips[1].score, 3.0);
+  EXPECT_DOUBLE_EQ(clips[2].score, 1.0);
+
+  // Still sorted after flattening into the arena.
+  idx.Compact();
+  const auto flat = idx.Get(1);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_DOUBLE_EQ(flat[0].score, 5.0);
+  EXPECT_DOUBLE_EQ(flat[2].score, 1.0);
+}
+
+TEST(ClipArena, ForEachVisitsAscendingIdsAcrossArenaAndOverlay) {
+  ClipIndex<2> idx;
+  idx.Set(6, Clips({2.0}));
+  idx.Set(1, Clips({3.0}));
+  idx.Compact();
+  idx.Set(3, Clips({1.0}));   // overlay only
+  idx.Set(6, Clips({9.0}));   // shadows arena
+  idx.Erase(1);               // tombstone
+
+  std::vector<NodeId> ids;
+  std::vector<double> top_scores;
+  idx.ForEach([&](NodeId id, std::span<const ClipPoint<2>> clips) {
+    ids.push_back(id);
+    top_scores.push_back(clips[0].score);
+  });
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 3);
+  EXPECT_EQ(ids[1], 6);
+  EXPECT_DOUBLE_EQ(top_scores[1], 9.0);
+}
+
+TEST(ClipArena, ManyNodesRoundTrip) {
+  ClipIndex<3> idx;
+  for (NodeId id = 0; id < 500; id += 3) {
+    std::vector<ClipPoint<3>> clips;
+    for (int c = 0; c <= id % 5; ++c) {
+      clips.push_back({{double(id), double(c), 0.0}, 0,
+                       static_cast<double>(100 - c)});
+    }
+    idx.Set(id, std::move(clips));
+  }
+  const size_t points = idx.TotalClipPoints();
+  const size_t nodes = idx.NumClippedNodes();
+  idx.Compact();
+  EXPECT_EQ(idx.TotalClipPoints(), points);
+  EXPECT_EQ(idx.NumClippedNodes(), nodes);
+  for (NodeId id = 0; id < 500; ++id) {
+    const auto clips = idx.Get(id);
+    if (id % 3 != 0) {
+      EXPECT_TRUE(clips.empty());
+    } else {
+      EXPECT_EQ(clips.size(), static_cast<size_t>(id % 5) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::core

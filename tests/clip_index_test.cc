@@ -47,11 +47,11 @@ TEST(ClipIndex, ClearAndIteration) {
   idx.Set(1, {P(0, 0, 0)});
   idx.Set(5, {P(1, 1, 1)});
   size_t seen = 0;
-  for (const auto& [id, clips] : idx) {
+  idx.ForEach([&](NodeId id, std::span<const ClipPoint<2>> clips) {
     EXPECT_TRUE(id == 1 || id == 5);
     EXPECT_EQ(clips.size(), 1u);
     ++seen;
-  }
+  });
   EXPECT_EQ(seen, 2u);
   idx.Clear();
   EXPECT_EQ(idx.NumClippedNodes(), 0u);

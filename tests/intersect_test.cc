@@ -89,10 +89,12 @@ TEST(ClipsPruneQuery, SoundUnderTies3d) {
 
 TEST(ClipsPruneQuery, TestedInScoreOrder) {
   // The first (highest-score) clip should decide most prunes; verify the
-  // function returns true when only a later clip prunes, too.
+  // function returns true when only a later (lower-score) clip prunes,
+  // too. Input is descending by score — the precondition ClipIndex::Set
+  // enforces and ClipsPruneQuery asserts.
   const std::vector<ClipPoint<2>> clips = {
-      {{9.0, 9.0}, 0b11, 1.0},  // tiny corner region
-      {{2.0, 2.0}, 0b00, 4.0},  // bottom-left region
+      {{9.0, 9.0}, 0b11, 4.0},  // top-right region: does not prune this Q
+      {{2.0, 2.0}, 0b00, 1.0},  // bottom-left region: prunes
   };
   EXPECT_TRUE(ClipsPruneQuery<2>(clips, Rect<2>{{0.5, 0.5}, {1.0, 1.0}}));
 }

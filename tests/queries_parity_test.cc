@@ -1,0 +1,181 @@
+// Brute-force parity tests for the flattened query hot path: PointQuery,
+// ContainedInQuery, EnclosureQuery, and RangeQuery must return exactly the
+// linear-scan answer in every configuration — clipping on/off, SoA
+// accelerator fresh/stale, and per-query vs reused-context execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/queries.h"
+#include "rtree/query_batch.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace clipbb::rtree {
+namespace {
+
+template <int D>
+struct Fixture {
+  geom::Rect<D> domain;
+  std::vector<Entry<D>> items;
+  std::unique_ptr<RTree<D>> tree;
+
+  Fixture(Variant v, int n, uint64_t seed) {
+    for (int i = 0; i < D; ++i) {
+      domain.lo[i] = -0.5;
+      domain.hi[i] = 1.5;
+    }
+    Rng rng(seed);
+    items.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      items.push_back({testing::RandomRect<D>(rng, 0.15), i});
+    }
+    tree = BuildTree<D>(v, items, domain);
+  }
+};
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+template <int D>
+void CheckAllQueryTypes(const Fixture<D>& f, uint64_t seed) {
+  Rng rng(seed);
+  TraversalScratch scratch;
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Vec<D> p = testing::RandomPoint<D>(rng, -0.2, 1.2);
+    const geom::Rect<D> w = testing::RandomRect<D>(rng, 0.3);
+
+    // Brute-force answers.
+    std::vector<ObjectId> bf_point, bf_within, bf_enclose, bf_range;
+    for (const auto& e : f.items) {
+      if (e.rect.ContainsPoint(p)) bf_point.push_back(e.id);
+      if (w.Contains(e.rect)) bf_within.push_back(e.id);
+      if (e.rect.Contains(w)) bf_enclose.push_back(e.id);
+      if (e.rect.Intersects(w)) bf_range.push_back(e.id);
+    }
+
+    std::vector<ObjectId> got;
+    EXPECT_EQ(PointQuery<D>(*f.tree, p, &got), bf_point.size());
+    EXPECT_EQ(Sorted(std::move(got)), Sorted(bf_point));
+
+    got.clear();
+    EXPECT_EQ(ContainedInQuery<D>(*f.tree, w, &got), bf_within.size());
+    EXPECT_EQ(Sorted(std::move(got)), Sorted(bf_within));
+
+    got.clear();
+    EXPECT_EQ(EnclosureQuery<D>(*f.tree, w, &got), bf_enclose.size());
+    EXPECT_EQ(Sorted(std::move(got)), Sorted(bf_enclose));
+
+    got.clear();
+    EXPECT_EQ(f.tree->RangeQuery(w, &got), bf_range.size());
+    EXPECT_EQ(Sorted(std::move(got)), Sorted(bf_range));
+
+    // Same queries through a reused scratch must agree exactly.
+    got.clear();
+    EXPECT_EQ(PointQuery<D>(*f.tree, p, &got, nullptr, &scratch),
+              bf_point.size());
+    got.clear();
+    EXPECT_EQ(f.tree->RangeQuery(w, &got, nullptr, &scratch),
+              bf_range.size());
+  }
+}
+
+TEST(QueriesParity, UnclippedAccelStale2d) {
+  Fixture<2> f(Variant::kRStar, 1500, 71);
+  ASSERT_FALSE(f.tree->AccelFresh());
+  CheckAllQueryTypes<2>(f, 1);
+}
+
+TEST(QueriesParity, UnclippedAccelFresh2d) {
+  Fixture<2> f(Variant::kRStar, 1500, 71);
+  f.tree->RefreshAccel();
+  ASSERT_TRUE(f.tree->AccelFresh());
+  CheckAllQueryTypes<2>(f, 1);  // same seed: same queries as the stale run
+}
+
+TEST(QueriesParity, ClippedAccelFresh2d) {
+  Fixture<2> f(Variant::kHilbert, 1500, 72);
+  f.tree->EnableClipping(core::ClipConfig<2>::Sta());
+  f.tree->RefreshAccel();
+  ASSERT_TRUE(f.tree->AccelFresh());
+  CheckAllQueryTypes<2>(f, 2);
+}
+
+TEST(QueriesParity, ClippedAccelStale3d) {
+  Fixture<3> f(Variant::kGuttman, 1200, 73);
+  f.tree->EnableClipping(core::ClipConfig<3>::Sky());
+  ASSERT_FALSE(f.tree->AccelFresh());
+  CheckAllQueryTypes<3>(f, 3);
+}
+
+TEST(QueriesParity, ClippedAccelFresh3d) {
+  Fixture<3> f(Variant::kGuttman, 1200, 73);
+  f.tree->EnableClipping(core::ClipConfig<3>::Sky());
+  f.tree->RefreshAccel();
+  CheckAllQueryTypes<3>(f, 3);
+}
+
+TEST(QueriesParity, FreshAndStalePathsEmitIdenticalSequences) {
+  // Beyond set equality: the SoA and AoS paths must traverse in the same
+  // order and emit the same result sequence and I/O counts.
+  Fixture<2> f(Variant::kRStar, 2000, 74);
+  f.tree->EnableClipping(core::ClipConfig<2>::Sta());
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const geom::Rect<2> w = testing::RandomRect<2>(rng, 0.25);
+    std::vector<ObjectId> stale_ids, fresh_ids;
+    storage::IoStats stale_io, fresh_io;
+    ASSERT_FALSE(f.tree->AccelFresh());
+    f.tree->RangeQuery(w, &stale_ids, &stale_io);
+    f.tree->RefreshAccel();
+    f.tree->RangeQuery(w, &fresh_ids, &fresh_io);
+    EXPECT_EQ(stale_ids, fresh_ids);
+    EXPECT_EQ(stale_io.leaf_accesses, fresh_io.leaf_accesses);
+    EXPECT_EQ(stale_io.internal_accesses, fresh_io.internal_accesses);
+    EXPECT_EQ(stale_io.contributing_leaf_accesses,
+              fresh_io.contributing_leaf_accesses);
+    // Invalidate the accel again for the next round.
+    f.tree->Insert(testing::RandomRect<2>(rng, 0.05), 100000 + trial);
+  }
+}
+
+TEST(QueriesParity, UpdatesAfterRefreshFallBackCorrectly) {
+  Fixture<2> f(Variant::kRStar, 800, 75);
+  f.tree->EnableClipping(core::ClipConfig<2>::Sta());
+  f.tree->RefreshAccel();
+  std::vector<Entry<2>> ground_truth = f.items;
+  Rng rng(10);
+  // Interleave updates (which leave the accel stale and the clip arena
+  // with a growing overlay) with brute-force parity checks.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const Entry<2> e{testing::RandomRect<2>(rng, 0.1),
+                       5000 + round * 50 + i};
+      f.tree->Insert(e.rect, e.id);
+      ground_truth.push_back(e);
+    }
+    const geom::Rect<2> w = testing::RandomRect<2>(rng, 0.3);
+    std::vector<ObjectId> brute;
+    for (const auto& e : ground_truth) {
+      if (e.rect.Intersects(w)) brute.push_back(e.id);
+    }
+    std::vector<ObjectId> got;
+    ASSERT_FALSE(f.tree->AccelFresh());  // stale: scalar fallback path
+    EXPECT_EQ(f.tree->RangeQuery(w, &got), brute.size());
+    EXPECT_EQ(Sorted(std::move(got)), Sorted(std::move(brute)));
+  }
+  // Re-flatten and confirm the fast path returns the same answer.
+  const geom::Rect<2> w = testing::RandomRect<2>(rng, 0.3);
+  std::vector<ObjectId> before, after;
+  f.tree->RangeQuery(w, &before);
+  f.tree->RefreshAccel();
+  f.tree->RangeQuery(w, &after);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

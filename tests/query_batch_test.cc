@@ -1,0 +1,135 @@
+// Tests for the batched traversal layer: QueryContext reuse, Hilbert
+// scheduling, and RunQueryBatch parity with one-at-a-time execution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtree/batch.h"
+#include "rtree/factory.h"
+#include "rtree/query_batch.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace clipbb::rtree {
+namespace {
+
+template <int D>
+struct Fixture {
+  geom::Rect<D> domain{};
+  std::vector<Entry<D>> items;
+  std::vector<geom::Rect<D>> queries;
+  std::unique_ptr<RTree<D>> tree;
+
+  Fixture(Variant v, int n, int nq, uint64_t seed) {
+    for (int i = 0; i < D; ++i) {
+      domain.lo[i] = 0.0;
+      domain.hi[i] = 1.0;
+    }
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      items.push_back({testing::RandomRect<D>(rng, 0.1), i});
+    }
+    for (int q = 0; q < nq; ++q) {
+      queries.push_back(testing::RandomRect<D>(rng, 0.2));
+    }
+    tree = BuildTree<D>(v, items, domain);
+  }
+
+  std::vector<size_t> SequentialCounts(storage::IoStats* io) const {
+    std::vector<size_t> counts;
+    counts.reserve(queries.size());
+    for (const auto& q : queries) counts.push_back(tree->RangeCount(q, io));
+    return counts;
+  }
+};
+
+TEST(QueryBatch, CountsMatchSequentialInInputOrder) {
+  Fixture<2> f(Variant::kRStar, 2000, 200, 5);
+  f.tree->RefreshAccel();
+  storage::IoStats seq_io;
+  const std::vector<size_t> expected = f.SequentialCounts(&seq_io);
+
+  for (bool hilbert : {false, true}) {
+    QueryBatchOptions opts;
+    opts.hilbert_order = hilbert;
+    opts.threads = 1;
+    const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries, opts);
+    EXPECT_EQ(r.counts, expected) << "hilbert=" << hilbert;
+    EXPECT_EQ(r.io.leaf_accesses, seq_io.leaf_accesses);
+    EXPECT_EQ(r.io.internal_accesses, seq_io.internal_accesses);
+  }
+}
+
+TEST(QueryBatch, ThreadedMatchesSequential) {
+  Fixture<3> f(Variant::kHilbert, 3000, 300, 6);
+  f.tree->EnableClipping(core::ClipConfig<3>::Sta());
+  storage::IoStats seq_io;
+  const std::vector<size_t> expected = f.SequentialCounts(&seq_io);
+
+  QueryBatchOptions opts;
+  opts.threads = 4;
+  const QueryBatchResult r = RunQueryBatch<3>(*f.tree, f.queries, opts);
+  EXPECT_EQ(r.counts, expected);
+  EXPECT_EQ(r.io.leaf_accesses, seq_io.leaf_accesses);
+  EXPECT_EQ(r.io.internal_accesses, seq_io.internal_accesses);
+  EXPECT_EQ(r.io.contributing_leaf_accesses,
+            seq_io.contributing_leaf_accesses);
+}
+
+TEST(QueryBatch, BatchRangeCountWrapperStillWorks) {
+  Fixture<2> f(Variant::kGuttman, 1000, 120, 7);
+  const std::vector<size_t> expected = f.SequentialCounts(nullptr);
+  const BatchResult r = BatchRangeCount<2>(*f.tree, f.queries, 2);
+  EXPECT_EQ(r.counts, expected);
+}
+
+TEST(QueryBatch, ContextReuseAcrossManyQueries) {
+  Fixture<2> f(Variant::kRStar, 1500, 0, 8);
+  f.tree->RefreshAccel();
+  QueryContext<2> ctx(*f.tree);
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const geom::Rect<2> q = testing::RandomRect<2>(rng, 0.15);
+    std::vector<ObjectId> via_ctx, via_tree;
+    EXPECT_EQ(ctx.RangeQuery(q, &via_ctx), f.tree->RangeQuery(q, &via_tree));
+    EXPECT_EQ(via_ctx, via_tree);
+  }
+}
+
+TEST(QueryBatch, HilbertOrderIsAPermutation) {
+  Fixture<2> f(Variant::kRStar, 500, 97, 9);
+  const std::vector<uint32_t> order =
+      HilbertQueryOrder<2>(f.tree->bounds(), f.queries);
+  ASSERT_EQ(order.size(), f.queries.size());
+  std::vector<char> seen(order.size(), 0);
+  for (uint32_t i : order) {
+    ASSERT_LT(i, seen.size());
+    EXPECT_EQ(seen[i], 0);
+    seen[i] = 1;
+  }
+}
+
+TEST(QueryBatch, EmptyBatchAndEmptyTree) {
+  Fixture<2> f(Variant::kRStar, 0, 10, 10);
+  const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries);
+  ASSERT_EQ(r.counts.size(), 10u);
+  for (size_t c : r.counts) EXPECT_EQ(c, 0u);
+
+  const QueryBatchResult empty =
+      RunQueryBatch<2>(*f.tree, std::span<const geom::Rect<2>>{});
+  EXPECT_TRUE(empty.counts.empty());
+}
+
+TEST(QueryBatch, WorksWhileAccelStale) {
+  Fixture<2> f(Variant::kRStar, 800, 80, 11);
+  f.tree->RefreshAccel();
+  Rng rng(12);
+  f.tree->Insert(testing::RandomRect<2>(rng, 0.1), 99999);  // stale now
+  ASSERT_FALSE(f.tree->AccelFresh());
+  const std::vector<size_t> expected = f.SequentialCounts(nullptr);
+  const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries);
+  EXPECT_EQ(r.counts, expected);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,139 @@
+// Tests for the SoA entry mirror and the IntersectsAll bitmask kernel:
+// every bit must agree with the scalar Rect::Intersects verdict, and the
+// SoA distance kernel must agree with core::MinDist2.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mindist.h"
+#include "rtree/factory.h"
+#include "rtree/soa.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace clipbb::rtree {
+namespace {
+
+template <int D>
+std::unique_ptr<RTree<D>> BuildRandomTree(Variant v, int n, uint64_t seed) {
+  Rng rng(seed);
+  geom::Rect<D> domain;
+  for (int i = 0; i < D; ++i) {
+    domain.lo[i] = -0.5;
+    domain.hi[i] = 1.5;
+  }
+  std::vector<Entry<D>> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    items.push_back({testing::RandomRect<D>(rng, 0.1), i});
+  }
+  return BuildTree<D>(v, items, domain);
+}
+
+template <int D>
+void CheckKernelAgainstScalar(Variant v, uint64_t seed) {
+  auto tree = BuildRandomTree<D>(v, 3000, seed);
+  tree->RefreshAccel();
+  ASSERT_TRUE(tree->AccelFresh());
+
+  Rng rng(seed ^ 0xF00D);
+  TraversalScratch scratch;
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Rect<D> w = testing::RandomRect<D>(rng, 0.4);
+    tree->ForEachNode([&](storage::PageId id, const Node<D>& n) {
+      const SoaNodeView<D> view = tree->soa().NodeView(id);
+      ASSERT_EQ(view.n, n.entries.size());
+      uint64_t* mask = scratch.MaskFor(view.n);
+      IntersectsAll<D>(view, w, mask, scratch.FlagsFor(view.n));
+      for (uint32_t i = 0; i < view.n; ++i) {
+        const bool bit = (mask[i >> 6] >> (i & 63)) & 1;
+        EXPECT_EQ(bit, n.entries[i].rect.Intersects(w))
+            << "node " << id << " entry " << i;
+        EXPECT_EQ(view.id[i], n.entries[i].id);
+      }
+    });
+  }
+}
+
+TEST(SoaScan, KernelMatchesScalarIntersects2d) {
+  CheckKernelAgainstScalar<2>(Variant::kRStar, 11);
+  CheckKernelAgainstScalar<2>(Variant::kHilbert, 12);
+}
+
+TEST(SoaScan, KernelMatchesScalarIntersects3d) {
+  CheckKernelAgainstScalar<3>(Variant::kGuttman, 13);
+}
+
+TEST(SoaScan, DegenerateAndTouchingWindows) {
+  // Closed-interval semantics: touching edges count as intersecting, and a
+  // degenerate (point) window behaves like ContainsPoint.
+  auto tree = BuildRandomTree<2>(Variant::kRStar, 64, 21);
+  tree->RefreshAccel();
+  TraversalScratch scratch;
+  tree->ForEachNode([&](storage::PageId id, const Node<2>& n) {
+    const SoaNodeView<2> v = tree->soa().NodeView(id);
+    for (uint32_t i = 0; i < v.n; ++i) {
+      // Window sharing exactly one edge with entry i.
+      geom::Rect<2> touch = n.entries[i].rect;
+      const double w = touch.hi[0] - touch.lo[0];
+      touch.lo[0] = touch.hi[0];
+      touch.hi[0] = touch.lo[0] + (w > 0 ? w : 1.0);
+      uint64_t* mask = scratch.MaskFor(v.n);
+      IntersectsAll<2>(v, touch, mask, scratch.FlagsFor(v.n));
+      EXPECT_TRUE((mask[i >> 6] >> (i & 63)) & 1);
+
+      const geom::Rect<2> point =
+          geom::Rect<2>::FromPoint(n.entries[i].rect.Corner(0));
+      IntersectsAll<2>(v, point, mask, scratch.FlagsFor(v.n));
+      EXPECT_TRUE((mask[i >> 6] >> (i & 63)) & 1);
+    }
+  });
+}
+
+TEST(SoaScan, SoaMinDistMatchesScalar) {
+  auto tree = BuildRandomTree<3>(Variant::kRStar, 2000, 31);
+  tree->RefreshAccel();
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Vec<3> q = testing::RandomPoint<3>(rng, -0.5, 1.5);
+    tree->ForEachNode([&](storage::PageId id, const Node<3>& n) {
+      const SoaNodeView<3> v = tree->soa().NodeView(id);
+      for (uint32_t i = 0; i < v.n; ++i) {
+        EXPECT_DOUBLE_EQ(SoaMinDist2<3>(v, i, q),
+                         core::MinDist2<3>(q, n.entries[i].rect));
+      }
+    });
+  }
+}
+
+TEST(SoaScan, AccelStalenessTracking) {
+  auto tree = BuildRandomTree<2>(Variant::kRStar, 200, 41);
+  EXPECT_FALSE(tree->AccelFresh());  // insert-built, never refreshed
+  tree->RefreshAccel();
+  EXPECT_TRUE(tree->AccelFresh());
+  tree->Insert(geom::Rect<2>{{0.4, 0.4}, {0.6, 0.6}}, 999);
+  EXPECT_FALSE(tree->AccelFresh());  // mutation invalidates
+  tree->RefreshAccel();
+  EXPECT_TRUE(tree->AccelFresh());
+  tree->Delete(geom::Rect<2>{{0.4, 0.4}, {0.6, 0.6}}, 999);
+  EXPECT_FALSE(tree->AccelFresh());
+  // Deleting a missing object mutates nothing and keeps the accel fresh.
+  tree->RefreshAccel();
+  EXPECT_FALSE(tree->Delete(geom::Rect<2>{{0, 0}, {0.1, 0.1}}, -5));
+  EXPECT_TRUE(tree->AccelFresh());
+}
+
+TEST(SoaScan, BulkLoadRefreshesAutomatically) {
+  Rng rng(55);
+  geom::Rect<2> domain{{0, 0}, {1, 1}};
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 500; ++i) {
+    items.push_back({testing::RandomRect<2>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, domain);
+  EXPECT_TRUE(tree->AccelFresh());  // HR bulk load refreshes the accel
+  EXPECT_EQ(tree->soa().TotalEntries() > 0, true);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree
