@@ -5,7 +5,10 @@
 #ifndef CLIPBB_BENCH_COMMON_H_
 #define CLIPBB_BENCH_COMMON_H_
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -97,6 +100,25 @@ storage::IoStats RunQueries(const rtree::RTree<D>& tree,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// True when `flag` appears among the command-line arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+/// Scratch file path for benches that exercise the paged storage engine
+/// (fig15/fig11 --paged). Unique per process; callers remove it when done.
+inline std::string BenchTempFile(const std::string& stem) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir && *dir ? dir : "/tmp";
+  if (path.back() != '/') path += '/';
+  path += "clipbb_bench_" + stem + "_" + std::to_string(::getpid()) +
+          ".pages";
+  return path;
 }
 
 }  // namespace clipbb::bench

@@ -13,6 +13,7 @@
 #define CLIPBB_CORE_CLIP_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -24,6 +25,19 @@ namespace clipbb::core {
 
 /// Node id type shared with the R-tree page store.
 using NodeId = int64_t;
+
+/// Clip-arena aging: automatic Compact() so the overlay never grows without
+/// bound under update-heavy workloads, and never serves the slow hash-probe
+/// path to more than a bounded number of lookups. Either trigger fires a
+/// compaction at the next mutation (Set/Erase); 0 disables a trigger.
+struct ClipAgingPolicy {
+  /// Compact when the overlay holds at least this many pending entries.
+  size_t max_pending = 0;
+  /// Compact when a non-compact index has served this many Get() lookups
+  /// since the last compaction (lookups on a compact index are free and
+  /// uncounted).
+  uint64_t max_lookups = 0;
+};
 
 /// Clip table: node id -> ordered clip points. Mirrors the paper's directory
 /// (length + pointer per node; bitmask + coordinates per clip point).
@@ -50,6 +64,7 @@ class ClipIndex {
     num_points_ += clips.size() - old_n;
     if (old_n == 0) ++num_nodes_;
     overlay_[id] = std::move(clips);
+    MaybeAge();
   }
 
   /// Clip points of a node; empty span when the node has none. When the
@@ -57,6 +72,9 @@ class ClipIndex {
   /// reads keyed by node id.
   std::span<const ClipPoint<D>> Get(NodeId id) const {
     if (!overlay_.empty()) {
+      if (aging_.max_lookups > 0) {
+        lookups_.fetch_add(1, std::memory_order_relaxed);
+      }
       auto it = overlay_.find(id);
       if (it != overlay_.end()) return it->second;  // empty = tombstone
     }
@@ -77,6 +95,7 @@ class ClipIndex {
     } else {
       overlay_.erase(id);
     }
+    MaybeAge();
   }
 
   void Clear() {
@@ -86,12 +105,39 @@ class ClipIndex {
     overlay_.clear();
     num_nodes_ = 0;
     num_points_ = 0;
+    lookups_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Installs the automatic compaction policy ({} disables aging).
+  void SetAgingPolicy(const ClipAgingPolicy& policy) { aging_ = policy; }
+  const ClipAgingPolicy& aging_policy() const { return aging_; }
+
+  /// Lookups served by a non-compact index since the last compaction
+  /// (tracked only while an aging lookup threshold is set).
+  uint64_t StaleLookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+  /// Applies the aging policy: compacts when the overlay or the stale
+  /// lookup count crossed its threshold. Called automatically on every
+  /// Set/Erase; owners may also call it at batch boundaries.
+  void MaybeAge() {
+    if (overlay_.empty()) return;
+    const bool too_big =
+        aging_.max_pending > 0 && overlay_.size() >= aging_.max_pending;
+    const bool too_stale =
+        aging_.max_lookups > 0 &&
+        lookups_.load(std::memory_order_relaxed) >= aging_.max_lookups;
+    if (too_big || too_stale) Compact();
   }
 
   /// Re-flattens arena + overlay into a fresh contiguous arena. Cheap to
   /// call when already compact.
   void Compact() {
-    if (overlay_.empty()) return;
+    if (overlay_.empty()) {
+      lookups_.store(0, std::memory_order_relaxed);
+      return;
+    }
     const NodeId max_id = MaxId();
     std::vector<ClipPoint<D>> pool;
     pool.reserve(num_points_);
@@ -106,6 +152,9 @@ class ClipIndex {
     offset_ = std::move(offset);
     count_ = std::move(count);
     overlay_.clear();
+    // Reset last: the flattening pass above reads through Get() and would
+    // otherwise re-accumulate stale-lookup counts.
+    lookups_.store(0, std::memory_order_relaxed);
   }
 
   /// True when every entry lives in the flat arena (no pending updates).
@@ -160,6 +209,10 @@ class ClipIndex {
   std::unordered_map<NodeId, std::vector<ClipPoint<D>>> overlay_;
   size_t num_nodes_ = 0;
   size_t num_points_ = 0;
+  ClipAgingPolicy aging_{};
+  /// Get() calls served while not compact; relaxed — the count steers a
+  /// heuristic, exactness doesn't matter under concurrent readers.
+  mutable std::atomic<uint64_t> lookups_{0};
 };
 
 }  // namespace clipbb::core

@@ -71,11 +71,14 @@ std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
       if (n.IsLeaf()) {
         frontier.push({core::MinDist2<D>(q, e.rect), true, e.id});
       } else {
-        const double bound =
-            tree.clipping_enabled()
-                ? core::CbbMinDist2<D>(q, e.rect,
-                                       tree.clip_index().Get(e.id))
-                : core::MinDist2<D>(q, e.rect);
+        double bound;
+        if (tree.clipping_enabled()) {
+          if (io) ++io->clip_accesses;
+          bound = core::CbbMinDist2<D>(q, e.rect,
+                                       tree.clip_index().Get(e.id));
+        } else {
+          bound = core::MinDist2<D>(q, e.rect);
+        }
         frontier.push({bound, false, e.id});
       }
     }

@@ -1,0 +1,303 @@
+// Packed on-page node format of the paged storage engine.
+//
+// Every node — entries, level, and its clip-point run — is encoded into one
+// fixed-size byte page, so a leaf visit touches exactly one page. The entry
+// coordinates are laid out SoA *on the page* (per dimension: all lows, then
+// all highs, then the ids), which lets the IntersectsAll / SoaMinDist2 scan
+// kernels run directly over the pinned frame bytes with zero decode:
+//
+//   page (file_page_size bytes)
+//   +--------+----------------------------------+---------+-----------+
+//   | header | lo0[n] hi0[n] ... loD-1[n] hiD-1 | id[n]   | clip run  |
+//   | 8 B    | 2*D*n doubles                    | n int64 | (if fits) |
+//   +--------+----------------------------------+---------+-----------+
+//
+// The clip run is the node's clip points in descending-score order: n*D
+// coordinates followed by n corner masks (Fig. 4b layout — scores are not
+// stored; decode re-synthesises a descending sequence, which is all the
+// pruning tests need). A run that does not fit the page's free space is
+// spilled whole into the file's clip-spill section and the page's spill
+// flag is set. With capacities derived from page_size (options.h), a full
+// node occupies its page exactly and the run spills; partially filled
+// nodes keep their clips inline.
+//
+// A serialized tree file is: one superblock page, then num_node_pages node
+// pages (dense BFS ids; node i lives at file page 1 + i), then the clip
+// spill section padded to whole pages. rtree/serialize.h writes this format
+// through any ostream; PagedRTree (rtree/paged_rtree.h) opens it lazily
+// through the buffer pool.
+#ifndef CLIPBB_RTREE_PAGE_FORMAT_H_
+#define CLIPBB_RTREE_PAGE_FORMAT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/clip_builder.h"
+#include "core/clip_point.h"
+#include "rtree/node.h"
+#include "rtree/soa.h"
+
+namespace clipbb::rtree {
+
+inline constexpr uint64_t kPagedMagic = 0xC11BB0CC'5EED0002ULL;
+
+/// File header, stored at the start of page 0 (rest of the page is zero).
+struct Superblock {
+  uint64_t magic = kPagedMagic;
+  uint32_t dim = 0;
+  uint32_t user_tag = 0;        // caller-defined (the CLI stores the variant)
+  uint32_t file_page_size = 0;  // frame size of THIS file's pages
+  int32_t page_size = 0;        // RTreeOptions fields, echoed back on load
+  int32_t max_entries = 0;
+  int32_t min_entries = 0;
+  uint8_t clipped = 0;
+  uint8_t clip_mode = 0;        // core::ClipMode
+  uint16_t reserved = 0;
+  int32_t max_clips = 0;
+  double tau = 0.0;
+  uint64_t num_objects = 0;
+  uint64_t num_node_pages = 0;
+  int64_t root_page = 0;         // node-section index (0-based)
+  uint64_t clip_spill_bytes = 0; // byte length of the spill section
+  uint64_t num_clip_points = 0;  // inline + spilled, for stats
+  uint64_t num_clipped_nodes = 0;
+};
+static_assert(sizeof(Superblock) <= 128, "superblock must stay one page");
+
+/// 8-byte node-page header; entry coordinates start right after it, so
+/// every double on the page is naturally aligned.
+struct NodePageHeader {
+  uint8_t level = 0;  // 0 = leaf
+  uint8_t flags = 0;
+  uint16_t entry_count = 0;
+  uint16_t clip_count = 0;  // inline clip points (0 when spilled)
+  uint16_t reserved = 0;
+};
+static_assert(sizeof(NodePageHeader) == 8);
+
+/// The node's clip run lives in the file's spill section, not on the page.
+inline constexpr uint8_t kNodeFlagClipsSpilled = 1;
+
+template <int D>
+constexpr size_t PagedEntryBytes() {
+  return 2 * D * sizeof(double) + sizeof(int64_t);
+}
+
+/// Packed size of a node with `n` entries, excluding the clip run. Matches
+/// NodeBytes<D> (options.h derives capacities from the same 8-byte header).
+template <int D>
+constexpr size_t PagedNodeBytes(size_t n) {
+  return sizeof(NodePageHeader) + n * PagedEntryBytes<D>();
+}
+
+/// Bytes of a clip run of `c` points: c*D coordinates + c corner masks.
+template <int D>
+constexpr size_t ClipRunBytes(size_t c) {
+  return c * (D * sizeof(double) + 1);
+}
+
+/// Encodes `n` (entries + clip run) into `page` (page_size bytes, zeroed
+/// first). Returns true when the clip run fit inline; false when it was
+/// omitted and must be spilled (the caller records it in the spill
+/// section). The node's entries must fit: PagedNodeBytes(n) <= page_size.
+template <int D>
+bool EncodeNodePage(const Node<D>& n,
+                    std::span<const core::ClipPoint<D>> clips,
+                    std::byte* page, size_t page_size) {
+  const size_t count = n.entries.size();
+  const size_t node_bytes = PagedNodeBytes<D>(count);
+  assert(node_bytes <= page_size);
+  std::memset(page, 0, page_size);
+
+  const bool inline_fits =
+      clips.empty() || node_bytes + ClipRunBytes<D>(clips.size()) <= page_size;
+  NodePageHeader h;
+  h.level = static_cast<uint8_t>(n.level);
+  h.flags = inline_fits ? 0 : kNodeFlagClipsSpilled;
+  h.entry_count = static_cast<uint16_t>(count);
+  h.clip_count =
+      inline_fits ? static_cast<uint16_t>(clips.size()) : uint16_t{0};
+  std::memcpy(page, &h, sizeof h);
+
+  double* coords = reinterpret_cast<double*>(page + sizeof h);
+  for (int d = 0; d < D; ++d) {
+    double* lo = coords + (2 * d) * count;
+    double* hi = coords + (2 * d + 1) * count;
+    for (size_t i = 0; i < count; ++i) {
+      lo[i] = n.entries[i].rect.lo[d];
+      hi[i] = n.entries[i].rect.hi[d];
+    }
+  }
+  int64_t* ids = reinterpret_cast<int64_t*>(coords + 2 * D * count);
+  for (size_t i = 0; i < count; ++i) ids[i] = n.entries[i].id;
+
+  if (inline_fits && !clips.empty()) {
+    double* ccoord = reinterpret_cast<double*>(page + node_bytes);
+    for (size_t c = 0; c < clips.size(); ++c) {
+      for (int d = 0; d < D; ++d) ccoord[c * D + d] = clips[c].coord[d];
+    }
+    uint8_t* masks = reinterpret_cast<uint8_t*>(
+        page + node_bytes + clips.size() * D * sizeof(double));
+    for (size_t c = 0; c < clips.size(); ++c) {
+      masks[c] = static_cast<uint8_t>(clips[c].mask);
+    }
+  }
+  return inline_fits;
+}
+
+/// Zero-copy view of a packed node page: the coordinate/id arrays point
+/// into the page bytes, so the SoA scan kernels run on them directly.
+template <int D>
+struct PagedNodeView {
+  NodePageHeader header;
+  const double* lo[D];
+  const double* hi[D];
+  const int64_t* id = nullptr;
+  const double* clip_coord = nullptr;  // clip c, dim d at [c * D + d]
+  const uint8_t* clip_mask = nullptr;
+
+  bool IsLeaf() const { return header.level == 0; }
+  uint32_t n() const { return header.entry_count; }
+  bool ClipsSpilled() const {
+    return (header.flags & kNodeFlagClipsSpilled) != 0;
+  }
+
+  /// Bridge into the shared scan kernels (IntersectsAll, SoaMinDist2).
+  SoaNodeView<D> Soa() const {
+    SoaNodeView<D> v;
+    for (int d = 0; d < D; ++d) {
+      v.lo[d] = lo[d];
+      v.hi[d] = hi[d];
+    }
+    v.id = id;
+    v.n = header.entry_count;
+    return v;
+  }
+
+  geom::Rect<D> EntryRect(uint32_t i) const {
+    geom::Rect<D> r;
+    for (int d = 0; d < D; ++d) {
+      r.lo[d] = lo[d][i];
+      r.hi[d] = hi[d][i];
+    }
+    return r;
+  }
+
+  /// Inline clip run as ClipPoints. Scores are synthesised strictly
+  /// descending (the stored order), which is the only property the
+  /// pruning tests need — real scores are not part of the page format.
+  std::vector<core::ClipPoint<D>> DecodeClips() const {
+    std::vector<core::ClipPoint<D>> out(header.clip_count);
+    for (uint32_t c = 0; c < header.clip_count; ++c) {
+      for (int d = 0; d < D; ++d) out[c].coord[d] = clip_coord[c * D + d];
+      out[c].mask = clip_mask[c];
+      out[c].score = static_cast<double>(header.clip_count - c);
+    }
+    return out;
+  }
+};
+
+template <int D>
+PagedNodeView<D> DecodeNodePage(const std::byte* page) {
+  PagedNodeView<D> v;
+  std::memcpy(&v.header, page, sizeof v.header);
+  const size_t count = v.header.entry_count;
+  const double* coords =
+      reinterpret_cast<const double*>(page + sizeof v.header);
+  for (int d = 0; d < D; ++d) {
+    v.lo[d] = coords + (2 * d) * count;
+    v.hi[d] = coords + (2 * d + 1) * count;
+  }
+  v.id = reinterpret_cast<const int64_t*>(coords + 2 * D * count);
+  if (v.header.clip_count > 0) {
+    const size_t node_bytes = PagedNodeBytes<D>(count);
+    v.clip_coord = reinterpret_cast<const double*>(page + node_bytes);
+    v.clip_mask = reinterpret_cast<const uint8_t*>(
+        page + node_bytes + v.header.clip_count * D * sizeof(double));
+  }
+  return v;
+}
+
+/// Full AoS decode (DeserializeTree's restore path).
+template <int D>
+Node<D> DecodeNode(const std::byte* page) {
+  const PagedNodeView<D> v = DecodeNodePage<D>(page);
+  Node<D> n;
+  n.level = v.header.level;
+  n.entries.resize(v.n());
+  for (uint32_t i = 0; i < v.n(); ++i) {
+    n.entries[i].rect = v.EntryRect(i);
+    n.entries[i].id = v.id[i];
+  }
+  return n;
+}
+
+// ------------------------------------------------------- clip spill stream
+//
+// Runs that do not fit their node page are appended to a byte stream of
+// records: int64 node page id, uint32 count, count*D doubles, count masks.
+// The stream is written after the node pages (padded to whole pages) and
+// parsed fully at open time into the memory-resident clip arena.
+
+template <int D>
+void AppendClipSpill(int64_t node_page,
+                     std::span<const core::ClipPoint<D>> clips,
+                     std::vector<std::byte>* out) {
+  const uint32_t count = static_cast<uint32_t>(clips.size());
+  const size_t base = out->size();
+  out->resize(base + sizeof(int64_t) + sizeof(uint32_t) +
+              ClipRunBytes<D>(count));
+  std::byte* p = out->data() + base;
+  std::memcpy(p, &node_page, sizeof node_page);
+  p += sizeof node_page;
+  std::memcpy(p, &count, sizeof count);
+  p += sizeof count;
+  for (const auto& c : clips) {
+    std::memcpy(p, &c.coord, D * sizeof(double));
+    p += D * sizeof(double);
+  }
+  for (const auto& c : clips) {
+    const uint8_t m = static_cast<uint8_t>(c.mask);
+    std::memcpy(p, &m, 1);
+    p += 1;
+  }
+}
+
+/// Parses a spill stream, invoking fn(node_page, vector<ClipPoint<D>>) per
+/// record (scores synthesised descending, as for inline runs). Returns
+/// false on a malformed stream.
+template <int D, typename F>
+bool ParseClipSpill(const std::byte* data, size_t size, F&& fn) {
+  size_t off = 0;
+  while (off < size) {
+    if (size - off < sizeof(int64_t) + sizeof(uint32_t)) return false;
+    int64_t node_page = 0;
+    uint32_t count = 0;
+    std::memcpy(&node_page, data + off, sizeof node_page);
+    off += sizeof node_page;
+    std::memcpy(&count, data + off, sizeof count);
+    off += sizeof count;
+    if (size - off < ClipRunBytes<D>(count)) return false;
+    std::vector<core::ClipPoint<D>> clips(count);
+    for (uint32_t c = 0; c < count; ++c) {
+      std::memcpy(&clips[c].coord, data + off, D * sizeof(double));
+      off += D * sizeof(double);
+      clips[c].score = static_cast<double>(count - c);
+    }
+    for (uint32_t c = 0; c < count; ++c) {
+      uint8_t m = 0;
+      std::memcpy(&m, data + off, 1);
+      off += 1;
+      clips[c].mask = m;
+    }
+    fn(node_page, std::move(clips));
+  }
+  return true;
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_PAGE_FORMAT_H_

@@ -1,0 +1,399 @@
+// Disk-resident read path for (clipped) R-trees: open a serialized tree
+// file (rtree/serialize.h, paged format) and answer range, kNN, and
+// batched queries by decoding node pages pinned in the buffer pool —
+// nothing but the clip table and the traversal state lives in memory.
+//
+// Mirrors the paper's scalability setup (§V-C): the clip table and the
+// superblock are memory-resident (loaded by one sequential scan at open),
+// node pages are fetched on demand through a frame-owning LRU BufferPool,
+// and every physical transfer is counted (IoStats::page_reads/page_writes)
+// — real I/O, not the synthetic per-miss latency the simulated Fig. 15
+// mode charges. The packed SoA page layout lets the shared scan kernels
+// (IntersectsAll, SoaMinDist2) run directly over the pinned frame bytes.
+//
+// Query results, visit order, and logical access counts are identical to
+// the in-memory RTree running the same tree (parity-tested). The pool is
+// not thread-safe: one PagedRTree per querying thread.
+#ifndef CLIPBB_RTREE_PAGED_RTREE_H_
+#define CLIPBB_RTREE_PAGED_RTREE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+#include <memory>
+#include <queue>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/clip_index.h"
+#include "core/intersect.h"
+#include "core/mindist.h"
+#include "rtree/knn.h"
+#include "rtree/page_format.h"
+#include "rtree/query_batch.h"
+#include "rtree/serialize.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_file.h"
+
+namespace clipbb::rtree {
+
+/// Serializes `tree` straight into a page file at `path` (the same bytes
+/// SerializeTree writes to a stream). Returns false on any I/O failure.
+template <int D>
+bool WritePagedTree(const RTree<D>& tree, const std::string& path,
+                    uint32_t user_tag = 0) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SerializeTree<D>(tree, out, user_tag) > 0 &&
+         static_cast<bool>(out.flush());
+}
+
+template <int D>
+class PagedRTree {
+ public:
+  using RectT = geom::Rect<D>;
+
+  struct OpenOptions {
+    /// Buffer-pool frames; 0 derives max(16, node pages / 10) — the 10 %
+    /// cold-pool ratio of the Fig. 15 setup.
+    size_t pool_pages = 0;
+  };
+
+  PagedRTree() = default;
+
+  PagedRTree(const PagedRTree&) = delete;
+  PagedRTree& operator=(const PagedRTree&) = delete;
+
+  /// Opens a file written by SerializeTree / WritePagedTree. One
+  /// sequential scan loads the clip table (when the tree is clipped) and
+  /// the root's MBB; node pages stay on disk. Physical-read counters
+  /// start at zero afterwards.
+  bool Open(const std::string& path, const OpenOptions& opts = {}) {
+    Close();
+    if (!file_.Open(path, /*create=*/false)) return false;
+    if (!file_.ReadRaw(0, &sb_, sizeof sb_)) return false;
+    // Same sanity bounds DeserializeTree applies, plus: every size the
+    // superblock declares must fit the actual file, so a corrupt header
+    // can never drive an allocation or a read off the end.
+    if (sb_.magic != kPagedMagic || sb_.dim != static_cast<uint32_t>(D) ||
+        sb_.file_page_size < sizeof(Superblock) ||
+        sb_.file_page_size > serialize_internal::kMaxFilePageSize ||
+        sb_.file_page_size % 8 != 0 || sb_.num_node_pages == 0 ||
+        sb_.root_page < 0 ||
+        sb_.root_page >= static_cast<int64_t>(sb_.num_node_pages)) {
+      file_.Close();
+      return false;
+    }
+    const uint64_t node_section_end =
+        (1 + sb_.num_node_pages) * static_cast<uint64_t>(sb_.file_page_size);
+    if (node_section_end + sb_.clip_spill_bytes > file_.SizeBytes()) {
+      file_.Close();
+      return false;
+    }
+    file_.set_page_size(sb_.file_page_size);
+
+    std::vector<std::byte> page(sb_.file_page_size);
+    if (!file_.ReadPage(1 + sb_.root_page, page.data())) {
+      file_.Close();
+      return false;
+    }
+    {
+      const PagedNodeView<D> root = DecodeNodePage<D>(page.data());
+      if (!ValidPage(root)) {
+        file_.Close();
+        return false;
+      }
+      height_ = root.header.level + 1;
+      bounds_ = RectT::Empty();
+      for (uint32_t i = 0; i < root.n(); ++i) {
+        bounds_.ExpandToInclude(root.EntryRect(i));
+      }
+    }
+
+    clip_index_.Clear();
+    if (sb_.clipped) {
+      for (uint64_t p = 0; p < sb_.num_node_pages; ++p) {
+        if (!file_.ReadPage(1 + static_cast<int64_t>(p), page.data())) {
+          file_.Close();
+          return false;
+        }
+        const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
+        if (!ValidPage(v)) {
+          file_.Close();
+          return false;
+        }
+        if (v.header.clip_count > 0) {
+          clip_index_.Set(static_cast<core::NodeId>(p), v.DecodeClips());
+        }
+      }
+      if (sb_.clip_spill_bytes > 0) {
+        std::vector<std::byte> spill(sb_.clip_spill_bytes);
+        const uint64_t off = node_section_end;
+        if (!file_.ReadRaw(off, spill.data(), spill.size()) ||
+            !ParseClipSpill<D>(
+                spill.data(), spill.size(),
+                [&](int64_t id, std::vector<core::ClipPoint<D>> clips) {
+                  clip_index_.Set(id, std::move(clips));
+                })) {
+          file_.Close();
+          return false;
+        }
+      }
+      clip_index_.Compact();
+    }
+
+    const size_t frames =
+        opts.pool_pages > 0
+            ? opts.pool_pages
+            : std::max<size_t>(16, sb_.num_node_pages / 10);
+    pool_ = std::make_unique<storage::BufferPool>(frames, &file_);
+    file_.ResetCounters();
+    io_error_ = false;
+    open_ = true;
+    return true;
+  }
+
+  void Close() {
+    pool_.reset();
+    file_.Close();
+    clip_index_.Clear();
+    open_ = false;
+  }
+
+  bool is_open() const { return open_; }
+
+  /// Sticky: true once any query hit an unreadable or corrupt page and
+  /// returned a truncated traversal. Partial results must not be mistaken
+  /// for small ones — check this after measurement runs.
+  bool io_error() const { return io_error_; }
+
+  // ------------------------------------------------------------- metadata
+
+  const Superblock& superblock() const { return sb_; }
+  uint32_t user_tag() const { return sb_.user_tag; }
+  size_t NumObjects() const { return sb_.num_objects; }
+  size_t NumNodes() const { return sb_.num_node_pages; }
+  int Height() const { return height_; }
+  int max_entries() const { return sb_.max_entries; }
+  const RectT& bounds() const { return bounds_; }
+  bool clipping_enabled() const { return sb_.clipped != 0; }
+  const core::ClipIndex<D>& clip_index() const { return clip_index_; }
+  storage::BufferPool& pool() { return *pool_; }
+  const storage::PageFile& file() const { return file_; }
+
+  // --------------------------------------------------------------- queries
+
+  /// Range query; same contract as RTree::RangeQuery plus physical-I/O
+  /// accounting (page_reads/page_writes deltas of the pool).
+  size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out = nullptr,
+                    storage::IoStats* io = nullptr,
+                    TraversalScratch* scratch = nullptr) {
+    assert(open_);
+    TraversalScratch local;
+    if (!scratch) {
+      scratch = &local;
+      local.Reserve(height_, sb_.max_entries);
+    }
+    const uint64_t miss0 = pool_->misses();
+    const uint64_t wb0 = pool_->writebacks();
+    auto& stack = scratch->stack;
+    stack.clear();
+    stack.push_back(sb_.root_page);
+    size_t found = 0;
+    while (!stack.empty()) {
+      const storage::PageId id = stack.back();
+      stack.pop_back();
+      const std::byte* bytes = pool_->Pin(1 + id);
+      if (!bytes) {  // unreadable page; abandon the traversal
+        io_error_ = true;
+        break;
+      }
+      const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
+      if (!ValidPage(v)) {  // corrupt counts would walk off the frame
+        io_error_ = true;
+        pool_->Unpin(1 + id);
+        break;
+      }
+      uint64_t* mask = scratch->MaskFor(v.n());
+      IntersectsAll<D>(v.Soa(), q, mask, scratch->FlagsFor(v.n()));
+      if (v.IsLeaf()) {
+        if (io) ++io->leaf_accesses;
+        bool contributed = false;
+        for (uint32_t w = 0; w * 64 < v.n(); ++w) {
+          uint64_t m = mask[w];
+          while (m) {
+            const uint32_t i =
+                w * 64 + static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            ++found;
+            contributed = true;
+            if (out) out->push_back(v.id[i]);
+          }
+        }
+        if (io && contributed) ++io->contributing_leaf_accesses;
+      } else {
+        if (io) ++io->internal_accesses;
+        // Same push order as the in-memory traversal (ascending entry
+        // index), so both paths visit nodes and emit results identically.
+        for (uint32_t w = 0; w * 64 < v.n(); ++w) {
+          uint64_t m = mask[w];
+          while (m) {
+            const uint32_t i =
+                w * 64 + static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            const int64_t child = v.id[i];
+            if (child < 0 ||
+                child >= static_cast<int64_t>(sb_.num_node_pages)) {
+              io_error_ = true;  // corrupt child pointer; don't follow it
+              continue;
+            }
+            if (clipping_enabled()) {
+              if (io) ++io->clip_accesses;
+              if (core::ClipsPruneQuery<D>(clip_index_.Get(child), q)) {
+                continue;
+              }
+            }
+            stack.push_back(child);
+          }
+        }
+      }
+      pool_->Unpin(1 + id);
+    }
+    if (io) {
+      io->page_reads += pool_->misses() - miss0;
+      io->page_writes += pool_->writebacks() - wb0;
+    }
+    return found;
+  }
+
+  size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr,
+                    TraversalScratch* scratch = nullptr) {
+    return RangeQuery(q, nullptr, io, scratch);
+  }
+
+  /// k nearest objects to `q`, ascending squared distance — best-first
+  /// traversal identical to rtree/knn.h, decoding pinned pages.
+  std::vector<KnnNeighbor<D>> Knn(const geom::Vec<D>& q, int k,
+                                  storage::IoStats* io = nullptr) {
+    assert(open_);
+    std::vector<KnnNeighbor<D>> result;
+    if (k <= 0) return result;
+    const uint64_t miss0 = pool_->misses();
+    const uint64_t wb0 = pool_->writebacks();
+
+    struct QueueItem {
+      double dist2;
+      bool is_object;
+      int64_t id;
+      bool operator>(const QueueItem& o) const { return dist2 > o.dist2; }
+    };
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        frontier;
+    frontier.push({0.0, false, sb_.root_page});
+
+    while (!frontier.empty()) {
+      const QueueItem item = frontier.top();
+      frontier.pop();
+      if (item.is_object) {
+        result.push_back(KnnNeighbor<D>{item.id, item.dist2});
+        if (static_cast<int>(result.size()) == k) break;
+        continue;
+      }
+      const std::byte* bytes = pool_->Pin(1 + item.id);
+      if (!bytes) {
+        io_error_ = true;
+        break;
+      }
+      const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
+      if (!ValidPage(v)) {
+        io_error_ = true;
+        pool_->Unpin(1 + item.id);
+        break;
+      }
+      const SoaNodeView<D> s = v.Soa();
+      const bool leaf = v.IsLeaf();
+      if (io) {
+        if (leaf) {
+          ++io->leaf_accesses;
+        } else {
+          ++io->internal_accesses;
+        }
+      }
+      for (uint32_t i = 0; i < v.n(); ++i) {
+        if (leaf) {
+          frontier.push({SoaMinDist2<D>(s, i, q), true, v.id[i]});
+        } else {
+          if (v.id[i] < 0 ||
+              v.id[i] >= static_cast<int64_t>(sb_.num_node_pages)) {
+            io_error_ = true;
+            continue;
+          }
+          double bound;
+          if (clipping_enabled()) {
+            if (io) ++io->clip_accesses;
+            bound = core::CbbMinDist2<D>(q, v.EntryRect(i),
+                                         clip_index_.Get(v.id[i]));
+          } else {
+            bound = SoaMinDist2<D>(s, i, q);
+          }
+          frontier.push({bound, false, v.id[i]});
+        }
+      }
+      pool_->Unpin(1 + item.id);
+    }
+    if (io) {
+      io->page_reads += pool_->misses() - miss0;
+      io->page_writes += pool_->writebacks() - wb0;
+    }
+    return result;
+  }
+
+  /// Runs every window as a range count with one reused scratch,
+  /// optionally in Hilbert order of the query centers (the batched hot
+  /// path). Single-threaded — the pool serializes page access anyway.
+  QueryBatchResult RunBatch(std::span<const RectT> queries,
+                            bool hilbert_order = true) {
+    QueryBatchResult result;
+    result.counts.assign(queries.size(), 0);
+    if (queries.empty() || !open_) return result;
+    std::vector<uint32_t> order;
+    if (hilbert_order) {
+      order = HilbertQueryOrder<D>(bounds_, queries);
+    } else {
+      order.resize(queries.size());
+      std::iota(order.begin(), order.end(), 0u);
+    }
+    TraversalScratch scratch;
+    scratch.Reserve(height_, sb_.max_entries);
+    for (uint32_t qi : order) {
+      result.counts[qi] = RangeCount(queries[qi], &result.io, &scratch);
+    }
+    return result;
+  }
+
+ private:
+  /// True when the page's declared counts fit the frame; a corrupt page
+  /// must never drive the scan kernels past the pinned bytes.
+  bool ValidPage(const PagedNodeView<D>& v) const {
+    return PagedNodeBytes<D>(v.n()) + ClipRunBytes<D>(v.header.clip_count) <=
+           sb_.file_page_size;
+  }
+
+  storage::PageFile file_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  Superblock sb_{};
+  core::ClipIndex<D> clip_index_;
+  RectT bounds_ = RectT::Empty();
+  int height_ = 1;
+  bool open_ = false;
+  bool io_error_ = false;
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_PAGED_RTREE_H_

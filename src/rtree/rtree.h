@@ -65,7 +65,15 @@ class RTree {
   explicit RTree(const RTreeOptions& opts)
       : opts_(ResolveOptions<D>(opts)) {
     root_ = store_.Allocate();  // empty leaf
+    clip_index_.SetAgingPolicy(kDefaultClipAging);
   }
+
+  /// Default clip-arena aging: compact once 1k nodes' clips pend in the
+  /// overlay, or once a dirty overlay has served 64k query lookups —
+  /// update-heavy workloads re-flatten automatically instead of relying on
+  /// bulk-load hooks.
+  static constexpr core::ClipAgingPolicy kDefaultClipAging{
+      /*max_pending=*/1024, /*max_lookups=*/64 * 1024};
   virtual ~RTree() = default;
 
   RTree(const RTree&) = delete;
@@ -83,6 +91,9 @@ class RTree {
     ++num_objects_;
     ++version_;
     InsertEntryAtLevel(EntryT{rect, oid}, 0);
+    // Clip-arena aging: updates are the compaction points (queries are
+    // const), so apply the policy even when this insert re-clipped nothing.
+    if (clipping_) clip_index_.MaybeAge();
   }
 
   /// Deletes the object with exactly this rect and id; false if absent.
@@ -99,6 +110,7 @@ class RTree {
       }
     }
     CondenseTree(path);
+    if (clipping_) clip_index_.MaybeAge();
     return true;
   }
 
@@ -196,9 +208,12 @@ class RTree {
                   w * 64 + static_cast<uint32_t>(std::countr_zero(m));
               m &= m - 1;
               const int64_t child = v.id[i];
-              if (clipping_ && core::ClipsPruneQuery<D>(
-                                   clip_index_.Get(child), window)) {
-                continue;
+              if (clipping_) {
+                if (io) ++io->clip_accesses;
+                if (core::ClipsPruneQuery<D>(clip_index_.Get(child),
+                                             window)) {
+                  continue;
+                }
               }
               stack.push_back(child);
             }
@@ -206,9 +221,11 @@ class RTree {
         } else {
           for (const EntryT& e : n.entries) {
             if (!e.rect.Intersects(window)) continue;
-            if (clipping_ &&
-                core::ClipsPruneQuery<D>(clip_index_.Get(e.id), window)) {
-              continue;
+            if (clipping_) {
+              if (io) ++io->clip_accesses;
+              if (core::ClipsPruneQuery<D>(clip_index_.Get(e.id), window)) {
+                continue;
+              }
             }
             stack.push_back(e.id);
           }
@@ -242,6 +259,12 @@ class RTree {
 
   bool clipping_enabled() const { return clipping_; }
   const core::ClipIndex<D>& clip_index() const { return clip_index_; }
+
+  /// Overrides the clip-arena aging policy ({} disables automatic
+  /// compaction; see kDefaultClipAging for the default).
+  void SetClipAgingPolicy(const core::ClipAgingPolicy& policy) {
+    clip_index_.SetAgingPolicy(policy);
+  }
   const ClipConfigT& clip_config() const { return clip_cfg_; }
   const ReclipStats& reclip_stats() const { return reclip_stats_; }
   void ResetReclipStats() { reclip_stats_.Reset(); }
@@ -465,6 +488,17 @@ class RTree {
     }
     root_ = new_root;
     num_objects_ = num_objects;
+    // Variant-derived per-node state (HR-tree LHVs) is not persisted by the
+    // paged format; rebuild it bottom-up so children are current before
+    // their parents.
+    const int restored_height = store_.At(root_).level + 1;
+    for (int lvl = 0; lvl < restored_height; ++lvl) {
+      for (PageId id = 0; id < static_cast<PageId>(store_.Capacity()); ++id) {
+        if (store_.IsLive(id) && store_.At(id).level == lvl) {
+          OnNodeUpdated(id);
+        }
+      }
+    }
     clipping_ = clipped;
     clip_cfg_ = cfg;
     clip_index_.Clear();

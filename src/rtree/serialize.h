@@ -1,10 +1,16 @@
-// Binary persistence for (clipped) R-trees: dump the node pages and the
-// auxiliary clip table to a stream and restore them later — the "index
-// disk dump" of the paper's scalability setup (§V, Fig. 15).
+// Binary persistence for (clipped) R-trees in the *paged* on-disk format
+// (rtree/page_format.h): one superblock page, one packed page per node
+// (entries SoA + inline clip run), and a clip-spill section for runs that
+// did not fit their page — the "index disk dump" of the paper's
+// scalability setup (§V, Fig. 15).
 //
-// Node ids are remapped to dense BFS order on dump, so a restored tree is
-// structurally identical up to page numbering; queries, statistics, and
-// clip points are preserved exactly.
+// The same bytes serve two readers: DeserializeTree restores a fully
+// memory-resident RTree (node ids remapped to dense DFS-from-root order, so
+// the restored tree is structurally identical up to page numbering), and
+// PagedRTree (rtree/paged_rtree.h) opens the file disk-resident, reading
+// node pages on demand through the buffer pool. Queries, statistics, and
+// clip points are preserved exactly; HR-tree LHVs are recomputed bottom-up
+// on restore instead of being stored.
 #ifndef CLIPBB_RTREE_SERIALIZE_H_
 #define CLIPBB_RTREE_SERIALIZE_H_
 
@@ -12,146 +18,206 @@
 #include <istream>
 #include <ostream>
 #include <unordered_map>
+#include <vector>
 
+#include "rtree/page_format.h"
 #include "rtree/rtree.h"
 
 namespace clipbb::rtree {
 
 namespace serialize_internal {
 
-inline constexpr uint64_t kMagic = 0xC11BB0CC'5EED0001ULL;
+/// Upper bound on a believable page size; rejects garbage superblocks
+/// before they size any allocation.
+inline constexpr uint32_t kMaxFilePageSize = 1u << 26;
 
-template <typename T>
-void Put(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool Get(std::istream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
+inline size_t RoundUpTo(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
 }
 
 }  // namespace serialize_internal
 
-/// Writes the tree (structure + clip table) to `out`. Returns bytes
-/// written on success, 0 on stream failure.
+/// Page frame size used when serializing `tree`: the configured page size,
+/// grown (to the next 8-byte multiple) when some node outgrows it — e.g.
+/// trees configured with max_entries explicitly rather than derived from
+/// page_size.
 template <int D>
-size_t SerializeTree(const RTree<D>& tree, std::ostream& out) {
-  using serialize_internal::Put;
-  const auto start = out.tellp();
-  Put(out, serialize_internal::kMagic);
-  Put(out, static_cast<uint32_t>(D));
-  Put(out, static_cast<int32_t>(tree.options().page_size));
-  Put(out, static_cast<int32_t>(tree.options().max_entries));
-  Put(out, static_cast<int32_t>(tree.options().min_entries));
-  Put(out, static_cast<uint64_t>(tree.NumObjects()));
+uint32_t SerializedPageSize(const RTree<D>& tree) {
+  size_t page = static_cast<size_t>(tree.options().page_size);
+  if (page < sizeof(Superblock)) page = sizeof(Superblock);
+  tree.ForEachNode([&](storage::PageId, const Node<D>& n) {
+    const size_t need = PagedNodeBytes<D>(n.entries.size());
+    if (need > page) page = need;
+  });
+  return static_cast<uint32_t>(serialize_internal::RoundUpTo(page, 8));
+}
 
-  // BFS id remap: root becomes page 0.
+/// Writes the tree (structure + clip table) to `out` in the paged format.
+/// `user_tag` is an opaque caller value echoed back by DeserializeTree and
+/// PagedRTree (the CLI stores the variant in it). Returns bytes written on
+/// success, 0 on stream failure.
+template <int D>
+size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
+                     uint32_t user_tag = 0) {
+  const auto start = out.tellp();
+  const uint32_t page_size = SerializedPageSize<D>(tree);
+
+  // Dense id remap in DFS-from-root visit order: root becomes node page 0.
   std::unordered_map<storage::PageId, storage::PageId> remap;
   std::vector<storage::PageId> order;
   tree.ForEachNode([&](storage::PageId id, const Node<D>&) {
     remap[id] = static_cast<storage::PageId>(order.size());
     order.push_back(id);
   });
-  Put(out, static_cast<uint64_t>(order.size()));
-  Put(out, remap[tree.root()]);
-  for (storage::PageId id : order) {
-    const Node<D>& n = tree.NodeAt(id);
-    Put(out, n.level);
-    Put(out, n.lhv);
-    Put(out, static_cast<uint32_t>(n.entries.size()));
-    for (const Entry<D>& e : n.entries) {
-      Put(out, e.rect);
-      const int64_t child =
-          n.IsLeaf() ? e.id : remap.at(e.id);
-      Put(out, child);
-    }
+
+  Superblock sb;
+  sb.dim = static_cast<uint32_t>(D);
+  sb.user_tag = user_tag;
+  sb.file_page_size = page_size;
+  sb.page_size = tree.options().page_size;
+  sb.max_entries = tree.options().max_entries;
+  sb.min_entries = tree.options().min_entries;
+  sb.clipped = tree.clipping_enabled() ? 1 : 0;
+  sb.num_objects = tree.NumObjects();
+  sb.num_node_pages = order.size();
+  sb.root_page = remap.at(tree.root());
+  if (tree.clipping_enabled()) {
+    sb.clip_mode = static_cast<uint8_t>(tree.clip_config().mode);
+    sb.max_clips = tree.clip_config().max_clips;
+    sb.tau = tree.clip_config().tau;
+    sb.num_clip_points = tree.clip_index().TotalClipPoints();
+    sb.num_clipped_nodes = tree.clip_index().NumClippedNodes();
   }
 
-  // Clip table.
-  Put(out, static_cast<uint8_t>(tree.clipping_enabled() ? 1 : 0));
-  if (tree.clipping_enabled()) {
-    Put(out, tree.clip_config().mode);
-    Put(out, static_cast<int32_t>(tree.clip_config().max_clips));
-    Put(out, tree.clip_config().tau);
-    Put(out, static_cast<uint64_t>(tree.clip_index().NumClippedNodes()));
-    tree.clip_index().ForEach(
-        [&](core::NodeId id, std::span<const core::ClipPoint<D>> clips) {
-          Put(out, remap.at(id));
-          Put(out, static_cast<uint32_t>(clips.size()));
-          for (const auto& c : clips) Put(out, c);
-        });
+  // Encode node pages, spilling clip runs that don't fit inline.
+  std::vector<std::byte> page(page_size);
+  std::vector<std::byte> spill;
+  const auto write_page = [&](const std::byte* p) {
+    out.write(reinterpret_cast<const char*>(p), page_size);
+  };
+
+  // Superblock page.
+  std::memset(page.data(), 0, page_size);
+  std::memcpy(page.data(), &sb, sizeof sb);
+  write_page(page.data());
+
+  for (storage::PageId id : order) {
+    const Node<D>& n = tree.NodeAt(id);
+    if (n.entries.size() > 0xFFFF) return 0;  // page header limit
+    // Internal entries point at child pages; remap them in a scratch node.
+    Node<D> packed;
+    packed.level = n.level;
+    packed.entries = n.entries;
+    if (!n.IsLeaf()) {
+      for (Entry<D>& e : packed.entries) e.id = remap.at(e.id);
+    }
+    const std::span<const core::ClipPoint<D>> clips =
+        tree.clipping_enabled() ? tree.clip_index().Get(id)
+                                : std::span<const core::ClipPoint<D>>{};
+    if (!EncodeNodePage<D>(packed, clips, page.data(), page_size)) {
+      AppendClipSpill<D>(remap.at(id), clips, &spill);
+    }
+    write_page(page.data());
+  }
+
+  // Spill section, padded to whole pages. The byte length travels in the
+  // superblock, which was already written — so rewrite it via seekp when
+  // the stream supports it; ostringstream/filestreams both do.
+  sb.clip_spill_bytes = spill.size();
+  if (!spill.empty()) {
+    const size_t padded =
+        serialize_internal::RoundUpTo(spill.size(), page_size);
+    spill.resize(padded);  // zero padding; the true length is in sb
+    out.write(reinterpret_cast<const char*>(spill.data()), padded);
+  }
+  const auto end = out.tellp();
+  if (sb.clip_spill_bytes > 0) {
+    out.seekp(start);
+    out.write(reinterpret_cast<const char*>(&sb), sizeof sb);
+    out.seekp(end);
   }
   if (!out) return 0;
-  return static_cast<size_t>(out.tellp() - start);
+  return static_cast<size_t>(end - start);
 }
 
 /// Restores a tree previously written by SerializeTree into `tree`
 /// (which supplies the variant's query/update behaviour; its previous
-/// contents are discarded). Returns false on format mismatch.
+/// contents are discarded). Returns false on format mismatch. `user_tag`
+/// receives the tag passed to SerializeTree when non-null.
 template <int D>
-bool DeserializeTree(std::istream& in, RTree<D>* tree) {
-  using serialize_internal::Get;
-  uint64_t magic = 0;
-  uint32_t dim = 0;
-  if (!Get(in, &magic) || magic != serialize_internal::kMagic) return false;
-  if (!Get(in, &dim) || dim != static_cast<uint32_t>(D)) return false;
-  int32_t page_size = 0, max_entries = 0, min_entries = 0;
-  uint64_t num_objects = 0, num_pages = 0;
-  storage::PageId root = 0;
-  if (!Get(in, &page_size) || !Get(in, &max_entries) ||
-      !Get(in, &min_entries) || !Get(in, &num_objects) ||
-      !Get(in, &num_pages) || !Get(in, &root)) {
+bool DeserializeTree(std::istream& in, RTree<D>* tree,
+                     uint32_t* user_tag = nullptr) {
+  Superblock sb;
+  if (!in.read(reinterpret_cast<char*>(&sb), sizeof sb)) return false;
+  if (sb.magic != kPagedMagic) return false;
+  if (sb.dim != static_cast<uint32_t>(D)) return false;
+  if (sb.file_page_size < sizeof(Superblock) ||
+      sb.file_page_size > serialize_internal::kMaxFilePageSize ||
+      sb.file_page_size % 8 != 0) {
     return false;
   }
-
-  std::vector<Node<D>> nodes(num_pages);
-  for (uint64_t p = 0; p < num_pages; ++p) {
-    Node<D>& n = nodes[p];
-    uint32_t count = 0;
-    if (!Get(in, &n.level) || !Get(in, &n.lhv) || !Get(in, &count)) {
-      return false;
-    }
-    n.entries.resize(count);
-    for (uint32_t e = 0; e < count; ++e) {
-      if (!Get(in, &n.entries[e].rect) || !Get(in, &n.entries[e].id)) {
-        return false;
-      }
-    }
+  if (sb.num_node_pages == 0 ||
+      sb.root_page < 0 ||
+      sb.root_page >= static_cast<int64_t>(sb.num_node_pages)) {
+    return false;
   }
+  in.ignore(sb.file_page_size - sizeof sb);
 
-  uint8_t clipped = 0;
-  if (!Get(in, &clipped)) return false;
-  core::ClipConfig<D> cfg;
+  std::vector<std::byte> page(sb.file_page_size);
+  std::vector<Node<D>> nodes(sb.num_node_pages);
   std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>
       clip_table;
-  if (clipped) {
-    int32_t k = 0;
-    if (!Get(in, &cfg.mode) || !Get(in, &k) || !Get(in, &cfg.tau)) {
+  for (uint64_t p = 0; p < sb.num_node_pages; ++p) {
+    if (!in.read(reinterpret_cast<char*>(page.data()), page.size())) {
       return false;
     }
-    cfg.max_clips = k;
-    uint64_t clipped_nodes = 0;
-    if (!Get(in, &clipped_nodes)) return false;
-    for (uint64_t c = 0; c < clipped_nodes; ++c) {
-      storage::PageId id = 0;
-      uint32_t n = 0;
-      if (!Get(in, &id) || !Get(in, &n)) return false;
-      std::vector<core::ClipPoint<D>> clips(n);
-      for (uint32_t j = 0; j < n; ++j) {
-        if (!Get(in, &clips[j])) return false;
-      }
-      clip_table[id] = std::move(clips);
+    const PagedNodeView<D> view = DecodeNodePage<D>(page.data());
+    if (PagedNodeBytes<D>(view.n()) +
+            ClipRunBytes<D>(view.header.clip_count) >
+        page.size()) {
+      return false;  // corrupt counts
+    }
+    nodes[p] = DecodeNode<D>(page.data());
+    if (view.header.clip_count > 0) {
+      clip_table[static_cast<storage::PageId>(p)] = view.DecodeClips();
     }
   }
 
+  if (sb.clip_spill_bytes > 0) {
+    // A spill record holds at most one run per node, so a believable
+    // spill section is bounded by the node count; reject corrupt sizes
+    // before they reach the allocator.
+    if (sb.clip_spill_bytes >
+        (sb.num_node_pages + 1) *
+            static_cast<uint64_t>(sb.file_page_size)) {
+      return false;
+    }
+    std::vector<std::byte> spill(sb.clip_spill_bytes);
+    if (!in.read(reinterpret_cast<char*>(spill.data()), spill.size())) {
+      return false;
+    }
+    const bool ok = ParseClipSpill<D>(
+        spill.data(), spill.size(),
+        [&](int64_t node_page, std::vector<core::ClipPoint<D>> clips) {
+          clip_table[node_page] = std::move(clips);
+        });
+    if (!ok) return false;
+  }
+
+  core::ClipConfig<D> cfg;
+  if (sb.clipped) {
+    cfg.mode = static_cast<core::ClipMode>(sb.clip_mode);
+    cfg.max_clips = sb.max_clips;
+    cfg.tau = sb.tau;
+  }
   RTreeOptions opts = tree->options();
-  opts.page_size = page_size;
-  opts.max_entries = max_entries;
-  opts.min_entries = min_entries;
-  tree->RestoreFromPages(opts, std::move(nodes), root, num_objects,
-                         clipped != 0, cfg, std::move(clip_table));
+  opts.page_size = sb.page_size;
+  opts.max_entries = sb.max_entries;
+  opts.min_entries = sb.min_entries;
+  tree->RestoreFromPages(opts, std::move(nodes), sb.root_page,
+                         sb.num_objects, sb.clipped != 0, cfg,
+                         std::move(clip_table));
+  if (user_tag) *user_tag = sb.user_tag;
   return true;
 }
 

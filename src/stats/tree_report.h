@@ -4,13 +4,32 @@
 #ifndef CLIPBB_STATS_TREE_REPORT_H_
 #define CLIPBB_STATS_TREE_REPORT_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "rtree/rtree.h"
+#include "storage/io_stats.h"
 #include "util/table.h"
 
 namespace clipbb::stats {
+
+/// One-line rendering of an IoStats block: the logical access counts the
+/// paper reports plus the physical page transfers of the paged engine.
+inline std::string FormatIoStats(const storage::IoStats& io) {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "%llu internal + %llu leaf accesses (%llu contributing), "
+      "%llu clip lookups, %llu page reads, %llu page writes",
+      static_cast<unsigned long long>(io.internal_accesses),
+      static_cast<unsigned long long>(io.leaf_accesses),
+      static_cast<unsigned long long>(io.contributing_leaf_accesses),
+      static_cast<unsigned long long>(io.clip_accesses),
+      static_cast<unsigned long long>(io.page_reads),
+      static_cast<unsigned long long>(io.page_writes));
+  return std::string(buf);
+}
 
 struct LevelStats {
   int level = 0;

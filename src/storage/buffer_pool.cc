@@ -1,29 +1,134 @@
 #include "storage/buffer_pool.h"
 
+#include <cassert>
+
 namespace clipbb::storage {
 
 BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {}
+
+BufferPool::BufferPool(size_t capacity, PageFile* file)
+    : capacity_(capacity), file_(file) {}
+
+BufferPool::~BufferPool() {
+  if (file_) FlushAll();
+}
+
+void BufferPool::MoveToFront(PageId id, Frame& f) {
+  if (f.in_lru) lru_.erase(f.lru_it);
+  lru_.push_front(id);
+  f.lru_it = lru_.begin();
+  f.in_lru = true;
+}
 
 bool BufferPool::Access(PageId id) {
   auto it = map_.find(id);
   if (it != map_.end()) {
     ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    if (it->second.in_lru) MoveToFront(id, it->second);
     return true;
   }
   ++misses_;
   if (capacity_ == 0) return false;
-  if (map_.size() >= capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-  }
-  lru_.push_front(id);
-  map_[id] = lru_.begin();
+  if (map_.size() >= capacity_) EvictOne();
+  Frame& f = map_[id];
+  MoveToFront(id, f);
   return false;
 }
 
+std::byte* BufferPool::PinImpl(PageId id, bool dirty) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  auto it = map_.find(id);
+  if (it != map_.end() && it->second.loaded) {
+    Frame& f = it->second;
+    ++hits_;
+    if (f.in_lru) {  // pinned frames leave the LRU (never evictable)
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    f.dirty |= dirty;
+    return f.data.get();
+  }
+  ++misses_;
+  if (it == map_.end()) {
+    // Evict down to capacity before adding a frame; if every frame is
+    // pinned the pool grows transiently (Unpin shrinks it back).
+    if (capacity_ > 0 && map_.size() >= capacity_) EvictOne();
+    it = map_.try_emplace(id).first;
+  }
+  Frame& f = it->second;
+  if (f.in_lru) {
+    lru_.erase(f.lru_it);
+    f.in_lru = false;
+  }
+  if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
+  if (!file_->ReadPage(id, f.data.get())) {
+    map_.erase(it);
+    return nullptr;
+  }
+  f.loaded = true;
+  f.pins = 1;
+  f.dirty = dirty;
+  return f.data.get();
+}
+
+const std::byte* BufferPool::Pin(PageId id) { return PinImpl(id, false); }
+
+std::byte* BufferPool::PinForWrite(PageId id) { return PinImpl(id, true); }
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = map_.find(id);
+  assert(it != map_.end() && it->second.pins > 0);
+  if (it == map_.end()) return;
+  Frame& f = it->second;
+  f.dirty |= dirty;
+  if (f.pins > 0 && --f.pins == 0) {
+    MoveToFront(id, f);
+    // Shrink any transient overage created while everything was pinned.
+    while (capacity_ > 0 && map_.size() > capacity_) {
+      if (!EvictOne()) break;
+    }
+  }
+}
+
+bool BufferPool::EvictOne() {
+  if (lru_.empty()) return false;
+  const PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = map_.find(victim);
+  assert(it != map_.end());
+  Frame& f = it->second;
+  if (f.dirty && f.loaded && file_) {
+    if (file_->WritePage(victim, f.data.get())) {
+      ++writebacks_;
+    } else {
+      // The frame is gone either way; make the data loss observable
+      // instead of counting it as a successful write-back.
+      ++write_failures_;
+    }
+  }
+  map_.erase(it);
+  return true;
+}
+
+bool BufferPool::FlushAll() {
+  bool ok = true;
+  for (auto& [id, f] : map_) {
+    if (f.dirty && f.loaded && file_) {
+      if (file_->WritePage(id, f.data.get())) {
+        ++writebacks_;
+        f.dirty = false;
+      } else {
+        ++write_failures_;
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
 void BufferPool::Clear() {
+  if (file_) FlushAll();
   lru_.clear();
   map_.clear();
   ResetCounters();

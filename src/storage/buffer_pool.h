@@ -1,45 +1,107 @@
-// LRU buffer pool used by the Fig. 15 scalability experiment to model a
-// cold, disk-resident index: every page access is classified hit or miss,
-// and the bench charges a synthetic latency per miss.
+// LRU buffer pool of the paged storage engine.
+//
+// Two operating modes share one LRU + frame table:
+//
+//  * Residency mode (no backing file — the original count-only pool kept
+//    for the simulated cold-disk rows of Fig. 15): Access(id) classifies a
+//    page touch as hit or miss and maintains residency, holding no bytes.
+//  * Content mode (constructed over a PageFile): the pool owns page-sized
+//    frames. Pin(id) returns the frame bytes, reading the page from the
+//    file on a miss (possibly evicting the LRU unpinned frame, writing it
+//    back first when dirty). Pinned frames are never evicted; Unpin
+//    returns the frame to the LRU, optionally marking it dirty. If every
+//    frame is pinned the pool grows transiently and shrinks back on Unpin.
+//
+// Not thread-safe; one pool per querying thread.
 #ifndef CLIPBB_STORAGE_BUFFER_POOL_H_
 #define CLIPBB_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 
+#include "storage/page_file.h"
 #include "storage/page_store.h"
 
 namespace clipbb::storage {
 
-/// Classic LRU page cache over page ids (contents live in the PageStore;
-/// the pool only tracks residency).
 class BufferPool {
  public:
-  /// capacity = number of resident pages; 0 means "everything misses".
+  /// Residency-only pool; capacity = resident pages, 0 = everything misses.
   explicit BufferPool(size_t capacity);
 
-  /// Touches a page; returns true on hit, false on miss (after which the
-  /// page is resident, possibly evicting the LRU page).
+  /// Content-holding pool over `file` (not owned; must outlive the pool).
+  /// The file's page size must be set before the first Pin.
+  BufferPool(size_t capacity, PageFile* file);
+
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Residency touch; returns true on hit, false on miss (after which the
+  /// page is resident, possibly evicting the LRU page). Never reads bytes.
   bool Access(PageId id);
+
+  /// Pins a page and returns its bytes (valid until the matching Unpin).
+  /// Counts a hit when the frame is loaded, a miss (plus a file page read)
+  /// otherwise. Returns nullptr on read failure. Content mode only.
+  const std::byte* Pin(PageId id);
+
+  /// Pin for mutation: same as Pin but the frame is marked dirty, so
+  /// eviction (or FlushAll) writes it back to the file.
+  std::byte* PinForWrite(PageId id);
+
+  /// Releases a pin taken by Pin/PinForWrite.
+  void Unpin(PageId id, bool dirty = false);
+
+  /// Writes every dirty frame back to the file. Returns false on any write
+  /// failure (remaining frames are still attempted).
+  bool FlushAll();
 
   bool Resident(PageId id) const { return map_.contains(id); }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t writebacks() const { return writebacks_; }
+  /// Dirty frames whose write-back failed (their modifications are lost);
+  /// nonzero means the file no longer reflects every PinForWrite.
+  uint64_t write_failures() const { return write_failures_; }
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
 
-  void ResetCounters() { hits_ = misses_ = 0; }
+  void ResetCounters() { hits_ = misses_ = writebacks_ = write_failures_ = 0; }
+
+  /// Drops every frame (dirty frames are written back first in content
+  /// mode) and resets the counters.
   void Clear();
 
  private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;  // null in residency mode
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool loaded = false;
+    bool in_lru = false;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  std::byte* PinImpl(PageId id, bool dirty);
+  /// Evicts the LRU unpinned frame (writing back when dirty); false when
+  /// every frame is pinned.
+  bool EvictOne();
+  void MoveToFront(PageId id, Frame& f);
+
   size_t capacity_;
+  PageFile* file_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::list<PageId> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+  uint64_t writebacks_ = 0;
+  uint64_t write_failures_ = 0;
+  std::list<PageId> lru_;  // front = most recent; unpinned frames only
+  std::unordered_map<PageId, Frame> map_;
 };
 
 }  // namespace clipbb::storage

@@ -1,7 +1,10 @@
 // I/O accounting. The paper's headline metric is leaf-node accesses
 // (internal nodes and the clip table are assumed memory-resident, §V-C);
-// we additionally count internal accesses and result-contributing leaf
-// accesses (for the Fig. 1c optimality ratio).
+// we additionally count internal accesses, result-contributing leaf
+// accesses (for the Fig. 1c optimality ratio), clip-table lookups, and —
+// on the paged storage engine — the physical page transfers: reads from
+// the page file (buffer-pool misses) and writes (dirty evictions and
+// flushes).
 #ifndef CLIPBB_STORAGE_IO_STATS_H_
 #define CLIPBB_STORAGE_IO_STATS_H_
 
@@ -14,6 +17,12 @@ struct IoStats {
   uint64_t leaf_accesses = 0;
   /// Leaf accesses that contributed at least one result (Fig. 1c numerator).
   uint64_t contributing_leaf_accesses = 0;
+  /// Clip-table lookups (one per child considered while clipping is on).
+  uint64_t clip_accesses = 0;
+  /// Physical page reads from the page file (buffer-pool misses).
+  uint64_t page_reads = 0;
+  /// Physical page writes to the page file (dirty evictions + flushes).
+  uint64_t page_writes = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -21,6 +30,9 @@ struct IoStats {
     internal_accesses += o.internal_accesses;
     leaf_accesses += o.leaf_accesses;
     contributing_leaf_accesses += o.contributing_leaf_accesses;
+    clip_accesses += o.clip_accesses;
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
     return *this;
   }
 

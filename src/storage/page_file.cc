@@ -1,0 +1,99 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace clipbb::storage {
+
+namespace {
+
+bool FullPread(int fd, void* buf, size_t n, uint64_t off) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // short file
+    p += r;
+    n -= static_cast<size_t>(r);
+    off += static_cast<uint64_t>(r);
+  }
+  return true;
+}
+
+bool FullPwrite(int fd, const void* buf, size_t n, uint64_t off) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pwrite(fd, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+    off += static_cast<uint64_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+PageFile::~PageFile() { Close(); }
+
+bool PageFile::Open(const std::string& path, bool create,
+                    uint32_t page_size) {
+  Close();
+  const int flags = create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return false;
+  page_size_ = page_size;
+  ResetCounters();
+  return true;
+}
+
+void PageFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t PageFile::SizeBytes() const {
+  if (fd_ < 0) return 0;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool PageFile::ReadPage(int64_t page, void* buf) {
+  if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
+  ++reads_;
+  return FullPread(fd_, buf, page_size_,
+                   static_cast<uint64_t>(page) * page_size_);
+}
+
+bool PageFile::WritePage(int64_t page, const void* buf) {
+  if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
+  ++writes_;
+  return FullPwrite(fd_, buf, page_size_,
+                    static_cast<uint64_t>(page) * page_size_);
+}
+
+bool PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) const {
+  if (fd_ < 0) return false;
+  return FullPread(fd_, buf, n, offset);
+}
+
+bool PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
+  if (fd_ < 0) return false;
+  return FullPwrite(fd_, buf, n, offset);
+}
+
+bool PageFile::Sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+}  // namespace clipbb::storage

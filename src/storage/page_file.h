@@ -1,0 +1,62 @@
+// File-backed page storage: a flat file of fixed-size pages addressed by
+// index, read and written at page granularity with pread/pwrite. This is
+// the physical layer of the paged storage engine — the BufferPool owns the
+// frames, PageFile owns the bytes on disk and counts the transfers.
+#ifndef CLIPBB_STORAGE_PAGE_FILE_H_
+#define CLIPBB_STORAGE_PAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace clipbb::storage {
+
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (create = truncate-or-create, else read/write existing). The
+  /// page size may be 0 when opening an existing file whose page size is
+  /// recorded in its own header; set it with set_page_size before the
+  /// first page-granular access.
+  bool Open(const std::string& path, bool create, uint32_t page_size = 0);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  void set_page_size(uint32_t ps) { page_size_ = ps; }
+  uint32_t page_size() const { return page_size_; }
+
+  /// File size in bytes / whole pages.
+  uint64_t SizeBytes() const;
+  uint64_t NumPages() const {
+    return page_size_ ? SizeBytes() / page_size_ : 0;
+  }
+
+  /// Page-granular transfers; counted. `buf` must hold page_size() bytes.
+  bool ReadPage(int64_t page, void* buf);
+  bool WritePage(int64_t page, const void* buf);
+
+  /// Byte-granular transfers for headers; not counted as page I/O.
+  bool ReadRaw(uint64_t offset, void* buf, size_t n) const;
+  bool WriteRaw(uint64_t offset, const void* buf, size_t n);
+
+  bool Sync();
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+ private:
+  int fd_ = -1;
+  uint32_t page_size_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,121 @@
+// Tests for clip-arena aging: the automatic Compact() policy that keeps
+// the overlay bounded under update-heavy workloads (overlay-size trigger)
+// and stops a dirty overlay from serving unboundedly many query lookups
+// (lookup-count trigger). Also exercises the policy end-to-end on a
+// clipped R-tree under an insert/query mix.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/clip_index.h"
+#include "rtree/factory.h"
+#include "test_util.h"
+
+namespace clipbb::core {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+ClipPoint<2> P(double x, double y, double score) {
+  return {{x, y}, 0, score};
+}
+
+std::vector<ClipPoint<2>> OneClip(double score) { return {P(0, 0, score)}; }
+
+TEST(ClipAging, OverlaySizeTriggerCompacts) {
+  ClipIndex<2> idx;
+  idx.SetAgingPolicy({/*max_pending=*/4, /*max_lookups=*/0});
+  idx.Set(0, OneClip(1.0));
+  idx.Set(1, OneClip(2.0));
+  idx.Set(2, OneClip(3.0));
+  EXPECT_FALSE(idx.IsCompact());
+  EXPECT_EQ(idx.PendingUpdates(), 3u);
+  idx.Set(3, OneClip(4.0));  // 4th pending entry crosses the threshold
+  EXPECT_TRUE(idx.IsCompact());
+  EXPECT_EQ(idx.NumClippedNodes(), 4u);
+  ASSERT_EQ(idx.Get(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(idx.Get(2)[0].score, 3.0);
+}
+
+TEST(ClipAging, LookupTriggerCompactsAtNextMutation) {
+  ClipIndex<2> idx;
+  idx.SetAgingPolicy({/*max_pending=*/0, /*max_lookups=*/10});
+  idx.Set(5, OneClip(1.0));
+  idx.Compact();
+  idx.Set(6, OneClip(2.0));  // dirty again
+  EXPECT_FALSE(idx.IsCompact());
+  // Lookups on the dirty index are counted...
+  for (int i = 0; i < 10; ++i) idx.Get(5);
+  EXPECT_GE(idx.StaleLookups(), 10u);
+  // ...and the next mutation applies the policy.
+  idx.Set(7, OneClip(3.0));
+  EXPECT_TRUE(idx.IsCompact());
+  EXPECT_EQ(idx.StaleLookups(), 0u);
+  // Lookups on a compact index are free and uncounted.
+  for (int i = 0; i < 100; ++i) idx.Get(5);
+  EXPECT_EQ(idx.StaleLookups(), 0u);
+}
+
+TEST(ClipAging, DisabledPolicyNeverCompacts) {
+  ClipIndex<2> idx;  // default policy: disabled
+  for (NodeId id = 0; id < 100; ++id) idx.Set(id, OneClip(1.0));
+  EXPECT_FALSE(idx.IsCompact());
+  EXPECT_EQ(idx.PendingUpdates(), 100u);
+}
+
+TEST(ClipAging, MaybeAgeIsExplicitlyCallable) {
+  ClipIndex<2> idx;
+  idx.SetAgingPolicy({/*max_pending=*/0, /*max_lookups=*/5});
+  idx.Set(1, OneClip(1.0));
+  for (int i = 0; i < 8; ++i) idx.Get(1);
+  EXPECT_FALSE(idx.IsCompact());
+  idx.MaybeAge();  // batch-boundary hook
+  EXPECT_TRUE(idx.IsCompact());
+}
+
+TEST(ClipAging, OverlayDrainsUnderInsertQueryMix) {
+  // End-to-end on a clipped R-tree: with a small aging policy installed,
+  // an insert/query mix keeps the overlay bounded and drains it, instead
+  // of the overlay growing with every re-clip until the next bulk load.
+  using namespace clipbb::rtree;
+  Rng rng(99);
+  geom::Rect<2> domain{{0, 0}, {1, 1}};
+  auto tree = MakeRTree<2>(Variant::kRStar, domain);
+  for (int i = 0; i < 1500; ++i) {
+    tree->Insert(RandomRect<2>(rng, 0.05), i);
+  }
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  ASSERT_TRUE(tree->clip_index().IsCompact());
+
+  const size_t kMaxPending = 32;
+  tree->SetClipAgingPolicy({kMaxPending, /*max_lookups=*/256});
+  size_t max_seen = 0;
+  for (int i = 0; i < 600; ++i) {
+    tree->Insert(RandomRect<2>(rng, 0.05), 2000 + i);
+    max_seen = std::max(max_seen, tree->clip_index().PendingUpdates());
+    if (i % 3 == 0) {
+      tree->RangeCount(RandomRect<2>(rng, 0.1));
+    }
+  }
+  // Every re-clip lands in the overlay, but aging kept it bounded: it
+  // never grew past the threshold plus the clips of one insert's re-clip
+  // cascade, and repeatedly drained back to empty.
+  EXPECT_LE(max_seen, kMaxPending + 8);
+  EXPECT_LE(tree->clip_index().PendingUpdates(), kMaxPending + 8);
+
+  // Dirty the overlay, then serve many queries from it: the lookup
+  // trigger fires at the next mutation and resets the stale counter (the
+  // same insert's later re-clips may pend again, but the backlog of
+  // query-serving staleness is gone).
+  int oid = 5000;
+  while (tree->clip_index().PendingUpdates() == 0) {
+    tree->Insert(RandomRect<2>(rng, 0.05), oid++);
+  }
+  for (int i = 0; i < 300; ++i) tree->RangeCount(RandomRect<2>(rng, 0.1));
+  ASSERT_GE(tree->clip_index().StaleLookups(), 256u);
+  tree->Insert(RandomRect<2>(rng, 0.05), oid++);
+  EXPECT_LT(tree->clip_index().StaleLookups(), 256u);
+}
+
+}  // namespace
+}  // namespace clipbb::core

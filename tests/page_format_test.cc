@@ -1,0 +1,233 @@
+// Tests for the packed on-page node format (rtree/page_format.h):
+// encode→decode parity for nodes with and without clip points, inline
+// clip runs vs spill, the SoA page view, and the spill stream codec.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/page_format.h"
+#include "rtree/serialize.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+template <int D>
+Node<D> MakeNode(Rng& rng, int level, int entries) {
+  Node<D> n;
+  n.level = level;
+  for (int i = 0; i < entries; ++i) {
+    n.entries.push_back(Entry<D>{RandomRect<D>(rng, 0.2), 100 + i});
+  }
+  return n;
+}
+
+template <int D>
+std::vector<core::ClipPoint<D>> MakeClips(Rng& rng, int count) {
+  std::vector<core::ClipPoint<D>> clips;
+  for (int i = 0; i < count; ++i) {
+    core::ClipPoint<D> c;
+    for (int d = 0; d < D; ++d) c.coord[d] = rng.Uniform();
+    c.mask = static_cast<geom::Mask>(rng.Below(geom::kNumCorners<D>));
+    c.score = static_cast<double>(count - i);  // strictly descending
+    clips.push_back(c);
+  }
+  return clips;
+}
+
+template <int D>
+void ExpectNodeEq(const Node<D>& a, const Node<D>& b) {
+  EXPECT_EQ(a.level, b.level);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_TRUE(a.entries[i].rect == b.entries[i].rect);
+    EXPECT_EQ(a.entries[i].id, b.entries[i].id);
+  }
+}
+
+template <int D>
+void RoundTripNoClips() {
+  Rng rng(11 + D);
+  const size_t page_size = 4096;
+  std::vector<std::byte> page(page_size);
+  for (int entries : {0, 1, 7, DeriveMaxEntries<D>(4096)}) {
+    const Node<D> n = MakeNode<D>(rng, entries % 3, entries);
+    EXPECT_TRUE(EncodeNodePage<D>(n, {}, page.data(), page_size));
+    const Node<D> back = DecodeNode<D>(page.data());
+    ExpectNodeEq<D>(n, back);
+    const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
+    EXPECT_EQ(v.header.clip_count, 0);
+    EXPECT_FALSE(v.ClipsSpilled());
+    EXPECT_TRUE(v.DecodeClips().empty());
+  }
+}
+
+TEST(PageFormat, RoundTripNoClips2d) { RoundTripNoClips<2>(); }
+TEST(PageFormat, RoundTripNoClips3d) { RoundTripNoClips<3>(); }
+
+template <int D>
+void RoundTripInlineClips() {
+  Rng rng(23 + D);
+  const size_t page_size = 4096;
+  std::vector<std::byte> page(page_size);
+  const Node<D> n = MakeNode<D>(rng, 0, 20);
+  const auto clips = MakeClips<D>(rng, 1 << (D + 1));
+  ASSERT_TRUE(EncodeNodePage<D>(
+      n, std::span<const core::ClipPoint<D>>(clips), page.data(),
+      page_size));
+  const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
+  EXPECT_EQ(v.header.clip_count, clips.size());
+  EXPECT_FALSE(v.ClipsSpilled());
+  ExpectNodeEq<D>(n, DecodeNode<D>(page.data()));
+  const auto back = v.DecodeClips();
+  ASSERT_EQ(back.size(), clips.size());
+  for (size_t c = 0; c < clips.size(); ++c) {
+    EXPECT_TRUE(geom::VecEq<D>(back[c].coord, clips[c].coord));
+    EXPECT_EQ(back[c].mask, clips[c].mask);
+    if (c > 0) EXPECT_GT(back[c - 1].score, back[c].score);
+  }
+}
+
+TEST(PageFormat, RoundTripInlineClips2d) { RoundTripInlineClips<2>(); }
+TEST(PageFormat, RoundTripInlineClips3d) { RoundTripInlineClips<3>(); }
+
+TEST(PageFormat, FullNodeSpillsClipRun) {
+  // A node at derived capacity occupies its page exactly (the same 8-byte
+  // header the capacity derivation assumes), leaving no room for clips.
+  Rng rng(37);
+  constexpr int D = 3;
+  const size_t page_size = 4096;
+  const int max_entries = DeriveMaxEntries<D>(page_size);
+  ASSERT_EQ(PagedNodeBytes<D>(max_entries), page_size);
+  std::vector<std::byte> page(page_size);
+  const Node<D> n = MakeNode<D>(rng, 0, max_entries);
+  const auto clips = MakeClips<D>(rng, 4);
+  EXPECT_FALSE(EncodeNodePage<D>(
+      n, std::span<const core::ClipPoint<D>>(clips), page.data(),
+      page_size));
+  const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
+  EXPECT_TRUE(v.ClipsSpilled());
+  EXPECT_EQ(v.header.clip_count, 0);
+  ExpectNodeEq<D>(n, DecodeNode<D>(page.data()));  // entries intact
+}
+
+TEST(PageFormat, ClipSpillStreamRoundTrip) {
+  Rng rng(41);
+  constexpr int D = 2;
+  std::vector<std::byte> stream;
+  std::vector<std::vector<core::ClipPoint<D>>> runs;
+  for (int64_t node = 0; node < 5; ++node) {
+    runs.push_back(MakeClips<D>(rng, 1 + static_cast<int>(node)));
+    AppendClipSpill<D>(node * 7,
+                       std::span<const core::ClipPoint<D>>(runs.back()),
+                       &stream);
+  }
+  std::vector<int64_t> seen_ids;
+  size_t next = 0;
+  const bool ok = ParseClipSpill<D>(
+      stream.data(), stream.size(),
+      [&](int64_t id, std::vector<core::ClipPoint<D>> clips) {
+        seen_ids.push_back(id);
+        ASSERT_LT(next, runs.size());
+        ASSERT_EQ(clips.size(), runs[next].size());
+        for (size_t c = 0; c < clips.size(); ++c) {
+          EXPECT_TRUE(geom::VecEq<D>(clips[c].coord, runs[next][c].coord));
+          EXPECT_EQ(clips[c].mask, runs[next][c].mask);
+        }
+        ++next;
+      });
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(seen_ids.size(), 5u);
+  for (int64_t node = 0; node < 5; ++node) {
+    EXPECT_EQ(seen_ids[node], node * 7);
+  }
+  // A truncated stream is rejected.
+  EXPECT_FALSE(ParseClipSpill<D>(stream.data(), stream.size() - 3,
+                                 [](int64_t, auto) {}));
+}
+
+// Whole-tree packed round trip across variants and dimensions: serialize
+// (packed pages) + deserialize must preserve every node's entries and the
+// full clip table, for clipped and unclipped trees.
+class PagedRoundTrip : public ::testing::TestWithParam<Variant> {};
+
+template <int D>
+void TreeRoundTrip(Variant variant, bool clipped, uint32_t seed) {
+  Rng rng(seed);
+  geom::Rect<D> domain;
+  for (int i = 0; i < D; ++i) {
+    domain.lo[i] = -0.5;
+    domain.hi[i] = 1.5;
+  }
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < 1800; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<D>(variant, items, domain);
+  if (clipped) tree->EnableClipping(core::ClipConfig<D>::Sta());
+
+  std::stringstream buf;
+  ASSERT_GT(SerializeTree<D>(*tree, buf, /*user_tag=*/77u), 0u);
+  auto restored = MakeRTree<D>(variant, domain);
+  uint32_t tag = 0;
+  ASSERT_TRUE(DeserializeTree<D>(buf, restored.get(), &tag));
+  EXPECT_EQ(tag, 77u);
+  EXPECT_EQ(restored->NumNodes(), tree->NumNodes());
+  EXPECT_EQ(restored->Height(), tree->Height());
+  EXPECT_EQ(restored->clip_index().TotalClipPoints(),
+            tree->clip_index().TotalClipPoints());
+  EXPECT_EQ(restored->clip_index().NumClippedNodes(),
+            tree->clip_index().NumClippedNodes());
+
+  // Node-by-node structural parity: the remap is deterministic, so dumping
+  // both trees in visit order must give identical pages.
+  std::vector<const Node<D>*> a, b;
+  tree->ForEachNode(
+      [&](storage::PageId, const Node<D>& n) { a.push_back(&n); });
+  restored->ForEachNode(
+      [&](storage::PageId, const Node<D>& n) { b.push_back(&n); });
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->level, b[i]->level);
+    ASSERT_EQ(a[i]->entries.size(), b[i]->entries.size());
+    for (size_t e = 0; e < a[i]->entries.size(); ++e) {
+      EXPECT_TRUE(a[i]->entries[e].rect == b[i]->entries[e].rect);
+      if (a[i]->IsLeaf()) {
+        EXPECT_EQ(a[i]->entries[e].id, b[i]->entries[e].id);
+      }
+    }
+  }
+}
+
+TEST_P(PagedRoundTrip, Clipped2d) { TreeRoundTrip<2>(GetParam(), true, 51); }
+TEST_P(PagedRoundTrip, Clipped3d) { TreeRoundTrip<3>(GetParam(), true, 52); }
+TEST_P(PagedRoundTrip, Unclipped2d) {
+  TreeRoundTrip<2>(GetParam(), false, 53);
+}
+TEST_P(PagedRoundTrip, Unclipped3d) {
+  TreeRoundTrip<3>(GetParam(), false, 54);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, PagedRoundTrip,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

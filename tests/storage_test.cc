@@ -1,12 +1,40 @@
-// Tests for the page store and the LRU buffer pool.
+// Tests for the page store, the page file, and the LRU buffer pool (both
+// the residency-only mode and the content-holding pin/unpin mode with
+// dirty tracking and write-back eviction).
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
+#include "storage/page_file.h"
 #include "storage/page_store.h"
 
 namespace clipbb::storage {
 namespace {
+
+constexpr uint32_t kPage = 256;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "clipbb_storage_" + name + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// A page filled with a marker byte derived from its id.
+std::vector<std::byte> MarkedPage(int64_t id) {
+  return std::vector<std::byte>(kPage,
+                                static_cast<std::byte>(0x40 + id % 64));
+}
 
 TEST(PageStore, AllocateAndAccess) {
   PageStore<int> store;
@@ -95,17 +123,175 @@ TEST(BufferPool, ClearResetsEverything) {
   EXPECT_FALSE(pool.Resident(1));
 }
 
+TEST(PageFile, WriteReadRoundTrip) {
+  FileGuard f(TempPath("roundtrip"));
+  PageFile file;
+  ASSERT_TRUE(file.Open(f.path, /*create=*/true, kPage));
+  for (int64_t p = 0; p < 8; ++p) {
+    EXPECT_TRUE(file.WritePage(p, MarkedPage(p).data()));
+  }
+  EXPECT_EQ(file.NumPages(), 8u);
+  EXPECT_EQ(file.writes(), 8u);
+  std::vector<std::byte> buf(kPage);
+  for (int64_t p = 7; p >= 0; --p) {
+    ASSERT_TRUE(file.ReadPage(p, buf.data()));
+    EXPECT_EQ(buf, MarkedPage(p));
+  }
+  EXPECT_EQ(file.reads(), 8u);
+  file.Close();
+
+  // Reopen without create: contents persist; page size is re-declared.
+  ASSERT_TRUE(file.Open(f.path, /*create=*/false));
+  file.set_page_size(kPage);
+  ASSERT_TRUE(file.ReadPage(3, buf.data()));
+  EXPECT_EQ(buf, MarkedPage(3));
+  EXPECT_FALSE(file.ReadPage(100, buf.data()));  // past EOF
+}
+
+TEST(PageFile, RawAccessBypassesPageCounters) {
+  FileGuard f(TempPath("raw"));
+  PageFile file;
+  ASSERT_TRUE(file.Open(f.path, true, kPage));
+  const char header[] = "superblock";
+  EXPECT_TRUE(file.WriteRaw(0, header, sizeof header));
+  char back[sizeof header] = {};
+  EXPECT_TRUE(file.ReadRaw(0, back, sizeof back));
+  EXPECT_STREQ(back, header);
+  EXPECT_EQ(file.reads(), 0u);
+  EXPECT_EQ(file.writes(), 0u);
+}
+
+class ContentPoolTest : public ::testing::Test {
+ protected:
+  ContentPoolTest() : guard_(TempPath("pool")) {
+    EXPECT_TRUE(file_.Open(guard_.path, true, kPage));
+    for (int64_t p = 0; p < 10; ++p) {
+      EXPECT_TRUE(file_.WritePage(p, MarkedPage(p).data()));
+    }
+    file_.ResetCounters();
+  }
+  FileGuard guard_;
+  PageFile file_;
+};
+
+TEST_F(ContentPoolTest, PinReadsAndCaches) {
+  BufferPool pool(2, &file_);
+  const std::byte* a = pool.Pin(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a[0], MarkedPage(1)[0]);
+  pool.Unpin(1);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(file_.reads(), 1u);
+  ASSERT_NE(pool.Pin(1), nullptr);  // hit: no new file read
+  pool.Unpin(1);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(file_.reads(), 1u);
+}
+
+TEST_F(ContentPoolTest, LruEvictionBoundsFrames) {
+  BufferPool pool(2, &file_);
+  for (int64_t p = 0; p < 6; ++p) {
+    ASSERT_NE(pool.Pin(p), nullptr);
+    pool.Unpin(p);
+  }
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.misses(), 6u);
+  EXPECT_TRUE(pool.Resident(5));
+  EXPECT_TRUE(pool.Resident(4));
+  EXPECT_FALSE(pool.Resident(0));
+}
+
+TEST_F(ContentPoolTest, PinnedFramesAreNotEvicted) {
+  BufferPool pool(2, &file_);
+  const std::byte* held = pool.Pin(0);
+  ASSERT_NE(held, nullptr);
+  for (int64_t p = 1; p < 5; ++p) {
+    ASSERT_NE(pool.Pin(p), nullptr);
+    pool.Unpin(p);
+  }
+  EXPECT_TRUE(pool.Resident(0));        // pinned page survived
+  EXPECT_EQ(held[0], MarkedPage(0)[0]);  // frame bytes still valid
+  pool.Unpin(0);
+}
+
+TEST_F(ContentPoolTest, TransientOverageWhenAllPinned) {
+  BufferPool pool(1, &file_);
+  const std::byte* a = pool.Pin(0);
+  const std::byte* b = pool.Pin(1);  // grows past capacity
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.Unpin(0);
+  pool.Unpin(1);
+  EXPECT_EQ(pool.size(), 1u);  // shrank back on unpin
+}
+
+TEST_F(ContentPoolTest, DirtyEvictionWritesBack) {
+  BufferPool pool(1, &file_);
+  std::byte* w = pool.PinForWrite(2);
+  ASSERT_NE(w, nullptr);
+  w[0] = std::byte{0xEE};
+  pool.Unpin(2);
+  ASSERT_NE(pool.Pin(7), nullptr);  // evicts dirty page 2 -> write-back
+  pool.Unpin(7);
+  EXPECT_EQ(pool.writebacks(), 1u);
+  EXPECT_EQ(file_.writes(), 1u);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(file_.ReadPage(2, buf.data()));
+  EXPECT_EQ(buf[0], std::byte{0xEE});
+  EXPECT_EQ(buf[1], MarkedPage(2)[1]);  // rest of the page untouched
+}
+
+TEST_F(ContentPoolTest, FlushAllWritesEveryDirtyFrameOnce) {
+  BufferPool pool(4, &file_);
+  for (int64_t p = 0; p < 3; ++p) {
+    std::byte* w = pool.PinForWrite(p);
+    ASSERT_NE(w, nullptr);
+    w[0] = std::byte{0xAB};
+    pool.Unpin(p);
+  }
+  EXPECT_TRUE(pool.FlushAll());
+  EXPECT_EQ(pool.writebacks(), 3u);
+  EXPECT_TRUE(pool.FlushAll());  // now clean: no further writes
+  EXPECT_EQ(pool.writebacks(), 3u);
+  std::vector<std::byte> buf(kPage);
+  for (int64_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(file_.ReadPage(p, buf.data()));
+    EXPECT_EQ(buf[0], std::byte{0xAB});
+  }
+}
+
+TEST_F(ContentPoolTest, UnpinWithDirtyFlagMarksFrame) {
+  BufferPool pool(1, &file_);
+  std::byte* w = pool.PinForWrite(4);
+  ASSERT_NE(w, nullptr);
+  w[0] = std::byte{0x77};
+  pool.Unpin(4, /*dirty=*/true);
+  pool.Clear();  // flushes dirty frames
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(file_.ReadPage(4, buf.data()));
+  EXPECT_EQ(buf[0], std::byte{0x77});
+}
+
 TEST(IoStats, Accumulate) {
   IoStats a, b;
   a.leaf_accesses = 3;
   a.internal_accesses = 2;
+  a.clip_accesses = 1;
   b.leaf_accesses = 5;
   b.contributing_leaf_accesses = 4;
+  b.clip_accesses = 6;
+  b.page_reads = 7;
+  b.page_writes = 2;
   a += b;
   EXPECT_EQ(a.leaf_accesses, 8u);
   EXPECT_EQ(a.TotalAccesses(), 10u);
+  EXPECT_EQ(a.clip_accesses, 7u);
+  EXPECT_EQ(a.page_reads, 7u);
+  EXPECT_EQ(a.page_writes, 2u);
   a.Reset();
   EXPECT_EQ(a.TotalAccesses(), 0u);
+  EXPECT_EQ(a.page_reads, 0u);
 }
 
 }  // namespace

@@ -2,11 +2,16 @@
 // indexes, run queries, and inspect statistics — the end-to-end workflow a
 // downstream user runs before writing any code.
 //
-//   clipbb_cli gen   <dataset> <n> <out.data>
-//   clipbb_cli build <variant> <none|sky|sta> <in.data> <out.idx>
-//   clipbb_cli stats <idx> <data>
-//   clipbb_cli query <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
-//   clipbb_cli knn   <idx> <data> k p1 p2 [p3]
+//   clipbb_cli gen    <dataset> <n> <out.data>
+//   clipbb_cli build  <variant> <none|sky|sta> <in.data> <out.idx>
+//   clipbb_cli stats  <idx> <data>
+//   clipbb_cli query  <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
+//   clipbb_cli pquery <idx> lo1 lo2 [lo3] hi1 hi2 [hi3]
+//   clipbb_cli knn    <idx> <data> k p1 p2 [p3]
+//
+// `pquery` answers the query disk-resident: the index file is opened as a
+// page file and read through the buffer pool, so the printed I/O includes
+// real page reads (everything else restores the tree fully into memory).
 //
 // Datasets: par02 rea02 par03 rea03 axo03 den03 neu03.
 // Variants: qr hr r* rr*.
@@ -18,6 +23,7 @@
 
 #include "rtree/factory.h"
 #include "rtree/knn.h"
+#include "rtree/paged_rtree.h"
 #include "rtree/serialize.h"
 #include "stats/node_stats.h"
 #include "stats/storage_stats.h"
@@ -31,13 +37,21 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  clipbb_cli gen   <dataset> <n> <out.data>\n"
-               "  clipbb_cli build <qr|hr|r*|rr*> <none|sky|sta> <in.data> "
+               "  clipbb_cli gen    <dataset> <n> <out.data>\n"
+               "  clipbb_cli build  <qr|hr|r*|rr*> <none|sky|sta> <in.data> "
                "<out.idx>\n"
-               "  clipbb_cli stats <idx> <data>\n"
-               "  clipbb_cli query <idx> <data> lo... hi...\n"
-               "  clipbb_cli knn   <idx> <data> <k> point...\n");
+               "  clipbb_cli stats  <idx> <data>\n"
+               "  clipbb_cli query  <idx> <data> lo... hi...\n"
+               "  clipbb_cli pquery <idx> lo... hi...   (disk-resident)\n"
+               "  clipbb_cli knn    <idx> <data> <k> point...\n");
   return 2;
+}
+
+void PrintResultIds(const std::vector<rtree::ObjectId>& ids) {
+  for (size_t i = 0; i < ids.size() && i < 20; ++i) {
+    std::printf("  id=%lld\n", static_cast<long long>(ids[i]));
+  }
+  if (ids.size() > 20) std::printf("  ... (%zu more)\n", ids.size() - 20);
 }
 
 bool ParseVariant(const std::string& s, rtree::Variant* v) {
@@ -55,15 +69,19 @@ bool ParseVariant(const std::string& s, rtree::Variant* v) {
   return true;
 }
 
-// The index file prepends one byte for the variant so `stats`/`query` can
-// reconstruct the right tree class, followed by the serialized tree.
+// The superblock's user_tag holds the variant so `stats`/`query` can
+// reconstruct the right tree class. The tag only steers update behaviour;
+// the read path (pquery) is variant-agnostic and never looks at it.
 template <int D>
 std::unique_ptr<rtree::RTree<D>> LoadIndex(std::ifstream& in,
                                            const geom::Rect<D>& domain) {
-  char variant_byte = 0;
-  in.read(&variant_byte, 1);
-  rtree::Variant v = static_cast<rtree::Variant>(variant_byte);
-  auto tree = rtree::MakeRTree<D>(v, domain);
+  // Peek the tag, then rewind: MakeRTree needs the variant up front.
+  rtree::Superblock sb;
+  const auto start = in.tellg();
+  if (!in.read(reinterpret_cast<char*>(&sb), sizeof sb)) return nullptr;
+  in.seekg(start);
+  auto tree = rtree::MakeRTree<D>(static_cast<rtree::Variant>(sb.user_tag),
+                                  domain);
   if (!tree || !rtree::DeserializeTree<D>(in, tree.get())) return nullptr;
   return tree;
 }
@@ -108,9 +126,8 @@ int BuildAndSave(const std::string& variant_s, const std::string& mode,
     return Usage();
   }
   std::ofstream out(out_path, std::ios::binary);
-  const char variant_byte = static_cast<char>(v);
-  out.write(&variant_byte, 1);
-  const size_t bytes = rtree::SerializeTree<D>(*tree, out);
+  const size_t bytes =
+      rtree::SerializeTree<D>(*tree, out, static_cast<uint32_t>(v));
   std::printf("%s over %zu objects: %zu nodes, height %d, %zu clip points, "
               "%.1f MiB index\n",
               tree->Name(), data.size(), tree->NumNodes(), tree->Height(),
@@ -160,13 +177,37 @@ int CmdQuery(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
   std::vector<rtree::ObjectId> ids;
   storage::IoStats io;
   tree->RangeQuery(q, &ids, &io);
-  std::printf("%zu results, %llu leaf accesses\n", ids.size(),
-              static_cast<unsigned long long>(io.leaf_accesses));
-  for (size_t i = 0; i < ids.size() && i < 20; ++i) {
-    std::printf("  id=%lld\n", static_cast<long long>(ids[i]));
-  }
-  if (ids.size() > 20) std::printf("  ... (%zu more)\n", ids.size() - 20);
+  std::printf("%zu results\n  io: %s\n", ids.size(),
+              stats::FormatIoStats(io).c_str());
+  PrintResultIds(ids);
   return 0;
+}
+
+template <int D>
+int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
+  if (argc != 2 * D) return Usage();
+  rtree::PagedRTree<D> tree;
+  if (!tree.Open(idx_path)) {
+    std::fprintf(stderr, "cannot open %s as a paged index\n", idx_path);
+    return 1;
+  }
+  geom::Rect<D> q;
+  for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
+  for (int i = 0; i < D; ++i) q.hi[i] = std::atof(argv[D + i]);
+  std::vector<rtree::ObjectId> ids;
+  storage::IoStats io;
+  tree.RangeQuery(q, &ids, &io);
+  if (tree.io_error()) {
+    std::fprintf(stderr,
+                 "warning: traversal truncated by an I/O error; results "
+                 "are partial\n");
+  }
+  std::printf("%zu results, disk-resident (%zu node pages, pool %zu "
+              "frames)\n  io: %s\n",
+              ids.size(), tree.NumNodes(), tree.pool().capacity(),
+              stats::FormatIoStats(io).c_str());
+  PrintResultIds(ids);
+  return tree.io_error() ? 1 : 0;
 }
 
 template <int D>
@@ -205,6 +246,20 @@ int Main(int argc, char** argv) {
     if (dim == 2) return BuildAndSave<2>(argv[2], argv[3], in, argv[5]);
     if (dim == 3) return BuildAndSave<3>(argv[2], argv[3], in, argv[5]);
     std::fprintf(stderr, "bad dataset file\n");
+    return 1;
+  }
+  if (cmd == "pquery") {
+    if (argc < 3) return Usage();
+    rtree::Superblock sb;
+    std::ifstream idx(argv[2], std::ios::binary);
+    if (!idx || !idx.read(reinterpret_cast<char*>(&sb), sizeof sb) ||
+        sb.magic != rtree::kPagedMagic) {
+      std::fprintf(stderr, "bad index file\n");
+      return 1;
+    }
+    if (sb.dim == 2) return CmdPagedQuery<2>(argv[2], argc - 3, argv + 3);
+    if (sb.dim == 3) return CmdPagedQuery<3>(argv[2], argc - 3, argv + 3);
+    std::fprintf(stderr, "bad index dimension\n");
     return 1;
   }
   if (cmd == "stats" || cmd == "query" || cmd == "knn") {
