@@ -97,6 +97,9 @@ void RunTree(const std::string& dataset, const char* label,
     for (const auto* sched : {&workload_order, &hilbert_order}) {
       const char* sched_name =
           sched == &workload_order ? "workload" : "hilbert";
+      const std::string json_base = "fig15/" + dataset + "/" + label + "/" +
+                                    workload::kQueryProfiles[p] + "/" +
+                                    sched_name;
       {
         storage::BufferPool pool(
             std::max<size_t>(16, tree.NumNodes() / 10));
@@ -116,6 +119,9 @@ void RunTree(const std::string& dataset, const char* label,
                    Table::Fixed(static_cast<double>(results) /
                                     kQueriesPerProfile,
                                 1)});
+        JsonPut(json_base + "/sim.misses",
+                static_cast<double>(pool.misses()));
+        JsonPut(json_base + "/sim.results", static_cast<double>(results));
       }
       if (!paged_path.empty()) {
         paged.pool().Clear();  // cold start, same 10 % frame budget
@@ -136,6 +142,12 @@ void RunTree(const std::string& dataset, const char* label,
                    Table::Fixed(static_cast<double>(results) /
                                     kQueriesPerProfile,
                                 1)});
+        JsonPut(json_base + "/paged.page_reads",
+                static_cast<double>(io.page_reads));
+        JsonPut(json_base + "/paged.results",
+                static_cast<double>(results));
+        JsonPut(json_base + "/paged.avg_query_ms",
+                total_ms / kQueriesPerProfile);
       }
     }
   }
@@ -200,6 +212,7 @@ void Run() {
 
 int main(int argc, char** argv) {
   clipbb::bench::g_paged = clipbb::bench::HasFlag(argc, argv, "--paged");
+  clipbb::bench::EnableJsonFromArgs(argc, argv);
   clipbb::bench::Run();
-  return 0;
+  return clipbb::bench::JsonSink::Get().Flush() ? 0 : 1;
 }

@@ -134,6 +134,10 @@ void RunDataset(const workload::Dataset<D>& data, Table* table) {
                  Table::Fixed(map_s / lookups * 1e9, 2),
                  Table::Fixed(arena_s / lookups * 1e9, 2),
                  Table::Fixed(map_s / arena_s, 2)});
+  JsonPut("hotpath/" + data.name + "/clip_lookup.arena_ns",
+          arena_s / lookups * 1e9);
+  JsonPut("hotpath/" + data.name + "/clip_lookup.checksum",
+          static_cast<double>(arena_sum));
 
   // --------------------------------------------------- 2. AoS vs SoA scan
   // Replays exactly the node scans a real query workload performs: the
@@ -191,6 +195,11 @@ void RunDataset(const workload::Dataset<D>& data, Table* table) {
   table->AddRow({data.name, "entry scan", "AoS", "SoA",
                  Table::Fixed(aos_s * 1e3, 2), Table::Fixed(soa_s * 1e3, 2),
                  Table::Fixed(aos_s / soa_s, 2)});
+  JsonPut("hotpath/" + data.name + "/entry_scan.soa_ms", soa_s * 1e3);
+  JsonPut("hotpath/" + data.name + "/entry_scan.visits",
+          static_cast<double>(visits.size()));
+  JsonPut("hotpath/" + data.name + "/entry_scan.hits",
+          static_cast<double>(soa_hits));
 
   // -------------------------------------- 3. single vs batched traversal
   size_t single_total = 0, batch_total = 0;
@@ -225,6 +234,10 @@ void RunDataset(const workload::Dataset<D>& data, Table* table) {
   table->AddRow({data.name, "end-to-end", "seed path", "flattened",
                  Table::Fixed(seed_s * 1e3, 1), Table::Fixed(batch_s * 1e3, 1),
                  Table::Fixed(seed_s / batch_s, 2)});
+  JsonPut("hotpath/" + data.name + "/end_to_end.flattened_ms",
+          batch_s * 1e3);
+  JsonPut("hotpath/" + data.name + "/end_to_end.results",
+          static_cast<double>(batch_total));
 }
 
 void Run() {
@@ -243,7 +256,8 @@ void Run() {
 }  // namespace
 }  // namespace clipbb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  clipbb::bench::EnableJsonFromArgs(argc, argv);
   clipbb::bench::Run();
-  return 0;
+  return clipbb::bench::JsonSink::Get().Flush() ? 0 : 1;
 }

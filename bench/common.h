@@ -7,10 +7,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtree/factory.h"
@@ -108,6 +110,69 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::string(argv[i]) == flag) return true;
   }
   return false;
+}
+
+/// Flat JSON metric sink for the CI bench-regression gate: hierarchical
+/// string keys mapping to doubles, written as one sorted object. Enabled
+/// by CLIPBB_BENCH_JSON=<path> (or --json <path> via EnableJsonFromArgs);
+/// disabled it is a no-op. Deterministic counters (page reads, pool
+/// misses, result totals) are the gated metrics — wall-clock values ride
+/// along in the artifact but are too noisy to gate.
+class JsonSink {
+ public:
+  static JsonSink& Get() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void Enable(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void Put(const std::string& key, double value) {
+    if (enabled()) kv_.emplace_back(key, value);
+  }
+
+  /// Writes the collected metrics; returns false on I/O failure (also
+  /// reported on stderr so CI logs show it).
+  bool Flush() {
+    if (!enabled()) return true;
+    std::sort(kv_.begin(), kv_.end());
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench json: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < kv_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.17g%s\n", kv_[i].first.c_str(),
+                   kv_[i].second, i + 1 < kv_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    const bool ok = std::fclose(f) == 0;
+    std::fprintf(stderr, "bench json: wrote %zu metrics to %s\n",
+                 kv_.size(), path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> kv_;
+  std::string path_;
+};
+
+/// Arms the sink from --json <path> or CLIPBB_BENCH_JSON.
+inline void EnableJsonFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      JsonSink::Get().Enable(argv[i + 1]);
+      return;
+    }
+  }
+  const char* env = std::getenv("CLIPBB_BENCH_JSON");
+  if (env && *env) JsonSink::Get().Enable(env);
+}
+
+inline void JsonPut(const std::string& key, double value) {
+  JsonSink::Get().Put(key, value);
 }
 
 /// Scratch file path for benches that exercise the paged storage engine

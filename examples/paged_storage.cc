@@ -1,12 +1,14 @@
 // Paged storage engine: dump a clipped R-tree to a page file, reopen it
-// disk-resident, and serve range / kNN queries through the buffer pool —
-// counting real page reads instead of logical accesses.
+// disk-resident, serve range / kNN queries through the buffer pool —
+// counting real page reads instead of logical accesses — then reopen it
+// READ-WRITE and update it in place under WAL protection.
 //
 //   $ ./examples/example_paged_storage
 //
 // Demonstrates: WritePagedTree, PagedRTree::Open (clip table loaded
 // memory-resident, node pages on disk), query parity with the in-memory
-// tree, and cold-vs-warm pool behaviour.
+// tree, cold-vs-warm pool behaviour, and OpenWrite (in-place page
+// updates, free-page map, write-ahead log, checkpoint).
 #include <cstdio>
 
 #include "rtree/factory.h"
@@ -82,6 +84,43 @@ int main() {
   for (const auto& n : nn) std::printf("#%lld ", static_cast<long long>(n.id));
   std::printf("\n");
 
+  // 7. Reopen read-write: a fresh variant instance becomes the memory
+  //    mirror and Insert/Delete mutate the pages in place — page reads
+  //    are the update path's pool faults, every change is WAL-protected,
+  //    and a crash at any point would recover to the last commit.
+  paged.Close();
+  rtree::PagedRTree<2> writer;
+  if (!writer.OpenWrite(path, rtree::MakeRTree<2>(rtree::Variant::kHilbert,
+                                                  data.domain))) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    writer.Delete(data.items[i].rect, data.items[i].id);
+  }
+  for (int i = 0; i < 500; ++i) {
+    geom::Rect2 r = data.items[i].rect;  // re-insert half, fresh ids
+    writer.Insert(r, 200'000 + i);
+  }
+  writer.Checkpoint();
+  std::printf(
+      "updated in place: %zu objects, %zu free pages pooled for reuse | "
+      "%s\n",
+      writer.NumObjects(), writer.free_map().FreeCount(),
+      stats::FormatIoStats(writer.update_io()).c_str());
+  writer.Close();
+
+  // A cold reopen serves the updated tree straight from the pages.
+  rtree::PagedRTree<2> reopened;
+  if (!reopened.Open(path) || reopened.NumObjects() != 99'500) {
+    std::fprintf(stderr, "REOPEN FAILURE\n");
+    return 1;
+  }
+  std::printf("reopened after updates: %zu objects, %llu nodes\n",
+              reopened.NumObjects(),
+              static_cast<unsigned long long>(reopened.NumNodes()));
+
   std::remove(path);
+  std::remove(rtree::WalPathFor(path).c_str());
   return 0;
 }

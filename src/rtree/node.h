@@ -56,12 +56,13 @@ struct Node {
   }
 };
 
-/// On-disk byte size of a node with `n` entries: header (level + count) plus
-/// per entry 2*D coordinates and an 8-byte id. Used by the Fig. 13 storage
+/// On-disk byte size of a node with `n` entries: 16-byte header (level,
+/// flags, counts, WAL LSN — the paged format's NodePageHeader) plus per
+/// entry 2*D coordinates and an 8-byte id. Used by the Fig. 13 storage
 /// accounting; nodes occupy a full page on disk.
 template <int D>
 constexpr size_t NodeBytes(size_t n) {
-  return 8 + n * (2 * D * sizeof(double) + 8);
+  return 16 + n * (2 * D * sizeof(double) + 8);
 }
 
 }  // namespace clipbb::rtree

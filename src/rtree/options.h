@@ -20,11 +20,15 @@ struct RTreeOptions {
   double bulk_fill = 1.0;
 };
 
-/// Entries that fit a page: header 8 B, entry = 2*D doubles + 8-byte id.
+/// On-page node header bytes (level, flags, counts, WAL LSN) — must match
+/// sizeof(NodePageHeader) in rtree/page_format.h.
+inline constexpr int kNodeHeaderBytes = 16;
+
+/// Entries that fit a page: header 16 B, entry = 2*D doubles + 8-byte id.
 template <int D>
 constexpr int DeriveMaxEntries(int page_size) {
   const int entry_bytes = 2 * D * static_cast<int>(sizeof(double)) + 8;
-  int m = (page_size - 8) / entry_bytes;
+  int m = (page_size - kNodeHeaderBytes) / entry_bytes;
   return m < 4 ? 4 : m;
 }
 

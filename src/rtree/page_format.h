@@ -7,29 +7,37 @@
 // kernels run directly over the pinned frame bytes with zero decode:
 //
 //   page (file_page_size bytes)
-//   +--------+----------------------------------+---------+-----------+
-//   | header | lo0[n] hi0[n] ... loD-1[n] hiD-1 | id[n]   | clip run  |
-//   | 8 B    | 2*D*n doubles                    | n int64 | (if fits) |
-//   +--------+----------------------------------+---------+-----------+
+//   +---------+----------------------------------+---------+-----------+
+//   | header  | lo0[n] hi0[n] ... loD-1[n] hiD-1 | id[n]   | clip run  |
+//   | 16 B    | 2*D*n doubles                    | n int64 | (if fits) |
+//   +---------+----------------------------------+---------+-----------+
+//
+// The 16-byte header carries the page kind (node / free / clip-spill), the
+// entry and inline-clip counts, and — at byte offset 8 of *every* page,
+// superblock included (storage::kPageLsnOffset) — the LSN of the WAL
+// record that last wrote the page, the redo pass's idempotency anchor.
 //
 // The clip run is the node's clip points in descending-score order: n*D
 // coordinates followed by n corner masks (Fig. 4b layout — scores are not
 // stored; decode re-synthesises a descending sequence, which is all the
 // pruning tests need). A run that does not fit the page's free space is
-// spilled whole into the file's clip-spill section and the page's spill
-// flag is set. With capacities derived from page_size (options.h), a full
-// node occupies its page exactly and the run spills; partially filled
-// nodes keep their clips inline.
+// relocated whole to a dedicated clip-spill page (same page space, id
+// allocated from the free-page map) and the node's spill flag is set; the
+// spill page records its owner, so an open-time scan reattaches runs
+// without any directory.
 //
-// A serialized tree file is: one superblock page, then num_node_pages node
-// pages (dense BFS ids; node i lives at file page 1 + i), then the clip
-// spill section padded to whole pages. rtree/serialize.h writes this format
-// through any ostream; PagedRTree (rtree/paged_rtree.h) opens it lazily
-// through the buffer pool.
+// A paged tree file is one superblock page followed by the allocatable
+// section: node pages, clip-spill pages, and free pages, addressed as
+// file page 1 + id. Free pages form a LIFO chain anchored in the
+// superblock (free_head/free_count; each free page stores its successor),
+// managed by storage::FreePageMap. rtree/serialize.h writes this format
+// through any ostream; PagedRTree (rtree/paged_rtree.h) opens it through
+// the buffer pool, read-only or read-write.
 #ifndef CLIPBB_RTREE_PAGE_FORMAT_H_
 #define CLIPBB_RTREE_PAGE_FORMAT_H_
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -39,14 +47,17 @@
 #include "core/clip_point.h"
 #include "rtree/node.h"
 #include "rtree/soa.h"
+#include "storage/wal.h"
 
 namespace clipbb::rtree {
 
-inline constexpr uint64_t kPagedMagic = 0xC11BB0CC'5EED0002ULL;
+inline constexpr uint64_t kPagedMagic = 0xC11BB0CC'5EED0003ULL;
 
 /// File header, stored at the start of page 0 (rest of the page is zero).
+/// The lsn field sits at storage::kPageLsnOffset like every other page's.
 struct Superblock {
   uint64_t magic = kPagedMagic;
+  uint64_t lsn = 0;             // WAL LSN high-water mark
   uint32_t dim = 0;
   uint32_t user_tag = 0;        // caller-defined (the CLI stores the variant)
   uint32_t file_page_size = 0;  // frame size of THIS file's pages
@@ -59,27 +70,56 @@ struct Superblock {
   int32_t max_clips = 0;
   double tau = 0.0;
   uint64_t num_objects = 0;
-  uint64_t num_node_pages = 0;
-  int64_t root_page = 0;         // node-section index (0-based)
-  uint64_t clip_spill_bytes = 0; // byte length of the spill section
-  uint64_t num_clip_points = 0;  // inline + spilled, for stats
+  uint64_t num_section_pages = 0;  // pages after the superblock (all kinds)
+  uint64_t num_nodes = 0;          // live node pages among them
+  int64_t root_page = 0;           // section index (0-based) of the root
+  int64_t free_head = -1;          // head of the free-page chain, -1 = none
+  uint64_t free_count = 0;         // length of the free-page chain
+  uint64_t num_spill_pages = 0;    // clip-spill pages, for stats
+  uint64_t num_clip_points = 0;    // inline + spilled, for stats
   uint64_t num_clipped_nodes = 0;
+  /// Sequence number of the last committed write operation. Persisted
+  /// here as well as in WAL commit records, so the count survives the
+  /// checkpoint truncating the log.
+  uint64_t last_op_seq = 0;
 };
-static_assert(sizeof(Superblock) <= 128, "superblock must stay one page");
+static_assert(sizeof(Superblock) <= 192,
+              "superblock must stay well under one page");
+static_assert(offsetof(Superblock, lsn) == storage::kPageLsnOffset);
 
-/// 8-byte node-page header; entry coordinates start right after it, so
-/// every double on the page is naturally aligned.
+/// 16-byte page header shared by all section page kinds; entry coordinates
+/// start right after it, so every double on the page is naturally aligned.
 struct NodePageHeader {
-  uint8_t level = 0;  // 0 = leaf
+  uint8_t level = 0;  // 0 = leaf (node pages; 0 for free/spill pages)
   uint8_t flags = 0;
   uint16_t entry_count = 0;
-  uint16_t clip_count = 0;  // inline clip points (0 when spilled)
+  uint16_t clip_count = 0;  // inline (node) or spilled (spill page) points
   uint16_t reserved = 0;
+  uint64_t lsn = 0;  // WAL LSN of the record that last wrote this page
 };
-static_assert(sizeof(NodePageHeader) == 8);
+static_assert(sizeof(NodePageHeader) == 16);
+static_assert(offsetof(NodePageHeader, lsn) == storage::kPageLsnOffset);
 
-/// The node's clip run lives in the file's spill section, not on the page.
+/// The node's clip run lives on a clip-spill page, not inline.
 inline constexpr uint8_t kNodeFlagClipsSpilled = 1;
+/// The page is on the free chain (not a node).
+inline constexpr uint8_t kPageFlagFree = 2;
+/// The page holds a relocated clip run for its owner node.
+inline constexpr uint8_t kPageFlagSpill = 4;
+
+inline bool PageIsNode(const NodePageHeader& h) {
+  return (h.flags & (kPageFlagFree | kPageFlagSpill)) == 0;
+}
+
+/// Reads / stamps the LSN field any section page keeps at offset 8.
+inline uint64_t PageLsn(const std::byte* page) {
+  uint64_t lsn;
+  std::memcpy(&lsn, page + storage::kPageLsnOffset, sizeof lsn);
+  return lsn;
+}
+inline void SetPageLsn(std::byte* page, uint64_t lsn) {
+  std::memcpy(page + storage::kPageLsnOffset, &lsn, sizeof lsn);
+}
 
 template <int D>
 constexpr size_t PagedEntryBytes() {
@@ -87,7 +127,8 @@ constexpr size_t PagedEntryBytes() {
 }
 
 /// Packed size of a node with `n` entries, excluding the clip run. Matches
-/// NodeBytes<D> (options.h derives capacities from the same 8-byte header).
+/// NodeBytes<D> (options.h derives capacities from the same 16-byte
+/// header).
 template <int D>
 constexpr size_t PagedNodeBytes(size_t n) {
   return sizeof(NodePageHeader) + n * PagedEntryBytes<D>();
@@ -101,12 +142,13 @@ constexpr size_t ClipRunBytes(size_t c) {
 
 /// Encodes `n` (entries + clip run) into `page` (page_size bytes, zeroed
 /// first). Returns true when the clip run fit inline; false when it was
-/// omitted and must be spilled (the caller records it in the spill
-/// section). The node's entries must fit: PagedNodeBytes(n) <= page_size.
+/// omitted and must be relocated to a spill page (the caller sets the
+/// spill flag implicitly — this function already did). The node's entries
+/// must fit: PagedNodeBytes(n) <= page_size.
 template <int D>
 bool EncodeNodePage(const Node<D>& n,
                     std::span<const core::ClipPoint<D>> clips,
-                    std::byte* page, size_t page_size) {
+                    std::byte* page, size_t page_size, uint64_t lsn = 0) {
   const size_t count = n.entries.size();
   const size_t node_bytes = PagedNodeBytes<D>(count);
   assert(node_bytes <= page_size);
@@ -120,6 +162,7 @@ bool EncodeNodePage(const Node<D>& n,
   h.entry_count = static_cast<uint16_t>(count);
   h.clip_count =
       inline_fits ? static_cast<uint16_t>(clips.size()) : uint16_t{0};
+  h.lsn = lsn;
   std::memcpy(page, &h, sizeof h);
 
   double* coords = reinterpret_cast<double*>(page + sizeof h);
@@ -212,7 +255,7 @@ PagedNodeView<D> DecodeNodePage(const std::byte* page) {
     v.hi[d] = coords + (2 * d + 1) * count;
   }
   v.id = reinterpret_cast<const int64_t*>(coords + 2 * D * count);
-  if (v.header.clip_count > 0) {
+  if (v.header.clip_count > 0 && !v.ClipsSpilled() && PageIsNode(v.header)) {
     const size_t node_bytes = PagedNodeBytes<D>(count);
     v.clip_coord = reinterpret_cast<const double*>(page + node_bytes);
     v.clip_mask = reinterpret_cast<const uint8_t*>(
@@ -235,66 +278,109 @@ Node<D> DecodeNode(const std::byte* page) {
   return n;
 }
 
-// ------------------------------------------------------- clip spill stream
+// ------------------------------------------------------------- free pages
 //
-// Runs that do not fit their node page are appended to a byte stream of
-// records: int64 node page id, uint32 count, count*D doubles, count masks.
-// The stream is written after the node pages (padded to whole pages) and
-// parsed fully at open time into the memory-resident clip arena.
+// A free page is a 16-byte header (kPageFlagFree) followed by the section
+// index of the next free page (-1 terminates) — one link of the LIFO chain
+// the superblock anchors.
 
-template <int D>
-void AppendClipSpill(int64_t node_page,
-                     std::span<const core::ClipPoint<D>> clips,
-                     std::vector<std::byte>* out) {
-  const uint32_t count = static_cast<uint32_t>(clips.size());
-  const size_t base = out->size();
-  out->resize(base + sizeof(int64_t) + sizeof(uint32_t) +
-              ClipRunBytes<D>(count));
-  std::byte* p = out->data() + base;
-  std::memcpy(p, &node_page, sizeof node_page);
-  p += sizeof node_page;
-  std::memcpy(p, &count, sizeof count);
-  p += sizeof count;
-  for (const auto& c : clips) {
-    std::memcpy(p, &c.coord, D * sizeof(double));
-    p += D * sizeof(double);
-  }
-  for (const auto& c : clips) {
-    const uint8_t m = static_cast<uint8_t>(c.mask);
-    std::memcpy(p, &m, 1);
-    p += 1;
-  }
+inline void EncodeFreePage(std::byte* page, size_t page_size,
+                           int64_t next, uint64_t lsn = 0) {
+  assert(page_size >= sizeof(NodePageHeader) + sizeof(int64_t));
+  std::memset(page, 0, page_size);
+  NodePageHeader h;
+  h.flags = kPageFlagFree;
+  h.lsn = lsn;
+  std::memcpy(page, &h, sizeof h);
+  std::memcpy(page + sizeof h, &next, sizeof next);
 }
 
-/// Parses a spill stream, invoking fn(node_page, vector<ClipPoint<D>>) per
-/// record (scores synthesised descending, as for inline runs). Returns
-/// false on a malformed stream.
-template <int D, typename F>
-bool ParseClipSpill(const std::byte* data, size_t size, F&& fn) {
-  size_t off = 0;
-  while (off < size) {
-    if (size - off < sizeof(int64_t) + sizeof(uint32_t)) return false;
-    int64_t node_page = 0;
-    uint32_t count = 0;
-    std::memcpy(&node_page, data + off, sizeof node_page);
-    off += sizeof node_page;
-    std::memcpy(&count, data + off, sizeof count);
-    off += sizeof count;
-    if (size - off < ClipRunBytes<D>(count)) return false;
-    std::vector<core::ClipPoint<D>> clips(count);
-    for (uint32_t c = 0; c < count; ++c) {
-      std::memcpy(&clips[c].coord, data + off, D * sizeof(double));
-      off += D * sizeof(double);
-      clips[c].score = static_cast<double>(count - c);
-    }
-    for (uint32_t c = 0; c < count; ++c) {
-      uint8_t m = 0;
-      std::memcpy(&m, data + off, 1);
-      off += 1;
-      clips[c].mask = m;
-    }
-    fn(node_page, std::move(clips));
+/// Next link of a free page (caller checked kPageFlagFree).
+inline int64_t FreePageNext(const std::byte* page) {
+  int64_t next;
+  std::memcpy(&next, page + sizeof(NodePageHeader), sizeof next);
+  return next;
+}
+
+// ------------------------------------------------------- clip-spill pages
+//
+// A clip run that does not fit its node page inline is relocated whole to
+// a spill page: 16-byte header (kPageFlagSpill, clip_count = run length),
+// owner node id, a reserved continuation link (-1; runs are bounded by
+// max_clips and always fit one page at sane page sizes), then the run in
+// the inline layout (coords, then masks).
+
+/// Spill payload bytes for a run of `c` points.
+template <int D>
+constexpr size_t SpillPageBytes(size_t c) {
+  return sizeof(NodePageHeader) + 2 * sizeof(int64_t) + ClipRunBytes<D>(c);
+}
+
+template <int D>
+bool EncodeSpillPage(int64_t owner, std::span<const core::ClipPoint<D>> clips,
+                     std::byte* page, size_t page_size, uint64_t lsn = 0) {
+  if (SpillPageBytes<D>(clips.size()) > page_size || clips.size() > 0xFFFF) {
+    return false;
   }
+  std::memset(page, 0, page_size);
+  NodePageHeader h;
+  h.flags = kPageFlagSpill;
+  h.clip_count = static_cast<uint16_t>(clips.size());
+  h.lsn = lsn;
+  std::memcpy(page, &h, sizeof h);
+  std::byte* p = page + sizeof h;
+  std::memcpy(p, &owner, sizeof owner);
+  p += sizeof owner;
+  const int64_t next = -1;
+  std::memcpy(p, &next, sizeof next);
+  p += sizeof next;
+  double* ccoord = reinterpret_cast<double*>(p);
+  for (size_t c = 0; c < clips.size(); ++c) {
+    for (int d = 0; d < D; ++d) ccoord[c * D + d] = clips[c].coord[d];
+  }
+  uint8_t* masks = reinterpret_cast<uint8_t*>(
+      p + clips.size() * D * sizeof(double));
+  for (size_t c = 0; c < clips.size(); ++c) {
+    masks[c] = static_cast<uint8_t>(clips[c].mask);
+  }
+  return true;
+}
+
+template <int D>
+struct SpillPageView {
+  int64_t owner = -1;
+  uint16_t count = 0;
+  const double* coord = nullptr;
+  const uint8_t* mask = nullptr;
+
+  /// Run as ClipPoints, scores synthesised descending like inline runs.
+  std::vector<core::ClipPoint<D>> Decode() const {
+    std::vector<core::ClipPoint<D>> out(count);
+    for (uint32_t c = 0; c < count; ++c) {
+      for (int d = 0; d < D; ++d) out[c].coord[d] = coord[c * D + d];
+      out[c].mask = mask[c];
+      out[c].score = static_cast<double>(count - c);
+    }
+    return out;
+  }
+};
+
+/// Decodes a spill page; false when the declared run does not fit the
+/// page (corruption) — the view is unusable then.
+template <int D>
+bool DecodeSpillPage(const std::byte* page, size_t page_size,
+                     SpillPageView<D>* out) {
+  NodePageHeader h;
+  std::memcpy(&h, page, sizeof h);
+  if ((h.flags & kPageFlagSpill) == 0) return false;
+  if (SpillPageBytes<D>(h.clip_count) > page_size) return false;
+  out->count = h.clip_count;
+  const std::byte* p = page + sizeof h;
+  std::memcpy(&out->owner, p, sizeof out->owner);
+  p += 2 * sizeof(int64_t);  // owner + reserved continuation link
+  out->coord = reinterpret_cast<const double*>(p);
+  out->mask = reinterpret_cast<const uint8_t*>(
+      p + static_cast<size_t>(out->count) * D * sizeof(double));
   return true;
 }
 

@@ -1,19 +1,39 @@
-// Disk-resident read path for (clipped) R-trees: open a serialized tree
-// file (rtree/serialize.h, paged format) and answer range, kNN, and
-// batched queries by decoding node pages pinned in the buffer pool —
-// nothing but the clip table and the traversal state lives in memory.
-//
-// Mirrors the paper's scalability setup (§V-C): the clip table and the
-// superblock are memory-resident (loaded by one sequential scan at open),
-// node pages are fetched on demand through a frame-owning LRU BufferPool,
-// and every physical transfer is counted (IoStats::page_reads/page_writes)
-// — real I/O, not the synthetic per-miss latency the simulated Fig. 15
-// mode charges. The packed SoA page layout lets the shared scan kernels
+// Disk-resident (clipped) R-tree on the paged storage engine: open a
+// serialized tree file (rtree/serialize.h, paged format) and answer range,
+// kNN, and batched queries by decoding node pages pinned in the buffer
+// pool — nothing but the clip table and the traversal state lives in
+// memory. The packed SoA page layout lets the shared scan kernels
 // (IntersectsAll, SoaMinDist2) run directly over the pinned frame bytes.
+//
+// Two modes:
+//
+//  * Open(): read-only, as in the paper's scalability setup (§V-C) — the
+//    clip table and superblock are memory-resident (one sequential scan at
+//    open), node pages are fetched on demand through a frame-owning LRU
+//    BufferPool, and every physical transfer is counted
+//    (IoStats::page_reads/page_writes).
+//
+//  * OpenWrite(): read-write — Insert/Delete/UpdateClips mutate pinned
+//    frames in place. The caller supplies an empty tree of the file's
+//    variant; it is restored as a memory mirror whose node ids equal file
+//    page indexes (store observer + free-page-map id source), runs the
+//    exact same update algorithms as the in-memory tree — so the paged
+//    tree evolves structurally identically, the §V-C memory-residency
+//    assumption for directory decisions holds, and the physical page
+//    traffic is real: each operation faults the pages it modifies through
+//    the pool (page_reads), re-encodes them into the pinned frames, and
+//    write-back happens on eviction/flush (page_writes). Node splits and
+//    clip-run spill relocation allocate pages from the superblock-anchored
+//    free-page map (storage/free_page_map.h); deletes release them — the
+//    file never grows while free pages exist. Every modified page's
+//    post-image goes to the write-ahead log before the frame can reach the
+//    file (storage/wal.h), one commit record per operation, fsync every
+//    `commit_every` operations; both Open and OpenWrite run WAL redo
+//    first, so a crash at any point recovers to the last durable commit.
 //
 // Query results, visit order, and logical access counts are identical to
 // the in-memory RTree running the same tree (parity-tested). The pool is
-// not thread-safe: one PagedRTree per querying thread.
+// not thread-safe: one PagedRTree per thread.
 #ifndef CLIPBB_RTREE_PAGED_RTREE_H_
 #define CLIPBB_RTREE_PAGED_RTREE_H_
 
@@ -21,12 +41,15 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
-#include <numeric>
 #include <memory>
+#include <numeric>
 #include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/clip_index.h"
@@ -37,19 +60,29 @@
 #include "rtree/query_batch.h"
 #include "rtree/serialize.h"
 #include "storage/buffer_pool.h"
+#include "storage/free_page_map.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
+#include "storage/wal.h"
 
 namespace clipbb::rtree {
 
+/// Sidecar write-ahead-log path of a paged tree file.
+inline std::string WalPathFor(const std::string& path) {
+  return path + ".wal";
+}
+
 /// Serializes `tree` straight into a page file at `path` (the same bytes
-/// SerializeTree writes to a stream). Returns false on any I/O failure.
+/// SerializeTree writes to a stream). Any stale sidecar WAL is removed —
+/// it described the previous file's pages. Returns false on I/O failure.
 template <int D>
 bool WritePagedTree(const RTree<D>& tree, const std::string& path,
                     uint32_t user_tag = 0) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  return out && SerializeTree<D>(tree, out, user_tag) > 0 &&
-         static_cast<bool>(out.flush());
+  const bool ok = out && SerializeTree<D>(tree, out, user_tag) > 0 &&
+                  static_cast<bool>(out.flush());
+  if (ok) std::remove(WalPathFor(path).c_str());
+  return ok;
 }
 
 template <int D>
@@ -58,117 +91,165 @@ class PagedRTree {
   using RectT = geom::Rect<D>;
 
   struct OpenOptions {
-    /// Buffer-pool frames; 0 derives max(16, node pages / 10) — the 10 %
-    /// cold-pool ratio of the Fig. 15 setup.
+    /// Buffer-pool frames; 0 derives max(16, section pages / 10) — the
+    /// 10 % cold-pool ratio of the Fig. 15 setup.
     size_t pool_pages = 0;
+    /// Write mode: operations per WAL fsync (group commit). 1 makes every
+    /// operation durable on return; larger values batch commits and a
+    /// crash loses at most the unsynced suffix.
+    size_t commit_every = 1;
   };
 
   PagedRTree() = default;
+  ~PagedRTree() { Close(); }
 
   PagedRTree(const PagedRTree&) = delete;
   PagedRTree& operator=(const PagedRTree&) = delete;
 
-  /// Opens a file written by SerializeTree / WritePagedTree. One
-  /// sequential scan loads the clip table (when the tree is clipped) and
-  /// the root's MBB; node pages stay on disk. Physical-read counters
-  /// start at zero afterwards.
+  /// Opens a file written by SerializeTree / WritePagedTree read-only.
+  /// Replays any sidecar WAL first (a crashed writer's file opens to its
+  /// last durable commit), then one sequential scan loads the clip table
+  /// (when the tree is clipped) and the root's MBB; node pages stay on
+  /// disk. Physical-read counters start at zero afterwards.
   bool Open(const std::string& path, const OpenOptions& opts = {}) {
     Close();
-    if (!file_.Open(path, /*create=*/false)) return false;
-    if (!file_.ReadRaw(0, &sb_, sizeof sb_)) return false;
-    // Same sanity bounds DeserializeTree applies, plus: every size the
-    // superblock declares must fit the actual file, so a corrupt header
-    // can never drive an allocation or a read off the end.
-    if (sb_.magic != kPagedMagic || sb_.dim != static_cast<uint32_t>(D) ||
-        sb_.file_page_size < sizeof(Superblock) ||
-        sb_.file_page_size > serialize_internal::kMaxFilePageSize ||
-        sb_.file_page_size % 8 != 0 || sb_.num_node_pages == 0 ||
-        sb_.root_page < 0 ||
-        sb_.root_page >= static_cast<int64_t>(sb_.num_node_pages)) {
-      file_.Close();
-      return false;
-    }
-    const uint64_t node_section_end =
-        (1 + sb_.num_node_pages) * static_cast<uint64_t>(sb_.file_page_size);
-    if (node_section_end + sb_.clip_spill_bytes > file_.SizeBytes()) {
-      file_.Close();
-      return false;
-    }
-    file_.set_page_size(sb_.file_page_size);
-
+    if (!OpenAndRecover(path)) return false;
     std::vector<std::byte> page(sb_.file_page_size);
-    if (!file_.ReadPage(1 + sb_.root_page, page.data())) {
+    if (!LoadRootAndClips(&page, &clip_index_, nullptr, nullptr, nullptr)) {
       file_.Close();
       return false;
     }
-    {
-      const PagedNodeView<D> root = DecodeNodePage<D>(page.data());
-      if (!ValidPage(root)) {
-        file_.Close();
-        return false;
-      }
-      height_ = root.header.level + 1;
-      bounds_ = RectT::Empty();
-      for (uint32_t i = 0; i < root.n(); ++i) {
-        bounds_.ExpandToInclude(root.EntryRect(i));
-      }
-    }
-
-    clip_index_.Clear();
-    if (sb_.clipped) {
-      for (uint64_t p = 0; p < sb_.num_node_pages; ++p) {
-        if (!file_.ReadPage(1 + static_cast<int64_t>(p), page.data())) {
-          file_.Close();
-          return false;
-        }
-        const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
-        if (!ValidPage(v)) {
-          file_.Close();
-          return false;
-        }
-        if (v.header.clip_count > 0) {
-          clip_index_.Set(static_cast<core::NodeId>(p), v.DecodeClips());
-        }
-      }
-      if (sb_.clip_spill_bytes > 0) {
-        std::vector<std::byte> spill(sb_.clip_spill_bytes);
-        const uint64_t off = node_section_end;
-        if (!file_.ReadRaw(off, spill.data(), spill.size()) ||
-            !ParseClipSpill<D>(
-                spill.data(), spill.size(),
-                [&](int64_t id, std::vector<core::ClipPoint<D>> clips) {
-                  clip_index_.Set(id, std::move(clips));
-                })) {
-          file_.Close();
-          return false;
-        }
-      }
-      clip_index_.Compact();
-    }
-
-    const size_t frames =
-        opts.pool_pages > 0
-            ? opts.pool_pages
-            : std::max<size_t>(16, sb_.num_node_pages / 10);
-    pool_ = std::make_unique<storage::BufferPool>(frames, &file_);
-    file_.ResetCounters();
-    io_error_ = false;
-    open_ = true;
+    clip_index_.Compact();
+    clips_ = &clip_index_;
+    FinishOpen(opts);
     return true;
   }
 
+  /// Opens a file read-write. `variant` must be an empty tree of the
+  /// file's variant (it supplies ChooseSubtree/Split behaviour and becomes
+  /// the memory mirror; its previous contents are discarded). Replays the
+  /// WAL, restores the mirror at file page indexes, and arms the write
+  /// path. Queries work exactly as in read-only mode.
+  bool OpenWrite(const std::string& path, std::unique_ptr<RTree<D>> variant,
+                 const OpenOptions& opts = {}) {
+    Close();
+    if (variant == nullptr) return false;
+    if (!OpenAndRecover(path)) return false;
+
+    // Scan the section: nodes at their file indexes, spilled clip runs
+    // reattached to their owners, free pages collected for the chain walk.
+    std::vector<std::byte> page(sb_.file_page_size);
+    std::vector<std::pair<storage::PageId, Node<D>>> nodes;
+    std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>
+        clips;
+    std::unordered_map<storage::PageId, int64_t> free_next;
+    if (!LoadRootAndClips(&page, nullptr, &nodes, &clips, &free_next)) {
+      file_.Close();
+      return false;
+    }
+
+    // Walk the superblock-anchored free chain; its length and membership
+    // must agree with the per-page flags or the file is corrupt.
+    std::vector<storage::PageId> chain;
+    int64_t cur = sb_.free_head;
+    while (cur != -1 && chain.size() <= free_next.size()) {
+      auto it = free_next.find(cur);
+      if (it == free_next.end()) {  // chain hits a non-free page
+        file_.Close();
+        return false;
+      }
+      chain.push_back(cur);
+      cur = it->second;
+    }
+    if (chain.size() != free_next.size() || chain.size() != sb_.free_count) {
+      file_.Close();
+      return false;
+    }
+
+    core::ClipConfig<D> cfg;
+    if (sb_.clipped) {
+      cfg.mode = static_cast<core::ClipMode>(sb_.clip_mode);
+      cfg.max_clips = sb_.max_clips;
+      cfg.tau = sb_.tau;
+    }
+    RTreeOptions topts = variant->options();
+    topts.page_size = sb_.page_size;
+    topts.max_entries = sb_.max_entries;
+    topts.min_entries = sb_.min_entries;
+    tree_ = std::move(variant);
+    tree_->RestoreFromPagedLayout(topts, sb_.num_section_pages,
+                                  std::move(nodes), sb_.root_page,
+                                  sb_.num_objects, sb_.clipped != 0, cfg,
+                                  std::move(clips));
+    free_map_.Reset(sb_.num_section_pages, std::move(chain));
+    hooks_ = std::make_unique<StoreHooks>(this);
+    tree_->SetStoreObserver(hooks_.get());
+    tree_->SetStoreIdSource(hooks_.get());
+    clips_ = &tree_->clip_index();
+
+    if (!wal_.Open(WalPathFor(path), sb_.file_page_size,
+                   std::max(sb_.lsn, recovery_.max_lsn) + 1)) {
+      tree_->SetStoreObserver(nullptr);
+      tree_->SetStoreIdSource(nullptr);
+      tree_.reset();
+      hooks_.reset();
+      clips_ = &clip_index_;  // never leave clips_ aimed at a dead mirror
+      file_.Close();
+      return false;
+    }
+    FinishOpen(opts);
+    pool_->SetWal(&wal_);
+    write_mode_ = true;
+    commit_every_ = opts.commit_every > 0 ? opts.commit_every : 1;
+    // Redo already replayed the newest durable superblock, whose
+    // last_op_seq agrees with the WAL's committed prefix; taking the max
+    // also covers a checkpointed (truncated) log.
+    op_seq_ = std::max(sb_.last_op_seq, recovery_.last_op_seq);
+    height_ = tree_->Height();
+    bounds_ = tree_->bounds();
+    return true;
+  }
+
+  /// Closes the tree. A healthy writer checkpoints (flush + fsync + WAL
+  /// truncate); a poisoned one (io_error(), e.g. a staging failure)
+  /// instead discards its frames and leaves the WAL in place, so the
+  /// file stays at the last durable commit and the next open recovers —
+  /// exactly as if the process had crashed at the failure point. A
+  /// checkpoint failure at close poisons too: io_error() stays readable
+  /// after Close, and callers that need certainty should call
+  /// Checkpoint() themselves and check it.
   void Close() {
+    if (write_mode_ && open_) {
+      if (io_error_ || !Checkpoint()) {
+        io_error_ = true;
+        if (pool_) pool_->DiscardAll();
+      }
+    }
     pool_.reset();
+    wal_.Close();
     file_.Close();
+    if (tree_) {
+      tree_->SetStoreObserver(nullptr);
+      tree_->SetStoreIdSource(nullptr);
+      tree_.reset();
+    }
+    hooks_.reset();
     clip_index_.Clear();
+    clips_ = &clip_index_;
+    spill_of_.clear();
+    update_io_.Reset();
     open_ = false;
+    write_mode_ = false;
+    // io_error_ deliberately survives Close (reset by the next open).
   }
 
   bool is_open() const { return open_; }
+  bool writable() const { return write_mode_; }
 
   /// Sticky: true once any query hit an unreadable or corrupt page and
-  /// returned a truncated traversal. Partial results must not be mistaken
-  /// for small ones — check this after measurement runs.
+  /// returned a truncated traversal, or a write-path page could not be
+  /// staged. Partial results must not be mistaken for small ones — check
+  /// this after measurement runs.
   bool io_error() const { return io_error_; }
 
   // ------------------------------------------------------------- metadata
@@ -176,14 +257,90 @@ class PagedRTree {
   const Superblock& superblock() const { return sb_; }
   uint32_t user_tag() const { return sb_.user_tag; }
   size_t NumObjects() const { return sb_.num_objects; }
-  size_t NumNodes() const { return sb_.num_node_pages; }
+  size_t NumNodes() const { return sb_.num_nodes; }
   int Height() const { return height_; }
   int max_entries() const { return sb_.max_entries; }
   const RectT& bounds() const { return bounds_; }
   bool clipping_enabled() const { return sb_.clipped != 0; }
-  const core::ClipIndex<D>& clip_index() const { return clip_index_; }
+  const core::ClipIndex<D>& clip_index() const { return *clips_; }
   storage::BufferPool& pool() { return *pool_; }
   const storage::PageFile& file() const { return file_; }
+  const storage::Wal& wal() const { return wal_; }
+  const storage::FreePageMap& free_map() const { return free_map_; }
+  /// The memory mirror (write mode only; null otherwise).
+  const RTree<D>* mirror() const { return tree_.get(); }
+  /// Result of the WAL redo pass the last successful open performed.
+  const storage::Wal::RecoveryResult& recovery() const { return recovery_; }
+  /// Operation sequence number of the last committed operation — after a
+  /// crash, the length of the operation-log prefix the file reflects.
+  uint64_t last_committed_op() const { return op_seq_; }
+  /// Cumulative physical I/O of the write path (faulted pages, WAL
+  /// traffic, write-backs; see IoStats).
+  const storage::IoStats& update_io() const { return update_io_; }
+
+  // ---------------------------------------------------------------- update
+
+  /// Inserts one object, staging every modified page through the WAL and
+  /// the buffer pool. Returns false when staging failed — the writer is
+  /// then poisoned (io_error()): the operation never commits, further
+  /// updates are refused, and the next open recovers the file to the
+  /// last durable commit.
+  bool Insert(const RectT& rect, ObjectId oid) {
+    assert(write_mode_);
+    if (io_error_) return false;  // poisoned: mirror and file diverged
+    BeginOp();
+    tree_->Insert(rect, oid);
+    return EndOp();
+  }
+
+  /// Deletes the object with exactly this rect and id; false if absent or
+  /// staging failed (see Insert for failure semantics).
+  bool Delete(const RectT& rect, ObjectId oid) {
+    assert(write_mode_);
+    if (io_error_) return false;
+    BeginOp();
+    const bool found = tree_->Delete(rect, oid);
+    const bool staged = EndOp();
+    return found && staged;
+  }
+
+  /// (Re)builds the clip table under `config` — enabling clipping on an
+  /// unclipped paged tree or retuning an existing one. Rewrites every node
+  /// page (clips travel with their node; runs that no longer fit inline
+  /// relocate to spill pages, runs that shrank release theirs) as ONE
+  /// transaction: every node frame is staged before the commit, so the
+  /// transient footprint is O(file) — the same order as the memory
+  /// mirror itself, i.e. fine in the regime this write mode targets, but
+  /// not an out-of-core rewrite. (The WAL buffer is bounded separately:
+  /// EndOp syncs it whenever it grows past kWalBufferSoftMax.)
+  bool UpdateClips(const core::ClipConfig<D>& config) {
+    assert(write_mode_);
+    if (io_error_) return false;
+    BeginOp();
+    tree_->EnableClipping(config);
+    sb_.clipped = 1;
+    sb_.clip_mode = static_cast<uint8_t>(config.mode);
+    sb_.max_clips = config.max_clips;
+    sb_.tau = config.tau;
+    return EndOp();
+  }
+
+  /// Makes everything durable and resets the WAL: syncs pending commits,
+  /// flushes every dirty frame, fsyncs the page file, truncates the log.
+  bool Checkpoint() {
+    if (!write_mode_ || !open_) return false;
+    if (!wal_.Sync()) return false;
+    if (!pool_->FlushAll()) return false;
+    if (!file_.Sync()) return false;
+    return wal_.Truncate();
+  }
+
+  /// Forces the commit boundary early (group commit flush).
+  bool Commit() {
+    if (!write_mode_) return false;
+    ops_since_sync_ = 0;
+    return wal_.Sync();
+  }
 
   // --------------------------------------------------------------- queries
 
@@ -247,13 +404,13 @@ class PagedRTree {
             m &= m - 1;
             const int64_t child = v.id[i];
             if (child < 0 ||
-                child >= static_cast<int64_t>(sb_.num_node_pages)) {
+                child >= static_cast<int64_t>(sb_.num_section_pages)) {
               io_error_ = true;  // corrupt child pointer; don't follow it
               continue;
             }
             if (clipping_enabled()) {
               if (io) ++io->clip_accesses;
-              if (core::ClipsPruneQuery<D>(clip_index_.Get(child), q)) {
+              if (core::ClipsPruneQuery<D>(clips_->Get(child), q)) {
                 continue;
               }
             }
@@ -329,7 +486,7 @@ class PagedRTree {
           frontier.push({SoaMinDist2<D>(s, i, q), true, v.id[i]});
         } else {
           if (v.id[i] < 0 ||
-              v.id[i] >= static_cast<int64_t>(sb_.num_node_pages)) {
+              v.id[i] >= static_cast<int64_t>(sb_.num_section_pages)) {
             io_error_ = true;
             continue;
           }
@@ -337,7 +494,7 @@ class PagedRTree {
           if (clipping_enabled()) {
             if (io) ++io->clip_accesses;
             bound = core::CbbMinDist2<D>(q, v.EntryRect(i),
-                                         clip_index_.Get(v.id[i]));
+                                         clips_->Get(v.id[i]));
           } else {
             bound = SoaMinDist2<D>(s, i, q);
           }
@@ -377,21 +534,405 @@ class PagedRTree {
   }
 
  private:
-  /// True when the page's declared counts fit the frame; a corrupt page
-  /// must never drive the scan kernels past the pinned bytes.
+  // ----------------------------------------------------------- open helpers
+
+  /// Opens the page file, replays any sidecar WAL (redo to the last
+  /// durable commit), and validates the superblock.
+  bool OpenAndRecover(const std::string& path) {
+    recovery_ = storage::Wal::RecoveryResult{};
+    if (!file_.Open(path, /*create=*/false)) return false;
+    // Bootstrap the page size for recovery from the superblock when it is
+    // believable; a torn superblock leaves it unset and Recover adopts
+    // the WAL header's authoritative size instead.
+    Superblock probe{};
+    if (!file_.ReadRaw(0, &probe, sizeof probe)) {
+      file_.Close();
+      return false;
+    }
+    if (probe.magic == kPagedMagic &&
+        probe.file_page_size >= sizeof(Superblock) &&
+        probe.file_page_size <= serialize_internal::kMaxFilePageSize &&
+        probe.file_page_size % 8 == 0) {
+      file_.set_page_size(probe.file_page_size);
+    }
+    if (!storage::Wal::Recover(WalPathFor(path), &file_, &recovery_)) {
+      file_.Close();
+      return false;
+    }
+    update_io_.recovery_replays += recovery_.pages_replayed;
+    // Now the superblock is the newest durable one.
+    if (!file_.ReadRaw(0, &sb_, sizeof sb_)) {
+      file_.Close();
+      return false;
+    }
+    // Same sanity bounds DeserializeTree applies, plus: every size the
+    // superblock declares must fit the actual file, so a corrupt header
+    // can never drive an allocation or a read off the end. (A file whose
+    // tail pages exist only as WAL images was just made whole by redo.)
+    if (!serialize_internal::SuperblockSane(sb_,
+                                            static_cast<uint32_t>(D))) {
+      file_.Close();
+      return false;
+    }
+    file_.set_page_size(sb_.file_page_size);
+    if ((1 + sb_.num_section_pages) *
+            static_cast<uint64_t>(sb_.file_page_size) >
+        file_.SizeBytes()) {
+      file_.Close();
+      return false;
+    }
+    return true;
+  }
+
+  /// One sequential scan of the section. Always validates the root and
+  /// computes height/bounds. When `into` is set, loads inline + spilled
+  /// clip runs into it (read-only open). When `nodes` is set, decodes
+  /// every node at its file index with clips into `clips`, and free-page
+  /// next links into `free_next` (write-mode open).
+  bool LoadRootAndClips(
+      std::vector<std::byte>* page, core::ClipIndex<D>* into,
+      std::vector<std::pair<storage::PageId, Node<D>>>* nodes,
+      std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>*
+          clips,
+      std::unordered_map<storage::PageId, int64_t>* free_next) {
+    bool root_seen = false;
+    uint64_t node_count = 0;
+    for (uint64_t p = 0; p < sb_.num_section_pages; ++p) {
+      const bool need_page =
+          nodes != nullptr || free_next != nullptr || sb_.clipped ||
+          static_cast<int64_t>(p) == sb_.root_page;
+      if (!need_page) continue;
+      if (!file_.ReadPage(1 + static_cast<int64_t>(p), page->data())) {
+        return false;
+      }
+      NodePageHeader h;
+      std::memcpy(&h, page->data(), sizeof h);
+      if (h.flags & kPageFlagFree) {
+        if (static_cast<int64_t>(p) == sb_.root_page) return false;
+        if (free_next) {
+          (*free_next)[static_cast<storage::PageId>(p)] =
+              FreePageNext(page->data());
+        }
+        continue;
+      }
+      if (h.flags & kPageFlagSpill) {
+        if (static_cast<int64_t>(p) == sb_.root_page) return false;
+        SpillPageView<D> spill;
+        if (!DecodeSpillPage<D>(page->data(), page->size(), &spill)) {
+          return false;
+        }
+        if (spill.owner < 0 ||
+            spill.owner >= static_cast<int64_t>(sb_.num_section_pages)) {
+          return false;
+        }
+        if (into) into->Set(spill.owner, spill.Decode());
+        if (clips) (*clips)[spill.owner] = spill.Decode();
+        if (nodes) {
+          spill_of_[spill.owner] = static_cast<storage::PageId>(p);
+        }
+        continue;
+      }
+      const PagedNodeView<D> v = DecodeNodePage<D>(page->data());
+      if (!ValidPage(v)) return false;
+      ++node_count;
+      if (static_cast<int64_t>(p) == sb_.root_page) {
+        root_seen = true;
+        height_ = v.header.level + 1;
+        bounds_ = RectT::Empty();
+        for (uint32_t i = 0; i < v.n(); ++i) {
+          bounds_.ExpandToInclude(v.EntryRect(i));
+        }
+      }
+      if (v.header.clip_count > 0) {
+        if (into) {
+          into->Set(static_cast<core::NodeId>(p), v.DecodeClips());
+        }
+        if (clips) {
+          (*clips)[static_cast<storage::PageId>(p)] = v.DecodeClips();
+        }
+      }
+      if (nodes) {
+        nodes->emplace_back(static_cast<storage::PageId>(p),
+                            DecodeNode<D>(page->data()));
+      }
+    }
+    if (!root_seen) return false;
+    // The full-scan paths can cross-check the superblock's node count.
+    if ((nodes != nullptr || sb_.clipped) && node_count != sb_.num_nodes) {
+      return false;
+    }
+    return true;
+  }
+
+  void FinishOpen(const OpenOptions& opts) {
+    const size_t frames =
+        opts.pool_pages > 0
+            ? opts.pool_pages
+            : std::max<size_t>(16, sb_.num_section_pages / 10);
+    pool_ = std::make_unique<storage::BufferPool>(frames, &file_);
+    file_.ResetCounters();
+    io_error_ = false;
+    open_ = true;
+  }
+
+  // ------------------------------------------------------------ write path
+
+  /// Store hooks: dirty-set collection + file-owned id allocation.
+  struct StoreHooks : storage::PageStoreObserver, storage::PageIdSource {
+    explicit StoreHooks(PagedRTree* o) : owner(o) {}
+    void OnAllocate(storage::PageId id) override {
+      owner->dirty_.insert(id);
+      owner->born_.insert(id);
+      owner->freed_.erase(id);
+    }
+    void OnFree(storage::PageId id) override {
+      owner->dirty_.erase(id);
+      owner->born_.erase(id);
+      owner->freed_.insert(id);
+      // The node's relocated clip run dies with it.
+      auto it = owner->spill_of_.find(id);
+      if (it != owner->spill_of_.end()) {
+        owner->ReleaseSectionPage(it->second);
+        owner->spill_of_.erase(it);
+      }
+    }
+    void OnTouchMutable(storage::PageId id) override {
+      owner->dirty_.insert(id);
+    }
+    storage::PageId NextId() override {
+      return owner->AllocateSectionPage();
+    }
+    void ReleaseId(storage::PageId id) override {
+      owner->free_map_.Free(id);
+    }
+    PagedRTree* owner;
+  };
+
+  storage::PageId AllocateSectionPage() {
+    const storage::FreePageMap::Alloc a = free_map_.Allocate();
+    return a.id;
+  }
+
+  void ReleaseSectionPage(storage::PageId id) {
+    free_map_.Free(id);
+    born_.erase(id);
+    freed_.insert(id);
+  }
+
+  void BeginOp() {
+    dirty_.clear();
+    born_.clear();
+    freed_.clear();
+    staging_seq_ = op_seq_ + 1;  // the transaction every record is tagged
+  }
+
+  /// Stages one operation: encodes every dirty node page (relocating or
+  /// releasing clip-spill pages as runs grow/shrink), rewrites freed pages
+  /// as free-chain links, refreshes the superblock, appends everything to
+  /// the WAL, and closes the transaction with a commit record. Group
+  /// commit: fsync every `commit_every` operations.
+  ///
+  /// Transaction atomicity: every staged frame stays *pinned* until the
+  /// commit record is appended, so a mid-operation eviction can never push
+  /// a page of an uncommitted transaction into the file (a forced WAL
+  /// flush may durable-ize a commit-less record tail, but recovery
+  /// discards such tails and none of their pages can have reached disk).
+  bool EndOp() {
+    const uint64_t miss0 = pool_->misses();
+    const uint64_t wb0 = pool_->writebacks();
+    const storage::WalStats wal0 = wal_.stats();
+    bool ok = true;
+
+    // Deterministic page order keeps WAL contents reproducible.
+    std::vector<storage::PageId> order(dirty_.begin(), dirty_.end());
+    std::sort(order.begin(), order.end());
+    for (storage::PageId id : order) {
+      if (freed_.count(id) || !tree_->NodeLive(id)) continue;
+      ok &= StageNodePage(id);
+      // Bound the WAL buffer on huge transactions (UpdateClips rewrites
+      // every node): a mid-transaction sync is safe — the record tail
+      // has no commit yet, and op_seq tagging keeps leaked images inert.
+      if (wal_.pending_bytes() > kWalBufferSoftMax) ok &= wal_.Sync();
+    }
+    std::vector<storage::PageId> freed(freed_.begin(), freed_.end());
+    std::sort(freed.begin(), freed.end());
+    for (storage::PageId id : freed) {
+      if (!free_map_.Contains(id)) continue;  // reallocated within the op
+      ok &= StageFreePage(id);
+    }
+    ok &= StageSuperblock();
+    if (ok) {
+      wal_.AppendCommit(staging_seq_);
+      op_seq_ = staging_seq_;
+    } else {
+      // Staging failed: the operation never commits. Durable-ize earlier
+      // group-committed work (this op's leaked images stay inert — no
+      // commit record carries their op_seq), then poison the writer:
+      // frames holding uncommitted mutations are dropped so nothing of
+      // this op can reach the file, and further updates are refused. The
+      // next open recovers the file to the last durable commit.
+      wal_.Sync();
+    }
+    for (const auto& [page, lsn] : staged_pins_) {
+      pool_->Unpin(page, /*dirty=*/true, lsn);
+    }
+    staged_pins_.clear();
+    if (!ok) {
+      pool_->DiscardAll();
+      io_error_ = true;
+      return false;
+    }
+    if (++ops_since_sync_ >= commit_every_) {
+      ops_since_sync_ = 0;
+      ok &= wal_.Sync();
+    }
+
+    height_ = tree_->Height();
+    bounds_ = tree_->bounds();
+    update_io_.page_reads += pool_->misses() - miss0;
+    update_io_.page_writes += pool_->writebacks() - wb0;
+    const storage::WalStats& w = wal_.stats();
+    update_io_.wal_appends += w.appends - wal0.appends;
+    update_io_.wal_bytes += w.bytes - wal0.bytes;
+    update_io_.wal_syncs += w.syncs - wal0.syncs;
+    if (!ok) io_error_ = true;
+    return ok;
+  }
+
+  /// Pins a page frame for full overwrite: pages born this operation have
+  /// no on-disk contents worth reading (PinNew); existing pages fault in
+  /// through the pool like any real paged engine (the physical read is the
+  /// update path's page-read cost).
+  std::byte* PinForStage(storage::PageId id) {
+    if (born_.count(id)) return pool_->PinNew(1 + id);
+    return pool_->PinForWrite(1 + id);
+  }
+
+  bool StageNodePage(storage::PageId id) {
+    const Node<D>& n = tree_->NodeAt(id);
+    const std::span<const core::ClipPoint<D>> clips =
+        sb_.clipped ? clips_->Get(id)
+                    : std::span<const core::ClipPoint<D>>{};
+    std::byte* frame = PinForStage(id);
+    if (!frame) return false;
+    const uint64_t lsn = wal_.next_lsn();
+    staged_pins_.emplace_back(1 + id, lsn);
+    const bool inlined =
+        EncodeNodePage<D>(n, clips, frame, sb_.file_page_size, lsn);
+    wal_.AppendPageImage(1 + id, frame, staging_seq_);
+
+    if (!inlined) {
+      auto it = spill_of_.find(id);
+      storage::PageId sp;
+      if (it != spill_of_.end()) {
+        sp = it->second;  // rewrite the node's existing spill page
+      } else {
+        sp = AllocateSectionPage();
+        born_.insert(sp);
+        freed_.erase(sp);
+        spill_of_[id] = sp;
+      }
+      std::byte* sframe = pool_->PinNew(1 + sp);  // full overwrite, no read
+      if (!sframe) return false;
+      const uint64_t slsn = wal_.next_lsn();
+      staged_pins_.emplace_back(1 + sp, slsn);
+      if (!EncodeSpillPage<D>(id, clips, sframe, sb_.file_page_size,
+                              slsn)) {
+        return false;  // run exceeds a whole page; file page size too small
+      }
+      wal_.AppendPageImage(1 + sp, sframe, staging_seq_);
+    } else {
+      auto it = spill_of_.find(id);
+      if (it != spill_of_.end()) {  // run shrank back inline
+        ReleaseSectionPage(it->second);
+        spill_of_.erase(it);
+        // The released page is staged by the freed-page loop in EndOp
+        // when it is still free by then.
+      }
+    }
+    return true;
+  }
+
+  bool StageFreePage(storage::PageId id) {
+    std::byte* frame = pool_->PinNew(1 + id);  // full overwrite
+    if (!frame) return false;
+    const uint64_t lsn = wal_.next_lsn();
+    staged_pins_.emplace_back(1 + id, lsn);
+    EncodeFreePage(frame, sb_.file_page_size, free_map_.NextOf(id), lsn);
+    wal_.AppendPageImage(1 + id, frame, staging_seq_);
+    return true;
+  }
+
+  bool StageSuperblock() {
+    // The op number rides in the superblock image as well as the commit
+    // record, so it survives the checkpoint truncating the WAL.
+    sb_.last_op_seq = staging_seq_;
+    sb_.num_objects = tree_->NumObjects();
+    sb_.num_nodes = tree_->NumNodes();
+    sb_.num_section_pages = free_map_.SectionPages();
+    sb_.root_page = tree_->root();
+    sb_.free_head = free_map_.head() == storage::kInvalidPage
+                        ? -1
+                        : free_map_.head();
+    sb_.free_count = free_map_.FreeCount();
+    sb_.num_spill_pages = spill_of_.size();
+    if (sb_.clipped) {
+      sb_.num_clip_points = clips_->TotalClipPoints();
+      sb_.num_clipped_nodes = clips_->NumClippedNodes();
+    }
+    std::byte* frame = pool_->PinForWrite(0);
+    if (!frame) return false;
+    const uint64_t lsn = wal_.next_lsn();
+    staged_pins_.emplace_back(0, lsn);
+    sb_.lsn = lsn;
+    std::memset(frame, 0, sb_.file_page_size);
+    std::memcpy(frame, &sb_, sizeof sb_);
+    wal_.AppendPageImage(0, frame, staging_seq_);
+    return true;
+  }
+
+  /// True when the page is a node page whose declared counts fit the
+  /// frame; a corrupt or non-node page must never drive the scan kernels
+  /// past the pinned bytes.
   bool ValidPage(const PagedNodeView<D>& v) const {
-    return PagedNodeBytes<D>(v.n()) + ClipRunBytes<D>(v.header.clip_count) <=
-           sb_.file_page_size;
+    return PageIsNode(v.header) &&
+           PagedNodeBytes<D>(v.n()) +
+                   ClipRunBytes<D>(v.ClipsSpilled() ? 0
+                                                    : v.header.clip_count) <=
+               sb_.file_page_size;
   }
 
   storage::PageFile file_;
   std::unique_ptr<storage::BufferPool> pool_;
   Superblock sb_{};
-  core::ClipIndex<D> clip_index_;
+  core::ClipIndex<D> clip_index_;  // read-only mode's clip table
+  const core::ClipIndex<D>* clips_ = &clip_index_;  // active table
   RectT bounds_ = RectT::Empty();
   int height_ = 1;
   bool open_ = false;
   bool io_error_ = false;
+
+  // Write mode.
+  bool write_mode_ = false;
+  std::unique_ptr<RTree<D>> tree_;  // memory mirror, ids = file indexes
+  std::unique_ptr<StoreHooks> hooks_;
+  storage::Wal wal_;
+  storage::FreePageMap free_map_;
+  storage::Wal::RecoveryResult recovery_;
+  std::unordered_map<storage::PageId, storage::PageId> spill_of_;
+  std::unordered_set<storage::PageId> dirty_;  // touched this op
+  std::unordered_set<storage::PageId> born_;   // allocated this op
+  std::unordered_set<storage::PageId> freed_;  // released this op
+  /// Frames staged this op, pinned until the commit record is appended
+  /// (file page id, WAL LSN of its image).
+  std::vector<std::pair<storage::PageId, uint64_t>> staged_pins_;
+  storage::IoStats update_io_;
+  uint64_t op_seq_ = 0;
+  uint64_t staging_seq_ = 0;  // transaction tag of the op being staged
+  size_t commit_every_ = 1;
+  size_t ops_since_sync_ = 0;
+  /// Mid-transaction WAL-buffer flush threshold (see EndOp).
+  static constexpr size_t kWalBufferSoftMax = size_t{16} << 20;
 };
 
 }  // namespace clipbb::rtree

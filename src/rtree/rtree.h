@@ -109,6 +109,10 @@ class RTree {
         break;
       }
     }
+    // Keep variant-derived per-node state (HR-tree LHVs) exact on the
+    // delete path too, so a maintained tree and one restored from pages
+    // (which recomputes that state) stay structurally interchangeable.
+    OnNodeUpdated(path.back());
     CondenseTree(path);
     if (clipping_) clip_index_.MaybeAge();
     return true;
@@ -306,6 +310,21 @@ class RTree {
   size_t NumObjects() const { return num_objects_; }
   size_t NumNodes() const { return store_.Size(); }
 
+  // ------------------------------------------------- paged write-mode hooks
+  // The paged writer (rtree/paged_rtree.h) mirrors this tree onto a page
+  // file: the observer collects the dirty/allocated/freed page set of each
+  // operation (every mutable store access marks its page — the update path
+  // only takes mutable references on nodes it writes), and the id source
+  // routes allocation through the file's free-page map so store ids stay
+  // equal to file page indexes.
+
+  void SetStoreObserver(storage::PageStoreObserver* obs) {
+    store_.SetObserver(obs);
+  }
+  void SetStoreIdSource(storage::PageIdSource* src) {
+    store_.SetIdSource(src);
+  }
+
   /// Depth-first visit of every live node id.
   template <typename F>
   void ForEachNode(F&& fn) const {
@@ -480,12 +499,29 @@ class RTree {
       const RTreeOptions& opts, std::vector<NodeT> nodes, PageId new_root,
       size_t num_objects, bool clipped, const ClipConfigT& cfg,
       std::unordered_map<PageId, std::vector<core::ClipPoint<D>>> clips) {
+    std::vector<std::pair<PageId, NodeT>> placed;
+    placed.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      placed.emplace_back(static_cast<PageId>(i), std::move(nodes[i]));
+    }
+    RestoreFromPagedLayout(opts, nodes.size(), std::move(placed), new_root,
+                           num_objects, clipped, cfg, std::move(clips));
+  }
+
+  /// Restores a tree whose id space mirrors a paged file's allocatable
+  /// section exactly (rtree/paged_rtree.h write mode): each node is placed
+  /// at its file section index; indexes not named (free pages, clip-spill
+  /// pages) stay dead slots, so store ids remain equal to file page
+  /// indexes. Free-list management belongs to the attached IdSource then.
+  void RestoreFromPagedLayout(
+      const RTreeOptions& opts, size_t capacity,
+      std::vector<std::pair<PageId, NodeT>> nodes, PageId new_root,
+      size_t num_objects, bool clipped, const ClipConfigT& cfg,
+      std::unordered_map<PageId, std::vector<core::ClipPoint<D>>> clips) {
     opts_ = ResolveOptions<D>(opts);
     store_.Clear();
-    for (auto& n : nodes) {
-      const PageId id = store_.Allocate();
-      store_.At(id) = std::move(n);
-    }
+    store_.EnsureCapacity(capacity);
+    for (auto& [id, n] : nodes) store_.AllocateAt(id, std::move(n));
     root_ = new_root;
     num_objects_ = num_objects;
     // Variant-derived per-node state (HR-tree LHVs) is not persisted by the
@@ -754,11 +790,14 @@ class RTree {
         const RectT new_mbb = n.ComputeMbb();
         if (!(pn.entries[ci].rect == new_mbb)) {
           pn.entries[ci].rect = new_mbb;
-          OnNodeUpdated(parent);
           if (clipping_) Reclip(nid, ReclipCause::kMbbChange);
         }
-        // Lazy rule (§IV-D): content removal without MBB change never
-        // requires a re-clip.
+        // The parent's variant state can depend on the child's even when
+        // the MBB is unchanged (an HR leaf's LHV may drop without moving
+        // its box); refresh unconditionally so maintained state matches a
+        // bottom-up recomputation. Lazy rule (§IV-D) still holds: content
+        // removal without MBB change never requires a re-clip.
+        OnNodeUpdated(parent);
       }
     }
     // Root MBB shrank: its clip anchors are stale (they may now lie

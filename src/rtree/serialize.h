@@ -1,16 +1,20 @@
 // Binary persistence for (clipped) R-trees in the *paged* on-disk format
-// (rtree/page_format.h): one superblock page, one packed page per node
-// (entries SoA + inline clip run), and a clip-spill section for runs that
-// did not fit their page — the "index disk dump" of the paper's
-// scalability setup (§V, Fig. 15).
+// (rtree/page_format.h): one superblock page, then the allocatable section
+// — one packed page per node (entries SoA + inline clip run), with clip
+// runs that did not fit their page relocated to interleaved clip-spill
+// pages — the "index disk dump" of the paper's scalability setup (§V,
+// Fig. 15).
 //
 // The same bytes serve two readers: DeserializeTree restores a fully
 // memory-resident RTree (node ids remapped to dense DFS-from-root order, so
 // the restored tree is structurally identical up to page numbering), and
-// PagedRTree (rtree/paged_rtree.h) opens the file disk-resident, reading
-// node pages on demand through the buffer pool. Queries, statistics, and
-// clip points are preserved exactly; HR-tree LHVs are recomputed bottom-up
-// on restore instead of being stored.
+// PagedRTree (rtree/paged_rtree.h) opens the file disk-resident — read-only
+// (node pages fetched on demand through the buffer pool) or read-write
+// (in-place page updates under WAL protection; a file that has seen paged
+// updates may contain free pages and a non-trivial free chain, which both
+// readers here skip). Queries, statistics, and clip points are preserved
+// exactly; HR-tree LHVs are recomputed bottom-up on restore instead of
+// being stored.
 #ifndef CLIPBB_RTREE_SERIALIZE_H_
 #define CLIPBB_RTREE_SERIALIZE_H_
 
@@ -35,19 +39,39 @@ inline size_t RoundUpTo(size_t n, size_t align) {
   return (n + align - 1) / align * align;
 }
 
+/// Shared superblock sanity bounds (stream and paged-file readers).
+inline bool SuperblockSane(const Superblock& sb, uint32_t dim) {
+  return sb.magic == kPagedMagic && sb.dim == dim &&
+         sb.file_page_size >= sizeof(Superblock) &&
+         sb.file_page_size <= kMaxFilePageSize &&
+         sb.file_page_size % 8 == 0 && sb.num_section_pages > 0 &&
+         sb.num_nodes > 0 && sb.num_nodes <= sb.num_section_pages &&
+         sb.root_page >= 0 &&
+         sb.root_page < static_cast<int64_t>(sb.num_section_pages) &&
+         sb.free_count <= sb.num_section_pages &&
+         (sb.free_head == -1 ||
+          (sb.free_head >= 0 &&
+           sb.free_head < static_cast<int64_t>(sb.num_section_pages)));
+}
+
 }  // namespace serialize_internal
 
 /// Page frame size used when serializing `tree`: the configured page size,
-/// grown (to the next 8-byte multiple) when some node outgrows it — e.g.
-/// trees configured with max_entries explicitly rather than derived from
-/// page_size.
+/// grown (to the next 8-byte multiple) when some node or clip run outgrows
+/// it — e.g. trees configured with max_entries explicitly rather than
+/// derived from page_size, or clip configs whose runs exceed a spill page.
 template <int D>
 uint32_t SerializedPageSize(const RTree<D>& tree) {
   size_t page = static_cast<size_t>(tree.options().page_size);
   if (page < sizeof(Superblock)) page = sizeof(Superblock);
-  tree.ForEachNode([&](storage::PageId, const Node<D>& n) {
+  tree.ForEachNode([&](storage::PageId id, const Node<D>& n) {
     const size_t need = PagedNodeBytes<D>(n.entries.size());
     if (need > page) page = need;
+    if (tree.clipping_enabled()) {
+      const size_t spill =
+          SpillPageBytes<D>(tree.clip_index().Get(id).size());
+      if (spill > page) page = spill;
+    }
   });
   return static_cast<uint32_t>(serialize_internal::RoundUpTo(page, 8));
 }
@@ -62,12 +86,26 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
   const auto start = out.tellp();
   const uint32_t page_size = SerializedPageSize<D>(tree);
 
-  // Dense id remap in DFS-from-root visit order: root becomes node page 0.
+  // Pass 1 — assign section indexes in DFS-from-root visit order (root
+  // becomes section page 0), interleaving each spilled clip run's page
+  // right after its owner so related pages stay adjacent on disk.
   std::unordered_map<storage::PageId, storage::PageId> remap;
   std::vector<storage::PageId> order;
-  tree.ForEachNode([&](storage::PageId id, const Node<D>&) {
-    remap[id] = static_cast<storage::PageId>(order.size());
+  uint64_t num_spill_pages = 0;
+  int64_t next_index = 0;
+  tree.ForEachNode([&](storage::PageId id, const Node<D>& n) {
+    remap[id] = next_index++;
     order.push_back(id);
+    if (tree.clipping_enabled()) {
+      const auto clips = tree.clip_index().Get(id);
+      if (!clips.empty() &&
+          PagedNodeBytes<D>(n.entries.size()) +
+                  ClipRunBytes<D>(clips.size()) >
+              page_size) {
+        ++next_index;  // the spill page directly after the node
+        ++num_spill_pages;
+      }
+    }
   });
 
   Superblock sb;
@@ -79,7 +117,9 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
   sb.min_entries = tree.options().min_entries;
   sb.clipped = tree.clipping_enabled() ? 1 : 0;
   sb.num_objects = tree.NumObjects();
-  sb.num_node_pages = order.size();
+  sb.num_section_pages = static_cast<uint64_t>(next_index);
+  sb.num_nodes = order.size();
+  sb.num_spill_pages = num_spill_pages;
   sb.root_page = remap.at(tree.root());
   if (tree.clipping_enabled()) {
     sb.clip_mode = static_cast<uint8_t>(tree.clip_config().mode);
@@ -89,9 +129,8 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
     sb.num_clipped_nodes = tree.clip_index().NumClippedNodes();
   }
 
-  // Encode node pages, spilling clip runs that don't fit inline.
+  // Pass 2 — encode and write the pages.
   std::vector<std::byte> page(page_size);
-  std::vector<std::byte> spill;
   const auto write_page = [&](const std::byte* p) {
     out.write(reinterpret_cast<const char*>(p), page_size);
   };
@@ -114,28 +153,17 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
     const std::span<const core::ClipPoint<D>> clips =
         tree.clipping_enabled() ? tree.clip_index().Get(id)
                                 : std::span<const core::ClipPoint<D>>{};
-    if (!EncodeNodePage<D>(packed, clips, page.data(), page_size)) {
-      AppendClipSpill<D>(remap.at(id), clips, &spill);
-    }
+    const bool inlined =
+        EncodeNodePage<D>(packed, clips, page.data(), page_size);
     write_page(page.data());
-  }
-
-  // Spill section, padded to whole pages. The byte length travels in the
-  // superblock, which was already written — so rewrite it via seekp when
-  // the stream supports it; ostringstream/filestreams both do.
-  sb.clip_spill_bytes = spill.size();
-  if (!spill.empty()) {
-    const size_t padded =
-        serialize_internal::RoundUpTo(spill.size(), page_size);
-    spill.resize(padded);  // zero padding; the true length is in sb
-    out.write(reinterpret_cast<const char*>(spill.data()), padded);
+    if (!inlined) {
+      if (!EncodeSpillPage<D>(remap.at(id), clips, page.data(), page_size)) {
+        return 0;  // run exceeds a whole page (page size was grown to fit)
+      }
+      write_page(page.data());
+    }
   }
   const auto end = out.tellp();
-  if (sb.clip_spill_bytes > 0) {
-    out.seekp(start);
-    out.write(reinterpret_cast<const char*>(&sb), sizeof sb);
-    out.seekp(end);
-  }
   if (!out) return 0;
   return static_cast<size_t>(end - start);
 }
@@ -143,33 +171,39 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
 /// Restores a tree previously written by SerializeTree into `tree`
 /// (which supplies the variant's query/update behaviour; its previous
 /// contents are discarded). Returns false on format mismatch. `user_tag`
-/// receives the tag passed to SerializeTree when non-null.
+/// receives the tag passed to SerializeTree when non-null. Files that have
+/// seen paged in-place updates restore too: free pages are skipped and the
+/// surviving nodes are re-densified.
 template <int D>
 bool DeserializeTree(std::istream& in, RTree<D>* tree,
                      uint32_t* user_tag = nullptr) {
   Superblock sb;
   if (!in.read(reinterpret_cast<char*>(&sb), sizeof sb)) return false;
-  if (sb.magic != kPagedMagic) return false;
-  if (sb.dim != static_cast<uint32_t>(D)) return false;
-  if (sb.file_page_size < sizeof(Superblock) ||
-      sb.file_page_size > serialize_internal::kMaxFilePageSize ||
-      sb.file_page_size % 8 != 0) {
-    return false;
-  }
-  if (sb.num_node_pages == 0 ||
-      sb.root_page < 0 ||
-      sb.root_page >= static_cast<int64_t>(sb.num_node_pages)) {
+  if (!serialize_internal::SuperblockSane(sb, static_cast<uint32_t>(D))) {
     return false;
   }
   in.ignore(sb.file_page_size - sizeof sb);
 
   std::vector<std::byte> page(sb.file_page_size);
-  std::vector<Node<D>> nodes(sb.num_node_pages);
+  std::vector<Node<D>> nodes;  // dense, in ascending section-index order
+  nodes.reserve(sb.num_nodes);
+  std::unordered_map<storage::PageId, storage::PageId> dense;  // file -> id
   std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>
-      clip_table;
-  for (uint64_t p = 0; p < sb.num_node_pages; ++p) {
+      clip_table;  // keyed by FILE index until the remap below
+  for (uint64_t p = 0; p < sb.num_section_pages; ++p) {
     if (!in.read(reinterpret_cast<char*>(page.data()), page.size())) {
       return false;
+    }
+    NodePageHeader h;
+    std::memcpy(&h, page.data(), sizeof h);
+    if (h.flags & kPageFlagFree) continue;
+    if (h.flags & kPageFlagSpill) {
+      SpillPageView<D> spill;
+      if (!DecodeSpillPage<D>(page.data(), page.size(), &spill)) {
+        return false;
+      }
+      clip_table[spill.owner] = spill.Decode();
+      continue;
     }
     const PagedNodeView<D> view = DecodeNodePage<D>(page.data());
     if (PagedNodeBytes<D>(view.n()) +
@@ -177,31 +211,34 @@ bool DeserializeTree(std::istream& in, RTree<D>* tree,
         page.size()) {
       return false;  // corrupt counts
     }
-    nodes[p] = DecodeNode<D>(page.data());
+    dense[static_cast<storage::PageId>(p)] =
+        static_cast<storage::PageId>(nodes.size());
+    nodes.push_back(DecodeNode<D>(page.data()));
     if (view.header.clip_count > 0) {
       clip_table[static_cast<storage::PageId>(p)] = view.DecodeClips();
     }
   }
+  if (nodes.size() != sb.num_nodes) return false;
+  const auto root_it = dense.find(sb.root_page);
+  if (root_it == dense.end()) return false;
 
-  if (sb.clip_spill_bytes > 0) {
-    // A spill record holds at most one run per node, so a believable
-    // spill section is bounded by the node count; reject corrupt sizes
-    // before they reach the allocator.
-    if (sb.clip_spill_bytes >
-        (sb.num_node_pages + 1) *
-            static_cast<uint64_t>(sb.file_page_size)) {
-      return false;
+  // Entry child pointers and clip-table keys carry file section indexes;
+  // remap both onto the dense id space.
+  for (Node<D>& n : nodes) {
+    if (n.IsLeaf()) continue;
+    for (Entry<D>& e : n.entries) {
+      const auto it = dense.find(e.id);
+      if (it == dense.end()) return false;  // child points at a non-node
+      e.id = it->second;
     }
-    std::vector<std::byte> spill(sb.clip_spill_bytes);
-    if (!in.read(reinterpret_cast<char*>(spill.data()), spill.size())) {
-      return false;
-    }
-    const bool ok = ParseClipSpill<D>(
-        spill.data(), spill.size(),
-        [&](int64_t node_page, std::vector<core::ClipPoint<D>> clips) {
-          clip_table[node_page] = std::move(clips);
-        });
-    if (!ok) return false;
+  }
+  std::unordered_map<storage::PageId, std::vector<core::ClipPoint<D>>>
+      clips_dense;
+  clips_dense.reserve(clip_table.size());
+  for (auto& [file_id, clips] : clip_table) {
+    const auto it = dense.find(file_id);
+    if (it == dense.end()) return false;  // clips for a non-node
+    clips_dense[it->second] = std::move(clips);
   }
 
   core::ClipConfig<D> cfg;
@@ -214,9 +251,9 @@ bool DeserializeTree(std::istream& in, RTree<D>* tree,
   opts.page_size = sb.page_size;
   opts.max_entries = sb.max_entries;
   opts.min_entries = sb.min_entries;
-  tree->RestoreFromPages(opts, std::move(nodes), sb.root_page,
+  tree->RestoreFromPages(opts, std::move(nodes), root_it->second,
                          sb.num_objects, sb.clipped != 0, cfg,
-                         std::move(clip_table));
+                         std::move(clips_dense));
   if (user_tag) *user_tag = sb.user_tag;
   return true;
 }

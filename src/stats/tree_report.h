@@ -17,8 +17,8 @@ namespace clipbb::stats {
 /// One-line rendering of an IoStats block: the logical access counts the
 /// paper reports plus the physical page transfers of the paged engine.
 inline std::string FormatIoStats(const storage::IoStats& io) {
-  char buf[192];
-  std::snprintf(
+  char buf[256];
+  int n = std::snprintf(
       buf, sizeof buf,
       "%llu internal + %llu leaf accesses (%llu contributing), "
       "%llu clip lookups, %llu page reads, %llu page writes",
@@ -28,6 +28,15 @@ inline std::string FormatIoStats(const storage::IoStats& io) {
       static_cast<unsigned long long>(io.clip_accesses),
       static_cast<unsigned long long>(io.page_reads),
       static_cast<unsigned long long>(io.page_writes));
+  if (n > 0 && (io.wal_appends > 0 || io.wal_syncs > 0 ||
+                io.recovery_replays > 0)) {
+    std::snprintf(buf + n, sizeof buf - n,
+                  ", %llu wal appends (%llu B, %llu syncs), %llu recovered",
+                  static_cast<unsigned long long>(io.wal_appends),
+                  static_cast<unsigned long long>(io.wal_bytes),
+                  static_cast<unsigned long long>(io.wal_syncs),
+                  static_cast<unsigned long long>(io.recovery_replays));
+  }
   return std::string(buf);
 }
 

@@ -1,6 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <cstring>
+
+#include "storage/wal.h"
 
 namespace clipbb::storage {
 
@@ -69,6 +72,7 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty) {
   f.loaded = true;
   f.pins = 1;
   f.dirty = dirty;
+  f.lsn = 0;
   return f.data.get();
 }
 
@@ -76,12 +80,34 @@ const std::byte* BufferPool::Pin(PageId id) { return PinImpl(id, false); }
 
 std::byte* BufferPool::PinForWrite(PageId id) { return PinImpl(id, true); }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
+std::byte* BufferPool::PinNew(PageId id) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    if (capacity_ > 0 && map_.size() >= capacity_) EvictOne();
+    it = map_.try_emplace(id).first;
+  }
+  Frame& f = it->second;
+  if (f.in_lru) {
+    lru_.erase(f.lru_it);
+    f.in_lru = false;
+  }
+  if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
+  std::memset(f.data.get(), 0, file_->page_size());
+  f.loaded = true;
+  f.pins += 1;
+  f.dirty = true;
+  f.lsn = 0;
+  return f.data.get();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty, uint64_t lsn) {
   auto it = map_.find(id);
   assert(it != map_.end() && it->second.pins > 0);
   if (it == map_.end()) return;
   Frame& f = it->second;
   f.dirty |= dirty;
+  if (lsn > f.lsn) f.lsn = lsn;
   if (f.pins > 0 && --f.pins == 0) {
     MoveToFront(id, f);
     // Shrink any transient overage created while everything was pinned.
@@ -89,6 +115,25 @@ void BufferPool::Unpin(PageId id, bool dirty) {
       if (!EvictOne()) break;
     }
   }
+}
+
+bool BufferPool::WriteBack(PageId id, Frame& f) {
+  // WAL rule: the record covering these bytes must be durable before the
+  // page file sees them; otherwise a crash after this write leaves a page
+  // no committed log prefix can explain.
+  if (wal_ != nullptr && f.lsn > wal_->durable_lsn()) {
+    ++wal_forced_syncs_;
+    if (!wal_->Sync()) {
+      ++write_failures_;  // cannot write back without breaking the rule
+      return false;
+    }
+  }
+  if (!file_->WritePage(id, f.data.get())) {
+    ++write_failures_;
+    return false;
+  }
+  ++writebacks_;
+  return true;
 }
 
 bool BufferPool::EvictOne() {
@@ -99,13 +144,9 @@ bool BufferPool::EvictOne() {
   assert(it != map_.end());
   Frame& f = it->second;
   if (f.dirty && f.loaded && file_) {
-    if (file_->WritePage(victim, f.data.get())) {
-      ++writebacks_;
-    } else {
-      // The frame is gone either way; make the data loss observable
-      // instead of counting it as a successful write-back.
-      ++write_failures_;
-    }
+    // The frame is gone either way; WriteBack makes a failure observable
+    // (write_failures) instead of counting it as a successful write-back.
+    WriteBack(victim, f);
   }
   map_.erase(it);
   return true;
@@ -115,11 +156,9 @@ bool BufferPool::FlushAll() {
   bool ok = true;
   for (auto& [id, f] : map_) {
     if (f.dirty && f.loaded && file_) {
-      if (file_->WritePage(id, f.data.get())) {
-        ++writebacks_;
+      if (WriteBack(id, f)) {
         f.dirty = false;
       } else {
-        ++write_failures_;
         ok = false;
       }
     }
@@ -132,6 +171,12 @@ void BufferPool::Clear() {
   lru_.clear();
   map_.clear();
   ResetCounters();
+}
+
+void BufferPool::DiscardAll() {
+  assert(lru_.size() == map_.size());  // nothing pinned
+  lru_.clear();
+  map_.clear();
 }
 
 }  // namespace clipbb::storage

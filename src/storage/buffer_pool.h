@@ -12,6 +12,13 @@
 //    returns the frame to the LRU, optionally marking it dirty. If every
 //    frame is pinned the pool grows transiently and shrinks back on Unpin.
 //
+// Write path (rtree/paged_rtree.h write mode): PinNew hands out a zeroed
+// frame without reading the file (freshly allocated pages have no old
+// contents worth a read), and dirty frames carry the LSN of the WAL record
+// covering their contents. When a Wal is attached, the pool enforces the
+// WAL rule — a dirty frame is written back only after its record is
+// durable (flushed-LSN >= frame-LSN), syncing the log first if needed.
+//
 // Not thread-safe; one pool per querying thread.
 #ifndef CLIPBB_STORAGE_BUFFER_POOL_H_
 #define CLIPBB_STORAGE_BUFFER_POOL_H_
@@ -26,6 +33,8 @@
 #include "storage/page_store.h"
 
 namespace clipbb::storage {
+
+class Wal;
 
 class BufferPool {
  public:
@@ -54,29 +63,54 @@ class BufferPool {
   /// eviction (or FlushAll) writes it back to the file.
   std::byte* PinForWrite(PageId id);
 
-  /// Releases a pin taken by Pin/PinForWrite.
-  void Unpin(PageId id, bool dirty = false);
+  /// Pin for a page that has no on-disk contents yet (just allocated):
+  /// returns a zeroed dirty frame without reading the file. Reuses the
+  /// cached frame when one exists (a recycled free page), still zeroed.
+  std::byte* PinNew(PageId id);
 
-  /// Writes every dirty frame back to the file. Returns false on any write
-  /// failure (remaining frames are still attempted).
+  /// Releases a pin taken by Pin/PinForWrite/PinNew. A non-zero `lsn`
+  /// records the WAL LSN covering the frame's current contents (the frame
+  /// keeps the highest LSN seen; see SetWal).
+  void Unpin(PageId id, bool dirty = false, uint64_t lsn = 0);
+
+  /// Writes every dirty frame back to the file (WAL first when attached).
+  /// Returns false on any write failure (remaining frames still
+  /// attempted).
   bool FlushAll();
+
+  /// Attaches the write-ahead log whose records cover this pool's dirty
+  /// frames. With a log attached, no dirty frame reaches the file before
+  /// its record: write-back syncs the log when flushed-LSN < frame-LSN.
+  void SetWal(Wal* wal) { wal_ = wal; }
 
   bool Resident(PageId id) const { return map_.contains(id); }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t writebacks() const { return writebacks_; }
+  /// WAL syncs forced by the write-back rule (eviction or flush reached a
+  /// dirty frame whose record was not yet durable).
+  uint64_t wal_forced_syncs() const { return wal_forced_syncs_; }
   /// Dirty frames whose write-back failed (their modifications are lost);
   /// nonzero means the file no longer reflects every PinForWrite.
   uint64_t write_failures() const { return write_failures_; }
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
 
-  void ResetCounters() { hits_ = misses_ = writebacks_ = write_failures_ = 0; }
+  void ResetCounters() {
+    hits_ = misses_ = writebacks_ = write_failures_ = wal_forced_syncs_ = 0;
+  }
 
   /// Drops every frame (dirty frames are written back first in content
   /// mode) and resets the counters.
   void Clear();
+
+  /// Drops every frame WITHOUT write-back — dirty contents are discarded.
+  /// The poisoned-writer path uses this: after a staging failure the
+  /// frames hold uncommitted mutations that must never reach the file;
+  /// dropping them leaves the file at the last durable commit (plus
+  /// whatever the WAL replays on the next open). Frames must be unpinned.
+  void DiscardAll();
 
  private:
   struct Frame {
@@ -85,6 +119,7 @@ class BufferPool {
     bool dirty = false;
     bool loaded = false;
     bool in_lru = false;
+    uint64_t lsn = 0;  // highest WAL LSN covering the contents
     std::list<PageId>::iterator lru_it;
   };
 
@@ -92,14 +127,18 @@ class BufferPool {
   /// Evicts the LRU unpinned frame (writing back when dirty); false when
   /// every frame is pinned.
   bool EvictOne();
+  /// WAL-rule write-back of one dirty frame.
+  bool WriteBack(PageId id, Frame& f);
   void MoveToFront(PageId id, Frame& f);
 
   size_t capacity_;
   PageFile* file_ = nullptr;
+  Wal* wal_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t writebacks_ = 0;
   uint64_t write_failures_ = 0;
+  uint64_t wal_forced_syncs_ = 0;
   std::list<PageId> lru_;  // front = most recent; unpinned frames only
   std::unordered_map<PageId, Frame> map_;
 };

@@ -1,0 +1,89 @@
+// Write-fault injection for crash-recovery testing.
+//
+// A CrashPoint counts every physical write the storage layer performs
+// (page-file page/raw writes and WAL flushes). When armed with a budget of
+// N, the (N+1)-th write never reaches the file — the process dies on the
+// spot with _exit(kCrashExitCode), optionally after emitting a torn prefix
+// of the write (modelling a power cut mid-sector). Recovery tests fork a
+// child, arm a kill point, run a workload, and verify that the parent can
+// reopen the files the dead child left behind.
+//
+// Arming:
+//   * programmatically via Arm(n, torn) / Disarm();
+//   * from the environment via ArmFromEnv(): CLIPBB_CRASH_AFTER_N_WRITES=N
+//     (plus CLIPBB_CRASH_TORN=1 for a torn final write) — the knob the CI
+//     fault-injection sweep drives.
+//
+// Disarmed (the default), the hook is a single relaxed-atomic increment.
+// The counter is process-global; tests that fork arm it in the child only.
+#ifndef CLIPBB_STORAGE_CRASH_POINT_H_
+#define CLIPBB_STORAGE_CRASH_POINT_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+namespace clipbb::storage {
+
+/// Exit code of a process killed by an armed crash point; distinguishes an
+/// injected crash from a real failure in recovery tests.
+inline constexpr int kCrashExitCode = 42;
+
+namespace crash_internal {
+inline std::atomic<uint64_t> writes{0};
+inline std::atomic<uint64_t> budget{0};  // 0 = disarmed
+inline std::atomic<bool> torn{false};
+}  // namespace crash_internal
+
+/// Arms the crash point: the (n+1)-th physical write from now exits the
+/// process. `torn_write` makes the fatal write emit its first half before
+/// dying, modelling a torn page/record that recovery must detect.
+inline void CrashPointArm(uint64_t n, bool torn_write = false) {
+  crash_internal::writes.store(0, std::memory_order_relaxed);
+  crash_internal::torn.store(torn_write, std::memory_order_relaxed);
+  crash_internal::budget.store(n + 1, std::memory_order_relaxed);
+}
+
+inline void CrashPointDisarm() {
+  crash_internal::budget.store(0, std::memory_order_relaxed);
+}
+
+/// Reads CLIPBB_CRASH_AFTER_N_WRITES / CLIPBB_CRASH_TORN and arms when set.
+/// Returns true when an injection point was armed.
+inline bool CrashPointArmFromEnv() {
+  const char* v = std::getenv("CLIPBB_CRASH_AFTER_N_WRITES");
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v) return false;
+  const char* t = std::getenv("CLIPBB_CRASH_TORN");
+  CrashPointArm(n, t != nullptr && *t == '1');
+  return true;
+}
+
+/// Physical writes observed since the last Arm (or process start).
+inline uint64_t CrashPointWrites() {
+  return crash_internal::writes.load(std::memory_order_relaxed);
+}
+
+/// Hook called by the storage layer before each physical write syscall.
+/// `write_half` performs the torn prefix when the fatal write is torn; it
+/// receives the number of bytes to emit and must not recurse into the hook.
+/// Does not return when the armed budget is exhausted.
+template <typename WriteHalf>
+inline void CrashPointBeforeWrite(uint64_t len, WriteHalf&& write_half) {
+  const uint64_t b = crash_internal::budget.load(std::memory_order_relaxed);
+  const uint64_t seen =
+      crash_internal::writes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (b == 0 || seen < b) return;
+  if (crash_internal::torn.load(std::memory_order_relaxed) && len > 1) {
+    write_half(len / 2);
+  }
+  ::_exit(kCrashExitCode);  // no atexit/flush — this is a simulated crash
+}
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_CRASH_POINT_H_

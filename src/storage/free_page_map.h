@@ -1,0 +1,96 @@
+// Free-page map of the paged storage engine.
+//
+// The page file's allocatable section (everything after the superblock) is
+// managed as a LIFO free list: the superblock anchors the chain head and
+// count, and each free page stores the id of the next free page in its own
+// body. This in-memory mirror is rebuilt at open by walking the chain and
+// is the allocation authority while the file is open — Allocate pops the
+// head (reusing a freed page before ever growing the file), Free pushes a
+// new head. Because pushes and pops only touch the top of the stack, a
+// mutation dirties at most the superblock and one page, and the on-disk
+// chain below the head is never rewritten.
+//
+// The map is pure bookkeeping: encoding free pages and the superblock is
+// the page format's job (rtree/page_format.h); persistence and crash
+// safety are the writer's (WAL page images).
+#ifndef CLIPBB_STORAGE_FREE_PAGE_MAP_H_
+#define CLIPBB_STORAGE_FREE_PAGE_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_store.h"
+
+namespace clipbb::storage {
+
+class FreePageMap {
+ public:
+  /// Resets to a section of `section_pages` allocatable pages with the
+  /// given free chain, head first (the order a walk from the superblock's
+  /// free_head yields).
+  void Reset(uint64_t section_pages, std::vector<PageId> chain_from_head) {
+    section_pages_ = section_pages;
+    stack_.assign(chain_from_head.rbegin(), chain_from_head.rend());
+    pos_.clear();
+    for (size_t i = 0; i < stack_.size(); ++i) pos_[stack_[i]] = i;
+  }
+
+  struct Alloc {
+    PageId id = kInvalidPage;
+    bool extended = false;  // the section grew; the page is brand new
+  };
+
+  /// Pops the head free page; extends the section only when none is free.
+  Alloc Allocate() {
+    Alloc a;
+    if (!stack_.empty()) {
+      a.id = stack_.back();
+      stack_.pop_back();
+      pos_.erase(a.id);
+      return a;
+    }
+    a.id = static_cast<PageId>(section_pages_++);
+    a.extended = true;
+    return a;
+  }
+
+  /// Pushes `id` as the new chain head. The caller re-encodes the page as
+  /// a free page pointing at the previous head (NextOf after the push).
+  void Free(PageId id) {
+    assert(id >= 0 && id < static_cast<PageId>(section_pages_));
+    assert(!Contains(id));
+    pos_[id] = stack_.size();
+    stack_.push_back(id);
+  }
+
+  /// Chain head (the page Allocate would return next), or kInvalidPage.
+  PageId head() const { return stack_.empty() ? kInvalidPage : stack_.back(); }
+
+  /// The page `id` points at in the on-disk chain: the element below it in
+  /// the stack, or kInvalidPage for the bottom. `id` must be free.
+  PageId NextOf(PageId id) const {
+    auto it = pos_.find(id);
+    assert(it != pos_.end());
+    return it->second == 0 ? kInvalidPage : stack_[it->second - 1];
+  }
+
+  bool Contains(PageId id) const { return pos_.count(id) > 0; }
+  size_t FreeCount() const { return stack_.size(); }
+  uint64_t SectionPages() const { return section_pages_; }
+
+  /// Free ids from the chain head down (superblock walk order).
+  std::vector<PageId> ChainFromHead() const {
+    return std::vector<PageId>(stack_.rbegin(), stack_.rend());
+  }
+
+ private:
+  uint64_t section_pages_ = 0;
+  std::vector<PageId> stack_;  // back = chain head
+  std::unordered_map<PageId, size_t> pos_;
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_FREE_PAGE_MAP_H_

@@ -2,9 +2,10 @@
 // (internal nodes and the clip table are assumed memory-resident, §V-C);
 // we additionally count internal accesses, result-contributing leaf
 // accesses (for the Fig. 1c optimality ratio), clip-table lookups, and —
-// on the paged storage engine — the physical page transfers: reads from
-// the page file (buffer-pool misses) and writes (dirty evictions and
-// flushes).
+// on the paged storage engine — the physical transfers: page reads from
+// the page file (buffer-pool misses), page writes (dirty evictions and
+// flushes), write-ahead-log appends/bytes/syncs, and pages replayed by
+// crash recovery.
 #ifndef CLIPBB_STORAGE_IO_STATS_H_
 #define CLIPBB_STORAGE_IO_STATS_H_
 
@@ -23,6 +24,14 @@ struct IoStats {
   uint64_t page_reads = 0;
   /// Physical page writes to the page file (dirty evictions + flushes).
   uint64_t page_writes = 0;
+  /// Write-ahead-log records appended (page images + commits).
+  uint64_t wal_appends = 0;
+  /// Write-ahead-log bytes appended.
+  uint64_t wal_bytes = 0;
+  /// Write-ahead-log fsyncs (commit boundaries + forced by write-back).
+  uint64_t wal_syncs = 0;
+  /// Page images replayed by WAL redo at open (crash recovery).
+  uint64_t recovery_replays = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -33,6 +42,10 @@ struct IoStats {
     clip_accesses += o.clip_accesses;
     page_reads += o.page_reads;
     page_writes += o.page_writes;
+    wal_appends += o.wal_appends;
+    wal_bytes += o.wal_bytes;
+    wal_syncs += o.wal_syncs;
+    recovery_replays += o.recovery_replays;
     return *this;
   }
 

@@ -6,6 +6,8 @@
 
 #include <cerrno>
 
+#include "storage/crash_point.h"
+
 namespace clipbb::storage {
 
 namespace {
@@ -80,8 +82,11 @@ bool PageFile::ReadPage(int64_t page, void* buf) {
 bool PageFile::WritePage(int64_t page, const void* buf) {
   if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
   ++writes_;
-  return FullPwrite(fd_, buf, page_size_,
-                    static_cast<uint64_t>(page) * page_size_);
+  const uint64_t off = static_cast<uint64_t>(page) * page_size_;
+  CrashPointBeforeWrite(page_size_, [&](uint64_t half) {
+    FullPwrite(fd_, buf, half, off);
+  });
+  return FullPwrite(fd_, buf, page_size_, off);
 }
 
 bool PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) const {
@@ -91,9 +96,16 @@ bool PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) const {
 
 bool PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
   if (fd_ < 0) return false;
+  CrashPointBeforeWrite(n, [&](uint64_t half) {
+    FullPwrite(fd_, buf, half, offset);
+  });
   return FullPwrite(fd_, buf, n, offset);
 }
 
 bool PageFile::Sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+bool PageFile::Truncate(uint64_t bytes) {
+  return fd_ >= 0 && ::ftruncate(fd_, static_cast<off_t>(bytes)) == 0;
+}
 
 }  // namespace clipbb::storage

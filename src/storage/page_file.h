@@ -45,6 +45,7 @@ class PageFile {
   bool WriteRaw(uint64_t offset, const void* buf, size_t n);
 
   bool Sync();
+  bool Truncate(uint64_t bytes);
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }

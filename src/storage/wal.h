@@ -1,0 +1,130 @@
+// Write-ahead log of the paged storage engine: physical redo logging with
+// page-image records, CRC-protected, fsync'd at commit boundaries.
+//
+// Protocol (ARIES-style redo-only, no-steal at transaction granularity):
+//
+//  * Every page the writer modifies is first stamped with a fresh LSN (the
+//    page-format convention puts the LSN at byte offset kPageLsnOffset of
+//    every page, superblock included) and its full post-image appended to
+//    the log; only then may the frame become evictable. One top-level tree
+//    operation = one transaction = its page images followed by one commit
+//    record carrying the operation sequence number. Records accumulate in
+//    a memory buffer that only ever holds whole transactions, so the
+//    on-disk log prefix is always transaction-aligned.
+//  * Sync() makes the buffered transactions durable (write + fdatasync) —
+//    the commit boundary. The BufferPool refuses to write back any dirty
+//    frame whose LSN exceeds durable_lsn(), calling Sync() first (WAL rule:
+//    log before data).
+//  * Recover() scans the log at open, discards a torn or corrupt tail
+//    (CRC / truncation), and replays every page image of every *committed*
+//    transaction whose LSN is newer than the on-disk page's LSN. Redo is
+//    idempotent; a crash during recovery just replays again.
+//  * Checkpoint = flush all dirty frames, fsync the page file, then
+//    Truncate() the log. The superblock's lsn field persists the LSN
+//    high-water mark across log truncations.
+#ifndef CLIPBB_STORAGE_WAL_H_
+#define CLIPBB_STORAGE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace clipbb::storage {
+
+/// Byte offset at which every page (superblock included) stores the LSN of
+/// the log record that last wrote it — the contract between the WAL's redo
+/// pass and the page formats layered above storage.
+inline constexpr size_t kPageLsnOffset = 8;
+
+inline constexpr uint64_t kWalFileMagic = 0xC11BB0CC'0A11'0001ULL;
+inline constexpr uint32_t kWalRecordMagic = 0xCBB17EC0u;
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) over `data`; seed with a previous
+/// return value to chain blocks.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+struct WalStats {
+  uint64_t appends = 0;   // records appended (images + commits)
+  uint64_t bytes = 0;     // bytes appended
+  uint64_t syncs = 0;     // commit-boundary fsyncs
+};
+
+class Wal {
+ public:
+  enum RecordType : uint8_t { kPageImage = 1, kCommit = 2 };
+
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating or appending to) the log at `path`. `page_size` is
+  /// recorded in the file header; `start_lsn` seeds the LSN counter (pass
+  /// the superblock's persisted high-water mark + 1).
+  bool Open(const std::string& path, uint32_t page_size, uint64_t start_lsn);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends a page post-image record; returns its LSN (0 on failure —
+  /// LSNs start at 1). The image must be page_size bytes. `op_seq` names
+  /// the transaction the image belongs to: redo applies an image only
+  /// when a commit record with the SAME op_seq follows it, so images a
+  /// failed (never-committed) operation leaked into the log are inert —
+  /// a later transaction's commit cannot adopt them.
+  uint64_t AppendPageImage(int64_t page_id, const void* image,
+                           uint64_t op_seq);
+
+  /// Appends a commit record closing transaction `op_seq` (also the
+  /// operation sequence number recovery reports back).
+  uint64_t AppendCommit(uint64_t op_seq);
+
+  /// Writes the buffered transactions and fdatasyncs. The commit boundary.
+  bool Sync();
+
+  /// Highest LSN covered by a completed Sync (0 = nothing durable).
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  /// LSN the next record will receive.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Bytes waiting in the buffer for the next Sync.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+  /// Empties the log after a checkpoint (dirty pages flushed, page file
+  /// synced). The LSN counter keeps running.
+  bool Truncate();
+
+  const WalStats& stats() const { return stats_; }
+
+  struct RecoveryResult {
+    bool log_found = false;        // a non-empty log existed
+    uint64_t records_scanned = 0;  // valid records up to the last commit
+    uint64_t pages_replayed = 0;   // images actually written to the file
+    uint64_t tail_discarded = 0;   // bytes of torn/uncommitted tail dropped
+    uint64_t last_op_seq = 0;      // op seq of the last committed record
+    uint64_t max_lsn = 0;          // highest LSN seen in committed records
+  };
+
+  /// Redo pass: replays every committed page image in `wal_path` whose LSN
+  /// is newer than the target page's on-disk LSN into `file` (which must be
+  /// open with its page size set), fsyncs the file, then truncates the log.
+  /// A missing or empty log is success with log_found = false. Returns
+  /// false only on real I/O failure — a torn tail is discarded, not fatal.
+  static bool Recover(const std::string& wal_path, PageFile* file,
+                      RecoveryResult* out);
+
+ private:
+  int fd_ = -1;
+  uint32_t page_size_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
+  uint64_t buffered_lsn_ = 0;  // highest LSN in buffer_
+  std::vector<std::byte> buffer_;
+  WalStats stats_;
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_WAL_H_

@@ -1,6 +1,7 @@
 // Tests for the packed on-page node format (rtree/page_format.h):
 // encode→decode parity for nodes with and without clip points, inline
-// clip runs vs spill, the SoA page view, and the spill stream codec.
+// clip runs vs spill, the SoA page view, the clip-spill page codec, the
+// free-page codec, and the per-page LSN stamp the WAL redo pass keys on.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -97,10 +98,11 @@ TEST(PageFormat, RoundTripInlineClips2d) { RoundTripInlineClips<2>(); }
 TEST(PageFormat, RoundTripInlineClips3d) { RoundTripInlineClips<3>(); }
 
 TEST(PageFormat, FullNodeSpillsClipRun) {
-  // A node at derived capacity occupies its page exactly (the same 8-byte
-  // header the capacity derivation assumes), leaving no room for clips.
+  // A node at derived capacity occupies its page exactly (the same
+  // 16-byte header the capacity derivation assumes), leaving no room for
+  // clips. (D=2 at 4096: (4096-16)/40 divides evenly.)
   Rng rng(37);
-  constexpr int D = 3;
+  constexpr int D = 2;
   const size_t page_size = 4096;
   const int max_entries = DeriveMaxEntries<D>(page_size);
   ASSERT_EQ(PagedNodeBytes<D>(max_entries), page_size);
@@ -116,39 +118,68 @@ TEST(PageFormat, FullNodeSpillsClipRun) {
   ExpectNodeEq<D>(n, DecodeNode<D>(page.data()));  // entries intact
 }
 
-TEST(PageFormat, ClipSpillStreamRoundTrip) {
+TEST(PageFormat, SpillPageRoundTrip) {
   Rng rng(41);
   constexpr int D = 2;
-  std::vector<std::byte> stream;
-  std::vector<std::vector<core::ClipPoint<D>>> runs;
-  for (int64_t node = 0; node < 5; ++node) {
-    runs.push_back(MakeClips<D>(rng, 1 + static_cast<int>(node)));
-    AppendClipSpill<D>(node * 7,
-                       std::span<const core::ClipPoint<D>>(runs.back()),
-                       &stream);
+  const size_t page_size = 1024;
+  std::vector<std::byte> page(page_size);
+  for (int count : {1, 4, 8}) {
+    const auto clips = MakeClips<D>(rng, count);
+    ASSERT_TRUE(EncodeSpillPage<D>(
+        /*owner=*/count * 7, std::span<const core::ClipPoint<D>>(clips),
+        page.data(), page_size, /*lsn=*/99));
+    NodePageHeader h;
+    std::memcpy(&h, page.data(), sizeof h);
+    EXPECT_FALSE(PageIsNode(h));
+    EXPECT_EQ(h.flags, kPageFlagSpill);
+    EXPECT_EQ(PageLsn(page.data()), 99u);
+    SpillPageView<D> v;
+    ASSERT_TRUE(DecodeSpillPage<D>(page.data(), page_size, &v));
+    EXPECT_EQ(v.owner, count * 7);
+    const auto back = v.Decode();
+    ASSERT_EQ(back.size(), clips.size());
+    for (size_t c = 0; c < clips.size(); ++c) {
+      EXPECT_TRUE(geom::VecEq<D>(back[c].coord, clips[c].coord));
+      EXPECT_EQ(back[c].mask, clips[c].mask);
+      if (c > 0) EXPECT_GT(back[c - 1].score, back[c].score);
+    }
   }
-  std::vector<int64_t> seen_ids;
-  size_t next = 0;
-  const bool ok = ParseClipSpill<D>(
-      stream.data(), stream.size(),
-      [&](int64_t id, std::vector<core::ClipPoint<D>> clips) {
-        seen_ids.push_back(id);
-        ASSERT_LT(next, runs.size());
-        ASSERT_EQ(clips.size(), runs[next].size());
-        for (size_t c = 0; c < clips.size(); ++c) {
-          EXPECT_TRUE(geom::VecEq<D>(clips[c].coord, runs[next][c].coord));
-          EXPECT_EQ(clips[c].mask, runs[next][c].mask);
-        }
-        ++next;
-      });
-  EXPECT_TRUE(ok);
-  ASSERT_EQ(seen_ids.size(), 5u);
-  for (int64_t node = 0; node < 5; ++node) {
-    EXPECT_EQ(seen_ids[node], node * 7);
-  }
-  // A truncated stream is rejected.
-  EXPECT_FALSE(ParseClipSpill<D>(stream.data(), stream.size() - 3,
-                                 [](int64_t, auto) {}));
+  // A run that cannot fit the page is refused outright...
+  const auto big = MakeClips<D>(rng, 100);
+  EXPECT_FALSE(EncodeSpillPage<D>(
+      3, std::span<const core::ClipPoint<D>>(big), page.data(), page_size));
+  // ...and a corrupt on-page count is rejected at decode.
+  const auto clips = MakeClips<D>(rng, 4);
+  ASSERT_TRUE(EncodeSpillPage<D>(
+      3, std::span<const core::ClipPoint<D>>(clips), page.data(),
+      page_size));
+  const uint16_t bogus = 0xFFFF;
+  std::memcpy(page.data() + offsetof(NodePageHeader, clip_count), &bogus,
+              sizeof bogus);
+  SpillPageView<D> v;
+  EXPECT_FALSE(DecodeSpillPage<D>(page.data(), page_size, &v));
+}
+
+TEST(PageFormat, FreePageRoundTripAndLsnStamp) {
+  const size_t page_size = 512;
+  std::vector<std::byte> page(page_size);
+  EncodeFreePage(page.data(), page_size, /*next=*/123, /*lsn=*/7);
+  NodePageHeader h;
+  std::memcpy(&h, page.data(), sizeof h);
+  EXPECT_EQ(h.flags, kPageFlagFree);
+  EXPECT_FALSE(PageIsNode(h));
+  EXPECT_EQ(FreePageNext(page.data()), 123);
+  EXPECT_EQ(PageLsn(page.data()), 7u);
+  // The LSN lives at the shared page offset on node pages too.
+  Rng rng(43);
+  const Node<2> n = MakeNode<2>(rng, 1, 5);
+  std::vector<std::byte> node_page(4096);
+  EncodeNodePage<2>(n, {}, node_page.data(), node_page.size(),
+                    /*lsn=*/1234);
+  EXPECT_EQ(PageLsn(node_page.data()), 1234u);
+  SetPageLsn(node_page.data(), 4321);
+  EXPECT_EQ(PageLsn(node_page.data()), 4321u);
+  EXPECT_EQ(DecodeNodePage<2>(node_page.data()).header.lsn, 4321u);
 }
 
 // Whole-tree packed round trip across variants and dimensions: serialize

@@ -1,0 +1,299 @@
+// Write-path parity of the read-write PagedRTree against an in-memory
+// tree built from the same operation log, for every variant and D=2/3:
+// after bulk load + serialize + OpenWrite + a deterministic insert/delete
+// mix, queries must return identical results in identical order with
+// identical logical I/O, the memory mirror must pass full structural
+// validation, and the state must survive close/reopen (read-only and
+// writable) — i.e. the pages, not the mirror, are the durable truth.
+// Also covers clip-run spill relocation (runs outgrowing their inline
+// slot move to spill pages and shrink back) and UpdateClips on a live
+// paged tree.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/validate.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+template <int D>
+geom::Rect<D> Domain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "clipbb_pw_" + name + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() {
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+  std::string path;
+};
+
+/// One operation of the deterministic log.
+template <int D>
+struct Op {
+  bool is_insert;
+  geom::Rect<D> rect;
+  ObjectId id;
+};
+
+/// Deterministic op log: deletes sweep existing objects, inserts add new
+/// ones, interleaved 1 delete : 2 inserts.
+template <int D>
+std::vector<Op<D>> MakeOps(const std::vector<Entry<D>>& items, int count,
+                           uint32_t seed) {
+  Rng rng(seed);
+  std::vector<Op<D>> ops;
+  size_t del = 0;
+  ObjectId next_id = static_cast<ObjectId>(items.size());
+  for (int i = 0; i < count; ++i) {
+    if (i % 3 == 0 && del < items.size()) {
+      ops.push_back(Op<D>{false, items[del].rect, items[del].id});
+      ++del;
+    } else {
+      ops.push_back(Op<D>{true, RandomRect<D>(rng, 0.05), next_id++});
+    }
+  }
+  return ops;
+}
+
+/// Results + I/O of both trees on a query batch must agree exactly —
+/// including emission order, which pins the visit order.
+template <int D>
+void ExpectQueryParity(const RTree<D>& ref, PagedRTree<D>& paged,
+                       uint32_t seed, int queries) {
+  Rng rng(seed);
+  for (int q = 0; q < queries; ++q) {
+    const auto query = RandomRect<D>(rng, 0.15);
+    std::vector<ObjectId> a, b;
+    storage::IoStats io_a, io_b;
+    ref.RangeQuery(query, &a, &io_a);
+    paged.RangeQuery(query, &b, &io_b);
+    ASSERT_EQ(a, b) << "result/visit-order divergence at query " << q;
+    ASSERT_EQ(io_a.leaf_accesses, io_b.leaf_accesses);
+    ASSERT_EQ(io_a.internal_accesses, io_b.internal_accesses);
+    ASSERT_EQ(io_a.clip_accesses, io_b.clip_accesses);
+  }
+}
+
+/// Structural equality of two trees up to page numbering: identical DFS
+/// visit sequence of levels, entry rects, and leaf object ids.
+template <int D>
+void ExpectStructuralEq(const RTree<D>& a, const RTree<D>& b) {
+  std::vector<std::pair<int, std::vector<Entry<D>>>> na, nb;
+  a.ForEachNode([&](storage::PageId, const Node<D>& n) {
+    na.emplace_back(n.level, n.entries);
+  });
+  b.ForEachNode([&](storage::PageId, const Node<D>& n) {
+    nb.emplace_back(n.level, n.entries);
+  });
+  ASSERT_EQ(na.size(), nb.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    ASSERT_EQ(na[i].first, nb[i].first);
+    ASSERT_EQ(na[i].second.size(), nb[i].second.size());
+    for (size_t e = 0; e < na[i].second.size(); ++e) {
+      ASSERT_TRUE(na[i].second[e].rect == nb[i].second[e].rect);
+      if (na[i].first == 0) {
+        ASSERT_EQ(na[i].second[e].id, nb[i].second[e].id);
+      }
+    }
+  }
+}
+
+class PagedWrite : public ::testing::TestWithParam<Variant> {};
+
+template <int D>
+void RunWriteParity(Variant variant, bool clipped, int n_items, int n_ops,
+                    uint32_t seed) {
+  Rng rng(seed);
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n_items; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, 0.04), i});
+  }
+  // Reference: one continuous in-memory tree over the whole op log.
+  auto ref = BuildTree<D>(variant, items, Domain<D>());
+  if (clipped) ref->EnableClipping(core::ClipConfig<D>::Sta());
+
+  // Paged: same bulk state serialized, then updated through the pages.
+  auto initial = BuildTree<D>(variant, items, Domain<D>());
+  if (clipped) initial->EnableClipping(core::ClipConfig<D>::Sta());
+  FileGuard file(TempPath("parity"));
+  ASSERT_TRUE(WritePagedTree<D>(*initial, file.path));
+  initial.reset();
+
+  auto paged = std::make_unique<PagedRTree<D>>();
+  typename PagedRTree<D>::OpenOptions wopts;
+  wopts.commit_every = 8;
+  ASSERT_TRUE(paged->OpenWrite(file.path,
+                               MakeRTree<D>(variant, Domain<D>()), wopts));
+
+  const auto ops = MakeOps<D>(items, n_ops, seed + 1);
+  const size_t half = ops.size() / 2;
+  auto apply = [&](const Op<D>& op) {
+    if (op.is_insert) {
+      ref->Insert(op.rect, op.id);
+      ASSERT_TRUE(paged->Insert(op.rect, op.id));
+    } else {
+      ASSERT_TRUE(ref->Delete(op.rect, op.id));
+      ASSERT_TRUE(paged->Delete(op.rect, op.id));
+    }
+  };
+  for (size_t i = 0; i < half; ++i) apply(ops[i]);
+
+  // Mid-log checkpoint + full reopen (writable, fresh mirror decoded from
+  // the updated pages): the pages alone must carry the whole state.
+  {
+    const auto res = ValidateTree<D>(*paged->mirror());
+    ASSERT_TRUE(res.ok) << res.Summary();
+    ExpectQueryParity<D>(*ref, *paged, seed + 2, 40);
+    paged->Close();
+    paged = std::make_unique<PagedRTree<D>>();
+    ASSERT_TRUE(paged->OpenWrite(file.path,
+                                 MakeRTree<D>(variant, Domain<D>()),
+                                 wopts));
+    ExpectStructuralEq<D>(*ref, *paged->mirror());
+  }
+  for (size_t i = half; i < ops.size(); ++i) apply(ops[i]);
+
+  EXPECT_FALSE(paged->io_error());
+  EXPECT_EQ(paged->NumObjects(), ref->NumObjects());
+  EXPECT_EQ(paged->NumNodes(), ref->NumNodes());
+  const auto res = ValidateTree<D>(*paged->mirror());
+  ASSERT_TRUE(res.ok) << res.Summary();
+  ExpectStructuralEq<D>(*ref, *paged->mirror());
+  ExpectQueryParity<D>(*ref, *paged, seed + 3, 60);
+  // Updates really did flow through the paged engine.
+  const storage::IoStats& io = paged->update_io();
+  EXPECT_GT(io.wal_appends, 0u);
+  EXPECT_GT(io.wal_syncs, 0u);
+  EXPECT_GT(io.page_reads + io.page_writes, 0u);
+
+  // Read-only reopen sees the same tree (checkpoint on close flushed it).
+  paged->Close();
+  PagedRTree<D> reader;
+  ASSERT_TRUE(reader.Open(file.path));
+  ExpectQueryParity<D>(*ref, reader, seed + 4, 40);
+  EXPECT_EQ(reader.NumObjects(), ref->NumObjects());
+}
+
+TEST_P(PagedWrite, Clipped2dParity) {
+  RunWriteParity<2>(GetParam(), true, 2500, 420, 901);
+}
+
+TEST_P(PagedWrite, Clipped3dParity) {
+  RunWriteParity<3>(GetParam(), true, 1500, 300, 902);
+}
+
+TEST_P(PagedWrite, Unclipped2dParity) {
+  RunWriteParity<2>(GetParam(), false, 2000, 300, 903);
+}
+
+TEST_P(PagedWrite, SpillRelocationFollowsClipGrowth) {
+  // Bulk-loaded HR trees pack nodes full, so CSTA clip runs spill; update
+  // churn must keep spill pages tracking their nodes (allocate on grow,
+  // release on shrink/death) and the file must stay openable throughout.
+  if (GetParam() != Variant::kHilbert) GTEST_SKIP();
+  Rng rng(917);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto built = BuildTree<2>(Variant::kHilbert, items, Domain<2>());
+  built->EnableClipping(core::ClipConfig<2>::Sta());
+  FileGuard file(TempPath("spill"));
+  ASSERT_TRUE(WritePagedTree<2>(*built, file.path));
+
+  PagedRTree<2> paged;
+  ASSERT_TRUE(paged.OpenWrite(file.path,
+                              MakeRTree<2>(Variant::kHilbert, Domain<2>())));
+  ASSERT_GT(paged.superblock().num_spill_pages, 0u)
+      << "full bulk-loaded clipped nodes should spill their runs";
+  const uint64_t spill_before = paged.superblock().num_spill_pages;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(paged.Delete(items[i].rect, items[i].id));
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(paged.Insert(RandomRect<2>(rng, 0.03), 4000 + i));
+  }
+  // Deletes dissolve full nodes; their spill pages must have been freed
+  // (count shrinks) and the section accounting must stay exact.
+  EXPECT_LT(paged.superblock().num_spill_pages, spill_before);
+  const auto res = ValidateTree<2>(*paged.mirror());
+  ASSERT_TRUE(res.ok) << res.Summary();
+  paged.Close();
+  PagedRTree<2> reader;
+  ASSERT_TRUE(reader.Open(file.path));
+  EXPECT_EQ(reader.NumObjects(), 3000u - 400u + 200u);
+}
+
+TEST_P(PagedWrite, UpdateClipsEnablesClippingOnLivePagedTree) {
+  Rng rng(919);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2200; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto ref = BuildTree<2>(GetParam(), items, Domain<2>());
+  FileGuard file(TempPath("upclips"));
+  ASSERT_TRUE(WritePagedTree<2>(*ref, file.path));
+
+  PagedRTree<2> paged;
+  ASSERT_TRUE(
+      paged.OpenWrite(file.path, MakeRTree<2>(GetParam(), Domain<2>())));
+  EXPECT_FALSE(paged.clipping_enabled());
+  ASSERT_TRUE(paged.UpdateClips(core::ClipConfig<2>::Sta()));
+  EXPECT_TRUE(paged.clipping_enabled());
+  ref->EnableClipping(core::ClipConfig<2>::Sta());
+  ExpectQueryParity<2>(*ref, paged, 920, 40);
+  EXPECT_EQ(paged.clip_index().TotalClipPoints(),
+            ref->clip_index().TotalClipPoints());
+
+  // The clip table persisted: a cold read-only open prunes identically.
+  paged.Close();
+  PagedRTree<2> reader;
+  ASSERT_TRUE(reader.Open(file.path));
+  EXPECT_TRUE(reader.clipping_enabled());
+  EXPECT_EQ(reader.clip_index().TotalClipPoints(),
+            ref->clip_index().TotalClipPoints());
+  ExpectQueryParity<2>(*ref, reader, 921, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, PagedWrite,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             case Variant::kRRStar:
+                               return "RRStar";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -178,11 +178,13 @@ INSTANTIATE_TEST_SUITE_P(AllVariants, VariantTest,
                          });
 
 TEST(Options, DerivedCapacities) {
+  // 16-byte node-page header (level/flags/counts + WAL LSN), see
+  // rtree/page_format.h.
   const auto o2 = ResolveOptions<2>(RTreeOptions{});
-  EXPECT_EQ(o2.max_entries, (4096 - 8) / (2 * 2 * 8 + 8));  // 102
+  EXPECT_EQ(o2.max_entries, (4096 - 16) / (2 * 2 * 8 + 8));  // 102
   EXPECT_EQ(o2.min_entries, static_cast<int>(0.4 * o2.max_entries));
   const auto o3 = ResolveOptions<3>(RTreeOptions{});
-  EXPECT_EQ(o3.max_entries, (4096 - 8) / (2 * 3 * 8 + 8));  // 73
+  EXPECT_EQ(o3.max_entries, (4096 - 16) / (2 * 3 * 8 + 8));  // 72
   // m clamps.
   RTreeOptions tight;
   tight.max_entries = 4;
@@ -197,9 +199,9 @@ TEST(Factory, RRStarGetsSmallerMinFraction) {
 }
 
 TEST(NodeBytes, Layout) {
-  EXPECT_EQ(NodeBytes<2>(0), 8u);
-  EXPECT_EQ(NodeBytes<2>(1), 8u + 40u);
-  EXPECT_EQ(NodeBytes<3>(2), 8u + 2 * 56u);
+  EXPECT_EQ(NodeBytes<2>(0), 16u);
+  EXPECT_EQ(NodeBytes<2>(1), 16u + 40u);
+  EXPECT_EQ(NodeBytes<3>(2), 16u + 2 * 56u);
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// CI bench-regression gate: compares a current bench JSON (flat object of
+// string keys -> numbers, as written by bench/common.h's JsonSink) against
+// a committed baseline and fails when a gated metric regressed.
+//
+// Gated metrics are the deterministic I/O counters — keys ending in
+// ".page_reads" or ".misses" — which are reproducible run-to-run (seeded
+// datasets, LRU pools, FP contraction pinned off). Wall-clock keys ride
+// along in the artifact but are never gated. A gated key that worsens by
+// more than the tolerance (default 10 %) fails the check; a gated key
+// missing from the current run fails too (coverage loss must be explicit,
+// by updating the baseline). Improvements beyond the tolerance are
+// reported so baselines get re-tightened.
+//
+// Usage: bench_check <baseline.json> <current.json> [--max-regress 0.10]
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Parses the sink's flat JSON dialect: {"key": number, ...}. Returns
+/// false on anything it does not understand — the gate must not silently
+/// pass on garbage.
+bool ParseFlatJson(const std::string& path,
+                   std::map<std::string, double>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < s.size() && s[i] == '}') return true;  // empty object
+  while (i < s.size()) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    const size_t kend = s.find('"', i + 1);
+    if (kend == std::string::npos) return false;
+    const std::string key = s.substr(i + 1, kend - i - 1);
+    i = kend + 1;
+    skip_ws();
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    skip_ws();
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) return false;
+    (*out)[key] = v;
+    i = static_cast<size_t>(end - s.c_str());
+    skip_ws();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') return true;
+    return false;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& key, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return key.size() >= n && key.compare(key.size() - n, n, suffix) == 0;
+}
+
+/// Regression-gated: deterministic I/O counters where bigger is worse.
+bool IsGated(const std::string& key) {
+  return EndsWith(key, ".page_reads") || EndsWith(key, ".misses");
+}
+
+/// Exactness-gated: deterministic result/visit invariants that must not
+/// change at all — any drift means the engine computes something else.
+bool IsExact(const std::string& key) {
+  return EndsWith(key, ".results") || EndsWith(key, ".visits") ||
+         EndsWith(key, ".hits") || EndsWith(key, ".checksum");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_check <baseline.json> <current.json> "
+                 "[--max-regress FRACTION]\n");
+    return 2;
+  }
+  double tol = 0.10;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regress") == 0) {
+      tol = std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  std::map<std::string, double> base, cur;
+  if (!ParseFlatJson(argv[1], &base) || !ParseFlatJson(argv[2], &cur)) {
+    std::fprintf(stderr, "bench_check: malformed input\n");
+    return 2;
+  }
+
+  int gated = 0, regressed = 0, missing = 0, improved = 0;
+  for (const auto& [key, bval] : base) {
+    const bool gate = IsGated(key);
+    const bool exact = IsExact(key);
+    if (!gate && !exact) continue;
+    ++gated;
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::printf("MISSING   %s (baseline %.0f)\n", key.c_str(), bval);
+      ++missing;
+      continue;
+    }
+    const double cval = it->second;
+    if (exact) {
+      const double scale = std::fmax(std::fabs(bval), 1.0);
+      if (std::fabs(cval - bval) > 1e-9 * scale) {
+        std::printf("DIVERGED  %s: %.0f -> %.0f (must match exactly)\n",
+                    key.c_str(), bval, cval);
+        ++regressed;
+      }
+      continue;
+    }
+    if (cval > bval * (1.0 + tol)) {
+      std::printf("REGRESSED %s: %.0f -> %.0f (+%.1f%%, limit %.0f%%)\n",
+                  key.c_str(), bval, cval, (cval / bval - 1.0) * 100.0,
+                  tol * 100.0);
+      ++regressed;
+    } else if (bval > 0 && cval < bval * (1.0 - tol)) {
+      std::printf("IMPROVED  %s: %.0f -> %.0f (%.1f%%) — consider "
+                  "tightening the baseline\n",
+                  key.c_str(), bval, cval, (cval / bval - 1.0) * 100.0);
+      ++improved;
+    }
+  }
+  for (const auto& [key, cval] : cur) {
+    if ((IsGated(key) || IsExact(key)) && !base.count(key)) {
+      std::printf("NEW       %s = %.0f (not in baseline yet)\n",
+                  key.c_str(), cval);
+    }
+  }
+  std::printf(
+      "bench_check: %d gated metrics, %d regressed, %d missing, "
+      "%d improved (tolerance %.0f%%)\n",
+      gated, regressed, missing, improved, tol * 100.0);
+  if (gated == 0) {
+    std::fprintf(stderr,
+                 "bench_check: baseline gates nothing — refusing to pass "
+                 "an empty check\n");
+    return 2;
+  }
+  return (regressed > 0 || missing > 0) ? 1 : 0;
+}
