@@ -14,9 +14,19 @@
 // CSKY vs CSTA, under the paper-faithful workload schedule and the
 // Hilbert-ordered batch schedule (pool misses are order-dependent, so the
 // locality win is its own row, never mixed into the paper numbers).
+//
+// With --paged --threads=N an extra "paged-mtN" row runs the same batch
+// through PagedRTree::RunBatch over an N-way-sharded buffer pool with N
+// workers — the "heavy traffic, many cores, disk-resident" scenario. The
+// pool is sized to hold the section (no evictions), so each distinct page
+// faults exactly once no matter how the workers interleave: per-query
+// counts AND summed page reads must match the single-threaded run
+// exactly, and the bench exits nonzero on any divergence (this is the CI
+// parity gate for the concurrent pool).
 #include "common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "rtree/paged_rtree.h"
@@ -30,6 +40,7 @@ constexpr double kMissMillis = 8.0;  // 7200RPM-class random read
 constexpr int kQueriesPerProfile = 200;
 
 bool g_paged = false;
+unsigned g_threads = 1;  // >1 adds the multithreaded paged rows
 
 /// Range query that touches the buffer pool for every node read. The
 /// caller-owned stack is reused across the batch (no per-query allocation).
@@ -83,6 +94,24 @@ void RunTree(const std::string& dataset, const char* label,
       paged_path.clear();
     }
   }
+  // Second handle for the multithreaded rows: sharded pool sized to hold
+  // the whole file so physical reads are interleaving-independent (see
+  // the file comment).
+  rtree::PagedRTree<D> paged_mt;
+  if (!paged_path.empty() && g_threads > 1) {
+    typename rtree::PagedRTree<D>::OpenOptions mopts;
+    // Capacity is split per shard, so size every SHARD to hold the whole
+    // file — hash skew across stripes must never force an eviction, or
+    // the parity gate below would depend on worker interleaving.
+    mopts.pool_pages =
+        (paged.superblock().num_section_pages + 8) * g_threads;
+    mopts.pool_shards = g_threads;
+    if (!paged_mt.Open(paged_path, mopts)) {
+      std::fprintf(stderr, "fig15: cannot open paged index (mt) at %s\n",
+                   paged_path.c_str());
+      std::exit(1);
+    }
+  }
   for (size_t p = 0; p < profiles.size(); ++p) {
     // Warm nothing: start cold, let the pool cache hot paths like the OS
     // page cache in the paper's setup.
@@ -123,6 +152,7 @@ void RunTree(const std::string& dataset, const char* label,
                 static_cast<double>(pool.misses()));
         JsonPut(json_base + "/sim.results", static_cast<double>(results));
       }
+      std::vector<size_t> counts_st(profiles[p].queries.size(), 0);
       if (!paged_path.empty()) {
         paged.pool().Clear();  // cold start, same 10 % frame budget
         rtree::TraversalScratch scratch;
@@ -131,8 +161,9 @@ void RunTree(const std::string& dataset, const char* label,
         Timer timer;
         size_t results = 0;
         for (uint32_t qi : *sched) {
-          results += paged.RangeCount(profiles[p].queries[qi], &io,
-                                      &scratch);
+          counts_st[qi] =
+              paged.RangeCount(profiles[p].queries[qi], &io, &scratch);
+          results += counts_st[qi];
         }
         const double total_ms = timer.ElapsedSeconds() * 1e3;
         t->AddRow({dataset, label, workload::kQueryProfiles[p], sched_name,
@@ -149,6 +180,52 @@ void RunTree(const std::string& dataset, const char* label,
         JsonPut(json_base + "/paged.avg_query_ms",
                 total_ms / kQueriesPerProfile);
       }
+      if (!paged_path.empty() && g_threads > 1) {
+        rtree::QueryBatchOptions bopts;
+        bopts.hilbert_order = sched == &hilbert_order;
+        // Deterministic reference on the same no-evict pool layout.
+        paged_mt.pool().Clear();
+        bopts.threads = 1;
+        const rtree::QueryBatchResult ref =
+            paged_mt.RunBatch(profiles[p].queries, bopts);
+        paged_mt.pool().Clear();
+        bopts.threads = g_threads;
+        Timer timer;
+        const rtree::QueryBatchResult mt =
+            paged_mt.RunBatch(profiles[p].queries, bopts);
+        const double total_ms = timer.ElapsedSeconds() * 1e3;
+        size_t results = 0;
+        for (size_t qi = 0; qi < mt.counts.size(); ++qi) {
+          results += mt.counts[qi];
+        }
+        // Parity gate: same per-query counts as both single-threaded
+        // paths, and exactly the single-threaded physical read count.
+        if (mt.counts != ref.counts || mt.counts != counts_st ||
+            mt.io.page_reads != ref.io.page_reads || paged_mt.io_error()) {
+          std::fprintf(stderr,
+                       "fig15: --threads=%u parity mismatch (%s/%s/%s/%s): "
+                       "mt reads %llu vs st %llu\n",
+                       g_threads, dataset.c_str(), label,
+                       workload::kQueryProfiles[p], sched_name,
+                       static_cast<unsigned long long>(mt.io.page_reads),
+                       static_cast<unsigned long long>(ref.io.page_reads));
+          std::exit(1);
+        }
+        t->AddRow({dataset, label, workload::kQueryProfiles[p], sched_name,
+                   "paged-mt" + std::to_string(g_threads),
+                   Table::Fixed(total_ms / kQueriesPerProfile, 3),
+                   Table::Int(static_cast<long long>(mt.io.page_reads)),
+                   Table::Int(static_cast<long long>(mt.io.page_writes)),
+                   Table::Fixed(static_cast<double>(results) /
+                                    kQueriesPerProfile,
+                                1)});
+        JsonPut(json_base + "/paged_mt.page_reads",
+                static_cast<double>(mt.io.page_reads));
+        JsonPut(json_base + "/paged_mt.results",
+                static_cast<double>(results));
+        JsonPut(json_base + "/paged_mt.avg_query_ms",
+                total_ms / kQueriesPerProfile);
+      }
     }
   }
   if (!paged_path.empty()) {
@@ -157,6 +234,7 @@ void RunTree(const std::string& dataset, const char* label,
                    "fig15: %s/%s paged rows are partial (I/O error)\n",
                    dataset.c_str(), label);
     }
+    paged_mt.Close();
     paged.Close();
     std::remove(paged_path.c_str());
   }
@@ -195,10 +273,15 @@ void RunDataset(const std::string& name) {
     data3 = workload::MakePar03(n);
     run_all(data3);
   }
-  PrintHeader("Fig 15 — scaled-up " + name +
-              (g_paged ? " (sim: synthetic 8 ms/miss; paged: real "
-                         "disk-resident reads)"
-                       : " (simulated cold-disk query time)"));
+  std::string title = "Fig 15 — scaled-up " + name +
+                      (g_paged ? " (sim: synthetic 8 ms/miss; paged: real "
+                                 "disk-resident reads)"
+                               : " (simulated cold-disk query time)");
+  if (g_paged && g_threads > 1) {
+    title += " [mt rows: " + std::to_string(g_threads) +
+             " workers, sharded pool, parity-gated]";
+  }
+  PrintHeader(title);
   t.Print();
 }
 
@@ -212,6 +295,10 @@ void Run() {
 
 int main(int argc, char** argv) {
   clipbb::bench::g_paged = clipbb::bench::HasFlag(argc, argv, "--paged");
+  const int threads =
+      clipbb::bench::IntFlag(argc, argv, "--threads", 1);
+  clipbb::bench::g_threads =
+      threads > 1 ? static_cast<unsigned>(threads) : 1;
   clipbb::bench::EnableJsonFromArgs(argc, argv);
   clipbb::bench::Run();
   return clipbb::bench::JsonSink::Get().Flush() ? 0 : 1;

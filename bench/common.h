@@ -112,6 +112,21 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Integer value of `--flag=N` or `--flag N`; `fallback` when absent or
+/// malformed.
+inline int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const std::string name(flag);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == name && i + 1 < argc) return std::atoi(argv[i + 1]);
+    if (arg.size() > name.size() + 1 && arg.compare(0, name.size(), name) == 0 &&
+        arg[name.size()] == '=') {
+      return std::atoi(arg.c_str() + name.size() + 1);
+    }
+  }
+  return fallback;
+}
+
 /// Flat JSON metric sink for the CI bench-regression gate: hierarchical
 /// string keys mapping to doubles, written as one sorted object. Enabled
 /// by CLIPBB_BENCH_JSON=<path> (or --json <path> via EnableJsonFromArgs);

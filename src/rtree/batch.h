@@ -4,8 +4,11 @@
 // the end — the pattern an analytics workload (e.g. INLJ probing) uses.
 //
 // Thin wrapper over RunQueryBatch (rtree/query_batch.h): each worker owns
-// a reusable QueryContext and works through Hilbert-ordered chunks, so the
-// fan-out gains the flattened hot path for free.
+// a reusable QueryContext and works through Hilbert-ordered chunks (the
+// shared ForEachChunked scheduler), so the fan-out gains the flattened
+// hot path for free. The same per-thread-IoStats-summed-at-join pattern
+// backs the disk-resident fan-out, PagedRTree::RunBatch, which adds a
+// sharded buffer pool underneath.
 #ifndef CLIPBB_RTREE_BATCH_H_
 #define CLIPBB_RTREE_BATCH_H_
 

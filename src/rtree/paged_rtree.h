@@ -32,12 +32,24 @@
 //    first, so a crash at any point recovers to the last durable commit.
 //
 // Query results, visit order, and logical access counts are identical to
-// the in-memory RTree running the same tree (parity-tested). The pool is
-// not thread-safe: one PagedRTree per thread.
+// the in-memory RTree running the same tree (parity-tested).
+//
+// Thread safety: the read path (RangeQuery/RangeCount/Knn/RunBatch) may
+// be called concurrently from many threads against one PagedRTree — the
+// buffer pool is lock-striped (OpenOptions::pool_shards picks the stripe
+// count), the clip table is compacted at open and read-only afterwards,
+// the sticky io_error flag is atomic, and per-query I/O accounting flows
+// through caller-owned IoStats (per-thread, summed by the batch layer),
+// so counters stay exact without a shared hot counter. Each concurrent
+// caller must own its TraversalScratch. The write path stays
+// single-writer: updates must not run concurrently with each other or
+// with queries (the WAL latches internally, but the memory mirror and the
+// clip overlay do not).
 #ifndef CLIPBB_RTREE_PAGED_RTREE_H_
 #define CLIPBB_RTREE_PAGED_RTREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -94,6 +106,11 @@ class PagedRTree {
     /// Buffer-pool frames; 0 derives max(16, section pages / 10) — the
     /// 10 % cold-pool ratio of the Fig. 15 setup.
     size_t pool_pages = 0;
+    /// Lock stripes of the buffer pool. 1 (the default) reproduces the
+    /// single LRU exactly — the deterministic-baseline configuration;
+    /// pass ~the number of querying threads for the concurrent batch
+    /// path (clamped so every shard owns at least one frame).
+    unsigned pool_shards = 1;
     /// Write mode: operations per WAL fsync (group commit). 1 makes every
     /// operation durable on return; larger values batch commits and a
     /// crash loses at most the unsynced suffix.
@@ -107,13 +124,19 @@ class PagedRTree {
   PagedRTree& operator=(const PagedRTree&) = delete;
 
   /// Opens a file written by SerializeTree / WritePagedTree read-only.
-  /// Replays any sidecar WAL first (a crashed writer's file opens to its
-  /// last durable commit), then one sequential scan loads the clip table
-  /// (when the tree is clipped) and the root's MBB; node pages stay on
-  /// disk. Physical-read counters start at zero afterwards.
+  /// Any sidecar WAL is redone INTO MEMORY first (a crashed writer's
+  /// file opens to its last durable commit): the committed page images
+  /// build an overlay the buffer pool consults on miss, and neither the
+  /// page file nor the log is written — the file is opened O_RDONLY, so
+  /// a reader can never clobber a live writer's pages or truncate the
+  /// log that is that writer's only durable copy (redo is idempotent;
+  /// the next open just rebuilds the overlay). Then one sequential scan
+  /// loads the clip table (when the tree is clipped) and the root's MBB;
+  /// node pages stay on disk. Physical-read counters start at zero
+  /// afterwards.
   bool Open(const std::string& path, const OpenOptions& opts = {}) {
     Close();
-    if (!OpenAndRecover(path)) return false;
+    if (!OpenAndRecover(path, /*writable=*/false)) return false;
     std::vector<std::byte> page(sb_.file_page_size);
     if (!LoadRootAndClips(&page, &clip_index_, nullptr, nullptr, nullptr)) {
       file_.Close();
@@ -134,7 +157,7 @@ class PagedRTree {
                  const OpenOptions& opts = {}) {
     Close();
     if (variant == nullptr) return false;
-    if (!OpenAndRecover(path)) return false;
+    if (!OpenAndRecover(path, /*writable=*/true)) return false;
 
     // Scan the section: nodes at their file indexes, spilled clip runs
     // reattached to their owners, free pages collected for the chain walk.
@@ -212,18 +235,33 @@ class PagedRTree {
 
   /// Closes the tree. A healthy writer checkpoints (flush + fsync + WAL
   /// truncate); a poisoned one (io_error(), e.g. a staging failure)
-  /// instead discards its frames and leaves the WAL in place, so the
-  /// file stays at the last durable commit and the next open recovers —
-  /// exactly as if the process had crashed at the failure point. A
-  /// checkpoint failure at close poisons too: io_error() stays readable
-  /// after Close, and callers that need certainty should call
-  /// Checkpoint() themselves and check it.
-  void Close() {
-    if (write_mode_ && open_) {
-      if (io_error_ || !Checkpoint()) {
-        io_error_ = true;
+  /// instead discards its frames and NEVER truncates the WAL — the log is
+  /// the only durable copy of the committed suffix, so the file stays at
+  /// the last durable commit and the next open recovers, exactly as if
+  /// the process had crashed at the failure point. A checkpoint failure
+  /// at close poisons the same way. A read-only close touches neither
+  /// checkpoint nor the sidecar .wal file (it may belong to a live
+  /// writer elsewhere).
+  ///
+  /// Returns false when durability could not be guaranteed (poisoned, or
+  /// the close-time checkpoint failed). The destructor discards the
+  /// result, so callers that need certainty must call Close() (or
+  /// Checkpoint()) explicitly and check it; io_error() also stays
+  /// readable after Close. Idempotent: calling Close() again — including
+  /// the destructor after an explicit Close() — performs no further I/O
+  /// and reports the same verdict.
+  bool Close() {
+    bool ok = !io_error_.load(std::memory_order_relaxed);
+    if (open_ && write_mode_) {
+      if (!ok || !Checkpoint()) {
+        io_error_.store(true, std::memory_order_relaxed);
         if (pool_) pool_->DiscardAll();
+        ok = false;
       }
+    } else if (open_) {
+      // Read-only close: the WAL was never opened (Open() replays the
+      // sidecar log without adopting it), so nothing here can touch it.
+      assert(!wal_.is_open());
     }
     pool_.reset();
     wal_.Close();
@@ -237,10 +275,12 @@ class PagedRTree {
     clip_index_.Clear();
     clips_ = &clip_index_;
     spill_of_.clear();
+    redo_overlay_.clear();
     update_io_.Reset();
     open_ = false;
     write_mode_ = false;
     // io_error_ deliberately survives Close (reset by the next open).
+    return ok;
   }
 
   bool is_open() const { return open_; }
@@ -249,8 +289,9 @@ class PagedRTree {
   /// Sticky: true once any query hit an unreadable or corrupt page and
   /// returned a truncated traversal, or a write-path page could not be
   /// staged. Partial results must not be mistaken for small ones — check
-  /// this after measurement runs.
-  bool io_error() const { return io_error_; }
+  /// this after measurement runs. Atomic so concurrent queries can set
+  /// and read it without a race.
+  bool io_error() const { return io_error_.load(std::memory_order_relaxed); }
 
   // ------------------------------------------------------------- metadata
 
@@ -287,7 +328,7 @@ class PagedRTree {
   /// last durable commit.
   bool Insert(const RectT& rect, ObjectId oid) {
     assert(write_mode_);
-    if (io_error_) return false;  // poisoned: mirror and file diverged
+    if (io_error()) return false;  // poisoned: mirror and file diverged
     BeginOp();
     tree_->Insert(rect, oid);
     return EndOp();
@@ -297,7 +338,7 @@ class PagedRTree {
   /// staging failed (see Insert for failure semantics).
   bool Delete(const RectT& rect, ObjectId oid) {
     assert(write_mode_);
-    if (io_error_) return false;
+    if (io_error()) return false;
     BeginOp();
     const bool found = tree_->Delete(rect, oid);
     const bool staged = EndOp();
@@ -315,7 +356,7 @@ class PagedRTree {
   /// EndOp syncs it whenever it grows past kWalBufferSoftMax.)
   bool UpdateClips(const core::ClipConfig<D>& config) {
     assert(write_mode_);
-    if (io_error_) return false;
+    if (io_error()) return false;
     BeginOp();
     tree_->EnableClipping(config);
     sb_.clipped = 1;
@@ -327,8 +368,12 @@ class PagedRTree {
 
   /// Makes everything durable and resets the WAL: syncs pending commits,
   /// flushes every dirty frame, fsyncs the page file, truncates the log.
+  /// Refused on a poisoned writer — its frames hold uncommitted
+  /// mutations, and truncating the WAL would discard the only durable
+  /// copy of the committed suffix the next open must recover.
   bool Checkpoint() {
     if (!write_mode_ || !open_) return false;
+    if (io_error_.load(std::memory_order_relaxed)) return false;
     if (!wal_.Sync()) return false;
     if (!pool_->FlushAll()) return false;
     if (!file_.Sync()) return false;
@@ -345,7 +390,9 @@ class PagedRTree {
   // --------------------------------------------------------------- queries
 
   /// Range query; same contract as RTree::RangeQuery plus physical-I/O
-  /// accounting (page_reads/page_writes deltas of the pool).
+  /// accounting. The physical transfers this call performed flow into the
+  /// caller's `io` through per-call PinIo — never through shared pool
+  /// counter deltas, which would interleave across concurrent queries.
   size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out = nullptr,
                     storage::IoStats* io = nullptr,
                     TraversalScratch* scratch = nullptr) {
@@ -355,8 +402,7 @@ class PagedRTree {
       scratch = &local;
       local.Reserve(height_, sb_.max_entries);
     }
-    const uint64_t miss0 = pool_->misses();
-    const uint64_t wb0 = pool_->writebacks();
+    storage::BufferPool::PinIo pin_io;
     auto& stack = scratch->stack;
     stack.clear();
     stack.push_back(sb_.root_page);
@@ -364,15 +410,15 @@ class PagedRTree {
     while (!stack.empty()) {
       const storage::PageId id = stack.back();
       stack.pop_back();
-      const std::byte* bytes = pool_->Pin(1 + id);
+      const std::byte* bytes = pool_->Pin(1 + id, &pin_io);
       if (!bytes) {  // unreadable page; abandon the traversal
-        io_error_ = true;
+        io_error_.store(true, std::memory_order_relaxed);
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
       if (!ValidPage(v)) {  // corrupt counts would walk off the frame
-        io_error_ = true;
-        pool_->Unpin(1 + id);
+        io_error_.store(true, std::memory_order_relaxed);
+        pool_->Unpin(1 + id, false, 0, &pin_io);
         break;
       }
       uint64_t* mask = scratch->MaskFor(v.n());
@@ -405,7 +451,8 @@ class PagedRTree {
             const int64_t child = v.id[i];
             if (child < 0 ||
                 child >= static_cast<int64_t>(sb_.num_section_pages)) {
-              io_error_ = true;  // corrupt child pointer; don't follow it
+              // Corrupt child pointer; don't follow it.
+              io_error_.store(true, std::memory_order_relaxed);
               continue;
             }
             if (clipping_enabled()) {
@@ -418,11 +465,12 @@ class PagedRTree {
           }
         }
       }
-      pool_->Unpin(1 + id);
+      pool_->Unpin(1 + id, false, 0, &pin_io);
     }
     if (io) {
-      io->page_reads += pool_->misses() - miss0;
-      io->page_writes += pool_->writebacks() - wb0;
+      io->page_reads += pin_io.reads;
+      io->page_writes += pin_io.writes;
+      io->wal_syncs += pin_io.wal_syncs;
     }
     return found;
   }
@@ -439,8 +487,7 @@ class PagedRTree {
     assert(open_);
     std::vector<KnnNeighbor<D>> result;
     if (k <= 0) return result;
-    const uint64_t miss0 = pool_->misses();
-    const uint64_t wb0 = pool_->writebacks();
+    storage::BufferPool::PinIo pin_io;
 
     struct QueueItem {
       double dist2;
@@ -461,15 +508,15 @@ class PagedRTree {
         if (static_cast<int>(result.size()) == k) break;
         continue;
       }
-      const std::byte* bytes = pool_->Pin(1 + item.id);
+      const std::byte* bytes = pool_->Pin(1 + item.id, &pin_io);
       if (!bytes) {
-        io_error_ = true;
+        io_error_.store(true, std::memory_order_relaxed);
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
       if (!ValidPage(v)) {
-        io_error_ = true;
-        pool_->Unpin(1 + item.id);
+        io_error_.store(true, std::memory_order_relaxed);
+        pool_->Unpin(1 + item.id, false, 0, &pin_io);
         break;
       }
       const SoaNodeView<D> s = v.Soa();
@@ -487,7 +534,7 @@ class PagedRTree {
         } else {
           if (v.id[i] < 0 ||
               v.id[i] >= static_cast<int64_t>(sb_.num_section_pages)) {
-            io_error_ = true;
+            io_error_.store(true, std::memory_order_relaxed);
             continue;
           }
           double bound;
@@ -501,46 +548,77 @@ class PagedRTree {
           frontier.push({bound, false, v.id[i]});
         }
       }
-      pool_->Unpin(1 + item.id);
+      pool_->Unpin(1 + item.id, false, 0, &pin_io);
     }
     if (io) {
-      io->page_reads += pool_->misses() - miss0;
-      io->page_writes += pool_->writebacks() - wb0;
+      io->page_reads += pin_io.reads;
+      io->page_writes += pin_io.writes;
+      io->wal_syncs += pin_io.wal_syncs;
     }
     return result;
   }
 
-  /// Runs every window as a range count with one reused scratch,
-  /// optionally in Hilbert order of the query centers (the batched hot
-  /// path). Single-threaded — the pool serializes page access anyway.
+  /// Runs every window as a range count, optionally in Hilbert order of
+  /// the query centers (the batched hot path), fanned out over
+  /// `opts.threads` workers pulling contiguous chunks of the schedule.
+  /// Every worker owns a TraversalScratch and an IoStats — counters
+  /// accumulate per thread and are summed once at the end, so totals are
+  /// exact (the sharded pool reads each faulted page exactly once even
+  /// when workers race to it). Counts are deterministic and identical to
+  /// the single-threaded run; physical read counts additionally match it
+  /// whenever the pool never evicts (each distinct page faults once
+  /// regardless of the interleaving).
   QueryBatchResult RunBatch(std::span<const RectT> queries,
-                            bool hilbert_order = true) {
+                            const QueryBatchOptions& opts) {
     QueryBatchResult result;
     result.counts.assign(queries.size(), 0);
     if (queries.empty() || !open_) return result;
     std::vector<uint32_t> order;
-    if (hilbert_order) {
+    if (opts.hilbert_order) {
       order = HilbertQueryOrder<D>(bounds_, queries);
     } else {
       order.resize(queries.size());
       std::iota(order.begin(), order.end(), 0u);
     }
-    TraversalScratch scratch;
-    scratch.Reserve(height_, sb_.max_entries);
-    for (uint32_t qi : order) {
-      result.counts[qi] = RangeCount(queries[qi], &result.io, &scratch);
-    }
+    const unsigned threads =
+        ResolveBatchThreads(opts.threads, queries.size());
+    std::vector<TraversalScratch> scratch(threads);
+    for (auto& s : scratch) s.Reserve(height_, sb_.max_entries);
+    std::vector<storage::IoStats> per_thread(threads);
+    ForEachChunked(order.size(), threads, [&](unsigned t, size_t i) {
+      const uint32_t qi = order[i];
+      result.counts[qi] =
+          RangeCount(queries[qi], &per_thread[t], &scratch[t]);
+    });
+    for (const auto& io : per_thread) result.io += io;
     return result;
+  }
+
+  /// Single-threaded batch (kept as the deterministic baseline schedule).
+  QueryBatchResult RunBatch(std::span<const RectT> queries,
+                            bool hilbert_order = true) {
+    QueryBatchOptions opts;
+    opts.hilbert_order = hilbert_order;
+    opts.threads = 1;
+    return RunBatch(queries, opts);
   }
 
  private:
   // ----------------------------------------------------------- open helpers
 
   /// Opens the page file, replays any sidecar WAL (redo to the last
-  /// durable commit), and validates the superblock.
-  bool OpenAndRecover(const std::string& path) {
+  /// durable commit), and validates the superblock. A writable open owns
+  /// the file: redo writes the pages and truncates the log. A read-only
+  /// open owns nothing: the file opens O_RDONLY, redo lands in the
+  /// in-memory overlay (`redo_overlay_`), and the .wal stays
+  /// byte-identical (it may be a live writer's only durable copy).
+  bool OpenAndRecover(const std::string& path, bool writable) {
     recovery_ = storage::Wal::RecoveryResult{};
-    if (!file_.Open(path, /*create=*/false)) return false;
+    redo_overlay_.clear();
+    if (!file_.Open(path, /*create=*/false, /*page_size=*/0,
+                    /*read_only=*/!writable)) {
+      return false;
+    }
     // Bootstrap the page size for recovery from the superblock when it is
     // believable; a torn superblock leaves it unset and Recover adopts
     // the WAL header's authoritative size instead.
@@ -555,13 +633,19 @@ class PagedRTree {
         probe.file_page_size % 8 == 0) {
       file_.set_page_size(probe.file_page_size);
     }
-    if (!storage::Wal::Recover(WalPathFor(path), &file_, &recovery_)) {
+    if (!storage::Wal::Recover(WalPathFor(path), &file_, &recovery_,
+                               /*truncate_after_replay=*/writable,
+                               writable ? nullptr : &redo_overlay_)) {
       file_.Close();
       return false;
     }
     update_io_.recovery_replays += recovery_.pages_replayed;
-    // Now the superblock is the newest durable one.
-    if (!file_.ReadRaw(0, &sb_, sizeof sb_)) {
+    // Now the newest durable superblock is on disk (write mode) or in
+    // the overlay (read-only mode, when the log rewrote page 0).
+    if (auto it = redo_overlay_.find(0); it != redo_overlay_.end()) {
+      std::memcpy(&sb_, it->second.data(),
+                  std::min(sizeof sb_, it->second.size()));
+    } else if (!file_.ReadRaw(0, &sb_, sizeof sb_)) {
       file_.Close();
       return false;
     }
@@ -575,9 +659,20 @@ class PagedRTree {
       return false;
     }
     file_.set_page_size(sb_.file_page_size);
+    // Pages may exist only as WAL images: write-mode redo just wrote them
+    // into the file; read-only redo holds them in the overlay, so count
+    // overlay coverage toward the effective file size.
+    uint64_t covered = file_.SizeBytes();
+    for (const auto& [pid, bytes] : redo_overlay_) {
+      if (pid >= 0) {
+        covered = std::max(covered,
+                           (static_cast<uint64_t>(pid) + 1) *
+                               static_cast<uint64_t>(sb_.file_page_size));
+      }
+    }
     if ((1 + sb_.num_section_pages) *
             static_cast<uint64_t>(sb_.file_page_size) >
-        file_.SizeBytes()) {
+        covered) {
       file_.Close();
       return false;
     }
@@ -602,7 +697,7 @@ class PagedRTree {
           nodes != nullptr || free_next != nullptr || sb_.clipped ||
           static_cast<int64_t>(p) == sb_.root_page;
       if (!need_page) continue;
-      if (!file_.ReadPage(1 + static_cast<int64_t>(p), page->data())) {
+      if (!ReadRecoveredPage(1 + static_cast<int64_t>(p), page->data())) {
         return false;
       }
       NodePageHeader h;
@@ -664,14 +759,27 @@ class PagedRTree {
     return true;
   }
 
+  /// One full page, preferring the read-only redo overlay (newest
+  /// committed image) over the file. Write mode has an empty overlay.
+  bool ReadRecoveredPage(storage::PageId file_page, std::byte* buf) {
+    auto it = redo_overlay_.find(file_page);
+    if (it != redo_overlay_.end()) {
+      std::memcpy(buf, it->second.data(), sb_.file_page_size);
+      return true;
+    }
+    return file_.ReadPage(file_page, buf);
+  }
+
   void FinishOpen(const OpenOptions& opts) {
     const size_t frames =
         opts.pool_pages > 0
             ? opts.pool_pages
             : std::max<size_t>(16, sb_.num_section_pages / 10);
-    pool_ = std::make_unique<storage::BufferPool>(frames, &file_);
+    pool_ = std::make_unique<storage::BufferPool>(
+        frames, &file_, opts.pool_shards > 0 ? opts.pool_shards : 1);
+    if (!redo_overlay_.empty()) pool_->SetReadOverlay(&redo_overlay_);
     file_.ResetCounters();
-    io_error_ = false;
+    io_error_.store(false, std::memory_order_relaxed);
     open_ = true;
   }
 
@@ -723,6 +831,7 @@ class PagedRTree {
     dirty_.clear();
     born_.clear();
     freed_.clear();
+    stage_io_ = storage::BufferPool::PinIo{};
     staging_seq_ = op_seq_ + 1;  // the transaction every record is tagged
   }
 
@@ -738,8 +847,6 @@ class PagedRTree {
   /// flush may durable-ize a commit-less record tail, but recovery
   /// discards such tails and none of their pages can have reached disk).
   bool EndOp() {
-    const uint64_t miss0 = pool_->misses();
-    const uint64_t wb0 = pool_->writebacks();
     const storage::WalStats wal0 = wal_.stats();
     bool ok = true;
 
@@ -774,12 +881,12 @@ class PagedRTree {
       wal_.Sync();
     }
     for (const auto& [page, lsn] : staged_pins_) {
-      pool_->Unpin(page, /*dirty=*/true, lsn);
+      pool_->Unpin(page, /*dirty=*/true, lsn, &stage_io_);
     }
     staged_pins_.clear();
     if (!ok) {
       pool_->DiscardAll();
-      io_error_ = true;
+      io_error_.store(true, std::memory_order_relaxed);
       return false;
     }
     if (++ops_since_sync_ >= commit_every_) {
@@ -789,13 +896,15 @@ class PagedRTree {
 
     height_ = tree_->Height();
     bounds_ = tree_->bounds();
-    update_io_.page_reads += pool_->misses() - miss0;
-    update_io_.page_writes += pool_->writebacks() - wb0;
+    update_io_.page_reads += stage_io_.reads;
+    update_io_.page_writes += stage_io_.writes;
+    // WAL syncs come from the WalStats delta (stage_io_.wal_syncs is a
+    // subset of it: forced write-back syncs are real Wal::Sync calls).
     const storage::WalStats& w = wal_.stats();
     update_io_.wal_appends += w.appends - wal0.appends;
     update_io_.wal_bytes += w.bytes - wal0.bytes;
     update_io_.wal_syncs += w.syncs - wal0.syncs;
-    if (!ok) io_error_ = true;
+    if (!ok) io_error_.store(true, std::memory_order_relaxed);
     return ok;
   }
 
@@ -804,8 +913,8 @@ class PagedRTree {
   /// through the pool like any real paged engine (the physical read is the
   /// update path's page-read cost).
   std::byte* PinForStage(storage::PageId id) {
-    if (born_.count(id)) return pool_->PinNew(1 + id);
-    return pool_->PinForWrite(1 + id);
+    if (born_.count(id)) return pool_->PinNew(1 + id, &stage_io_);
+    return pool_->PinForWrite(1 + id, &stage_io_);
   }
 
   bool StageNodePage(storage::PageId id) {
@@ -832,7 +941,8 @@ class PagedRTree {
         freed_.erase(sp);
         spill_of_[id] = sp;
       }
-      std::byte* sframe = pool_->PinNew(1 + sp);  // full overwrite, no read
+      std::byte* sframe =
+          pool_->PinNew(1 + sp, &stage_io_);  // full overwrite, no read
       if (!sframe) return false;
       const uint64_t slsn = wal_.next_lsn();
       staged_pins_.emplace_back(1 + sp, slsn);
@@ -854,7 +964,7 @@ class PagedRTree {
   }
 
   bool StageFreePage(storage::PageId id) {
-    std::byte* frame = pool_->PinNew(1 + id);  // full overwrite
+    std::byte* frame = pool_->PinNew(1 + id, &stage_io_);  // full overwrite
     if (!frame) return false;
     const uint64_t lsn = wal_.next_lsn();
     staged_pins_.emplace_back(1 + id, lsn);
@@ -880,7 +990,7 @@ class PagedRTree {
       sb_.num_clip_points = clips_->TotalClipPoints();
       sb_.num_clipped_nodes = clips_->NumClippedNodes();
     }
-    std::byte* frame = pool_->PinForWrite(0);
+    std::byte* frame = pool_->PinForWrite(0, &stage_io_);
     if (!frame) return false;
     const uint64_t lsn = wal_.next_lsn();
     staged_pins_.emplace_back(0, lsn);
@@ -904,13 +1014,18 @@ class PagedRTree {
 
   storage::PageFile file_;
   std::unique_ptr<storage::BufferPool> pool_;
+  /// Read-only redo overlay: newest committed WAL images a read-only
+  /// open must not write into the file (empty in write mode; immutable
+  /// while open — the pool reads it from any shard without a latch).
+  storage::RecoveredPageMap redo_overlay_;
   Superblock sb_{};
   core::ClipIndex<D> clip_index_;  // read-only mode's clip table
   const core::ClipIndex<D>* clips_ = &clip_index_;  // active table
   RectT bounds_ = RectT::Empty();
   int height_ = 1;
   bool open_ = false;
-  bool io_error_ = false;
+  /// Sticky error flag; atomic — concurrent queries set it (see io_error).
+  std::atomic<bool> io_error_{false};
 
   // Write mode.
   bool write_mode_ = false;
@@ -926,6 +1041,9 @@ class PagedRTree {
   /// Frames staged this op, pinned until the commit record is appended
   /// (file page id, WAL LSN of its image).
   std::vector<std::pair<storage::PageId, uint64_t>> staged_pins_;
+  /// Physical transfers of the operation being staged (single-writer, so
+  /// one accumulator suffices; reset by BeginOp, drained into update_io_).
+  storage::BufferPool::PinIo stage_io_;
   storage::IoStats update_io_;
   uint64_t op_seq_ = 0;
   uint64_t staging_seq_ = 0;  // transaction tag of the op being staged

@@ -1,14 +1,22 @@
 // Batched query execution: run many windows through one traversal engine
 // with reusable per-thread state and locality-aware scheduling.
 //
-// Two pieces. QueryContext owns a TraversalScratch (DFS stack + candidate
-// bitmask) sized once for the tree, so every query it runs is
+// Three pieces. QueryContext owns a TraversalScratch (DFS stack +
+// candidate bitmask) sized once for the tree, so every query it runs is
 // allocation-free — the fix for the hot path allocating a fresh stack per
 // query. RunQueryBatch layers Hilbert-ordered scheduling on top: queries
 // are visited in Hilbert order of their centers, so consecutive queries
 // touch overlapping subtrees and the node pages + clip arena stay hot in
 // cache. Counts are written back in input order; totals and per-query
 // results are identical to running each query alone.
+//
+// The multithreaded fan-out is factored into ForEachChunked: workers pull
+// contiguous chunks of the (Hilbert-ordered) schedule, so each worker
+// keeps its own spatial locality, and every worker owns its context and
+// IoStats — counters accumulate per thread and are summed once at the
+// end, exact and race-free. The disk-resident engine
+// (rtree/paged_rtree.h RunBatch) schedules through the same helper over
+// its sharded buffer pool.
 #ifndef CLIPBB_RTREE_QUERY_BATCH_H_
 #define CLIPBB_RTREE_QUERY_BATCH_H_
 
@@ -58,6 +66,45 @@ struct QueryBatchOptions {
   unsigned threads = 1;
 };
 
+/// Contiguous-chunk size workers pull from the shared schedule: big enough
+/// to amortize the atomic fetch and keep Hilbert locality, small enough to
+/// balance skewed queries.
+inline constexpr size_t kQueryBatchChunk = 16;
+
+/// Resolves a QueryBatchOptions thread count against the batch size
+/// (0 = hardware concurrency; never more workers than items).
+inline unsigned ResolveBatchThreads(unsigned threads, size_t n_items) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > n_items) threads = static_cast<unsigned>(n_items);
+  return threads;
+}
+
+/// Runs `run(worker, i)` for every i in [0, n): workers dynamically pull
+/// contiguous chunks of the index space, so a schedule sorted for
+/// locality stays locality-friendly per worker. `worker` indexes
+/// per-thread state (contexts, IoStats) the caller sized to `threads`.
+/// threads == 1 runs inline on the caller with worker 0.
+template <typename RunFn>
+void ForEachChunked(size_t n, unsigned threads, RunFn run) {
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) run(0u, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&](unsigned t) {
+    for (size_t base = next.fetch_add(kQueryBatchChunk); base < n;
+         base = next.fetch_add(kQueryBatchChunk)) {
+      const size_t end = std::min(base + kQueryBatchChunk, n);
+      for (size_t i = base; i < end; ++i) run(t, i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(drain, t);
+  for (auto& th : pool) th.join();
+}
+
 struct QueryBatchResult {
   std::vector<size_t> counts;  // per query, aligned with the input
   storage::IoStats io;         // summed over all queries
@@ -97,12 +144,7 @@ QueryBatchResult RunQueryBatch(const RTree<D>& tree,
     std::iota(order.begin(), order.end(), 0u);
   }
 
-  unsigned threads = opts.threads;
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  if (threads > queries.size()) {
-    threads = static_cast<unsigned>(queries.size());
-  }
+  const unsigned threads = ResolveBatchThreads(opts.threads, queries.size());
 
   if (threads == 1) {
     QueryContext<D> ctx(tree);
@@ -114,24 +156,12 @@ QueryBatchResult RunQueryBatch(const RTree<D>& tree,
 
   // Hand out contiguous runs of the Hilbert order so each worker keeps its
   // own locality; per-thread I/O is summed at the end.
+  std::vector<QueryContext<D>> contexts(threads, QueryContext<D>(tree));
   std::vector<storage::IoStats> per_thread(threads);
-  std::atomic<size_t> next{0};
-  constexpr size_t kChunk = 16;
-  auto worker = [&](unsigned t) {
-    QueryContext<D> ctx(tree);
-    for (size_t base = next.fetch_add(kChunk); base < order.size();
-         base = next.fetch_add(kChunk)) {
-      const size_t end = std::min(base + kChunk, order.size());
-      for (size_t i = base; i < end; ++i) {
-        const uint32_t qi = order[i];
-        result.counts[qi] = ctx.RangeCount(queries[qi], &per_thread[t]);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-  for (auto& th : pool) th.join();
+  ForEachChunked(order.size(), threads, [&](unsigned t, size_t i) {
+    const uint32_t qi = order[i];
+    result.counts[qi] = contexts[t].RangeCount(queries[qi], &per_thread[t]);
+  });
   for (const auto& io : per_thread) result.io += io;
   return result;
 }

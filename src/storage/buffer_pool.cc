@@ -7,66 +7,149 @@
 
 namespace clipbb::storage {
 
-BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {}
+namespace {
 
-BufferPool::BufferPool(size_t capacity, PageFile* file)
-    : capacity_(capacity), file_(file) {}
+/// Stable page-id -> shard mix (fmix64); sequential page ids must not all
+/// land in one stripe.
+uint64_t MixPageId(PageId id) {
+  uint64_t x = static_cast<uint64_t>(id);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
+  shards_.push_back(std::make_unique<Shard>());
+  shards_[0]->capacity = capacity;
+}
+
+BufferPool::BufferPool(size_t capacity, PageFile* file, unsigned shards)
+    : capacity_(capacity), file_(file) {
+  size_t n = shards > 0 ? shards : 1;
+  // Every shard must own at least one frame, or a stripe of a bounded
+  // pool would be unable to evict (capacity 0 means "never evict").
+  if (capacity > 0 && n > capacity) n = capacity;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[i]->capacity = capacity / n + (i < capacity % n ? 1 : 0);
+  }
+}
 
 BufferPool::~BufferPool() {
   if (file_) FlushAll();
 }
 
-void BufferPool::MoveToFront(PageId id, Frame& f) {
-  if (f.in_lru) lru_.erase(f.lru_it);
-  lru_.push_front(id);
-  f.lru_it = lru_.begin();
+BufferPool::Shard& BufferPool::ShardFor(PageId id) {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[MixPageId(id) % shards_.size()];
+}
+
+const BufferPool::Shard& BufferPool::ShardFor(PageId id) const {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[MixPageId(id) % shards_.size()];
+}
+
+uint64_t BufferPool::Sum(uint64_t Shard::*counter) const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += (*s).*counter;
+  }
+  return total;
+}
+
+size_t BufferPool::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->map.size();
+  }
+  return total;
+}
+
+bool BufferPool::Resident(PageId id) const {
+  const Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.map.contains(id);
+}
+
+void BufferPool::MoveToFront(Shard& s, PageId id, Frame& f) {
+  if (f.in_lru) s.lru.erase(f.lru_it);
+  s.lru.push_front(id);
+  f.lru_it = s.lru.begin();
   f.in_lru = true;
 }
 
+void BufferPool::NoteGrowth(Shard& s) {
+  if (s.map.size() > s.high_water) s.high_water = s.map.size();
+}
+
 bool BufferPool::Access(PageId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    ++hits_;
-    if (it->second.in_lru) MoveToFront(id, it->second);
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it != s.map.end()) {
+    ++s.hits;
+    if (it->second.in_lru) MoveToFront(s, id, it->second);
     return true;
   }
-  ++misses_;
-  if (capacity_ == 0) return false;
-  if (map_.size() >= capacity_) EvictOne();
-  Frame& f = map_[id];
-  MoveToFront(id, f);
+  ++s.misses;
+  if (s.capacity == 0) return false;
+  if (s.map.size() >= s.capacity) EvictOne(s, nullptr);
+  Frame& f = s.map[id];
+  NoteGrowth(s);
+  MoveToFront(s, id, f);
   return false;
 }
 
-std::byte* BufferPool::PinImpl(PageId id, bool dirty) {
+std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io) {
   assert(file_ != nullptr && file_->page_size() > 0);
-  auto it = map_.find(id);
-  if (it != map_.end() && it->second.loaded) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it != s.map.end() && it->second.loaded) {
     Frame& f = it->second;
-    ++hits_;
+    ++s.hits;
     if (f.in_lru) {  // pinned frames leave the LRU (never evictable)
-      lru_.erase(f.lru_it);
+      s.lru.erase(f.lru_it);
       f.in_lru = false;
     }
     ++f.pins;
     f.dirty |= dirty;
     return f.data.get();
   }
-  ++misses_;
-  if (it == map_.end()) {
+  ++s.misses;
+  if (io) ++io->reads;
+  if (it == s.map.end()) {
     // Evict down to capacity before adding a frame; if every frame is
-    // pinned the pool grows transiently (Unpin shrinks it back).
-    if (capacity_ > 0 && map_.size() >= capacity_) EvictOne();
-    it = map_.try_emplace(id).first;
+    // pinned the shard grows transiently (Unpin shrinks it back).
+    if (s.capacity > 0 && s.map.size() >= s.capacity) EvictOne(s, io);
+    it = s.map.try_emplace(id).first;
+    NoteGrowth(s);
   }
   Frame& f = it->second;
   if (f.in_lru) {
-    lru_.erase(f.lru_it);
+    s.lru.erase(f.lru_it);
     f.in_lru = false;
   }
   if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
-  if (!file_->ReadPage(id, f.data.get())) {
-    map_.erase(it);
+  // The shard latch is held across the fetch, so a second thread pinning
+  // the same page waits here and then takes the hit path — the source is
+  // read exactly once per residency. Pages whose newest committed image
+  // lives only in the WAL (read-only redo overlay) never touch the file.
+  const std::vector<std::byte>* image = nullptr;
+  if (overlay_ != nullptr) {
+    auto oit = overlay_->find(id);
+    if (oit != overlay_->end()) image = &oit->second;
+  }
+  if (image != nullptr) {
+    std::memcpy(f.data.get(), image->data(), file_->page_size());
+  } else if (!file_->ReadPage(id, f.data.get())) {
+    s.map.erase(it);
     return nullptr;
   }
   f.loaded = true;
@@ -76,20 +159,27 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty) {
   return f.data.get();
 }
 
-const std::byte* BufferPool::Pin(PageId id) { return PinImpl(id, false); }
+const std::byte* BufferPool::Pin(PageId id, PinIo* io) {
+  return PinImpl(id, false, io);
+}
 
-std::byte* BufferPool::PinForWrite(PageId id) { return PinImpl(id, true); }
+std::byte* BufferPool::PinForWrite(PageId id, PinIo* io) {
+  return PinImpl(id, true, io);
+}
 
-std::byte* BufferPool::PinNew(PageId id) {
+std::byte* BufferPool::PinNew(PageId id, PinIo* io) {
   assert(file_ != nullptr && file_->page_size() > 0);
-  auto it = map_.find(id);
-  if (it == map_.end()) {
-    if (capacity_ > 0 && map_.size() >= capacity_) EvictOne();
-    it = map_.try_emplace(id).first;
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it == s.map.end()) {
+    if (s.capacity > 0 && s.map.size() >= s.capacity) EvictOne(s, io);
+    it = s.map.try_emplace(id).first;
+    NoteGrowth(s);
   }
   Frame& f = it->second;
   if (f.in_lru) {
-    lru_.erase(f.lru_it);
+    s.lru.erase(f.lru_it);
     f.in_lru = false;
   }
   if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
@@ -101,82 +191,113 @@ std::byte* BufferPool::PinNew(PageId id) {
   return f.data.get();
 }
 
-void BufferPool::Unpin(PageId id, bool dirty, uint64_t lsn) {
-  auto it = map_.find(id);
-  assert(it != map_.end() && it->second.pins > 0);
-  if (it == map_.end()) return;
+void BufferPool::Unpin(PageId id, bool dirty, uint64_t lsn, PinIo* io) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  assert(it != s.map.end() && it->second.pins > 0);
+  if (it == s.map.end()) return;
   Frame& f = it->second;
   f.dirty |= dirty;
   if (lsn > f.lsn) f.lsn = lsn;
   if (f.pins > 0 && --f.pins == 0) {
-    MoveToFront(id, f);
+    MoveToFront(s, id, f);
     // Shrink any transient overage created while everything was pinned.
-    while (capacity_ > 0 && map_.size() > capacity_) {
-      if (!EvictOne()) break;
+    while (s.capacity > 0 && s.map.size() > s.capacity) {
+      if (!EvictOne(s, io)) break;
     }
   }
 }
 
-bool BufferPool::WriteBack(PageId id, Frame& f) {
+bool BufferPool::WriteBack(Shard& s, PageId id, Frame& f, PinIo* io) {
   // WAL rule: the record covering these bytes must be durable before the
   // page file sees them; otherwise a crash after this write leaves a page
-  // no committed log prefix can explain.
+  // no committed log prefix can explain. The Wal latches internally, so
+  // concurrent shards racing to the sync serialize there (the loser sees
+  // durable_lsn already advanced and its Sync is a cheap no-op).
   if (wal_ != nullptr && f.lsn > wal_->durable_lsn()) {
-    ++wal_forced_syncs_;
+    ++s.wal_forced_syncs;
+    if (io) ++io->wal_syncs;
     if (!wal_->Sync()) {
-      ++write_failures_;  // cannot write back without breaking the rule
+      ++s.write_failures;  // cannot write back without breaking the rule
       return false;
     }
   }
   if (!file_->WritePage(id, f.data.get())) {
-    ++write_failures_;
+    ++s.write_failures;
     return false;
   }
-  ++writebacks_;
+  ++s.writebacks;
+  if (io) ++io->writes;
   return true;
 }
 
-bool BufferPool::EvictOne() {
-  if (lru_.empty()) return false;
-  const PageId victim = lru_.back();
-  lru_.pop_back();
-  auto it = map_.find(victim);
-  assert(it != map_.end());
+bool BufferPool::EvictOne(Shard& s, PinIo* io) {
+  if (s.lru.empty()) return false;
+  const PageId victim = s.lru.back();
+  s.lru.pop_back();
+  auto it = s.map.find(victim);
+  assert(it != s.map.end());
   Frame& f = it->second;
   if (f.dirty && f.loaded && file_) {
     // The frame is gone either way; WriteBack makes a failure observable
     // (write_failures) instead of counting it as a successful write-back.
-    WriteBack(victim, f);
+    WriteBack(s, victim, f, io);
   }
-  map_.erase(it);
+  s.map.erase(it);
   return true;
 }
 
 bool BufferPool::FlushAll() {
   bool ok = true;
-  for (auto& [id, f] : map_) {
-    if (f.dirty && f.loaded && file_) {
-      if (WriteBack(id, f)) {
-        f.dirty = false;
-      } else {
-        ok = false;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [id, f] : s.map) {
+      if (f.dirty && f.loaded && file_) {
+        if (WriteBack(s, id, f, nullptr)) {
+          f.dirty = false;
+        } else {
+          ok = false;
+        }
       }
     }
   }
   return ok;
 }
 
+void BufferPool::ResetShardCounters(Shard& s) {
+  s.hits = s.misses = s.writebacks = s.write_failures =
+      s.wal_forced_syncs = 0;
+  s.high_water = s.map.size();
+}
+
+void BufferPool::ResetCounters() {
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    ResetShardCounters(*sp);
+  }
+}
+
 void BufferPool::Clear() {
   if (file_) FlushAll();
-  lru_.clear();
-  map_.clear();
-  ResetCounters();
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.lru.clear();
+    s.map.clear();
+    ResetShardCounters(s);
+  }
 }
 
 void BufferPool::DiscardAll() {
-  assert(lru_.size() == map_.size());  // nothing pinned
-  lru_.clear();
-  map_.clear();
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    assert(s.lru.size() == s.map.size());  // nothing pinned
+    s.lru.clear();
+    s.map.clear();
+  }
 }
 
 }  // namespace clipbb::storage

@@ -1,6 +1,6 @@
-// LRU buffer pool of the paged storage engine.
+// Lock-striped LRU buffer pool of the paged storage engine.
 //
-// Two operating modes share one LRU + frame table:
+// Two operating modes share one frame/LRU design:
 //
 //  * Residency mode (no backing file — the original count-only pool kept
 //    for the simulated cold-disk rows of Fig. 15): Access(id) classifies a
@@ -9,8 +9,28 @@
 //    frames. Pin(id) returns the frame bytes, reading the page from the
 //    file on a miss (possibly evicting the LRU unpinned frame, writing it
 //    back first when dirty). Pinned frames are never evicted; Unpin
-//    returns the frame to the LRU, optionally marking it dirty. If every
-//    frame is pinned the pool grows transiently and shrinks back on Unpin.
+//    returns the frame to the LRU, optionally marking it dirty.
+//
+// Concurrency: the pool is sharded into `shards` partitions, each with its
+// own mutex, LRU list, and frame map; a page's shard is fixed by a hash of
+// its id. Concurrent Pin/Unpin from different threads contend only when
+// their pages land in the same shard, and two threads pinning the same
+// absent page serialize on its shard latch so the file is read exactly
+// once (no duplicate physical reads). Per-shard capacity is the total
+// capacity split evenly, so a 1-shard pool behaves exactly like the
+// pre-sharding LRU (the deterministic-baseline configuration). Counter
+// accessors sum the per-shard counters and are exact; for per-operation
+// attribution that stays race-free under concurrency, every Pin/Unpin can
+// report its own physical transfers through a caller-owned PinIo — the
+// per-thread accumulate-then-sum pattern the batch query path uses.
+//
+// All-pinned overflow: if every frame of a shard is pinned, the shard
+// grows past its capacity transiently and shrinks back on Unpin. The
+// growth is bounded by the number of simultaneously pinned frames (one
+// per concurrent query, plus one transaction's staged page set on the
+// write path — an UpdateClips over a pool smaller than the file can pin
+// O(file) frames). frames_high_water() records the worst total footprint
+// so a ballooning pool is observable instead of silent.
 //
 // Write path (rtree/paged_rtree.h write mode): PinNew hands out a zeroed
 // frame without reading the file (freshly allocated pages have no old
@@ -18,8 +38,8 @@
 // covering their contents. When a Wal is attached, the pool enforces the
 // WAL rule — a dirty frame is written back only after its record is
 // durable (flushed-LSN >= frame-LSN), syncing the log first if needed.
-//
-// Not thread-safe; one pool per querying thread.
+// The rule holds per shard: any shard's eviction path may force the sync,
+// and the Wal serializes internally (its own latch; see storage/wal.h).
 #ifndef CLIPBB_STORAGE_BUFFER_POOL_H_
 #define CLIPBB_STORAGE_BUFFER_POOL_H_
 
@@ -27,7 +47,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/page_file.h"
 #include "storage/page_store.h"
@@ -38,12 +60,23 @@ class Wal;
 
 class BufferPool {
  public:
-  /// Residency-only pool; capacity = resident pages, 0 = everything misses.
+  /// Physical transfers performed by one Pin/Unpin call, accumulated into
+  /// a caller-owned (typically per-thread) counter set.
+  struct PinIo {
+    uint32_t reads = 0;       // file page reads (misses)
+    uint32_t writes = 0;      // file page writes (dirty evictions)
+    uint32_t wal_syncs = 0;   // WAL syncs forced by the write-back rule
+  };
+
+  /// Residency-only pool; capacity = resident pages, 0 = everything
+  /// misses. Always a single shard (the simulated rows are sequential).
   explicit BufferPool(size_t capacity);
 
   /// Content-holding pool over `file` (not owned; must outlive the pool).
-  /// The file's page size must be set before the first Pin.
-  BufferPool(size_t capacity, PageFile* file);
+  /// The file's page size must be set before the first Pin. `shards` > 1
+  /// lock-stripes the pool for concurrent querying threads; it is clamped
+  /// to `capacity` so every shard owns at least one frame.
+  BufferPool(size_t capacity, PageFile* file, unsigned shards = 1);
 
   ~BufferPool();
 
@@ -57,21 +90,23 @@ class BufferPool {
   /// Pins a page and returns its bytes (valid until the matching Unpin).
   /// Counts a hit when the frame is loaded, a miss (plus a file page read)
   /// otherwise. Returns nullptr on read failure. Content mode only.
-  const std::byte* Pin(PageId id);
+  const std::byte* Pin(PageId id, PinIo* io = nullptr);
 
   /// Pin for mutation: same as Pin but the frame is marked dirty, so
   /// eviction (or FlushAll) writes it back to the file.
-  std::byte* PinForWrite(PageId id);
+  std::byte* PinForWrite(PageId id, PinIo* io = nullptr);
 
   /// Pin for a page that has no on-disk contents yet (just allocated):
   /// returns a zeroed dirty frame without reading the file. Reuses the
   /// cached frame when one exists (a recycled free page), still zeroed.
-  std::byte* PinNew(PageId id);
+  std::byte* PinNew(PageId id, PinIo* io = nullptr);
 
   /// Releases a pin taken by Pin/PinForWrite/PinNew. A non-zero `lsn`
   /// records the WAL LSN covering the frame's current contents (the frame
-  /// keeps the highest LSN seen; see SetWal).
-  void Unpin(PageId id, bool dirty = false, uint64_t lsn = 0);
+  /// keeps the highest LSN seen; see SetWal). Dropping the last pin may
+  /// shrink transient overage, so the call can perform write-backs.
+  void Unpin(PageId id, bool dirty = false, uint64_t lsn = 0,
+             PinIo* io = nullptr);
 
   /// Writes every dirty frame back to the file (WAL first when attached).
   /// Returns false on any write failure (remaining frames still
@@ -81,25 +116,43 @@ class BufferPool {
   /// Attaches the write-ahead log whose records cover this pool's dirty
   /// frames. With a log attached, no dirty frame reaches the file before
   /// its record: write-back syncs the log when flushed-LSN < frame-LSN.
+  /// The Wal is internally latched, so any shard may force the sync.
   void SetWal(Wal* wal) { wal_ = wal; }
 
-  bool Resident(PageId id) const { return map_.contains(id); }
+  /// Attaches the read-only redo overlay (not owned; must outlive the
+  /// pool and stay immutable while attached): a miss whose newest
+  /// committed contents live only in a sidecar WAL — which a read-only
+  /// open must not replay into the file — is served from the overlay
+  /// image instead of the file. Still counted as a miss/read: it is a
+  /// fault outside the pool either way.
+  void SetReadOverlay(const RecoveredPageMap* overlay) {
+    overlay_ = overlay;
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t writebacks() const { return writebacks_; }
+  bool Resident(PageId id) const;
+
+  uint64_t hits() const { return Sum(&Shard::hits); }
+  uint64_t misses() const { return Sum(&Shard::misses); }
+  uint64_t writebacks() const { return Sum(&Shard::writebacks); }
   /// WAL syncs forced by the write-back rule (eviction or flush reached a
   /// dirty frame whose record was not yet durable).
-  uint64_t wal_forced_syncs() const { return wal_forced_syncs_; }
+  uint64_t wal_forced_syncs() const { return Sum(&Shard::wal_forced_syncs); }
   /// Dirty frames whose write-back failed (their modifications are lost);
   /// nonzero means the file no longer reflects every PinForWrite.
-  uint64_t write_failures() const { return write_failures_; }
+  uint64_t write_failures() const { return Sum(&Shard::write_failures); }
   size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  size_t size() const;
 
-  void ResetCounters() {
-    hits_ = misses_ = writebacks_ = write_failures_ = wal_forced_syncs_ = 0;
-  }
+  /// Largest total frame count the pool ever held (sum of per-shard high
+  /// waters, so with >1 shard it is an upper bound on the simultaneous
+  /// footprint; exact for a single shard). frames_high_water() - capacity()
+  /// is the worst all-pinned overage — a tiny pool under a large
+  /// transaction balloons to the transaction's staged page set, and this
+  /// counter is the signal (see the class comment).
+  uint64_t frames_high_water() const { return Sum(&Shard::high_water); }
+
+  void ResetCounters();
 
   /// Drops every frame (dirty frames are written back first in content
   /// mode) and resets the counters.
@@ -123,24 +176,42 @@ class BufferPool {
     std::list<PageId>::iterator lru_it;
   };
 
-  std::byte* PinImpl(PageId id, bool dirty);
-  /// Evicts the LRU unpinned frame (writing back when dirty); false when
-  /// every frame is pinned.
-  bool EvictOne();
-  /// WAL-rule write-back of one dirty frame.
-  bool WriteBack(PageId id, Frame& f);
-  void MoveToFront(PageId id, Frame& f);
+  /// One lock-striped partition: frames whose page id hashes here.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;  // this shard's slice of the pool capacity
+    std::list<PageId> lru;  // front = most recent; unpinned frames only
+    std::unordered_map<PageId, Frame> map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t write_failures = 0;
+    uint64_t wal_forced_syncs = 0;
+    uint64_t high_water = 0;  // max frames this shard ever held
+  };
+
+  Shard& ShardFor(PageId id);
+  const Shard& ShardFor(PageId id) const;
+
+  std::byte* PinImpl(PageId id, bool dirty, PinIo* io);
+  /// Evicts the shard's LRU unpinned frame (writing back when dirty);
+  /// false when every frame is pinned. Shard latch held by the caller.
+  bool EvictOne(Shard& s, PinIo* io);
+  /// WAL-rule write-back of one dirty frame. Shard latch held.
+  bool WriteBack(Shard& s, PageId id, Frame& f, PinIo* io);
+  void MoveToFront(Shard& s, PageId id, Frame& f);
+  void NoteGrowth(Shard& s);
+  /// Zeroes one shard's counters (high water restarts at the current
+  /// footprint). Shard latch held by the caller.
+  static void ResetShardCounters(Shard& s);
+
+  uint64_t Sum(uint64_t Shard::*counter) const;
 
   size_t capacity_;
   PageFile* file_ = nullptr;
   Wal* wal_ = nullptr;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t writebacks_ = 0;
-  uint64_t write_failures_ = 0;
-  uint64_t wal_forced_syncs_ = 0;
-  std::list<PageId> lru_;  // front = most recent; unpinned frames only
-  std::unordered_map<PageId, Frame> map_;
+  const RecoveredPageMap* overlay_ = nullptr;  // read-only redo images
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace clipbb::storage

@@ -48,9 +48,11 @@ bool FullPwrite(int fd, const void* buf, size_t n, uint64_t off) {
 PageFile::~PageFile() { Close(); }
 
 bool PageFile::Open(const std::string& path, bool create,
-                    uint32_t page_size) {
+                    uint32_t page_size, bool read_only) {
   Close();
-  const int flags = create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  if (create && read_only) return false;
+  const int flags =
+      read_only ? O_RDONLY : (create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR);
   fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) return false;
   page_size_ = page_size;
@@ -74,14 +76,14 @@ uint64_t PageFile::SizeBytes() const {
 
 bool PageFile::ReadPage(int64_t page, void* buf) {
   if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return FullPread(fd_, buf, page_size_,
                    static_cast<uint64_t>(page) * page_size_);
 }
 
 bool PageFile::WritePage(int64_t page, const void* buf) {
   if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t off = static_cast<uint64_t>(page) * page_size_;
   CrashPointBeforeWrite(page_size_, [&](uint64_t half) {
     FullPwrite(fd_, buf, half, off);

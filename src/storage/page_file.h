@@ -5,6 +5,7 @@
 #ifndef CLIPBB_STORAGE_PAGE_FILE_H_
 #define CLIPBB_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -22,8 +23,11 @@ class PageFile {
   /// Opens (create = truncate-or-create, else read/write existing). The
   /// page size may be 0 when opening an existing file whose page size is
   /// recorded in its own header; set it with set_page_size before the
-  /// first page-granular access.
-  bool Open(const std::string& path, bool create, uint32_t page_size = 0);
+  /// first page-granular access. `read_only` opens O_RDONLY (works on
+  /// read-only media and can never clobber another process's file);
+  /// every write then fails, observably. Incompatible with `create`.
+  bool Open(const std::string& path, bool create, uint32_t page_size = 0,
+            bool read_only = false);
   void Close();
   bool is_open() const { return fd_ >= 0; }
 
@@ -36,7 +40,10 @@ class PageFile {
     return page_size_ ? SizeBytes() / page_size_ : 0;
   }
 
-  /// Page-granular transfers; counted. `buf` must hold page_size() bytes.
+  /// Page-granular transfers; counted (atomically — concurrent shards of
+  /// the sharded BufferPool read and write through one PageFile, and
+  /// pread/pwrite are positioned so the transfers themselves never race).
+  /// `buf` must hold page_size() bytes.
   bool ReadPage(int64_t page, void* buf);
   bool WritePage(int64_t page, const void* buf);
 
@@ -47,15 +54,20 @@ class PageFile {
   bool Sync();
   bool Truncate(uint64_t bytes);
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  void ResetCounters() { reads_ = writes_ = 0; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
   uint32_t page_size_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace clipbb::storage

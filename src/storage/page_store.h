@@ -16,12 +16,17 @@
 //  * an IdSource supplies page ids on Allocate and receives them back on
 //    Free, so the file's free-page map — not the store — owns the id
 //    space and store ids stay equal to file page indexes.
+//
+// Not thread-safe: the store backs the in-memory tree and the paged
+// writer's mirror, both single-writer. Concurrent readers are fine only
+// while no thread mutates (the batch query path relies on exactly that).
 #ifndef CLIPBB_STORAGE_PAGE_STORE_H_
 #define CLIPBB_STORAGE_PAGE_STORE_H_
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,6 +34,12 @@ namespace clipbb::storage {
 
 using PageId = int64_t;
 inline constexpr PageId kInvalidPage = -1;
+
+/// Full-page images keyed by absolute file page index — the in-memory
+/// redo overlay a read-only open builds from a sidecar WAL it must not
+/// replay into the file (storage/wal.h Recover fills it; the BufferPool
+/// consults it on miss before touching the file).
+using RecoveredPageMap = std::unordered_map<PageId, std::vector<std::byte>>;
 
 /// Sees every id-space and content mutation of a PageStore.
 struct PageStoreObserver {

@@ -87,9 +87,10 @@ bool Wal::Open(const std::string& path, uint32_t page_size,
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) return false;
   page_size_ = page_size;
-  next_lsn_ = start_lsn > 0 ? start_lsn : 1;
-  durable_lsn_ = next_lsn_ - 1;  // nothing buffered yet
-  buffered_lsn_ = durable_lsn_;
+  const uint64_t first = start_lsn > 0 ? start_lsn : 1;
+  next_lsn_.store(first, std::memory_order_relaxed);
+  durable_lsn_.store(first - 1, std::memory_order_release);
+  buffered_lsn_ = first - 1;  // nothing buffered yet
   buffer_.clear();
   stats_ = WalStats{};
 
@@ -132,10 +133,11 @@ void Wal::Close() {
 
 uint64_t Wal::AppendPageImage(int64_t page_id, const void* image,
                               uint64_t op_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return 0;
   WalRecordHeader h;
   h.type = kPageImage;
-  h.lsn = next_lsn_++;
+  h.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   h.page_id = page_id;
   h.op_seq = op_seq;
   h.payload_len = page_size_;
@@ -151,10 +153,11 @@ uint64_t Wal::AppendPageImage(int64_t page_id, const void* image,
 }
 
 uint64_t Wal::AppendCommit(uint64_t op_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return 0;
   WalRecordHeader h;
   h.type = kCommit;
-  h.lsn = next_lsn_++;
+  h.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   h.op_seq = op_seq;
   h.payload_len = 0;
   h.crc = RecordCrc(h, nullptr);
@@ -168,32 +171,38 @@ uint64_t Wal::AppendCommit(uint64_t op_seq) {
 }
 
 bool Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return false;
-  if (buffer_.empty()) return true;
+  if (buffer_.empty()) return true;  // a racing sync already drained it
   CrashPointBeforeWrite(buffer_.size(), [&](uint64_t half) {
     FullWrite(fd_, buffer_.data(), half);
   });
   if (!FullWrite(fd_, buffer_.data(), buffer_.size())) return false;
   if (::fdatasync(fd_) != 0) return false;
   buffer_.clear();
-  durable_lsn_ = buffered_lsn_;
+  durable_lsn_.store(buffered_lsn_, std::memory_order_release);
   ++stats_.syncs;
   return true;
 }
 
 bool Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return false;
   buffer_.clear();
-  buffered_lsn_ = durable_lsn_ = next_lsn_ - 1;
+  const uint64_t caught_up = next_lsn_.load(std::memory_order_relaxed) - 1;
+  buffered_lsn_ = caught_up;
+  durable_lsn_.store(caught_up, std::memory_order_release);
   if (::ftruncate(fd_, sizeof(WalFileHeader)) != 0) return false;
   if (::lseek(fd_, 0, SEEK_END) < 0) return false;
   return ::fdatasync(fd_) == 0;
 }
 
 bool Wal::Recover(const std::string& wal_path, PageFile* file,
-                  RecoveryResult* out) {
+                  RecoveryResult* out, bool truncate_after_replay,
+                  RecoveredPageMap* overlay) {
   RecoveryResult res;
-  const int fd = ::open(wal_path.c_str(), O_RDWR);
+  const int fd =
+      ::open(wal_path.c_str(), truncate_after_replay ? O_RDWR : O_RDONLY);
   if (fd < 0) {
     if (out) *out = res;
     return true;  // no log, nothing to do
@@ -287,18 +296,29 @@ bool Wal::Recover(const std::string& wal_path, PageFile* file,
   // durable image first — the WAL rule — so unconditional replay is
   // always sound.)
   for (const Image& im : images) {
-    if (!file->WritePage(im.page_id, log.data() + im.payload_off)) {
+    if (overlay != nullptr) {
+      // Read-only redo: the newest committed image lands in memory; the
+      // page file stays untouched (a live writer may own it).
+      (*overlay)[im.page_id].assign(
+          log.begin() + static_cast<ptrdiff_t>(im.payload_off),
+          log.begin() + static_cast<ptrdiff_t>(im.payload_off) +
+              fh.page_size);
+    } else if (!file->WritePage(im.page_id, log.data() + im.payload_off)) {
       ::close(fd);
       return false;
     }
     ++res.pages_replayed;
   }
-  if (!file->Sync()) {
+  if (overlay == nullptr && !file->Sync()) {
     ::close(fd);
     return false;
   }
-  // The log's work is done; empty it so the next writer starts clean.
-  if (::ftruncate(fd, sizeof(WalFileHeader)) != 0 || ::fdatasync(fd) != 0) {
+  // Write mode: the log's work is done; empty it so the next writer
+  // starts clean. A read-only open leaves the log byte-identical — it may
+  // be another process's only durable copy (see the header contract).
+  if (truncate_after_replay &&
+      (::ftruncate(fd, sizeof(WalFileHeader)) != 0 ||
+       ::fdatasync(fd) != 0)) {
     ::close(fd);
     return false;
   }

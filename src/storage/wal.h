@@ -22,15 +22,25 @@
 //  * Checkpoint = flush all dirty frames, fsync the page file, then
 //    Truncate() the log. The superblock's lsn field persists the LSN
 //    high-water mark across log truncations.
+//
+// Concurrency: the log is single-writer — one thread appends records —
+// but with a sharded BufferPool any shard's eviction path may force a
+// Sync() (the log-before-data rule), so Append/Sync/Truncate serialize on
+// an internal latch and durable_lsn() is an atomic read. Two shards
+// racing to the same forced sync are fine: the loser finds the buffer
+// empty and returns immediately.
 #ifndef CLIPBB_STORAGE_WAL_H_
 #define CLIPBB_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace clipbb::storage {
 
@@ -82,15 +92,24 @@ class Wal {
   /// operation sequence number recovery reports back).
   uint64_t AppendCommit(uint64_t op_seq);
 
-  /// Writes the buffered transactions and fdatasyncs. The commit boundary.
+  /// Writes the buffered transactions and fdatasyncs. The commit
+  /// boundary. Callable from any thread (the write-back rule forces it
+  /// from buffer-pool evictions); serialized on the internal latch.
   bool Sync();
 
   /// Highest LSN covered by a completed Sync (0 = nothing durable).
-  uint64_t durable_lsn() const { return durable_lsn_; }
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
   /// LSN the next record will receive.
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_relaxed);
+  }
   /// Bytes waiting in the buffer for the next Sync.
-  size_t pending_bytes() const { return buffer_.size(); }
+  size_t pending_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
 
   /// Empties the log after a checkpoint (dirty pages flushed, page file
   /// synced). The LSN counter keeps running.
@@ -107,22 +126,40 @@ class Wal {
     uint64_t max_lsn = 0;          // highest LSN seen in committed records
   };
 
-  /// Redo pass: replays every committed page image in `wal_path` whose LSN
-  /// is newer than the target page's on-disk LSN into `file` (which must be
-  /// open with its page size set), fsyncs the file, then truncates the log.
+  /// Redo pass over the log at `wal_path`. Two modes:
+  ///
+  ///  * Write mode (`overlay == nullptr`, the default): replays every
+  ///    committed page image into `file` (open, page size set) in log
+  ///    order, fsyncs it, and — with `truncate_after_replay`, the
+  ///    write-mode default — empties the log so the next writer starts
+  ///    clean.
+  ///  * Read-only mode (`overlay != nullptr`, pass
+  ///    truncate_after_replay = false): touches NEITHER the page file
+  ///    NOR the log — committed images land in `*overlay` (last image
+  ///    per page wins) for the caller's buffer pool to consult on miss.
+  ///    The log may be a live writer's only durable copy of its commits,
+  ///    and the page file may be mid-checkpoint by that writer, so a
+  ///    reader must write to neither; redo is idempotent, so the next
+  ///    open just rebuilds the overlay.
+  ///
   /// A missing or empty log is success with log_found = false. Returns
-  /// false only on real I/O failure — a torn tail is discarded, not fatal.
+  /// false only on real I/O failure — a torn tail is discarded, not
+  /// fatal.
   static bool Recover(const std::string& wal_path, PageFile* file,
-                      RecoveryResult* out);
+                      RecoveryResult* out,
+                      bool truncate_after_replay = true,
+                      RecoveredPageMap* overlay = nullptr);
 
  private:
   int fd_ = -1;
   uint32_t page_size_ = 0;
-  uint64_t next_lsn_ = 1;
-  uint64_t durable_lsn_ = 0;
-  uint64_t buffered_lsn_ = 0;  // highest LSN in buffer_
+  std::atomic<uint64_t> next_lsn_{1};
+  std::atomic<uint64_t> durable_lsn_{0};
+  uint64_t buffered_lsn_ = 0;  // highest LSN in buffer_ (latched)
   std::vector<std::byte> buffer_;
   WalStats stats_;
+  /// Serializes append/sync/truncate; see the class comment.
+  mutable std::mutex mu_;
 };
 
 }  // namespace clipbb::storage

@@ -1,0 +1,172 @@
+// Multithreaded paged batch parity: N workers over the lock-striped
+// buffer pool must produce exactly the results of the single-threaded
+// in-memory tree — identical per-query counts and identical summed
+// logical I/O (leaf/internal/clip accesses are per-query deterministic,
+// so per-thread accumulation + one final sum must reproduce the serial
+// totals). With a pool that never evicts, the summed physical page reads
+// must also match the single-threaded paged run exactly: each distinct
+// page faults once no matter how the workers interleave, because racing
+// pinners of the same page serialize on its shard latch. A second pass
+// over a tiny pool races the eviction/write-back path on purpose (counts
+// must still match; reads are interleaving-dependent there and are not
+// asserted). This test is part of the ThreadSanitizer CI subset.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_batch.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+constexpr unsigned kThreads = 4;
+
+geom::Rect<2> Domain2() {
+  geom::Rect<2> r;
+  for (int i = 0; i < 2; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "clipbb_mt_" + name + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() {
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+  std::string path;
+};
+
+class PagedBatchMt : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PagedBatchMt, ParityWithInMemorySingleThread) {
+  Rng rng(411);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 6000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 400; ++q) {
+    queries.push_back(RandomRect<2>(rng, 0.12));
+  }
+
+  FileGuard file(TempPath("parity"));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, file.path));
+
+  // In-memory single-thread reference.
+  QueryBatchOptions serial;
+  serial.threads = 1;
+  const QueryBatchResult mem = RunQueryBatch<2>(*tree, queries, serial);
+
+  // Paged, sharded pool sized to never evict: one fault per distinct
+  // page, interleaving-independent.
+  PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions opts;
+  opts.pool_pages = 1u << 20;  // effectively unbounded; frames grow lazily
+  opts.pool_shards = kThreads;
+  ASSERT_TRUE(paged.Open(file.path, opts));
+
+  const QueryBatchResult st = paged.RunBatch(queries, serial);
+  paged.pool().Clear();  // cold again for the multithreaded run
+  QueryBatchOptions parallel;
+  parallel.threads = kThreads;
+  const QueryBatchResult mt = paged.RunBatch(queries, parallel);
+  EXPECT_FALSE(paged.io_error());
+
+  // Identical results...
+  EXPECT_EQ(mt.counts, mem.counts);
+  EXPECT_EQ(mt.counts, st.counts);
+  // ...identical summed logical I/O vs the in-memory serial run...
+  EXPECT_EQ(mt.io.leaf_accesses, mem.io.leaf_accesses);
+  EXPECT_EQ(mt.io.internal_accesses, mem.io.internal_accesses);
+  EXPECT_EQ(mt.io.contributing_leaf_accesses,
+            mem.io.contributing_leaf_accesses);
+  EXPECT_EQ(mt.io.clip_accesses, mem.io.clip_accesses);
+  // ...and summed physical reads matching the single-thread paged count.
+  EXPECT_GT(st.io.page_reads, 0u);
+  EXPECT_EQ(mt.io.page_reads, st.io.page_reads);
+  EXPECT_EQ(mt.io.page_writes, 0u);  // read path never dirties a frame
+  paged.Close();
+
+  // Tiny sharded pool: workers race real evictions; results must not
+  // notice. (Physical reads depend on the interleaving here — that is
+  // the documented trade, not a bug.)
+  PagedRTree<2> small;
+  PagedRTree<2>::OpenOptions sopts;
+  sopts.pool_pages = kThreads + 4;  // a few frames per shard
+  sopts.pool_shards = kThreads;
+  ASSERT_TRUE(small.Open(file.path, sopts));
+  const QueryBatchResult tight = small.RunBatch(queries, parallel);
+  EXPECT_FALSE(small.io_error());
+  EXPECT_EQ(tight.counts, mem.counts);
+  EXPECT_GE(tight.io.page_reads, st.io.page_reads);  // evictions re-read
+}
+
+TEST_P(PagedBatchMt, WorkloadOrderScheduleAlsoMatches) {
+  Rng rng(412);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto tree = BuildTree<2>(GetParam(), items, Domain2());
+
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 200; ++q) {
+    queries.push_back(RandomRect<2>(rng, 0.15));
+  }
+
+  FileGuard file(TempPath("sched"));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, file.path));
+  PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions opts;
+  opts.pool_pages = 1u << 20;
+  opts.pool_shards = kThreads;
+  ASSERT_TRUE(paged.Open(file.path, opts));
+
+  QueryBatchOptions o;
+  o.hilbert_order = false;  // input order, chunked across workers
+  o.threads = kThreads;
+  const QueryBatchResult mt = paged.RunBatch(queries, o);
+  o.threads = 1;
+  paged.pool().Clear();
+  const QueryBatchResult st = paged.RunBatch(queries, o);
+  EXPECT_EQ(mt.counts, st.counts);
+  EXPECT_EQ(mt.io.leaf_accesses, st.io.leaf_accesses);
+  EXPECT_EQ(mt.io.page_reads, st.io.page_reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, PagedBatchMt,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             default:
+                               return "RRStar";
+                           }
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,210 @@
+// Close/eviction edge cases of the paged tree:
+//
+//  * Close() is idempotent — the destructor after an explicit Close (and
+//    a second Close) performs no further I/O and repeats the verdict;
+//  * a poisoned writer (io_error) must never truncate the WAL at close —
+//    the log is the only durable copy of the committed suffix;
+//  * a read-only open replays the sidecar WAL but leaves the file
+//    byte-identical through Open AND Close (a reader must not destroy a
+//    log that may belong to a live writer), and can never checkpoint.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+geom::Rect<2> Domain2() {
+  geom::Rect<2> r;
+  for (int i = 0; i < 2; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "clipbb_close_" + name + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() {
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+  std::string path;
+};
+
+std::vector<char> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+int64_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<int64_t>(in.tellg()) : -1;
+}
+
+/// A small serialized clipped tree at `path`.
+void WriteSeedTree(const std::string& path, int n = 600) {
+  Rng rng(77);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  ASSERT_TRUE(WritePagedTree<2>(*tree, path));
+}
+
+TEST(PagedClose, ExplicitCloseThenDestructorIsIdempotent) {
+  FileGuard file(TempPath("idem"));
+  WriteSeedTree(file.path);
+  Rng rng(78);
+  {
+    PagedRTree<2> paged;
+    ASSERT_TRUE(paged.OpenWrite(file.path,
+                                MakeRTree<2>(Variant::kHilbert, Domain2())));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(paged.Insert(RandomRect<2>(rng, 0.03), 10000 + i));
+    }
+    EXPECT_TRUE(paged.Close());
+    EXPECT_FALSE(paged.is_open());
+    // Second close: no-op, same verdict; the WAL stays checkpointed.
+    const int64_t wal_after_first = FileSize(WalPathFor(file.path));
+    EXPECT_TRUE(paged.Close());
+    EXPECT_EQ(FileSize(WalPathFor(file.path)), wal_after_first);
+    // Destructor runs a third Close here — must be a no-op too.
+  }
+  PagedRTree<2> reopened;
+  ASSERT_TRUE(reopened.Open(file.path));
+  EXPECT_EQ(reopened.NumObjects(), 610u);
+}
+
+TEST(PagedClose, PoisonedCloseNeverTruncatesWal) {
+  FileGuard file(TempPath("poison"));
+  WriteSeedTree(file.path);
+  Rng rng(79);
+  PagedRTree<2> paged;
+  ASSERT_TRUE(paged.OpenWrite(file.path,
+                              MakeRTree<2>(Variant::kHilbert, Domain2())));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(paged.Insert(RandomRect<2>(rng, 0.03), 20000 + i));
+  }
+  // Make everything durable, then drop every cached frame so the next
+  // operation must fault its pages from the file...
+  ASSERT_TRUE(paged.Checkpoint());
+  paged.pool().Clear();
+  // ...and cut the file down to the superblock so those faults fail:
+  // deterministic staging failure -> poisoned writer.
+  ASSERT_EQ(::truncate(file.path.c_str(),
+                       paged.superblock().file_page_size),
+            0);
+  EXPECT_FALSE(paged.Insert(RandomRect<2>(rng, 0.03), 30000));
+  EXPECT_TRUE(paged.io_error());
+
+  // Further updates are refused, and a poisoned writer cannot checkpoint
+  // (a checkpoint would truncate the WAL — the only durable copy).
+  EXPECT_FALSE(paged.Insert(RandomRect<2>(rng, 0.03), 30001));
+  EXPECT_FALSE(paged.Checkpoint());
+
+  const std::vector<char> wal_before = FileBytes(WalPathFor(file.path));
+  EXPECT_FALSE(paged.Close());  // durability not guaranteed -> false
+  EXPECT_TRUE(paged.io_error());  // verdict survives Close
+  // The WAL was not truncated (nor rewritten) by the poisoned close.
+  EXPECT_EQ(FileBytes(WalPathFor(file.path)), wal_before);
+  // Idempotent: a second close repeats the verdict without new I/O.
+  EXPECT_FALSE(paged.Close());
+  EXPECT_EQ(FileBytes(WalPathFor(file.path)), wal_before);
+}
+
+TEST(PagedClose, ReadOnlyOpenRecoversButNeverTouchesWalOrFile) {
+  FileGuard file(TempPath("ro"));
+  WriteSeedTree(file.path);
+
+  // Craft a committed sidecar WAL by hand: one image of the superblock
+  // with a bumped LSN high-water mark — harmless, but distinguishable
+  // from the on-disk page, so we can prove the reader served the WAL
+  // image from memory without writing it anywhere.
+  storage::PageFile pf;
+  ASSERT_TRUE(pf.Open(file.path, /*create=*/false));
+  Superblock sb{};
+  ASSERT_TRUE(pf.ReadRaw(0, &sb, sizeof sb));
+  pf.set_page_size(sb.file_page_size);
+  std::vector<std::byte> page0(sb.file_page_size);
+  ASSERT_TRUE(pf.ReadPage(0, page0.data()));
+  pf.Close();
+  Superblock patched = sb;
+  patched.lsn = sb.lsn + 7;
+  std::memcpy(page0.data(), &patched, sizeof patched);
+  storage::Wal wal;
+  ASSERT_TRUE(wal.Open(WalPathFor(file.path), sb.file_page_size,
+                       sb.lsn + 1));
+  ASSERT_GT(wal.AppendPageImage(0, page0.data(), /*op_seq=*/1), 0u);
+  ASSERT_GT(wal.AppendCommit(/*op_seq=*/1), 0u);
+  ASSERT_TRUE(wal.Sync());
+  wal.Close();
+
+  const std::vector<char> wal_bytes = FileBytes(WalPathFor(file.path));
+  const std::vector<char> data_bytes = FileBytes(file.path);
+  ASSERT_GT(wal_bytes.size(), 16u);  // more than the bare header
+
+  {
+    PagedRTree<2> paged;
+    ASSERT_TRUE(paged.Open(file.path));  // read-only
+    // The committed image was redone into memory and is visible...
+    EXPECT_EQ(paged.recovery().pages_replayed, 1u);
+    EXPECT_EQ(paged.superblock().lsn, sb.lsn + 7);
+    // ...but neither the log nor the page file was written.
+    EXPECT_EQ(FileBytes(WalPathFor(file.path)), wal_bytes);
+    EXPECT_EQ(FileBytes(file.path), data_bytes);
+    // A read-only tree can never checkpoint.
+    EXPECT_FALSE(paged.writable());
+    EXPECT_FALSE(paged.Checkpoint());
+    Rng rng(80);
+    storage::IoStats io;
+    EXPECT_GT(paged.RangeCount(RandomRect<2>(rng, 0.3), &io), 0u);
+    EXPECT_TRUE(paged.Close());
+    // ...and Close touched them as little as Open did.
+    EXPECT_EQ(FileBytes(WalPathFor(file.path)), wal_bytes);
+    EXPECT_EQ(FileBytes(file.path), data_bytes);
+  }
+  // A second read-only open just rebuilds the overlay (idempotent redo).
+  {
+    PagedRTree<2> paged;
+    ASSERT_TRUE(paged.Open(file.path));
+    EXPECT_EQ(paged.recovery().pages_replayed, 1u);
+    EXPECT_EQ(paged.superblock().lsn, sb.lsn + 7);
+    EXPECT_EQ(FileBytes(WalPathFor(file.path)), wal_bytes);
+  }
+  // A WRITABLE open owns the file: redo writes the pages for real and
+  // truncates the replayed log.
+  {
+    PagedRTree<2> paged;
+    ASSERT_TRUE(paged.OpenWrite(
+        file.path, MakeRTree<2>(Variant::kHilbert, Domain2())));
+    EXPECT_LT(FileSize(WalPathFor(file.path)),
+              static_cast<int64_t>(wal_bytes.size()));
+    EXPECT_EQ(paged.superblock().lsn, sb.lsn + 7);
+    EXPECT_NE(FileBytes(file.path), data_bytes);  // image hit the disk
+    EXPECT_TRUE(paged.Close());
+  }
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

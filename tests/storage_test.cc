@@ -1,12 +1,15 @@
 // Tests for the page store, the page file, and the LRU buffer pool (both
 // the residency-only mode and the content-holding pin/unpin mode with
-// dirty tracking and write-back eviction).
+// dirty tracking and write-back eviction), including the lock-striped
+// sharding, the all-pinned overflow high-water accounting, and the
+// exactly-once-read guarantee under concurrent pins.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -224,6 +227,87 @@ TEST_F(ContentPoolTest, TransientOverageWhenAllPinned) {
   pool.Unpin(0);
   pool.Unpin(1);
   EXPECT_EQ(pool.size(), 1u);  // shrank back on unpin
+}
+
+TEST_F(ContentPoolTest, HighWaterRecordsAllPinnedOverage) {
+  // Pinning capacity + k frames at once must keep working (the pool grows
+  // transiently), and the ballooned footprint must be observable through
+  // frames_high_water() — the signal that a tiny pool under a large
+  // transaction (e.g. UpdateClips staging O(file) pages) outgrew its
+  // budget, instead of silent unbounded growth.
+  BufferPool pool(2, &file_);
+  for (int64_t p = 0; p < 5; ++p) {
+    ASSERT_NE(pool.Pin(p), nullptr);  // all five stay pinned
+  }
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_EQ(pool.frames_high_water(), 5u);
+  for (int64_t p = 0; p < 5; ++p) pool.Unpin(p);
+  EXPECT_EQ(pool.size(), 2u);               // shrank back to capacity
+  EXPECT_EQ(pool.frames_high_water(), 5u);  // the peak stays recorded
+}
+
+TEST_F(ContentPoolTest, ShardedPoolServesAllPagesAndSumsCounters) {
+  BufferPool pool(8, &file_, 4);
+  EXPECT_EQ(pool.shards(), 4u);
+  BufferPool::PinIo io;
+  for (int round = 0; round < 2; ++round) {
+    for (int64_t p = 0; p < 10; ++p) {
+      const std::byte* f = pool.Pin(p, &io);
+      ASSERT_NE(f, nullptr);
+      EXPECT_EQ(f[0], MarkedPage(p)[0]);
+      pool.Unpin(p, false, 0, &io);
+    }
+  }
+  EXPECT_EQ(pool.hits() + pool.misses(), 20u);
+  EXPECT_GE(pool.misses(), 10u);  // every page missed at least once
+  EXPECT_EQ(io.reads, pool.misses());  // PinIo mirrors the summed counters
+  EXPECT_LE(pool.size(), 8u);  // per-shard capacity still bounds frames
+}
+
+TEST_F(ContentPoolTest, ShardCountClampedToCapacity) {
+  // Every shard must own at least one frame, or a stripe of a bounded
+  // pool could never evict.
+  BufferPool pool(2, &file_, 16);
+  EXPECT_LE(pool.shards(), 2u);
+  for (int64_t p = 0; p < 10; ++p) {
+    ASSERT_NE(pool.Pin(p), nullptr);
+    pool.Unpin(p);
+  }
+  EXPECT_LE(pool.size(), 2u);
+}
+
+TEST_F(ContentPoolTest, ConcurrentPinsReadEachResidencyOnce) {
+  // Four threads hammer ten pages through a sharded pool big enough to
+  // never evict: every page must be read from the file exactly once (the
+  // shard latch is held across the read, so racing pinners of the same
+  // page serialize and hit), and per-thread PinIo sums must equal the
+  // pool totals — the accumulate-per-thread, sum-once contract. Capacity
+  // 40 = ten frames per shard, so no stripe can evict however unevenly
+  // the ten page ids hash.
+  BufferPool pool(40, &file_, 4);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<BufferPool::PinIo> per_thread(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t p = (t + i) % 10;
+        const std::byte* f = pool.Pin(p, &per_thread[t]);
+        EXPECT_NE(f, nullptr);
+        if (f) EXPECT_EQ(f[0], MarkedPage(p)[0]);
+        pool.Unpin(p, false, 0, &per_thread[t]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint64_t reads = 0;
+  for (const auto& io : per_thread) reads += io.reads;
+  EXPECT_EQ(reads, 10u);  // one physical read per distinct page
+  EXPECT_EQ(reads, pool.misses());
+  EXPECT_EQ(file_.reads(), 10u);
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<uint64_t>(kThreads) * kIters);
 }
 
 TEST_F(ContentPoolTest, DirtyEvictionWritesBack) {
