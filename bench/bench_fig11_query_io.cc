@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
 
 namespace clipbb::bench {
 namespace {
@@ -38,13 +39,15 @@ std::vector<uint64_t> PagedPageReads(
     std::remove(path.c_str());
     return reads;
   }
+  const rtree::SpatialEngine<D> engine(paged);
   rtree::TraversalScratch scratch;
-  scratch.Reserve(paged.Height(), paged.max_entries());
+  scratch.Reserve(engine.Height(), engine.max_entries());
   for (size_t p = 0; p < profiles.size(); ++p) {
     paged.pool().Clear();  // cold pool per profile
     storage::IoStats io;
     for (const auto& q : profiles[p].queries) {
-      paged.RangeCount(q, &io, &scratch);
+      engine.Execute(rtree::QuerySpec<D>::Intersects(q), /*sink=*/nullptr,
+                     &io, &scratch);
     }
     reads[p] = io.page_reads;
   }

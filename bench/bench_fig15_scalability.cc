@@ -16,8 +16,9 @@
 // locality win is its own row, never mixed into the paper numbers).
 //
 // With --paged --threads=N an extra "paged-mtN" row runs the same batch
-// through PagedRTree::RunBatch over an N-way-sharded buffer pool with N
-// workers — the "heavy traffic, many cores, disk-resident" scenario. The
+// through SpatialEngine::ExecuteBatch (rtree/query_api.h) over an
+// N-way-sharded buffer pool with N workers — the "heavy traffic, many
+// cores, disk-resident" scenario. The
 // pool is sized to hold the section (no evictions), so each distinct page
 // faults exactly once no matter how the workers interleave: per-query
 // counts AND summed page reads must match the single-threaded run
@@ -30,7 +31,7 @@
 #include <numeric>
 
 #include "rtree/paged_rtree.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "storage/buffer_pool.h"
 
 namespace clipbb::bench {
@@ -181,18 +182,19 @@ void RunTree(const std::string& dataset, const char* label,
                 total_ms / kQueriesPerProfile);
       }
       if (!paged_path.empty() && g_threads > 1) {
+        const rtree::SpatialEngine<D> engine_mt(paged_mt);
         rtree::QueryBatchOptions bopts;
         bopts.hilbert_order = sched == &hilbert_order;
         // Deterministic reference on the same no-evict pool layout.
         paged_mt.pool().Clear();
         bopts.threads = 1;
-        const rtree::QueryBatchResult ref =
-            paged_mt.RunBatch(profiles[p].queries, bopts);
+        const rtree::QueryBatchResult ref = engine_mt.ExecuteBatch(
+            std::span<const geom::Rect<D>>(profiles[p].queries), bopts);
         paged_mt.pool().Clear();
         bopts.threads = g_threads;
         Timer timer;
-        const rtree::QueryBatchResult mt =
-            paged_mt.RunBatch(profiles[p].queries, bopts);
+        const rtree::QueryBatchResult mt = engine_mt.ExecuteBatch(
+            std::span<const geom::Rect<D>>(profiles[p].queries), bopts);
         const double total_ms = timer.ElapsedSeconds() * 1e3;
         size_t results = 0;
         for (size_t qi = 0; qi < mt.counts.size(); ++qi) {

@@ -20,7 +20,7 @@
 #include "common.h"
 
 #include "core/intersect.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "rtree/soa.h"
 
 namespace clipbb::bench {
@@ -209,9 +209,11 @@ void RunDataset(const workload::Dataset<D>& data, Table* table) {
   });
   double batch_s;
   {
+    const rtree::SpatialEngine<D> engine(*tree);
     rtree::QueryBatchOptions opts;  // Hilbert order, 1 thread
     batch_s = BestOf3([&] {
-      const auto r = rtree::RunQueryBatch<D>(*tree, queries, opts);
+      const auto r = engine.ExecuteBatch(
+          std::span<const geom::Rect<D>>(queries), opts);
       batch_total = 0;
       for (size_t c : r.counts) batch_total += c;
     });

@@ -3,7 +3,7 @@
 // per variant, on the neuroscience workload where dead space dominates.
 #include "common.h"
 
-#include "rtree/knn.h"
+#include "rtree/query_api.h"
 #include "util/rng.h"
 
 namespace clipbb::bench {
@@ -28,14 +28,17 @@ void Run() {
   Table t({"variant", "leafAcc plain", "leafAcc CSTA", "I/O reduction"});
   for (rtree::Variant v : rtree::kAllVariants) {
     auto tree = Build<3>(v, data);
+    const rtree::SpatialEngine<3> engine(*tree);
     storage::IoStats plain;
     for (const auto& q : points) {
-      rtree::KnnQuery<3>(*tree, q, kK, &plain);
+      engine.Execute(rtree::QuerySpec<3>::Knn(q, kK), /*sink=*/nullptr,
+                     &plain);
     }
     tree->EnableClipping(core::ClipConfig<3>::Sta());
     storage::IoStats clipped;
     for (const auto& q : points) {
-      rtree::KnnQuery<3>(*tree, q, kK, &clipped);
+      engine.Execute(rtree::QuerySpec<3>::Knn(q, kK), /*sink=*/nullptr,
+                     &clipped);
     }
     const double reduction =
         plain.leaf_accesses

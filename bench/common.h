@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "rtree/factory.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "rtree/validate.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -84,20 +84,29 @@ std::unique_ptr<rtree::RTree<D>> Build(rtree::Variant v,
   return rtree::BuildTree<D>(v, data.items, data.domain);
 }
 
-/// Mean leaf accesses per query over a workload. Runs the batched hot path
-/// (reusable traversal context, Hilbert-ordered scheduling); counts and
-/// I/O totals are identical to issuing the queries one by one.
+/// Mean leaf accesses per query over a workload, through the unified
+/// query API. Runs the batched hot path (reusable traversal context,
+/// Hilbert-ordered scheduling); counts and I/O totals are identical to
+/// issuing the queries one by one. Works for either backend.
 template <int D>
-storage::IoStats RunQueries(const rtree::RTree<D>& tree,
+storage::IoStats RunQueries(const rtree::SpatialEngine<D>& engine,
                             const std::vector<geom::Rect<D>>& queries,
                             size_t* results = nullptr) {
-  const rtree::QueryBatchResult r = rtree::RunQueryBatch<D>(tree, queries);
+  const rtree::QueryBatchResult r =
+      engine.ExecuteBatch(std::span<const geom::Rect<D>>(queries));
   if (results) {
     size_t total = 0;
     for (size_t c : r.counts) total += c;
     *results = total;
   }
   return r.io;
+}
+
+template <int D>
+storage::IoStats RunQueries(const rtree::RTree<D>& tree,
+                            const std::vector<geom::Rect<D>>& queries,
+                            size_t* results = nullptr) {
+  return RunQueries<D>(rtree::SpatialEngine<D>(tree), queries, results);
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "rtree/factory.h"
-#include "rtree/knn.h"
 #include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
 #include "stats/tree_report.h"
 #include "workload/dataset.h"
 #include "workload/query.h"
@@ -72,14 +72,19 @@ int main() {
   // 5. Pool misses are schedule-dependent: the Hilbert-ordered batch path
   //    visits overlapping subtrees consecutively, so the same workload
   //    faults in far fewer pages than the arbitrary input order above.
-  const auto batch = paged.RunBatch(queries.queries);
+  //    The unified query API (SpatialEngine) fronts the paged tree here.
+  const rtree::SpatialEngine<2> engine(paged);
+  const auto batch = engine.ExecuteBatch(
+      std::span<const geom::Rect2>(queries.queries));
   std::printf("hilbert batch: %llu page reads (input order did %llu)\n",
               static_cast<unsigned long long>(batch.io.page_reads),
               static_cast<unsigned long long>(disk_io.page_reads));
 
-  // 6. kNN runs disk-resident too.
+  // 6. kNN runs disk-resident too — results stream into a sink.
   const geom::Vec2 center = data.domain.Center();
-  const auto nn = paged.Knn(center, 5);
+  std::vector<rtree::KnnNeighbor<2>> nn;
+  rtree::KnnHeapSink<2> nn_sink(&nn);
+  engine.Execute(rtree::QuerySpec<2>::Knn(center, 5), &nn_sink);
   std::printf("5-NN of the domain center: ");
   for (const auto& n : nn) std::printf("#%lld ", static_cast<long long>(n.id));
   std::printf("\n");

@@ -2,12 +2,19 @@
 // indexed dataset with every object of the other — one range query per
 // probe object. Clipping on the indexed tree prunes probes that intersect
 // only dead space.
+//
+// Probes run through SpatialEngine::ExecuteBatch (rtree/query_api.h) —
+// the batched hot path (reusable contexts, Hilbert-ordered scheduling) —
+// so the same join runs unchanged against an in-memory tree or a
+// disk-resident PagedRTree; pair counts and I/O totals are
+// order-independent, and the paged case reports physical page reads in
+// io_a as well.
 #ifndef CLIPBB_JOIN_INLJ_H_
 #define CLIPBB_JOIN_INLJ_H_
 
 #include <span>
 
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "rtree/rtree.h"
 
 namespace clipbb::join {
@@ -22,21 +29,30 @@ struct JoinStats {
   }
 };
 
-/// Joins `probes` against `indexed`; result pairs are (probe, object)
-/// rect intersections. I/O is accounted on the indexed tree. Probes run
-/// through the batched hot path (reusable context, Hilbert-ordered
-/// scheduling); pair counts and I/O totals are order-independent.
+/// Joins `probes` against the engine's indexed dataset; result pairs are
+/// (probe, object) rect intersections. I/O is accounted on the indexed
+/// side. Works over either backend of the unified query API.
 template <int D>
-JoinStats IndexNestedLoopJoin(const rtree::RTree<D>& indexed,
+JoinStats IndexNestedLoopJoin(const rtree::SpatialEngine<D>& indexed,
                               std::span<const rtree::Entry<D>> probes) {
   JoinStats stats;
-  std::vector<geom::Rect<D>> windows;
-  windows.reserve(probes.size());
-  for (const rtree::Entry<D>& p : probes) windows.push_back(p.rect);
-  rtree::QueryBatchResult r = rtree::RunQueryBatch<D>(indexed, windows);
+  std::vector<rtree::QuerySpec<D>> specs;
+  specs.reserve(probes.size());
+  for (const rtree::Entry<D>& p : probes) {
+    specs.push_back(rtree::QuerySpec<D>::Intersects(p.rect));
+  }
+  rtree::QueryBatchResult r = indexed.ExecuteBatch(
+      std::span<const rtree::QuerySpec<D>>(specs));
   for (size_t c : r.counts) stats.result_pairs += c;
   stats.io_a = r.io;
   return stats;
+}
+
+/// In-memory convenience overload (the historical signature).
+template <int D>
+JoinStats IndexNestedLoopJoin(const rtree::RTree<D>& indexed,
+                              std::span<const rtree::Entry<D>> probes) {
+  return IndexNestedLoopJoin<D>(rtree::SpatialEngine<D>(indexed), probes);
 }
 
 }  // namespace clipbb::join

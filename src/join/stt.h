@@ -3,6 +3,14 @@
 // intersection of their boxes, and the dominance test (Algorithm 2) prunes
 // a pair when that intersection falls entirely inside either CBB's dead
 // space.
+//
+// Unlike INLJ (join/inlj.h), which probes through the unified query API
+// and so runs against either storage engine, STT descends BOTH trees'
+// node structures in lockstep — a per-node-pair recursion no single
+// QuerySpec expresses. It therefore stays below the SpatialEngine facade,
+// bound to the in-memory representation; a paged STT would need a
+// node-pair iterator on the backend interface (future work, tracked in
+// ROADMAP.md).
 #ifndef CLIPBB_JOIN_STT_H_
 #define CLIPBB_JOIN_STT_H_
 

@@ -27,12 +27,15 @@ struct BatchResult {
 /// Runs RangeCount for every query, fanned out over `threads` workers
 /// (0 = hardware concurrency). Deterministic counts; I/O totals are exact.
 template <int D>
+[[deprecated(
+    "use SpatialEngine::ExecuteBatch with QuerySpec::Intersects specs "
+    "(rtree/query_api.h)")]]
 BatchResult BatchRangeCount(const RTree<D>& tree,
                             std::span<const geom::Rect<D>> queries,
                             unsigned threads = 0) {
   QueryBatchOptions opts;
   opts.threads = threads;
-  QueryBatchResult r = RunQueryBatch<D>(tree, queries, opts);
+  QueryBatchResult r = batch_internal::RunQueryBatchCore<D>(tree, queries, opts);
   return BatchResult{std::move(r.counts), r.io};
 }
 

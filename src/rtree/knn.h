@@ -2,6 +2,12 @@
 // (Hjaltason & Samet) whose node ordering uses the CBB-aware MINDIST when
 // the tree is clipped. Results are identical to the classic algorithm; the
 // tighter bound only prunes nodes earlier.
+//
+// The core is sink-driven: KnnSearch emits each KnnNeighbor<D> in
+// ascending distance order the moment it is popped from the frontier, so
+// callers stream results into their own storage (a ResultSink, a fixed
+// buffer, a callback) without an intermediate vector. The by-value
+// KnnQuery wrapper survives as a deprecated shim for one PR.
 #ifndef CLIPBB_RTREE_KNN_H_
 #define CLIPBB_RTREE_KNN_H_
 
@@ -13,20 +19,23 @@
 
 namespace clipbb::rtree {
 
+/// One kNN result: object id + squared distance from the query point.
+/// The single kNN result type of both engines (in-memory and paged).
 template <int D>
 struct KnnNeighbor {
   ObjectId id = kInvalidPage;
   double dist2 = 0.0;
 };
 
-/// k nearest objects to `q` by (squared) rect distance, ascending. Counts
-/// page accesses into `io` if non-null.
-template <int D>
-std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
-                                     const geom::Vec<D>& q, int k,
-                                     storage::IoStats* io = nullptr) {
-  std::vector<KnnNeighbor<D>> result;
-  if (k <= 0) return result;
+/// k nearest objects to `q` by (squared) rect distance. Invokes
+/// `emit(const KnnNeighbor<D>&)` once per neighbour, ascending; returns
+/// the number emitted (< k when the tree holds fewer objects). Counts
+/// node accesses into `io` if non-null.
+template <int D, typename Emit>
+size_t KnnSearch(const RTree<D>& tree, const geom::Vec<D>& q, int k,
+                 Emit&& emit, storage::IoStats* io = nullptr) {
+  if (k <= 0) return 0;
+  size_t found = 0;
 
   struct QueueItem {
     double dist2;
@@ -43,8 +52,8 @@ std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
     const QueueItem item = frontier.top();
     frontier.pop();
     if (item.is_object) {
-      result.push_back(KnnNeighbor<D>{item.id, item.dist2});
-      if (static_cast<int>(result.size()) == k) break;
+      emit(KnnNeighbor<D>{item.id, item.dist2});
+      if (static_cast<int>(++found) == k) break;
       continue;
     }
     const Node<D>& n = tree.NodeAt(item.id);
@@ -83,6 +92,21 @@ std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
       }
     }
   }
+  return found;
+}
+
+/// k nearest objects to `q`, ascending, as a by-value vector.
+template <int D>
+[[deprecated(
+    "use SpatialEngine::Execute with QuerySpec::Knn and a KnnHeapSink "
+    "(rtree/query_api.h), or the sink-driven KnnSearch")]]
+std::vector<KnnNeighbor<D>> KnnQuery(const RTree<D>& tree,
+                                     const geom::Vec<D>& q, int k,
+                                     storage::IoStats* io = nullptr) {
+  std::vector<KnnNeighbor<D>> result;
+  KnnSearch<D>(tree, q, k,
+               [&result](const KnnNeighbor<D>& n) { result.push_back(n); },
+               io);
   return result;
 }
 

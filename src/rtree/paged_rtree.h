@@ -396,6 +396,31 @@ class PagedRTree {
   size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out = nullptr,
                     storage::IoStats* io = nullptr,
                     TraversalScratch* scratch = nullptr) {
+    if (out) {
+      return TraverseWindowEmit<false>(
+          q, MatchAllPred{}, [out](ObjectId id) { out->push_back(id); }, io,
+          scratch);
+    }
+    return TraverseWindowEmit<false>(q, MatchAllPred{}, [](ObjectId) {}, io,
+                                     scratch);
+  }
+
+  /// Shared window traversal of the disk-resident engine — the paged twin
+  /// of RTree::TraverseWindowEmit, decoding pool-pinned pages. Visits leaf
+  /// entries intersecting `window` (the on-page SoA IntersectsAll kernel
+  /// runs zero-copy on the pinned frame bytes) and keeps those satisfying
+  /// `pred`; `emit(ObjectId)` fires once per result in visit order. Node
+  /// visit order, results, and logical I/O counts are identical to the
+  /// in-memory tree running the same query (`PredImpliesIntersect` is
+  /// accepted for interface symmetry; the paged path always has the
+  /// bitmask in hand). Point / containment / enclosure predicates run
+  /// through here via the unified query API (rtree/query_api.h).
+  template <bool PredImpliesIntersect, typename Pred, typename Emit>
+  size_t TraverseWindowEmit(const RectT& window, Pred&& pred, Emit&& emit,
+                            storage::IoStats* io = nullptr,
+                            TraversalScratch* scratch = nullptr) {
+    constexpr bool kMatchAll =
+        std::is_same_v<std::decay_t<Pred>, MatchAllPred>;
     assert(open_);
     TraversalScratch local;
     if (!scratch) {
@@ -422,7 +447,7 @@ class PagedRTree {
         break;
       }
       uint64_t* mask = scratch->MaskFor(v.n());
-      IntersectsAll<D>(v.Soa(), q, mask, scratch->FlagsFor(v.n()));
+      IntersectsAll<D>(v.Soa(), window, mask, scratch->FlagsFor(v.n()));
       if (v.IsLeaf()) {
         if (io) ++io->leaf_accesses;
         bool contributed = false;
@@ -432,9 +457,11 @@ class PagedRTree {
             const uint32_t i =
                 w * 64 + static_cast<uint32_t>(std::countr_zero(m));
             m &= m - 1;
-            ++found;
-            contributed = true;
-            if (out) out->push_back(v.id[i]);
+            if (kMatchAll || pred(v.EntryRect(i))) {
+              ++found;
+              contributed = true;
+              emit(static_cast<ObjectId>(v.id[i]));
+            }
           }
         }
         if (io && contributed) ++io->contributing_leaf_accesses;
@@ -457,7 +484,7 @@ class PagedRTree {
             }
             if (clipping_enabled()) {
               if (io) ++io->clip_accesses;
-              if (core::ClipsPruneQuery<D>(clips_->Get(child), q)) {
+              if (core::ClipsPruneQuery<D>(clips_->Get(child), window)) {
                 continue;
               }
             }
@@ -481,12 +508,17 @@ class PagedRTree {
   }
 
   /// k nearest objects to `q`, ascending squared distance — best-first
-  /// traversal identical to rtree/knn.h, decoding pinned pages.
-  std::vector<KnnNeighbor<D>> Knn(const geom::Vec<D>& q, int k,
-                                  storage::IoStats* io = nullptr) {
+  /// traversal identical to rtree/knn.h KnnSearch, decoding pinned pages.
+  /// Emits each KnnNeighbor<D> the moment it is popped from the frontier
+  /// (no intermediate vector — the sink form both engines share); returns
+  /// the number emitted.
+  template <typename Emit>
+    requires std::invocable<Emit&, const KnnNeighbor<D>&>
+  size_t Knn(const geom::Vec<D>& q, int k, Emit&& emit,
+             storage::IoStats* io = nullptr) {
     assert(open_);
-    std::vector<KnnNeighbor<D>> result;
-    if (k <= 0) return result;
+    if (k <= 0) return 0;
+    size_t found = 0;
     storage::BufferPool::PinIo pin_io;
 
     struct QueueItem {
@@ -504,8 +536,8 @@ class PagedRTree {
       const QueueItem item = frontier.top();
       frontier.pop();
       if (item.is_object) {
-        result.push_back(KnnNeighbor<D>{item.id, item.dist2});
-        if (static_cast<int>(result.size()) == k) break;
+        emit(KnnNeighbor<D>{item.id, item.dist2});
+        if (static_cast<int>(++found) == k) break;
         continue;
       }
       const std::byte* bytes = pool_->Pin(1 + item.id, &pin_io);
@@ -555,21 +587,53 @@ class PagedRTree {
       io->page_writes += pin_io.writes;
       io->wal_syncs += pin_io.wal_syncs;
     }
+    return found;
+  }
+
+  /// k nearest objects to `q`, ascending, as a by-value vector.
+  [[deprecated(
+      "use SpatialEngine::Execute with QuerySpec::Knn and a KnnHeapSink "
+      "(rtree/query_api.h), or the sink-driven Knn overload")]]
+  std::vector<KnnNeighbor<D>> Knn(const geom::Vec<D>& q, int k,
+                                  storage::IoStats* io = nullptr) {
+    std::vector<KnnNeighbor<D>> result;
+    Knn(q, k,
+        [&result](const KnnNeighbor<D>& n) { result.push_back(n); }, io);
     return result;
   }
 
   /// Runs every window as a range count, optionally in Hilbert order of
   /// the query centers (the batched hot path), fanned out over
   /// `opts.threads` workers pulling contiguous chunks of the schedule.
-  /// Every worker owns a TraversalScratch and an IoStats — counters
-  /// accumulate per thread and are summed once at the end, so totals are
-  /// exact (the sharded pool reads each faulted page exactly once even
-  /// when workers race to it). Counts are deterministic and identical to
-  /// the single-threaded run; physical read counts additionally match it
-  /// whenever the pool never evicts (each distinct page faults once
-  /// regardless of the interleaving).
+  [[deprecated(
+      "use SpatialEngine::ExecuteBatch over this tree "
+      "(rtree/query_api.h)")]]
   QueryBatchResult RunBatch(std::span<const RectT> queries,
                             const QueryBatchOptions& opts) {
+    return RunBatchImpl(queries, opts);
+  }
+
+  /// Single-threaded batch (kept as the deterministic baseline schedule).
+  [[deprecated(
+      "use SpatialEngine::ExecuteBatch over this tree "
+      "(rtree/query_api.h)")]]
+  QueryBatchResult RunBatch(std::span<const RectT> queries,
+                            bool hilbert_order = true) {
+    QueryBatchOptions opts;
+    opts.hilbert_order = hilbert_order;
+    opts.threads = 1;
+    return RunBatchImpl(queries, opts);
+  }
+
+ private:
+  /// The batch fan-out behind the deprecated RunBatch shims —
+  /// SpatialEngine::ExecuteBatch reproduces exactly this (same schedule,
+  /// ForEachChunked, per-worker scratch + IoStats summed at the join;
+  /// the sharded pool reads each faulted page exactly once even when
+  /// workers race to it, so summed physical reads match the serial run
+  /// on a no-evict pool).
+  QueryBatchResult RunBatchImpl(std::span<const RectT> queries,
+                                const QueryBatchOptions& opts) {
     QueryBatchResult result;
     result.counts.assign(queries.size(), 0);
     if (queries.empty() || !open_) return result;
@@ -594,16 +658,6 @@ class PagedRTree {
     return result;
   }
 
-  /// Single-threaded batch (kept as the deterministic baseline schedule).
-  QueryBatchResult RunBatch(std::span<const RectT> queries,
-                            bool hilbert_order = true) {
-    QueryBatchOptions opts;
-    opts.hilbert_order = hilbert_order;
-    opts.threads = 1;
-    return RunBatch(queries, opts);
-  }
-
- private:
   // ----------------------------------------------------------- open helpers
 
   /// Opens the page file, replays any sidecar WAL (redo to the last

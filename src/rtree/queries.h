@@ -4,11 +4,12 @@
 // every candidate must intersect the query region, so Algorithm 2 applies
 // unchanged; only the leaf predicate differs.
 //
-// All three run on RTree::TraverseWindow, the shared SoA-aware traversal.
-// Their predicates imply window intersection (a rect containing the query
-// point intersects the point window, a rect inside the window intersects
-// it, a rect enclosing the window intersects it), so the redundant
-// per-entry Intersects test is compiled out of the leaf loop.
+// DEPRECATED SURFACE: these free functions predate the unified query API.
+// New code builds a QuerySpec and runs it through SpatialEngine::Execute
+// (rtree/query_api.h), which serves the same predicates on both the
+// in-memory and the disk-resident engine. The shims below survive exactly
+// one PR; every in-tree caller has been migrated, and the
+// -Werror=deprecated-declarations guard keeps it that way.
 #ifndef CLIPBB_RTREE_QUERIES_H_
 #define CLIPBB_RTREE_QUERIES_H_
 
@@ -38,6 +39,9 @@ size_t Traverse(const RTree<D>& tree, const geom::Rect<D>& window,
 
 /// Objects whose rect contains the point (stabbing query).
 template <int D>
+[[deprecated(
+    "use SpatialEngine::Execute with QuerySpec::ContainsPoint "
+    "(rtree/query_api.h)")]]
 size_t PointQuery(const RTree<D>& tree, const geom::Vec<D>& p,
                   std::vector<ObjectId>* out = nullptr,
                   storage::IoStats* io = nullptr,
@@ -50,6 +54,9 @@ size_t PointQuery(const RTree<D>& tree, const geom::Vec<D>& p,
 
 /// Objects entirely inside the window (the "WITHIN" predicate).
 template <int D>
+[[deprecated(
+    "use SpatialEngine::Execute with QuerySpec::ContainedIn "
+    "(rtree/query_api.h)")]]
 size_t ContainedInQuery(const RTree<D>& tree, const geom::Rect<D>& window,
                         std::vector<ObjectId>* out = nullptr,
                         storage::IoStats* io = nullptr,
@@ -62,6 +69,9 @@ size_t ContainedInQuery(const RTree<D>& tree, const geom::Rect<D>& window,
 
 /// Objects whose rect contains the whole window (enclosure query).
 template <int D>
+[[deprecated(
+    "use SpatialEngine::Execute with QuerySpec::Encloses "
+    "(rtree/query_api.h)")]]
 size_t EnclosureQuery(const RTree<D>& tree, const geom::Rect<D>& window,
                       std::vector<ObjectId>* out = nullptr,
                       storage::IoStats* io = nullptr,

@@ -1,0 +1,462 @@
+// The unified query API: one way to describe a query (QuerySpec), one way
+// to receive its results (ResultSink), and one facade (SpatialEngine) that
+// runs either over the in-memory RTree or the disk-resident PagedRTree —
+// the paper's "clipping is a drop-in change every query kind benefits
+// from" claim, expressed as a surface every scenario shares.
+//
+// Three pieces:
+//
+//  * QuerySpec<D> — a small value type naming the predicate (window
+//    intersection, point stabbing, containment, enclosure, kNN) plus its
+//    geometry. Factories (QuerySpec::Intersects, ::ContainsPoint,
+//    ::ContainedIn, ::Encloses, ::Knn) keep construction typo-proof; the
+//    window field doubles as the scheduling key (point queries store a
+//    degenerate rect), so Hilbert-ordered batching works uniformly.
+//
+//  * ResultSink<D> — a tiny polymorphic consumer. Window predicates
+//    deliver OnMatch(id); kNN delivers OnNeighbor(KnnNeighbor<D>) in
+//    ascending distance order (the default forwards the id to OnMatch, so
+//    a sink written for window queries works for kNN unchanged). Stock
+//    sinks: CollectIds, CountOnly, KnnHeapSink, CallbackSink. Execute
+//    also accepts a null sink — the shared count-only fast path both
+//    engines implement without materializing results.
+//
+//  * SpatialEngine<D> — type-erases the backend behind a QueryBackend
+//    vtable. Execute(spec, sink, io, scratch) runs one query;
+//    ExecuteBatch(specs, opts) runs many through the shared ForEachChunked
+//    scheduler (Hilbert order of the spec windows, per-worker
+//    TraversalScratch and IoStats summed at the join — exactly the
+//    batched hot path both engines already shared for range queries, now
+//    for every predicate kind). Results, visit order, and logical I/O are
+//    identical across backends (parity-tested); the paged backend
+//    additionally reports physical page reads in the same IoStats.
+//
+// The pre-unification surface (free PointQuery/ContainedInQuery/
+// EnclosureQuery/KnnQuery/RunQueryBatch/BatchRangeCount, by-value
+// PagedRTree::Knn, PagedRTree::RunBatch) survives as deprecated shims for
+// exactly one PR.
+#ifndef CLIPBB_RTREE_QUERY_API_H_
+#define CLIPBB_RTREE_QUERY_API_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rtree/knn.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_batch.h"
+#include "rtree/rtree.h"
+
+namespace clipbb::rtree {
+
+// ------------------------------------------------------------- QuerySpec
+
+/// The predicate a QuerySpec evaluates at the leaves.
+enum class QueryKind : uint8_t {
+  kIntersects,     // objects intersecting the window (classic range query)
+  kContainsPoint,  // objects whose rect contains the point (stabbing)
+  kContainedIn,    // objects entirely inside the window ("WITHIN")
+  kEncloses,       // objects whose rect contains the whole window
+  kKnn,            // k nearest objects to the point
+};
+
+inline const char* QueryKindName(QueryKind k) {
+  switch (k) {
+    case QueryKind::kIntersects: return "intersects";
+    case QueryKind::kContainsPoint: return "contains-point";
+    case QueryKind::kContainedIn: return "contained-in";
+    case QueryKind::kEncloses: return "encloses";
+    case QueryKind::kKnn: return "knn";
+  }
+  return "?";
+}
+
+/// One query, as a value. Use the factories; every kind fills `window`
+/// (point kinds store the degenerate point rect), so batch scheduling can
+/// key on `window.Center()` regardless of kind.
+template <int D>
+struct QuerySpec {
+  QueryKind kind = QueryKind::kIntersects;
+  geom::Rect<D> window{};
+  geom::Vec<D> point{};  // kContainsPoint / kKnn
+  int k = 0;             // kKnn
+
+  static QuerySpec Intersects(const geom::Rect<D>& w) {
+    QuerySpec s;
+    s.kind = QueryKind::kIntersects;
+    s.window = w;
+    return s;
+  }
+  static QuerySpec ContainsPoint(const geom::Vec<D>& p) {
+    QuerySpec s;
+    s.kind = QueryKind::kContainsPoint;
+    s.window = geom::Rect<D>::FromPoint(p);
+    s.point = p;
+    return s;
+  }
+  static QuerySpec ContainedIn(const geom::Rect<D>& w) {
+    QuerySpec s;
+    s.kind = QueryKind::kContainedIn;
+    s.window = w;
+    return s;
+  }
+  static QuerySpec Encloses(const geom::Rect<D>& w) {
+    QuerySpec s;
+    s.kind = QueryKind::kEncloses;
+    s.window = w;
+    return s;
+  }
+  static QuerySpec Knn(const geom::Vec<D>& p, int k) {
+    QuerySpec s;
+    s.kind = QueryKind::kKnn;
+    s.window = geom::Rect<D>::FromPoint(p);
+    s.point = p;
+    s.k = k;
+    return s;
+  }
+};
+
+/// Intersects specs for a whole rect batch (the common migration from the
+/// old rect-window batch entry points).
+template <int D>
+std::vector<QuerySpec<D>> MakeIntersectsSpecs(
+    std::span<const geom::Rect<D>> windows) {
+  std::vector<QuerySpec<D>> specs;
+  specs.reserve(windows.size());
+  for (const auto& w : windows) specs.push_back(QuerySpec<D>::Intersects(w));
+  return specs;
+}
+
+// ----------------------------------------------------------- ResultSinks
+
+/// Receives the results of one Execute call. Window predicates call
+/// OnMatch once per matching object, in traversal visit order; kNN calls
+/// OnNeighbor once per neighbour, ascending distance. Sinks are passed by
+/// pointer and never copied or moved by the engine, so stateful
+/// (even move-only) sinks are fine.
+template <int D>
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnMatch(ObjectId id) = 0;
+  virtual void OnNeighbor(const KnnNeighbor<D>& n) { OnMatch(n.id); }
+};
+
+/// Counts matches without materializing them — the count-only fast path
+/// both engines share (neither allocates or touches result storage).
+/// Passing a null sink to Execute is equivalent; this sink exists for
+/// call sites that want one accumulator across several Execute calls.
+template <int D>
+class CountOnly final : public ResultSink<D> {
+ public:
+  void OnMatch(ObjectId) override { ++count_; }
+  size_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  size_t count_ = 0;
+};
+
+/// Appends matching ids to a caller-owned vector.
+template <int D>
+class CollectIds final : public ResultSink<D> {
+ public:
+  explicit CollectIds(std::vector<ObjectId>* out) : out_(out) {}
+  void OnMatch(ObjectId id) override { out_->push_back(id); }
+
+ private:
+  std::vector<ObjectId>* out_;
+};
+
+/// Appends kNN results (id + squared distance) to a caller-owned vector,
+/// ascending — the streamed form of the old by-value kNN entry points.
+/// Window predicates deliver distance 0 (no distance is computed).
+template <int D>
+class KnnHeapSink final : public ResultSink<D> {
+ public:
+  explicit KnnHeapSink(std::vector<KnnNeighbor<D>>* out) : out_(out) {}
+  void OnMatch(ObjectId id) override {
+    out_->push_back(KnnNeighbor<D>{id, 0.0});
+  }
+  void OnNeighbor(const KnnNeighbor<D>& n) override { out_->push_back(n); }
+
+ private:
+  std::vector<KnnNeighbor<D>>* out_;
+};
+
+/// Invokes `fn(ObjectId)` per match (window kinds) and, when `fn` also
+/// accepts a KnnNeighbor<D>, `fn(n)` per neighbour.
+template <int D, typename Fn>
+class CallbackSink final : public ResultSink<D> {
+ public:
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void OnMatch(ObjectId id) override { fn_(id); }
+  void OnNeighbor(const KnnNeighbor<D>& n) override {
+    if constexpr (std::is_invocable_v<Fn&, const KnnNeighbor<D>&>) {
+      fn_(n);
+    } else {
+      fn_(n.id);
+    }
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <int D, typename Fn>
+CallbackSink<D, Fn> MakeCallbackSink(Fn fn) {
+  return CallbackSink<D, Fn>(std::move(fn));
+}
+
+// ---------------------------------------------------------- QueryBackend
+
+/// What SpatialEngine erases: one Run entry point plus the metadata batch
+/// scheduling needs. Adapters for RTree and PagedRTree live below;
+/// external storage engines can implement this to join the facade.
+template <int D>
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+  virtual const char* name() const = 0;
+  virtual geom::Rect<D> bounds() const = 0;
+  virtual int height() const = 0;
+  virtual int max_entries() const = 0;
+  virtual size_t num_objects() const = 0;
+  virtual bool clipping_enabled() const = 0;
+  /// Runs one spec; delivers to `sink` (null = count only), accumulates
+  /// logical and physical I/O into `io`, reuses `scratch` when non-null.
+  /// Returns the result count.
+  virtual size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
+                     storage::IoStats* io,
+                     TraversalScratch* scratch) const = 0;
+};
+
+namespace query_internal {
+
+/// Window-predicate dispatch shared by both adapters: calls
+/// `traverse.template operator()<PredImpliesIntersect>(pred)` with the
+/// leaf predicate of `spec.kind`. kKnn never reaches here.
+template <int D, typename Traverse>
+size_t DispatchWindow(const QuerySpec<D>& spec, Traverse&& traverse) {
+  switch (spec.kind) {
+    case QueryKind::kIntersects:
+      return traverse.template operator()<false>(MatchAllPred{});
+    case QueryKind::kContainsPoint:
+      return traverse.template operator()<true>(
+          [p = spec.point](const geom::Rect<D>& r) {
+            return r.ContainsPoint(p);
+          });
+    case QueryKind::kContainedIn:
+      return traverse.template operator()<true>(
+          [w = spec.window](const geom::Rect<D>& r) {
+            return w.Contains(r);
+          });
+    case QueryKind::kEncloses:
+      return traverse.template operator()<true>(
+          [w = spec.window](const geom::Rect<D>& r) {
+            return r.Contains(w);
+          });
+    case QueryKind::kKnn:
+      break;
+  }
+  assert(!"window dispatch reached for a kNN spec");
+  return 0;
+}
+
+template <int D>
+class MemoryBackend final : public QueryBackend<D> {
+ public:
+  explicit MemoryBackend(const RTree<D>& tree) : tree_(&tree) {}
+
+  const char* name() const override { return "memory"; }
+  geom::Rect<D> bounds() const override { return tree_->bounds(); }
+  int height() const override { return tree_->Height(); }
+  int max_entries() const override { return tree_->options().max_entries; }
+  size_t num_objects() const override { return tree_->NumObjects(); }
+  bool clipping_enabled() const override {
+    return tree_->clipping_enabled();
+  }
+
+  size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
+             storage::IoStats* io, TraversalScratch* scratch) const override {
+    if (spec.kind == QueryKind::kKnn) {
+      return KnnSearch<D>(
+          *tree_, spec.point, spec.k,
+          [sink](const KnnNeighbor<D>& n) {
+            if (sink) sink->OnNeighbor(n);
+          },
+          io);
+    }
+    auto emit = [sink](ObjectId id) {
+      if (sink) sink->OnMatch(id);
+    };
+    return DispatchWindow<D>(
+        spec, [&]<bool kImplies>(auto pred) {
+          return tree_->template TraverseWindowEmit<kImplies>(
+              spec.window, pred, emit, io, scratch);
+        });
+  }
+
+ private:
+  const RTree<D>* tree_;
+};
+
+template <int D>
+class PagedBackend final : public QueryBackend<D> {
+ public:
+  explicit PagedBackend(PagedRTree<D>& tree) : tree_(&tree) {}
+
+  const char* name() const override { return "paged"; }
+  geom::Rect<D> bounds() const override { return tree_->bounds(); }
+  int height() const override { return tree_->Height(); }
+  int max_entries() const override { return tree_->max_entries(); }
+  size_t num_objects() const override { return tree_->NumObjects(); }
+  bool clipping_enabled() const override {
+    return tree_->clipping_enabled();
+  }
+
+  size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
+             storage::IoStats* io, TraversalScratch* scratch) const override {
+    if (spec.kind == QueryKind::kKnn) {
+      return tree_->Knn(
+          spec.point, spec.k,
+          [sink](const KnnNeighbor<D>& n) {
+            if (sink) sink->OnNeighbor(n);
+          },
+          io);
+    }
+    auto emit = [sink](ObjectId id) {
+      if (sink) sink->OnMatch(id);
+    };
+    return DispatchWindow<D>(
+        spec, [&]<bool kImplies>(auto pred) {
+          return tree_->template TraverseWindowEmit<kImplies>(
+              spec.window, pred, emit, io, scratch);
+        });
+  }
+
+ private:
+  PagedRTree<D>* tree_;  // queries mutate the pool; never const
+};
+
+}  // namespace query_internal
+
+// ---------------------------------------------------------- SpatialEngine
+
+/// Backend-agnostic query facade. Non-owning: the underlying tree must
+/// outlive the engine. Cheap to construct (one small allocation), movable.
+///
+/// Thread safety follows the backend: the in-memory tree's read path and
+/// the paged read path both allow concurrent Execute calls as long as
+/// every caller owns its TraversalScratch and IoStats (exactly what
+/// ExecuteBatch arranges per worker).
+template <int D>
+class SpatialEngine {
+ public:
+  SpatialEngine() = default;
+  /// Facade over the in-memory tree.
+  explicit SpatialEngine(const RTree<D>& tree)
+      : backend_(std::make_unique<query_internal::MemoryBackend<D>>(tree)) {}
+  /// Facade over the disk-resident tree (must be open).
+  explicit SpatialEngine(PagedRTree<D>& tree)
+      : backend_(std::make_unique<query_internal::PagedBackend<D>>(tree)) {}
+  /// Facade over any custom backend.
+  explicit SpatialEngine(std::unique_ptr<QueryBackend<D>> backend)
+      : backend_(std::move(backend)) {}
+
+  bool valid() const { return backend_ != nullptr; }
+  const char* backend_name() const { return deref().name(); }
+  geom::Rect<D> bounds() const { return deref().bounds(); }
+  int Height() const { return deref().height(); }
+  int max_entries() const { return deref().max_entries(); }
+  size_t NumObjects() const { return deref().num_objects(); }
+  bool clipping_enabled() const { return deref().clipping_enabled(); }
+
+  /// Runs one query. Results stream into `sink` (null = count only, the
+  /// fast path that materializes nothing on either backend); logical node
+  /// accesses — and, on the paged backend, physical page reads — are
+  /// accumulated into `io`. A caller-owned `scratch` makes repeated
+  /// window queries allocation-free. Returns the result count.
+  size_t Execute(const QuerySpec<D>& spec, ResultSink<D>* sink = nullptr,
+                 storage::IoStats* io = nullptr,
+                 TraversalScratch* scratch = nullptr) const {
+    assert(backend_);
+    return backend_->Run(spec, sink, io, scratch);
+  }
+
+  /// Runs a batch of specs (any mix of kinds) and reports per-spec result
+  /// counts in input order plus summed I/O — the one batch entry point
+  /// both backends share. Scheduling is identical to the historical
+  /// rect-window batch: Hilbert order of the spec windows' centers over
+  /// the tree bounds (opts.hilbert_order), workers pulling contiguous
+  /// chunks through ForEachChunked, each owning a TraversalScratch and an
+  /// IoStats summed once at the join.
+  QueryBatchResult ExecuteBatch(std::span<const QuerySpec<D>> specs,
+                                const QueryBatchOptions& opts = {}) const {
+    return BatchOver(specs.size(),
+                     [&](size_t i) -> const QuerySpec<D>& {
+                       return specs[i];
+                     },
+                     opts);
+  }
+
+  /// Rect-batch convenience: every window as an intersects count. Builds
+  /// each spec on the fly (no materialized spec vector — this overload
+  /// sits inside bench timing loops).
+  QueryBatchResult ExecuteBatch(std::span<const geom::Rect<D>> windows,
+                                const QueryBatchOptions& opts = {}) const {
+    return BatchOver(windows.size(),
+                     [&](size_t i) {
+                       return QuerySpec<D>::Intersects(windows[i]);
+                     },
+                     opts);
+  }
+
+ private:
+  const QueryBackend<D>& deref() const {
+    assert(backend_);
+    return *backend_;
+  }
+
+  /// Shared batch driver: `spec_at(i)` yields the i-th spec (by value or
+  /// reference). Hilbert order of the spec windows' centers, chunked
+  /// worker fan-out, per-worker scratch + IoStats summed at the join.
+  template <typename SpecAt>
+  QueryBatchResult BatchOver(size_t n, SpecAt&& spec_at,
+                             const QueryBatchOptions& opts) const {
+    assert(backend_);
+    QueryBatchResult result;
+    result.counts.assign(n, 0);
+    if (n == 0) return result;
+
+    std::vector<uint32_t> order;
+    if (opts.hilbert_order) {
+      order = HilbertOrderBy<D>(bounds(), n, [&](size_t i) {
+        return spec_at(i).window.Center();
+      });
+    } else {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0u);
+    }
+    const unsigned threads = ResolveBatchThreads(opts.threads, n);
+
+    std::vector<TraversalScratch> scratch(threads);
+    for (auto& s : scratch) s.Reserve(Height(), max_entries());
+    std::vector<storage::IoStats> per_thread(threads);
+    ForEachChunked(order.size(), threads, [&](unsigned t, size_t i) {
+      const uint32_t qi = order[i];
+      result.counts[qi] = backend_->Run(spec_at(qi), /*sink=*/nullptr,
+                                        &per_thread[t], &scratch[t]);
+    });
+    for (const auto& io : per_thread) result.io += io;
+    return result;
+  }
+
+  std::unique_ptr<QueryBackend<D>> backend_;
+};
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_QUERY_API_H_

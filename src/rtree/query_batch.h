@@ -4,8 +4,8 @@
 // Three pieces. QueryContext owns a TraversalScratch (DFS stack +
 // candidate bitmask) sized once for the tree, so every query it runs is
 // allocation-free — the fix for the hot path allocating a fresh stack per
-// query. RunQueryBatch layers Hilbert-ordered scheduling on top: queries
-// are visited in Hilbert order of their centers, so consecutive queries
+// query. HilbertOrderBy supplies the locality schedule: queries are
+// visited in Hilbert order of their centers, so consecutive queries
 // touch overlapping subtrees and the node pages + clip arena stay hot in
 // cache. Counts are written back in input order; totals and per-query
 // results are identical to running each query alone.
@@ -14,9 +14,10 @@
 // contiguous chunks of the (Hilbert-ordered) schedule, so each worker
 // keeps its own spatial locality, and every worker owns its context and
 // IoStats — counters accumulate per thread and are summed once at the
-// end, exact and race-free. The disk-resident engine
-// (rtree/paged_rtree.h RunBatch) schedules through the same helper over
-// its sharded buffer pool.
+// end, exact and race-free. SpatialEngine::ExecuteBatch
+// (rtree/query_api.h) drives both the in-memory and the disk-resident
+// engine through these primitives; the RunQueryBatch free function
+// survives below as a deprecated shim.
 #ifndef CLIPBB_RTREE_QUERY_BATCH_H_
 #define CLIPBB_RTREE_QUERY_BATCH_H_
 
@@ -110,28 +111,46 @@ struct QueryBatchResult {
   storage::IoStats io;         // summed over all queries
 };
 
-/// Hilbert order of query centers over the tree bounds (indices into
-/// `queries`). Exposed for benches that schedule their own loops.
-template <int D>
-std::vector<uint32_t> HilbertQueryOrder(const geom::Rect<D>& bounds,
-                                        std::span<const geom::Rect<D>> queries) {
-  std::vector<uint32_t> order(queries.size());
+/// Hilbert order of `n` items by a caller-supplied center function
+/// (`center(i)` -> geom::Vec<D>) over `bounds`. The one scheduling
+/// primitive every batch path shares — rect batches and QuerySpec batches
+/// (rtree/query_api.h) produce bit-identical schedules for the same
+/// centers, which the fig15 paged baselines rely on.
+template <int D, typename CenterFn>
+std::vector<uint32_t> HilbertOrderBy(const geom::Rect<D>& bounds, size_t n,
+                                     CenterFn&& center) {
+  std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
   constexpr int kBits = geom::DefaultHilbertBits<D>();
-  std::vector<uint64_t> key(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    key[i] = geom::HilbertIndex<D>(queries[i].Center(), bounds, kBits);
+  std::vector<uint64_t> key(n);
+  for (size_t i = 0; i < n; ++i) {
+    key[i] = geom::HilbertIndex<D>(center(i), bounds, kBits);
   }
   std::sort(order.begin(), order.end(),
             [&](uint32_t a, uint32_t b) { return key[a] < key[b]; });
   return order;
 }
 
-/// Runs every window as a range count through reusable contexts.
+/// Hilbert order of query centers over the tree bounds (indices into
+/// `queries`). Exposed for benches that schedule their own loops.
 template <int D>
-QueryBatchResult RunQueryBatch(const RTree<D>& tree,
-                               std::span<const geom::Rect<D>> queries,
-                               const QueryBatchOptions& opts = {}) {
+std::vector<uint32_t> HilbertQueryOrder(const geom::Rect<D>& bounds,
+                                        std::span<const geom::Rect<D>> queries) {
+  return HilbertOrderBy<D>(bounds, queries.size(),
+                           [&](size_t i) { return queries[i].Center(); });
+}
+
+namespace batch_internal {
+
+/// Implementation of the rect-window batch — kept callable without a
+/// deprecation warning so the RunQueryBatch/BatchRangeCount shims can
+/// forward to it. New code runs batches through
+/// SpatialEngine::ExecuteBatch (rtree/query_api.h), which serves
+/// QuerySpec batches on both engines through this same scheduling.
+template <int D>
+QueryBatchResult RunQueryBatchCore(const RTree<D>& tree,
+                                   std::span<const geom::Rect<D>> queries,
+                                   const QueryBatchOptions& opts = {}) {
   QueryBatchResult result;
   result.counts.assign(queries.size(), 0);
   if (queries.empty()) return result;
@@ -164,6 +183,19 @@ QueryBatchResult RunQueryBatch(const RTree<D>& tree,
   });
   for (const auto& io : per_thread) result.io += io;
   return result;
+}
+
+}  // namespace batch_internal
+
+/// Runs every window as a range count through reusable contexts.
+template <int D>
+[[deprecated(
+    "use SpatialEngine::ExecuteBatch with QuerySpec::Intersects specs "
+    "(rtree/query_api.h)")]]
+QueryBatchResult RunQueryBatch(const RTree<D>& tree,
+                               std::span<const geom::Rect<D>> queries,
+                               const QueryBatchOptions& opts = {}) {
+  return batch_internal::RunQueryBatchCore<D>(tree, queries, opts);
 }
 
 }  // namespace clipbb::rtree

@@ -143,11 +143,30 @@ class RTree {
   /// accelerator is fresh; falls back to the AoS scan otherwise. Both paths
   /// visit nodes in identical order and produce identical results and I/O
   /// counts. A null `scratch` allocates a per-call stack (batch callers
-  /// pass a reused one).
+  /// pass a reused one). Results go to the optional `out` vector; result
+  /// sinks and other delivery styles use TraverseWindowEmit directly.
   template <bool PredImpliesIntersect, typename Pred>
   size_t TraverseWindow(const RectT& window, Pred&& pred,
                         std::vector<ObjectId>* out, storage::IoStats* io,
                         TraversalScratch* scratch = nullptr) const {
+    if (out) {
+      return TraverseWindowEmit<PredImpliesIntersect>(
+          window, std::forward<Pred>(pred),
+          [out](ObjectId id) { out->push_back(id); }, io, scratch);
+    }
+    return TraverseWindowEmit<PredImpliesIntersect>(
+        window, std::forward<Pred>(pred), [](ObjectId) {}, io, scratch);
+  }
+
+  /// TraverseWindow with a per-result callback instead of an out vector —
+  /// the primitive the unified query API (rtree/query_api.h) drives result
+  /// sinks through. `emit(ObjectId)` is invoked once per matching leaf
+  /// entry, in visit order. Traversal, results, and I/O accounting are
+  /// identical to TraverseWindow.
+  template <bool PredImpliesIntersect, typename Pred, typename Emit>
+  size_t TraverseWindowEmit(const RectT& window, Pred&& pred, Emit&& emit,
+                            storage::IoStats* io,
+                            TraversalScratch* scratch = nullptr) const {
     constexpr bool kMatchAll = std::is_same_v<std::decay_t<Pred>, MatchAllPred>;
     TraversalScratch local;
     if (!scratch) {
@@ -179,7 +198,7 @@ class RTree {
               if (kMatchAll || pred(n.entries[i].rect)) {
                 ++found;
                 contributed = true;
-                if (out) out->push_back(v.id[i]);
+                emit(static_cast<ObjectId>(v.id[i]));
               }
             }
           }
@@ -192,7 +211,7 @@ class RTree {
             if (hit) {
               ++found;
               contributed = true;
-              if (out) out->push_back(e.id);
+              emit(e.id);
             }
           }
         }

@@ -1,4 +1,5 @@
-// Tests for kNN search and the CBB-aware MINDIST bound.
+// Tests for kNN search (the sink-driven KnnSearch core) and the
+// CBB-aware MINDIST bound.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -78,6 +79,18 @@ TEST(CbbMinDist2, Admissible3d) {
 
 class KnnTest : public ::testing::TestWithParam<Variant> {};
 
+/// Collects KnnSearch results — the test-local stand-in for the old
+/// by-value entry point (now a deprecated shim covered by
+/// engine_api_test).
+template <int D>
+std::vector<KnnNeighbor<D>> Knn(const RTree<D>& tree, const Vec<D>& q,
+                                int k, storage::IoStats* io = nullptr) {
+  std::vector<KnnNeighbor<D>> out;
+  KnnSearch<D>(tree, q, k,
+               [&out](const KnnNeighbor<D>& n) { out.push_back(n); }, io);
+  return out;
+}
+
 template <int D>
 geom::Rect<D> Domain() {
   geom::Rect<D> r;
@@ -97,7 +110,7 @@ TEST_P(KnnTest, MatchesBruteForceDistances) {
   auto tree = BuildTree<2>(GetParam(), items, Domain<2>());
   for (int t = 0; t < 40; ++t) {
     const auto q = RandomPoint<2>(rng);
-    const auto got = KnnQuery<2>(*tree, q, 10);
+    const auto got = Knn<2>(*tree, q, 10);
     ASSERT_EQ(got.size(), 10u);
     std::vector<double> brute;
     for (const auto& e : items) brute.push_back(core::MinDist2<2>(q, e.rect));
@@ -122,7 +135,7 @@ TEST_P(KnnTest, ClippedReturnsIdenticalDistancesWithFewerAccesses) {
   storage::IoStats plain_io;
   std::vector<std::vector<double>> plain_d;
   for (const auto& q : queries) {
-    auto res = KnnQuery<3>(*tree, q, 5, &plain_io);
+    auto res = Knn<3>(*tree, q, 5, &plain_io);
     std::vector<double> d;
     for (const auto& r : res) d.push_back(r.dist2);
     plain_d.push_back(std::move(d));
@@ -130,7 +143,7 @@ TEST_P(KnnTest, ClippedReturnsIdenticalDistancesWithFewerAccesses) {
   tree->EnableClipping(core::ClipConfig<3>::Sta());
   storage::IoStats clip_io;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto res = KnnQuery<3>(*tree, queries[i], 5, &clip_io);
+    auto res = Knn<3>(*tree, queries[i], 5, &clip_io);
     ASSERT_EQ(res.size(), plain_d[i].size());
     for (size_t j = 0; j < res.size(); ++j) {
       EXPECT_NEAR(res[j].dist2, plain_d[i][j], 1e-12);
@@ -141,10 +154,10 @@ TEST_P(KnnTest, ClippedReturnsIdenticalDistancesWithFewerAccesses) {
 
 TEST_P(KnnTest, EdgeCases) {
   auto tree = MakeRTree<2>(GetParam(), Domain<2>());
-  EXPECT_TRUE(KnnQuery<2>(*tree, {0.5, 0.5}, 0).empty());
-  EXPECT_TRUE(KnnQuery<2>(*tree, {0.5, 0.5}, 3).empty());  // empty tree
+  EXPECT_TRUE(Knn<2>(*tree, {0.5, 0.5}, 0).empty());
+  EXPECT_TRUE(Knn<2>(*tree, {0.5, 0.5}, 3).empty());  // empty tree
   tree->Insert(Rect<2>{{0.1, 0.1}, {0.2, 0.2}}, 7);
-  const auto res = KnnQuery<2>(*tree, {0.5, 0.5}, 3);
+  const auto res = Knn<2>(*tree, {0.5, 0.5}, 3);
   ASSERT_EQ(res.size(), 1u);  // fewer objects than k
   EXPECT_EQ(res[0].id, 7);
 }

@@ -19,7 +19,7 @@
 
 #include "rtree/factory.h"
 #include "rtree/paged_rtree.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "test_util.h"
 
 namespace clipbb::rtree {
@@ -74,7 +74,8 @@ TEST_P(PagedBatchMt, ParityWithInMemorySingleThread) {
   // In-memory single-thread reference.
   QueryBatchOptions serial;
   serial.threads = 1;
-  const QueryBatchResult mem = RunQueryBatch<2>(*tree, queries, serial);
+  const QueryBatchResult mem = SpatialEngine<2>(*tree).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), serial);
 
   // Paged, sharded pool sized to never evict: one fault per distinct
   // page, interleaving-independent.
@@ -84,11 +85,14 @@ TEST_P(PagedBatchMt, ParityWithInMemorySingleThread) {
   opts.pool_shards = kThreads;
   ASSERT_TRUE(paged.Open(file.path, opts));
 
-  const QueryBatchResult st = paged.RunBatch(queries, serial);
+  const SpatialEngine<2> engine(paged);
+  const QueryBatchResult st = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), serial);
   paged.pool().Clear();  // cold again for the multithreaded run
   QueryBatchOptions parallel;
   parallel.threads = kThreads;
-  const QueryBatchResult mt = paged.RunBatch(queries, parallel);
+  const QueryBatchResult mt = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), parallel);
   EXPECT_FALSE(paged.io_error());
 
   // Identical results...
@@ -114,7 +118,8 @@ TEST_P(PagedBatchMt, ParityWithInMemorySingleThread) {
   sopts.pool_pages = kThreads + 4;  // a few frames per shard
   sopts.pool_shards = kThreads;
   ASSERT_TRUE(small.Open(file.path, sopts));
-  const QueryBatchResult tight = small.RunBatch(queries, parallel);
+  const QueryBatchResult tight = SpatialEngine<2>(small).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), parallel);
   EXPECT_FALSE(small.io_error());
   EXPECT_EQ(tight.counts, mem.counts);
   EXPECT_GE(tight.io.page_reads, st.io.page_reads);  // evictions re-read
@@ -141,13 +146,16 @@ TEST_P(PagedBatchMt, WorkloadOrderScheduleAlsoMatches) {
   opts.pool_shards = kThreads;
   ASSERT_TRUE(paged.Open(file.path, opts));
 
+  const SpatialEngine<2> engine(paged);
   QueryBatchOptions o;
   o.hilbert_order = false;  // input order, chunked across workers
   o.threads = kThreads;
-  const QueryBatchResult mt = paged.RunBatch(queries, o);
+  const QueryBatchResult mt = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), o);
   o.threads = 1;
   paged.pool().Clear();
-  const QueryBatchResult st = paged.RunBatch(queries, o);
+  const QueryBatchResult st = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), o);
   EXPECT_EQ(mt.counts, st.counts);
   EXPECT_EQ(mt.io.leaf_accesses, st.io.leaf_accesses);
   EXPECT_EQ(mt.io.page_reads, st.io.page_reads);

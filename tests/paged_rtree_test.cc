@@ -12,9 +12,8 @@
 #include <vector>
 
 #include "rtree/factory.h"
-#include "rtree/knn.h"
 #include "rtree/paged_rtree.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "test_util.h"
 #include "workload/dataset.h"
 #include "workload/query.h"
@@ -107,8 +106,11 @@ TEST_P(PagedParity, KnnMatchesInMemory) {
   for (int q = 0; q < 40; ++q) {
     const auto p = RandomPoint<2>(rng);
     const int k = 1 + static_cast<int>(rng.Below(16));
-    const auto mem = KnnQuery<2>(*tree, p, k);
-    const auto disk = paged.Knn(p, k);
+    std::vector<KnnNeighbor<2>> mem, disk;
+    KnnSearch<2>(*tree, p, k,
+                 [&mem](const KnnNeighbor<2>& n) { mem.push_back(n); });
+    paged.Knn(p, k,
+              [&disk](const KnnNeighbor<2>& n) { disk.push_back(n); });
     ASSERT_EQ(mem.size(), disk.size());
     for (size_t i = 0; i < mem.size(); ++i) {
       // The k nearest distances are a unique multiset even when ids tie.
@@ -133,8 +135,10 @@ TEST_P(PagedParity, BatchedTraversalMatchesInMemory) {
   PagedRTree<2> paged;
   ASSERT_TRUE(paged.Open(file.path));
 
-  const QueryBatchResult mem = RunQueryBatch<2>(*tree, queries);
-  const QueryBatchResult disk = paged.RunBatch(queries);
+  const QueryBatchResult mem = SpatialEngine<2>(*tree).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries));
+  const QueryBatchResult disk = SpatialEngine<2>(paged).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries));
   EXPECT_EQ(mem.counts, disk.counts);
   EXPECT_EQ(mem.io.leaf_accesses, disk.io.leaf_accesses);
   EXPECT_EQ(mem.io.internal_accesses, disk.io.internal_accesses);

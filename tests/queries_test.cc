@@ -1,13 +1,13 @@
 // Tests for the additional query types (point/containment/enclosure), the
-// parallel batch executor, the linear-split variant, and the tree report.
+// parallel batch executor, the linear-split variant, and the tree report —
+// all through the unified query API (rtree/query_api.h).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
-#include "rtree/batch.h"
 #include "rtree/factory.h"
 #include "rtree/linear.h"
-#include "rtree/queries.h"
+#include "rtree/query_api.h"
 #include "rtree/validate.h"
 #include "stats/tree_report.h"
 #include "test_util.h"
@@ -38,7 +38,8 @@ TEST(PointQuery, MatchesLinearScan) {
   for (int t = 0; t < 100; ++t) {
     const auto p = RandomPoint<2>(rng);
     std::vector<ObjectId> got;
-    PointQuery<2>(*tree, p, &got);
+    CollectIds<2> sink(&got);
+    SpatialEngine<2>(*tree).Execute(QuerySpec<2>::ContainsPoint(p), &sink);
     std::sort(got.begin(), got.end());
     std::vector<ObjectId> want;
     for (const auto& e : items) {
@@ -56,7 +57,8 @@ TEST(ContainedInQuery, MatchesLinearScan) {
   for (int t = 0; t < 100; ++t) {
     const auto window = RandomRect<2>(rng, 0.3);
     std::vector<ObjectId> got;
-    ContainedInQuery<2>(*tree, window, &got);
+    CollectIds<2> sink(&got);
+    SpatialEngine<2>(*tree).Execute(QuerySpec<2>::ContainedIn(window), &sink);
     std::sort(got.begin(), got.end());
     std::vector<ObjectId> want;
     for (const auto& e : items) {
@@ -73,7 +75,8 @@ TEST(EnclosureQuery, MatchesLinearScan) {
   for (int t = 0; t < 100; ++t) {
     const auto window = RandomRect<2>(rng, 0.02);
     std::vector<ObjectId> got;
-    EnclosureQuery<2>(*tree, window, &got);
+    CollectIds<2> sink(&got);
+    SpatialEngine<2>(*tree).Execute(QuerySpec<2>::Encloses(window), &sink);
     std::sort(got.begin(), got.end());
     std::vector<ObjectId> want;
     for (const auto& e : items) {
@@ -87,18 +90,21 @@ TEST(ContainedInQuery, ClippingSavesIoOnSparseData) {
   Rng rng(314);
   const auto items = RandomItems(rng, 4000, 0.01);
   auto tree = BuildTree<2>(Variant::kGuttman, items, Domain2());
+  const SpatialEngine<2> engine(*tree);
   storage::IoStats plain, clipped;
   std::vector<Rect<2>> windows;
   for (int t = 0; t < 150; ++t) windows.push_back(RandomRect<2>(rng, 0.05));
-  for (const auto& w : windows) ContainedInQuery<2>(*tree, w, nullptr, &plain);
+  for (const auto& w : windows) {
+    engine.Execute(QuerySpec<2>::ContainedIn(w), nullptr, &plain);
+  }
   tree->EnableClipping(core::ClipConfig<2>::Sta());
   for (const auto& w : windows) {
-    ContainedInQuery<2>(*tree, w, nullptr, &clipped);
+    engine.Execute(QuerySpec<2>::ContainedIn(w), nullptr, &clipped);
   }
   EXPECT_LE(clipped.leaf_accesses, plain.leaf_accesses);
 }
 
-TEST(BatchRangeCount, MatchesSerialExecution) {
+TEST(EngineBatch, MatchesSerialExecution) {
   Rng rng(315);
   const auto items = RandomItems(rng, 3000);
   auto tree = BuildTree<2>(Variant::kRStar, items, Domain2());
@@ -111,17 +117,22 @@ TEST(BatchRangeCount, MatchesSerialExecution) {
   for (const auto& q : queries) {
     serial.push_back(tree->RangeCount(q, &serial_io));
   }
+  const SpatialEngine<2> engine(*tree);
   for (unsigned threads : {1u, 2u, 4u, 0u}) {
-    const auto batch = BatchRangeCount<2>(*tree, queries, threads);
+    QueryBatchOptions opts;
+    opts.threads = threads;
+    const auto batch =
+        engine.ExecuteBatch(std::span<const Rect<2>>(queries), opts);
     EXPECT_EQ(batch.counts, serial);
     EXPECT_EQ(batch.io.leaf_accesses, serial_io.leaf_accesses);
     serial_io.leaf_accesses += 0;  // keep totals comparable per run
   }
 }
 
-TEST(BatchRangeCount, EmptyBatch) {
+TEST(EngineBatch, EmptyBatch) {
   auto tree = MakeRTree<2>(Variant::kGuttman, Domain2());
-  const auto batch = BatchRangeCount<2>(*tree, {}, 4);
+  const auto batch = SpatialEngine<2>(*tree).ExecuteBatch(
+      std::span<const QuerySpec<2>>{});
   EXPECT_TRUE(batch.counts.empty());
   EXPECT_EQ(batch.io.TotalAccesses(), 0u);
 }

@@ -1,12 +1,12 @@
 // Tests for the batched traversal layer: QueryContext reuse, Hilbert
-// scheduling, and RunQueryBatch parity with one-at-a-time execution.
+// scheduling, and SpatialEngine::ExecuteBatch parity with one-at-a-time
+// execution.
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "rtree/batch.h"
 #include "rtree/factory.h"
-#include "rtree/query_batch.h"
+#include "rtree/query_api.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -53,7 +53,8 @@ TEST(QueryBatch, CountsMatchSequentialInInputOrder) {
     QueryBatchOptions opts;
     opts.hilbert_order = hilbert;
     opts.threads = 1;
-    const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries, opts);
+    const QueryBatchResult r = SpatialEngine<2>(*f.tree).ExecuteBatch(
+        std::span<const geom::Rect<2>>(f.queries), opts);
     EXPECT_EQ(r.counts, expected) << "hilbert=" << hilbert;
     EXPECT_EQ(r.io.leaf_accesses, seq_io.leaf_accesses);
     EXPECT_EQ(r.io.internal_accesses, seq_io.internal_accesses);
@@ -68,7 +69,8 @@ TEST(QueryBatch, ThreadedMatchesSequential) {
 
   QueryBatchOptions opts;
   opts.threads = 4;
-  const QueryBatchResult r = RunQueryBatch<3>(*f.tree, f.queries, opts);
+  const QueryBatchResult r = SpatialEngine<3>(*f.tree).ExecuteBatch(
+      std::span<const geom::Rect<3>>(f.queries), opts);
   EXPECT_EQ(r.counts, expected);
   EXPECT_EQ(r.io.leaf_accesses, seq_io.leaf_accesses);
   EXPECT_EQ(r.io.internal_accesses, seq_io.internal_accesses);
@@ -76,10 +78,24 @@ TEST(QueryBatch, ThreadedMatchesSequential) {
             seq_io.contributing_leaf_accesses);
 }
 
-TEST(QueryBatch, BatchRangeCountWrapperStillWorks) {
-  Fixture<2> f(Variant::kGuttman, 1000, 120, 7);
-  const std::vector<size_t> expected = f.SequentialCounts(nullptr);
-  const BatchResult r = BatchRangeCount<2>(*f.tree, f.queries, 2);
+TEST(QueryBatch, MixedSpecKindsShareOneSchedule) {
+  // The spec batch is not rects-only: interleave kinds and check counts
+  // land in input order (the batch result contract).
+  Fixture<2> f(Variant::kGuttman, 1000, 0, 7);
+  Rng rng(70);
+  std::vector<QuerySpec<2>> specs;
+  std::vector<size_t> expected;
+  const SpatialEngine<2> engine(*f.tree);
+  for (int i = 0; i < 90; ++i) {
+    if (i % 2 == 0) {
+      specs.push_back(QuerySpec<2>::Intersects(testing::RandomRect<2>(rng, 0.2)));
+    } else {
+      specs.push_back(QuerySpec<2>::ContainsPoint(testing::RandomPoint<2>(rng)));
+    }
+    expected.push_back(engine.Execute(specs.back()));
+  }
+  const QueryBatchResult r =
+      engine.ExecuteBatch(std::span<const QuerySpec<2>>(specs));
   EXPECT_EQ(r.counts, expected);
 }
 
@@ -111,12 +127,14 @@ TEST(QueryBatch, HilbertOrderIsAPermutation) {
 
 TEST(QueryBatch, EmptyBatchAndEmptyTree) {
   Fixture<2> f(Variant::kRStar, 0, 10, 10);
-  const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries);
+  const SpatialEngine<2> engine(*f.tree);
+  const QueryBatchResult r =
+      engine.ExecuteBatch(std::span<const geom::Rect<2>>(f.queries));
   ASSERT_EQ(r.counts.size(), 10u);
   for (size_t c : r.counts) EXPECT_EQ(c, 0u);
 
   const QueryBatchResult empty =
-      RunQueryBatch<2>(*f.tree, std::span<const geom::Rect<2>>{});
+      engine.ExecuteBatch(std::span<const geom::Rect<2>>{});
   EXPECT_TRUE(empty.counts.empty());
 }
 
@@ -127,7 +145,8 @@ TEST(QueryBatch, WorksWhileAccelStale) {
   f.tree->Insert(testing::RandomRect<2>(rng, 0.1), 99999);  // stale now
   ASSERT_FALSE(f.tree->AccelFresh());
   const std::vector<size_t> expected = f.SequentialCounts(nullptr);
-  const QueryBatchResult r = RunQueryBatch<2>(*f.tree, f.queries);
+  const QueryBatchResult r = SpatialEngine<2>(*f.tree).ExecuteBatch(
+      std::span<const geom::Rect<2>>(f.queries));
   EXPECT_EQ(r.counts, expected);
 }
 

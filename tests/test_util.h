@@ -1,13 +1,39 @@
-// Shared helpers for the test suite: deterministic random geometry.
+// Shared helpers for the test suite: deterministic random geometry and
+// RAII scratch files for tests that exercise the paged engine.
 #ifndef CLIPBB_TESTS_TEST_UTIL_H_
 #define CLIPBB_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "geom/rect.h"
 #include "util/rng.h"
 
 namespace clipbb::testing {
+
+/// Unique page-file path under the gtest temp dir. Pair with a
+/// TempFileGuard so early ASSERT returns still clean up.
+inline std::string TempPagePath(const std::string& stem) {
+  return ::testing::TempDir() + "clipbb_" + stem + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+/// Removes the file (and its sidecar WAL) on scope exit, whatever path
+/// the test took to get there.
+struct TempFileGuard {
+  explicit TempFileGuard(std::string p) : path(std::move(p)) {}
+  ~TempFileGuard() {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+  }
+  TempFileGuard(const TempFileGuard&) = delete;
+  TempFileGuard& operator=(const TempFileGuard&) = delete;
+  std::string path;
+};
 
 template <int D>
 geom::Vec<D> RandomPoint(Rng& rng, double lo = 0.0, double hi = 1.0) {

@@ -22,8 +22,8 @@
 #include <string>
 
 #include "rtree/factory.h"
-#include "rtree/knn.h"
 #include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
 #include "rtree/serialize.h"
 #include "stats/node_stats.h"
 #include "stats/storage_stats.h"
@@ -174,9 +174,11 @@ int CmdQuery(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
   geom::Rect<D> q;
   for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
   for (int i = 0; i < D; ++i) q.hi[i] = std::atof(argv[D + i]);
+  const rtree::SpatialEngine<D> engine(*tree);
   std::vector<rtree::ObjectId> ids;
+  rtree::CollectIds<D> sink(&ids);
   storage::IoStats io;
-  tree->RangeQuery(q, &ids, &io);
+  engine.Execute(rtree::QuerySpec<D>::Intersects(q), &sink, &io);
   std::printf("%zu results\n  io: %s\n", ids.size(),
               stats::FormatIoStats(io).c_str());
   PrintResultIds(ids);
@@ -194,9 +196,11 @@ int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
   geom::Rect<D> q;
   for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
   for (int i = 0; i < D; ++i) q.hi[i] = std::atof(argv[D + i]);
+  const rtree::SpatialEngine<D> engine(tree);
   std::vector<rtree::ObjectId> ids;
+  rtree::CollectIds<D> sink(&ids);
   storage::IoStats io;
-  tree.RangeQuery(q, &ids, &io);
+  engine.Execute(rtree::QuerySpec<D>::Intersects(q), &sink, &io);
   if (tree.io_error()) {
     std::fprintf(stderr,
                  "warning: traversal truncated by an I/O error; results "
@@ -220,8 +224,11 @@ int CmdKnn(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
   const int k = std::atoi(argv[0]);
   geom::Vec<D> p;
   for (int i = 0; i < D; ++i) p[i] = std::atof(argv[1 + i]);
+  const rtree::SpatialEngine<D> engine(*tree);
+  std::vector<rtree::KnnNeighbor<D>> res;
+  rtree::KnnHeapSink<D> sink(&res);
   storage::IoStats io;
-  const auto res = rtree::KnnQuery<D>(*tree, p, k, &io);
+  engine.Execute(rtree::QuerySpec<D>::Knn(p, k), &sink, &io);
   std::printf("%zu neighbours, %llu node accesses\n", res.size(),
               static_cast<unsigned long long>(io.TotalAccesses()));
   for (const auto& r : res) {
