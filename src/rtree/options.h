@@ -25,11 +25,15 @@ struct RTreeOptions {
 inline constexpr int kNodeHeaderBytes = 16;
 
 /// Entries that fit a page: header 16 B, entry = 2*D doubles + 8-byte id.
+/// Capped at 4095, the 12-bit entry-count field of the packed page header
+/// (rtree/page_format.h kMaxPageEntries) — only reachable with pages far
+/// beyond any disk-page-sized configuration.
 template <int D>
 constexpr int DeriveMaxEntries(int page_size) {
   const int entry_bytes = 2 * D * static_cast<int>(sizeof(double)) + 8;
   int m = (page_size - kNodeHeaderBytes) / entry_bytes;
-  return m < 4 ? 4 : m;
+  if (m < 4) m = 4;
+  return m > 4095 ? 4095 : m;
 }
 
 /// Fills in derived fields; clamps m to [2, M/2].

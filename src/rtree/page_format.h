@@ -12,10 +12,16 @@
 //   | 16 B    | 2*D*n doubles                    | n int64 | (if fits) |
 //   +---------+----------------------------------+---------+-----------+
 //
-// The 16-byte header carries the page kind (node / free / clip-spill), the
-// entry and inline-clip counts, and — at byte offset 8 of *every* page,
+// The 16-byte header packs the page kind (node / free / clip-spill), the
+// level, and the entry and inline-clip counts into one 32-bit word
+// (level:5 | flags:3 | entry_count:12 | clip_count:12, LE), followed by a
+// CRC-32 page checksum at bytes 4–7 covering the whole page with the
+// checksum field itself zeroed, and — at byte offset 8 of *every* page,
 // superblock included (storage::kPageLsnOffset) — the LSN of the WAL
 // record that last wrote the page, the redo pass's idempotency anchor.
+// Checksums are stamped at encode/staging time, so WAL page images, pool
+// frames, and file pages all carry a valid checksum, and verified on every
+// buffer-pool miss read before any decode.
 //
 // The clip run is the node's clip points in descending-score order: n*D
 // coordinates followed by n corner masks (Fig. 4b layout — scores are not
@@ -51,7 +57,14 @@
 
 namespace clipbb::rtree {
 
-inline constexpr uint64_t kPagedMagic = 0xC11BB0CC'5EED0003ULL;
+inline constexpr uint64_t kPagedMagic = 0xC11BB0CC'5EED0004ULL;
+
+/// Hard caps of the packed header word: 5 bits of level, 12 bits each of
+/// entry and clip counts. Far above any capacity a sane page size derives
+/// (4095 entries needs a ~160 KiB page in 2-d), asserted at encode time.
+inline constexpr uint32_t kMaxPageLevel = 31;
+inline constexpr uint32_t kMaxPageEntries = 4095;
+inline constexpr uint32_t kMaxPageClips = 4095;
 
 /// File header, stored at the start of page 0 (rest of the page is zero).
 /// The lsn field sits at storage::kPageLsnOffset like every other page's.
@@ -82,23 +95,16 @@ struct Superblock {
   /// here as well as in WAL commit records, so the count survives the
   /// checkpoint truncating the log.
   uint64_t last_op_seq = 0;
+  /// CRC-32 of the whole superblock page with this field zeroed
+  /// (Stamp/VerifySuperblockPage below). Lives in the struct rather than
+  /// at the shared header offset because bytes 4–7 of page 0 hold the
+  /// high half of the magic.
+  uint32_t checksum = 0;
+  uint32_t reserved2 = 0;
 };
 static_assert(sizeof(Superblock) <= 192,
               "superblock must stay well under one page");
 static_assert(offsetof(Superblock, lsn) == storage::kPageLsnOffset);
-
-/// 16-byte page header shared by all section page kinds; entry coordinates
-/// start right after it, so every double on the page is naturally aligned.
-struct NodePageHeader {
-  uint8_t level = 0;  // 0 = leaf (node pages; 0 for free/spill pages)
-  uint8_t flags = 0;
-  uint16_t entry_count = 0;
-  uint16_t clip_count = 0;  // inline (node) or spilled (spill page) points
-  uint16_t reserved = 0;
-  uint64_t lsn = 0;  // WAL LSN of the record that last wrote this page
-};
-static_assert(sizeof(NodePageHeader) == 16);
-static_assert(offsetof(NodePageHeader, lsn) == storage::kPageLsnOffset);
 
 /// The node's clip run lives on a clip-spill page, not inline.
 inline constexpr uint8_t kNodeFlagClipsSpilled = 1;
@@ -107,8 +113,38 @@ inline constexpr uint8_t kPageFlagFree = 2;
 /// The page holds a relocated clip run for its owner node.
 inline constexpr uint8_t kPageFlagSpill = 4;
 
+/// 16-byte page header shared by all section page kinds; entry coordinates
+/// start right after it, so every double on the page is naturally aligned.
+/// Level, flags, and both counts pack into the `meta` word, freeing bytes
+/// 4–7 for the page checksum while keeping the header at exactly the 16
+/// bytes the capacity derivation (options.h kNodeHeaderBytes) assumes.
+struct NodePageHeader {
+  uint32_t meta = 0;      // level:5 | flags:3 | entry_count:12 | clip_count:12
+  uint32_t checksum = 0;  // CRC-32 of the page with this field zeroed
+  uint64_t lsn = 0;  // WAL LSN of the record that last wrote this page
+
+  uint32_t level() const { return meta & kMaxPageLevel; }  // 0 = leaf
+  uint32_t flags() const { return (meta >> 5) & 0x7u; }
+  uint32_t entry_count() const { return (meta >> 8) & kMaxPageEntries; }
+  /// Inline (node) or spilled (spill page) clip points.
+  uint32_t clip_count() const { return (meta >> 20) & kMaxPageClips; }
+
+  void SetMeta(uint32_t level, uint32_t flags, uint32_t entries,
+               uint32_t clips) {
+    assert(level <= kMaxPageLevel && flags <= 7u &&
+           entries <= kMaxPageEntries && clips <= kMaxPageClips);
+    meta = level | (flags << 5) | (entries << 8) | (clips << 20);
+  }
+};
+static_assert(sizeof(NodePageHeader) == 16);
+static_assert(offsetof(NodePageHeader, lsn) == storage::kPageLsnOffset);
+
+/// Byte offset of the checksum field shared by every section page kind.
+inline constexpr size_t kPageChecksumOffset =
+    offsetof(NodePageHeader, checksum);
+
 inline bool PageIsNode(const NodePageHeader& h) {
-  return (h.flags & (kPageFlagFree | kPageFlagSpill)) == 0;
+  return (h.flags() & (kPageFlagFree | kPageFlagSpill)) == 0;
 }
 
 /// Reads / stamps the LSN field any section page keeps at offset 8.
@@ -119,6 +155,56 @@ inline uint64_t PageLsn(const std::byte* page) {
 }
 inline void SetPageLsn(std::byte* page, uint64_t lsn) {
   std::memcpy(page + storage::kPageLsnOffset, &lsn, sizeof lsn);
+}
+
+// ---------------------------------------------------------- page checksums
+//
+// Every page is covered end to end by one CRC-32 computed with its own
+// 4-byte checksum field zeroed: section pages keep it at the shared header
+// offset (bytes 4–7), the superblock keeps it in Superblock::checksum
+// (bytes 4–7 of page 0 are the high half of the magic). Stamped by the
+// Encode* functions and the staging path, verified on every buffer-pool
+// miss, by the open-time scan, and by `clipbb_cli scrub`.
+
+/// CRC-32 of `page` with the 4 bytes at `skip_off` treated as zero.
+inline uint32_t PageCrcExcluding(const std::byte* page, size_t page_size,
+                                 size_t skip_off) {
+  assert(skip_off + sizeof(uint32_t) <= page_size);
+  const uint32_t zero = 0;
+  uint32_t c = storage::Crc32(page, skip_off);
+  c = storage::Crc32(&zero, sizeof zero, c);
+  return storage::Crc32(page + skip_off + sizeof zero,
+                        page_size - skip_off - sizeof zero, c);
+}
+
+inline uint32_t ComputePageChecksum(const std::byte* page,
+                                    size_t page_size) {
+  return PageCrcExcluding(page, page_size, kPageChecksumOffset);
+}
+
+inline void StampPageChecksum(std::byte* page, size_t page_size) {
+  const uint32_t c = ComputePageChecksum(page, page_size);
+  std::memcpy(page + kPageChecksumOffset, &c, sizeof c);
+}
+
+inline bool VerifyPageChecksum(const std::byte* page, size_t page_size) {
+  uint32_t stored;
+  std::memcpy(&stored, page + kPageChecksumOffset, sizeof stored);
+  return stored == ComputePageChecksum(page, page_size);
+}
+
+inline void StampSuperblockPage(std::byte* page, size_t page_size) {
+  const uint32_t c =
+      PageCrcExcluding(page, page_size, offsetof(Superblock, checksum));
+  std::memcpy(page + offsetof(Superblock, checksum), &c, sizeof c);
+}
+
+inline bool VerifySuperblockPage(const std::byte* page, size_t page_size) {
+  uint32_t stored;
+  std::memcpy(&stored, page + offsetof(Superblock, checksum),
+              sizeof stored);
+  return stored ==
+         PageCrcExcluding(page, page_size, offsetof(Superblock, checksum));
 }
 
 template <int D>
@@ -157,11 +243,10 @@ bool EncodeNodePage(const Node<D>& n,
   const bool inline_fits =
       clips.empty() || node_bytes + ClipRunBytes<D>(clips.size()) <= page_size;
   NodePageHeader h;
-  h.level = static_cast<uint8_t>(n.level);
-  h.flags = inline_fits ? 0 : kNodeFlagClipsSpilled;
-  h.entry_count = static_cast<uint16_t>(count);
-  h.clip_count =
-      inline_fits ? static_cast<uint16_t>(clips.size()) : uint16_t{0};
+  h.SetMeta(static_cast<uint32_t>(n.level),
+            inline_fits ? 0u : kNodeFlagClipsSpilled,
+            static_cast<uint32_t>(count),
+            inline_fits ? static_cast<uint32_t>(clips.size()) : 0u);
   h.lsn = lsn;
   std::memcpy(page, &h, sizeof h);
 
@@ -188,6 +273,7 @@ bool EncodeNodePage(const Node<D>& n,
       masks[c] = static_cast<uint8_t>(clips[c].mask);
     }
   }
+  StampPageChecksum(page, page_size);
   return inline_fits;
 }
 
@@ -202,10 +288,10 @@ struct PagedNodeView {
   const double* clip_coord = nullptr;  // clip c, dim d at [c * D + d]
   const uint8_t* clip_mask = nullptr;
 
-  bool IsLeaf() const { return header.level == 0; }
-  uint32_t n() const { return header.entry_count; }
+  bool IsLeaf() const { return header.level() == 0; }
+  uint32_t n() const { return header.entry_count(); }
   bool ClipsSpilled() const {
-    return (header.flags & kNodeFlagClipsSpilled) != 0;
+    return (header.flags() & kNodeFlagClipsSpilled) != 0;
   }
 
   /// Bridge into the shared scan kernels (IntersectsAll, SoaMinDist2).
@@ -216,7 +302,7 @@ struct PagedNodeView {
       v.hi[d] = hi[d];
     }
     v.id = id;
-    v.n = header.entry_count;
+    v.n = header.entry_count();
     return v;
   }
 
@@ -233,11 +319,12 @@ struct PagedNodeView {
   /// descending (the stored order), which is the only property the
   /// pruning tests need — real scores are not part of the page format.
   std::vector<core::ClipPoint<D>> DecodeClips() const {
-    std::vector<core::ClipPoint<D>> out(header.clip_count);
-    for (uint32_t c = 0; c < header.clip_count; ++c) {
+    const uint32_t nc = header.clip_count();
+    std::vector<core::ClipPoint<D>> out(nc);
+    for (uint32_t c = 0; c < nc; ++c) {
       for (int d = 0; d < D; ++d) out[c].coord[d] = clip_coord[c * D + d];
       out[c].mask = clip_mask[c];
-      out[c].score = static_cast<double>(header.clip_count - c);
+      out[c].score = static_cast<double>(nc - c);
     }
     return out;
   }
@@ -247,7 +334,7 @@ template <int D>
 PagedNodeView<D> DecodeNodePage(const std::byte* page) {
   PagedNodeView<D> v;
   std::memcpy(&v.header, page, sizeof v.header);
-  const size_t count = v.header.entry_count;
+  const size_t count = v.header.entry_count();
   const double* coords =
       reinterpret_cast<const double*>(page + sizeof v.header);
   for (int d = 0; d < D; ++d) {
@@ -255,11 +342,12 @@ PagedNodeView<D> DecodeNodePage(const std::byte* page) {
     v.hi[d] = coords + (2 * d + 1) * count;
   }
   v.id = reinterpret_cast<const int64_t*>(coords + 2 * D * count);
-  if (v.header.clip_count > 0 && !v.ClipsSpilled() && PageIsNode(v.header)) {
+  if (v.header.clip_count() > 0 && !v.ClipsSpilled() &&
+      PageIsNode(v.header)) {
     const size_t node_bytes = PagedNodeBytes<D>(count);
     v.clip_coord = reinterpret_cast<const double*>(page + node_bytes);
     v.clip_mask = reinterpret_cast<const uint8_t*>(
-        page + node_bytes + v.header.clip_count * D * sizeof(double));
+        page + node_bytes + v.header.clip_count() * D * sizeof(double));
   }
   return v;
 }
@@ -269,7 +357,7 @@ template <int D>
 Node<D> DecodeNode(const std::byte* page) {
   const PagedNodeView<D> v = DecodeNodePage<D>(page);
   Node<D> n;
-  n.level = v.header.level;
+  n.level = static_cast<int>(v.header.level());
   n.entries.resize(v.n());
   for (uint32_t i = 0; i < v.n(); ++i) {
     n.entries[i].rect = v.EntryRect(i);
@@ -289,10 +377,11 @@ inline void EncodeFreePage(std::byte* page, size_t page_size,
   assert(page_size >= sizeof(NodePageHeader) + sizeof(int64_t));
   std::memset(page, 0, page_size);
   NodePageHeader h;
-  h.flags = kPageFlagFree;
+  h.SetMeta(0, kPageFlagFree, 0, 0);
   h.lsn = lsn;
   std::memcpy(page, &h, sizeof h);
   std::memcpy(page + sizeof h, &next, sizeof next);
+  StampPageChecksum(page, page_size);
 }
 
 /// Next link of a free page (caller checked kPageFlagFree).
@@ -319,13 +408,13 @@ constexpr size_t SpillPageBytes(size_t c) {
 template <int D>
 bool EncodeSpillPage(int64_t owner, std::span<const core::ClipPoint<D>> clips,
                      std::byte* page, size_t page_size, uint64_t lsn = 0) {
-  if (SpillPageBytes<D>(clips.size()) > page_size || clips.size() > 0xFFFF) {
+  if (SpillPageBytes<D>(clips.size()) > page_size ||
+      clips.size() > kMaxPageClips) {
     return false;
   }
   std::memset(page, 0, page_size);
   NodePageHeader h;
-  h.flags = kPageFlagSpill;
-  h.clip_count = static_cast<uint16_t>(clips.size());
+  h.SetMeta(0, kPageFlagSpill, 0, static_cast<uint32_t>(clips.size()));
   h.lsn = lsn;
   std::memcpy(page, &h, sizeof h);
   std::byte* p = page + sizeof h;
@@ -343,6 +432,7 @@ bool EncodeSpillPage(int64_t owner, std::span<const core::ClipPoint<D>> clips,
   for (size_t c = 0; c < clips.size(); ++c) {
     masks[c] = static_cast<uint8_t>(clips[c].mask);
   }
+  StampPageChecksum(page, page_size);
   return true;
 }
 
@@ -372,9 +462,9 @@ bool DecodeSpillPage(const std::byte* page, size_t page_size,
                      SpillPageView<D>* out) {
   NodePageHeader h;
   std::memcpy(&h, page, sizeof h);
-  if ((h.flags & kPageFlagSpill) == 0) return false;
-  if (SpillPageBytes<D>(h.clip_count) > page_size) return false;
-  out->count = h.clip_count;
+  if ((h.flags() & kPageFlagSpill) == 0) return false;
+  if (SpillPageBytes<D>(h.clip_count()) > page_size) return false;
+  out->count = static_cast<uint16_t>(h.clip_count());
   const std::byte* p = page + sizeof h;
   std::memcpy(&out->owner, p, sizeof out->owner);
   p += 2 * sizeof(int64_t);  // owner + reserved continuation link

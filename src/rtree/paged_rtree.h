@@ -204,7 +204,12 @@ class PagedRTree {
                                   std::move(nodes), sb_.root_page,
                                   sb_.num_objects, sb_.clipped != 0, cfg,
                                   std::move(clips));
-    free_map_.Reset(sb_.num_section_pages, std::move(chain));
+    if (!free_map_.Reset(sb_.num_section_pages, std::move(chain))) {
+      tree_.reset();
+      clips_ = &clip_index_;
+      file_.Close();
+      return false;
+    }
     hooks_ = std::make_unique<StoreHooks>(this);
     tree_->SetStoreObserver(hooks_.get());
     tree_->SetStoreIdSource(hooks_.get());
@@ -395,14 +400,15 @@ class PagedRTree {
   /// counter deltas, which would interleave across concurrent queries.
   size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out = nullptr,
                     storage::IoStats* io = nullptr,
-                    TraversalScratch* scratch = nullptr) {
+                    TraversalScratch* scratch = nullptr,
+                    storage::Status* status = nullptr) {
     if (out) {
       return TraverseWindowEmit<false>(
           q, MatchAllPred{}, [out](ObjectId id) { out->push_back(id); }, io,
-          scratch);
+          scratch, status);
     }
     return TraverseWindowEmit<false>(q, MatchAllPred{}, [](ObjectId) {}, io,
-                                     scratch);
+                                     scratch, status);
   }
 
   /// Shared window traversal of the disk-resident engine — the paged twin
@@ -415,10 +421,17 @@ class PagedRTree {
   /// accepted for interface symmetry; the paged path always has the
   /// bitmask in hand). Point / containment / enclosure predicates run
   /// through here via the unified query API (rtree/query_api.h).
+  ///
+  /// Failure semantics: a page that cannot be pinned (after the pool's
+  /// bounded retries) or fails validation abandons the traversal, latches
+  /// the sticky io_error_ flag, and — when `status` is given — reports the
+  /// error kind and page, so callers can distinguish a truncated result
+  /// set from a small one per query, not just per engine.
   template <bool PredImpliesIntersect, typename Pred, typename Emit>
   size_t TraverseWindowEmit(const RectT& window, Pred&& pred, Emit&& emit,
                             storage::IoStats* io = nullptr,
-                            TraversalScratch* scratch = nullptr) {
+                            TraversalScratch* scratch = nullptr,
+                            storage::Status* status = nullptr) {
     constexpr bool kMatchAll =
         std::is_same_v<std::decay_t<Pred>, MatchAllPred>;
     assert(open_);
@@ -435,14 +448,20 @@ class PagedRTree {
     while (!stack.empty()) {
       const storage::PageId id = stack.back();
       stack.pop_back();
-      const std::byte* bytes = pool_->Pin(1 + id, &pin_io);
+      storage::Status pin_status;
+      const std::byte* bytes = pool_->Pin(1 + id, &pin_io, &pin_status);
       if (!bytes) {  // unreadable page; abandon the traversal
         io_error_.store(true, std::memory_order_relaxed);
+        if (status) *status = pin_status;
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
       if (!ValidPage(v)) {  // corrupt counts would walk off the frame
         io_error_.store(true, std::memory_order_relaxed);
+        if (status) {
+          *status = storage::Status{storage::ErrorKind::kCorruptStructure,
+                                    1 + id};
+        }
         pool_->Unpin(1 + id, false, 0, &pin_io);
         break;
       }
@@ -480,6 +499,10 @@ class PagedRTree {
                 child >= static_cast<int64_t>(sb_.num_section_pages)) {
               // Corrupt child pointer; don't follow it.
               io_error_.store(true, std::memory_order_relaxed);
+              if (status) {
+                *status = storage::Status{
+                    storage::ErrorKind::kCorruptStructure, 1 + id};
+              }
               continue;
             }
             if (clipping_enabled()) {
@@ -496,6 +519,7 @@ class PagedRTree {
     }
     if (io) {
       io->page_reads += pin_io.reads;
+      io->read_retries += pin_io.read_retries;
       io->page_writes += pin_io.writes;
       io->wal_syncs += pin_io.wal_syncs;
     }
@@ -503,8 +527,9 @@ class PagedRTree {
   }
 
   size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr,
-                    TraversalScratch* scratch = nullptr) {
-    return RangeQuery(q, nullptr, io, scratch);
+                    TraversalScratch* scratch = nullptr,
+                    storage::Status* status = nullptr) {
+    return RangeQuery(q, nullptr, io, scratch, status);
   }
 
   /// k nearest objects to `q`, ascending squared distance — best-first
@@ -515,7 +540,8 @@ class PagedRTree {
   template <typename Emit>
     requires std::invocable<Emit&, const KnnNeighbor<D>&>
   size_t Knn(const geom::Vec<D>& q, int k, Emit&& emit,
-             storage::IoStats* io = nullptr) {
+             storage::IoStats* io = nullptr,
+             storage::Status* status = nullptr) {
     assert(open_);
     if (k <= 0) return 0;
     size_t found = 0;
@@ -540,14 +566,21 @@ class PagedRTree {
         if (static_cast<int>(++found) == k) break;
         continue;
       }
-      const std::byte* bytes = pool_->Pin(1 + item.id, &pin_io);
+      storage::Status pin_status;
+      const std::byte* bytes =
+          pool_->Pin(1 + item.id, &pin_io, &pin_status);
       if (!bytes) {
         io_error_.store(true, std::memory_order_relaxed);
+        if (status) *status = pin_status;
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
       if (!ValidPage(v)) {
         io_error_.store(true, std::memory_order_relaxed);
+        if (status) {
+          *status = storage::Status{storage::ErrorKind::kCorruptStructure,
+                                    1 + item.id};
+        }
         pool_->Unpin(1 + item.id, false, 0, &pin_io);
         break;
       }
@@ -567,6 +600,10 @@ class PagedRTree {
           if (v.id[i] < 0 ||
               v.id[i] >= static_cast<int64_t>(sb_.num_section_pages)) {
             io_error_.store(true, std::memory_order_relaxed);
+            if (status) {
+              *status = storage::Status{
+                  storage::ErrorKind::kCorruptStructure, 1 + item.id};
+            }
             continue;
           }
           double bound;
@@ -584,6 +621,7 @@ class PagedRTree {
     }
     if (io) {
       io->page_reads += pin_io.reads;
+      io->read_retries += pin_io.read_retries;
       io->page_writes += pin_io.writes;
       io->wal_syncs += pin_io.wal_syncs;
     }
@@ -713,6 +751,16 @@ class PagedRTree {
       return false;
     }
     file_.set_page_size(sb_.file_page_size);
+    // Whole-page superblock checksum: the field-level sanity checks above
+    // cannot see damage in fields they don't interpret.
+    {
+      std::vector<std::byte> sb_page(sb_.file_page_size);
+      if (!ReadRecoveredPage(0, sb_page.data()) ||
+          !VerifySuperblockPage(sb_page.data(), sb_page.size())) {
+        file_.Close();
+        return false;
+      }
+    }
     // Pages may exist only as WAL images: write-mode redo just wrote them
     // into the file; read-only redo holds them in the overlay, so count
     // overlay coverage toward the effective file size.
@@ -754,9 +802,12 @@ class PagedRTree {
       if (!ReadRecoveredPage(1 + static_cast<int64_t>(p), page->data())) {
         return false;
       }
+      // Bit rot anywhere in a scanned page fails the open cleanly here,
+      // before any decode can run over damaged bytes.
+      if (!VerifyPageChecksum(page->data(), page->size())) return false;
       NodePageHeader h;
       std::memcpy(&h, page->data(), sizeof h);
-      if (h.flags & kPageFlagFree) {
+      if (h.flags() & kPageFlagFree) {
         if (static_cast<int64_t>(p) == sb_.root_page) return false;
         if (free_next) {
           (*free_next)[static_cast<storage::PageId>(p)] =
@@ -764,7 +815,7 @@ class PagedRTree {
         }
         continue;
       }
-      if (h.flags & kPageFlagSpill) {
+      if (h.flags() & kPageFlagSpill) {
         if (static_cast<int64_t>(p) == sb_.root_page) return false;
         SpillPageView<D> spill;
         if (!DecodeSpillPage<D>(page->data(), page->size(), &spill)) {
@@ -786,13 +837,13 @@ class PagedRTree {
       ++node_count;
       if (static_cast<int64_t>(p) == sb_.root_page) {
         root_seen = true;
-        height_ = v.header.level + 1;
+        height_ = static_cast<int>(v.header.level()) + 1;
         bounds_ = RectT::Empty();
         for (uint32_t i = 0; i < v.n(); ++i) {
           bounds_.ExpandToInclude(v.EntryRect(i));
         }
       }
-      if (v.header.clip_count > 0) {
+      if (v.header.clip_count() > 0) {
         if (into) {
           into->Set(static_cast<core::NodeId>(p), v.DecodeClips());
         }
@@ -832,9 +883,51 @@ class PagedRTree {
     pool_ = std::make_unique<storage::BufferPool>(
         frames, &file_, opts.pool_shards > 0 ? opts.pool_shards : 1);
     if (!redo_overlay_.empty()) pool_->SetReadOverlay(&redo_overlay_);
+    // Every miss read is verified — checksum first, then structural
+    // bounds — before the frame becomes visible to any traversal.
+    pool_->SetVerifier(
+        [this](storage::PageId file_page, const std::byte* bytes) {
+          return VerifyFilePage(file_page, bytes);
+        });
     file_.ResetCounters();
     io_error_.store(false, std::memory_order_relaxed);
     open_ = true;
+  }
+
+  /// Miss-read verifier the pool runs under its shard latch: page 0 checks
+  /// as a superblock, section pages check their header checksum and then
+  /// the structural bounds decode would rely on. Cheap relative to the
+  /// read itself (one CRC pass over the page).
+  storage::Status VerifyFilePage(storage::PageId file_page,
+                                 const std::byte* bytes) const {
+    const size_t ps = sb_.file_page_size;
+    if (file_page == 0) {
+      if (!VerifySuperblockPage(bytes, ps)) {
+        return {storage::ErrorKind::kChecksum, file_page};
+      }
+      return {};
+    }
+    if (!VerifyPageChecksum(bytes, ps)) {
+      return {storage::ErrorKind::kChecksum, file_page};
+    }
+    NodePageHeader h;
+    std::memcpy(&h, bytes, sizeof h);
+    if (h.flags() & kPageFlagFree) return {};
+    if (h.flags() & kPageFlagSpill) {
+      if (SpillPageBytes<D>(h.clip_count()) > ps) {
+        return {storage::ErrorKind::kCorruptStructure, file_page};
+      }
+      return {};
+    }
+    if (h.entry_count() > static_cast<uint32_t>(sb_.max_entries) ||
+        PagedNodeBytes<D>(h.entry_count()) +
+                ClipRunBytes<D>((h.flags() & kNodeFlagClipsSpilled)
+                                    ? 0
+                                    : h.clip_count()) >
+            ps) {
+      return {storage::ErrorKind::kCorruptStructure, file_page};
+    }
+    return {};
   }
 
   // ------------------------------------------------------------ write path
@@ -865,7 +958,11 @@ class PagedRTree {
       return owner->AllocateSectionPage();
     }
     void ReleaseId(storage::PageId id) override {
-      owner->free_map_.Free(id);
+      if (!owner->free_map_.Free(id)) {
+        // A refused free means the allocator and the tree disagree about
+        // the page's state — poison rather than corrupt the chain.
+        owner->io_error_.store(true, std::memory_order_relaxed);
+      }
     }
     PagedRTree* owner;
   };
@@ -876,7 +973,10 @@ class PagedRTree {
   }
 
   void ReleaseSectionPage(storage::PageId id) {
-    free_map_.Free(id);
+    if (!free_map_.Free(id)) {
+      io_error_.store(true, std::memory_order_relaxed);
+      return;
+    }
     born_.erase(id);
     freed_.insert(id);
   }
@@ -951,6 +1051,7 @@ class PagedRTree {
     height_ = tree_->Height();
     bounds_ = tree_->bounds();
     update_io_.page_reads += stage_io_.reads;
+    update_io_.read_retries += stage_io_.read_retries;
     update_io_.page_writes += stage_io_.writes;
     // WAL syncs come from the WalStats delta (stage_io_.wal_syncs is a
     // subset of it: forced write-back syncs are real Wal::Sync calls).
@@ -1051,18 +1152,26 @@ class PagedRTree {
     sb_.lsn = lsn;
     std::memset(frame, 0, sb_.file_page_size);
     std::memcpy(frame, &sb_, sizeof sb_);
+    StampSuperblockPage(frame, sb_.file_page_size);
+    // Keep the in-memory superblock equal to its staged image.
+    std::memcpy(&sb_.checksum, frame + offsetof(Superblock, checksum),
+                sizeof sb_.checksum);
     wal_.AppendPageImage(0, frame, staging_seq_);
     return true;
   }
 
   /// True when the page is a node page whose declared counts fit the
   /// frame; a corrupt or non-node page must never drive the scan kernels
-  /// past the pinned bytes.
+  /// past the pinned bytes. (Called from the open-time scan before
+  /// height_ is known, so it cannot bound level; the packed header caps
+  /// level at 31 structurally.)
   bool ValidPage(const PagedNodeView<D>& v) const {
     return PageIsNode(v.header) &&
+           v.n() <= static_cast<uint32_t>(sb_.max_entries) &&
            PagedNodeBytes<D>(v.n()) +
-                   ClipRunBytes<D>(v.ClipsSpilled() ? 0
-                                                    : v.header.clip_count) <=
+                   ClipRunBytes<D>(v.ClipsSpilled()
+                                       ? 0
+                                       : v.header.clip_count()) <=
                sb_.file_page_size;
   }
 

@@ -38,6 +38,7 @@
 #ifndef CLIPBB_RTREE_QUERY_API_H_
 #define CLIPBB_RTREE_QUERY_API_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -136,12 +137,22 @@ std::vector<QuerySpec<D>> MakeIntersectsSpecs(
 /// OnNeighbor once per neighbour, ascending distance. Sinks are passed by
 /// pointer and never copied or moved by the engine, so stateful
 /// (even move-only) sinks are fine.
+///
+/// When the paged backend hits an unrecoverable read fault (EIO, checksum
+/// mismatch, structural corruption — after the pool's bounded retries),
+/// Execute calls OnError exactly once with the error kind and failing
+/// page, after the last delivered result: everything delivered so far is
+/// correct, the remainder of that query's subtree walk was abandoned. A
+/// sink that ignores OnError (the default) still never sees wrong
+/// results — just fewer, with the truncation observable via the Status
+/// out-param. The in-memory backend never errors.
 template <int D>
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void OnMatch(ObjectId id) = 0;
   virtual void OnNeighbor(const KnnNeighbor<D>& n) { OnMatch(n.id); }
+  virtual void OnError(const storage::Status& /*status*/) {}
 };
 
 /// Counts matches without materializing them — the count-only fast path
@@ -227,10 +238,13 @@ class QueryBackend {
   virtual bool clipping_enabled() const = 0;
   /// Runs one spec; delivers to `sink` (null = count only), accumulates
   /// logical and physical I/O into `io`, reuses `scratch` when non-null.
-  /// Returns the result count.
+  /// Returns the result count. A backend that can fail mid-query (the
+  /// paged one) reports the first unrecoverable fault through `status`
+  /// when non-null; the returned count then covers only the portion
+  /// traversed before the fault.
   virtual size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
-                     storage::IoStats* io,
-                     TraversalScratch* scratch) const = 0;
+                     storage::IoStats* io, TraversalScratch* scratch,
+                     storage::Status* status = nullptr) const = 0;
 };
 
 namespace query_internal {
@@ -280,7 +294,9 @@ class MemoryBackend final : public QueryBackend<D> {
   }
 
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
-             storage::IoStats* io, TraversalScratch* scratch) const override {
+             storage::IoStats* io, TraversalScratch* scratch,
+             storage::Status* /*status*/ = nullptr) const override {
+    // The in-memory traversal has no failure modes; status is never set.
     if (spec.kind == QueryKind::kKnn) {
       return KnnSearch<D>(
           *tree_, spec.point, spec.k,
@@ -318,14 +334,15 @@ class PagedBackend final : public QueryBackend<D> {
   }
 
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
-             storage::IoStats* io, TraversalScratch* scratch) const override {
+             storage::IoStats* io, TraversalScratch* scratch,
+             storage::Status* status = nullptr) const override {
     if (spec.kind == QueryKind::kKnn) {
       return tree_->Knn(
           spec.point, spec.k,
           [sink](const KnnNeighbor<D>& n) {
             if (sink) sink->OnNeighbor(n);
           },
-          io);
+          io, status);
     }
     auto emit = [sink](ObjectId id) {
       if (sink) sink->OnMatch(id);
@@ -333,7 +350,7 @@ class PagedBackend final : public QueryBackend<D> {
     return DispatchWindow<D>(
         spec, [&]<bool kImplies>(auto pred) {
           return tree_->template TraverseWindowEmit<kImplies>(
-              spec.window, pred, emit, io, scratch);
+              spec.window, pred, emit, io, scratch, status);
         });
   }
 
@@ -379,11 +396,23 @@ class SpatialEngine {
   /// accesses — and, on the paged backend, physical page reads — are
   /// accumulated into `io`. A caller-owned `scratch` makes repeated
   /// window queries allocation-free. Returns the result count.
+  ///
+  /// Error semantics (paged backend; the in-memory one cannot fail): an
+  /// unrecoverable read fault surfaces twice — `sink->OnError(status)` is
+  /// called once after the last delivered result, and `*status` carries
+  /// the error kind and page when given. The count then covers only the
+  /// portion traversed before the fault; results delivered are correct,
+  /// never silently truncated without one of those signals firing.
   size_t Execute(const QuerySpec<D>& spec, ResultSink<D>* sink = nullptr,
                  storage::IoStats* io = nullptr,
-                 TraversalScratch* scratch = nullptr) const {
+                 TraversalScratch* scratch = nullptr,
+                 storage::Status* status = nullptr) const {
     assert(backend_);
-    return backend_->Run(spec, sink, io, scratch);
+    storage::Status local;
+    const size_t n = backend_->Run(spec, sink, io, scratch, &local);
+    if (!local.ok() && sink) sink->OnError(local);
+    if (status) *status = local;
+    return n;
   }
 
   /// Runs a batch of specs (any mix of kinds) and reports per-spec result
@@ -393,6 +422,12 @@ class SpatialEngine {
   /// the tree bounds (opts.hilbert_order), workers pulling contiguous
   /// chunks through ForEachChunked, each owning a TraversalScratch and an
   /// IoStats summed once at the join.
+  ///
+  /// A query that hits an unrecoverable read fault does not abort the
+  /// batch: the worker records the failing index and moves on, every
+  /// other query's count stays complete and correct, and the join fills
+  /// QueryBatchResult::error (first fault seen) and ::failed (all failing
+  /// indexes, ascending) so the degradation is explicit.
   QueryBatchResult ExecuteBatch(std::span<const QuerySpec<D>> specs,
                                 const QueryBatchOptions& opts = {}) const {
     return BatchOver(specs.size(),
@@ -445,12 +480,30 @@ class SpatialEngine {
     std::vector<TraversalScratch> scratch(threads);
     for (auto& s : scratch) s.Reserve(Height(), max_entries());
     std::vector<storage::IoStats> per_thread(threads);
+    // Per-worker failure records, merged once at the join (same exactness
+    // pattern as the IoStats): a fault in one worker's chunk never
+    // perturbs another worker's queries.
+    std::vector<storage::Status> first_error(threads);
+    std::vector<std::vector<uint32_t>> failed(threads);
     ForEachChunked(order.size(), threads, [&](unsigned t, size_t i) {
       const uint32_t qi = order[i];
+      storage::Status st;
       result.counts[qi] = backend_->Run(spec_at(qi), /*sink=*/nullptr,
-                                        &per_thread[t], &scratch[t]);
+                                        &per_thread[t], &scratch[t], &st);
+      if (!st.ok()) {
+        if (first_error[t].ok()) first_error[t] = st;
+        failed[t].push_back(qi);
+      }
     });
     for (const auto& io : per_thread) result.io += io;
+    for (unsigned t = 0; t < threads; ++t) {
+      if (result.error.ok() && !first_error[t].ok()) {
+        result.error = first_error[t];
+      }
+      result.failed.insert(result.failed.end(), failed[t].begin(),
+                           failed[t].end());
+    }
+    std::sort(result.failed.begin(), result.failed.end());
     return result;
   }
 

@@ -30,6 +30,7 @@
 
 #include "geom/hilbert.h"
 #include "rtree/rtree.h"
+#include "storage/status.h"
 
 namespace clipbb::rtree {
 
@@ -109,6 +110,16 @@ void ForEachChunked(size_t n, unsigned threads, RunFn run) {
 struct QueryBatchResult {
   std::vector<size_t> counts;  // per query, aligned with the input
   storage::IoStats io;         // summed over all queries
+  /// First error any query hit (kNone when the whole batch succeeded).
+  /// A failing query never aborts the batch: the other queries' counts
+  /// are complete and correct; only the indexes in `failed` are partial.
+  storage::Status error;
+  /// Input indexes of the queries that surfaced an error, ascending.
+  /// Their `counts` entries cover only the subtrees visited before the
+  /// failure — explicitly partial, never silently truncated.
+  std::vector<uint32_t> failed;
+
+  bool ok() const { return error.ok(); }
 };
 
 /// Hilbert order of `n` items by a caller-supplied center function

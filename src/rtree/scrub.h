@@ -1,0 +1,201 @@
+// Offline integrity scrub of a paged tree file — the maintenance half of
+// the failure model (README "Failure model"): where queries verify pages
+// lazily (every buffer-pool miss), `ScrubPagedFile` proves the whole file
+// at once, so latent damage on cold pages is found before a query trips
+// over it. Exposed to operators as `clipbb_cli scrub`.
+//
+// What one pass checks:
+//  * superblock: magic / geometry sanity (the serialize.h bounds) and the
+//    full-page checksum covering the fields past the sanity-checked ones;
+//  * every section page: readable at all, checksum intact, and its
+//    declared structure within bounds — entry counts against the
+//    superblock's max_entries and byte capacity for node pages, run
+//    length and owner range for clip-spill pages;
+//  * the free-page chain: every link in range, no cycles (bounded walk),
+//    chain length equal to the superblock's free_count, and every page
+//    flagged free reachable from the head (and only those).
+//
+// The scrub opens the file read-only and never repairs anything; it reads
+// the file as-is and does NOT replay a sidecar WAL first, so after a
+// crash the tail pages a recovery replay would rewrite can legitimately
+// fail here — recover (open read-write) before scrubbing for a clean
+// verdict. Damage is reported per page (capped) and summed per kind.
+#ifndef CLIPBB_RTREE_SCRUB_H_
+#define CLIPBB_RTREE_SCRUB_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rtree/page_format.h"
+#include "rtree/serialize.h"
+#include "storage/page_file.h"
+#include "storage/status.h"
+
+namespace clipbb::rtree {
+
+struct ScrubReport {
+  bool opened = false;          // file opened and superblock readable
+  bool superblock_ok = false;   // sanity bounds + full-page checksum
+  bool free_chain_ok = false;   // walk matched the flagged-free page set
+  bool counts_ok = false;       // per-kind totals match the superblock
+  uint64_t pages_scanned = 0;   // section pages visited
+  uint64_t node_pages = 0;
+  uint64_t spill_pages = 0;
+  uint64_t free_pages = 0;
+  uint64_t read_failures = 0;       // pages pread could not return
+  uint64_t checksum_failures = 0;   // pages whose CRC did not match
+  uint64_t structure_failures = 0;  // checksum ok, declared layout absurd
+  /// One Status per damaged page (kind + file page id), first
+  /// kMaxReportedErrors only; the counters above always count everything.
+  std::vector<storage::Status> errors;
+
+  static constexpr size_t kMaxReportedErrors = 64;
+
+  bool ok() const {
+    return opened && superblock_ok && free_chain_ok && counts_ok &&
+           read_failures == 0 && checksum_failures == 0 &&
+           structure_failures == 0;
+  }
+
+  void Note(storage::ErrorKind kind, storage::PageId page) {
+    if (errors.size() < kMaxReportedErrors) {
+      errors.push_back(storage::Status{kind, page});
+    }
+  }
+};
+
+/// Verifies every checksum and structural bound of the paged file at
+/// `path` plus the free-page chain. Returns report.ok(); details in
+/// `*report` (which is fully overwritten). Read-only; safe to run on a
+/// file another process has open read-only.
+template <int D>
+bool ScrubPagedFile(const std::string& path, ScrubReport* report) {
+  *report = ScrubReport{};
+  storage::PageFile file;
+  if (!file.Open(path, /*create=*/false, /*page_size=*/0,
+                 /*read_only=*/true)) {
+    return false;
+  }
+
+  Superblock sb;
+  if (!file.ReadRaw(0, &sb, sizeof sb)) {
+    file.Close();
+    return false;
+  }
+  report->opened = true;
+  if (!serialize_internal::SuperblockSane(sb, static_cast<uint32_t>(D))) {
+    report->Note(storage::ErrorKind::kCorruptStructure, 0);
+    file.Close();
+    return false;
+  }
+  file.set_page_size(sb.file_page_size);
+
+  std::vector<std::byte> page(sb.file_page_size);
+
+  // Superblock page, end to end.
+  if (file.ReadPageDetailed(0, page.data()) != storage::PageReadResult::kOk) {
+    ++report->read_failures;
+    report->Note(storage::ErrorKind::kIo, 0);
+  } else if (!VerifySuperblockPage(page.data(), page.size())) {
+    ++report->checksum_failures;
+    report->Note(storage::ErrorKind::kChecksum, 0);
+  } else {
+    report->superblock_ok = true;
+  }
+
+  // Section pages: readable, checksummed, structurally sane. Free pages
+  // additionally record their chain link for the walk below.
+  std::unordered_map<int64_t, int64_t> free_next;  // section id -> next
+  for (uint64_t s = 0; s < sb.num_section_pages; ++s) {
+    const storage::PageId file_page = static_cast<storage::PageId>(1 + s);
+    ++report->pages_scanned;
+    switch (file.ReadPageDetailed(file_page, page.data())) {
+      case storage::PageReadResult::kOk:
+        break;
+      case storage::PageReadResult::kEof:
+      case storage::PageReadResult::kShortRead:
+        ++report->read_failures;
+        report->Note(storage::ErrorKind::kShortRead, file_page);
+        continue;
+      case storage::PageReadResult::kIoError:
+        ++report->read_failures;
+        report->Note(storage::ErrorKind::kIo, file_page);
+        continue;
+    }
+    if (!VerifyPageChecksum(page.data(), page.size())) {
+      ++report->checksum_failures;
+      report->Note(storage::ErrorKind::kChecksum, file_page);
+      continue;
+    }
+    NodePageHeader h;
+    std::memcpy(&h, page.data(), sizeof h);
+    if (h.flags() & kPageFlagFree) {
+      ++report->free_pages;
+      const int64_t next = FreePageNext(page.data());
+      if (next != -1 &&
+          (next < 0 || next >= static_cast<int64_t>(sb.num_section_pages))) {
+        ++report->structure_failures;
+        report->Note(storage::ErrorKind::kCorruptStructure, file_page);
+        continue;
+      }
+      free_next[static_cast<int64_t>(s)] = next;
+    } else if (h.flags() & kPageFlagSpill) {
+      ++report->spill_pages;
+      int64_t owner;
+      std::memcpy(&owner, page.data() + sizeof h, sizeof owner);
+      if (SpillPageBytes<D>(h.clip_count()) > page.size() || owner < 0 ||
+          owner >= static_cast<int64_t>(sb.num_section_pages)) {
+        ++report->structure_failures;
+        report->Note(storage::ErrorKind::kCorruptStructure, file_page);
+      }
+    } else {
+      ++report->node_pages;
+      const uint32_t nc = h.clip_count();
+      const size_t clip_bytes =
+          (h.flags() & kNodeFlagClipsSpilled) ? 0 : ClipRunBytes<D>(nc);
+      if (h.entry_count() > static_cast<uint32_t>(sb.max_entries) ||
+          PagedNodeBytes<D>(h.entry_count()) + clip_bytes > page.size()) {
+        ++report->structure_failures;
+        report->Note(storage::ErrorKind::kCorruptStructure, file_page);
+      }
+    }
+  }
+
+  // Free-chain walk: bounded by the section size, so a cycle terminates
+  // as a length overrun instead of hanging. Because links come only from
+  // pages flagged free (and each id is visited once), matching the walk
+  // length against both free_count and the flagged-free total proves the
+  // chain covers exactly the flagged pages.
+  std::unordered_set<int64_t> walked;
+  uint64_t chain_len = 0;
+  bool chain_ok = true;
+  for (int64_t id = sb.free_head; id != -1;) {
+    if (id < 0 || id >= static_cast<int64_t>(sb.num_section_pages) ||
+        !free_next.count(id) || !walked.insert(id).second ||
+        ++chain_len > sb.num_section_pages) {
+      chain_ok = false;
+      report->Note(storage::ErrorKind::kCorruptStructure,
+                   id >= 0 ? 1 + id : 0);
+      break;
+    }
+    id = free_next[id];
+  }
+  report->free_chain_ok =
+      chain_ok && chain_len == sb.free_count &&
+      chain_len == static_cast<uint64_t>(free_next.size());
+
+  report->counts_ok = report->node_pages == sb.num_nodes &&
+                      report->spill_pages == sb.num_spill_pages &&
+                      report->free_pages == sb.free_count;
+
+  file.Close();
+  return report->ok();
+}
+
+}  // namespace clipbb::rtree
+
+#endif  // CLIPBB_RTREE_SCRUB_H_

@@ -138,11 +138,12 @@ size_t SerializeTree(const RTree<D>& tree, std::ostream& out,
   // Superblock page.
   std::memset(page.data(), 0, page_size);
   std::memcpy(page.data(), &sb, sizeof sb);
+  StampSuperblockPage(page.data(), page_size);
   write_page(page.data());
 
   for (storage::PageId id : order) {
     const Node<D>& n = tree.NodeAt(id);
-    if (n.entries.size() > 0xFFFF) return 0;  // page header limit
+    if (n.entries.size() > kMaxPageEntries) return 0;  // packed header cap
     // Internal entries point at child pages; remap them in a scratch node.
     Node<D> packed;
     packed.level = n.level;
@@ -182,9 +183,17 @@ bool DeserializeTree(std::istream& in, RTree<D>* tree,
   if (!serialize_internal::SuperblockSane(sb, static_cast<uint32_t>(D))) {
     return false;
   }
-  in.ignore(sb.file_page_size - sizeof sb);
-
   std::vector<std::byte> page(sb.file_page_size);
+  // Re-assemble page 0 (struct bytes + the rest of the frame) and check its
+  // checksum, so a damaged superblock region past the sanity-checked fields
+  // is caught too.
+  std::memcpy(page.data(), &sb, sizeof sb);
+  if (!in.read(reinterpret_cast<char*>(page.data() + sizeof sb),
+               sb.file_page_size - sizeof sb)) {
+    return false;
+  }
+  if (!VerifySuperblockPage(page.data(), page.size())) return false;
+
   std::vector<Node<D>> nodes;  // dense, in ascending section-index order
   nodes.reserve(sb.num_nodes);
   std::unordered_map<storage::PageId, storage::PageId> dense;  // file -> id
@@ -194,10 +203,11 @@ bool DeserializeTree(std::istream& in, RTree<D>* tree,
     if (!in.read(reinterpret_cast<char*>(page.data()), page.size())) {
       return false;
     }
+    if (!VerifyPageChecksum(page.data(), page.size())) return false;
     NodePageHeader h;
     std::memcpy(&h, page.data(), sizeof h);
-    if (h.flags & kPageFlagFree) continue;
-    if (h.flags & kPageFlagSpill) {
+    if (h.flags() & kPageFlagFree) continue;
+    if (h.flags() & kPageFlagSpill) {
       SpillPageView<D> spill;
       if (!DecodeSpillPage<D>(page.data(), page.size(), &spill)) {
         return false;
@@ -207,14 +217,14 @@ bool DeserializeTree(std::istream& in, RTree<D>* tree,
     }
     const PagedNodeView<D> view = DecodeNodePage<D>(page.data());
     if (PagedNodeBytes<D>(view.n()) +
-            ClipRunBytes<D>(view.header.clip_count) >
+            ClipRunBytes<D>(view.header.clip_count()) >
         page.size()) {
       return false;  // corrupt counts
     }
     dense[static_cast<storage::PageId>(p)] =
         static_cast<storage::PageId>(nodes.size());
     nodes.push_back(DecodeNode<D>(page.data()));
-    if (view.header.clip_count > 0) {
+    if (view.header.clip_count() > 0) {
       clip_table[static_cast<storage::PageId>(p)] = view.DecodeClips();
     }
   }

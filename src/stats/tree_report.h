@@ -28,8 +28,15 @@ inline std::string FormatIoStats(const storage::IoStats& io) {
       static_cast<unsigned long long>(io.clip_accesses),
       static_cast<unsigned long long>(io.page_reads),
       static_cast<unsigned long long>(io.page_writes));
-  if (n > 0 && (io.wal_appends > 0 || io.wal_syncs > 0 ||
-                io.recovery_replays > 0)) {
+  if (n > 0 && io.read_retries > 0) {
+    const int m = std::snprintf(
+        buf + n, sizeof buf - n, " (%llu read retries)",
+        static_cast<unsigned long long>(io.read_retries));
+    if (m > 0) n += m;
+  }
+  if (n > 0 && static_cast<size_t>(n) < sizeof buf &&
+      (io.wal_appends > 0 || io.wal_syncs > 0 ||
+       io.recovery_replays > 0)) {
     std::snprintf(buf + n, sizeof buf - n,
                   ", %llu wal appends (%llu B, %llu syncs), %llu recovered",
                   static_cast<unsigned long long>(io.wal_appends),

@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "storage/wal.h"
 
@@ -106,7 +108,77 @@ bool BufferPool::Access(PageId id) {
   return false;
 }
 
-std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io) {
+bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
+                           Status* status) {
+  // Pages whose newest committed image lives only in the WAL (read-only
+  // redo overlay) never touch the file. An overlay image is plain memory:
+  // re-reading it cannot change the outcome, so a verify rejection is
+  // final with no retry.
+  if (overlay_ != nullptr) {
+    auto oit = overlay_->find(id);
+    if (oit != overlay_->end()) {
+      std::memcpy(dst, oit->second.data(), file_->page_size());
+      if (verifier_) {
+        const Status v = verifier_(id, dst);
+        if (!v.ok()) {
+          if (status) *status = v;
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  Status last{ErrorKind::kIo, id};
+  for (unsigned attempt = 0; attempt <= kMaxReadRetries; ++attempt) {
+    if (attempt > 0) {
+      ++s.read_retries;
+      if (io) ++io->read_retries;
+      // Tiny linear backoff before re-reading. This sleeps holding the
+      // shard latch — deliberate: the page is mid-fault, and any thread
+      // blocked on this stripe would only re-attempt the same read.
+      std::this_thread::sleep_for(std::chrono::microseconds(50) * attempt);
+    }
+    switch (file_->ReadPageDetailed(id, dst)) {
+      case PageReadResult::kOk:
+        break;
+      case PageReadResult::kEof:
+        // Deterministic: the page lies past EOF; re-reading cannot help.
+        if (status) *status = Status{ErrorKind::kEof, id};
+        return false;
+      case PageReadResult::kShortRead:
+        last = Status{ErrorKind::kShortRead, id};
+        if (io) ++io->reads;  // the retry is another physical attempt
+        continue;
+      case PageReadResult::kIoError:
+        last = Status{ErrorKind::kIo, id};
+        if (io) ++io->reads;
+        continue;
+    }
+    if (verifier_) {
+      const Status v = verifier_(id, dst);
+      if (!v.ok()) {
+        if (v.kind == ErrorKind::kCorruptStructure) {
+          // Checksum passed but the contents are impossible: the bytes on
+          // disk are wrong, not the transfer. No retry.
+          if (status) *status = v;
+          return false;
+        }
+        last = v;
+        if (io) ++io->reads;
+        continue;
+      }
+    }
+    return true;
+  }
+  // PinIo::reads over-counted the last attempt's replacement read that
+  // never happened; drop it so reads matches file reads exactly.
+  if (io) --io->reads;
+  if (status) *status = last;
+  return false;
+}
+
+std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
+                               Status* status) {
   assert(file_ != nullptr && file_->page_size() > 0);
   Shard& s = ShardFor(id);
   std::lock_guard<std::mutex> lock(s.mu);
@@ -121,6 +193,12 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io) {
     ++f.pins;
     f.dirty |= dirty;
     return f.data.get();
+  }
+  if (s.quarantined.contains(id)) {
+    // Known-bad page: fail fast without touching the file, so one rotten
+    // page cannot stall every query that brushes against it.
+    if (status) *status = Status{ErrorKind::kQuarantined, id};
+    return nullptr;
   }
   ++s.misses;
   if (io) ++io->reads;
@@ -139,17 +217,14 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io) {
   if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
   // The shard latch is held across the fetch, so a second thread pinning
   // the same page waits here and then takes the hit path — the source is
-  // read exactly once per residency. Pages whose newest committed image
-  // lives only in the WAL (read-only redo overlay) never touch the file.
-  const std::vector<std::byte>* image = nullptr;
-  if (overlay_ != nullptr) {
-    auto oit = overlay_->find(id);
-    if (oit != overlay_->end()) image = &oit->second;
-  }
-  if (image != nullptr) {
-    std::memcpy(f.data.get(), image->data(), file_->page_size());
-  } else if (!file_->ReadPage(id, f.data.get())) {
+  // read exactly once per residency.
+  Status load_status;
+  if (!LoadFrame(s, id, f.data.get(), io, &load_status)) {
     s.map.erase(it);
+    // Exhausted retries (or an unretryable failure): quarantine, except
+    // for EOF — an out-of-range pin is a caller bug, not a bad page.
+    if (load_status.kind != ErrorKind::kEof) s.quarantined.insert(id);
+    if (status) *status = load_status;
     return nullptr;
   }
   f.loaded = true;
@@ -159,12 +234,12 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io) {
   return f.data.get();
 }
 
-const std::byte* BufferPool::Pin(PageId id, PinIo* io) {
-  return PinImpl(id, false, io);
+const std::byte* BufferPool::Pin(PageId id, PinIo* io, Status* status) {
+  return PinImpl(id, false, io, status);
 }
 
-std::byte* BufferPool::PinForWrite(PageId id, PinIo* io) {
-  return PinImpl(id, true, io);
+std::byte* BufferPool::PinForWrite(PageId id, PinIo* io, Status* status) {
+  return PinImpl(id, true, io, status);
 }
 
 std::byte* BufferPool::PinNew(PageId id, PinIo* io) {
@@ -266,9 +341,18 @@ bool BufferPool::FlushAll() {
   return ok;
 }
 
+size_t BufferPool::quarantined_pages() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->quarantined.size();
+  }
+  return total;
+}
+
 void BufferPool::ResetShardCounters(Shard& s) {
   s.hits = s.misses = s.writebacks = s.write_failures =
-      s.wal_forced_syncs = 0;
+      s.wal_forced_syncs = s.read_retries = 0;
   s.high_water = s.map.size();
 }
 
@@ -286,6 +370,7 @@ void BufferPool::Clear() {
     std::lock_guard<std::mutex> lock(s.mu);
     s.lru.clear();
     s.map.clear();
+    s.quarantined.clear();  // a fresh start re-attempts quarantined pages
     ResetShardCounters(s);
   }
 }

@@ -40,19 +40,30 @@
 // durable (flushed-LSN >= frame-LSN), syncing the log first if needed.
 // The rule holds per shard: any shard's eviction path may force the sync,
 // and the Wal serializes internally (its own latch; see storage/wal.h).
+//
+// Read-failure model: a miss read that fails (EIO, short read) or whose
+// frame is rejected by the installed verifier (checksum / structural
+// validation) is retried up to kMaxReadRetries times with a tiny backoff;
+// the retries are observable in PinIo::read_retries / read_retries(). A
+// page that still fails is quarantined: the pin returns nullptr with a
+// Status naming the error kind and page, and later pins of that page
+// fast-fail as kQuarantined without touching the file until Clear().
 #ifndef CLIPBB_STORAGE_BUFFER_POOL_H_
 #define CLIPBB_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/page_file.h"
 #include "storage/page_store.h"
+#include "storage/status.h"
 
 namespace clipbb::storage {
 
@@ -63,10 +74,19 @@ class BufferPool {
   /// Physical transfers performed by one Pin/Unpin call, accumulated into
   /// a caller-owned (typically per-thread) counter set.
   struct PinIo {
-    uint32_t reads = 0;       // file page reads (misses)
-    uint32_t writes = 0;      // file page writes (dirty evictions)
-    uint32_t wal_syncs = 0;   // WAL syncs forced by the write-back rule
+    uint32_t reads = 0;         // file page reads (misses)
+    uint32_t read_retries = 0;  // re-reads after a transient fault
+    uint32_t writes = 0;        // file page writes (dirty evictions)
+    uint32_t wal_syncs = 0;     // WAL syncs forced by the write-back rule
   };
+
+  /// Miss-read validation hook: called with the freshly read frame bytes
+  /// (file read or overlay image, shard latch held) before the frame
+  /// becomes visible; a non-ok Status rejects the frame. File reads that
+  /// fail verification are retried like any transient read fault; overlay
+  /// images are in-memory and fail immediately. PagedRTree installs a
+  /// format-aware verifier (checksum + structural bounds) at open.
+  using PageVerifier = std::function<Status(PageId, const std::byte*)>;
 
   /// Residency-only pool; capacity = resident pages, 0 = everything
   /// misses. Always a single shard (the simulated rows are sequential).
@@ -89,12 +109,18 @@ class BufferPool {
 
   /// Pins a page and returns its bytes (valid until the matching Unpin).
   /// Counts a hit when the frame is loaded, a miss (plus a file page read)
-  /// otherwise. Returns nullptr on read failure. Content mode only.
-  const std::byte* Pin(PageId id, PinIo* io = nullptr);
+  /// otherwise. Returns nullptr on read/verify failure, with the reason in
+  /// `*status` when given: transient faults are retried a bounded number
+  /// of times first (kMaxReadRetries, counted in PinIo::read_retries), and
+  /// a page that still fails is quarantined — later pins fast-fail with
+  /// kQuarantined and no file access until Clear(). Content mode only.
+  const std::byte* Pin(PageId id, PinIo* io = nullptr,
+                       Status* status = nullptr);
 
   /// Pin for mutation: same as Pin but the frame is marked dirty, so
   /// eviction (or FlushAll) writes it back to the file.
-  std::byte* PinForWrite(PageId id, PinIo* io = nullptr);
+  std::byte* PinForWrite(PageId id, PinIo* io = nullptr,
+                         Status* status = nullptr);
 
   /// Pin for a page that has no on-disk contents yet (just allocated):
   /// returns a zeroed dirty frame without reading the file. Reuses the
@@ -129,11 +155,23 @@ class BufferPool {
     overlay_ = overlay;
   }
 
+  /// Installs the miss-read verifier (see PageVerifier). Not thread-safe
+  /// against concurrent pins; set it before handing the pool to workers.
+  void SetVerifier(PageVerifier v) { verifier_ = std::move(v); }
+
+  /// Extra read attempts after a failed or rejected miss read before the
+  /// page is given up on and quarantined.
+  static constexpr unsigned kMaxReadRetries = 2;
+
   bool Resident(PageId id) const;
 
   uint64_t hits() const { return Sum(&Shard::hits); }
   uint64_t misses() const { return Sum(&Shard::misses); }
   uint64_t writebacks() const { return Sum(&Shard::writebacks); }
+  /// Miss re-reads after a transient read failure or verify rejection.
+  uint64_t read_retries() const { return Sum(&Shard::read_retries); }
+  /// Pages that exhausted their retries and are now fast-failed.
+  size_t quarantined_pages() const;
   /// WAL syncs forced by the write-back rule (eviction or flush reached a
   /// dirty frame whose record was not yet durable).
   uint64_t wal_forced_syncs() const { return Sum(&Shard::wal_forced_syncs); }
@@ -187,13 +225,21 @@ class BufferPool {
     uint64_t writebacks = 0;
     uint64_t write_failures = 0;
     uint64_t wal_forced_syncs = 0;
+    uint64_t read_retries = 0;
     uint64_t high_water = 0;  // max frames this shard ever held
+    /// Pages whose miss read kept failing after kMaxReadRetries; pins
+    /// fast-fail until Clear() gives them another chance.
+    std::unordered_set<PageId> quarantined;
   };
 
   Shard& ShardFor(PageId id);
   const Shard& ShardFor(PageId id) const;
 
-  std::byte* PinImpl(PageId id, bool dirty, PinIo* io);
+  std::byte* PinImpl(PageId id, bool dirty, PinIo* io, Status* status);
+  /// The miss fetch: reads the page (or copies the overlay image), runs
+  /// the verifier, and retries transient failures. Shard latch held.
+  bool LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
+                 Status* status);
   /// Evicts the shard's LRU unpinned frame (writing back when dirty);
   /// false when every frame is pinned. Shard latch held by the caller.
   bool EvictOne(Shard& s, PinIo* io);
@@ -211,6 +257,7 @@ class BufferPool {
   PageFile* file_ = nullptr;
   Wal* wal_ = nullptr;
   const RecoveredPageMap* overlay_ = nullptr;  // read-only redo images
+  PageVerifier verifier_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

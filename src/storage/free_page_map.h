@@ -29,12 +29,29 @@ class FreePageMap {
  public:
   /// Resets to a section of `section_pages` allocatable pages with the
   /// given free chain, head first (the order a walk from the superblock's
-  /// free_head yields).
-  void Reset(uint64_t section_pages, std::vector<PageId> chain_from_head) {
+  /// free_head yields). Returns false — leaving the map empty — when the
+  /// chain is inconsistent: an id out of the section's range, or a
+  /// duplicate (how a cycle in the on-disk chain surfaces here). A corrupt
+  /// superblock must fail the open cleanly, not corrupt the allocator.
+  [[nodiscard]] bool Reset(uint64_t section_pages,
+                           std::vector<PageId> chain_from_head) {
     section_pages_ = section_pages;
-    stack_.assign(chain_from_head.rbegin(), chain_from_head.rend());
+    stack_.clear();
     pos_.clear();
-    for (size_t i = 0; i < stack_.size(); ++i) pos_[stack_[i]] = i;
+    stack_.reserve(chain_from_head.size());
+    for (auto it = chain_from_head.rbegin(); it != chain_from_head.rend();
+         ++it) {
+      const PageId id = *it;
+      if (id < 0 || id >= static_cast<PageId>(section_pages_) ||
+          pos_.count(id) > 0) {
+        stack_.clear();
+        pos_.clear();
+        return false;
+      }
+      pos_[id] = stack_.size();
+      stack_.push_back(id);
+    }
+    return true;
   }
 
   struct Alloc {
@@ -58,11 +75,17 @@ class FreePageMap {
 
   /// Pushes `id` as the new chain head. The caller re-encodes the page as
   /// a free page pointing at the previous head (NextOf after the push).
-  void Free(PageId id) {
-    assert(id >= 0 && id < static_cast<PageId>(section_pages_));
-    assert(!Contains(id));
+  /// Refuses — returning false, the map unchanged — an id outside the
+  /// section or already free (a double free), instead of corrupting the
+  /// chain: in Release these were silent UB via the old assert-only path.
+  [[nodiscard]] bool Free(PageId id) {
+    if (id < 0 || id >= static_cast<PageId>(section_pages_) ||
+        Contains(id)) {
+      return false;
+    }
     pos_[id] = stack_.size();
     stack_.push_back(id);
+    return true;
   }
 
   /// Chain head (the page Allocate would return next), or kInvalidPage.

@@ -28,6 +28,10 @@ struct IoStats {
   uint64_t clip_accesses = 0;
   /// Physical page reads from the page file (buffer-pool misses).
   uint64_t page_reads = 0;
+  /// Re-reads after a transient read failure or checksum mismatch (each
+  /// retry is also counted in page_reads; a fault absorbed by retry is
+  /// visible here and nowhere else).
+  uint64_t read_retries = 0;
   /// Physical page writes to the page file (dirty evictions + flushes).
   uint64_t page_writes = 0;
   /// Write-ahead-log records appended (page images + commits).
@@ -47,6 +51,7 @@ struct IoStats {
     contributing_leaf_accesses += o.contributing_leaf_accesses;
     clip_accesses += o.clip_accesses;
     page_reads += o.page_reads;
+    read_retries += o.read_retries;
     page_writes += o.page_writes;
     wal_appends += o.wal_appends;
     wal_bytes += o.wal_bytes;

@@ -7,25 +7,37 @@
 #include <cerrno>
 
 #include "storage/crash_point.h"
+#include "storage/fault_injection.h"
 
 namespace clipbb::storage {
 
 namespace {
 
-bool FullPread(int fd, void* buf, size_t n, uint64_t off) {
+// Reads exactly n bytes or reports why it could not: zero bytes available
+// at `off` is kEof (the range lies past the end of file); running dry
+// after a partial transfer is kShortRead (the file ends mid-range).
+PageReadResult FullPreadDetailed(int fd, void* buf, size_t n, uint64_t off) {
   char* p = static_cast<char*>(buf);
+  size_t got = 0;
   while (n > 0) {
     const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
     if (r < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return PageReadResult::kIoError;
     }
-    if (r == 0) return false;  // short file
+    if (r == 0) {
+      return got == 0 ? PageReadResult::kEof : PageReadResult::kShortRead;
+    }
+    got += static_cast<size_t>(r);
     p += r;
     n -= static_cast<size_t>(r);
     off += static_cast<uint64_t>(r);
   }
-  return true;
+  return PageReadResult::kOk;
+}
+
+bool FullPread(int fd, void* buf, size_t n, uint64_t off) {
+  return FullPreadDetailed(fd, buf, n, off) == PageReadResult::kOk;
 }
 
 bool FullPwrite(int fd, const void* buf, size_t n, uint64_t off) {
@@ -74,11 +86,29 @@ uint64_t PageFile::SizeBytes() const {
   return static_cast<uint64_t>(st.st_size);
 }
 
-bool PageFile::ReadPage(int64_t page, void* buf) {
-  if (fd_ < 0 || page_size_ == 0 || page < 0) return false;
+PageReadResult PageFile::ReadPageDetailed(int64_t page, void* buf) {
+  if (fd_ < 0 || page_size_ == 0 || page < 0) {
+    return PageReadResult::kIoError;
+  }
   reads_.fetch_add(1, std::memory_order_relaxed);
-  return FullPread(fd_, buf, page_size_,
-                   static_cast<uint64_t>(page) * page_size_);
+  const uint64_t off = static_cast<uint64_t>(page) * page_size_;
+  switch (ReadFaultNext(page)) {
+    case ReadFaultKind::kEio:
+      return PageReadResult::kIoError;
+    case ReadFaultKind::kShortRead:
+      return PageReadResult::kShortRead;
+    case ReadFaultKind::kBitFlip: {
+      const PageReadResult r = FullPreadDetailed(fd_, buf, page_size_, off);
+      if (r == PageReadResult::kOk) {
+        // Flip one bit mid-frame; the page checksum must catch it.
+        static_cast<char*>(buf)[page_size_ / 2] ^= 0x10;
+      }
+      return r;
+    }
+    case ReadFaultKind::kNone:
+      break;
+  }
+  return FullPreadDetailed(fd_, buf, page_size_, off);
 }
 
 bool PageFile::WritePage(int64_t page, const void* buf) {

@@ -12,6 +12,13 @@
 
 namespace clipbb::storage {
 
+/// Outcome of a page-granular read, distinguishing "the page lies entirely
+/// past end of file" (kEof — a caller bug or an index shorter than its
+/// superblock claims) from "the file ends mid-page / pread came back
+/// partial" (kShortRead — truncation or a torn write) and from a hard I/O
+/// error (kIoError). Only kShortRead and kIoError are worth retrying.
+enum class PageReadResult : uint8_t { kOk, kEof, kShortRead, kIoError };
+
 class PageFile {
  public:
   PageFile() = default;
@@ -44,7 +51,12 @@ class PageFile {
   /// the sharded BufferPool read and write through one PageFile, and
   /// pread/pwrite are positioned so the transfers themselves never race).
   /// `buf` must hold page_size() bytes.
-  bool ReadPage(int64_t page, void* buf);
+  bool ReadPage(int64_t page, void* buf) {
+    return ReadPageDetailed(page, buf) == PageReadResult::kOk;
+  }
+  /// Like ReadPage but reports why a read failed; this is also where the
+  /// read-fault injector (storage/fault_injection.h) intercepts.
+  PageReadResult ReadPageDetailed(int64_t page, void* buf);
   bool WritePage(int64_t page, const void* buf);
 
   /// Byte-granular transfers for headers; not counted as page I/O.

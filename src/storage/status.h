@@ -1,0 +1,55 @@
+// Lightweight read-path error propagation: an error kind plus the page it
+// was observed on. Trivially copyable by design so it can ride through the
+// multithreaded batch path and be merged at join points without locking.
+#ifndef CLIPBB_STORAGE_STATUS_H_
+#define CLIPBB_STORAGE_STATUS_H_
+
+#include <cstdint>
+
+#include "storage/page_store.h"
+
+namespace clipbb::storage {
+
+/// What went wrong on a page read. Ordered roughly by layer: the raw file
+/// (kIo/kShortRead/kEof), the checksum/decode layer (kChecksum,
+/// kCorruptStructure), the buffer pool (kQuarantined), and recovery (kWal).
+enum class ErrorKind : uint8_t {
+  kNone = 0,
+  kIo,                ///< pread failed (EIO or similar)
+  kShortRead,         ///< partial pread inside a page (truncation/race)
+  kEof,               ///< page lies entirely past end of file
+  kChecksum,          ///< page checksum mismatch after a successful read
+  kCorruptStructure,  ///< checksum ok but header/bounds fail validation
+  kQuarantined,       ///< page failed persistently earlier; fast-failed
+  kWal,               ///< WAL recovery could not read/apply the log
+};
+
+inline const char* ErrorKindName(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kNone: return "ok";
+    case ErrorKind::kIo: return "io";
+    case ErrorKind::kShortRead: return "short-read";
+    case ErrorKind::kEof: return "eof";
+    case ErrorKind::kChecksum: return "checksum";
+    case ErrorKind::kCorruptStructure: return "corrupt-structure";
+    case ErrorKind::kQuarantined: return "quarantined";
+    case ErrorKind::kWal: return "wal";
+  }
+  return "?";
+}
+
+/// Error kind + offending page. `page` is a file page id (superblock = 0,
+/// section page s = 1 + s) where known, kInvalidPage otherwise.
+struct Status {
+  ErrorKind kind = ErrorKind::kNone;
+  PageId page = kInvalidPage;
+
+  bool ok() const { return kind == ErrorKind::kNone; }
+  const char* kind_name() const { return ErrorKindName(kind); }
+};
+
+inline Status OkStatus() { return Status{}; }
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_STATUS_H_

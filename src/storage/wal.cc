@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "storage/crash_point.h"
+#include "storage/fault_injection.h"
 
 namespace clipbb::storage {
 
@@ -218,12 +219,25 @@ bool Wal::Recover(const std::string& wal_path, PageFile* file,
     if (out) *out = res;
     return true;  // header-only (clean checkpoint) or empty
   }
+  // Injected faults on the whole-log read: EIO and short reads make
+  // recovery fail cleanly (the caller refuses the open); a bit flip lands
+  // in the log buffer, where the per-record CRC machinery below treats the
+  // damaged record as the start of the torn tail.
+  const ReadFaultKind fault = ReadFaultNext(kReadFaultWal);
+  if (fault == ReadFaultKind::kEio || fault == ReadFaultKind::kShortRead) {
+    ::close(fd);
+    return false;
+  }
   std::vector<std::byte> log(size);
   const bool read_ok =
       ::pread(fd, log.data(), size, 0) == static_cast<ssize_t>(size);
   if (!read_ok) {
     ::close(fd);
     return false;
+  }
+  if (fault == ReadFaultKind::kBitFlip) {
+    log[sizeof(WalFileHeader) + (size - sizeof(WalFileHeader)) / 2] ^=
+        std::byte{0x10};
   }
   WalFileHeader fh;
   std::memcpy(&fh, log.data(), sizeof fh);

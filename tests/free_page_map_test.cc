@@ -46,7 +46,7 @@ geom::Rect<D> Domain() {
 
 TEST(FreePageMap, LifoAllocFreeReuseOrdering) {
   storage::FreePageMap map;
-  map.Reset(/*section_pages=*/4, /*chain_from_head=*/{});
+  ASSERT_TRUE(map.Reset(/*section_pages=*/4, /*chain_from_head=*/{}));
   EXPECT_EQ(map.FreeCount(), 0u);
   EXPECT_EQ(map.head(), storage::kInvalidPage);
 
@@ -57,9 +57,9 @@ TEST(FreePageMap, LifoAllocFreeReuseOrdering) {
   EXPECT_EQ(map.SectionPages(), 5u);
 
   // Frees stack LIFO; the last page freed is the first reused.
-  map.Free(1);
-  map.Free(3);
-  map.Free(2);
+  ASSERT_TRUE(map.Free(1));
+  ASSERT_TRUE(map.Free(3));
+  ASSERT_TRUE(map.Free(2));
   EXPECT_EQ(map.FreeCount(), 3u);
   EXPECT_EQ(map.head(), 2);
   // On-disk chain: 2 -> 3 -> 1 -> end.
@@ -80,12 +80,41 @@ TEST(FreePageMap, LifoAllocFreeReuseOrdering) {
 
   // Restoring a persisted chain reproduces pop order head-first.
   storage::FreePageMap again;
-  again.Reset(10, {7, 5, 9});
+  ASSERT_TRUE(again.Reset(10, {7, 5, 9}));
   EXPECT_EQ(again.head(), 7);
   EXPECT_EQ(again.NextOf(7), 5);
   EXPECT_EQ(again.Allocate().id, 7);
   EXPECT_EQ(again.Allocate().id, 5);
   EXPECT_EQ(again.Allocate().id, 9);
+}
+
+TEST(FreePageMap, ResetRejectsCorruptChains) {
+  storage::FreePageMap map;
+  // Out-of-range id: negative or past the section end.
+  EXPECT_FALSE(map.Reset(10, {3, 12, 5}));
+  EXPECT_EQ(map.FreeCount(), 0u);
+  EXPECT_FALSE(map.Reset(10, {-1}));
+  // A duplicate is how a cycle in the on-disk chain surfaces after the
+  // bounded walk: 2 -> 5 -> 2 -> ...
+  EXPECT_FALSE(map.Reset(10, {2, 5, 2}));
+  EXPECT_EQ(map.FreeCount(), 0u);
+  // A rejected Reset leaves the map usable for a clean retry.
+  ASSERT_TRUE(map.Reset(10, {2, 5}));
+  EXPECT_EQ(map.FreeCount(), 2u);
+  EXPECT_EQ(map.head(), 2);
+}
+
+TEST(FreePageMap, FreeRejectsDoubleAndOutOfRange) {
+  storage::FreePageMap map;
+  ASSERT_TRUE(map.Reset(4, {1}));
+  EXPECT_FALSE(map.Free(1));   // already free (double free)
+  EXPECT_FALSE(map.Free(4));   // past the section
+  EXPECT_FALSE(map.Free(-2));  // negative
+  // None of the refusals changed the chain.
+  EXPECT_EQ(map.ChainFromHead(), (std::vector<storage::PageId>{1}));
+  EXPECT_TRUE(map.Free(2));
+  EXPECT_EQ(map.head(), 2);
+  EXPECT_EQ(map.FreeCount(), 2u);
 }
 
 TEST(FreePageMap, SuperblockRoundTripThroughReopen) {

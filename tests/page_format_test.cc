@@ -62,9 +62,10 @@ void RoundTripNoClips() {
     const Node<D> back = DecodeNode<D>(page.data());
     ExpectNodeEq<D>(n, back);
     const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
-    EXPECT_EQ(v.header.clip_count, 0);
+    EXPECT_EQ(v.header.clip_count(), 0u);
     EXPECT_FALSE(v.ClipsSpilled());
     EXPECT_TRUE(v.DecodeClips().empty());
+    EXPECT_TRUE(VerifyPageChecksum(page.data(), page_size));
   }
 }
 
@@ -82,7 +83,7 @@ void RoundTripInlineClips() {
       n, std::span<const core::ClipPoint<D>>(clips), page.data(),
       page_size));
   const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
-  EXPECT_EQ(v.header.clip_count, clips.size());
+  EXPECT_EQ(v.header.clip_count(), clips.size());
   EXPECT_FALSE(v.ClipsSpilled());
   ExpectNodeEq<D>(n, DecodeNode<D>(page.data()));
   const auto back = v.DecodeClips();
@@ -114,7 +115,7 @@ TEST(PageFormat, FullNodeSpillsClipRun) {
       page_size));
   const PagedNodeView<D> v = DecodeNodePage<D>(page.data());
   EXPECT_TRUE(v.ClipsSpilled());
-  EXPECT_EQ(v.header.clip_count, 0);
+  EXPECT_EQ(v.header.clip_count(), 0u);
   ExpectNodeEq<D>(n, DecodeNode<D>(page.data()));  // entries intact
 }
 
@@ -131,7 +132,7 @@ TEST(PageFormat, SpillPageRoundTrip) {
     NodePageHeader h;
     std::memcpy(&h, page.data(), sizeof h);
     EXPECT_FALSE(PageIsNode(h));
-    EXPECT_EQ(h.flags, kPageFlagSpill);
+    EXPECT_EQ(h.flags(), kPageFlagSpill);
     EXPECT_EQ(PageLsn(page.data()), 99u);
     SpillPageView<D> v;
     ASSERT_TRUE(DecodeSpillPage<D>(page.data(), page_size, &v));
@@ -153,11 +154,15 @@ TEST(PageFormat, SpillPageRoundTrip) {
   ASSERT_TRUE(EncodeSpillPage<D>(
       3, std::span<const core::ClipPoint<D>>(clips), page.data(),
       page_size));
-  const uint16_t bogus = 0xFFFF;
-  std::memcpy(page.data() + offsetof(NodePageHeader, clip_count), &bogus,
-              sizeof bogus);
+  NodePageHeader bogus;
+  bogus.SetMeta(0, kPageFlagSpill, 0, kMaxPageClips);  // run can't fit
+  std::memcpy(page.data() + offsetof(NodePageHeader, meta), &bogus.meta,
+              sizeof bogus.meta);
   SpillPageView<D> v;
   EXPECT_FALSE(DecodeSpillPage<D>(page.data(), page_size, &v));
+  // The meta rewrite also invalidated the checksum, so the pool-side
+  // verifier would have refused the page before any decode.
+  EXPECT_FALSE(VerifyPageChecksum(page.data(), page_size));
 }
 
 TEST(PageFormat, FreePageRoundTripAndLsnStamp) {
@@ -166,7 +171,7 @@ TEST(PageFormat, FreePageRoundTripAndLsnStamp) {
   EncodeFreePage(page.data(), page_size, /*next=*/123, /*lsn=*/7);
   NodePageHeader h;
   std::memcpy(&h, page.data(), sizeof h);
-  EXPECT_EQ(h.flags, kPageFlagFree);
+  EXPECT_EQ(h.flags(), kPageFlagFree);
   EXPECT_FALSE(PageIsNode(h));
   EXPECT_EQ(FreePageNext(page.data()), 123);
   EXPECT_EQ(PageLsn(page.data()), 7u);
@@ -180,6 +185,71 @@ TEST(PageFormat, FreePageRoundTripAndLsnStamp) {
   SetPageLsn(node_page.data(), 4321);
   EXPECT_EQ(PageLsn(node_page.data()), 4321u);
   EXPECT_EQ(DecodeNodePage<2>(node_page.data()).header.lsn, 4321u);
+}
+
+TEST(PageFormat, PackedMetaAccessors) {
+  NodePageHeader h;
+  h.SetMeta(kMaxPageLevel, kNodeFlagClipsSpilled | kPageFlagSpill,
+            kMaxPageEntries, kMaxPageClips);
+  EXPECT_EQ(h.level(), kMaxPageLevel);
+  EXPECT_EQ(h.flags(),
+            static_cast<uint32_t>(kNodeFlagClipsSpilled | kPageFlagSpill));
+  EXPECT_EQ(h.entry_count(), kMaxPageEntries);
+  EXPECT_EQ(h.clip_count(), kMaxPageClips);
+  h.SetMeta(3, 0, 17, 5);
+  EXPECT_EQ(h.level(), 3u);
+  EXPECT_EQ(h.flags(), 0u);
+  EXPECT_EQ(h.entry_count(), 17u);
+  EXPECT_EQ(h.clip_count(), 5u);
+  // The derived capacity can never exceed the packed entry_count field,
+  // even for absurd page sizes.
+  EXPECT_LE(DeriveMaxEntries<2>(1 << 26),
+            static_cast<int>(kMaxPageEntries));
+}
+
+// Any single flipped bit anywhere in a page — data, header, or the
+// checksum field itself — must fail verification: CRC-32 detects all
+// single-bit errors, so the sweep is exhaustive, not probabilistic.
+TEST(PageFormat, ChecksumCatchesEverySingleBitFlip) {
+  Rng rng(61);
+  constexpr int D = 2;
+  const size_t page_size = 256;
+  std::vector<std::byte> page(page_size);
+  const Node<D> n = MakeNode<D>(rng, 1, 4);
+  ASSERT_TRUE(EncodeNodePage<D>(n, {}, page.data(), page_size));
+  ASSERT_TRUE(VerifyPageChecksum(page.data(), page_size));
+  for (size_t bit = 0; bit < page_size * 8; ++bit) {
+    page[bit / 8] ^= std::byte{static_cast<uint8_t>(1u << (bit % 8))};
+    EXPECT_FALSE(VerifyPageChecksum(page.data(), page_size))
+        << "flip of bit " << bit << " went undetected";
+    page[bit / 8] ^= std::byte{static_cast<uint8_t>(1u << (bit % 8))};
+  }
+  EXPECT_TRUE(VerifyPageChecksum(page.data(), page_size));
+}
+
+TEST(PageFormat, SuperblockChecksumRoundTripAndBitFlips) {
+  const size_t page_size = 512;
+  std::vector<std::byte> page(page_size, std::byte{0});
+  Superblock sb;
+  sb.dim = 2;
+  sb.file_page_size = static_cast<uint32_t>(page_size);
+  sb.num_section_pages = 9;
+  sb.num_nodes = 7;
+  std::memcpy(page.data(), &sb, sizeof sb);
+  StampSuperblockPage(page.data(), page_size);
+  EXPECT_TRUE(VerifySuperblockPage(page.data(), page_size));
+  // The stamp must not disturb the magic (bytes 4-7 hold its high half —
+  // the reason the superblock checksum lives in its own field).
+  Superblock back;
+  std::memcpy(&back, page.data(), sizeof back);
+  EXPECT_EQ(back.magic, kPagedMagic);
+  EXPECT_NE(back.checksum, 0u);
+  for (size_t bit = 0; bit < page_size * 8; bit += 7) {
+    page[bit / 8] ^= std::byte{static_cast<uint8_t>(1u << (bit % 8))};
+    EXPECT_FALSE(VerifySuperblockPage(page.data(), page_size))
+        << "flip of bit " << bit << " went undetected";
+    page[bit / 8] ^= std::byte{static_cast<uint8_t>(1u << (bit % 8))};
+  }
 }
 
 // Whole-tree packed round trip across variants and dimensions: serialize

@@ -18,8 +18,11 @@
 #include <vector>
 
 #include "rtree/factory.h"
+#include "rtree/page_format.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_api.h"
+#include "storage/fault_injection.h"
+#include "storage/page_file.h"
 #include "test_util.h"
 
 namespace clipbb::rtree {
@@ -159,6 +162,89 @@ TEST_P(PagedBatchMt, WorkloadOrderScheduleAlsoMatches) {
   EXPECT_EQ(mt.counts, st.counts);
   EXPECT_EQ(mt.io.leaf_accesses, st.io.leaf_accesses);
   EXPECT_EQ(mt.io.page_reads, st.io.page_reads);
+}
+
+// Error propagation under concurrency: one unreadable page must fail
+// exactly the queries whose traversal needs it, while every other worker's
+// queries complete with counts identical to the in-memory engine — the
+// "degrade gracefully, never silently truncate" half of the failure model.
+TEST(PagedBatchMtFaults, OneBadPageFailsOnlyItsQueries) {
+  struct FaultGuard {
+    ~FaultGuard() { storage::ReadFaultDisarm(); }
+  } guard;
+
+  Rng rng(421);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 4000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 300; ++q) {
+    queries.push_back(RandomRect<2>(rng, 0.12));
+  }
+  FileGuard file(TempPath("fault"));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, file.path));
+
+  QueryBatchOptions serial;
+  serial.threads = 1;
+  const QueryBatchResult mem = SpatialEngine<2>(*tree).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), serial);
+
+  // Pick a victim page every retry will keep failing: the root's first
+  // child, read straight off the file.
+  int64_t victim;
+  {
+    storage::PageFile raw;
+    ASSERT_TRUE(raw.Open(file.path, /*create=*/false, /*page_size=*/0,
+                         /*read_only=*/true));
+    Superblock sb;
+    ASSERT_TRUE(raw.ReadRaw(0, &sb, sizeof sb));
+    raw.set_page_size(sb.file_page_size);
+    std::vector<std::byte> page(sb.file_page_size);
+    ASSERT_TRUE(raw.ReadPage(1 + sb.root_page, page.data()));
+    const PagedNodeView<2> root = DecodeNodePage<2>(page.data());
+    ASSERT_GT(root.header.level(), 0u);
+    ASSERT_GT(root.n(), 0u);
+    victim = 1 + root.Soa().id[0];  // file page of the first child
+    raw.Close();
+  }
+  storage::ReadFaultArm(storage::ReadFaultKind::kEio, /*nth_read=*/1,
+                        /*count=*/1u << 20, victim);
+
+  PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions opts;
+  opts.pool_pages = 1u << 20;
+  opts.pool_shards = kThreads;
+  ASSERT_TRUE(paged.Open(file.path, opts));
+  QueryBatchOptions parallel;
+  parallel.threads = kThreads;
+  const QueryBatchResult mt = SpatialEngine<2>(paged).ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), parallel);
+  storage::ReadFaultDisarm();
+
+  // The batch reports the fault: first error kind + every failing index.
+  EXPECT_FALSE(mt.ok());
+  EXPECT_TRUE(mt.error.kind == storage::ErrorKind::kIo ||
+              mt.error.kind == storage::ErrorKind::kQuarantined)
+      << mt.error.kind_name();
+  EXPECT_EQ(mt.error.page, victim);
+  ASSERT_FALSE(mt.failed.empty());
+  EXPECT_LT(mt.failed.size(), queries.size());  // most queries unaffected
+  EXPECT_TRUE(paged.io_error());                // engine-level latch too
+
+  // Zero success-with-wrong-result: every query not reported failed has
+  // exactly the in-memory count.
+  std::vector<bool> is_failed(queries.size(), false);
+  for (uint32_t qi : mt.failed) is_failed[qi] = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!is_failed[i]) {
+      EXPECT_EQ(mt.counts[i], mem.counts[i]) << "query " << i;
+    }
+  }
+  // The victim page was quarantined after its retries, not hammered.
+  EXPECT_EQ(paged.pool().quarantined_pages(), 1u);
+  EXPECT_GE(mt.io.read_retries, storage::BufferPool::kMaxReadRetries);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, PagedBatchMt,

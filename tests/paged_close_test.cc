@@ -152,6 +152,9 @@ TEST(PagedClose, ReadOnlyOpenRecoversButNeverTouchesWalOrFile) {
   Superblock patched = sb;
   patched.lsn = sb.lsn + 7;
   std::memcpy(page0.data(), &patched, sizeof patched);
+  // Like every real encode path, the crafted image must carry a valid
+  // checksum or the reader's open-time verification (rightly) rejects it.
+  StampSuperblockPage(page0.data(), page0.size());
   storage::Wal wal;
   ASSERT_TRUE(wal.Open(WalPathFor(file.path), sb.file_page_size,
                        sb.lsn + 1));

@@ -1,0 +1,262 @@
+// Read-path fault acceptance sweep — the failure-model contract, proven
+// over a dense fault matrix: {EIO, short read, flipped bit} × {transient,
+// persistent} × a spread of trigger points. For every armed combination,
+// every query against the paged engine must either (a) return a count
+// identical to the in-memory engine's, with an ok Status, or (b) surface
+// an explicit non-ok Status (and fire the sink's OnError exactly once).
+// Zero success-with-wrong-result outcomes, ever — a silently truncated
+// traversal is the one behavior this file exists to make impossible.
+// Transient faults (budget 1) must additionally be invisible: absorbed by
+// the pool's bounded retry, counted in IoStats::read_retries, all counts
+// exact. The env-driven case at the bottom is the hook for the CI fault
+// sweep (CLIPBB_READ_FAULT=...), mirroring the crash-recovery env sweep.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
+#include "storage/fault_injection.h"
+#include "storage/status.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "clipbb_fault_" + name + "_" +
+         std::to_string(::getpid()) + ".pages";
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() {
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+  std::string path;
+};
+
+struct FaultGuard {
+  ~FaultGuard() { storage::ReadFaultDisarm(); }
+};
+
+geom::Rect<2> Domain2() {
+  geom::Rect<2> r;
+  for (int i = 0; i < 2; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+/// Counts matches and records every OnError delivery.
+class RecordingSink final : public ResultSink<2> {
+ public:
+  void OnMatch(ObjectId) override { ++count_; }
+  void OnError(const storage::Status& s) override {
+    ++errors_;
+    last_error_ = s;
+  }
+  size_t count() const { return count_; }
+  int errors() const { return errors_; }
+  const storage::Status& last_error() const { return last_error_; }
+  void Reset() {
+    count_ = 0;
+    errors_ = 0;
+    last_error_ = storage::Status{};
+  }
+
+ private:
+  size_t count_ = 0;
+  int errors_ = 0;
+  storage::Status last_error_{};
+};
+
+/// A mixed-kind query workload: range, stabbing, containment, kNN.
+std::vector<QuerySpec<2>> MixedSpecs(Rng& rng) {
+  std::vector<QuerySpec<2>> specs;
+  for (int q = 0; q < 90; ++q) {
+    specs.push_back(QuerySpec<2>::Intersects(RandomRect<2>(rng, 0.10)));
+  }
+  for (int q = 0; q < 20; ++q) {
+    specs.push_back(
+        QuerySpec<2>::ContainsPoint(RandomRect<2>(rng, 0.0).lo));
+  }
+  for (int q = 0; q < 20; ++q) {
+    specs.push_back(QuerySpec<2>::ContainedIn(RandomRect<2>(rng, 0.25)));
+  }
+  for (int q = 0; q < 10; ++q) {
+    specs.push_back(QuerySpec<2>::Knn(RandomRect<2>(rng, 0.0).lo, 12));
+  }
+  return specs;
+}
+
+struct SweepOutcome {
+  size_t ok_queries = 0;
+  size_t failed_queries = 0;
+  size_t wrong_results = 0;  // ok status but count != reference — must be 0
+  size_t sink_error_mismatches = 0;
+  storage::IoStats io;
+};
+
+/// Opens the paged tree fresh, then calls `arm` (arming after the open
+/// scopes the fault window to the query path — Open itself reads the free
+/// chain and root without the pool's retry protection), runs every spec,
+/// and checks the no-silent-truncation invariant query by query. The
+/// caller disarms.
+template <typename ArmFn>
+SweepOutcome RunArmedSweep(const std::string& path,
+                           const std::vector<QuerySpec<2>>& specs,
+                           const std::vector<size_t>& ref, ArmFn&& arm) {
+  SweepOutcome out;
+  PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions opts;
+  opts.pool_pages = 64;  // small: evictions keep the read path busy
+  opts.pool_shards = 1;
+  EXPECT_TRUE(paged.Open(path, opts));
+  arm();
+  const SpatialEngine<2> engine(paged);
+  TraversalScratch scratch;
+  RecordingSink sink;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    sink.Reset();
+    storage::Status status;
+    const size_t n =
+        engine.Execute(specs[i], &sink, &out.io, &scratch, &status);
+    EXPECT_EQ(n, sink.count()) << "spec " << i;
+    if (status.ok()) {
+      ++out.ok_queries;
+      if (n != ref[i]) ++out.wrong_results;
+      if (sink.errors() != 0) ++out.sink_error_mismatches;
+    } else {
+      ++out.failed_queries;
+      // OnError fired exactly once, carrying the same status.
+      if (sink.errors() != 1 ||
+          sink.last_error().kind != status.kind) {
+        ++out.sink_error_mismatches;
+      }
+    }
+  }
+  paged.Close();
+  return out;
+}
+
+TEST(PagedFaultSweep, NoSilentTruncationAcrossTheFaultMatrix) {
+  FaultGuard guard;
+  Rng rng(431);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto tree = BuildTree<2>(Variant::kRStar, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  const std::vector<QuerySpec<2>> specs = MixedSpecs(rng);
+
+  FileGuard file(TempPath("matrix"));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, file.path));
+
+  // In-memory reference counts (the in-memory engine cannot fail).
+  std::vector<size_t> ref(specs.size());
+  {
+    const SpatialEngine<2> mem(*tree);
+    TraversalScratch scratch;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ref[i] = mem.Execute(specs[i], nullptr, nullptr, &scratch);
+    }
+  }
+
+  const storage::ReadFaultKind kKinds[] = {
+      storage::ReadFaultKind::kEio, storage::ReadFaultKind::kShortRead,
+      storage::ReadFaultKind::kBitFlip};
+  const char* kKindNames[] = {"eio", "short", "flip"};
+  const uint64_t kNth[] = {1, 3, 7, 17, 41, 97};
+
+  for (int ki = 0; ki < 3; ++ki) {
+    for (const bool persistent : {false, true}) {
+      for (const uint64_t nth : kNth) {
+        SCOPED_TRACE(::testing::Message()
+                     << kKindNames[ki] << (persistent ? "/persistent" : "/transient")
+                     << " nth=" << nth);
+        const SweepOutcome out = RunArmedSweep(file.path, specs, ref, [&] {
+          storage::ReadFaultArm(kKinds[ki], nth,
+                                persistent ? (1u << 20) : 1);
+        });
+        const uint64_t injected = storage::ReadFaultInjected();
+        storage::ReadFaultDisarm();
+
+        // The contract, in both regimes: an ok status is a guarantee.
+        EXPECT_EQ(out.wrong_results, 0u)
+            << "a query returned success with a wrong result";
+        EXPECT_EQ(out.sink_error_mismatches, 0u);
+
+        if (!persistent) {
+          // One fault, absorbed: nothing fails, every count exact, the
+          // retry that absorbed it is visible in the stats.
+          EXPECT_EQ(out.failed_queries, 0u);
+          EXPECT_EQ(out.ok_queries, specs.size());
+          if (injected > 0) {
+            EXPECT_GE(out.io.read_retries, 1u);
+          }
+        } else if (injected > 0) {
+          // Unbounded budget: the fault outlasts every retry, so at
+          // least one query must have failed loudly.
+          EXPECT_GT(out.failed_queries, 0u);
+          EXPECT_GE(out.io.read_retries,
+                    storage::BufferPool::kMaxReadRetries);
+        }
+      }
+    }
+  }
+}
+
+// CI hook: when CLIPBB_READ_FAULT is set, run the same invariant under
+// whatever fault the environment describes (the workflow sweeps kind ×
+// trigger point, exactly like the crash-recovery sweep). Unset, the test
+// skips, so local `ctest` runs are unaffected.
+TEST(PagedFaultEnv, EnvConfiguredFaultNeverTruncatesSilently) {
+  FaultGuard guard;
+  if (!storage::ReadFaultArmFromEnv()) {
+    GTEST_SKIP() << "CLIPBB_READ_FAULT not set";
+  }
+  storage::ReadFaultDisarm();  // re-arm after the setup phase below
+
+  Rng rng(433);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  tree->EnableClipping(core::ClipConfig<2>::Sta());
+  const std::vector<QuerySpec<2>> specs = MixedSpecs(rng);
+  FileGuard file(TempPath("env"));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, file.path));
+  std::vector<size_t> ref(specs.size());
+  {
+    const SpatialEngine<2> mem(*tree);
+    TraversalScratch scratch;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ref[i] = mem.Execute(specs[i], nullptr, nullptr, &scratch);
+    }
+  }
+
+  const SweepOutcome out = RunArmedSweep(file.path, specs, ref, [] {
+    ASSERT_TRUE(storage::ReadFaultArmFromEnv());
+  });
+  storage::ReadFaultDisarm();
+  EXPECT_EQ(out.wrong_results, 0u)
+      << "a query returned success with a wrong result under "
+      << std::getenv("CLIPBB_READ_FAULT");
+  EXPECT_EQ(out.sink_error_mismatches, 0u);
+  // Whatever happened — absorbed or failed — both totals add up.
+  EXPECT_EQ(out.ok_queries + out.failed_queries, specs.size());
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
 #include "storage/page_store.h"
+#include "storage/status.h"
 
 namespace clipbb::storage {
 namespace {
@@ -355,6 +357,140 @@ TEST_F(ContentPoolTest, UnpinWithDirtyFlagMarksFrame) {
   std::vector<std::byte> buf(kPage);
   ASSERT_TRUE(file_.ReadPage(4, buf.data()));
   EXPECT_EQ(buf[0], std::byte{0x77});
+}
+
+TEST_F(ContentPoolTest, ReadPageDetailedDistinguishesEofFromShortRead) {
+  std::vector<std::byte> buf(kPage);
+  // Whole pages read fine.
+  EXPECT_EQ(file_.ReadPageDetailed(3, buf.data()), PageReadResult::kOk);
+  // A page entirely past the end of the file is EOF, not a short read.
+  EXPECT_EQ(file_.ReadPageDetailed(100, buf.data()), PageReadResult::kEof);
+  // A file ending mid-page (truncation / torn append) is a short read.
+  ASSERT_TRUE(file_.Truncate(10 * kPage + kPage / 2));
+  EXPECT_EQ(file_.ReadPageDetailed(10, buf.data()),
+            PageReadResult::kShortRead);
+  EXPECT_EQ(file_.ReadPageDetailed(11, buf.data()), PageReadResult::kEof);
+}
+
+/// Guard that always disarms the injector, even on early test failure.
+struct FaultGuard {
+  ~FaultGuard() { ReadFaultDisarm(); }
+};
+
+TEST_F(ContentPoolTest, TransientReadFaultAbsorbedByRetry) {
+  FaultGuard guard;
+  for (const ReadFaultKind kind :
+       {ReadFaultKind::kEio, ReadFaultKind::kShortRead}) {
+    BufferPool pool(2, &file_);
+    ReadFaultArm(kind, /*nth_read=*/1, /*count=*/1);
+    BufferPool::PinIo io;
+    Status status;
+    const std::byte* f = pool.Pin(3, &io, &status);
+    ASSERT_NE(f, nullptr);  // one retry absorbed the fault
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(f[0], MarkedPage(3)[0]);
+    EXPECT_EQ(io.read_retries, 1u);
+    EXPECT_EQ(pool.read_retries(), 1u);
+    EXPECT_EQ(io.reads, 2u);  // both physical attempts counted
+    EXPECT_EQ(pool.quarantined_pages(), 0u);
+    pool.Unpin(3);
+    ReadFaultDisarm();
+  }
+}
+
+TEST_F(ContentPoolTest, PersistentReadFaultQuarantinesPage) {
+  FaultGuard guard;
+  BufferPool pool(2, &file_);
+  // More faults than attempts (1 + kMaxReadRetries): the pin must fail.
+  ReadFaultArm(ReadFaultKind::kEio, /*nth_read=*/1, /*count=*/100,
+               /*page_id=*/5);
+  BufferPool::PinIo io;
+  Status status;
+  EXPECT_EQ(pool.Pin(5, &io, &status), nullptr);
+  EXPECT_EQ(status.kind, ErrorKind::kIo);
+  EXPECT_EQ(status.page, 5);
+  EXPECT_EQ(io.read_retries, BufferPool::kMaxReadRetries);
+  EXPECT_EQ(io.reads, 1u + BufferPool::kMaxReadRetries);
+  EXPECT_EQ(pool.quarantined_pages(), 1u);
+
+  // Later pins fast-fail without touching the file, even disarmed.
+  ReadFaultDisarm();
+  const uint64_t reads_before = file_.reads();
+  Status again;
+  EXPECT_EQ(pool.Pin(5, nullptr, &again), nullptr);
+  EXPECT_EQ(again.kind, ErrorKind::kQuarantined);
+  EXPECT_EQ(again.page, 5);
+  EXPECT_EQ(file_.reads(), reads_before);
+
+  // Other pages are unaffected; Clear() gives the page another chance.
+  ASSERT_NE(pool.Pin(6), nullptr);
+  pool.Unpin(6);
+  pool.Clear();
+  EXPECT_EQ(pool.quarantined_pages(), 0u);
+  const std::byte* f = pool.Pin(5);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f[0], MarkedPage(5)[0]);
+  pool.Unpin(5);
+}
+
+TEST_F(ContentPoolTest, EofPinFailsWithoutRetryOrQuarantine) {
+  BufferPool pool(2, &file_);
+  BufferPool::PinIo io;
+  Status status;
+  EXPECT_EQ(pool.Pin(100, &io, &status), nullptr);
+  EXPECT_EQ(status.kind, ErrorKind::kEof);
+  EXPECT_EQ(io.read_retries, 0u);  // deterministic: retrying is pointless
+  EXPECT_EQ(pool.quarantined_pages(), 0u);  // caller bug, not a bad page
+}
+
+TEST_F(ContentPoolTest, VerifierRejectionRetriesThenQuarantines) {
+  FaultGuard guard;
+  // Format-aware stand-in: every byte of a marked page equals byte 0, so
+  // the mid-page bit flip the injector plants is detectable — exactly how
+  // the real checksum verifier catches a flipped bit before decode.
+  BufferPool pool(2, &file_);
+  pool.SetVerifier([](PageId id, const std::byte* bytes) {
+    return bytes[kPage / 2] == bytes[0]
+               ? Status{}
+               : Status{ErrorKind::kChecksum, id};
+  });
+
+  // Transient flip: one retry re-reads clean bytes.
+  ReadFaultArm(ReadFaultKind::kBitFlip, /*nth_read=*/1, /*count=*/1);
+  BufferPool::PinIo io;
+  Status status;
+  const std::byte* f = pool.Pin(2, &io, &status);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f[kPage / 2], f[0]);  // verified bytes, not the flipped ones
+  EXPECT_EQ(io.read_retries, 1u);
+  pool.Unpin(2);
+  ReadFaultDisarm();
+
+  // Persistent flip: every attempt reads damaged bytes -> quarantine with
+  // the verifier's own error kind.
+  ReadFaultArm(ReadFaultKind::kBitFlip, /*nth_read=*/1, /*count=*/100,
+               /*page_id=*/7);
+  Status bad;
+  EXPECT_EQ(pool.Pin(7, nullptr, &bad), nullptr);
+  EXPECT_EQ(bad.kind, ErrorKind::kChecksum);
+  EXPECT_EQ(bad.page, 7);
+  EXPECT_EQ(pool.quarantined_pages(), 1u);
+}
+
+TEST_F(ContentPoolTest, CorruptStructureVerdictFailsFast) {
+  // kCorruptStructure from the verifier means the checksum MATCHED but the
+  // decoded layout is absurd — the bytes on disk are stably wrong, so
+  // retrying cannot help and the page fails on the first attempt.
+  BufferPool pool(2, &file_);
+  pool.SetVerifier([](PageId id, const std::byte*) {
+    return Status{ErrorKind::kCorruptStructure, id};
+  });
+  BufferPool::PinIo io;
+  Status status;
+  EXPECT_EQ(pool.Pin(1, &io, &status), nullptr);
+  EXPECT_EQ(status.kind, ErrorKind::kCorruptStructure);
+  EXPECT_EQ(io.read_retries, 0u);
+  EXPECT_EQ(pool.quarantined_pages(), 1u);
 }
 
 TEST(IoStats, Accumulate) {

@@ -8,10 +8,14 @@
 //   clipbb_cli query  <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
 //   clipbb_cli pquery <idx> lo1 lo2 [lo3] hi1 hi2 [hi3]
 //   clipbb_cli knn    <idx> <data> k p1 p2 [p3]
+//   clipbb_cli scrub  <idx>
 //
 // `pquery` answers the query disk-resident: the index file is opened as a
 // page file and read through the buffer pool, so the printed I/O includes
 // real page reads (everything else restores the tree fully into memory).
+// `scrub` verifies every page checksum, the structural bounds, and the
+// free-page chain of a paged index offline (rtree/scrub.h); exit 0 means
+// the whole file is intact.
 //
 // Datasets: par02 rea02 par03 rea03 axo03 den03 neu03.
 // Variants: qr hr r* rr*.
@@ -24,6 +28,7 @@
 #include "rtree/factory.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_api.h"
+#include "rtree/scrub.h"
 #include "rtree/serialize.h"
 #include "stats/node_stats.h"
 #include "stats/storage_stats.h"
@@ -43,7 +48,8 @@ int Usage() {
                "  clipbb_cli stats  <idx> <data>\n"
                "  clipbb_cli query  <idx> <data> lo... hi...\n"
                "  clipbb_cli pquery <idx> lo... hi...   (disk-resident)\n"
-               "  clipbb_cli knn    <idx> <data> <k> point...\n");
+               "  clipbb_cli knn    <idx> <data> <k> point...\n"
+               "  clipbb_cli scrub  <idx>               (verify checksums)\n");
   return 2;
 }
 
@@ -200,18 +206,54 @@ int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
   std::vector<rtree::ObjectId> ids;
   rtree::CollectIds<D> sink(&ids);
   storage::IoStats io;
-  engine.Execute(rtree::QuerySpec<D>::Intersects(q), &sink, &io);
-  if (tree.io_error()) {
+  storage::Status status;
+  engine.Execute(rtree::QuerySpec<D>::Intersects(q), &sink, &io,
+                 /*scratch=*/nullptr, &status);
+  if (!status.ok()) {
     std::fprintf(stderr,
-                 "warning: traversal truncated by an I/O error; results "
-                 "are partial\n");
+                 "error: %s at file page %lld; traversal truncated, "
+                 "results are partial\n",
+                 status.kind_name(), static_cast<long long>(status.page));
   }
   std::printf("%zu results, disk-resident (%zu node pages, pool %zu "
               "frames)\n  io: %s\n",
               ids.size(), tree.NumNodes(), tree.pool().capacity(),
               stats::FormatIoStats(io).c_str());
   PrintResultIds(ids);
-  return tree.io_error() ? 1 : 0;
+  return status.ok() ? 0 : 1;
+}
+
+template <int D>
+int CmdScrub(const char* idx_path) {
+  rtree::ScrubReport rep;
+  const bool ok = rtree::ScrubPagedFile<D>(idx_path, &rep);
+  if (!rep.opened) {
+    std::fprintf(stderr, "cannot read %s as a paged index\n", idx_path);
+    return 1;
+  }
+  std::printf("%s: %llu section pages (%llu nodes, %llu spill, %llu "
+              "free)\n",
+              idx_path, static_cast<unsigned long long>(rep.pages_scanned),
+              static_cast<unsigned long long>(rep.node_pages),
+              static_cast<unsigned long long>(rep.spill_pages),
+              static_cast<unsigned long long>(rep.free_pages));
+  std::printf("superblock %s, free chain %s, counts %s\n",
+              rep.superblock_ok ? "ok" : "DAMAGED",
+              rep.free_chain_ok ? "ok" : "DAMAGED",
+              rep.counts_ok ? "ok" : "MISMATCH");
+  if (rep.read_failures || rep.checksum_failures ||
+      rep.structure_failures) {
+    std::printf("damage: %llu unreadable, %llu checksum, %llu structural\n",
+                static_cast<unsigned long long>(rep.read_failures),
+                static_cast<unsigned long long>(rep.checksum_failures),
+                static_cast<unsigned long long>(rep.structure_failures));
+    for (const auto& e : rep.errors) {
+      std::printf("  %s at file page %lld\n", e.kind_name(),
+                  static_cast<long long>(e.page));
+    }
+  }
+  std::printf("%s\n", ok ? "clean" : "CORRUPT");
+  return ok ? 0 : 1;
 }
 
 template <int D>
@@ -266,6 +308,20 @@ int Main(int argc, char** argv) {
     }
     if (sb.dim == 2) return CmdPagedQuery<2>(argv[2], argc - 3, argv + 3);
     if (sb.dim == 3) return CmdPagedQuery<3>(argv[2], argc - 3, argv + 3);
+    std::fprintf(stderr, "bad index dimension\n");
+    return 1;
+  }
+  if (cmd == "scrub") {
+    if (argc != 3) return Usage();
+    rtree::Superblock sb;
+    std::ifstream idx(argv[2], std::ios::binary);
+    if (!idx || !idx.read(reinterpret_cast<char*>(&sb), sizeof sb) ||
+        sb.magic != rtree::kPagedMagic) {
+      std::fprintf(stderr, "bad index file\n");
+      return 1;
+    }
+    if (sb.dim == 2) return CmdScrub<2>(argv[2]);
+    if (sb.dim == 3) return CmdScrub<3>(argv[2]);
     std::fprintf(stderr, "bad index dimension\n");
     return 1;
   }
