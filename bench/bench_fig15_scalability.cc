@@ -28,8 +28,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_api.h"
 #include "storage/buffer_pool.h"
@@ -42,6 +45,16 @@ constexpr int kQueriesPerProfile = 200;
 
 bool g_paged = false;
 unsigned g_threads = 1;  // >1 adds the multithreaded paged rows
+
+// Observability ride-along, armed from the environment (CLIPBB_TRACE_*,
+// CLIPBB_METRICS_OUT). Unarmed — the default, and the bench-regression
+// baseline — the engine stays on its pre-obs fast path and every gated
+// counter is byte-identical. Armed, the mt rows run instrumented and the
+// bench self-checks the metrics snapshot against the summed IoStats of
+// the same run, exiting nonzero on any divergence.
+bool g_obs = false;
+std::unique_ptr<obs::TraceCollector> g_traces;
+rtree::EngineMetrics g_engine_metrics;
 
 /// Range query that touches the buffer pool for every node read. The
 /// caller-owned stack is reused across the batch (no per-query allocation).
@@ -192,10 +205,18 @@ void RunTree(const std::string& dataset, const char* label,
             std::span<const geom::Rect<D>>(profiles[p].queries), bopts);
         paged_mt.pool().Clear();
         bopts.threads = g_threads;
+        if (g_obs) {
+          engine_mt.SetMetrics(&g_engine_metrics);
+          engine_mt.SetTraces(g_traces.get());
+        }
+        const uint64_t obs_q0 =
+            g_engine_metrics.queries(rtree::QueryKind::kIntersects);
         Timer timer;
         const rtree::QueryBatchResult mt = engine_mt.ExecuteBatch(
             std::span<const geom::Rect<D>>(profiles[p].queries), bopts);
         const double total_ms = timer.ElapsedSeconds() * 1e3;
+        engine_mt.SetMetrics(nullptr);
+        engine_mt.SetTraces(nullptr);
         size_t results = 0;
         for (size_t qi = 0; qi < mt.counts.size(); ++qi) {
           results += mt.counts[qi];
@@ -212,6 +233,40 @@ void RunTree(const std::string& dataset, const char* label,
                        static_cast<unsigned long long>(mt.io.page_reads),
                        static_cast<unsigned long long>(ref.io.page_reads));
           std::exit(1);
+        }
+        if (g_obs) {
+          // Metrics/IoStats consistency gate: the flight recorder must
+          // agree exactly with the per-thread-summed IoStats of the run
+          // it observed — per-kind query count, pool pin totals (each
+          // logical node access is one pin; misses are the physical
+          // reads), and WAL syncs (none on the read path).
+          const uint64_t obs_queries =
+              g_engine_metrics.queries(rtree::QueryKind::kIntersects) -
+              obs_q0;
+          const uint64_t pins =
+              paged_mt.pool().hits() + paged_mt.pool().misses();
+          const uint64_t logical =
+              mt.io.internal_accesses + mt.io.leaf_accesses;
+          if (obs_queries != mt.counts.size() || pins != logical ||
+              paged_mt.pool().misses() != mt.io.page_reads ||
+              paged_mt.wal().stats().syncs != mt.io.wal_syncs) {
+            std::fprintf(
+                stderr,
+                "fig15: obs consistency mismatch (%s/%s/%s/%s): "
+                "queries %llu vs %zu, pins %llu vs logical %llu, "
+                "misses %llu vs reads %llu, wal syncs %llu vs %llu\n",
+                dataset.c_str(), label, workload::kQueryProfiles[p],
+                sched_name, static_cast<unsigned long long>(obs_queries),
+                mt.counts.size(), static_cast<unsigned long long>(pins),
+                static_cast<unsigned long long>(logical),
+                static_cast<unsigned long long>(paged_mt.pool().misses()),
+                static_cast<unsigned long long>(mt.io.page_reads),
+                static_cast<unsigned long long>(
+                    paged_mt.wal().stats().syncs),
+                static_cast<unsigned long long>(mt.io.wal_syncs));
+            std::exit(1);
+          }
+          paged_mt.PublishMetrics(obs::MetricsRegistry::Global());
         }
         t->AddRow({dataset, label, workload::kQueryProfiles[p], sched_name,
                    "paged-mt" + std::to_string(g_threads),
@@ -292,6 +347,44 @@ void Run() {
   RunDataset("par03");
 }
 
+/// Flushes the observability artifacts after the tables: the metrics
+/// exposition to CLIPBB_METRICS_OUT, the sampled traces as Chrome
+/// trace-event JSON to CLIPBB_TRACE_OUT (default clipbb_trace.json), and
+/// the end-to-end latency percentiles into the bench JSON (informational
+/// suffixes — never gated).
+bool FlushObs() {
+  if (!g_obs) return true;
+  g_engine_metrics.PublishTo(obs::MetricsRegistry::Global(), "paged");
+  JsonPutHistogram("fig15/obs/query_intersects",
+                   g_engine_metrics.query_ns[static_cast<int>(
+                       rtree::QueryKind::kIntersects)]);
+  JsonPutHistogram("fig15/obs/batch", g_engine_metrics.batch_ns);
+  bool ok = true;
+  if (const char* mout = std::getenv("CLIPBB_METRICS_OUT");
+      mout != nullptr && *mout != '\0') {
+    const std::string text = obs::MetricsRegistry::Global().RenderText();
+    std::FILE* f = std::fopen(mout, "w");
+    ok = f != nullptr &&
+         std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (f != nullptr) ok = (std::fclose(f) == 0) && ok;
+    if (!ok) std::fprintf(stderr, "fig15: cannot write %s\n", mout);
+  }
+  if (g_traces != nullptr) {
+    const char* tout = std::getenv("CLIPBB_TRACE_OUT");
+    const std::string path =
+        tout != nullptr && *tout != '\0' ? tout : "clipbb_trace.json";
+    if (!g_traces->WriteChromeTrace(path)) {
+      std::fprintf(stderr, "fig15: cannot write %s\n", path.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "fig15: wrote %llu sampled traces to %s\n",
+                   static_cast<unsigned long long>(g_traces->recorded()),
+                   path.c_str());
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace clipbb::bench
 
@@ -302,6 +395,12 @@ int main(int argc, char** argv) {
   clipbb::bench::g_threads =
       threads > 1 ? static_cast<unsigned>(threads) : 1;
   clipbb::bench::EnableJsonFromArgs(argc, argv);
+  clipbb::bench::g_traces = clipbb::obs::TraceCollector::FromEnv();
+  const char* mout = std::getenv("CLIPBB_METRICS_OUT");
+  clipbb::bench::g_obs = clipbb::bench::g_traces != nullptr ||
+                         (mout != nullptr && *mout != '\0');
   clipbb::bench::Run();
-  return clipbb::bench::JsonSink::Get().Flush() ? 0 : 1;
+  bool ok = clipbb::bench::FlushObs();
+  ok = clipbb::bench::JsonSink::Get().Flush() && ok;
+  return ok ? 0 : 1;
 }

@@ -91,9 +91,12 @@ std::unique_ptr<rtree::RTree<D>> Build(rtree::Variant v,
 template <int D>
 storage::IoStats RunQueries(const rtree::SpatialEngine<D>& engine,
                             const std::vector<geom::Rect<D>>& queries,
-                            size_t* results = nullptr) {
+                            size_t* results = nullptr,
+                            rtree::EngineMetrics* metrics = nullptr) {
+  engine.SetMetrics(metrics);  // null = the pre-obs fast path
   const rtree::QueryBatchResult r =
       engine.ExecuteBatch(std::span<const geom::Rect<D>>(queries));
+  engine.SetMetrics(nullptr);
   if (results) {
     size_t total = 0;
     for (size_t c : r.counts) total += c;
@@ -197,6 +200,22 @@ inline void EnableJsonFromArgs(int argc, char** argv) {
 
 inline void JsonPut(const std::string& key, double value) {
   JsonSink::Get().Put(key, value);
+}
+
+/// Emits a latency histogram's percentiles into the JSON artifact under
+/// `prefix`. The suffixes (.p50_ns/.p95_ns/.p99_ns/.max_ns/.samples) are
+/// deliberately OUTSIDE the bench_check gated sets (.page_reads/.misses
+/// regression-gated, .results/.visits/.hits/.checksum exactness-gated):
+/// wall-clock distributions ride along as new informational keys and can
+/// never fail the gate.
+inline void JsonPutHistogram(const std::string& prefix,
+                             const obs::Histogram& h) {
+  if (h.count() == 0) return;
+  JsonPut(prefix + ".p50_ns", static_cast<double>(h.Percentile(0.50)));
+  JsonPut(prefix + ".p95_ns", static_cast<double>(h.Percentile(0.95)));
+  JsonPut(prefix + ".p99_ns", static_cast<double>(h.Percentile(0.99)));
+  JsonPut(prefix + ".max_ns", static_cast<double>(h.max()));
+  JsonPut(prefix + ".samples", static_cast<double>(h.count()));
 }
 
 /// Scratch file path for benches that exercise the paged storage engine

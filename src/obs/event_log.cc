@@ -1,0 +1,69 @@
+#include "obs/event_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/clock.h"
+
+namespace clipbb::obs {
+
+EventLog& EventLog::Global() {
+  static EventLog log;
+  return log;
+}
+
+EventLog::EventLog(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void EventLog::Record(EventKind kind, int64_t page, uint32_t shard,
+                      const char* detail, uint64_t aux) {
+  Event e;
+  e.t_ns = NowNs();
+  e.page = page;
+  e.aux = aux;
+  e.detail = detail != nullptr ? detail : "";
+  e.kind = kind;
+  e.shard = shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[recorded_ % ring_.size()] = e;
+  ++recorded_;
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  const uint64_t n =
+      recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(n);
+  for (uint64_t i = recorded_ - n; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t EventLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void EventLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorded_ = 0;
+}
+
+std::string EventLog::RenderText() const {
+  const std::vector<Event> events = Snapshot();
+  std::string out;
+  char buf[160];
+  for (const Event& e : events) {
+    std::snprintf(buf, sizeof buf,
+                  "[%" PRIu64 ".%06" PRIu64 "s] %s page=%" PRId64
+                  " shard=%u detail=%s aux=%" PRIu64 "\n",
+                  e.t_ns / 1'000'000'000ull,
+                  (e.t_ns % 1'000'000'000ull) / 1000, EventKindName(e.kind),
+                  e.page, e.shard, e.detail, e.aux);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace clipbb::obs

@@ -1,0 +1,79 @@
+// Structured event log for rare but load-bearing storage events: page
+// quarantine, retry exhaustion, recovery replay, checksum rejection,
+// write-back failure. A bounded preallocated ring (oldest entries
+// overwritten) behind one mutex — events are rare by design, so a mutex
+// per event is fine and the ring never allocates after construction.
+// Entries carry the file page, the pool shard, and a static detail string
+// (typically storage::ErrorKindName of the status that caused the event);
+// the obs layer stays independent of storage types on purpose.
+#ifndef CLIPBB_OBS_EVENT_LOG_H_
+#define CLIPBB_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clipbb::obs {
+
+enum class EventKind : uint8_t {
+  kQuarantine,      // a page exhausted its retries and is now fast-failed
+  kRetryExhausted,  // a miss read gave up after kMaxReadRetries
+  kRecoveryReplay,  // WAL redo replayed pages at open (aux = page count)
+  kChecksumReject,  // a read frame failed checksum/structural verification
+  kWriteFailure,    // a dirty frame's write-back failed (data at risk)
+};
+
+inline const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kRetryExhausted: return "retry-exhausted";
+    case EventKind::kRecoveryReplay: return "recovery-replay";
+    case EventKind::kChecksumReject: return "checksum-reject";
+    case EventKind::kWriteFailure: return "write-failure";
+  }
+  return "?";
+}
+
+struct Event {
+  uint64_t t_ns = 0;      // obs::NowNs() at record time
+  int64_t page = -1;      // file page id (-1 = not page-scoped)
+  uint64_t aux = 0;       // event-specific count (e.g. pages replayed)
+  const char* detail = "";  // static string, e.g. ErrorKindName(kind)
+  EventKind kind = EventKind::kQuarantine;
+  uint32_t shard = 0;     // buffer-pool shard index (0 when unsharded)
+};
+
+class EventLog {
+ public:
+  /// The process-wide log every storage hook records into.
+  static EventLog& Global();
+
+  explicit EventLog(size_t capacity = 256);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void Record(EventKind kind, int64_t page, uint32_t shard,
+              const char* detail, uint64_t aux = 0);
+
+  /// Retained events, oldest first (at most `capacity`).
+  std::vector<Event> Snapshot() const;
+  /// Events ever recorded (>= Snapshot().size(); the difference was
+  /// overwritten by ring wrap-around).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return ring_.size(); }
+  void Reset();
+
+  /// One line per retained event, oldest first.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  // preallocated; never resized after ctor
+  uint64_t recorded_ = 0;    // total ever; ring_[recorded_ % size] is next
+};
+
+}  // namespace clipbb::obs
+
+#endif  // CLIPBB_OBS_EVENT_LOG_H_

@@ -1,0 +1,162 @@
+// Metrics core of the observability layer: a fixed-layout log-bucketed
+// latency histogram plus a process-wide registry with text/JSON export.
+//
+// Histogram follows the IoStats concurrency contract exactly (see
+// storage/io_stats.h): it is a plain struct of counters — no atomics, no
+// allocation, ever — accumulated per-thread and merged once at the join
+// with operator+=. Bucketing is logarithmic with 4 sub-buckets per
+// octave (relative bucket width 25 %), covering the full uint64 range in
+// 252 buckets, so one histogram is ~2 KiB and Record() is a handful of
+// bit operations plus one array increment. Percentile readout returns the
+// lower bound of the bucket holding the requested rank — a deterministic,
+// conservative estimate with the same 25 % resolution.
+//
+// MetricsRegistry is the cold side: named counters, gauges, and
+// histograms behind one mutex. Hot paths never touch it — they record
+// into thread-local Histograms/structs and publish a snapshot into the
+// registry once per run (the Set*/overwrite calls are idempotent, so
+// re-publishing cumulative sources is safe). RenderText() emits
+// Prometheus-style exposition ("# TYPE" comments, `name{labels} value`
+// samples, quantile series for histograms); RenderJson() the same data as
+// one JSON object. Global() is the process-wide instance; the class is
+// freely instantiable for tests.
+#ifndef CLIPBB_OBS_METRICS_H_
+#define CLIPBB_OBS_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace clipbb::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;  // per octave (2 bits)
+  static constexpr int kBuckets = 252;   // covers [0, 2^64)
+
+  /// Bucket index of `v`: values below kSubBuckets get exact buckets,
+  /// larger values share an octave split into kSubBuckets slices.
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int exp = 63 - std::countl_zero(v);  // floor(log2 v), >= 2
+    const int sub = static_cast<int>((v >> (exp - 2)) & 3u);
+    return (exp - 1) * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `i` (the percentile representative).
+  static uint64_t BucketLo(int i) {
+    if (i < kSubBuckets) return static_cast<uint64_t>(i);
+    const int exp = i / kSubBuckets + 1;
+    const int sub = i % kSubBuckets;
+    return (uint64_t{1} << exp) |
+           (static_cast<uint64_t>(sub) << (exp - 2));
+  }
+
+  void Record(uint64_t v) {
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Lower bound of the bucket holding the value of rank ceil(q * count).
+  /// Deterministic; 0 on an empty histogram. q outside (0, 1] clamps.
+  uint64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q > 1.0) q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += buckets_[i];
+      if (cum >= rank) return BucketLo(i);
+    }
+    return max_;
+  }
+
+  Histogram& operator+=(const Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    return *this;
+  }
+
+  friend bool operator==(const Histogram& a, const Histogram& b) {
+    if (a.count_ != b.count_ || a.sum_ != b.sum_ || a.max_ != b.max_) {
+      return false;
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+      if (a.buckets_[i] != b.buckets_[i]) return false;
+    }
+    return true;
+  }
+
+  void Reset() { *this = Histogram{}; }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// One consistent copy of the registry contents, every series sorted by
+/// name (label-qualified names like `pool_hits{shard="3"}` sort as plain
+/// strings).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the CLI/bench export surfaces read.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Metric names may carry Prometheus labels inline: `name{k="v",...}`.
+  /// Set* overwrites (publish-a-snapshot semantics, idempotent);
+  /// AddCounter/MergeHistogram accumulate (merge-a-delta semantics).
+  void SetCounter(const std::string& name, uint64_t value);
+  void AddCounter(const std::string& name, uint64_t delta);
+  void SetGauge(const std::string& name, uint64_t value);
+  void SetHistogram(const std::string& name, const Histogram& h);
+  void MergeHistogram(const std::string& name, const Histogram& h);
+
+  MetricsSnapshot Snapshot() const;
+  /// Prometheus-style exposition: `# TYPE` comments, one `name value`
+  /// sample per line, histograms as quantile series plus _count/_sum/_max.
+  std::string RenderText() const;
+  /// The same snapshot as one JSON object: {"counters":{...},
+  /// "gauges":{...}, "histograms":{name:{count,sum,max,mean,p50,p95,p99}}}.
+  std::string RenderJson() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, uint64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace clipbb::obs
+
+#endif  // CLIPBB_OBS_METRICS_H_

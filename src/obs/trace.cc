@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace clipbb::obs {
+
+TraceCollector::TraceCollector(uint64_t sample_every, uint64_t seed,
+                               size_t ring_capacity)
+    : n_(sample_every),
+      seed_(seed),
+      ring_(ring_capacity > 0 ? ring_capacity : 1) {}
+
+std::unique_ptr<TraceCollector> TraceCollector::FromEnv() {
+  const char* sample = std::getenv("CLIPBB_TRACE_SAMPLE");
+  if (sample == nullptr || *sample == '\0') return nullptr;
+  const uint64_t n = std::strtoull(sample, nullptr, 10);
+  if (n == 0) return nullptr;
+  const char* seed_env = std::getenv("CLIPBB_TRACE_SEED");
+  const char* ring_env = std::getenv("CLIPBB_TRACE_RING");
+  const uint64_t seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 0;
+  const uint64_t ring =
+      ring_env != nullptr ? std::strtoull(ring_env, nullptr, 10) : 1024;
+  return std::make_unique<TraceCollector>(n, seed,
+                                          static_cast<size_t>(ring));
+}
+
+void TraceCollector::Add(const QueryTrace& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[recorded_ % ring_.size()] = t;
+  ++recorded_;
+}
+
+std::vector<QueryTrace> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  const uint64_t n =
+      recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(n);
+  for (uint64_t i = recorded_ - n; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorded_ = 0;
+  next_index_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::RenderChromeTrace() const {
+  const std::vector<QueryTrace> traces = Snapshot();
+  // Normalize timestamps to the earliest span so the trace starts at 0.
+  uint64_t t_min = UINT64_MAX;
+  for (const QueryTrace& t : traces) {
+    for (uint32_t i = 0; i < t.n_spans; ++i) {
+      if (t.spans[i].t0_ns < t_min) t_min = t.spans[i].t0_ns;
+    }
+  }
+  if (t_min == UINT64_MAX) t_min = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const QueryTrace& t : traces) {
+    for (uint32_t i = 0; i < t.n_spans; ++i) {
+      const TraceSpan& s = t.spans[i];
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(
+          buf, sizeof buf,
+          "\n{\"name\":\"%s\",\"cat\":\"query\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,",
+          SpanKindName(s.kind), (s.t0_ns - t_min) / 1000.0,
+          s.dur_ns / 1000.0, t.worker);
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    "\"args\":{\"query\":%" PRIu64
+                    ",\"kind\":\"%s\",\"results\":%" PRIu64
+                    ",\"page_reads\":%" PRIu64 "}}",
+                    t.query_index, t.kind_name, t.results, t.page_reads);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = RenderChromeTrace();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace clipbb::obs

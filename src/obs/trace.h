@@ -1,0 +1,148 @@
+// Sampled per-query tracing: a deterministic 1-in-N sampler, a
+// preallocated ring of recent query traces, and a Chrome trace-event JSON
+// exporter (the file opens directly in Perfetto / chrome://tracing).
+//
+// Sampling is keyed on the QUERY INDEX, not on a per-thread counter:
+// Sampled(i) hashes (seed, i) and takes it mod N, so the set of sampled
+// indexes is a pure function of (seed, N) — a serial run and a 4-worker
+// run of the same batch sample exactly the same queries, and a fault seen
+// in production can be re-traced deterministically. Unsampled queries pay
+// one branch; sampled ones pay the span clocks plus a mutex push into the
+// ring (rare by construction).
+//
+// Env arming mirrors the CLIPBB_READ_FAULT* convention
+// (storage/fault_injection.h):
+//
+//   CLIPBB_TRACE_SAMPLE=<N>   trace 1 in N queries (unset/0 = disabled,
+//                             1 = every query)
+//   CLIPBB_TRACE_SEED=<s>     sampler seed (default 0)
+//   CLIPBB_TRACE_RING=<c>     traces retained, newest win (default 1024)
+//   CLIPBB_TRACE_OUT=<path>   where CLI/bench exporters write the JSON
+//
+// Span semantics: kTraversal is a real [start, end) interval; the other
+// phases are aggregated durations anchored at the query start (Perfetto
+// nests them under the traversal slice). kSchedule is batch-scoped: the
+// time ExecuteBatch spent Hilbert-ordering the specs before any worker
+// ran.
+#ifndef CLIPBB_OBS_TRACE_H_
+#define CLIPBB_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clipbb::obs {
+
+enum class SpanKind : uint8_t {
+  kSchedule,      // batch scheduling (Hilbert ordering), once per batch
+  kTraversal,     // the tree walk, end to end
+  kPinMissIo,     // time inside buffer-pool miss reads (incl. retries)
+  kRefine,        // leaf predicate evaluation (non-intersects kinds)
+  kSinkDelivery,  // time inside ResultSink callbacks
+};
+
+inline const char* SpanKindName(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSchedule: return "schedule";
+    case SpanKind::kTraversal: return "traversal";
+    case SpanKind::kPinMissIo: return "pin-miss-io";
+    case SpanKind::kRefine: return "refine";
+    case SpanKind::kSinkDelivery: return "sink-delivery";
+  }
+  return "?";
+}
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kTraversal;
+  uint64_t t0_ns = 0;   // obs::NowNs() timebase
+  uint64_t dur_ns = 0;
+};
+
+/// One sampled query: fixed-size, no ownership (kind_name is a static
+/// string), so the ring is preallocated and Add never allocates.
+struct QueryTrace {
+  uint64_t query_index = 0;  // batch position, or Execute sequence number
+  uint32_t worker = 0;       // batch worker id (0 for single Execute)
+  const char* kind_name = "";  // QueryKindName(spec.kind)
+  uint64_t results = 0;
+  uint64_t page_reads = 0;   // physical reads this query faulted
+  std::array<TraceSpan, 6> spans{};
+  uint32_t n_spans = 0;
+
+  void AddSpan(SpanKind kind, uint64_t t0_ns, uint64_t dur_ns) {
+    if (n_spans < spans.size()) {
+      spans[n_spans++] = TraceSpan{kind, t0_ns, dur_ns};
+    }
+  }
+};
+
+/// Accumulated per-phase timings a backend fills for a sampled query
+/// (null probe = not sampled = no timing). Plain counters, caller-owned.
+struct QueryProbe {
+  uint64_t refine_ns = 0;
+  uint64_t sink_ns = 0;
+};
+
+class TraceCollector {
+ public:
+  /// Sample 1 in `sample_every` queries (0 disables, 1 samples all).
+  explicit TraceCollector(uint64_t sample_every, uint64_t seed = 0,
+                          size_t ring_capacity = 1024);
+
+  /// Collector armed from CLIPBB_TRACE_SAMPLE/_SEED/_RING; null when the
+  /// sample knob is unset or 0.
+  static std::unique_ptr<TraceCollector> FromEnv();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Deterministic in (seed, sample_every, query_index) — identical
+  /// sampled index sets for serial and multithreaded runs of one batch.
+  bool Sampled(uint64_t query_index) const {
+    if (n_ == 0) return false;
+    if (n_ == 1) return true;
+    uint64_t z = (seed_ ^ 0x9E3779B97F4A7C15ull) +
+                 query_index * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z % n_ == 0;
+  }
+
+  /// Sequence numbers for queries outside a batch (single Execute calls).
+  uint64_t NextIndex() {
+    return next_index_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Pushes a finished trace into the ring (newest overwrites oldest).
+  void Add(const QueryTrace& t);
+
+  /// Retained traces, oldest first.
+  std::vector<QueryTrace> Snapshot() const;
+  uint64_t recorded() const;
+  uint64_t sample_every() const { return n_; }
+  uint64_t seed() const { return seed_; }
+  void Reset();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}); timestamps are
+  /// microseconds relative to the earliest retained span.
+  std::string RenderChromeTrace() const;
+  /// RenderChromeTrace to a file; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  uint64_t n_;
+  uint64_t seed_;
+  std::atomic<uint64_t> next_index_{0};
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> ring_;  // preallocated at construction
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace clipbb::obs
+
+#endif  // CLIPBB_OBS_TRACE_H_

@@ -67,6 +67,8 @@
 #include "core/clip_index.h"
 #include "core/intersect.h"
 #include "core/mindist.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "rtree/knn.h"
 #include "rtree/page_format.h"
 #include "rtree/query_batch.h"
@@ -324,6 +326,19 @@ class PagedRTree {
   /// traffic, write-backs; see IoStats).
   const storage::IoStats& update_io() const { return update_io_; }
 
+  /// Publishes the storage layer's counters and latency distributions —
+  /// buffer pool, WAL, and the last open's recovery result — into
+  /// `registry` (idempotent Set/overwrite semantics; callable on a live
+  /// tree).
+  void PublishMetrics(obs::MetricsRegistry& registry) const {
+    pool_->PublishMetrics(registry);
+    wal_.PublishMetrics(registry);
+    registry.SetGauge("recovery_pages_replayed",
+                      recovery_.pages_replayed);
+    registry.SetGauge("recovery_tail_discarded_bytes",
+                      recovery_.tail_discarded);
+  }
+
   // ---------------------------------------------------------------- update
 
   /// Inserts one object, staging every modified page through the WAL and
@@ -522,6 +537,7 @@ class PagedRTree {
       io->read_retries += pin_io.read_retries;
       io->page_writes += pin_io.writes;
       io->wal_syncs += pin_io.wal_syncs;
+      io->pin_miss_ns += pin_io.miss_ns;
     }
     return found;
   }
@@ -624,6 +640,7 @@ class PagedRTree {
       io->read_retries += pin_io.read_retries;
       io->page_writes += pin_io.writes;
       io->wal_syncs += pin_io.wal_syncs;
+      io->pin_miss_ns += pin_io.miss_ns;
     }
     return found;
   }
@@ -732,6 +749,13 @@ class PagedRTree {
       return false;
     }
     update_io_.recovery_replays += recovery_.pages_replayed;
+    if (recovery_.pages_replayed > 0) {
+      obs::EventLog::Global().Record(obs::EventKind::kRecoveryReplay,
+                                     /*page=*/-1, /*shard=*/0,
+                                     writable ? "write-mode-redo"
+                                              : "read-only-overlay",
+                                     recovery_.pages_replayed);
+    }
     // Now the newest durable superblock is on disk (write mode) or in
     // the overlay (read-only mode, when the log rewrote page 0).
     if (auto it = redo_overlay_.find(0); it != redo_overlay_.end()) {
@@ -1053,6 +1077,7 @@ class PagedRTree {
     update_io_.page_reads += stage_io_.reads;
     update_io_.read_retries += stage_io_.read_retries;
     update_io_.page_writes += stage_io_.writes;
+    update_io_.pin_miss_ns += stage_io_.miss_ns;
     // WAL syncs come from the WalStats delta (stage_io_.wal_syncs is a
     // subset of it: forced write-back syncs are real Wal::Sync calls).
     const storage::WalStats& w = wal_.stats();

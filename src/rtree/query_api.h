@@ -41,10 +41,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/knn.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_batch.h"
@@ -73,6 +77,67 @@ inline const char* QueryKindName(QueryKind k) {
   }
   return "?";
 }
+
+inline constexpr int kNumQueryKinds = 5;
+
+/// End-to-end query latency accounting for one SpatialEngine, opt-in via
+/// SpatialEngine::SetMetrics (a detached engine records nothing and pays
+/// nothing). Plain counters, never shared between threads while recording:
+/// ExecuteBatch gives every worker its own instance and merges with
+/// operator+= at the join — the IoStats concurrency contract.
+struct EngineMetrics {
+  /// End-to-end Execute latency, one histogram per QueryKind.
+  obs::Histogram query_ns[kNumQueryKinds];
+  /// Whole-batch wall time (scheduling + workers + join) per ExecuteBatch.
+  obs::Histogram batch_ns;
+  uint64_t batches = 0;
+
+  void Record(QueryKind k, uint64_t ns) {
+    query_ns[static_cast<int>(k)].Record(ns);
+  }
+  void RecordBatch(uint64_t ns) {
+    batch_ns.Record(ns);
+    ++batches;
+  }
+
+  /// Queries recorded for one kind (the per-kind histogram's count).
+  uint64_t queries(QueryKind k) const {
+    return query_ns[static_cast<int>(k)].count();
+  }
+  uint64_t total_queries() const {
+    uint64_t n = 0;
+    for (const obs::Histogram& h : query_ns) n += h.count();
+    return n;
+  }
+
+  EngineMetrics& operator+=(const EngineMetrics& o) {
+    for (int i = 0; i < kNumQueryKinds; ++i) query_ns[i] += o.query_ns[i];
+    batch_ns += o.batch_ns;
+    batches += o.batches;
+    return *this;
+  }
+
+  void Reset() { *this = EngineMetrics{}; }
+
+  /// Publishes the distributions into `registry` under query_* names,
+  /// labelled with the backend and the kind (idempotent Set semantics).
+  void PublishTo(obs::MetricsRegistry& registry,
+                 const char* backend) const {
+    char name[96];
+    for (int i = 0; i < kNumQueryKinds; ++i) {
+      if (query_ns[i].count() == 0) continue;
+      std::snprintf(name, sizeof name,
+                    "query_ns{backend=\"%s\",kind=\"%s\"}", backend,
+                    QueryKindName(static_cast<QueryKind>(i)));
+      registry.SetHistogram(name, query_ns[i]);
+    }
+    std::snprintf(name, sizeof name, "batch_ns{backend=\"%s\"}", backend);
+    registry.SetHistogram(name, batch_ns);
+    std::snprintf(name, sizeof name, "batches_total{backend=\"%s\"}",
+                  backend);
+    registry.SetCounter(name, batches);
+  }
+};
 
 /// One query, as a value. Use the factories; every kind fills `window`
 /// (point kinds store the degenerate point rect), so batch scheduling can
@@ -241,37 +306,76 @@ class QueryBackend {
   /// Returns the result count. A backend that can fail mid-query (the
   /// paged one) reports the first unrecoverable fault through `status`
   /// when non-null; the returned count then covers only the portion
-  /// traversed before the fault.
+  /// traversed before the fault. A non-null `probe` asks the backend to
+  /// time its refine and sink-delivery phases (sampled tracing); null —
+  /// the default, and the batch path's choice for unsampled queries —
+  /// must add no timing work.
   virtual size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
                      storage::IoStats* io, TraversalScratch* scratch,
-                     storage::Status* status = nullptr) const = 0;
+                     storage::Status* status = nullptr,
+                     obs::QueryProbe* probe = nullptr) const = 0;
 };
 
 namespace query_internal {
 
+/// Leaf-predicate wrapper that accumulates evaluation time into a probe
+/// (sampled queries only; unsampled dispatch never instantiates one).
+template <typename Pred>
+struct TimedPred {
+  Pred pred;
+  obs::QueryProbe* probe;
+  template <typename RectT>
+  bool operator()(const RectT& r) const {
+    const uint64_t t0 = obs::NowNs();
+    const bool match = pred(r);
+    probe->refine_ns += obs::NowNs() - t0;
+    return match;
+  }
+};
+
+template <bool kImplies, typename Traverse, typename Pred>
+size_t RunWindowPred(Traverse& traverse, Pred pred,
+                     obs::QueryProbe* probe) {
+  if (probe != nullptr) {
+    return traverse.template operator()<kImplies>(
+        TimedPred<Pred>{std::move(pred), probe});
+  }
+  return traverse.template operator()<kImplies>(std::move(pred));
+}
+
 /// Window-predicate dispatch shared by both adapters: calls
 /// `traverse.template operator()<PredImpliesIntersect>(pred)` with the
-/// leaf predicate of `spec.kind`. kKnn never reaches here.
+/// leaf predicate of `spec.kind`. kKnn never reaches here. A non-null
+/// `probe` wraps the non-trivial predicates in TimedPred; kIntersects
+/// stays MatchAllPred unconditionally — it has no refine phase, and
+/// wrapping it would break the kMatchAll fast path.
 template <int D, typename Traverse>
-size_t DispatchWindow(const QuerySpec<D>& spec, Traverse&& traverse) {
+size_t DispatchWindow(const QuerySpec<D>& spec, Traverse&& traverse,
+                      obs::QueryProbe* probe = nullptr) {
   switch (spec.kind) {
     case QueryKind::kIntersects:
       return traverse.template operator()<false>(MatchAllPred{});
     case QueryKind::kContainsPoint:
-      return traverse.template operator()<true>(
+      return RunWindowPred<true>(
+          traverse,
           [p = spec.point](const geom::Rect<D>& r) {
             return r.ContainsPoint(p);
-          });
+          },
+          probe);
     case QueryKind::kContainedIn:
-      return traverse.template operator()<true>(
+      return RunWindowPred<true>(
+          traverse,
           [w = spec.window](const geom::Rect<D>& r) {
             return w.Contains(r);
-          });
+          },
+          probe);
     case QueryKind::kEncloses:
-      return traverse.template operator()<true>(
+      return RunWindowPred<true>(
+          traverse,
           [w = spec.window](const geom::Rect<D>& r) {
             return r.Contains(w);
-          });
+          },
+          probe);
     case QueryKind::kKnn:
       break;
   }
@@ -295,24 +399,41 @@ class MemoryBackend final : public QueryBackend<D> {
 
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
              storage::IoStats* io, TraversalScratch* scratch,
-             storage::Status* /*status*/ = nullptr) const override {
+             storage::Status* /*status*/ = nullptr,
+             obs::QueryProbe* probe = nullptr) const override {
     // The in-memory traversal has no failure modes; status is never set.
     if (spec.kind == QueryKind::kKnn) {
       return KnnSearch<D>(
           *tree_, spec.point, spec.k,
-          [sink](const KnnNeighbor<D>& n) {
-            if (sink) sink->OnNeighbor(n);
+          [sink, probe](const KnnNeighbor<D>& n) {
+            if (sink == nullptr) return;
+            if (probe != nullptr) {
+              const uint64_t t0 = obs::NowNs();
+              sink->OnNeighbor(n);
+              probe->sink_ns += obs::NowNs() - t0;
+            } else {
+              sink->OnNeighbor(n);
+            }
           },
           io);
     }
-    auto emit = [sink](ObjectId id) {
-      if (sink) sink->OnMatch(id);
+    auto emit = [sink, probe](ObjectId id) {
+      if (sink == nullptr) return;
+      if (probe != nullptr) {
+        const uint64_t t0 = obs::NowNs();
+        sink->OnMatch(id);
+        probe->sink_ns += obs::NowNs() - t0;
+      } else {
+        sink->OnMatch(id);
+      }
     };
     return DispatchWindow<D>(
-        spec, [&]<bool kImplies>(auto pred) {
+        spec,
+        [&]<bool kImplies>(auto pred) {
           return tree_->template TraverseWindowEmit<kImplies>(
               spec.window, pred, emit, io, scratch);
-        });
+        },
+        probe);
   }
 
  private:
@@ -335,23 +456,40 @@ class PagedBackend final : public QueryBackend<D> {
 
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
              storage::IoStats* io, TraversalScratch* scratch,
-             storage::Status* status = nullptr) const override {
+             storage::Status* status = nullptr,
+             obs::QueryProbe* probe = nullptr) const override {
     if (spec.kind == QueryKind::kKnn) {
       return tree_->Knn(
           spec.point, spec.k,
-          [sink](const KnnNeighbor<D>& n) {
-            if (sink) sink->OnNeighbor(n);
+          [sink, probe](const KnnNeighbor<D>& n) {
+            if (sink == nullptr) return;
+            if (probe != nullptr) {
+              const uint64_t t0 = obs::NowNs();
+              sink->OnNeighbor(n);
+              probe->sink_ns += obs::NowNs() - t0;
+            } else {
+              sink->OnNeighbor(n);
+            }
           },
           io, status);
     }
-    auto emit = [sink](ObjectId id) {
-      if (sink) sink->OnMatch(id);
+    auto emit = [sink, probe](ObjectId id) {
+      if (sink == nullptr) return;
+      if (probe != nullptr) {
+        const uint64_t t0 = obs::NowNs();
+        sink->OnMatch(id);
+        probe->sink_ns += obs::NowNs() - t0;
+      } else {
+        sink->OnMatch(id);
+      }
     };
     return DispatchWindow<D>(
-        spec, [&]<bool kImplies>(auto pred) {
+        spec,
+        [&]<bool kImplies>(auto pred) {
           return tree_->template TraverseWindowEmit<kImplies>(
               spec.window, pred, emit, io, scratch, status);
-        });
+        },
+        probe);
   }
 
  private:
@@ -384,6 +522,19 @@ class SpatialEngine {
       : backend_(std::move(backend)) {}
 
   bool valid() const { return backend_ != nullptr; }
+
+  /// Opt-in observability. Both attachments default to null, and a
+  /// detached engine's Execute/ExecuteBatch run the exact pre-obs code
+  /// path — no clock reads, no extra branches in the traversal. The
+  /// setters are const (the attachments are mutable) so a measurement
+  /// harness can instrument a `const SpatialEngine&` it does not own.
+  /// Attach/detach is not thread-safe against in-flight queries; the
+  /// attached objects must outlive their use and are never owned.
+  void SetMetrics(EngineMetrics* m) const { metrics_ = m; }
+  void SetTraces(obs::TraceCollector* t) const { traces_ = t; }
+  EngineMetrics* metrics() const { return metrics_; }
+  obs::TraceCollector* traces() const { return traces_; }
+
   const char* backend_name() const { return deref().name(); }
   geom::Rect<D> bounds() const { return deref().bounds(); }
   int Height() const { return deref().height(); }
@@ -408,11 +559,18 @@ class SpatialEngine {
                  TraversalScratch* scratch = nullptr,
                  storage::Status* status = nullptr) const {
     assert(backend_);
-    storage::Status local;
-    const size_t n = backend_->Run(spec, sink, io, scratch, &local);
-    if (!local.ok() && sink) sink->OnError(local);
-    if (status) *status = local;
-    return n;
+    if (metrics_ == nullptr && traces_ == nullptr) {  // pre-obs fast path
+      storage::Status local;
+      const size_t n = backend_->Run(spec, sink, io, scratch, &local);
+      if (!local.ok() && sink) sink->OnError(local);
+      if (status) *status = local;
+      return n;
+    }
+    // Standalone Execute calls get engine-local sequence numbers; batch
+    // queries use their input index instead (see BatchOver).
+    const uint64_t qi = traces_ != nullptr ? traces_->NextIndex() : 0;
+    return TimedRun(spec, sink, io, scratch, status, qi, /*worker=*/0,
+                    metrics_);
   }
 
   /// Runs a batch of specs (any mix of kinds) and reports per-spec result
@@ -455,6 +613,52 @@ class SpatialEngine {
     return *backend_;
   }
 
+  /// The observed run: times the query end to end, records it into `em`
+  /// (per-worker in batches, the engine attachment for single Executes),
+  /// and — when the collector samples this query index — assembles the
+  /// trace: traversal as the real interval, pin-miss I/O / refine /
+  /// sink-delivery as aggregated durations anchored at the query start.
+  size_t TimedRun(const QuerySpec<D>& spec, ResultSink<D>* sink,
+                  storage::IoStats* io, TraversalScratch* scratch,
+                  storage::Status* status, uint64_t query_index,
+                  uint32_t worker, EngineMetrics* em) const {
+    const bool sampled =
+        traces_ != nullptr && traces_->Sampled(query_index);
+    storage::IoStats local_io;  // trace deltas need an IoStats to diff
+    storage::IoStats* eff_io = io;
+    if (sampled && eff_io == nullptr) eff_io = &local_io;
+    const uint64_t reads0 = sampled ? eff_io->page_reads : 0;
+    const uint64_t miss0 = sampled ? eff_io->pin_miss_ns : 0;
+    obs::QueryProbe probe;
+    storage::Status local;
+    const uint64_t t0 = obs::NowNs();
+    const size_t n = backend_->Run(spec, sink, eff_io, scratch, &local,
+                                   sampled ? &probe : nullptr);
+    const uint64_t dur = obs::NowNs() - t0;
+    if (!local.ok() && sink) sink->OnError(local);
+    if (status) *status = local;
+    if (em != nullptr) em->Record(spec.kind, dur);
+    if (sampled) {
+      obs::QueryTrace t;
+      t.query_index = query_index;
+      t.worker = worker;
+      t.kind_name = QueryKindName(spec.kind);
+      t.results = n;
+      t.page_reads = eff_io->page_reads - reads0;
+      t.AddSpan(obs::SpanKind::kTraversal, t0, dur);
+      const uint64_t miss_ns = eff_io->pin_miss_ns - miss0;
+      if (miss_ns > 0) t.AddSpan(obs::SpanKind::kPinMissIo, t0, miss_ns);
+      if (probe.refine_ns > 0) {
+        t.AddSpan(obs::SpanKind::kRefine, t0, probe.refine_ns);
+      }
+      if (probe.sink_ns > 0) {
+        t.AddSpan(obs::SpanKind::kSinkDelivery, t0, probe.sink_ns);
+      }
+      traces_->Add(t);
+    }
+    return n;
+  }
+
   /// Shared batch driver: `spec_at(i)` yields the i-th spec (by value or
   /// reference). Hilbert order of the spec windows' centers, chunked
   /// worker fan-out, per-worker scratch + IoStats summed at the join.
@@ -466,6 +670,13 @@ class SpatialEngine {
     result.counts.assign(n, 0);
     if (n == 0) return result;
 
+    // Observability is per-batch opt-in: a detached engine takes the
+    // original worker body with zero clock reads. Batch queries are
+    // sampled by INPUT index, so the sampled set is a pure function of
+    // (seed, N, batch size) — identical serial and multithreaded.
+    const bool observed = metrics_ != nullptr || traces_ != nullptr;
+    const uint64_t batch_t0 = observed ? obs::NowNs() : 0;
+
     std::vector<uint32_t> order;
     if (opts.hilbert_order) {
       order = HilbertOrderBy<D>(bounds(), n, [&](size_t i) {
@@ -475,6 +686,7 @@ class SpatialEngine {
       order.resize(n);
       std::iota(order.begin(), order.end(), 0u);
     }
+    const uint64_t sched_end = observed ? obs::NowNs() : 0;
     const unsigned threads = ResolveBatchThreads(opts.threads, n);
 
     std::vector<TraversalScratch> scratch(threads);
@@ -485,11 +697,21 @@ class SpatialEngine {
     // perturbs another worker's queries.
     std::vector<storage::Status> first_error(threads);
     std::vector<std::vector<uint32_t>> failed(threads);
+    // Per-worker latency accounting, merged at the join like the IoStats.
+    std::vector<EngineMetrics> per_metrics(
+        metrics_ != nullptr ? threads : 0);
     ForEachChunked(order.size(), threads, [&](unsigned t, size_t i) {
       const uint32_t qi = order[i];
       storage::Status st;
-      result.counts[qi] = backend_->Run(spec_at(qi), /*sink=*/nullptr,
-                                        &per_thread[t], &scratch[t], &st);
+      if (observed) {
+        result.counts[qi] = TimedRun(
+            spec_at(qi), /*sink=*/nullptr, &per_thread[t], &scratch[t],
+            &st, qi, t, per_metrics.empty() ? nullptr : &per_metrics[t]);
+      } else {
+        result.counts[qi] = backend_->Run(spec_at(qi), /*sink=*/nullptr,
+                                          &per_thread[t], &scratch[t],
+                                          &st);
+      }
       if (!st.ok()) {
         if (first_error[t].ok()) first_error[t] = st;
         failed[t].push_back(qi);
@@ -503,11 +725,36 @@ class SpatialEngine {
       result.failed.insert(result.failed.end(), failed[t].begin(),
                            failed[t].end());
     }
+    // Ascending and deduplicated: a query that faults on several pages is
+    // still one failed query.
     std::sort(result.failed.begin(), result.failed.end());
+    result.failed.erase(
+        std::unique(result.failed.begin(), result.failed.end()),
+        result.failed.end());
+    if (metrics_ != nullptr) {
+      for (const EngineMetrics& m : per_metrics) *metrics_ += m;
+      metrics_->RecordBatch(obs::NowNs() - batch_t0);
+    }
+    if (traces_ != nullptr) {
+      // One batch-scoped trace entry: the scheduling span (Hilbert
+      // ordering time before any worker ran).
+      obs::QueryTrace t;
+      t.query_index = n;  // past the last query index: batch-scoped
+      t.worker = 0;
+      t.kind_name = "batch";
+      t.results = n;
+      t.AddSpan(obs::SpanKind::kSchedule, batch_t0,
+                sched_end - batch_t0);
+      traces_->Add(t);
+    }
     return result;
   }
 
   std::unique_ptr<QueryBackend<D>> backend_;
+  /// Opt-in observability attachments (see SetMetrics/SetTraces); mutable
+  /// so const engines — the normal read-path handle — can be instrumented.
+  mutable EngineMetrics* metrics_ = nullptr;
+  mutable obs::TraceCollector* traces_ = nullptr;
 };
 
 }  // namespace clipbb::rtree

@@ -114,7 +114,8 @@ struct QueryBatchResult {
   /// A failing query never aborts the batch: the other queries' counts
   /// are complete and correct; only the indexes in `failed` are partial.
   storage::Status error;
-  /// Input indexes of the queries that surfaced an error, ascending.
+  /// Input indexes of the queries that surfaced an error, ascending and
+  /// deduplicated (a query faulting on several pages appears once).
   /// Their `counts` entries cover only the subtrees visited before the
   /// failure — explicitly partial, never silently truncated.
   std::vector<uint32_t> failed;

@@ -16,8 +16,12 @@ namespace clipbb::stats {
 
 /// One-line rendering of an IoStats block: the logical access counts the
 /// paper reports plus the physical page transfers of the paged engine.
+/// Contract: every field is rendered — the always-measured logical/read
+/// counts unconditionally, the write-path and fault fields whenever
+/// nonzero — so no recorded I/O can hide in the formatting
+/// (io_stats_render_test pins this field by field).
 inline std::string FormatIoStats(const storage::IoStats& io) {
-  char buf[256];
+  char buf[384];
   int n = std::snprintf(
       buf, sizeof buf,
       "%llu internal + %llu leaf accesses (%llu contributing), "
@@ -28,21 +32,27 @@ inline std::string FormatIoStats(const storage::IoStats& io) {
       static_cast<unsigned long long>(io.clip_accesses),
       static_cast<unsigned long long>(io.page_reads),
       static_cast<unsigned long long>(io.page_writes));
-  if (n > 0 && io.read_retries > 0) {
-    const int m = std::snprintf(
-        buf + n, sizeof buf - n, " (%llu read retries)",
-        static_cast<unsigned long long>(io.read_retries));
+  const auto append = [&](const char* fmt, unsigned long long v) {
+    if (n <= 0 || static_cast<size_t>(n) >= sizeof buf) return;
+    const int m = std::snprintf(buf + n, sizeof buf - n, fmt, v);
     if (m > 0) n += m;
+  };
+  if (io.read_retries > 0) {
+    append(" (%llu read retries)", io.read_retries);
   }
-  if (n > 0 && static_cast<size_t>(n) < sizeof buf &&
-      (io.wal_appends > 0 || io.wal_syncs > 0 ||
-       io.recovery_replays > 0)) {
-    std::snprintf(buf + n, sizeof buf - n,
-                  ", %llu wal appends (%llu B, %llu syncs), %llu recovered",
-                  static_cast<unsigned long long>(io.wal_appends),
-                  static_cast<unsigned long long>(io.wal_bytes),
-                  static_cast<unsigned long long>(io.wal_syncs),
-                  static_cast<unsigned long long>(io.recovery_replays));
+  if (io.pin_miss_ns > 0) {
+    append(", %llu us in miss reads", io.pin_miss_ns / 1000);
+  }
+  // Each WAL/recovery field renders on its own merit: a nonzero
+  // wal_bytes (or any other single field) must never be dropped just
+  // because its siblings are zero.
+  if (io.wal_appends > 0 || io.wal_bytes > 0 || io.wal_syncs > 0) {
+    append(", %llu wal appends", io.wal_appends);
+    append(" (%llu B", io.wal_bytes);
+    append(", %llu syncs)", io.wal_syncs);
+  }
+  if (io.recovery_replays > 0) {
+    append(", %llu recovered", io.recovery_replays);
   }
   return std::string(buf);
 }

@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
+#include "obs/clock.h"
+#include "obs/event_log.h"
 #include "storage/wal.h"
 
 namespace clipbb::storage {
@@ -19,6 +22,14 @@ uint64_t MixPageId(PageId id) {
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
   return x;
+}
+
+/// Shard index of a page, for event-log attribution (the pin paths hold a
+/// Shard& but not its index; recomputing the mix is cheaper than carrying
+/// the index through every signature).
+uint32_t ShardIndexOf(size_t n_shards, PageId id) {
+  if (n_shards <= 1) return 0;
+  return static_cast<uint32_t>(MixPageId(id) % n_shards);
 }
 
 }  // namespace
@@ -121,6 +132,9 @@ bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
       if (verifier_) {
         const Status v = verifier_(id, dst);
         if (!v.ok()) {
+          obs::EventLog::Global().Record(
+              obs::EventKind::kChecksumReject, id,
+              ShardIndexOf(shards_.size(), id), ErrorKindName(v.kind));
           if (status) *status = v;
           return false;
         }
@@ -157,6 +171,9 @@ bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
     if (verifier_) {
       const Status v = verifier_(id, dst);
       if (!v.ok()) {
+        obs::EventLog::Global().Record(
+            obs::EventKind::kChecksumReject, id,
+            ShardIndexOf(shards_.size(), id), ErrorKindName(v.kind));
         if (v.kind == ErrorKind::kCorruptStructure) {
           // Checksum passed but the contents are impossible: the bytes on
           // disk are wrong, not the transfer. No retry.
@@ -173,6 +190,9 @@ bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
   // PinIo::reads over-counted the last attempt's replacement read that
   // never happened; drop it so reads matches file reads exactly.
   if (io) --io->reads;
+  obs::EventLog::Global().Record(obs::EventKind::kRetryExhausted, id,
+                                 ShardIndexOf(shards_.size(), id),
+                                 ErrorKindName(last.kind), kMaxReadRetries);
   if (status) *status = last;
   return false;
 }
@@ -180,6 +200,11 @@ bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
 std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
                                Status* status) {
   assert(file_ != nullptr && file_->page_size() > 0);
+  // One clock read per pin: starts before the latch, so the recorded
+  // latency includes latch wait (the contention is part of what the
+  // histogram is for). Recorded under the latch into plain per-shard
+  // histograms — same no-atomics discipline as the counters.
+  const uint64_t t0 = obs::NowNs();
   Shard& s = ShardFor(id);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(id);
@@ -192,6 +217,7 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
     }
     ++f.pins;
     f.dirty |= dirty;
+    s.pin_hit_ns.Record(obs::NowNs() - t0);
     return f.data.get();
   }
   if (s.quarantined.contains(id)) {
@@ -223,7 +249,15 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
     s.map.erase(it);
     // Exhausted retries (or an unretryable failure): quarantine, except
     // for EOF — an out-of-range pin is a caller bug, not a bad page.
-    if (load_status.kind != ErrorKind::kEof) s.quarantined.insert(id);
+    if (load_status.kind != ErrorKind::kEof) {
+      s.quarantined.insert(id);
+      obs::EventLog::Global().Record(obs::EventKind::kQuarantine, id,
+                                     ShardIndexOf(shards_.size(), id),
+                                     ErrorKindName(load_status.kind));
+    }
+    const uint64_t dt = obs::NowNs() - t0;
+    s.pin_miss_ns.Record(dt);
+    if (io) io->miss_ns += dt;
     if (status) *status = load_status;
     return nullptr;
   }
@@ -231,6 +265,9 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
   f.pins = 1;
   f.dirty = dirty;
   f.lsn = 0;
+  const uint64_t dt = obs::NowNs() - t0;
+  s.pin_miss_ns.Record(dt);
+  if (io) io->miss_ns += dt;
   return f.data.get();
 }
 
@@ -295,11 +332,17 @@ bool BufferPool::WriteBack(Shard& s, PageId id, Frame& f, PinIo* io) {
     if (io) ++io->wal_syncs;
     if (!wal_->Sync()) {
       ++s.write_failures;  // cannot write back without breaking the rule
+      obs::EventLog::Global().Record(obs::EventKind::kWriteFailure, id,
+                                     ShardIndexOf(shards_.size(), id),
+                                     "wal-sync-failed");
       return false;
     }
   }
   if (!file_->WritePage(id, f.data.get())) {
     ++s.write_failures;
+    obs::EventLog::Global().Record(obs::EventKind::kWriteFailure, id,
+                                   ShardIndexOf(shards_.size(), id),
+                                   "page-write-failed");
     return false;
   }
   ++s.writebacks;
@@ -320,6 +363,7 @@ bool BufferPool::EvictOne(Shard& s, PinIo* io) {
     WriteBack(s, victim, f, io);
   }
   s.map.erase(it);
+  ++s.evictions;
   return true;
 }
 
@@ -351,9 +395,103 @@ size_t BufferPool::quarantined_pages() const {
 }
 
 void BufferPool::ResetShardCounters(Shard& s) {
-  s.hits = s.misses = s.writebacks = s.write_failures =
+  s.hits = s.misses = s.evictions = s.writebacks = s.write_failures =
       s.wal_forced_syncs = s.read_retries = 0;
   s.high_water = s.map.size();
+  s.pin_hit_ns.Reset();
+  s.pin_miss_ns.Reset();
+}
+
+std::vector<BufferPool::ShardCounters> BufferPool::PerShardCounters()
+    const {
+  std::vector<ShardCounters> out;
+  out.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    ShardCounters c;
+    c.hits = s.hits;
+    c.misses = s.misses;
+    c.evictions = s.evictions;
+    c.writebacks = s.writebacks;
+    c.write_failures = s.write_failures;
+    c.wal_forced_syncs = s.wal_forced_syncs;
+    c.read_retries = s.read_retries;
+    c.high_water = s.high_water;
+    c.quarantined = s.quarantined.size();
+    c.frames = s.map.size();
+    out.push_back(c);
+  }
+  return out;
+}
+
+obs::Histogram BufferPool::PinHitLatency() const {
+  obs::Histogram h;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    h += sp->pin_hit_ns;
+  }
+  return h;
+}
+
+obs::Histogram BufferPool::PinMissLatency() const {
+  obs::Histogram h;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    h += sp->pin_miss_ns;
+  }
+  return h;
+}
+
+void BufferPool::PublishMetrics(obs::MetricsRegistry& registry) const {
+  const std::vector<ShardCounters> per = PerShardCounters();
+  ShardCounters tot;
+  for (const ShardCounters& c : per) {
+    tot.hits += c.hits;
+    tot.misses += c.misses;
+    tot.evictions += c.evictions;
+    tot.writebacks += c.writebacks;
+    tot.write_failures += c.write_failures;
+    tot.wal_forced_syncs += c.wal_forced_syncs;
+    tot.read_retries += c.read_retries;
+    tot.high_water += c.high_water;
+    tot.quarantined += c.quarantined;
+    tot.frames += c.frames;
+  }
+  registry.SetCounter("pool_pins_total{outcome=\"hit\"}", tot.hits);
+  registry.SetCounter("pool_pins_total{outcome=\"miss\"}", tot.misses);
+  registry.SetCounter("pool_evictions_total", tot.evictions);
+  registry.SetCounter("pool_writebacks_total", tot.writebacks);
+  registry.SetCounter("pool_write_failures_total", tot.write_failures);
+  registry.SetCounter("pool_wal_forced_syncs_total", tot.wal_forced_syncs);
+  registry.SetCounter("pool_read_retries_total", tot.read_retries);
+  registry.SetGauge("pool_quarantined_pages", tot.quarantined);
+  registry.SetGauge("pool_frames", tot.frames);
+  registry.SetGauge("pool_frames_high_water", tot.high_water);
+  registry.SetGauge("pool_capacity", capacity_);
+  registry.SetGauge("pool_shards", shards_.size());
+  registry.SetHistogram("pool_pin_ns{outcome=\"hit\"}", PinHitLatency());
+  registry.SetHistogram("pool_pin_ns{outcome=\"miss\"}", PinMissLatency());
+  if (per.size() > 1) {
+    char name[80];
+    for (size_t i = 0; i < per.size(); ++i) {
+      const ShardCounters& c = per[i];
+      std::snprintf(name, sizeof name,
+                    "pool_shard_pins_total{shard=\"%zu\",outcome=\"hit\"}",
+                    i);
+      registry.SetCounter(name, c.hits);
+      std::snprintf(name, sizeof name,
+                    "pool_shard_pins_total{shard=\"%zu\",outcome=\"miss\"}",
+                    i);
+      registry.SetCounter(name, c.misses);
+      std::snprintf(name, sizeof name,
+                    "pool_shard_evictions_total{shard=\"%zu\"}", i);
+      registry.SetCounter(name, c.evictions);
+      std::snprintf(name, sizeof name,
+                    "pool_shard_quarantined_pages{shard=\"%zu\"}", i);
+      registry.SetGauge(name, c.quarantined);
+    }
+  }
 }
 
 void BufferPool::ResetCounters() {

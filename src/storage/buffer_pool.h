@@ -61,6 +61,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 #include "storage/page_store.h"
 #include "storage/status.h"
@@ -78,6 +79,21 @@ class BufferPool {
     uint32_t read_retries = 0;  // re-reads after a transient fault
     uint32_t writes = 0;        // file page writes (dirty evictions)
     uint32_t wal_syncs = 0;     // WAL syncs forced by the write-back rule
+    uint64_t miss_ns = 0;       // wall time inside miss pins (I/O + verify)
+  };
+
+  /// Point-in-time copy of one shard's counters (see PerShardCounters).
+  struct ShardCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t write_failures = 0;
+    uint64_t wal_forced_syncs = 0;
+    uint64_t read_retries = 0;
+    uint64_t high_water = 0;
+    uint64_t quarantined = 0;
+    uint64_t frames = 0;  // current footprint
   };
 
   /// Miss-read validation hook: called with the freshly read frame bytes
@@ -167,6 +183,9 @@ class BufferPool {
 
   uint64_t hits() const { return Sum(&Shard::hits); }
   uint64_t misses() const { return Sum(&Shard::misses); }
+  /// Frames evicted to make room (dirty or clean; every dirty eviction is
+  /// also a writeback).
+  uint64_t evictions() const { return Sum(&Shard::evictions); }
   uint64_t writebacks() const { return Sum(&Shard::writebacks); }
   /// Miss re-reads after a transient read failure or verify rejection.
   uint64_t read_retries() const { return Sum(&Shard::read_retries); }
@@ -189,6 +208,23 @@ class BufferPool {
   /// transaction balloons to the transaction's staged page set, and this
   /// counter is the signal (see the class comment).
   uint64_t frames_high_water() const { return Sum(&Shard::high_water); }
+
+  /// Per-shard counter snapshot, index = shard number. Each shard is read
+  /// under its own latch, so every row is internally consistent (the rows
+  /// are not a single atomic cross-shard cut, same as the Sum accessors).
+  std::vector<ShardCounters> PerShardCounters() const;
+
+  /// Merged pin latency distributions (hit pins / miss pins; content mode
+  /// only). Recorded under the shard latch with plain counters — the same
+  /// no-atomics discipline as the counters — and summed across shards
+  /// here. The timer starts before the latch, so latch wait is included.
+  obs::Histogram PinHitLatency() const;
+  obs::Histogram PinMissLatency() const;
+
+  /// Publishes the pool's counters, per-shard gauges, and pin latency
+  /// histograms into `registry` under pool_* names (idempotent Set/
+  /// overwrite semantics — safe to call repeatedly on a live pool).
+  void PublishMetrics(obs::MetricsRegistry& registry) const;
 
   void ResetCounters();
 
@@ -222,11 +258,14 @@ class BufferPool {
     std::unordered_map<PageId, Frame> map;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     uint64_t writebacks = 0;
     uint64_t write_failures = 0;
     uint64_t wal_forced_syncs = 0;
     uint64_t read_retries = 0;
     uint64_t high_water = 0;  // max frames this shard ever held
+    obs::Histogram pin_hit_ns;   // hit-pin latency (latch wait included)
+    obs::Histogram pin_miss_ns;  // miss-pin latency (read + verify + evict)
     /// Pages whose miss read kept failing after kMaxReadRetries; pins
     /// fast-fail until Clear() gives them another chance.
     std::unordered_set<PageId> quarantined;

@@ -42,6 +42,10 @@ struct IoStats {
   uint64_t wal_syncs = 0;
   /// Page images replayed by WAL redo at open (crash recovery).
   uint64_t recovery_replays = 0;
+  /// Wall time (ns) spent inside buffer-pool miss pins — the physical
+  /// read, verification, retries, and any eviction they forced. The
+  /// traced pin-miss-io span of a sampled query is this counter's delta.
+  uint64_t pin_miss_ns = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -57,6 +61,7 @@ struct IoStats {
     wal_bytes += o.wal_bytes;
     wal_syncs += o.wal_syncs;
     recovery_replays += o.recovery_replays;
+    pin_miss_ns += o.pin_miss_ns;
     return *this;
   }
 

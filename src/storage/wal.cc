@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/clock.h"
 #include "storage/crash_point.h"
 #include "storage/fault_injection.h"
 
@@ -134,6 +135,7 @@ void Wal::Close() {
 
 uint64_t Wal::AppendPageImage(int64_t page_id, const void* image,
                               uint64_t op_seq) {
+  const uint64_t t0 = obs::NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return 0;
   WalRecordHeader h;
@@ -150,10 +152,13 @@ uint64_t Wal::AppendPageImage(int64_t page_id, const void* image,
   buffered_lsn_ = h.lsn;
   ++stats_.appends;
   stats_.bytes += sizeof h + page_size_;
+  ++records_since_sync_;
+  metrics_.append_ns.Record(obs::NowNs() - t0);
   return h.lsn;
 }
 
 uint64_t Wal::AppendCommit(uint64_t op_seq) {
+  const uint64_t t0 = obs::NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return 0;
   WalRecordHeader h;
@@ -168,13 +173,17 @@ uint64_t Wal::AppendCommit(uint64_t op_seq) {
   buffered_lsn_ = h.lsn;
   ++stats_.appends;
   stats_.bytes += sizeof h;
+  ++records_since_sync_;
+  metrics_.append_ns.Record(obs::NowNs() - t0);
   return h.lsn;
 }
 
 bool Wal::Sync() {
+  const uint64_t t0 = obs::NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return false;
   if (buffer_.empty()) return true;  // a racing sync already drained it
+  const uint64_t drained_bytes = buffer_.size();
   CrashPointBeforeWrite(buffer_.size(), [&](uint64_t half) {
     FullWrite(fd_, buffer_.data(), half);
   });
@@ -183,7 +192,29 @@ bool Wal::Sync() {
   buffer_.clear();
   durable_lsn_.store(buffered_lsn_, std::memory_order_release);
   ++stats_.syncs;
+  metrics_.sync_ns.Record(obs::NowNs() - t0);
+  metrics_.sync_records.Record(records_since_sync_);
+  metrics_.sync_bytes.Record(drained_bytes);
+  records_since_sync_ = 0;
   return true;
+}
+
+void Wal::PublishMetrics(obs::MetricsRegistry& registry) const {
+  WalStats stats;
+  WalMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+    m = metrics_;
+  }
+  registry.SetCounter("wal_appends_total", stats.appends);
+  registry.SetCounter("wal_bytes_total", stats.bytes);
+  registry.SetCounter("wal_syncs_total", stats.syncs);
+  registry.SetGauge("wal_durable_lsn", durable_lsn());
+  registry.SetHistogram("wal_append_ns", m.append_ns);
+  registry.SetHistogram("wal_sync_ns", m.sync_ns);
+  registry.SetHistogram("wal_sync_records", m.sync_records);
+  registry.SetHistogram("wal_sync_bytes", m.sync_bytes);
 }
 
 bool Wal::Truncate() {

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 #include "storage/page_store.h"
 
@@ -60,6 +61,16 @@ struct WalStats {
   uint64_t appends = 0;   // records appended (images + commits)
   uint64_t bytes = 0;     // bytes appended
   uint64_t syncs = 0;     // commit-boundary fsyncs
+};
+
+/// Latency and group-commit distributions, recorded under the WAL latch
+/// (plain counters, no atomics — the latch already serializes them).
+struct WalMetrics {
+  obs::Histogram append_ns;    // Append{PageImage,Commit} wall time
+  obs::Histogram sync_ns;      // Sync wall time (write + fdatasync)
+  obs::Histogram sync_records; // records drained per sync (group-commit
+                               // batch size; empty-buffer syncs not counted)
+  obs::Histogram sync_bytes;   // bytes drained per sync
 };
 
 class Wal {
@@ -117,6 +128,17 @@ class Wal {
 
   const WalStats& stats() const { return stats_; }
 
+  /// Point-in-time copy of the latency/group-commit distributions (taken
+  /// under the latch, so the copy is internally consistent).
+  WalMetrics MetricsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_;
+  }
+
+  /// Publishes stats + distributions into `registry` under wal_* names
+  /// (idempotent Set/overwrite semantics).
+  void PublishMetrics(obs::MetricsRegistry& registry) const;
+
   struct RecoveryResult {
     bool log_found = false;        // a non-empty log existed
     uint64_t records_scanned = 0;  // valid records up to the last commit
@@ -158,6 +180,8 @@ class Wal {
   uint64_t buffered_lsn_ = 0;  // highest LSN in buffer_ (latched)
   std::vector<std::byte> buffer_;
   WalStats stats_;
+  WalMetrics metrics_;
+  uint64_t records_since_sync_ = 0;  // group-commit batch accumulator
   /// Serializes append/sync/truncate; see the class comment.
   mutable std::mutex mu_;
 };

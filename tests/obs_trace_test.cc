@@ -1,0 +1,284 @@
+// Sampled query tracing: sampler determinism (serial and multithreaded
+// runs of one batch sample identical query sets), Chrome trace-event JSON
+// validity, and the exactness contract between the published metrics and
+// the batch's own IoStats on the paged engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
+#include "test_util.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomRect;
+using clipbb::testing::TempFileGuard;
+using clipbb::testing::TempPagePath;
+
+geom::Rect<2> Domain2() {
+  geom::Rect<2> r;
+  for (int i = 0; i < 2; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(TraceSampler, DeterministicInSeedAndRate) {
+  const obs::TraceCollector a(/*sample_every=*/16, /*seed=*/99);
+  const obs::TraceCollector b(/*sample_every=*/16, /*seed=*/99);
+  const obs::TraceCollector other_seed(/*sample_every=*/16, /*seed=*/100);
+  size_t sampled = 0, differs = 0;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_EQ(a.Sampled(i), b.Sampled(i)) << i;
+    sampled += a.Sampled(i);
+    differs += a.Sampled(i) != other_seed.Sampled(i);
+  }
+  // ~1 in 16 with a hash this mixed: allow a generous band.
+  EXPECT_GT(sampled, 100000 / 16 / 2);
+  EXPECT_LT(sampled, 100000 / 16 * 2);
+  EXPECT_GT(differs, 0u);  // the seed actually participates
+
+  const obs::TraceCollector all(/*sample_every=*/1);
+  const obs::TraceCollector none(/*sample_every=*/0);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(all.Sampled(i));
+    EXPECT_FALSE(none.Sampled(i));
+  }
+}
+
+// ------------------------------------------------- serial vs multithread
+
+std::set<uint64_t> SampledQueryIndexes(const obs::TraceCollector& tc) {
+  std::set<uint64_t> out;
+  for (const obs::QueryTrace& t : tc.Snapshot()) {
+    if (std::string(t.kind_name) != "batch") out.insert(t.query_index);
+  }
+  return out;
+}
+
+TEST(TraceSampling, SerialAndParallelSampleTheSameQueries) {
+  Rng rng(511);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 4000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 400; ++q) {
+    queries.push_back(RandomRect<2>(rng, 0.12));
+  }
+
+  const SpatialEngine<2> engine(*tree);
+  // Sampling is keyed on the query's INPUT index, so the sampled set is a
+  // pure function of (seed, N) — worker count and Hilbert reordering must
+  // not change it.
+  obs::TraceCollector serial_tc(/*sample_every=*/4, /*seed=*/123);
+  obs::TraceCollector mt_tc(/*sample_every=*/4, /*seed=*/123);
+  EngineMetrics serial_m, mt_m;
+
+  QueryBatchOptions serial;
+  serial.threads = 1;
+  engine.SetTraces(&serial_tc);
+  engine.SetMetrics(&serial_m);
+  const QueryBatchResult rs = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), serial);
+  QueryBatchOptions parallel;
+  parallel.threads = 4;
+  engine.SetTraces(&mt_tc);
+  engine.SetMetrics(&mt_m);
+  const QueryBatchResult rp = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), parallel);
+  engine.SetTraces(nullptr);
+  engine.SetMetrics(nullptr);
+
+  EXPECT_EQ(rs.counts, rp.counts);
+  const std::set<uint64_t> s = SampledQueryIndexes(serial_tc);
+  const std::set<uint64_t> p = SampledQueryIndexes(mt_tc);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s, p);
+  for (uint64_t qi : s) {
+    EXPECT_TRUE(serial_tc.Sampled(qi));  // the set matches the predicate
+    EXPECT_LT(qi, queries.size());
+  }
+  // Per-thread metrics summed at the join are exact, so serial and
+  // parallel per-kind query counts agree.
+  EXPECT_EQ(serial_m.queries(QueryKind::kIntersects), queries.size());
+  EXPECT_EQ(mt_m.queries(QueryKind::kIntersects), queries.size());
+  EXPECT_EQ(serial_m.total_queries(), mt_m.total_queries());
+
+  // Sampled traces carry the traversal span and the query's result count.
+  for (const obs::QueryTrace& t : serial_tc.Snapshot()) {
+    if (std::string(t.kind_name) == "batch") continue;
+    ASSERT_GE(t.n_spans, 1u);
+    bool has_traversal = false;
+    for (uint32_t i = 0; i < t.n_spans; ++i) {
+      if (t.spans[i].kind == obs::SpanKind::kTraversal) has_traversal = true;
+    }
+    EXPECT_TRUE(has_traversal);
+    EXPECT_EQ(t.results, rs.counts[t.query_index]);
+    EXPECT_STREQ(t.kind_name, "intersects");
+  }
+}
+
+// ------------------------------------------------------------ chrome json
+
+/// Minimal structural JSON scan: balanced {} and [] outside strings,
+/// nothing after the top-level value closes.
+void ExpectBalancedJson(const std::string& json) {
+  int brace = 0, bracket = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      default: break;
+    }
+    EXPECT_GE(brace, 0);
+    EXPECT_GE(bracket, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+TEST(TraceExport, ChromeTraceJsonIsValid) {
+  Rng rng(512);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 2000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.04), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  const SpatialEngine<2> engine(*tree);
+  obs::TraceCollector tc(/*sample_every=*/1);  // trace every query
+  engine.SetTraces(&tc);
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 20; ++q) queries.push_back(RandomRect<2>(rng, 0.2));
+  engine.ExecuteBatch(std::span<const geom::Rect<2>>(queries));
+  // One single kNN Execute rides along: its trace gets an index past the
+  // batch (collector-scoped sequence), and a distinct kind name.
+  std::vector<KnnNeighbor<2>> nn;
+  KnnHeapSink<2> sink(&nn);
+  engine.Execute(QuerySpec<2>::Knn(geom::Vec<2>{0.5, 0.5}, 5), &sink);
+  engine.SetTraces(nullptr);
+
+  EXPECT_EQ(tc.recorded(), queries.size() + 2);  // + batch trace + knn
+  const std::string json = tc.RenderChromeTrace();
+  ExpectBalancedJson(json);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);  // starts the array
+  EXPECT_NE(json.find("\"name\":\"traversal\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"schedule\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"knn\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Round-trip through the file writer.
+  const std::string path = TempPagePath("trace_json");
+  TempFileGuard guard(path);
+  ASSERT_TRUE(tc.WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string back(json.size(), '\0');
+  ASSERT_EQ(std::fread(back.data(), 1, back.size(), f), back.size());
+  std::fclose(f);
+  EXPECT_EQ(back, json);
+}
+
+// -------------------------------------------- paged metrics == io stats
+
+TEST(PagedObservability, MetricsMatchBatchIoStatsExactly) {
+  Rng rng(513);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < 5000; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.03), i});
+  }
+  auto tree = BuildTree<2>(Variant::kHilbert, items, Domain2());
+  std::vector<geom::Rect<2>> queries;
+  for (int q = 0; q < 300; ++q) {
+    queries.push_back(RandomRect<2>(rng, 0.12));
+  }
+
+  const std::string path = TempPagePath("obs_exact");
+  TempFileGuard guard(path);
+  TempFileGuard wal_guard(WalPathFor(path));
+  ASSERT_TRUE(WritePagedTree<2>(*tree, path));
+  PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions opts;
+  opts.pool_pages = 1u << 20;
+  opts.pool_shards = 4;
+  ASSERT_TRUE(paged.Open(path, opts));
+  paged.pool().ResetCounters();  // open-time pins out of the ledger
+
+  const SpatialEngine<2> engine(paged);
+  EngineMetrics metrics;
+  obs::TraceCollector traces(/*sample_every=*/16, /*seed=*/1);
+  engine.SetMetrics(&metrics);
+  engine.SetTraces(&traces);
+  QueryBatchOptions parallel;
+  parallel.threads = 4;
+  const QueryBatchResult mt = engine.ExecuteBatch(
+      std::span<const geom::Rect<2>>(queries), parallel);
+  engine.SetMetrics(nullptr);
+  engine.SetTraces(nullptr);
+  ASSERT_TRUE(mt.ok());
+
+  // The flight recorder and the batch's own IoStats are two views of one
+  // run; they must agree exactly, not statistically.
+  const storage::BufferPool& pool = paged.pool();
+  EXPECT_EQ(metrics.queries(QueryKind::kIntersects), queries.size());
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            mt.io.internal_accesses + mt.io.leaf_accesses);
+  EXPECT_EQ(pool.misses(), mt.io.page_reads);
+  EXPECT_EQ(paged.wal().stats().syncs, 0u);  // read path never syncs
+  // Pin latency histograms cover exactly the pins.
+  EXPECT_EQ(pool.PinHitLatency().count(), pool.hits());
+  EXPECT_EQ(pool.PinMissLatency().count(), pool.misses());
+
+  // The published registry mirrors the same numbers.
+  obs::MetricsRegistry reg;
+  paged.PublishMetrics(reg);
+  metrics.PublishTo(reg, "paged");
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter not found: " << name;
+    return ~uint64_t{0};
+  };
+  EXPECT_EQ(counter("pool_pins_total{outcome=\"hit\"}"), pool.hits());
+  EXPECT_EQ(counter("pool_pins_total{outcome=\"miss\"}"), pool.misses());
+  EXPECT_EQ(counter("wal_syncs_total"), 0u);
+  bool found_query_hist = false;
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == "query_ns{backend=\"paged\",kind=\"intersects\"}") {
+      found_query_hist = true;
+      EXPECT_EQ(h.count(), queries.size());
+    }
+  }
+  EXPECT_TRUE(found_query_hist);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

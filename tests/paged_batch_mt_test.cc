@@ -13,9 +13,12 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 #include "rtree/factory.h"
 #include "rtree/page_format.h"
@@ -94,9 +97,23 @@ TEST_P(PagedBatchMt, ParityWithInMemorySingleThread) {
   paged.pool().Clear();  // cold again for the multithreaded run
   QueryBatchOptions parallel;
   parallel.threads = kThreads;
+  // Flight recorder attached to the racing run: per-worker metrics are
+  // accumulated thread-locally and summed at the join, so the per-kind
+  // query counts must be exact, not approximate (TSan covers the data-race
+  // half of that claim).
+  EngineMetrics metrics;
+  obs::TraceCollector traces(/*sample_every=*/4, /*seed=*/7);
+  engine.SetMetrics(&metrics);
+  engine.SetTraces(&traces);
   const QueryBatchResult mt = engine.ExecuteBatch(
       std::span<const geom::Rect<2>>(queries), parallel);
+  engine.SetMetrics(nullptr);
+  engine.SetTraces(nullptr);
   EXPECT_FALSE(paged.io_error());
+  EXPECT_EQ(metrics.queries(QueryKind::kIntersects), queries.size());
+  EXPECT_EQ(metrics.total_queries(), queries.size());
+  EXPECT_EQ(metrics.batches, 1u);
+  EXPECT_EQ(metrics.batch_ns.count(), 1u);
 
   // Identical results...
   EXPECT_EQ(mt.counts, mem.counts);
@@ -232,6 +249,11 @@ TEST(PagedBatchMtFaults, OneBadPageFailsOnlyItsQueries) {
   ASSERT_FALSE(mt.failed.empty());
   EXPECT_LT(mt.failed.size(), queries.size());  // most queries unaffected
   EXPECT_TRUE(paged.io_error());                // engine-level latch too
+  // The failed list is ascending and deduplicated: a query that faults on
+  // several pages (or is re-reported by its worker) appears exactly once.
+  EXPECT_TRUE(std::is_sorted(mt.failed.begin(), mt.failed.end()));
+  EXPECT_EQ(std::adjacent_find(mt.failed.begin(), mt.failed.end()),
+            mt.failed.end());
 
   // Zero success-with-wrong-result: every query not reported failed has
   // exactly the in-memory count.

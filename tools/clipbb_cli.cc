@@ -6,13 +6,19 @@
 //   clipbb_cli build  <variant> <none|sky|sta> <in.data> <out.idx>
 //   clipbb_cli stats  <idx> <data>
 //   clipbb_cli query  <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
-//   clipbb_cli pquery <idx> lo1 lo2 [lo3] hi1 hi2 [hi3]
+//   clipbb_cli pquery <idx> [--stats] lo1 lo2 [lo3] hi1 hi2 [hi3]
 //   clipbb_cli knn    <idx> <data> k p1 p2 [p3]
 //   clipbb_cli scrub  <idx>
 //
 // `pquery` answers the query disk-resident: the index file is opened as a
 // page file and read through the buffer pool, so the printed I/O includes
 // real page reads (everything else restores the tree fully into memory).
+// With `--stats` it additionally dumps the full flight-recorder state
+// after the query: the metrics registry in Prometheus text exposition
+// (pool/WAL/engine counters, latency histograms) plus the structured
+// event log. Setting CLIPBB_TRACE_SAMPLE also arms per-query tracing and
+// writes a Chrome trace-event JSON to CLIPBB_TRACE_OUT (default
+// clipbb_trace.json).
 // `scrub` verifies every page checksum, the structural bounds, and the
 // free-page chain of a paged index offline (rtree/scrub.h); exit 0 means
 // the whole file is intact.
@@ -23,8 +29,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/factory.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_api.h"
@@ -47,7 +57,9 @@ int Usage() {
                "<out.idx>\n"
                "  clipbb_cli stats  <idx> <data>\n"
                "  clipbb_cli query  <idx> <data> lo... hi...\n"
-               "  clipbb_cli pquery <idx> lo... hi...   (disk-resident)\n"
+               "  clipbb_cli pquery <idx> [--stats] lo... hi...\n"
+               "                    (disk-resident; --stats dumps the "
+               "metrics registry + event log)\n"
                "  clipbb_cli knn    <idx> <data> <k> point...\n"
                "  clipbb_cli scrub  <idx>               (verify checksums)\n");
   return 2;
@@ -192,7 +204,7 @@ int CmdQuery(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
 }
 
 template <int D>
-int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
+int CmdPagedQuery(const char* idx_path, bool stats, int argc, char** argv) {
   if (argc != 2 * D) return Usage();
   rtree::PagedRTree<D> tree;
   if (!tree.Open(idx_path)) {
@@ -203,12 +215,19 @@ int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
   for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
   for (int i = 0; i < D; ++i) q.hi[i] = std::atof(argv[D + i]);
   const rtree::SpatialEngine<D> engine(tree);
+  rtree::EngineMetrics metrics;
+  const std::unique_ptr<obs::TraceCollector> traces =
+      obs::TraceCollector::FromEnv();
+  if (stats) engine.SetMetrics(&metrics);
+  if (traces) engine.SetTraces(traces.get());
   std::vector<rtree::ObjectId> ids;
   rtree::CollectIds<D> sink(&ids);
   storage::IoStats io;
   storage::Status status;
   engine.Execute(rtree::QuerySpec<D>::Intersects(q), &sink, &io,
                  /*scratch=*/nullptr, &status);
+  engine.SetMetrics(nullptr);
+  engine.SetTraces(nullptr);
   if (!status.ok()) {
     std::fprintf(stderr,
                  "error: %s at file page %lld; traversal truncated, "
@@ -219,7 +238,38 @@ int CmdPagedQuery(const char* idx_path, int argc, char** argv) {
               "frames)\n  io: %s\n",
               ids.size(), tree.NumNodes(), tree.pool().capacity(),
               stats::FormatIoStats(io).c_str());
+  const storage::BufferPool& pool = tree.pool();
+  std::printf("  pool: %llu hits, %llu misses, %llu evictions, "
+              "%zu quarantined, high water %llu/%zu frames, %u shard%s\n",
+              static_cast<unsigned long long>(pool.hits()),
+              static_cast<unsigned long long>(pool.misses()),
+              static_cast<unsigned long long>(pool.evictions()),
+              pool.quarantined_pages(),
+              static_cast<unsigned long long>(pool.frames_high_water()),
+              pool.capacity(), pool.shards(),
+              pool.shards() == 1 ? "" : "s");
   PrintResultIds(ids);
+  if (stats) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    tree.PublishMetrics(registry);
+    metrics.PublishTo(registry, "paged");
+    std::printf("\n--- metrics ---\n%s", registry.RenderText().c_str());
+    const std::string events = obs::EventLog::Global().RenderText();
+    if (!events.empty()) {
+      std::printf("--- events ---\n%s", events.c_str());
+    }
+  }
+  if (traces) {
+    const char* out = std::getenv("CLIPBB_TRACE_OUT");
+    const std::string path = out && *out ? out : "clipbb_trace.json";
+    if (traces->WriteChromeTrace(path)) {
+      std::fprintf(stderr, "trace: %llu sampled spans written to %s\n",
+                   static_cast<unsigned long long>(traces->recorded()),
+                   path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    }
+  }
   return status.ok() ? 0 : 1;
 }
 
@@ -299,6 +349,16 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "pquery") {
     if (argc < 3) return Usage();
+    // Filter the --stats flag out of the coordinate arguments.
+    bool stats = false;
+    std::vector<char*> rest;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stats") == 0) {
+        stats = true;
+      } else {
+        rest.push_back(argv[i]);
+      }
+    }
     rtree::Superblock sb;
     std::ifstream idx(argv[2], std::ios::binary);
     if (!idx || !idx.read(reinterpret_cast<char*>(&sb), sizeof sb) ||
@@ -306,8 +366,9 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "bad index file\n");
       return 1;
     }
-    if (sb.dim == 2) return CmdPagedQuery<2>(argv[2], argc - 3, argv + 3);
-    if (sb.dim == 3) return CmdPagedQuery<3>(argv[2], argc - 3, argv + 3);
+    const int n = static_cast<int>(rest.size());
+    if (sb.dim == 2) return CmdPagedQuery<2>(argv[2], stats, n, rest.data());
+    if (sb.dim == 3) return CmdPagedQuery<3>(argv[2], stats, n, rest.data());
     std::fprintf(stderr, "bad index dimension\n");
     return 1;
   }
