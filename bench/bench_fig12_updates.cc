@@ -77,10 +77,11 @@ void RunDataset(const std::string& name, Table* t) {
     if (g_paged) {
       paged_path = BenchTempFile(name + "_fig12");
       typename rtree::PagedRTree<D>::OpenOptions wopts;
+      wopts.mode = rtree::PagedRTree<D>::OpenMode::kReadWrite;
       wopts.commit_every = 32;  // group commit: one fsync per 32 inserts
       if (!rtree::WritePagedTree<D>(*tree, paged_path) ||
-          !paged.OpenWrite(paged_path,
-                           rtree::MakeRTree<D>(v, data.domain), wopts)) {
+          !paged.Open(paged_path, wopts,
+                      rtree::MakeRTree<D>(v, data.domain))) {
         // --paged was requested: running sim-only would let CI's
         // "parity-checked" smoke go green without testing anything.
         std::fprintf(stderr, "fig12: cannot write/open paged index at %s\n",

@@ -7,8 +7,8 @@
 //
 // Demonstrates: WritePagedTree, PagedRTree::Open (clip table loaded
 // memory-resident, node pages on disk), query parity with the in-memory
-// tree, cold-vs-warm pool behaviour, and OpenWrite (in-place page
-// updates, free-page map, write-ahead log, checkpoint).
+// tree, cold-vs-warm pool behaviour, and a read-write Open (in-place
+// page updates, free-page map, write-ahead log, checkpoint).
 #include <cstdio>
 
 #include "rtree/factory.h"
@@ -95,8 +95,11 @@ int main() {
   //    and a crash at any point would recover to the last commit.
   paged.Close();
   rtree::PagedRTree<2> writer;
-  if (!writer.OpenWrite(path, rtree::MakeRTree<2>(rtree::Variant::kHilbert,
-                                                  data.domain))) {
+  rtree::PagedRTree<2>::OpenOptions wopts;
+  wopts.mode = rtree::PagedRTree<2>::OpenMode::kReadWrite;
+  if (!writer.Open(path, wopts,
+                   rtree::MakeRTree<2>(rtree::Variant::kHilbert,
+                                       data.domain))) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return 1;
   }

@@ -15,8 +15,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/clip_point.h"
@@ -44,6 +46,15 @@ struct ClipAgingPolicy {
 template <int D>
 class ClipIndex {
  public:
+  /// Pre-mutation observer: called with a node's *current* clip run
+  /// immediately before Set/Erase replaces it (and for every live entry
+  /// before Clear wipes the table). The paged engine's epoch machinery
+  /// hooks this to capture first-touch pre-images for pinned snapshots;
+  /// unset (the default) it costs one branch per mutation.
+  using MutateHook = std::function<void(NodeId, std::span<const ClipPoint<D>>)>;
+
+  void SetMutateHook(MutateHook hook) { mutate_hook_ = std::move(hook); }
+
   /// Replaces the clip points of a node (empty vector clears the entry).
   /// Enforces the descending-score order queries depend on.
   void Set(NodeId id, std::vector<ClipPoint<D>> clips) {
@@ -60,6 +71,7 @@ class ClipIndex {
                          return a.score > b.score;
                        });
     }
+    if (mutate_hook_) mutate_hook_(id, Get(id));
     const size_t old_n = Get(id).size();
     num_points_ += clips.size() - old_n;
     if (old_n == 0) ++num_nodes_;
@@ -85,6 +97,7 @@ class ClipIndex {
   }
 
   void Erase(NodeId id) {
+    if (mutate_hook_) mutate_hook_(id, Get(id));
     const size_t old_n = Get(id).size();
     if (old_n > 0) {
       num_points_ -= old_n;
@@ -99,6 +112,11 @@ class ClipIndex {
   }
 
   void Clear() {
+    if (mutate_hook_) {
+      ForEach([&](NodeId id, std::span<const ClipPoint<D>> clips) {
+        mutate_hook_(id, clips);
+      });
+    }
     pool_.clear();
     offset_.clear();
     count_.clear();
@@ -210,6 +228,7 @@ class ClipIndex {
   size_t num_nodes_ = 0;
   size_t num_points_ = 0;
   ClipAgingPolicy aging_{};
+  MutateHook mutate_hook_;
   /// Get() calls served while not compact; relaxed — the count steers a
   /// heuristic, exactness doesn't matter under concurrent readers.
   mutable std::atomic<uint64_t> lookups_{0};

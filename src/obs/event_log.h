@@ -22,6 +22,7 @@ enum class EventKind : uint8_t {
   kRecoveryReplay,  // WAL redo replayed pages at open (aux = page count)
   kChecksumReject,  // a read frame failed checksum/structural verification
   kWriteFailure,    // a dirty frame's write-back failed (data at risk)
+  kSnapshotPublish,  // the writer published an epoch (aux = epoch id)
 };
 
 inline const char* EventKindName(EventKind k) {
@@ -31,6 +32,7 @@ inline const char* EventKindName(EventKind k) {
     case EventKind::kRecoveryReplay: return "recovery-replay";
     case EventKind::kChecksumReject: return "checksum-reject";
     case EventKind::kWriteFailure: return "write-failure";
+    case EventKind::kSnapshotPublish: return "snapshot-publish";
   }
   return "?";
 }

@@ -13,7 +13,8 @@
 //    BufferPool, and every physical transfer is counted
 //    (IoStats::page_reads/page_writes).
 //
-//  * OpenWrite(): read-write — Insert/Delete/UpdateClips mutate pinned
+//  * Open() with OpenOptions::mode = kReadWrite — Insert/Delete/
+//    UpdateClips mutate pinned
 //    frames in place. The caller supplies an empty tree of the file's
 //    variant; it is restored as a memory mirror whose node ids equal file
 //    page indexes (store observer + free-page-map id source), runs the
@@ -28,8 +29,8 @@
 //    file never grows while free pages exist. Every modified page's
 //    post-image goes to the write-ahead log before the frame can reach the
 //    file (storage/wal.h), one commit record per operation, fsync every
-//    `commit_every` operations; both Open and OpenWrite run WAL redo
-//    first, so a crash at any point recovers to the last durable commit.
+//    `commit_every` operations; both modes run WAL redo first, so a
+//    crash at any point recovers to the last durable commit.
 //
 // Query results, visit order, and logical access counts are identical to
 // the in-memory RTree running the same tree (parity-tested).
@@ -42,9 +43,16 @@
 // through caller-owned IoStats (per-thread, summed by the batch layer),
 // so counters stay exact without a shared hot counter. Each concurrent
 // caller must own its TraversalScratch. The write path stays
-// single-writer: updates must not run concurrently with each other or
-// with queries (the WAL latches internally, but the memory mirror and the
-// clip overlay do not).
+// single-writer, and *unpinned* (latest-epoch) queries still must not
+// overlap it — the memory mirror and the live clip table are
+// unsynchronized. Queries on a pinned Snapshot (PinSnapshot) MAY run
+// concurrently with the writer: they read only epoch-frozen state (the
+// snapshot's EpochTreeView plus the pre-image chain in rtree/epoch.h)
+// and copy frame bytes out under the pool's shard latches, so 4 reader
+// threads against a committing writer is a supported, TSan-clean
+// configuration. A pinned snapshot observes exactly the tree as of its
+// epoch's publish point (a group-commit boundary, Commit(), or
+// Checkpoint()) — never a mid-window or uncommitted state.
 #ifndef CLIPBB_RTREE_PAGED_RTREE_H_
 #define CLIPBB_RTREE_PAGED_RTREE_H_
 
@@ -69,6 +77,7 @@
 #include "core/mindist.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "rtree/epoch.h"
 #include "rtree/knn.h"
 #include "rtree/page_format.h"
 #include "rtree/query_batch.h"
@@ -103,6 +112,13 @@ template <int D>
 class PagedRTree {
  public:
   using RectT = geom::Rect<D>;
+  using SnapshotT = Snapshot<D>;
+
+  /// Access mode of an open (OpenOptions::mode).
+  enum class OpenMode : uint8_t {
+    kReadOnly,   ///< queries only; the file opens O_RDONLY
+    kReadWrite,  ///< arms the write path (requires a variant mirror)
+  };
 
   struct OpenOptions {
     /// Buffer-pool frames; 0 derives max(16, section pages / 10) — the
@@ -117,6 +133,9 @@ class PagedRTree {
     /// operation durable on return; larger values batch commits and a
     /// crash loses at most the unsynced suffix.
     size_t commit_every = 1;
+    /// Read-only (the default) or read-write; kReadWrite requires the
+    /// `variant` argument of Open().
+    OpenMode mode = OpenMode::kReadOnly;
   };
 
   PagedRTree() = default;
@@ -125,18 +144,47 @@ class PagedRTree {
   PagedRTree(const PagedRTree&) = delete;
   PagedRTree& operator=(const PagedRTree&) = delete;
 
-  /// Opens a file written by SerializeTree / WritePagedTree read-only.
-  /// Any sidecar WAL is redone INTO MEMORY first (a crashed writer's
-  /// file opens to its last durable commit): the committed page images
-  /// build an overlay the buffer pool consults on miss, and neither the
-  /// page file nor the log is written — the file is opened O_RDONLY, so
-  /// a reader can never clobber a live writer's pages or truncate the
-  /// log that is that writer's only durable copy (redo is idempotent;
-  /// the next open just rebuilds the overlay). Then one sequential scan
-  /// loads the clip table (when the tree is clipped) and the root's MBB;
-  /// node pages stay on disk. Physical-read counters start at zero
-  /// afterwards.
-  bool Open(const std::string& path, const OpenOptions& opts = {}) {
+  /// Opens a file written by SerializeTree / WritePagedTree, in the mode
+  /// `opts.mode` selects.
+  ///
+  /// kReadOnly (the default; `variant` must be null): any sidecar WAL is
+  /// redone INTO MEMORY first (a crashed writer's file opens to its last
+  /// durable commit): the committed page images build an overlay the
+  /// buffer pool consults on miss, and neither the page file nor the log
+  /// is written — the file is opened O_RDONLY, so a reader can never
+  /// clobber a live writer's pages or truncate the log that is that
+  /// writer's only durable copy (redo is idempotent; the next open just
+  /// rebuilds the overlay). Then one sequential scan loads the clip table
+  /// (when the tree is clipped) and the root's MBB; node pages stay on
+  /// disk. Physical-read counters start at zero afterwards.
+  ///
+  /// kReadWrite: `variant` must be an empty tree of the file's variant
+  /// (it supplies ChooseSubtree/Split behaviour and becomes the memory
+  /// mirror; its previous contents are discarded). Replays the WAL,
+  /// restores the mirror at file page indexes, and arms the write path.
+  /// Queries work exactly as in read-only mode.
+  bool Open(const std::string& path, const OpenOptions& opts = {},
+            std::unique_ptr<RTree<D>> variant = nullptr) {
+    if (opts.mode == OpenMode::kReadWrite) {
+      return OpenWriteImpl(path, std::move(variant), opts);
+    }
+    if (variant != nullptr) return false;  // a mirror implies write intent
+    return OpenReadImpl(path, opts);
+  }
+
+  /// One-PR migration shim for the pre-unification write-mode open.
+  [[deprecated(
+      "pass OpenOptions::mode = OpenMode::kReadWrite to Open(path, opts, "
+      "variant) (rtree/paged_rtree.h)")]]
+  bool OpenWrite(const std::string& path, std::unique_ptr<RTree<D>> variant,
+                 const OpenOptions& opts = {}) {
+    OpenOptions o = opts;
+    o.mode = OpenMode::kReadWrite;
+    return Open(path, o, std::move(variant));
+  }
+
+ private:
+  bool OpenReadImpl(const std::string& path, const OpenOptions& opts) {
     Close();
     if (!OpenAndRecover(path, /*writable=*/false)) return false;
     std::vector<std::byte> page(sb_.file_page_size);
@@ -150,13 +198,9 @@ class PagedRTree {
     return true;
   }
 
-  /// Opens a file read-write. `variant` must be an empty tree of the
-  /// file's variant (it supplies ChooseSubtree/Split behaviour and becomes
-  /// the memory mirror; its previous contents are discarded). Replays the
-  /// WAL, restores the mirror at file page indexes, and arms the write
-  /// path. Queries work exactly as in read-only mode.
-  bool OpenWrite(const std::string& path, std::unique_ptr<RTree<D>> variant,
-                 const OpenOptions& opts = {}) {
+  bool OpenWriteImpl(const std::string& path,
+                     std::unique_ptr<RTree<D>> variant,
+                     const OpenOptions& opts) {
     Close();
     if (variant == nullptr) return false;
     if (!OpenAndRecover(path, /*writable=*/true)) return false;
@@ -237,8 +281,28 @@ class PagedRTree {
     op_seq_ = std::max(sb_.last_op_seq, recovery_.last_op_seq);
     height_ = tree_->Height();
     bounds_ = tree_->bounds();
+    // Arm the epoch machinery: snapshot readers resolve clip runs through
+    // the manager (the live mirror index is unsynchronized), so seed its
+    // stable base table from the restored state, and install the
+    // pre-mutation hook that captures first-touch clip pre-images.
+    {
+      typename EpochManager<D>::ClipMap base;
+      clips_->ForEach(
+          [&](core::NodeId nid, std::span<const core::ClipPoint<D>> run) {
+            base.emplace(nid, typename EpochManager<D>::ClipRun(run.begin(),
+                                                                run.end()));
+          });
+      epochs_->SeedBaseClips(std::move(base));
+      tree_->mutable_clip_index().SetMutateHook(
+          [this](core::NodeId nid,
+                 std::span<const core::ClipPoint<D>> old_run) {
+            OnClipMutate(nid, old_run);
+          });
+    }
     return true;
   }
+
+ public:
 
   /// Closes the tree. A healthy writer checkpoints (flush + fsync + WAL
   /// truncate); a poisoned one (io_error(), e.g. a staging failure)
@@ -276,6 +340,7 @@ class PagedRTree {
     if (tree_) {
       tree_->SetStoreObserver(nullptr);
       tree_->SetStoreIdSource(nullptr);
+      tree_->mutable_clip_index().SetMutateHook(nullptr);
       tree_.reset();
     }
     hooks_.reset();
@@ -284,6 +349,12 @@ class PagedRTree {
     spill_of_.clear();
     redo_overlay_.clear();
     update_io_.Reset();
+    // Outstanding Snapshot handles keep the manager alive through their
+    // shared_ptr — destruction after Close stays safe; queries on them do
+    // not (the pool and file are gone).
+    epochs_.reset();
+    win_captured_.clear();
+    win_clip_captured_.clear();
     open_ = false;
     write_mode_ = false;
     // io_error_ deliberately survives Close (reset by the next open).
@@ -326,10 +397,35 @@ class PagedRTree {
   /// traffic, write-backs; see IoStats).
   const storage::IoStats& update_io() const { return update_io_; }
 
+  // ----------------------------------------------------------- snapshots
+
+  /// Pins the latest published epoch and returns the RAII handle. Pass it
+  /// to the query entry points (RangeQuery/Knn/TraverseWindowEmit, or the
+  /// facade's Execute/ExecuteBatch) to read exactly that epoch's committed
+  /// state while the writer keeps committing — see the thread-safety
+  /// contract in the header comment. Pinning retains the pre-image deltas
+  /// of every later epoch until the handle drops; an unused snapshot
+  /// costs nothing on the unpinned query path.
+  SnapshotT PinSnapshot() {
+    assert(open_);
+    return SnapshotT(epochs_, epochs_->Pin());
+  }
+
+  /// Epoch of the most recent publish (0 until the first commit-boundary
+  /// publish of this open).
+  uint64_t current_epoch() const {
+    return epochs_ ? epochs_->published_epoch() : 0;
+  }
+
+  /// Epoch-chain counters (published/reclaimed/pinned/retained bytes).
+  storage::EpochStats EpochChainStats() const {
+    return epochs_ ? epochs_->Stats() : storage::EpochStats{};
+  }
+
   /// Publishes the storage layer's counters and latency distributions —
-  /// buffer pool, WAL, and the last open's recovery result — into
-  /// `registry` (idempotent Set/overwrite semantics; callable on a live
-  /// tree).
+  /// buffer pool, WAL, epoch chain, and the last open's recovery result —
+  /// into `registry` (idempotent Set/overwrite semantics; callable on a
+  /// live tree).
   void PublishMetrics(obs::MetricsRegistry& registry) const {
     pool_->PublishMetrics(registry);
     wal_.PublishMetrics(registry);
@@ -337,6 +433,22 @@ class PagedRTree {
                       recovery_.pages_replayed);
     registry.SetGauge("recovery_tail_discarded_bytes",
                       recovery_.tail_discarded);
+    if (epochs_) {
+      const storage::EpochStats es = epochs_->Stats();
+      registry.SetGauge("epoch_published", es.published_epoch);
+      registry.SetCounter("epochs_published_total", es.epochs_published);
+      registry.SetCounter("epochs_reclaimed_total", es.epochs_reclaimed);
+      registry.SetGauge("epoch_live_deltas", es.live_deltas);
+      registry.SetGauge("epoch_pinned_snapshots", es.pinned_snapshots);
+      registry.SetGauge("epoch_oldest_pinned_age", es.oldest_pinned_age);
+      registry.SetGauge("epoch_retained_bytes", es.retained_bytes);
+      registry.SetCounter("epoch_pages_captured_total", es.pages_captured);
+      registry.SetCounter("epoch_clip_runs_captured_total",
+                          es.clip_runs_captured);
+      registry.SetCounter(
+          "epoch_capture_file_reads_total",
+          capture_reads_.load(std::memory_order_relaxed));
+    }
   }
 
   // ---------------------------------------------------------------- update
@@ -395,16 +507,21 @@ class PagedRTree {
     if (!write_mode_ || !open_) return false;
     if (io_error_.load(std::memory_order_relaxed)) return false;
     if (!wal_.Sync()) return false;
+    PublishEpoch();  // everything synced is committed — expose it
     if (!pool_->FlushAll()) return false;
     if (!file_.Sync()) return false;
     return wal_.Truncate();
   }
 
-  /// Forces the commit boundary early (group commit flush).
+  /// Forces the commit boundary early (group commit flush). On success
+  /// this is also an epoch publish point: the synced state becomes
+  /// pinnable by new snapshots.
   bool Commit() {
     if (!write_mode_) return false;
     ops_since_sync_ = 0;
-    return wal_.Sync();
+    const bool ok = wal_.Sync();
+    if (ok && !io_error()) PublishEpoch();
+    return ok;
   }
 
   // --------------------------------------------------------------- queries
@@ -416,58 +533,112 @@ class PagedRTree {
   size_t RangeQuery(const RectT& q, std::vector<ObjectId>* out = nullptr,
                     storage::IoStats* io = nullptr,
                     TraversalScratch* scratch = nullptr,
-                    storage::Status* status = nullptr) {
+                    storage::Status* status = nullptr,
+                    const SnapshotT* snap = nullptr) {
     if (out) {
       return TraverseWindowEmit<false>(
           q, MatchAllPred{}, [out](ObjectId id) { out->push_back(id); }, io,
-          scratch, status);
+          scratch, status, snap);
     }
     return TraverseWindowEmit<false>(q, MatchAllPred{}, [](ObjectId) {}, io,
-                                     scratch, status);
+                                     scratch, status, snap);
   }
 
-  /// Shared window traversal of the disk-resident engine — the paged twin
-  /// of RTree::TraverseWindowEmit, decoding pool-pinned pages. Visits leaf
-  /// entries intersecting `window` (the on-page SoA IntersectsAll kernel
-  /// runs zero-copy on the pinned frame bytes) and keeps those satisfying
-  /// `pred`; `emit(ObjectId)` fires once per result in visit order. Node
-  /// visit order, results, and logical I/O counts are identical to the
-  /// in-memory tree running the same query (`PredImpliesIntersect` is
-  /// accepted for interface symmetry; the paged path always has the
-  /// bitmask in hand). Point / containment / enclosure predicates run
-  /// through here via the unified query API (rtree/query_api.h).
-  ///
-  /// Failure semantics: a page that cannot be pinned (after the pool's
-  /// bounded retries) or fails validation abandons the traversal, latches
-  /// the sticky io_error_ flag, and — when `status` is given — reports the
-  /// error kind and page, so callers can distinguish a truncated result
-  /// set from a small one per query, not just per engine.
-  template <bool PredImpliesIntersect, typename Pred, typename Emit>
-  size_t TraverseWindowEmit(const RectT& window, Pred&& pred, Emit&& emit,
-                            storage::IoStats* io = nullptr,
-                            TraversalScratch* scratch = nullptr,
-                            storage::Status* status = nullptr) {
+ private:
+  // ---------------------------------------------------- traversal sources
+  // The query bodies below are generic over a *source* that resolves the
+  // tree's shape, node pages, and clip runs. Two implementations:
+  //
+  //  * LatestSource — the unpinned path: reads the live superblock, pins
+  //    frames in the pool, and consults the live clip table. Behaviour
+  //    and counters are byte-identical to the pre-snapshot engine, so an
+  //    unused snapshot facility costs the hot path nothing.
+  //  * SnapshotSource — a pinned epoch: shape comes from the snapshot's
+  //    frozen EpochTreeView; pages resolve through the epoch manager's
+  //    pre-image chain first, and a chain miss copies the live frame out
+  //    under the pool's shard latch and then RE-CHECKS the chain. The
+  //    writer captures a page's pre-image (manager mutex) strictly before
+  //    installing new bytes (shard latch), so a copy that raced an
+  //    install is always caught by the re-check — the reader sees either
+  //    the old bytes or the captured pre-image, never a lost version.
+  //    Nothing stays pinned: chain hits are stable heap buffers (retained
+  //    while the epoch is pinned) and misses land in the caller's buffer.
+
+  struct LatestSource {
+    PagedRTree* t;
+    storage::BufferPool::PinIo* pin_io;
+    int64_t root() const { return t->sb_.root_page; }
+    uint64_t section_pages() const { return t->sb_.num_section_pages; }
+    bool clipped() const { return t->clipping_enabled(); }
+    const std::byte* Acquire(storage::PageId fid, storage::Status* st) {
+      return t->pool_->Pin(fid, pin_io, st);
+    }
+    void Release(storage::PageId fid) {
+      t->pool_->Unpin(fid, false, 0, pin_io);
+    }
+    std::span<const core::ClipPoint<D>> Clips(int64_t node) {
+      return t->clips_->Get(node);
+    }
+  };
+
+  struct SnapshotSource {
+    PagedRTree* t;
+    const SnapshotT* snap;
+    storage::BufferPool::PinIo* pin_io;
+    std::vector<std::byte>* page_buf;  // one file page, caller-owned
+    typename EpochManager<D>::ClipRun clip_buf;
+    int64_t root() const { return snap->view().root_page; }
+    uint64_t section_pages() const { return snap->view().num_section_pages; }
+    bool clipped() const { return snap->view().clipped; }
+    const std::byte* Acquire(storage::PageId fid, storage::Status* st) {
+      EpochManager<D>* m = snap->manager();
+      if (const auto* pre = m->FindPage(snap->epoch(), fid)) {
+        return pre->data();
+      }
+      storage::Status s;
+      if (!t->pool_->ReadPageCopy(fid, page_buf->data(), pin_io, &s)) {
+        if (st) *st = s;
+        return nullptr;
+      }
+      // Copy-then-recheck (see the source comment above): if the copy
+      // raced the writer's install, this lookup finds the pre-image.
+      if (const auto* pre = m->FindPage(snap->epoch(), fid)) {
+        return pre->data();
+      }
+      return page_buf->data();
+    }
+    void Release(storage::PageId) {}
+    std::span<const core::ClipPoint<D>> Clips(int64_t node) {
+      std::span<const core::ClipPoint<D>> out;
+      if (snap->manager()->FindClips(snap->epoch(), node, &out, &clip_buf)) {
+        return out;
+      }
+      return t->clips_->Get(node);  // read-only open: immutable table
+    }
+  };
+
+  /// Window-traversal body, generic over the page/clip source; the public
+  /// TraverseWindowEmit dispatches here (semantics documented there).
+  template <bool PredImpliesIntersect, typename Src, typename Pred,
+            typename Emit>
+  size_t TraverseWindowOver(Src& src, const RectT& window, Pred&& pred,
+                            Emit&& emit, storage::IoStats* io,
+                            TraversalScratch* scratch,
+                            storage::Status* status) {
     constexpr bool kMatchAll =
         std::is_same_v<std::decay_t<Pred>, MatchAllPred>;
-    assert(open_);
-    TraversalScratch local;
-    if (!scratch) {
-      scratch = &local;
-      local.Reserve(height_, sb_.max_entries);
-    }
-    storage::BufferPool::PinIo pin_io;
     auto& stack = scratch->stack;
     stack.clear();
-    stack.push_back(sb_.root_page);
+    stack.push_back(src.root());
     size_t found = 0;
     while (!stack.empty()) {
       const storage::PageId id = stack.back();
       stack.pop_back();
-      storage::Status pin_status;
-      const std::byte* bytes = pool_->Pin(1 + id, &pin_io, &pin_status);
+      storage::Status acq_status;
+      const std::byte* bytes = src.Acquire(1 + id, &acq_status);
       if (!bytes) {  // unreadable page; abandon the traversal
         io_error_.store(true, std::memory_order_relaxed);
-        if (status) *status = pin_status;
+        if (status) *status = acq_status;
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
@@ -477,7 +648,7 @@ class PagedRTree {
           *status = storage::Status{storage::ErrorKind::kCorruptStructure,
                                     1 + id};
         }
-        pool_->Unpin(1 + id, false, 0, &pin_io);
+        src.Release(1 + id);
         break;
       }
       uint64_t* mask = scratch->MaskFor(v.n());
@@ -511,7 +682,7 @@ class PagedRTree {
             m &= m - 1;
             const int64_t child = v.id[i];
             if (child < 0 ||
-                child >= static_cast<int64_t>(sb_.num_section_pages)) {
+                child >= static_cast<int64_t>(src.section_pages())) {
               // Corrupt child pointer; don't follow it.
               io_error_.store(true, std::memory_order_relaxed);
               if (status) {
@@ -520,9 +691,9 @@ class PagedRTree {
               }
               continue;
             }
-            if (clipping_enabled()) {
+            if (src.clipped()) {
               if (io) ++io->clip_accesses;
-              if (core::ClipsPruneQuery<D>(clips_->Get(child), window)) {
+              if (core::ClipsPruneQuery<D>(src.Clips(child), window)) {
                 continue;
               }
             }
@@ -530,7 +701,61 @@ class PagedRTree {
           }
         }
       }
-      pool_->Unpin(1 + id, false, 0, &pin_io);
+      src.Release(1 + id);
+    }
+    return found;
+  }
+
+ public:
+  /// Shared window traversal of the disk-resident engine — the paged twin
+  /// of RTree::TraverseWindowEmit, decoding pool-pinned pages. Visits leaf
+  /// entries intersecting `window` (the on-page SoA IntersectsAll kernel
+  /// runs zero-copy on the pinned frame bytes) and keeps those satisfying
+  /// `pred`; `emit(ObjectId)` fires once per result in visit order. Node
+  /// visit order, results, and logical I/O counts are identical to the
+  /// in-memory tree running the same query (`PredImpliesIntersect` is
+  /// accepted for interface symmetry; the paged path always has the
+  /// bitmask in hand). Point / containment / enclosure predicates run
+  /// through here via the unified query API (rtree/query_api.h).
+  ///
+  /// A valid `snap` (PinSnapshot) runs the traversal against that pinned
+  /// epoch instead of the live tree — safe concurrently with the writer;
+  /// results equal a serialized run against the epoch's committed state.
+  /// Null/invalid `snap` is the latest-epoch path, byte-identical to the
+  /// pre-snapshot engine.
+  ///
+  /// Failure semantics: a page that cannot be pinned (after the pool's
+  /// bounded retries) or fails validation abandons the traversal, latches
+  /// the sticky io_error_ flag, and — when `status` is given — reports the
+  /// error kind and page, so callers can distinguish a truncated result
+  /// set from a small one per query, not just per engine.
+  template <bool PredImpliesIntersect, typename Pred, typename Emit>
+  size_t TraverseWindowEmit(const RectT& window, Pred&& pred, Emit&& emit,
+                            storage::IoStats* io = nullptr,
+                            TraversalScratch* scratch = nullptr,
+                            storage::Status* status = nullptr,
+                            const SnapshotT* snap = nullptr) {
+    assert(open_);
+    const bool pinned = snap != nullptr && snap->valid();
+    TraversalScratch local;
+    if (!scratch) {
+      scratch = &local;
+      local.Reserve(pinned ? snap->view().height : height_,
+                    sb_.max_entries);
+    }
+    storage::BufferPool::PinIo pin_io;
+    size_t found;
+    if (pinned) {
+      scratch->page_buf.resize(sb_.file_page_size);
+      SnapshotSource src{this, snap, &pin_io, &scratch->page_buf};
+      found = TraverseWindowOver<PredImpliesIntersect>(
+          src, window, std::forward<Pred>(pred), std::forward<Emit>(emit),
+          io, scratch, status);
+    } else {
+      LatestSource src{this, &pin_io};
+      found = TraverseWindowOver<PredImpliesIntersect>(
+          src, window, std::forward<Pred>(pred), std::forward<Emit>(emit),
+          io, scratch, status);
     }
     if (io) {
       io->page_reads += pin_io.reads;
@@ -544,25 +769,51 @@ class PagedRTree {
 
   size_t RangeCount(const RectT& q, storage::IoStats* io = nullptr,
                     TraversalScratch* scratch = nullptr,
-                    storage::Status* status = nullptr) {
-    return RangeQuery(q, nullptr, io, scratch, status);
+                    storage::Status* status = nullptr,
+                    const SnapshotT* snap = nullptr) {
+    return RangeQuery(q, nullptr, io, scratch, status, snap);
   }
 
   /// k nearest objects to `q`, ascending squared distance — best-first
   /// traversal identical to rtree/knn.h KnnSearch, decoding pinned pages.
   /// Emits each KnnNeighbor<D> the moment it is popped from the frontier
   /// (no intermediate vector — the sink form both engines share); returns
-  /// the number emitted.
+  /// the number emitted. A valid `snap` runs against that pinned epoch
+  /// (concurrent-writer-safe; see TraverseWindowEmit).
   template <typename Emit>
     requires std::invocable<Emit&, const KnnNeighbor<D>&>
   size_t Knn(const geom::Vec<D>& q, int k, Emit&& emit,
              storage::IoStats* io = nullptr,
-             storage::Status* status = nullptr) {
+             storage::Status* status = nullptr,
+             const SnapshotT* snap = nullptr) {
     assert(open_);
     if (k <= 0) return 0;
-    size_t found = 0;
     storage::BufferPool::PinIo pin_io;
+    size_t found;
+    if (snap != nullptr && snap->valid()) {
+      std::vector<std::byte> page_buf(sb_.file_page_size);
+      SnapshotSource src{this, snap, &pin_io, &page_buf};
+      found = KnnOver(src, q, k, emit, io, status);
+    } else {
+      LatestSource src{this, &pin_io};
+      found = KnnOver(src, q, k, emit, io, status);
+    }
+    if (io) {
+      io->page_reads += pin_io.reads;
+      io->read_retries += pin_io.read_retries;
+      io->page_writes += pin_io.writes;
+      io->wal_syncs += pin_io.wal_syncs;
+      io->pin_miss_ns += pin_io.miss_ns;
+    }
+    return found;
+  }
 
+ private:
+  /// Best-first kNN body, generic over the page/clip source.
+  template <typename Src, typename Emit>
+  size_t KnnOver(Src& src, const geom::Vec<D>& q, int k, Emit&& emit,
+                 storage::IoStats* io, storage::Status* status) {
+    size_t found = 0;
     struct QueueItem {
       double dist2;
       bool is_object;
@@ -572,7 +823,7 @@ class PagedRTree {
     std::priority_queue<QueueItem, std::vector<QueueItem>,
                         std::greater<QueueItem>>
         frontier;
-    frontier.push({0.0, false, sb_.root_page});
+    frontier.push({0.0, false, src.root()});
 
     while (!frontier.empty()) {
       const QueueItem item = frontier.top();
@@ -582,12 +833,11 @@ class PagedRTree {
         if (static_cast<int>(++found) == k) break;
         continue;
       }
-      storage::Status pin_status;
-      const std::byte* bytes =
-          pool_->Pin(1 + item.id, &pin_io, &pin_status);
+      storage::Status acq_status;
+      const std::byte* bytes = src.Acquire(1 + item.id, &acq_status);
       if (!bytes) {
         io_error_.store(true, std::memory_order_relaxed);
-        if (status) *status = pin_status;
+        if (status) *status = acq_status;
         break;
       }
       const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
@@ -597,7 +847,7 @@ class PagedRTree {
           *status = storage::Status{storage::ErrorKind::kCorruptStructure,
                                     1 + item.id};
         }
-        pool_->Unpin(1 + item.id, false, 0, &pin_io);
+        src.Release(1 + item.id);
         break;
       }
       const SoaNodeView<D> s = v.Soa();
@@ -614,7 +864,7 @@ class PagedRTree {
           frontier.push({SoaMinDist2<D>(s, i, q), true, v.id[i]});
         } else {
           if (v.id[i] < 0 ||
-              v.id[i] >= static_cast<int64_t>(sb_.num_section_pages)) {
+              v.id[i] >= static_cast<int64_t>(src.section_pages())) {
             io_error_.store(true, std::memory_order_relaxed);
             if (status) {
               *status = storage::Status{
@@ -623,27 +873,22 @@ class PagedRTree {
             continue;
           }
           double bound;
-          if (clipping_enabled()) {
+          if (src.clipped()) {
             if (io) ++io->clip_accesses;
             bound = core::CbbMinDist2<D>(q, v.EntryRect(i),
-                                         clips_->Get(v.id[i]));
+                                         src.Clips(v.id[i]));
           } else {
             bound = SoaMinDist2<D>(s, i, q);
           }
           frontier.push({bound, false, v.id[i]});
         }
       }
-      pool_->Unpin(1 + item.id, false, 0, &pin_io);
-    }
-    if (io) {
-      io->page_reads += pin_io.reads;
-      io->read_retries += pin_io.read_retries;
-      io->page_writes += pin_io.writes;
-      io->wal_syncs += pin_io.wal_syncs;
-      io->pin_miss_ns += pin_io.miss_ns;
+      src.Release(1 + item.id);
     }
     return found;
   }
+
+ public:
 
   /// k nearest objects to `q`, ascending, as a by-value vector.
   [[deprecated(
@@ -915,6 +1160,15 @@ class PagedRTree {
         });
     file_.ResetCounters();
     io_error_.store(false, std::memory_order_relaxed);
+    // Fresh epoch chain at 0. Read-only mode never publishes: pins get
+    // the open-time view, every chain lookup misses, and queries fall
+    // through to the pool/clip table — pinned == unpinned by design.
+    epochs_ = std::make_shared<EpochManager<D>>(CurrentView());
+    stage_buf_.assign(sb_.file_page_size, std::byte{0});
+    capture_buf_.assign(sb_.file_page_size, std::byte{0});
+    win_captured_.clear();
+    win_clip_captured_.clear();
+    capture_reads_.store(0, std::memory_order_relaxed);
     open_ = true;
   }
 
@@ -965,6 +1219,11 @@ class PagedRTree {
       owner->freed_.erase(id);
     }
     void OnFree(storage::PageId id) override {
+      // Capture before the born_ bookkeeping below: old snapshots may
+      // still reference this page as a node, and its id can be recycled
+      // within this very window (free + realloc in one op leaves no
+      // staging step to capture from).
+      owner->CaptureFreedPage(id);
       owner->dirty_.erase(id);
       owner->born_.erase(id);
       owner->freed_.insert(id);
@@ -997,6 +1256,9 @@ class PagedRTree {
   }
 
   void ReleaseSectionPage(storage::PageId id) {
+    // Only spill pages come through here (shrink-back and owner-death
+    // cleanup) — snapshot readers never read spill pages, so no
+    // pre-image capture is needed.
     if (!free_map_.Free(id)) {
       io_error_.store(true, std::memory_order_relaxed);
       return;
@@ -1067,13 +1329,19 @@ class PagedRTree {
       io_error_.store(true, std::memory_order_relaxed);
       return false;
     }
+    // Refresh the cached shape before a possible publish below — the
+    // published EpochTreeView must describe the state this op committed.
+    height_ = tree_->Height();
+    bounds_ = tree_->bounds();
     if (++ops_since_sync_ >= commit_every_) {
       ops_since_sync_ = 0;
       ok &= wal_.Sync();
+      // Group-commit boundary: everything synced is committed, so the
+      // writer-side publish point is here (never on eviction-forced syncs,
+      // which can run on reader threads mid-window).
+      if (ok) PublishEpoch();
     }
 
-    height_ = tree_->Height();
-    bounds_ = tree_->bounds();
     update_io_.page_reads += stage_io_.reads;
     update_io_.read_retries += stage_io_.read_retries;
     update_io_.page_writes += stage_io_.writes;
@@ -1104,11 +1372,26 @@ class PagedRTree {
                     : std::span<const core::ClipPoint<D>>{};
     std::byte* frame = PinForStage(id);
     if (!frame) return false;
+    const storage::PageId fid = 1 + id;
+    // First touch this window: the pinned frame still holds the page as
+    // of the last publish — capture that pre-image for snapshot readers
+    // before the install replaces it. Pages born this op have no
+    // committed pre-image. (`win_captured_` keys are FILE page ids.)
+    if (epochs_ && !born_.count(id) && win_captured_.insert(fid).second) {
+      epochs_->CapturePage(fid, frame, sb_.file_page_size);
+    }
     const uint64_t lsn = wal_.next_lsn();
-    staged_pins_.emplace_back(1 + id, lsn);
+    staged_pins_.emplace_back(fid, lsn);
+    // Encode into private scratch, log from it, then install into the
+    // pinned frame under the pool's shard latch — a concurrent snapshot
+    // reader copying this frame sees either the old page or the new one,
+    // never a torn mix. (The encoders zero-fill, so the scratch image is
+    // byte-identical to the old in-place encode.)
     const bool inlined =
-        EncodeNodePage<D>(n, clips, frame, sb_.file_page_size, lsn);
-    wal_.AppendPageImage(1 + id, frame, staging_seq_);
+        EncodeNodePage<D>(n, clips, stage_buf_.data(), sb_.file_page_size,
+                          lsn);
+    wal_.AppendPageImage(fid, stage_buf_.data(), staging_seq_);
+    pool_->OverwritePinned(fid, stage_buf_.data());
 
     if (!inlined) {
       auto it = spill_of_.find(id);
@@ -1121,16 +1404,20 @@ class PagedRTree {
         freed_.erase(sp);
         spill_of_[id] = sp;
       }
+      // No pre-image capture: snapshot readers never read spill pages
+      // (clip runs resolve through the epoch manager), and a recycled id
+      // was captured when it was freed.
       std::byte* sframe =
           pool_->PinNew(1 + sp, &stage_io_);  // full overwrite, no read
       if (!sframe) return false;
       const uint64_t slsn = wal_.next_lsn();
       staged_pins_.emplace_back(1 + sp, slsn);
-      if (!EncodeSpillPage<D>(id, clips, sframe, sb_.file_page_size,
-                              slsn)) {
+      if (!EncodeSpillPage<D>(id, clips, stage_buf_.data(),
+                              sb_.file_page_size, slsn)) {
         return false;  // run exceeds a whole page; file page size too small
       }
-      wal_.AppendPageImage(1 + sp, sframe, staging_seq_);
+      wal_.AppendPageImage(1 + sp, stage_buf_.data(), staging_seq_);
+      pool_->OverwritePinned(1 + sp, stage_buf_.data());
     } else {
       auto it = spill_of_.find(id);
       if (it != spill_of_.end()) {  // run shrank back inline
@@ -1144,12 +1431,17 @@ class PagedRTree {
   }
 
   bool StageFreePage(storage::PageId id) {
+    // Pre-image capture happened when the page left the live set
+    // (CaptureFreedPage) — by staging time the id may already be
+    // recycled, so capturing here would be too late.
     std::byte* frame = pool_->PinNew(1 + id, &stage_io_);  // full overwrite
     if (!frame) return false;
     const uint64_t lsn = wal_.next_lsn();
     staged_pins_.emplace_back(1 + id, lsn);
-    EncodeFreePage(frame, sb_.file_page_size, free_map_.NextOf(id), lsn);
-    wal_.AppendPageImage(1 + id, frame, staging_seq_);
+    EncodeFreePage(stage_buf_.data(), sb_.file_page_size,
+                   free_map_.NextOf(id), lsn);
+    wal_.AppendPageImage(1 + id, stage_buf_.data(), staging_seq_);
+    pool_->OverwritePinned(1 + id, stage_buf_.data());
     return true;
   }
 
@@ -1183,6 +1475,80 @@ class PagedRTree {
                 sizeof sb_.checksum);
     wal_.AppendPageImage(0, frame, staging_seq_);
     return true;
+  }
+
+  // ---------------------------------------------------- epoch bookkeeping
+
+  /// The live tree shape as an EpochTreeView (the manager stamps the
+  /// epoch id at publish).
+  EpochTreeView<D> CurrentView() const {
+    EpochTreeView<D> v;
+    v.root_page = sb_.root_page;
+    v.num_section_pages = sb_.num_section_pages;
+    v.num_objects = sb_.num_objects;
+    v.height = height_;
+    v.clipped = sb_.clipped != 0;
+    v.bounds = bounds_;
+    return v;
+  }
+
+  /// First-touch pre-image capture of a page leaving the live node set:
+  /// old snapshots' parents may still reference it, and no later staging
+  /// step sees its old bytes (the id may be recycled within this very
+  /// window). Reads the resident frame, else the file (the file copy is
+  /// current — dirty frames only leave the pool via write-back). A failed
+  /// read means the page never reached the file: it was born inside this
+  /// window, so no published epoch references it and skipping is correct.
+  void CaptureFreedPage(storage::PageId id) {
+    if (!epochs_ || born_.count(id)) return;
+    const storage::PageId fid = 1 + id;
+    if (win_captured_.count(fid)) return;
+    bool from_file = false;
+    if (!pool_->ReadForCapture(fid, capture_buf_.data(), &from_file)) {
+      return;
+    }
+    if (from_file) capture_reads_.fetch_add(1, std::memory_order_relaxed);
+    epochs_->CapturePage(fid, capture_buf_.data(), sb_.file_page_size);
+    win_captured_.insert(fid);
+  }
+
+  /// ClipIndex pre-mutation hook (write mode): first touch of a node's
+  /// clip run in this window captures its pre-image into the pending
+  /// epoch. Fires before Set/Erase and once per live entry before Clear,
+  /// so UpdateClips (rebuild = Clear + Sets) captures the whole old table.
+  void OnClipMutate(core::NodeId nid,
+                    std::span<const core::ClipPoint<D>> old_run) {
+    if (!epochs_) return;
+    if (!win_clip_captured_.insert(nid).second) return;
+    epochs_->CaptureClips(nid, old_run);
+  }
+
+  /// Folds the window's captures into a published epoch (commit
+  /// boundaries only — everything staged so far is durable). Hands the
+  /// manager the post-state clip runs of every node whose clips changed,
+  /// so its base table advances in step with the live index; then opens a
+  /// fresh capture window. An empty window refreshes the published view
+  /// without minting an epoch (and without an event).
+  void PublishEpoch() {
+    if (!epochs_) return;
+    std::vector<std::pair<core::NodeId, typename EpochManager<D>::ClipRun>>
+        base_updates;
+    base_updates.reserve(win_clip_captured_.size());
+    for (core::NodeId nid : win_clip_captured_) {
+      const std::span<const core::ClipPoint<D>> run = clips_->Get(nid);
+      base_updates.emplace_back(
+          nid, typename EpochManager<D>::ClipRun(run.begin(), run.end()));
+    }
+    const uint64_t before = epochs_->published_epoch();
+    const uint64_t e =
+        epochs_->Publish(CurrentView(), std::move(base_updates));
+    win_captured_.clear();
+    win_clip_captured_.clear();
+    if (e != before) {
+      obs::EventLog::Global().Record(obs::EventKind::kSnapshotPublish,
+                                     /*page=*/-1, /*shard=*/0,
+                                     "commit-boundary", e);
+    }
   }
 
   /// True when the page is a node page whose declared counts fit the
@@ -1239,6 +1605,23 @@ class PagedRTree {
   size_t ops_since_sync_ = 0;
   /// Mid-transaction WAL-buffer flush threshold (see EndOp).
   static constexpr size_t kWalBufferSoftMax = size_t{16} << 20;
+
+  // Epoch / snapshot machinery (rtree/epoch.h). shared_ptr because
+  // Snapshot handles may outlive Close().
+  std::shared_ptr<EpochManager<D>> epochs_;
+  /// Staging scratch: pages are encoded here and installed into the
+  /// pinned frame under the shard latch, so a concurrent snapshot reader
+  /// never sees a frame mid-encode.
+  std::vector<std::byte> stage_buf_;
+  std::vector<std::byte> capture_buf_;  // CaptureFreedPage read target
+  /// File page ids whose pre-image is already in the pending epoch.
+  std::unordered_set<storage::PageId> win_captured_;
+  /// Node ids whose clip-run pre-image is already in the pending epoch.
+  std::unordered_set<core::NodeId> win_clip_captured_;
+  /// Pre-image captures that fell through to a direct file read
+  /// (metrics; atomic only because PublishMetrics is const-callable from
+  /// other threads).
+  std::atomic<uint64_t> capture_reads_{0};
 };
 
 }  // namespace clipbb::rtree

@@ -286,6 +286,55 @@ CallbackSink<D, Fn> MakeCallbackSink(Fn fn) {
   return CallbackSink<D, Fn>(std::move(fn));
 }
 
+// -------------------------------------------------------- EngineSnapshot
+
+/// Type-erased RAII pin on a backend's published epoch — what
+/// SpatialEngine::PinSnapshot returns and Execute/ExecuteBatch accept.
+/// While any copy of the handle lives, the pinned epoch's pre-image
+/// deltas are retained and queries passing it observe exactly that
+/// epoch's committed state, concurrently with a committing writer (see
+/// the consistency model in README). A default-constructed (invalid)
+/// handle means "latest": queries run the ordinary unpinned path.
+///
+/// Copyable (shared pin — copies share one underlying epoch pin) and
+/// cheap to pass; the last copy's destruction unpins. Backends without
+/// snapshot support (the in-memory tree) return an invalid handle and
+/// ignore snapshots at Run, which degrades to latest-state semantics.
+template <int D>
+class EngineSnapshot {
+ public:
+  EngineSnapshot() = default;
+
+  bool valid() const { return handle_ != nullptr; }
+  /// Epoch id the handle pins (0 = nothing published yet / invalid).
+  uint64_t epoch() const { return epoch_; }
+  /// Tree bounds frozen at the pinned epoch (batch scheduling key).
+  const geom::Rect<D>& bounds() const { return bounds_; }
+  /// Tree height frozen at the pinned epoch (scratch sizing).
+  int height() const { return height_; }
+  void Release() { handle_.reset(); }
+
+  /// Backend-internal: wraps a backend-owned pin object. `raw` is handed
+  /// back verbatim to the backend that created it at Run time.
+  static EngineSnapshot Wrap(std::shared_ptr<const void> handle,
+                             uint64_t epoch, const geom::Rect<D>& bounds,
+                             int height) {
+    EngineSnapshot s;
+    s.handle_ = std::move(handle);
+    s.epoch_ = epoch;
+    s.bounds_ = bounds;
+    s.height_ = height;
+    return s;
+  }
+  const void* raw() const { return handle_.get(); }
+
+ private:
+  std::shared_ptr<const void> handle_;
+  uint64_t epoch_ = 0;
+  geom::Rect<D> bounds_ = geom::Rect<D>::Empty();
+  int height_ = 1;
+};
+
 // ---------------------------------------------------------- QueryBackend
 
 /// What SpatialEngine erases: one Run entry point plus the metadata batch
@@ -301,6 +350,11 @@ class QueryBackend {
   virtual int max_entries() const = 0;
   virtual size_t num_objects() const = 0;
   virtual bool clipping_enabled() const = 0;
+  /// Pins the current published epoch. The default (backends without
+  /// multi-version state) returns an invalid handle — queries then always
+  /// read the latest state, which for such backends IS a consistent
+  /// snapshot as long as their documented concurrency contract holds.
+  virtual EngineSnapshot<D> PinSnapshot() const { return {}; }
   /// Runs one spec; delivers to `sink` (null = count only), accumulates
   /// logical and physical I/O into `io`, reuses `scratch` when non-null.
   /// Returns the result count. A backend that can fail mid-query (the
@@ -309,11 +363,14 @@ class QueryBackend {
   /// traversed before the fault. A non-null `probe` asks the backend to
   /// time its refine and sink-delivery phases (sampled tracing); null —
   /// the default, and the batch path's choice for unsampled queries —
-  /// must add no timing work.
+  /// must add no timing work. A non-null valid `snap` (a handle this
+  /// backend's PinSnapshot produced) runs the query against that pinned
+  /// epoch; backends without snapshots ignore it.
   virtual size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
                      storage::IoStats* io, TraversalScratch* scratch,
                      storage::Status* status = nullptr,
-                     obs::QueryProbe* probe = nullptr) const = 0;
+                     obs::QueryProbe* probe = nullptr,
+                     const EngineSnapshot<D>* snap = nullptr) const = 0;
 };
 
 namespace query_internal {
@@ -400,8 +457,12 @@ class MemoryBackend final : public QueryBackend<D> {
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
              storage::IoStats* io, TraversalScratch* scratch,
              storage::Status* /*status*/ = nullptr,
-             obs::QueryProbe* probe = nullptr) const override {
+             obs::QueryProbe* probe = nullptr,
+             const EngineSnapshot<D>* /*snap*/ = nullptr) const override {
     // The in-memory traversal has no failure modes; status is never set.
+    // Snapshots are ignored: the in-memory tree is single-version, and
+    // under its read-path contract (no concurrent writer) the latest
+    // state is the snapshot.
     if (spec.kind == QueryKind::kKnn) {
       return KnnSearch<D>(
           *tree_, spec.point, spec.k,
@@ -454,10 +515,23 @@ class PagedBackend final : public QueryBackend<D> {
     return tree_->clipping_enabled();
   }
 
+  EngineSnapshot<D> PinSnapshot() const override {
+    auto pin = std::make_shared<Snapshot<D>>(tree_->PinSnapshot());
+    const EpochTreeView<D>& v = pin->view();
+    return EngineSnapshot<D>::Wrap(pin, v.epoch, v.bounds, v.height);
+  }
+
   size_t Run(const QuerySpec<D>& spec, ResultSink<D>* sink,
              storage::IoStats* io, TraversalScratch* scratch,
              storage::Status* status = nullptr,
-             obs::QueryProbe* probe = nullptr) const override {
+             obs::QueryProbe* probe = nullptr,
+             const EngineSnapshot<D>* snap = nullptr) const override {
+    // Unwrap the type-erased pin back into the engine's Snapshot (only a
+    // handle this backend minted can reach here for this tree).
+    const Snapshot<D>* pin =
+        (snap != nullptr && snap->valid())
+            ? static_cast<const Snapshot<D>*>(snap->raw())
+            : nullptr;
     if (spec.kind == QueryKind::kKnn) {
       return tree_->Knn(
           spec.point, spec.k,
@@ -471,7 +545,7 @@ class PagedBackend final : public QueryBackend<D> {
               sink->OnNeighbor(n);
             }
           },
-          io, status);
+          io, status, pin);
     }
     auto emit = [sink, probe](ObjectId id) {
       if (sink == nullptr) return;
@@ -487,7 +561,7 @@ class PagedBackend final : public QueryBackend<D> {
         spec,
         [&]<bool kImplies>(auto pred) {
           return tree_->template TraverseWindowEmit<kImplies>(
-              spec.window, pred, emit, io, scratch, status);
+              spec.window, pred, emit, io, scratch, status, pin);
         },
         probe);
   }
@@ -542,11 +616,20 @@ class SpatialEngine {
   size_t NumObjects() const { return deref().num_objects(); }
   bool clipping_enabled() const { return deref().clipping_enabled(); }
 
+  /// Pins the backend's latest published epoch and returns the RAII
+  /// handle. Pass it to Execute/ExecuteBatch to read exactly that
+  /// committed state while a writer keeps committing (paged backend; see
+  /// the README consistency model). Backends without multi-version state
+  /// return an invalid handle — queries then read latest, as always.
+  EngineSnapshot<D> PinSnapshot() const { return deref().PinSnapshot(); }
+
   /// Runs one query. Results stream into `sink` (null = count only, the
   /// fast path that materializes nothing on either backend); logical node
   /// accesses — and, on the paged backend, physical page reads — are
   /// accumulated into `io`. A caller-owned `scratch` makes repeated
-  /// window queries allocation-free. Returns the result count.
+  /// window queries allocation-free. A non-null valid `snap`
+  /// (PinSnapshot) evaluates the query against that pinned epoch instead
+  /// of the latest state. Returns the result count.
   ///
   /// Error semantics (paged backend; the in-memory one cannot fail): an
   /// unrecoverable read fault surfaces twice — `sink->OnError(status)` is
@@ -557,11 +640,13 @@ class SpatialEngine {
   size_t Execute(const QuerySpec<D>& spec, ResultSink<D>* sink = nullptr,
                  storage::IoStats* io = nullptr,
                  TraversalScratch* scratch = nullptr,
-                 storage::Status* status = nullptr) const {
+                 storage::Status* status = nullptr,
+                 const EngineSnapshot<D>* snap = nullptr) const {
     assert(backend_);
     if (metrics_ == nullptr && traces_ == nullptr) {  // pre-obs fast path
       storage::Status local;
-      const size_t n = backend_->Run(spec, sink, io, scratch, &local);
+      const size_t n = backend_->Run(spec, sink, io, scratch, &local,
+                                     /*probe=*/nullptr, snap);
       if (!local.ok() && sink) sink->OnError(local);
       if (status) *status = local;
       return n;
@@ -570,7 +655,7 @@ class SpatialEngine {
     // queries use their input index instead (see BatchOver).
     const uint64_t qi = traces_ != nullptr ? traces_->NextIndex() : 0;
     return TimedRun(spec, sink, io, scratch, status, qi, /*worker=*/0,
-                    metrics_);
+                    metrics_, snap);
   }
 
   /// Runs a batch of specs (any mix of kinds) and reports per-spec result
@@ -586,25 +671,34 @@ class SpatialEngine {
   /// other query's count stays complete and correct, and the join fills
   /// QueryBatchResult::error (first fault seen) and ::failed (all failing
   /// indexes, ascending) so the degradation is explicit.
+  ///
+  /// A non-null valid `snap` runs the WHOLE batch against that pinned
+  /// epoch: scheduling keys on the snapshot's frozen bounds and every
+  /// worker traverses the pinned state, so the batch is internally
+  /// consistent even under a concurrently committing writer.
   QueryBatchResult ExecuteBatch(std::span<const QuerySpec<D>> specs,
-                                const QueryBatchOptions& opts = {}) const {
+                                const QueryBatchOptions& opts = {},
+                                const EngineSnapshot<D>* snap =
+                                    nullptr) const {
     return BatchOver(specs.size(),
                      [&](size_t i) -> const QuerySpec<D>& {
                        return specs[i];
                      },
-                     opts);
+                     opts, snap);
   }
 
   /// Rect-batch convenience: every window as an intersects count. Builds
   /// each spec on the fly (no materialized spec vector — this overload
   /// sits inside bench timing loops).
   QueryBatchResult ExecuteBatch(std::span<const geom::Rect<D>> windows,
-                                const QueryBatchOptions& opts = {}) const {
+                                const QueryBatchOptions& opts = {},
+                                const EngineSnapshot<D>* snap =
+                                    nullptr) const {
     return BatchOver(windows.size(),
                      [&](size_t i) {
                        return QuerySpec<D>::Intersects(windows[i]);
                      },
-                     opts);
+                     opts, snap);
   }
 
  private:
@@ -621,7 +715,8 @@ class SpatialEngine {
   size_t TimedRun(const QuerySpec<D>& spec, ResultSink<D>* sink,
                   storage::IoStats* io, TraversalScratch* scratch,
                   storage::Status* status, uint64_t query_index,
-                  uint32_t worker, EngineMetrics* em) const {
+                  uint32_t worker, EngineMetrics* em,
+                  const EngineSnapshot<D>* snap = nullptr) const {
     const bool sampled =
         traces_ != nullptr && traces_->Sampled(query_index);
     storage::IoStats local_io;  // trace deltas need an IoStats to diff
@@ -633,7 +728,7 @@ class SpatialEngine {
     storage::Status local;
     const uint64_t t0 = obs::NowNs();
     const size_t n = backend_->Run(spec, sink, eff_io, scratch, &local,
-                                   sampled ? &probe : nullptr);
+                                   sampled ? &probe : nullptr, snap);
     const uint64_t dur = obs::NowNs() - t0;
     if (!local.ok() && sink) sink->OnError(local);
     if (status) *status = local;
@@ -664,11 +759,14 @@ class SpatialEngine {
   /// worker fan-out, per-worker scratch + IoStats summed at the join.
   template <typename SpecAt>
   QueryBatchResult BatchOver(size_t n, SpecAt&& spec_at,
-                             const QueryBatchOptions& opts) const {
+                             const QueryBatchOptions& opts,
+                             const EngineSnapshot<D>* snap =
+                                 nullptr) const {
     assert(backend_);
     QueryBatchResult result;
     result.counts.assign(n, 0);
     if (n == 0) return result;
+    const bool pinned = snap != nullptr && snap->valid();
 
     // Observability is per-batch opt-in: a detached engine takes the
     // original worker body with zero clock reads. Batch queries are
@@ -679,9 +777,12 @@ class SpatialEngine {
 
     std::vector<uint32_t> order;
     if (opts.hilbert_order) {
-      order = HilbertOrderBy<D>(bounds(), n, [&](size_t i) {
-        return spec_at(i).window.Center();
-      });
+      // Pinned batches schedule on the snapshot's frozen bounds — the
+      // live bounds belong to the writer and may be mid-update.
+      order = HilbertOrderBy<D>(pinned ? snap->bounds() : bounds(), n,
+                                [&](size_t i) {
+                                  return spec_at(i).window.Center();
+                                });
     } else {
       order.resize(n);
       std::iota(order.begin(), order.end(), 0u);
@@ -690,7 +791,9 @@ class SpatialEngine {
     const unsigned threads = ResolveBatchThreads(opts.threads, n);
 
     std::vector<TraversalScratch> scratch(threads);
-    for (auto& s : scratch) s.Reserve(Height(), max_entries());
+    for (auto& s : scratch) {
+      s.Reserve(pinned ? snap->height() : Height(), max_entries());
+    }
     std::vector<storage::IoStats> per_thread(threads);
     // Per-worker failure records, merged once at the join (same exactness
     // pattern as the IoStats): a fault in one worker's chunk never
@@ -706,11 +809,12 @@ class SpatialEngine {
       if (observed) {
         result.counts[qi] = TimedRun(
             spec_at(qi), /*sink=*/nullptr, &per_thread[t], &scratch[t],
-            &st, qi, t, per_metrics.empty() ? nullptr : &per_metrics[t]);
+            &st, qi, t, per_metrics.empty() ? nullptr : &per_metrics[t],
+            snap);
       } else {
         result.counts[qi] = backend_->Run(spec_at(qi), /*sink=*/nullptr,
                                           &per_thread[t], &scratch[t],
-                                          &st);
+                                          &st, /*probe=*/nullptr, snap);
       }
       if (!st.ok()) {
         if (first_error[t].ok()) first_error[t] = st;

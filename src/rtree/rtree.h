@@ -282,6 +282,11 @@ class RTree {
 
   bool clipping_enabled() const { return clipping_; }
   const core::ClipIndex<D>& clip_index() const { return clip_index_; }
+  /// Mutable access for owners that instrument the index (the paged
+  /// engine installs its epoch pre-image hook here; see
+  /// ClipIndex::SetMutateHook). Not for bypassing the tree's own clip
+  /// maintenance.
+  core::ClipIndex<D>& mutable_clip_index() { return clip_index_; }
 
   /// Overrides the clip-arena aging policy ({} disables automatic
   /// compaction; see kDefaultClipAging for the default).

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -160,6 +161,9 @@ struct TraversalScratch {
   std::vector<storage::PageId> stack;
   std::vector<uint64_t> mask;
   std::vector<uint8_t> flags;
+  /// Page copy-out target of snapshot-pinned paged traversals (sized
+  /// lazily to one file page; unused — and empty — on every other path).
+  std::vector<std::byte> page_buf;
 
   /// Ensures capacity for a tree of the given height and fanout.
   void Reserve(int height, int max_entries) {

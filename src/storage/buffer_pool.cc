@@ -321,6 +321,93 @@ void BufferPool::Unpin(PageId id, bool dirty, uint64_t lsn, PinIo* io) {
   }
 }
 
+void BufferPool::OverwritePinned(PageId id, const std::byte* src) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  assert(it != s.map.end() && it->second.pins > 0 && it->second.loaded);
+  if (it == s.map.end() || !it->second.data) return;
+  std::memcpy(it->second.data.get(), src, file_->page_size());
+}
+
+bool BufferPool::ReadPageCopy(PageId id, std::byte* dst, PinIo* io,
+                              Status* status) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  const uint64_t t0 = obs::NowNs();
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it != s.map.end() && it->second.loaded) {
+    ++s.hits;
+    if (it->second.in_lru) MoveToFront(s, id, it->second);
+    std::memcpy(dst, it->second.data.get(), file_->page_size());
+    s.pin_hit_ns.Record(obs::NowNs() - t0);
+    return true;
+  }
+  if (s.quarantined.contains(id)) {
+    if (status) *status = Status{ErrorKind::kQuarantined, id};
+    return false;
+  }
+  ++s.misses;
+  if (io) ++io->reads;
+  if (it == s.map.end()) {
+    if (s.capacity > 0 && s.map.size() >= s.capacity) EvictOne(s, io);
+    it = s.map.try_emplace(id).first;
+    NoteGrowth(s);
+  }
+  Frame& f = it->second;
+  if (!f.data) f.data.reset(new std::byte[file_->page_size()]);
+  Status load_status;
+  if (!LoadFrame(s, id, f.data.get(), io, &load_status)) {
+    s.map.erase(it);
+    if (load_status.kind != ErrorKind::kEof) {
+      s.quarantined.insert(id);
+      obs::EventLog::Global().Record(obs::EventKind::kQuarantine, id,
+                                     ShardIndexOf(shards_.size(), id),
+                                     ErrorKindName(load_status.kind));
+    }
+    const uint64_t dt = obs::NowNs() - t0;
+    s.pin_miss_ns.Record(dt);
+    if (io) io->miss_ns += dt;
+    if (status) *status = load_status;
+    return false;
+  }
+  f.loaded = true;
+  f.dirty = false;
+  f.lsn = 0;
+  std::memcpy(dst, f.data.get(), file_->page_size());
+  MoveToFront(s, id, f);  // enters the LRU unpinned
+  const uint64_t dt = obs::NowNs() - t0;
+  s.pin_miss_ns.Record(dt);
+  if (io) io->miss_ns += dt;
+  return true;
+}
+
+bool BufferPool::ReadForCapture(PageId id, std::byte* dst, bool* from_file) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it != s.map.end() && it->second.loaded) {
+    std::memcpy(dst, it->second.data.get(), file_->page_size());
+    if (from_file) *from_file = false;
+    return true;
+  }
+  if (from_file) *from_file = true;
+  if (overlay_ != nullptr) {
+    auto oit = overlay_->find(id);
+    if (oit != overlay_->end()) {
+      std::memcpy(dst, oit->second.data(), file_->page_size());
+      if (from_file) *from_file = false;
+      return true;
+    }
+  }
+  // Not resident: the file copy is current (dirty frames only leave the
+  // pool via write-back), so a direct read is exact.
+  return file_->ReadPage(id, dst);
+}
+
 bool BufferPool::WriteBack(Shard& s, PageId id, Frame& f, PinIo* io) {
   // WAL rule: the record covering these bytes must be durable before the
   // page file sees them; otherwise a crash after this write leaves a page

@@ -150,6 +150,30 @@ class BufferPool {
   void Unpin(PageId id, bool dirty = false, uint64_t lsn = 0,
              PinIo* io = nullptr);
 
+  /// Replaces a pinned frame's contents wholesale (memcpy of one page
+  /// under the shard latch). The write path stages pages by encoding into
+  /// a private scratch buffer and installing here, so concurrent snapshot
+  /// readers copying the frame (ReadPageCopy) can never observe a
+  /// half-encoded page. The caller must hold a pin on `id`.
+  void OverwritePinned(PageId id, const std::byte* src);
+
+  /// Copies a page's current bytes into `dst` (one page) without leaving
+  /// a pin behind: a hit copies the frame under the shard latch; a miss
+  /// loads the frame (counted like a Pin miss, same retry/quarantine
+  /// rules), copies it, and leaves it unpinned in the LRU. The snapshot
+  /// read path uses this — its copy, combined with a post-copy re-check
+  /// of the epoch chain, is what makes pinned traversals race-free
+  /// against OverwritePinned. Content mode only.
+  bool ReadPageCopy(PageId id, std::byte* dst, PinIo* io = nullptr,
+                    Status* status = nullptr);
+
+  /// Peeks a page's current bytes for epoch pre-image capture: copies the
+  /// frame when resident (no hit/miss accounting, no LRU touch),
+  /// otherwise reads the overlay image or the file directly without
+  /// installing a frame. Sets `*from_file` to whether the bytes came from
+  /// a physical read. Returns false on read failure. Content mode only.
+  bool ReadForCapture(PageId id, std::byte* dst, bool* from_file = nullptr);
+
   /// Writes every dirty frame back to the file (WAL first when attached).
   /// Returns false on any write failure (remaining frames still
   /// attempted).

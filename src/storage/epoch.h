@@ -1,0 +1,71 @@
+// Epoch bookkeeping primitives shared by the snapshot machinery.
+//
+// Snapshot isolation in the paged engine is built from *undo* deltas: the
+// writer keeps the base state (buffer pool + page file) current and, the
+// first time a committed page or clip run is overwritten inside a commit
+// window, captures its pre-image into the window's pending delta. At each
+// group-commit boundary the pending delta is published as a new epoch. A
+// reader pinned at epoch E resolves a page by scanning published deltas
+// oldest-first for the first delta with epoch > E that contains it — a miss
+// means the page is unmodified since E and the base copy is correct.
+//
+// These helpers are dimension-agnostic; the templated delta chain itself
+// lives in rtree/epoch.h (clip runs are D-dimensional).
+
+#ifndef CLIPBB_STORAGE_EPOCH_H_
+#define CLIPBB_STORAGE_EPOCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace clipbb::storage {
+
+/// Point-in-time counters describing the epoch chain; exported as gauges
+/// and counters by `PagedRTree::PublishMetrics` and surfaced through
+/// `clipbb_cli pquery --stats`.
+struct EpochStats {
+  uint64_t published_epoch = 0;   ///< Most recently published epoch id.
+  uint64_t epochs_published = 0;  ///< Total non-empty publishes.
+  uint64_t epochs_reclaimed = 0;  ///< Deltas freed after readers drained.
+  uint64_t live_deltas = 0;       ///< Published deltas currently retained.
+  uint64_t pinned_snapshots = 0;  ///< Outstanding Snapshot handles.
+  uint64_t oldest_pinned_age = 0;  ///< published_epoch - oldest pinned epoch.
+  uint64_t retained_bytes = 0;     ///< Heap bytes held by live deltas.
+  uint64_t pages_captured = 0;     ///< Page pre-images taken (lifetime).
+  uint64_t clip_runs_captured = 0;  ///< Clip-run pre-images taken (lifetime).
+};
+
+/// Refcounts of pinned epochs, ordered so the oldest pin is O(1) to find.
+/// Not internally synchronized — the owner (EpochManager) guards it with
+/// its own mutex.
+class EpochPinTable {
+ public:
+  void Pin(uint64_t epoch) {
+    ++pins_[epoch];
+    ++handles_;
+  }
+
+  void Unpin(uint64_t epoch) {
+    auto it = pins_.find(epoch);
+    if (it == pins_.end()) return;  // double-unpin is a no-op
+    if (--it->second == 0) pins_.erase(it);
+    --handles_;
+  }
+
+  /// Oldest epoch any reader still pins, or `otherwise` when none are.
+  uint64_t MinPinned(uint64_t otherwise) const {
+    return pins_.empty() ? otherwise : pins_.begin()->first;
+  }
+
+  bool empty() const { return pins_.empty(); }
+  size_t handles() const { return handles_; }
+
+ private:
+  std::map<uint64_t, uint32_t> pins_;  // epoch -> outstanding pins
+  size_t handles_ = 0;
+};
+
+}  // namespace clipbb::storage
+
+#endif  // CLIPBB_STORAGE_EPOCH_H_

@@ -173,6 +173,7 @@ uint64_t Wal::AppendCommit(uint64_t op_seq) {
   buffered_lsn_ = h.lsn;
   ++stats_.appends;
   stats_.bytes += sizeof h;
+  ++stats_.commits;
   ++records_since_sync_;
   metrics_.append_ns.Record(obs::NowNs() - t0);
   return h.lsn;
@@ -210,6 +211,7 @@ void Wal::PublishMetrics(obs::MetricsRegistry& registry) const {
   registry.SetCounter("wal_appends_total", stats.appends);
   registry.SetCounter("wal_bytes_total", stats.bytes);
   registry.SetCounter("wal_syncs_total", stats.syncs);
+  registry.SetCounter("wal_commits_total", stats.commits);
   registry.SetGauge("wal_durable_lsn", durable_lsn());
   registry.SetHistogram("wal_append_ns", m.append_ns);
   registry.SetHistogram("wal_sync_ns", m.sync_ns);

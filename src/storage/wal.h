@@ -61,6 +61,7 @@ struct WalStats {
   uint64_t appends = 0;   // records appended (images + commits)
   uint64_t bytes = 0;     // bytes appended
   uint64_t syncs = 0;     // commit-boundary fsyncs
+  uint64_t commits = 0;   // commit records (one per completed operation)
 };
 
 /// Latency and group-commit distributions, recorded under the WAL latch
@@ -126,7 +127,12 @@ class Wal {
   /// synced). The LSN counter keeps running.
   bool Truncate();
 
-  const WalStats& stats() const { return stats_; }
+  /// Point-in-time copy: eviction-forced Syncs bump the counters from
+  /// reader threads, so the caller gets a consistent value, not a ref.
+  WalStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// Point-in-time copy of the latency/group-commit distributions (taken
   /// under the latch, so the copy is internally consistent).

@@ -133,9 +133,11 @@ TEST(FreePageMap, SuperblockRoundTripThroughReopen) {
   uint64_t section_pages = 0;
   {
     PagedRTree<2> paged;
+    PagedRTree<2>::OpenOptions wopts;
+    wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
     ASSERT_TRUE(
-        paged.OpenWrite(file.path, MakeRTree<2>(Variant::kGuttman,
-                                                Domain<2>())));
+        paged.Open(file.path, wopts, MakeRTree<2>(Variant::kGuttman,
+                                                  Domain<2>())));
     EXPECT_EQ(paged.free_map().FreeCount(), 0u);
     // Delete a slice dense enough to dissolve nodes.
     for (int i = 0; i < 900; ++i) {
@@ -151,9 +153,11 @@ TEST(FreePageMap, SuperblockRoundTripThroughReopen) {
   }
   {
     PagedRTree<2> paged;
+    PagedRTree<2>::OpenOptions wopts;
+    wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
     ASSERT_TRUE(
-        paged.OpenWrite(file.path, MakeRTree<2>(Variant::kGuttman,
-                                                Domain<2>())));
+        paged.Open(file.path, wopts, MakeRTree<2>(Variant::kGuttman,
+                                                  Domain<2>())));
     EXPECT_EQ(paged.free_map().ChainFromHead(), chain);
     EXPECT_EQ(paged.free_map().SectionPages(), section_pages);
     EXPECT_EQ(paged.superblock().free_head, chain.front());
@@ -177,10 +181,10 @@ TEST(FreePageMap, FileNeverGrowsWhileFreePagesExist) {
 
   PagedRTree<2> paged;
   PagedRTree<2>::OpenOptions wopts;
+  wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
   wopts.commit_every = 64;
-  ASSERT_TRUE(paged.OpenWrite(file.path,
-                              MakeRTree<2>(Variant::kRStar, Domain<2>()),
-                              wopts));
+  ASSERT_TRUE(paged.Open(file.path, wopts,
+                         MakeRTree<2>(Variant::kRStar, Domain<2>())));
   int next_id = 3000;
   for (int round = 0; round < 3; ++round) {
     for (int i = round * 600; i < round * 600 + 600; ++i) {

@@ -78,8 +78,10 @@ TEST(PagedClose, ExplicitCloseThenDestructorIsIdempotent) {
   Rng rng(78);
   {
     PagedRTree<2> paged;
-    ASSERT_TRUE(paged.OpenWrite(file.path,
-                                MakeRTree<2>(Variant::kHilbert, Domain2())));
+    PagedRTree<2>::OpenOptions wopts;
+    wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
+    ASSERT_TRUE(paged.Open(file.path, wopts,
+                           MakeRTree<2>(Variant::kHilbert, Domain2())));
     for (int i = 0; i < 10; ++i) {
       ASSERT_TRUE(paged.Insert(RandomRect<2>(rng, 0.03), 10000 + i));
     }
@@ -101,8 +103,10 @@ TEST(PagedClose, PoisonedCloseNeverTruncatesWal) {
   WriteSeedTree(file.path);
   Rng rng(79);
   PagedRTree<2> paged;
-  ASSERT_TRUE(paged.OpenWrite(file.path,
-                              MakeRTree<2>(Variant::kHilbert, Domain2())));
+  PagedRTree<2>::OpenOptions wopts;
+  wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
+  ASSERT_TRUE(paged.Open(file.path, wopts,
+                         MakeRTree<2>(Variant::kHilbert, Domain2())));
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(paged.Insert(RandomRect<2>(rng, 0.03), 20000 + i));
   }
@@ -199,8 +203,10 @@ TEST(PagedClose, ReadOnlyOpenRecoversButNeverTouchesWalOrFile) {
   // truncates the replayed log.
   {
     PagedRTree<2> paged;
-    ASSERT_TRUE(paged.OpenWrite(
-        file.path, MakeRTree<2>(Variant::kHilbert, Domain2())));
+    PagedRTree<2>::OpenOptions wopts;
+    wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
+    ASSERT_TRUE(paged.Open(
+        file.path, wopts, MakeRTree<2>(Variant::kHilbert, Domain2())));
     EXPECT_LT(FileSize(WalPathFor(file.path)),
               static_cast<int64_t>(wal_bytes.size()));
     EXPECT_EQ(paged.superblock().lsn, sb.lsn + 7);

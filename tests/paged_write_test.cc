@@ -1,6 +1,7 @@
 // Write-path parity of the read-write PagedRTree against an in-memory
 // tree built from the same operation log, for every variant and D=2/3:
-// after bulk load + serialize + OpenWrite + a deterministic insert/delete
+// after bulk load + serialize + writable Open + a deterministic
+// insert/delete
 // mix, queries must return identical results in identical order with
 // identical logical I/O, the memory mirror must pass full structural
 // validation, and the state must survive close/reopen (read-only and
@@ -145,9 +146,10 @@ void RunWriteParity(Variant variant, bool clipped, int n_items, int n_ops,
 
   auto paged = std::make_unique<PagedRTree<D>>();
   typename PagedRTree<D>::OpenOptions wopts;
+  wopts.mode = PagedRTree<D>::OpenMode::kReadWrite;
   wopts.commit_every = 8;
-  ASSERT_TRUE(paged->OpenWrite(file.path,
-                               MakeRTree<D>(variant, Domain<D>()), wopts));
+  ASSERT_TRUE(paged->Open(file.path, wopts,
+                          MakeRTree<D>(variant, Domain<D>())));
 
   const auto ops = MakeOps<D>(items, n_ops, seed + 1);
   const size_t half = ops.size() / 2;
@@ -170,9 +172,8 @@ void RunWriteParity(Variant variant, bool clipped, int n_items, int n_ops,
     ExpectQueryParity<D>(*ref, *paged, seed + 2, 40);
     paged->Close();
     paged = std::make_unique<PagedRTree<D>>();
-    ASSERT_TRUE(paged->OpenWrite(file.path,
-                                 MakeRTree<D>(variant, Domain<D>()),
-                                 wopts));
+    ASSERT_TRUE(paged->Open(file.path, wopts,
+                            MakeRTree<D>(variant, Domain<D>())));
     ExpectStructuralEq<D>(*ref, *paged->mirror());
   }
   for (size_t i = half; i < ops.size(); ++i) apply(ops[i]);
@@ -226,8 +227,10 @@ TEST_P(PagedWrite, SpillRelocationFollowsClipGrowth) {
   ASSERT_TRUE(WritePagedTree<2>(*built, file.path));
 
   PagedRTree<2> paged;
-  ASSERT_TRUE(paged.OpenWrite(file.path,
-                              MakeRTree<2>(Variant::kHilbert, Domain<2>())));
+  PagedRTree<2>::OpenOptions wopts;
+  wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
+  ASSERT_TRUE(paged.Open(file.path, wopts,
+                         MakeRTree<2>(Variant::kHilbert, Domain<2>())));
   ASSERT_GT(paged.superblock().num_spill_pages, 0u)
       << "full bulk-loaded clipped nodes should spill their runs";
   const uint64_t spill_before = paged.superblock().num_spill_pages;
@@ -259,8 +262,10 @@ TEST_P(PagedWrite, UpdateClipsEnablesClippingOnLivePagedTree) {
   ASSERT_TRUE(WritePagedTree<2>(*ref, file.path));
 
   PagedRTree<2> paged;
+  PagedRTree<2>::OpenOptions wopts;
+  wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
   ASSERT_TRUE(
-      paged.OpenWrite(file.path, MakeRTree<2>(GetParam(), Domain<2>())));
+      paged.Open(file.path, wopts, MakeRTree<2>(GetParam(), Domain<2>())));
   EXPECT_FALSE(paged.clipping_enabled());
   ASSERT_TRUE(paged.UpdateClips(core::ClipConfig<2>::Sta()));
   EXPECT_TRUE(paged.clipping_enabled());

@@ -101,8 +101,10 @@ TEST(Scrub, UpdatedFileWithFreeChainScrubsClean) {
   ASSERT_TRUE(WritePagedTree<2>(*built, file.path));
   {
     PagedRTree<2> paged;
-    ASSERT_TRUE(paged.OpenWrite(
-        file.path, MakeRTree<2>(Variant::kGuttman, Domain2())));
+    PagedRTree<2>::OpenOptions wopts;
+    wopts.mode = PagedRTree<2>::OpenMode::kReadWrite;
+    ASSERT_TRUE(paged.Open(
+        file.path, wopts, MakeRTree<2>(Variant::kGuttman, Domain2())));
     for (int i = 0; i < 900; ++i) {
       ASSERT_TRUE(paged.Delete(items[i].rect, items[i].id));
     }

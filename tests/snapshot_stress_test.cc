@@ -1,0 +1,275 @@
+// Concurrent snapshot isolation: 4 reader threads each repeatedly pin a
+// snapshot through the SpatialEngine facade and run a fixed query batch
+// (windows + kNN) while the single writer keeps committing Insert /
+// Delete / UpdateClips with group commit (commit_every = 4). Every
+// reader round records the pinned epoch plus its full observable output;
+// after the join, each distinct pinned epoch is replayed serially into
+// an in-memory tree (bulk + the exact op prefix that epoch's publish
+// committed) and the recorded rounds must match that replay
+// element-for-element — per-query counts, per-query ids in visit order,
+// and summed logical I/O. Runs for every variant and D = 2/3, and is
+// part of the ThreadSanitizer CI subset (the parity half proves
+// snapshot reads are *correct* under the race; TSan proves they are
+// data-race-free).
+//
+// The oracle works because the writer records current_epoch() after
+// each op returns: the op at the SMALLEST index i with epoch_after[i]
+// == e is the op whose commit boundary published e, so epoch e's state
+// is exactly ops[0..i]. Later ops sharing that value ran inside the
+// next (unpublished) window and must be invisible at e. Epoch 0 is the
+// open-time state (bulk only).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using clipbb::testing::RandomRect;
+using clipbb::testing::TempFileGuard;
+using clipbb::testing::TempPagePath;
+
+constexpr unsigned kReaders = 4;
+
+template <int D>
+geom::Rect<D> Domain() {
+  geom::Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = -0.5;
+    r.hi[i] = 1.5;
+  }
+  return r;
+}
+
+/// One writer operation of the logged workload.
+template <int D>
+struct Op {
+  enum Kind : uint8_t { kInsert, kDelete, kUpdateClips } kind;
+  geom::Rect<D> rect;
+  ObjectId id = 0;
+};
+
+/// Everything one pinned reader round observed.
+struct Round {
+  uint64_t epoch = 0;
+  std::vector<size_t> counts;           // per spec, input order
+  std::vector<std::vector<ObjectId>> ids;  // per spec, visit order
+  storage::IoStats io;                  // summed logical accesses
+};
+
+void ExpectLogicalEq(const storage::IoStats& a, const storage::IoStats& b,
+                     uint64_t epoch) {
+  EXPECT_EQ(a.leaf_accesses, b.leaf_accesses) << "epoch " << epoch;
+  EXPECT_EQ(a.internal_accesses, b.internal_accesses) << "epoch " << epoch;
+  EXPECT_EQ(a.contributing_leaf_accesses, b.contributing_leaf_accesses)
+      << "epoch " << epoch;
+  EXPECT_EQ(a.clip_accesses, b.clip_accesses) << "epoch " << epoch;
+}
+
+/// Runs every spec serially against `engine` (optionally pinned),
+/// collecting counts, ids in visit order, and summed logical I/O.
+template <int D>
+Round RunAll(const SpatialEngine<D>& engine,
+             const std::vector<QuerySpec<D>>& specs,
+             const EngineSnapshot<D>* snap) {
+  Round r;
+  TraversalScratch scratch;
+  for (const QuerySpec<D>& spec : specs) {
+    std::vector<ObjectId> ids;
+    CollectIds<D> sink(&ids);
+    storage::Status status;
+    const size_t n =
+        engine.Execute(spec, &sink, &r.io, &scratch, &status, snap);
+    EXPECT_TRUE(status.ok()) << status.kind_name();
+    r.counts.push_back(n);
+    r.ids.push_back(std::move(ids));
+  }
+  return r;
+}
+
+template <int D>
+void RunStress(Variant variant, int n_items, int n_ops, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry<D>> items;
+  for (int i = 0; i < n_items; ++i) {
+    items.push_back(Entry<D>{RandomRect<D>(rng, 0.05), i});
+  }
+  auto bulk = BuildTree<D>(variant, items, Domain<D>());
+  TempFileGuard file(TempPagePath("snap_stress"));
+  ASSERT_TRUE(WritePagedTree<D>(*bulk, file.path));
+  bulk.reset();
+
+  // Deterministic op log: deletes of bulk items, fresh inserts, and one
+  // clip-table rebuild dropped mid-log (the heaviest commit there is —
+  // it rewrites every node page inside one epoch window).
+  std::vector<Op<D>> ops;
+  size_t del = 0;
+  for (int i = 0; i < n_ops; ++i) {
+    if (i == n_ops / 2) {
+      ops.push_back({Op<D>::kUpdateClips, {}, 0});
+    } else if (i % 3 != 0 && del < items.size()) {
+      ops.push_back({Op<D>::kDelete, items[del].rect, items[del].id});
+      ++del;
+    } else {
+      ops.push_back({Op<D>::kInsert, RandomRect<D>(rng, 0.05),
+                     100'000 + i});
+    }
+  }
+
+  // The fixed query set every reader round runs.
+  std::vector<QuerySpec<D>> specs;
+  for (int i = 0; i < 10; ++i) {
+    specs.push_back(QuerySpec<D>::Intersects(RandomRect<D>(rng, 0.25)));
+  }
+  specs.push_back(QuerySpec<D>::Knn(RandomPoint<D>(rng), 8));
+  specs.push_back(QuerySpec<D>::Knn(RandomPoint<D>(rng), 3));
+
+  PagedRTree<D> paged;
+  typename PagedRTree<D>::OpenOptions wopts;
+  wopts.mode = PagedRTree<D>::OpenMode::kReadWrite;
+  wopts.commit_every = 4;  // group commit: epochs span several ops
+  wopts.pool_shards = kReaders;
+  ASSERT_TRUE(paged.Open(file.path, wopts,
+                         MakeRTree<D>(variant, Domain<D>())));
+  const SpatialEngine<D> engine(paged);
+
+  std::vector<uint64_t> epoch_after(ops.size(), 0);
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> writer_ok{true};
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      bool ok = true;
+      switch (ops[i].kind) {
+        case Op<D>::kInsert:
+          ok = paged.Insert(ops[i].rect, ops[i].id);
+          break;
+        case Op<D>::kDelete:
+          ok = paged.Delete(ops[i].rect, ops[i].id);
+          break;
+        case Op<D>::kUpdateClips:
+          ok = paged.UpdateClips(core::ClipConfig<D>::Sta());
+          break;
+      }
+      if (!ok) {
+        writer_ok.store(false);
+        break;
+      }
+      epoch_after[i] = paged.current_epoch();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::vector<Round>> rounds(kReaders);
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!writer_done.load(std::memory_order_acquire)) {
+        EngineSnapshot<D> snap = engine.PinSnapshot();
+        ASSERT_TRUE(snap.valid());
+        Round round = RunAll<D>(engine, specs, &snap);
+        round.epoch = snap.epoch();
+        rounds[r].push_back(std::move(round));
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(writer_ok.load());
+  ASSERT_FALSE(paged.io_error());
+  // The final Commit publishes the tail window so the full log is also a
+  // pinnable epoch (exercised below as the replay's last state).
+  ASSERT_TRUE(paged.Commit());
+  const uint64_t final_epoch = paged.current_epoch();
+
+  // Map every published epoch to the op-prefix its publish committed.
+  std::map<uint64_t, size_t> prefix_of;  // epoch -> ops[0..len)
+  prefix_of[0] = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (epoch_after[i] != 0) prefix_of.try_emplace(epoch_after[i], i + 1);
+  }
+  prefix_of.try_emplace(final_epoch, ops.size());
+
+  // Serial replay oracle: advance ONE in-memory tree through the op log,
+  // stopping at each epoch any reader pinned, and compare every round
+  // recorded at that epoch element-for-element.
+  std::map<uint64_t, std::vector<const Round*>> by_epoch;
+  size_t total_rounds = 0;
+  for (const auto& rs : rounds) {
+    for (const Round& round : rs) {
+      by_epoch[round.epoch].push_back(&round);
+      ++total_rounds;
+    }
+  }
+  EXPECT_GT(total_rounds, 0u);
+
+  auto replay = BuildTree<D>(variant, items, Domain<D>());
+  size_t applied = 0;
+  for (const auto& [epoch, pinned_rounds] : by_epoch) {
+    auto it = prefix_of.find(epoch);
+    ASSERT_NE(it, prefix_of.end()) << "reader pinned unknown epoch "
+                                   << epoch;
+    ASSERT_GE(it->second, applied) << "epochs must replay in order";
+    for (; applied < it->second; ++applied) {
+      const Op<D>& op = ops[applied];
+      switch (op.kind) {
+        case Op<D>::kInsert:
+          replay->Insert(op.rect, op.id);
+          break;
+        case Op<D>::kDelete:
+          ASSERT_TRUE(replay->Delete(op.rect, op.id));
+          break;
+        case Op<D>::kUpdateClips:
+          replay->EnableClipping(core::ClipConfig<D>::Sta());
+          break;
+      }
+    }
+    const SpatialEngine<D> oracle(*replay);
+    const Round expect = RunAll<D>(oracle, specs, nullptr);
+    for (const Round* got : pinned_rounds) {
+      EXPECT_EQ(got->counts, expect.counts) << "epoch " << epoch;
+      EXPECT_EQ(got->ids, expect.ids) << "epoch " << epoch;
+      ExpectLogicalEq(got->io, expect.io, epoch);
+    }
+  }
+  EXPECT_TRUE(paged.Close());
+}
+
+class SnapshotStress : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SnapshotStress, Readers2dVsCommittingWriter) {
+  RunStress<2>(GetParam(), 1500, 120, 7001);
+}
+
+TEST_P(SnapshotStress, Readers3dVsCommittingWriter) {
+  RunStress<3>(GetParam(), 900, 90, 7002);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SnapshotStress,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kGuttman:
+                               return "Guttman";
+                             case Variant::kHilbert:
+                               return "Hilbert";
+                             case Variant::kRStar:
+                               return "RStar";
+                             default:
+                               return "RRStar";
+                           }
+                         });
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -1,0 +1,370 @@
+// Epoch-based snapshot isolation, single-threaded semantics: the unified
+// Open(path, OpenOptions) mode handling, pin/publish/reclaim lifecycle
+// and its counters, old-snapshot-sees-old-state for Insert/Delete and
+// UpdateClips (results, visit order, and logical I/O must equal the
+// pre-mutation run exactly), the facade's PinSnapshot/Execute/
+// ExecuteBatch plumbing on both backends, the snapshot-publish event,
+// snapshots outliving Close, and read-only pinned == unpinned parity.
+// The multi-threaded half of the contract (readers racing a committing
+// writer) lives in snapshot_stress_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "rtree/factory.h"
+#include "rtree/paged_rtree.h"
+#include "rtree/query_api.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace clipbb::rtree {
+namespace {
+
+using clipbb::testing::RandomPoint;
+using clipbb::testing::RandomRect;
+using clipbb::testing::TempFileGuard;
+using clipbb::testing::TempPagePath;
+
+geom::Rect<2> Domain2() { return {{-0.5, -0.5}, {1.5, 1.5}}; }
+
+/// Bulk-loads `n` deterministic items and serializes them to `path`.
+std::vector<Entry<2>> SeedFile(const std::string& path, Variant v, int n,
+                               uint64_t seed, bool clipped) {
+  Rng rng(seed);
+  std::vector<Entry<2>> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Entry<2>{RandomRect<2>(rng, 0.05), i});
+  }
+  auto tree = BuildTree<2>(v, items, Domain2());
+  if (clipped) tree->EnableClipping(core::ClipConfig<2>::Sta());
+  EXPECT_TRUE(WritePagedTree<2>(*tree, path));
+  return items;
+}
+
+PagedRTree<2>::OpenOptions WriteOpts(size_t commit_every = 1) {
+  PagedRTree<2>::OpenOptions o;
+  o.mode = PagedRTree<2>::OpenMode::kReadWrite;
+  o.commit_every = commit_every;
+  return o;
+}
+
+/// One query's full observable output: ids in visit order + logical I/O.
+struct QueryRecord {
+  std::vector<ObjectId> ids;
+  storage::IoStats io;
+};
+
+template <typename TreeLike>
+QueryRecord RunWindow(TreeLike& t, const geom::Rect<2>& w,
+                      const typename TreeLike::SnapshotT* snap = nullptr) {
+  QueryRecord r;
+  TraversalScratch scratch;
+  storage::Status status;
+  t.RangeQuery(w, &r.ids, &r.io, &scratch, &status, snap);
+  EXPECT_TRUE(status.ok()) << status.kind_name();
+  return r;
+}
+
+uint64_t Sample(const std::vector<std::pair<std::string, uint64_t>>& kv,
+                const std::string& name) {
+  for (const auto& [k, v] : kv) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "metric not published: " << name;
+  return ~0ull;
+}
+
+void ExpectLogicalEq(const storage::IoStats& a, const storage::IoStats& b) {
+  EXPECT_EQ(a.leaf_accesses, b.leaf_accesses);
+  EXPECT_EQ(a.internal_accesses, b.internal_accesses);
+  EXPECT_EQ(a.contributing_leaf_accesses, b.contributing_leaf_accesses);
+  EXPECT_EQ(a.clip_accesses, b.clip_accesses);
+}
+
+TEST(SnapshotOpen, ModeValidationAndDefaults) {
+  TempFileGuard file(TempPagePath("snap_modes"));
+  SeedFile(file.path, Variant::kHilbert, 800, 11, /*clipped=*/true);
+
+  // A mirror passed to a read-only open implies write intent: rejected.
+  {
+    PagedRTree<2> t;
+    EXPECT_FALSE(t.Open(file.path, {},
+                        MakeRTree<2>(Variant::kHilbert, Domain2())));
+  }
+  // kReadWrite without a mirror is unusable: rejected.
+  {
+    PagedRTree<2> t;
+    EXPECT_FALSE(t.Open(file.path, WriteOpts(), nullptr));
+  }
+  // Defaults open read-only.
+  {
+    PagedRTree<2> t;
+    ASSERT_TRUE(t.Open(file.path));
+    EXPECT_FALSE(t.writable());
+    EXPECT_EQ(t.current_epoch(), 0u);
+  }
+  // kReadWrite with a mirror arms the write path.
+  {
+    PagedRTree<2> t;
+    ASSERT_TRUE(t.Open(file.path, WriteOpts(),
+                       MakeRTree<2>(Variant::kHilbert, Domain2())));
+    EXPECT_TRUE(t.writable());
+  }
+}
+
+TEST(SnapshotLifecycle, PinPublishReclaimCounters) {
+  TempFileGuard file(TempPagePath("snap_life"));
+  auto items = SeedFile(file.path, Variant::kRStar, 1200, 21,
+                        /*clipped=*/false);
+  PagedRTree<2> t;
+  ASSERT_TRUE(t.Open(file.path, WriteOpts(/*commit_every=*/1),
+                     MakeRTree<2>(Variant::kRStar, Domain2())));
+  EXPECT_EQ(t.current_epoch(), 0u);
+
+  obs::EventLog::Global().Reset();
+  auto s0 = t.PinSnapshot();  // pins the open-time state (epoch 0)
+  ASSERT_TRUE(s0.valid());
+  EXPECT_EQ(s0.epoch(), 0u);
+
+  // commit_every = 1: the first op publishes epoch 1 at its boundary.
+  Rng rng(22);
+  ASSERT_TRUE(t.Insert(RandomRect<2>(rng, 0.05), 50'000));
+  EXPECT_EQ(t.current_epoch(), 1u);
+  storage::EpochStats es = t.EpochChainStats();
+  EXPECT_EQ(es.published_epoch, 1u);
+  EXPECT_EQ(es.epochs_published, 1u);
+  EXPECT_EQ(es.epochs_reclaimed, 0u);
+  EXPECT_EQ(es.live_deltas, 1u);  // retained for s0
+  EXPECT_EQ(es.pinned_snapshots, 1u);
+  EXPECT_EQ(es.oldest_pinned_age, 1u);
+  EXPECT_GT(es.retained_bytes, 0u);
+  EXPECT_GT(es.pages_captured, 0u);
+
+  // The publish was recorded as a structured event carrying the epoch id.
+  bool saw_publish = false;
+  for (const obs::Event& e : obs::EventLog::Global().Snapshot()) {
+    if (e.kind == obs::EventKind::kSnapshotPublish && e.aux == 1u) {
+      saw_publish = true;
+    }
+  }
+  EXPECT_TRUE(saw_publish);
+
+  // Dropping the last old pin drains the delta — no pause, plain free.
+  s0.Release();
+  EXPECT_FALSE(s0.valid());
+  es = t.EpochChainStats();
+  EXPECT_EQ(es.pinned_snapshots, 0u);
+  EXPECT_EQ(es.epochs_reclaimed, 1u);
+  EXPECT_EQ(es.live_deltas, 0u);
+  EXPECT_EQ(es.oldest_pinned_age, 0u);
+
+  // A pin at the current epoch retains nothing old.
+  auto s1 = t.PinSnapshot();
+  EXPECT_EQ(s1.epoch(), 1u);
+  ASSERT_TRUE(t.Insert(RandomRect<2>(rng, 0.05), 50'001));
+  EXPECT_EQ(t.EpochChainStats().live_deltas, 1u);
+
+  // The epoch gauges are published into a metrics registry.
+  obs::MetricsRegistry reg;
+  t.PublishMetrics(reg);
+  const obs::MetricsSnapshot ms = reg.Snapshot();
+  EXPECT_EQ(Sample(ms.gauges, "epoch_published"), 2u);
+  EXPECT_EQ(Sample(ms.counters, "epochs_published_total"), 2u);
+  EXPECT_EQ(Sample(ms.gauges, "epoch_pinned_snapshots"), 1u);
+  EXPECT_EQ(Sample(ms.gauges, "epoch_oldest_pinned_age"), 1u);
+}
+
+TEST(SnapshotIsolation, OldSnapshotSeesOldStateExactly) {
+  for (const Variant v : kAllVariants) {
+    TempFileGuard file(TempPagePath("snap_iso"));
+    auto items = SeedFile(file.path, v, 2000, 31, /*clipped=*/true);
+    PagedRTree<2> t;
+    ASSERT_TRUE(t.Open(file.path, WriteOpts(/*commit_every=*/1),
+                       MakeRTree<2>(v, Domain2())));
+
+    Rng rng(32);
+    std::vector<geom::Rect<2>> windows;
+    for (int i = 0; i < 25; ++i) windows.push_back(RandomRect<2>(rng, 0.2));
+
+    // Baseline: every window's ids + logical I/O before any mutation.
+    std::vector<QueryRecord> before;
+    for (const auto& w : windows) before.push_back(RunWindow(t, w));
+
+    auto snap = t.PinSnapshot();
+    ASSERT_TRUE(snap.valid());
+
+    // Mutate heavily: deletes dissolve nodes, inserts split others.
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(t.Delete(items[i].rect, items[i].id));
+    }
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(t.Insert(RandomRect<2>(rng, 0.05), 60'000 + i));
+    }
+    ASSERT_GT(t.current_epoch(), snap.epoch());
+
+    // The pinned traversal replays the pre-mutation output exactly:
+    // same ids, same visit order, same logical access counts.
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const QueryRecord pinned = RunWindow(t, windows[i], &snap);
+      EXPECT_EQ(pinned.ids, before[i].ids) << "window " << i;
+      ExpectLogicalEq(pinned.io, before[i].io);
+    }
+    // And the unpinned path serves the mutated latest state.
+    size_t latest_total = 0, before_total = 0;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      latest_total += RunWindow(t, windows[i]).ids.size();
+      before_total += before[i].ids.size();
+    }
+    EXPECT_NE(latest_total, before_total);
+  }
+}
+
+TEST(SnapshotIsolation, UpdateClipsIsEpochCorrect) {
+  TempFileGuard file(TempPagePath("snap_clips"));
+  SeedFile(file.path, Variant::kHilbert, 2000, 41, /*clipped=*/false);
+  PagedRTree<2> t;
+  ASSERT_TRUE(t.Open(file.path, WriteOpts(/*commit_every=*/1),
+                     MakeRTree<2>(Variant::kHilbert, Domain2())));
+
+  Rng rng(42);
+  std::vector<geom::Rect<2>> windows;
+  for (int i = 0; i < 20; ++i) windows.push_back(RandomRect<2>(rng, 0.25));
+  std::vector<QueryRecord> unclipped;
+  for (const auto& w : windows) unclipped.push_back(RunWindow(t, w));
+
+  auto snap = t.PinSnapshot();
+  ASSERT_TRUE(t.UpdateClips(core::ClipConfig<2>::Sta()));
+  EXPECT_TRUE(t.clipping_enabled());
+
+  // The pinned epoch predates the clip rebuild: identical results AND
+  // identical I/O — in particular zero clip accesses, because at that
+  // epoch no clip table existed.
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const QueryRecord pinned = RunWindow(t, windows[i], &snap);
+    EXPECT_EQ(pinned.ids, unclipped[i].ids);
+    ExpectLogicalEq(pinned.io, unclipped[i].io);
+    EXPECT_EQ(pinned.io.clip_accesses, 0u);
+  }
+  // Latest queries prune through the new clip table (same result set).
+  uint64_t clip_accesses = 0;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const QueryRecord latest = RunWindow(t, windows[i]);
+    std::vector<ObjectId> a = latest.ids, b = unclipped[i].ids;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    clip_accesses += latest.io.clip_accesses;
+  }
+  EXPECT_GT(clip_accesses, 0u);
+  EXPECT_GT(t.EpochChainStats().clip_runs_captured, 0u);
+}
+
+TEST(SnapshotFacade, PinnedExecuteAndBatchOverBothBackends) {
+  TempFileGuard file(TempPagePath("snap_facade"));
+  auto items = SeedFile(file.path, Variant::kRRStar, 1800, 51,
+                        /*clipped=*/true);
+  auto mem = BuildTree<2>(Variant::kRRStar, items, Domain2());
+  mem->EnableClipping(core::ClipConfig<2>::Sta());
+
+  PagedRTree<2> t;
+  ASSERT_TRUE(t.Open(file.path, WriteOpts(/*commit_every=*/1),
+                     MakeRTree<2>(Variant::kRRStar, Domain2())));
+  const SpatialEngine<2> engine(t);
+
+  // The in-memory backend has no multi-version state: invalid handle,
+  // which Execute/ExecuteBatch accept and treat as latest.
+  const SpatialEngine<2> memory(*mem);
+  EngineSnapshot<2> none = memory.PinSnapshot();
+  EXPECT_FALSE(none.valid());
+  const geom::Rect<2> w0 = {{0.2, 0.2}, {0.6, 0.6}};
+  EXPECT_EQ(memory.Execute(QuerySpec<2>::Intersects(w0), nullptr, nullptr,
+                           nullptr, nullptr, &none),
+            memory.Execute(QuerySpec<2>::Intersects(w0)));
+
+  Rng rng(52);
+  std::vector<QuerySpec<2>> specs;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 4 == 3) {
+      specs.push_back(QuerySpec<2>::Knn(RandomPoint<2>(rng), 5));
+    } else {
+      specs.push_back(QuerySpec<2>::Intersects(RandomRect<2>(rng, 0.2)));
+    }
+  }
+  const QueryBatchResult before =
+      engine.ExecuteBatch(std::span<const QuerySpec<2>>(specs));
+
+  EngineSnapshot<2> snap = engine.PinSnapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.epoch(), 0u);
+  EXPECT_EQ(snap.height(), engine.Height());
+  EXPECT_EQ(snap.bounds(), engine.bounds());
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(t.Delete(items[i].rect, items[i].id));
+  }
+  // Pinned batch: element-for-element the pre-mutation counts and the
+  // pre-mutation summed logical I/O, on both scheduling modes.
+  for (const bool hilbert : {true, false}) {
+    QueryBatchOptions opts;
+    opts.hilbert_order = hilbert;
+    const QueryBatchResult pinned = engine.ExecuteBatch(
+        std::span<const QuerySpec<2>>(specs), opts, &snap);
+    EXPECT_EQ(pinned.counts, before.counts);
+    ExpectLogicalEq(pinned.io, before.io);
+  }
+  // Pinned single Execute: id-for-id.
+  std::vector<ObjectId> pinned_ids, latest_ids;
+  CollectIds<2> psink(&pinned_ids), lsink(&latest_ids);
+  const QuerySpec<2> probe = QuerySpec<2>::Intersects(w0);
+  engine.Execute(probe, &psink, nullptr, nullptr, nullptr, &snap);
+  engine.Execute(probe, &lsink);
+  EXPECT_NE(pinned_ids.size(), latest_ids.size());
+
+  // Releasing through the facade handle drains the pin.
+  snap.Release();
+  EXPECT_EQ(t.EpochChainStats().pinned_snapshots, 0u);
+}
+
+TEST(SnapshotLifecycle, SnapshotMayOutliveClose) {
+  TempFileGuard file(TempPagePath("snap_close"));
+  SeedFile(file.path, Variant::kGuttman, 600, 61, /*clipped=*/false);
+  PagedRTree<2> t;
+  ASSERT_TRUE(t.Open(file.path, WriteOpts(),
+                     MakeRTree<2>(Variant::kGuttman, Domain2())));
+  Rng rng(62);
+  ASSERT_TRUE(t.Insert(RandomRect<2>(rng, 0.05), 70'000));
+  auto snap = t.PinSnapshot();
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_TRUE(t.Close());
+  // The handle holds the manager alive; dropping it after Close must be
+  // an orderly unpin, not a use-after-free.
+  snap.Release();
+  EXPECT_FALSE(snap.valid());
+}
+
+TEST(SnapshotReadOnly, PinnedEqualsUnpinnedByDesign) {
+  TempFileGuard file(TempPagePath("snap_ro"));
+  SeedFile(file.path, Variant::kHilbert, 1500, 71, /*clipped=*/true);
+  PagedRTree<2> t;
+  ASSERT_TRUE(t.Open(file.path));  // read-only: nothing ever publishes
+  auto snap = t.PinSnapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.epoch(), 0u);
+
+  Rng rng(72);
+  for (int i = 0; i < 25; ++i) {
+    const geom::Rect<2> w = RandomRect<2>(rng, 0.2);
+    const QueryRecord pinned = RunWindow(t, w, &snap);
+    const QueryRecord plain = RunWindow(t, w);
+    EXPECT_EQ(pinned.ids, plain.ids);
+    ExpectLogicalEq(pinned.io, plain.io);
+  }
+  EXPECT_EQ(t.EpochChainStats().live_deltas, 0u);
+}
+
+}  // namespace
+}  // namespace clipbb::rtree

@@ -98,9 +98,10 @@ void RunChildWorkload(const std::string& path, Variant variant,
                       const Workload<D>& w) {
   PagedRTree<D> paged;
   typename PagedRTree<D>::OpenOptions wopts;
+  wopts.mode = PagedRTree<D>::OpenMode::kReadWrite;
   wopts.commit_every = 1;  // every op durable on return
   wopts.pool_pages = 16;   // small pool: evictions + WAL rule on the way
-  if (!paged.OpenWrite(path, MakeRTree<D>(variant, Domain<D>()), wopts)) {
+  if (!paged.Open(path, wopts, MakeRTree<D>(variant, Domain<D>()))) {
     ::_exit(3);
   }
   for (const Op<D>& op : w.ops) {
@@ -119,8 +120,10 @@ template <int D>
 void VerifyRecovered(const std::string& path, Variant variant,
                      const Workload<D>& w, uint64_t kill_point) {
   PagedRTree<D> paged;
+  typename PagedRTree<D>::OpenOptions wopts;
+  wopts.mode = PagedRTree<D>::OpenMode::kReadWrite;
   ASSERT_TRUE(
-      paged.OpenWrite(path, MakeRTree<D>(variant, Domain<D>())))
+      paged.Open(path, wopts, MakeRTree<D>(variant, Domain<D>())))
       << "recovery failed at kill point " << kill_point;
   const uint64_t k = paged.last_committed_op();
   ASSERT_LE(k, w.ops.size()) << "kill point " << kill_point;
