@@ -1,0 +1,104 @@
+// Committed-window WAL scanner shared by the follower-replica tailer
+// (replica/wal_tailer.h) and the offline scrub pass (clipbb_cli scrub
+// --wal). One scanner serves both so their notion of "valid log prefix"
+// can never drift from each other — and it mirrors storage::Wal::Recover
+// record for record: a record with a bad magic, a torn payload, a CRC
+// mismatch, or an unknown type ends the scan; page images are promoted
+// only when a commit record with the SAME op_seq follows them, so images
+// leaked by a failed operation stay inert.
+//
+// The unit of output is the commit window: one committed transaction's
+// page post-images in log order plus its commit record's LSN/op_seq. The
+// follower applies exactly one epoch per window, which is what lets it
+// answer queries identically to a serial replay of the committed prefix
+// at every commit boundary.
+#ifndef CLIPBB_REPLICA_WAL_SCAN_H_
+#define CLIPBB_REPLICA_WAL_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_store.h"
+
+namespace clipbb::replica {
+
+/// One page post-image of a committed transaction.
+struct WalPageImage {
+  storage::PageId page_id = storage::kInvalidPage;
+  uint64_t lsn = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// One committed transaction: its page images in log order, closed by a
+/// commit record.
+struct WalCommitWindow {
+  uint64_t op_seq = 0;
+  uint64_t commit_lsn = 0;
+  std::vector<WalPageImage> images;
+};
+
+/// What a scan over one byte region found.
+struct WalScanResult {
+  /// Offset (relative to the scanned region's start) just past the last
+  /// commit record consumed — always a record boundary with no partial
+  /// transaction before it, so the next scan may resume exactly here.
+  size_t committed_end = 0;
+  /// Valid records inside consumed windows (images + commits).
+  uint64_t records_scanned = 0;
+  uint64_t commit_windows = 0;
+  uint64_t pages_imaged = 0;
+  /// Valid records past committed_end still awaiting their commit.
+  uint64_t pending_records = 0;
+  /// op_seq of the last commit record consumed (0 = none).
+  uint64_t last_op_seq = 0;
+  /// Highest LSN over EVERY valid record, committed or pending.
+  uint64_t max_lsn = 0;
+  /// The scan consumed the region to its very end without hitting a
+  /// corrupt or torn record (pending images may still follow
+  /// committed_end). False means the first invalid byte starts inside
+  /// the region — a torn tail mid-write, or real corruption.
+  bool clean_end = false;
+};
+
+/// Scans `[data, data + size)` — which must start at a record boundary —
+/// for committed windows. Image payloads must be `page_size` bytes
+/// (records claiming otherwise end the scan, like Recover). When `out`
+/// is non-null, every complete window is appended to it with its image
+/// bytes copied out; pass nullptr to validate and count only (the scrub
+/// pass).
+WalScanResult ScanCommittedWindows(const std::byte* data, size_t size,
+                                   uint32_t page_size,
+                                   std::vector<WalCommitWindow>* out);
+
+/// Offline WAL validation for `clipbb_cli scrub --wal`.
+struct WalScrubReport {
+  bool log_found = false;   // the file exists and is non-empty
+  bool header_ok = false;   // magic + page size parse
+  uint32_t page_size = 0;
+  uint64_t file_bytes = 0;
+  uint64_t records_scanned = 0;
+  uint64_t commit_windows = 0;
+  uint64_t pages_imaged = 0;
+  uint64_t pending_records = 0;
+  uint64_t last_op_seq = 0;
+  uint64_t max_lsn = 0;
+  /// Bytes past the last commit record (uncommitted or torn tail) —
+  /// exactly what Recover would discard.
+  uint64_t tail_bytes = 0;
+
+  /// A missing/empty log is fine; an existing one must at least have a
+  /// valid header. A nonzero tail is NOT a failure — it is the normal
+  /// shape after a crash, reported so the operator can see it.
+  bool ok() const { return !log_found || header_ok; }
+};
+
+/// Reads and validates the whole log at `path` through the scanner.
+/// Returns false only on real I/O failure (open/stat/read); a missing or
+/// empty file is success with log_found = false.
+bool ScrubWalFile(const std::string& path, WalScrubReport* report);
+
+}  // namespace clipbb::replica
+
+#endif  // CLIPBB_REPLICA_WAL_SCAN_H_

@@ -1,0 +1,74 @@
+#include "replica/wal_tailer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "storage/wal.h"
+
+namespace clipbb::replica {
+
+WalTailer::PollResult WalTailer::Poll(std::vector<WalCommitWindow>* out) {
+  using storage::WalFileHeader;
+  ++stats_.polls;
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    // No log yet. If we had consumed past a header before, the file was
+    // removed out from under us — treat like a shrink so the follower
+    // resynchronizes from the page file.
+    return consumed_ > 0 ? PollResult::kShrunk : PollResult::kOk;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return PollResult::kError;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  stats_.last_log_bytes = size;
+  if (size < consumed_) {
+    ::close(fd);
+    return PollResult::kShrunk;
+  }
+  if (consumed_ == 0) {
+    if (size < sizeof(WalFileHeader)) {
+      ::close(fd);
+      return PollResult::kOk;  // header still being written (or empty)
+    }
+    WalFileHeader fh;
+    if (::pread(fd, &fh, sizeof fh, 0) !=
+        static_cast<ssize_t>(sizeof fh)) {
+      ::close(fd);
+      return PollResult::kError;
+    }
+    if (fh.magic != storage::kWalFileMagic || fh.page_size == 0) {
+      ::close(fd);
+      return PollResult::kError;
+    }
+    page_size_ = fh.page_size;
+    consumed_ = sizeof fh;
+  }
+  if (size == consumed_) {
+    ::close(fd);
+    return PollResult::kOk;  // caught up
+  }
+  std::vector<std::byte> region(size - consumed_);
+  const ssize_t got = ::pread(fd, region.data(), region.size(),
+                              static_cast<off_t>(consumed_));
+  ::close(fd);
+  if (got < 0) return PollResult::kError;
+  // A concurrent truncation between fstat and pread can shorten the
+  // region; scan whatever arrived — the scanner stops at the last
+  // complete commit either way, and the next poll (or the follower's
+  // generation check) sorts out the rest.
+  const WalScanResult scan = ScanCommittedWindows(
+      region.data(), static_cast<size_t>(got), page_size_, out);
+  consumed_ += scan.committed_end;
+  stats_.bytes_tailed += scan.committed_end;
+  stats_.records_seen += scan.records_scanned;
+  stats_.commits_seen += scan.commit_windows;
+  return PollResult::kOk;
+}
+
+}  // namespace clipbb::replica

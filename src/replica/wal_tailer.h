@@ -1,0 +1,83 @@
+// Incremental WAL tailer of the follower-replica subsystem: repeatedly
+// re-opens `<file>.wal` and scans only the bytes past its consumed
+// offset, handing back whole committed commit windows for the follower
+// to apply. The consumed offset is always a record boundary just past a
+// commit record (or the file header), so every Poll resumes with an
+// empty pending set — exactly the state Wal::Recover's scan would be in
+// at that offset.
+//
+// The writer owns the log; the tailer NEVER writes it (open O_RDONLY,
+// pread only). Three live-writer races are handled here:
+//
+//  * A half-written group-commit batch at the end of the region scans as
+//    a torn tail; the scanner stops at the last complete commit and the
+//    next Poll re-reads from there. No partial transaction ever leaks.
+//  * Checkpoint truncation shrinks the file below the consumed offset;
+//    Poll reports kShrunk and the follower rebases (and ResetToStart()s
+//    the tailer). A truncate-then-regrow past the old offset is NOT
+//    detectable from the log alone — the follower closes that hole by
+//    checking the superblock's checkpoint generation before every poll
+//    (the writer bumps it before truncating).
+//  * A missing file just means the writer has not created the log yet
+//    (or nothing was ever committed): success with zero windows.
+#ifndef CLIPBB_REPLICA_WAL_TAILER_H_
+#define CLIPBB_REPLICA_WAL_TAILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replica/wal_scan.h"
+
+namespace clipbb::replica {
+
+class WalTailer {
+ public:
+  enum class PollResult {
+    kOk,      // zero or more new windows appended
+    kShrunk,  // the log shrank below the consumed offset: rebase needed
+    kError,   // real I/O failure or an unusable log header
+  };
+
+  /// Cumulative tail statistics (monotonic across rebases, except
+  /// last_log_bytes which is a point-in-time reading).
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t bytes_tailed = 0;    // committed bytes consumed
+    uint64_t records_seen = 0;    // valid records inside consumed windows
+    uint64_t commits_seen = 0;    // commit windows handed back
+    uint64_t last_log_bytes = 0;  // log file size at the last poll
+  };
+
+  explicit WalTailer(std::string wal_path) : path_(std::move(wal_path)) {}
+
+  /// Scans the log past the consumed offset and appends every NEW
+  /// complete commit window to `*out` (in log order). kOk with an empty
+  /// append means "caught up".
+  PollResult Poll(std::vector<WalCommitWindow>* out);
+
+  /// Forgets all progress: the next Poll scans from the file header
+  /// again. The rebase path calls this after reloading from the page
+  /// file (the rebased state already reflects every commit the old log
+  /// covered, and the new log describes changes on top of it).
+  void ResetToStart() {
+    consumed_ = 0;
+    page_size_ = 0;
+  }
+
+  /// Absolute file offset up to which commits were consumed (0 until the
+  /// first successful header read).
+  uint64_t consumed_bytes() const { return consumed_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string path_;
+  size_t consumed_ = 0;    // 0 = header not yet consumed
+  uint32_t page_size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace clipbb::replica
+
+#endif  // CLIPBB_REPLICA_WAL_TAILER_H_

@@ -73,6 +73,17 @@ struct EpochTreeView {
   int height = 1;
   bool clipped = false;
   geom::Rect<D> bounds = geom::Rect<D>::Empty();
+  /// True when this view was published by a follower replica. Follower
+  /// base reads are gated: a base-file page stamped with an LSN past
+  /// `applied_lsn` is the cross-process writer's future leaking through
+  /// the page file without the follower holding a pre-image — the read
+  /// fails kStaleSnapshot rather than return a torn-in-time view. (The
+  /// flag, not `applied_lsn == 0`, distinguishes a writer: a follower on
+  /// a freshly bulk-loaded file has applied LSN 0 too and still needs
+  /// the gate.)
+  bool follower = false;
+  /// The WAL LSN this view's epoch has applied up to (follower mode).
+  uint64_t applied_lsn = 0;
 };
 
 template <int D>

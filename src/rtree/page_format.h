@@ -100,7 +100,13 @@ struct Superblock {
   /// at the shared header offset because bytes 4–7 of page 0 hold the
   /// high half of the magic.
   uint32_t checksum = 0;
-  uint32_t reserved2 = 0;
+  /// Monotonic checkpoint generation. The writer bumps it (and rewrites
+  /// page 0) immediately BEFORE truncating the WAL, so a follower that
+  /// observes a new generation knows every overlay page it tailed from the
+  /// old log is now durable in the page file and must rebase; byte offsets
+  /// into the old log never alias into the regrown one. Pre-rename files
+  /// read generation 0 (the field was reserved padding).
+  uint32_t checkpoint_gen = 0;
 };
 static_assert(sizeof(Superblock) <= 192,
               "superblock must stay well under one page");

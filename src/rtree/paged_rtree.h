@@ -32,6 +32,26 @@
 //    `commit_every` operations; both modes run WAL redo first, so a
 //    crash at any point recovers to the last durable commit.
 //
+//  * Open() with OpenOptions::mode = kFollow — a live READ REPLICA of a
+//    writer running in another process. Opens read-only (the file
+//    O_RDONLY, the sidecar .wal never written), then tails the writer's
+//    log (replica/wal_tailer.h): each Refresh() scans the committed log
+//    suffix past the replica's applied LSN and applies every complete
+//    commit window — pre-images captured into the epoch chain, page
+//    images installed into a copy-on-write pool overlay, clip runs
+//    decoded into the replica's clip index — publishing exactly one
+//    epoch per committed transaction. Pinned snapshots get the same
+//    isolation as in-process readers; unpinned queries auto-pin the
+//    latest applied epoch and see fresh data within one poll interval
+//    (OpenOptions::follow_poll_ms, or explicit Refresh()). When the
+//    writer checkpoints it bumps the superblock's checkpoint generation
+//    BEFORE truncating the log; the replica detects the bump (or a
+//    shrunk log) and rebases — re-reads changed pages from the durable
+//    page file, drops its overlay, and keeps pinned epochs valid via
+//    the refcounted pre-image chain. A pinned epoch whose pre-image was
+//    lost to a racing writer write-back fails kStaleSnapshot rather
+//    than serve a torn-in-time view.
+//
 // Query results, visit order, and logical access counts are identical to
 // the in-memory RTree running the same tree (parity-tested).
 //
@@ -60,14 +80,18 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <queue>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -80,6 +104,7 @@
 #include "rtree/epoch.h"
 #include "rtree/knn.h"
 #include "rtree/page_format.h"
+#include "replica/wal_tailer.h"
 #include "rtree/query_batch.h"
 #include "rtree/serialize.h"
 #include "storage/buffer_pool.h"
@@ -118,6 +143,7 @@ class PagedRTree {
   enum class OpenMode : uint8_t {
     kReadOnly,   ///< queries only; the file opens O_RDONLY
     kReadWrite,  ///< arms the write path (requires a variant mirror)
+    kFollow,     ///< live read replica of a writer in another process
   };
 
   struct OpenOptions {
@@ -133,9 +159,14 @@ class PagedRTree {
     /// operation durable on return; larger values batch commits and a
     /// crash loses at most the unsynced suffix.
     size_t commit_every = 1;
-    /// Read-only (the default) or read-write; kReadWrite requires the
-    /// `variant` argument of Open().
+    /// Read-only (the default), read-write (requires the `variant`
+    /// argument of Open()), or follower replica.
     OpenMode mode = OpenMode::kReadOnly;
+    /// Follow mode: poll interval of the background tailer thread in
+    /// milliseconds. 0 (the default) starts no thread — the replica
+    /// advances only on explicit Refresh() calls, the deterministic
+    /// configuration tests use.
+    uint32_t follow_poll_ms = 0;
   };
 
   PagedRTree() = default;
@@ -163,24 +194,17 @@ class PagedRTree {
   /// mirror; its previous contents are discarded). Replays the WAL,
   /// restores the mirror at file page indexes, and arms the write path.
   /// Queries work exactly as in read-only mode.
+  ///
+  /// kFollow: a read-only open that then tracks the live writer — see
+  /// the header comment and Refresh().
   bool Open(const std::string& path, const OpenOptions& opts = {},
             std::unique_ptr<RTree<D>> variant = nullptr) {
     if (opts.mode == OpenMode::kReadWrite) {
       return OpenWriteImpl(path, std::move(variant), opts);
     }
     if (variant != nullptr) return false;  // a mirror implies write intent
+    if (opts.mode == OpenMode::kFollow) return OpenFollowImpl(path, opts);
     return OpenReadImpl(path, opts);
-  }
-
-  /// One-PR migration shim for the pre-unification write-mode open.
-  [[deprecated(
-      "pass OpenOptions::mode = OpenMode::kReadWrite to Open(path, opts, "
-      "variant) (rtree/paged_rtree.h)")]]
-  bool OpenWrite(const std::string& path, std::unique_ptr<RTree<D>> variant,
-                 const OpenOptions& opts = {}) {
-    OpenOptions o = opts;
-    o.mode = OpenMode::kReadWrite;
-    return Open(path, o, std::move(variant));
   }
 
  private:
@@ -195,6 +219,63 @@ class PagedRTree {
     clip_index_.Compact();
     clips_ = &clip_index_;
     FinishOpen(opts);
+    return true;
+  }
+
+  /// Follower open: a read-only open whose state then tracks the live
+  /// writer through the sidecar log. The open-time redo overlay already
+  /// reflects every committed record, so the replay cursor starts past
+  /// them; the tailer re-reading those bytes is harmless (windows at or
+  /// below the applied LSN are skipped).
+  bool OpenFollowImpl(const std::string& path, const OpenOptions& opts) {
+    Close();
+    if (!OpenAndRecover(path, /*writable=*/false)) return false;
+    std::vector<std::byte> page(sb_.file_page_size);
+    if (!LoadRootAndClips(&page, &clip_index_, nullptr, nullptr, nullptr)) {
+      file_.Close();
+      return false;
+    }
+    clip_index_.Compact();
+    clips_ = &clip_index_;
+    follow_mode_ = true;
+    applied_lsn_ = std::max(sb_.lsn, recovery_.max_lsn);
+    gen_ = sb_.checkpoint_gen;
+    FinishOpen(opts);
+    // A read racing the live writer's in-place pwrite can observe a torn
+    // page; that is a transient, not a bad medium — never quarantine.
+    pool_->SetQuarantineEnabled(false);
+    tailer_ = std::make_unique<replica::WalTailer>(WalPathFor(path));
+    op_seq_ = std::max(sb_.last_op_seq, recovery_.last_op_seq);
+    // Queries in follow mode always run pinned, and pinned clip lookups
+    // resolve through the epoch manager — seed its base table and arm
+    // the pre-image hook exactly like the writer does for its mirror.
+    {
+      typename EpochManager<D>::ClipMap base;
+      clip_index_.ForEach(
+          [&](core::NodeId nid, std::span<const core::ClipPoint<D>> run) {
+            base.emplace(nid, typename EpochManager<D>::ClipRun(run.begin(),
+                                                                run.end()));
+          });
+      epochs_->SeedBaseClips(std::move(base));
+      clip_index_.SetMutateHook(
+          [this](core::NodeId nid,
+                 std::span<const core::ClipPoint<D>> old_run) {
+            OnClipMutate(nid, old_run);
+          });
+    }
+    if (opts.follow_poll_ms > 0) {
+      stop_poll_ = false;
+      poll_thread_ = std::thread([this, ms = opts.follow_poll_ms] {
+        std::unique_lock<std::mutex> lk(poll_mu_);
+        while (!stop_poll_) {
+          poll_cv_.wait_for(lk, std::chrono::milliseconds(ms));
+          if (stop_poll_) break;
+          lk.unlock();
+          Refresh();
+          lk.lock();
+        }
+      });
+    }
     return true;
   }
 
@@ -271,6 +352,28 @@ class PagedRTree {
       file_.Close();
       return false;
     }
+    if (recovery_.records_scanned > 0 || recovery_.tail_discarded > 0) {
+      // Recovery just truncated a log a follower may have been tailing —
+      // advance the checkpoint generation so it rebases instead of
+      // resuming its old byte offset into this fresh log incarnation.
+      std::vector<std::byte> page0(sb_.file_page_size, std::byte{0});
+      ++sb_.checkpoint_gen;
+      std::memcpy(page0.data(), &sb_, sizeof sb_);
+      StampSuperblockPage(page0.data(), sb_.file_page_size);
+      std::memcpy(&sb_.checksum,
+                  page0.data() + offsetof(Superblock, checksum),
+                  sizeof sb_.checksum);
+      if (!file_.WritePage(0, page0.data()) || !file_.Sync()) {
+        wal_.Close();
+        tree_->SetStoreObserver(nullptr);
+        tree_->SetStoreIdSource(nullptr);
+        tree_.reset();
+        hooks_.reset();
+        clips_ = &clip_index_;
+        file_.Close();
+        return false;
+      }
+    }
     FinishOpen(opts);
     pool_->SetWal(&wal_);
     write_mode_ = true;
@@ -322,6 +425,7 @@ class PagedRTree {
   /// the destructor after an explicit Close() — performs no further I/O
   /// and reports the same verdict.
   bool Close() {
+    StopPollThread();
     bool ok = !io_error_.load(std::memory_order_relaxed);
     if (open_ && write_mode_) {
       if (!ok || !Checkpoint()) {
@@ -344,10 +448,16 @@ class PagedRTree {
       tree_.reset();
     }
     hooks_.reset();
+    clip_index_.SetMutateHook(nullptr);  // Clear must not capture pre-images
     clip_index_.Clear();
     clips_ = &clip_index_;
     spill_of_.clear();
     redo_overlay_.clear();
+    tailer_.reset();
+    overlay_handle_.reset();
+    follow_mode_ = false;
+    applied_lsn_ = 0;
+    gen_ = 0;
     update_io_.Reset();
     // Outstanding Snapshot handles keep the manager alive through their
     // shared_ptr — destruction after Close stays safe; queries on them do
@@ -449,6 +559,85 @@ class PagedRTree {
           "epoch_capture_file_reads_total",
           capture_reads_.load(std::memory_order_relaxed));
     }
+    if (follow_mode_) {
+      std::lock_guard<std::mutex> lock(refresh_mu_);
+      registry.SetGauge("replica_applied_lsn", applied_lsn_);
+      registry.SetGauge("replica_checkpoint_gen", gen_);
+      if (tailer_) {
+        const replica::WalTailer::Stats& ts = tailer_->stats();
+        registry.SetCounter("replica_bytes_tailed_total", ts.bytes_tailed);
+        registry.SetCounter("replica_polls_total", ts.polls);
+        registry.SetCounter("replica_commits_tailed_total",
+                            ts.commits_seen);
+        const uint64_t consumed = tailer_->consumed_bytes();
+        registry.SetGauge("replica_commit_lag_bytes",
+                          ts.last_log_bytes > consumed
+                              ? ts.last_log_bytes - consumed
+                              : 0);
+      }
+      registry.SetCounter("replica_rebases_total", rebases_);
+      registry.SetCounter("replica_epochs_republished", windows_applied_);
+      registry.SetHistogram("replica_apply_ns", apply_ns_);
+    }
+  }
+
+  // ---------------------------------------------------------------- replica
+
+  /// True when this open is a follower replica (OpenMode::kFollow).
+  bool following() const { return follow_mode_; }
+  /// Follow mode: WAL LSN the published replica state has applied
+  /// through (stable between Refresh calls; 0 on non-followers).
+  uint64_t replica_applied_lsn() const { return applied_lsn_; }
+  uint64_t replica_rebases() const { return rebases_; }
+  /// Commit windows applied (== epochs republished, counting windows
+  /// whose only image was the superblock and thus minted no delta).
+  uint64_t replica_windows_applied() const { return windows_applied_; }
+
+  /// Follow mode: advances the replica to the writer's current committed
+  /// state — polls the log for complete commit windows and applies each
+  /// as one published epoch; a checkpoint-generation bump or a shrunk
+  /// log instead rebases from the (then fully durable) page file. Safe
+  /// concurrently with pinned and unpinned queries; concurrent Refresh
+  /// calls serialize. Returns false on an unreadable log/superblock —
+  /// transient while the writer is live (the next call retries); nothing
+  /// is torn on failure (windows apply atomically).
+  bool Refresh(storage::Status* status = nullptr) {
+    if (!follow_mode_ || !open_) return false;
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    std::vector<replica::WalCommitWindow> windows;
+    for (int round = 0; round < 4; ++round) {
+      windows.clear();
+      const replica::WalTailer::PollResult pr = tailer_->Poll(&windows);
+      if (pr == replica::WalTailer::PollResult::kError) {
+        if (status) *status = {storage::ErrorKind::kWal, -1};
+        return false;
+      }
+      // The generation is read AFTER the poll: the writer bumps it (and
+      // syncs) strictly before truncating, so if the poll could have
+      // scanned post-truncate bytes, the bump is visible here — the
+      // polled windows are then discarded and the replica rebases (the
+      // checkpoint made their effects durable in the page file first).
+      Superblock fsb{};
+      if (!ReadLiveSuperblock(&fsb)) {
+        if (status) *status = {storage::ErrorKind::kChecksum, 0};
+        return false;
+      }
+      if (fsb.checkpoint_gen != gen_ ||
+          pr == replica::WalTailer::PollResult::kShrunk) {
+        if (!Rebase(fsb)) {
+          if (status) *status = {storage::ErrorKind::kIo, -1};
+          return false;
+        }
+        continue;  // tail the post-checkpoint log in the next round
+      }
+      for (const replica::WalCommitWindow& win : windows) {
+        if (win.commit_lsn <= applied_lsn_) continue;  // already reflected
+        ApplyWindow(win);
+      }
+      return true;
+    }
+    if (status) *status = {storage::ErrorKind::kIo, -1};
+    return false;  // checkpoints kept landing mid-refresh; retry later
   }
 
   // ---------------------------------------------------------------- update
@@ -510,6 +699,14 @@ class PagedRTree {
     PublishEpoch();  // everything synced is committed — expose it
     if (!pool_->FlushAll()) return false;
     if (!file_.Sync()) return false;
+    // Bump the checkpoint generation and make it durable BEFORE the log
+    // shrinks: a follower that ever observes post-truncate log bytes is
+    // then guaranteed to observe the bump too, so it rebases instead of
+    // replaying stale byte offsets into the new log incarnation. Crash-
+    // safe with no recovery changes — redo is unconditional, so dying
+    // between this write and the truncate just restores the pre-bump
+    // superblock image from the still-intact log.
+    if (!BumpCheckpointGen()) return false;
     return wal_.Truncate();
   }
 
@@ -593,19 +790,47 @@ class PagedRTree {
     const std::byte* Acquire(storage::PageId fid, storage::Status* st) {
       EpochManager<D>* m = snap->manager();
       if (const auto* pre = m->FindPage(snap->epoch(), fid)) {
-        return pre->data();
+        return Resolve(pre, fid, st);
       }
       storage::Status s;
       if (!t->pool_->ReadPageCopy(fid, page_buf->data(), pin_io, &s)) {
+        // A checksum failure on a follower's base read is a torn read
+        // racing the live writer's write-back — the same transient the
+        // LSN gate below would catch one instant later (the writer only
+        // ever installs newer LSNs). Report it as a stale pin rather
+        // than letting a racing pwrite latch the sticky I/O flag.
+        if (s.kind == storage::ErrorKind::kChecksum &&
+            snap->view().follower) {
+          s.kind = storage::ErrorKind::kStaleSnapshot;
+        }
         if (st) *st = s;
         return nullptr;
       }
       // Copy-then-recheck (see the source comment above): if the copy
       // raced the writer's install, this lookup finds the pre-image.
       if (const auto* pre = m->FindPage(snap->epoch(), fid)) {
-        return pre->data();
+        return Resolve(pre, fid, st);
+      }
+      // Follower gate: base-file bytes stamped past the pinned view's
+      // applied LSN are the cross-process writer's future leaking
+      // through the page file — fail loudly rather than serve a
+      // torn-in-time mix. Transient: Refresh() plus a fresh pin
+      // observes that state exactly.
+      if (snap->view().follower &&
+          PageLsn(page_buf->data()) > snap->view().applied_lsn) {
+        if (st) *st = {storage::ErrorKind::kStaleSnapshot, fid};
+        return nullptr;
       }
       return page_buf->data();
+    }
+    /// A chain hit is authoritative — unless it is a follower tombstone
+    /// (empty image: the true pre-image was lost to a racing writer
+    /// write-back before the replica could capture it).
+    const std::byte* Resolve(const std::vector<std::byte>* pre,
+                             storage::PageId fid, storage::Status* st) {
+      if (!pre->empty()) return pre->data();
+      if (st) *st = {storage::ErrorKind::kStaleSnapshot, fid};
+      return nullptr;
     }
     void Release(storage::PageId) {}
     std::span<const core::ClipPoint<D>> Clips(int64_t node) {
@@ -637,7 +862,12 @@ class PagedRTree {
       storage::Status acq_status;
       const std::byte* bytes = src.Acquire(1 + id, &acq_status);
       if (!bytes) {  // unreadable page; abandon the traversal
-        io_error_.store(true, std::memory_order_relaxed);
+        // Stale-snapshot misses are transient per-pin conditions (the
+        // follower's writer raced ahead) — report them without latching
+        // the engine-wide sticky flag.
+        if (acq_status.kind != storage::ErrorKind::kStaleSnapshot) {
+          io_error_.store(true, std::memory_order_relaxed);
+        }
         if (status) *status = acq_status;
         break;
       }
@@ -736,7 +966,16 @@ class PagedRTree {
                             storage::Status* status = nullptr,
                             const SnapshotT* snap = nullptr) {
     assert(open_);
-    const bool pinned = snap != nullptr && snap->valid();
+    bool pinned = snap != nullptr && snap->valid();
+    // Follow mode: every query runs pinned — an unpinned entry pins the
+    // latest applied epoch for the call, so all page reads are latched
+    // copies and the applier may refresh frames concurrently.
+    SnapshotT auto_snap;
+    if (!pinned && follow_mode_) {
+      auto_snap = PinSnapshot();
+      snap = &auto_snap;
+      pinned = true;
+    }
     TraversalScratch local;
     if (!scratch) {
       scratch = &local;
@@ -788,6 +1027,11 @@ class PagedRTree {
              const SnapshotT* snap = nullptr) {
     assert(open_);
     if (k <= 0) return 0;
+    SnapshotT auto_snap;
+    if (follow_mode_ && (snap == nullptr || !snap->valid())) {
+      auto_snap = PinSnapshot();  // see TraverseWindowEmit
+      snap = &auto_snap;
+    }
     storage::BufferPool::PinIo pin_io;
     size_t found;
     if (snap != nullptr && snap->valid()) {
@@ -836,7 +1080,9 @@ class PagedRTree {
       storage::Status acq_status;
       const std::byte* bytes = src.Acquire(1 + item.id, &acq_status);
       if (!bytes) {
-        io_error_.store(true, std::memory_order_relaxed);
+        if (acq_status.kind != storage::ErrorKind::kStaleSnapshot) {
+          io_error_.store(true, std::memory_order_relaxed);
+        }
         if (status) *status = acq_status;
         break;
       }
@@ -1151,7 +1397,15 @@ class PagedRTree {
             : std::max<size_t>(16, sb_.num_section_pages / 10);
     pool_ = std::make_unique<storage::BufferPool>(
         frames, &file_, opts.pool_shards > 0 ? opts.pool_shards : 1);
-    if (!redo_overlay_.empty()) pool_->SetReadOverlay(&redo_overlay_);
+    if (!redo_overlay_.empty()) {
+      // The pool holds a shared handle to an IMMUTABLE map; the follower
+      // advances it by building a new map and swapping the handle (see
+      // BufferPool::SetReadOverlay's swap rule).
+      overlay_handle_ = std::make_shared<const storage::RecoveredPageMap>(
+          std::move(redo_overlay_));
+      redo_overlay_.clear();  // moved-from: make the state definite
+      pool_->SetReadOverlay(overlay_handle_);
+    }
     // Every miss read is verified — checksum first, then structural
     // bounds — before the frame becomes visible to any traversal.
     pool_->SetVerifier(
@@ -1169,6 +1423,9 @@ class PagedRTree {
     win_captured_.clear();
     win_clip_captured_.clear();
     capture_reads_.store(0, std::memory_order_relaxed);
+    rebases_ = 0;
+    windows_applied_ = 0;
+    apply_ns_ = obs::Histogram{};
     open_ = true;
   }
 
@@ -1206,6 +1463,282 @@ class PagedRTree {
       return {storage::ErrorKind::kCorruptStructure, file_page};
     }
     return {};
+  }
+
+  // --------------------------------------------------- follower apply path
+  // All of these run with refresh_mu_ held (single applier at a time);
+  // they synchronize with concurrent pinned queries through the epoch
+  // manager's capture-then-install protocol, exactly like the writer.
+
+  /// Reads the writer's current superblock page, checksum-verified with
+  /// a bounded retry (a read racing the writer's in-place pwrite can be
+  /// torn; the writer re-stamps it within one staging step).
+  bool ReadLiveSuperblock(Superblock* out) {
+    std::vector<std::byte> page(sb_.file_page_size);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      if (!file_.ReadPage(0, page.data())) return false;
+      if (VerifySuperblockPage(page.data(), page.size())) {
+        std::memcpy(out, page.data(), sizeof *out);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Captures the replica's currently visible image of `fid` into the
+  /// pending epoch (first-touch per window). `incoming_lsn` is the LSN
+  /// the new image will carry: visible bytes already at or past it mean
+  /// the writer's write-back outran our poll and the true pre-image is
+  /// gone — a TOMBSTONE (empty image) is captured instead, and a pinned
+  /// epoch that later needs the page fails kStaleSnapshot. Bytes that
+  /// fail their checksum (a torn read against a racing pwrite) tombstone
+  /// the same way.
+  void CaptureReplicaPreImage(storage::PageId fid, uint64_t incoming_lsn) {
+    if (fid == 0) return;  // snapshots never read the superblock page
+    if (!win_captured_.insert(fid).second) return;
+    bool from_file = false;
+    if (!pool_->ReadForCapture(fid, capture_buf_.data(), &from_file)) {
+      return;  // page born in this window: no committed pre-image exists
+    }
+    if (from_file) capture_reads_.fetch_add(1, std::memory_order_relaxed);
+    const size_t ps = sb_.file_page_size;
+    if (PageLsn(capture_buf_.data()) >= incoming_lsn ||
+        !VerifyPageChecksum(capture_buf_.data(), ps)) {
+      epochs_->CapturePage(fid, capture_buf_.data(), 0);  // tombstone
+    } else {
+      epochs_->CapturePage(fid, capture_buf_.data(), ps);
+    }
+  }
+
+  /// True when `run` is bit-for-bit the run the replica clip index
+  /// already holds for `nid` (both sides decode through the same page
+  /// views, so scores synthesize identically). Rebase reapplies every
+  /// live page's run, and runs that never moved must not fire the
+  /// mutate hook — each firing captures a pre-image and forces the
+  /// publish to mint an epoch.
+  bool SameClipRun(core::NodeId nid,
+                   const std::vector<core::ClipPoint<D>>& run) const {
+    const std::span<const core::ClipPoint<D>> cur = clip_index_.Get(nid);
+    if (cur.size() != run.size()) return false;
+    for (size_t i = 0; i < run.size(); ++i) {
+      // Field-wise (ClipPoint has padding after the mask byte, so a raw
+      // memcmp would diff garbage and recapture every run each rebase).
+      if (cur[i].mask != run[i].mask || cur[i].score != run[i].score) {
+        return false;
+      }
+      for (int d = 0; d < D; ++d) {
+        if (cur[i].coord[d] != run[i].coord[d]) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Folds one page's NEW image into the replica clip index (the hook
+  /// armed at open captures each run's pre-image first-touch). Spill
+  /// runs are keyed by their OWNER node; a node page whose run spilled
+  /// is settled by the spill-page image travelling in the same window
+  /// (or, on rebase, read in the same full-section pass). No-op
+  /// updates are skipped so rebase can safely reapply every page.
+  void ApplyClipUpdate(storage::PageId fid, const std::byte* bytes,
+                       size_t n) {
+    const core::NodeId nid = static_cast<core::NodeId>(fid - 1);
+    NodePageHeader h;
+    std::memcpy(&h, bytes, sizeof h);
+    if (h.flags() & kPageFlagFree) {
+      if (!clip_index_.Get(nid).empty()) clip_index_.Erase(nid);
+      return;
+    }
+    if (h.flags() & kPageFlagSpill) {
+      SpillPageView<D> spill;
+      if (DecodeSpillPage<D>(bytes, n, &spill) && spill.owner >= 0) {
+        const core::NodeId owner = static_cast<core::NodeId>(spill.owner);
+        std::vector<core::ClipPoint<D>> run = spill.Decode();
+        if (!SameClipRun(owner, run)) clip_index_.Set(owner, std::move(run));
+      }
+      return;
+    }
+    const PagedNodeView<D> v = DecodeNodePage<D>(bytes);
+    if (!ValidPage(v)) return;
+    if (v.ClipsSpilled()) return;  // the spill image settles it
+    if (v.header.clip_count() > 0) {
+      std::vector<core::ClipPoint<D>> run = v.DecodeClips();
+      if (!SameClipRun(nid, run)) clip_index_.Set(nid, std::move(run));
+    } else {
+      if (!clip_index_.Get(nid).empty()) clip_index_.Erase(nid);
+    }
+  }
+
+  /// Installs a newer superblock on the replica, leaving the immutable
+  /// geometry fields (magic, dim, page sizes, fanout) untouched so
+  /// concurrent pinned traversals may keep reading them unsynchronized.
+  void ApplyReplicaSuperblock(const Superblock& n) {
+    sb_.lsn = n.lsn;
+    sb_.clipped = n.clipped;
+    sb_.clip_mode = n.clip_mode;
+    sb_.max_clips = n.max_clips;
+    sb_.tau = n.tau;
+    sb_.num_objects = n.num_objects;
+    sb_.num_section_pages = n.num_section_pages;
+    sb_.num_nodes = n.num_nodes;
+    sb_.root_page = n.root_page;
+    sb_.free_head = n.free_head;
+    sb_.free_count = n.free_count;
+    sb_.num_spill_pages = n.num_spill_pages;
+    sb_.num_clip_points = n.num_clip_points;
+    sb_.num_clipped_nodes = n.num_clipped_nodes;
+    sb_.last_op_seq = n.last_op_seq;
+    sb_.checksum = n.checksum;
+    sb_.checkpoint_gen = n.checkpoint_gen;
+  }
+
+  /// Recomputes the cached tree shape from a (new) root page image.
+  void RefreshShapeFromRoot(const std::byte* root_bytes) {
+    const PagedNodeView<D> v = DecodeNodePage<D>(root_bytes);
+    if (!ValidPage(v)) return;
+    height_ = static_cast<int>(v.header.level()) + 1;
+    bounds_ = RectT::Empty();
+    for (uint32_t i = 0; i < v.n(); ++i) {
+      bounds_.ExpandToInclude(v.EntryRect(i));
+    }
+  }
+
+  /// Applies one committed transaction — one replica epoch. Order is the
+  /// writer's capture-then-install protocol, wholesale: (1) pre-images
+  /// into the pending epoch under the manager mutex, (2) the new images
+  /// become visible (copy-on-write overlay swap + resident-frame
+  /// refresh), (3) clip runs and the cached shape advance, (4) publish.
+  void ApplyWindow(const replica::WalCommitWindow& win) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const replica::WalPageImage& img : win.images) {
+      CaptureReplicaPreImage(img.page_id, img.lsn);
+    }
+    auto next =
+        overlay_handle_
+            ? std::make_shared<storage::RecoveredPageMap>(*overlay_handle_)
+            : std::make_shared<storage::RecoveredPageMap>();
+    for (const replica::WalPageImage& img : win.images) {
+      (*next)[img.page_id] = img.bytes;
+    }
+    overlay_handle_ = std::move(next);
+    pool_->SetReadOverlay(overlay_handle_);
+    for (const replica::WalPageImage& img : win.images) {
+      pool_->RefreshResident(img.page_id, img.bytes.data());
+    }
+    for (const replica::WalPageImage& img : win.images) {
+      if (img.page_id == 0) {
+        Superblock nsb{};
+        std::memcpy(&nsb, img.bytes.data(), sizeof nsb);
+        ApplyReplicaSuperblock(nsb);
+      } else {
+        ApplyClipUpdate(img.page_id, img.bytes.data(), img.bytes.size());
+      }
+    }
+    for (const replica::WalPageImage& img : win.images) {
+      if (img.page_id == 1 + sb_.root_page) {
+        RefreshShapeFromRoot(img.bytes.data());
+        break;
+      }
+    }
+    applied_lsn_ = win.commit_lsn;
+    op_seq_ = win.op_seq;
+    PublishEpoch();
+    ++windows_applied_;
+    apply_ns_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+
+  /// Resynchronizes from the page file after the writer checkpointed
+  /// (generation bump / shrunk log): every section page whose durable
+  /// bytes differ from the replica's visible bytes gets its old version
+  /// captured (pinned epochs stay exact), then the superseded overlay is
+  /// dropped — the file is fully durable past a checkpoint, so it IS the
+  /// replica state — and one "jump" epoch is published. Returns false on
+  /// an unreadable page (transient while the writer is mid-write; the
+  /// next Refresh retries; no state was modified past the captures,
+  /// which are harmless duplicates on retry).
+  bool Rebase(const Superblock& fsb) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!serialize_internal::SuperblockSane(fsb,
+                                            static_cast<uint32_t>(D))) {
+      return false;
+    }
+    const size_t ps = sb_.file_page_size;
+    std::vector<std::byte> file_page(ps);
+    std::vector<std::byte> root_page;
+    std::vector<std::pair<storage::PageId, std::vector<std::byte>>> changed;
+    for (uint64_t p = 0; p < fsb.num_section_pages; ++p) {
+      const storage::PageId fid = 1 + static_cast<int64_t>(p);
+      bool read_ok = false;
+      for (int attempt = 0; attempt < 5 && !read_ok; ++attempt) {
+        if (!file_.ReadPage(fid, file_page.data())) return false;
+        read_ok = VerifyPageChecksum(file_page.data(), ps);
+      }
+      if (!read_ok) return false;
+      if (static_cast<int64_t>(p) == fsb.root_page) {
+        root_page = file_page;
+      }
+      bool from_file = false;
+      const bool have_old =
+          pool_->ReadForCapture(fid, capture_buf_.data(), &from_file);
+      const bool visibly_same =
+          have_old &&
+          std::memcmp(capture_buf_.data(), file_page.data(), ps) == 0;
+      if (!visibly_same) {
+        if (have_old && win_captured_.insert(fid).second) {
+          if (from_file) {
+            capture_reads_.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (PageLsn(capture_buf_.data()) > applied_lsn_ ||
+              !VerifyPageChecksum(capture_buf_.data(), ps)) {
+            epochs_->CapturePage(fid, capture_buf_.data(), 0);  // lost
+          } else {
+            epochs_->CapturePage(fid, capture_buf_.data(), ps);
+          }
+        }
+        changed.emplace_back(fid, std::vector<std::byte>(file_page.begin(),
+                                                         file_page.end()));
+      }
+      // Reapply the clip run from EVERY live page, not just visibly
+      // changed ones: "visibly unchanged" only means the bytes match
+      // what a reader could pin right now — a page that was never
+      // resident reads back the new file bytes on both sides of that
+      // diff, hiding every change since this replica last decoded it.
+      // The clip index is derived state and must track the durable
+      // image; no-op reapplies are skipped inside (no capture, no
+      // epoch). Safe mid-loop: followers resolve clip lookups through
+      // the epoch manager's base table, never this live index.
+      ApplyClipUpdate(fid, file_page.data(), ps);
+    }
+    overlay_handle_.reset();
+    pool_->SetReadOverlay(nullptr);
+    for (const auto& [fid, bytes] : changed) {
+      pool_->RefreshResident(fid, bytes.data());
+    }
+    ApplyReplicaSuperblock(fsb);
+    if (!root_page.empty()) RefreshShapeFromRoot(root_page.data());
+    applied_lsn_ = fsb.lsn;
+    op_seq_ = std::max(op_seq_, fsb.last_op_seq);
+    gen_ = fsb.checkpoint_gen;
+    tailer_->ResetToStart();
+    ++rebases_;
+    PublishEpoch();
+    apply_ns_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    return true;
+  }
+
+  void StopPollThread() {
+    if (!poll_thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lk(poll_mu_);
+      stop_poll_ = true;
+    }
+    poll_cv_.notify_all();
+    poll_thread_.join();
   }
 
   // ------------------------------------------------------------ write path
@@ -1477,6 +2010,28 @@ class PagedRTree {
     return true;
   }
 
+  /// Advances the superblock's checkpoint generation and writes page 0
+  /// straight to the (just-synced) file, durably, with the SAME LSN —
+  /// followers key their rebase decision off the generation alone. Runs
+  /// between a checkpoint's data sync and its log truncation; see
+  /// Checkpoint() for why this order is what makes log truncation safe
+  /// to observe from another process.
+  bool BumpCheckpointGen() {
+    ++sb_.checkpoint_gen;
+    std::memset(stage_buf_.data(), 0, sb_.file_page_size);
+    std::memcpy(stage_buf_.data(), &sb_, sizeof sb_);
+    StampSuperblockPage(stage_buf_.data(), sb_.file_page_size);
+    std::memcpy(&sb_.checksum,
+                stage_buf_.data() + offsetof(Superblock, checksum),
+                sizeof sb_.checksum);
+    if (!file_.WritePage(0, stage_buf_.data())) return false;
+    if (!file_.Sync()) return false;
+    // Keep a resident page-0 frame coherent with the direct write (the
+    // next superblock staging fully overwrites it from sb_ anyway).
+    pool_->RefreshResident(0, stage_buf_.data());
+    return true;
+  }
+
   // ---------------------------------------------------- epoch bookkeeping
 
   /// The live tree shape as an EpochTreeView (the manager stamps the
@@ -1489,6 +2044,8 @@ class PagedRTree {
     v.height = height_;
     v.clipped = sb_.clipped != 0;
     v.bounds = bounds_;
+    v.follower = follow_mode_;
+    v.applied_lsn = applied_lsn_;
     return v;
   }
 
@@ -1568,10 +2125,15 @@ class PagedRTree {
 
   storage::PageFile file_;
   std::unique_ptr<storage::BufferPool> pool_;
-  /// Read-only redo overlay: newest committed WAL images a read-only
-  /// open must not write into the file (empty in write mode; immutable
-  /// while open — the pool reads it from any shard without a latch).
+  /// Open-time redo scratch: newest committed WAL images a read-only
+  /// open must not write into the file (empty in write mode). Consumed
+  /// by FinishOpen into `overlay_handle_`, the immutable shared map the
+  /// pool reads from any shard without a latch.
   storage::RecoveredPageMap redo_overlay_;
+  /// Overlay currently attached to the pool: the committed log images at
+  /// open, advanced copy-on-write per applied window in follow mode, and
+  /// dropped wholesale at rebase (the page file is then authoritative).
+  std::shared_ptr<const storage::RecoveredPageMap> overlay_handle_;
   Superblock sb_{};
   core::ClipIndex<D> clip_index_;  // read-only mode's clip table
   const core::ClipIndex<D>* clips_ = &clip_index_;  // active table
@@ -1622,6 +2184,29 @@ class PagedRTree {
   /// (metrics; atomic only because PublishMetrics is const-callable from
   /// other threads).
   std::atomic<uint64_t> capture_reads_{0};
+
+  // Follow mode (replica). All mutable replica state below is written
+  // only under refresh_mu_; queries never read it directly (they go
+  // through pinned epoch views), and PublishMetrics takes the mutex.
+  bool follow_mode_ = false;
+  std::unique_ptr<replica::WalTailer> tailer_;
+  /// WAL LSN the replica's published state has applied through: the
+  /// commit record of the last applied window; the superblock LSN right
+  /// after open or a rebase. Stays 0 on non-followers (the staleness
+  /// gate in SnapshotSource is then disabled).
+  uint64_t applied_lsn_ = 0;
+  /// Checkpoint generation the replica's log cursor is valid for.
+  uint32_t gen_ = 0;
+  uint64_t rebases_ = 0;
+  uint64_t windows_applied_ = 0;
+  obs::Histogram apply_ns_;
+  /// Serializes Refresh() callers (user thread vs poll thread) and
+  /// guards the replica counters for PublishMetrics.
+  mutable std::mutex refresh_mu_;
+  std::thread poll_thread_;
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  bool stop_poll_ = false;
 };
 
 }  // namespace clipbb::rtree

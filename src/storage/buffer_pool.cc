@@ -124,10 +124,11 @@ bool BufferPool::LoadFrame(Shard& s, PageId id, std::byte* dst, PinIo* io,
   // Pages whose newest committed image lives only in the WAL (read-only
   // redo overlay) never touch the file. An overlay image is plain memory:
   // re-reading it cannot change the outcome, so a verify rejection is
-  // final with no retry.
-  if (overlay_ != nullptr) {
-    auto oit = overlay_->find(id);
-    if (oit != overlay_->end()) {
+  // final with no retry. The handle is grabbed once — a concurrent
+  // SetReadOverlay swap cannot change the map mid-read.
+  if (auto overlay = OverlayRef()) {
+    auto oit = overlay->find(id);
+    if (oit != overlay->end()) {
       std::memcpy(dst, oit->second.data(), file_->page_size());
       if (verifier_) {
         const Status v = verifier_(id, dst);
@@ -249,7 +250,7 @@ std::byte* BufferPool::PinImpl(PageId id, bool dirty, PinIo* io,
     s.map.erase(it);
     // Exhausted retries (or an unretryable failure): quarantine, except
     // for EOF — an out-of-range pin is a caller bug, not a bad page.
-    if (load_status.kind != ErrorKind::kEof) {
+    if (quarantine_enabled_ && load_status.kind != ErrorKind::kEof) {
       s.quarantined.insert(id);
       obs::EventLog::Global().Record(obs::EventKind::kQuarantine, id,
                                      ShardIndexOf(shards_.size(), id),
@@ -331,6 +332,18 @@ void BufferPool::OverwritePinned(PageId id, const std::byte* src) {
   std::memcpy(it->second.data.get(), src, file_->page_size());
 }
 
+bool BufferPool::RefreshResident(PageId id, const std::byte* src) {
+  assert(file_ != nullptr && file_->page_size() > 0);
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(id);
+  if (it == s.map.end() || !it->second.loaded || !it->second.data) {
+    return false;
+  }
+  std::memcpy(it->second.data.get(), src, file_->page_size());
+  return true;
+}
+
 bool BufferPool::ReadPageCopy(PageId id, std::byte* dst, PinIo* io,
                               Status* status) {
   assert(file_ != nullptr && file_->page_size() > 0);
@@ -361,7 +374,7 @@ bool BufferPool::ReadPageCopy(PageId id, std::byte* dst, PinIo* io,
   Status load_status;
   if (!LoadFrame(s, id, f.data.get(), io, &load_status)) {
     s.map.erase(it);
-    if (load_status.kind != ErrorKind::kEof) {
+    if (quarantine_enabled_ && load_status.kind != ErrorKind::kEof) {
       s.quarantined.insert(id);
       obs::EventLog::Global().Record(obs::EventKind::kQuarantine, id,
                                      ShardIndexOf(shards_.size(), id),
@@ -395,9 +408,9 @@ bool BufferPool::ReadForCapture(PageId id, std::byte* dst, bool* from_file) {
     return true;
   }
   if (from_file) *from_file = true;
-  if (overlay_ != nullptr) {
-    auto oit = overlay_->find(id);
-    if (oit != overlay_->end()) {
+  if (auto overlay = OverlayRef()) {
+    auto oit = overlay->find(id);
+    if (oit != overlay->end()) {
       std::memcpy(dst, oit->second.data(), file_->page_size());
       if (from_file) *from_file = false;
       return true;

@@ -185,15 +185,39 @@ class BufferPool {
   /// The Wal is internally latched, so any shard may force the sync.
   void SetWal(Wal* wal) { wal_ = wal; }
 
-  /// Attaches the read-only redo overlay (not owned; must outlive the
-  /// pool and stay immutable while attached): a miss whose newest
+  /// Attaches (or swaps) the read-only redo overlay: a miss whose newest
   /// committed contents live only in a sidecar WAL — which a read-only
   /// open must not replay into the file — is served from the overlay
   /// image instead of the file. Still counted as a miss/read: it is a
   /// fault outside the pool either way.
-  void SetReadOverlay(const RecoveredPageMap* overlay) {
-    overlay_ = overlay;
+  ///
+  /// Swap rule (shared ownership): an attached map is IMMUTABLE. A caller
+  /// that wants to advance the overlay (the follower applier does, after
+  /// every applied commit window) builds a NEW map and swaps it in here;
+  /// in-flight reads that grabbed the old handle finish against the old
+  /// map, which the shared_ptr keeps alive until the last such read
+  /// drops it. Pass nullptr to detach.
+  void SetReadOverlay(std::shared_ptr<const RecoveredPageMap> overlay) {
+    std::lock_guard<std::mutex> lock(overlay_mu_);
+    overlay_ = std::move(overlay);
   }
+
+  /// Installs fresh contents into a page's resident frame, if any (memcpy
+  /// of one page under the shard latch). The follower applier calls this
+  /// after swapping the overlay so an already-cached frame matches the new
+  /// overlay version; a non-resident page simply misses into the new
+  /// overlay later. The caller must guarantee no thread holds a raw pin on
+  /// the page (the follower read path only takes latched copies). Returns
+  /// whether a frame was refreshed. Content mode only.
+  bool RefreshResident(PageId id, const std::byte* src);
+
+  /// Enables/disables the quarantine (bounded retries still apply). A
+  /// follower tails a live writer whose in-place page writes can race our
+  /// preads, so a failed read there is presumed transient and the page
+  /// must stay re-attemptable instead of being permanently fast-failed.
+  /// Not thread-safe against concurrent pins; set before handing the pool
+  /// to workers.
+  void SetQuarantineEnabled(bool on) { quarantine_enabled_ = on; }
 
   /// Installs the miss-read verifier (see PageVerifier). Not thread-safe
   /// against concurrent pins; set it before handing the pool to workers.
@@ -316,10 +340,21 @@ class BufferPool {
 
   uint64_t Sum(uint64_t Shard::*counter) const;
 
+  /// Current overlay handle; see the SetReadOverlay swap rule. Taken once
+  /// per miss/capture so the map a read consults cannot change mid-read.
+  std::shared_ptr<const RecoveredPageMap> OverlayRef() const {
+    std::lock_guard<std::mutex> lock(overlay_mu_);
+    return overlay_;
+  }
+
   size_t capacity_;
   PageFile* file_ = nullptr;
   Wal* wal_ = nullptr;
-  const RecoveredPageMap* overlay_ = nullptr;  // read-only redo images
+  /// Read-only redo images, shared with whoever published them (guarded
+  /// by overlay_mu_, a leaf lock — safe to take under a shard latch).
+  std::shared_ptr<const RecoveredPageMap> overlay_;
+  mutable std::mutex overlay_mu_;
+  bool quarantine_enabled_ = true;
   PageVerifier verifier_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

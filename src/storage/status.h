@@ -22,6 +22,7 @@ enum class ErrorKind : uint8_t {
   kCorruptStructure,  ///< checksum ok but header/bounds fail validation
   kQuarantined,       ///< page failed persistently earlier; fast-failed
   kWal,               ///< WAL recovery could not read/apply the log
+  kStaleSnapshot,     ///< pinned epoch outlived its pre-image (follower)
 };
 
 inline const char* ErrorKindName(ErrorKind k) {
@@ -34,6 +35,7 @@ inline const char* ErrorKindName(ErrorKind k) {
     case ErrorKind::kCorruptStructure: return "corrupt-structure";
     case ErrorKind::kQuarantined: return "quarantined";
     case ErrorKind::kWal: return "wal";
+    case ErrorKind::kStaleSnapshot: return "stale-snapshot";
   }
   return "?";
 }

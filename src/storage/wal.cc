@@ -16,28 +16,6 @@ namespace clipbb::storage {
 
 namespace {
 
-/// On-disk file header, written once at offset 0.
-struct WalFileHeader {
-  uint64_t magic = kWalFileMagic;
-  uint32_t page_size = 0;
-  uint32_t reserved = 0;
-};
-static_assert(sizeof(WalFileHeader) == 16);
-
-/// Fixed-size record header; CRC covers the header (crc field zeroed) and
-/// the payload, so a torn write anywhere in the record is detected.
-struct WalRecordHeader {
-  uint32_t magic = kWalRecordMagic;
-  uint8_t type = 0;
-  uint8_t pad[3] = {0, 0, 0};
-  uint64_t lsn = 0;
-  int64_t page_id = 0;   // page image: target page; commit: unused (0)
-  uint64_t op_seq = 0;   // transaction this record belongs to
-  uint32_t payload_len = 0;
-  uint32_t crc = 0;
-};
-static_assert(sizeof(WalRecordHeader) == 40);
-
 std::array<uint32_t, 256> MakeCrcTable() {
   std::array<uint32_t, 256> t{};
   for (uint32_t i = 0; i < 256; ++i) {
@@ -48,13 +26,6 @@ std::array<uint32_t, 256> MakeCrcTable() {
     t[i] = c;
   }
   return t;
-}
-
-uint32_t RecordCrc(WalRecordHeader h, const void* payload) {
-  h.crc = 0;
-  uint32_t c = Crc32(&h, sizeof h);
-  if (h.payload_len > 0) c = Crc32(payload, h.payload_len, c);
-  return c;
 }
 
 bool FullWrite(int fd, const void* buf, size_t n) {
@@ -144,7 +115,7 @@ uint64_t Wal::AppendPageImage(int64_t page_id, const void* image,
   h.page_id = page_id;
   h.op_seq = op_seq;
   h.payload_len = page_size_;
-  h.crc = RecordCrc(h, image);
+  h.crc = WalRecordCrc(h, image);
   const size_t base = buffer_.size();
   buffer_.resize(base + sizeof h + page_size_);
   std::memcpy(buffer_.data() + base, &h, sizeof h);
@@ -166,7 +137,7 @@ uint64_t Wal::AppendCommit(uint64_t op_seq) {
   h.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   h.op_seq = op_seq;
   h.payload_len = 0;
-  h.crc = RecordCrc(h, nullptr);
+  h.crc = WalRecordCrc(h, nullptr);
   const size_t base = buffer_.size();
   buffer_.resize(base + sizeof h);
   std::memcpy(buffer_.data() + base, &h, sizeof h);
@@ -307,7 +278,7 @@ bool Wal::Recover(const std::string& wal_path, PageFile* file,
     std::memcpy(&h, log.data() + off, sizeof h);
     if (h.magic != kWalRecordMagic) break;
     if (off + sizeof h + h.payload_len > size) break;  // torn payload
-    if (h.crc != RecordCrc(h, log.data() + off + sizeof h)) break;
+    if (h.crc != WalRecordCrc(h, log.data() + off + sizeof h)) break;
     if (h.type == kPageImage) {
       if (h.payload_len != fh.page_size) break;
       pending.push_back(Image{h.lsn, h.page_id, h.op_seq, off + sizeof h});

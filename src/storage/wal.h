@@ -57,6 +57,42 @@ inline constexpr uint32_t kWalRecordMagic = 0xCBB17EC0u;
 /// return value to chain blocks.
 uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
+/// On-disk WAL file header, written once at offset 0. Public so the
+/// follower-replica tailer and the offline scrub pass (src/replica/) can
+/// parse the same bytes Recover() does; the layout is part of the on-disk
+/// format and must not change shape.
+struct WalFileHeader {
+  uint64_t magic = kWalFileMagic;
+  uint32_t page_size = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WalFileHeader) == 16);
+
+/// Fixed-size WAL record header; the CRC covers the header (crc field
+/// zeroed) and the payload, so a torn write anywhere in the record is
+/// detected.
+struct WalRecordHeader {
+  uint32_t magic = kWalRecordMagic;
+  uint8_t type = 0;
+  uint8_t pad[3] = {0, 0, 0};
+  uint64_t lsn = 0;
+  int64_t page_id = 0;   // page image: target page; commit: unused (0)
+  uint64_t op_seq = 0;   // transaction this record belongs to
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+};
+static_assert(sizeof(WalRecordHeader) == 40);
+
+/// The CRC a valid record must carry (header with crc zeroed, then
+/// payload). Takes the header by value so zeroing never mutates the
+/// caller's copy.
+inline uint32_t WalRecordCrc(WalRecordHeader h, const void* payload) {
+  h.crc = 0;
+  uint32_t c = Crc32(&h, sizeof h);
+  if (h.payload_len > 0) c = Crc32(payload, h.payload_len, c);
+  return c;
+}
+
 struct WalStats {
   uint64_t appends = 0;   // records appended (images + commits)
   uint64_t bytes = 0;     // bytes appended

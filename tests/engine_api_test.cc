@@ -342,21 +342,6 @@ TEST(DeprecatedShims, StillAnswerExactlyLikeTheEngine) {
   EXPECT_EQ(via_paged_shim.counts, via_engine.counts);
   EXPECT_EQ(via_batch_shim.counts, via_engine.counts);
 }
-
-TEST(DeprecatedShims, OpenWriteStillArmsTheWritePath) {
-  // The pre-unification write-mode open must behave exactly like
-  // Open(path, {mode = kReadWrite}, variant) for its one surviving PR.
-  BothEngines f(Variant::kHilbert, 1200, 52, /*clipped=*/false, "openwrite");
-  f.paged.Close();
-  PagedRTree<2> writer;
-  ASSERT_TRUE(writer.OpenWrite(f.file.path,
-                               MakeRTree<2>(Variant::kHilbert, Domain2())));
-  EXPECT_TRUE(writer.writable());
-  Rng rng(53);
-  ASSERT_TRUE(writer.Insert(RandomRect<2>(rng, 0.05), 99'000));
-  EXPECT_EQ(writer.NumObjects(), 1201u);
-  EXPECT_TRUE(writer.Close());
-}
 #pragma GCC diagnostic pop
 
 }  // namespace

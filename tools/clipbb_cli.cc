@@ -6,9 +6,9 @@
 //   clipbb_cli build  <variant> <none|sky|sta> <in.data> <out.idx>
 //   clipbb_cli stats  <idx> <data>
 //   clipbb_cli query  <idx> <data> lo1 lo2 [lo3] hi1 hi2 [hi3]
-//   clipbb_cli pquery <idx> [--stats] lo1 lo2 [lo3] hi1 hi2 [hi3]
+//   clipbb_cli pquery <idx> [--stats] [--follow] lo1 lo2 [lo3] hi1 hi2 [hi3]
 //   clipbb_cli knn    <idx> <data> k p1 p2 [p3]
-//   clipbb_cli scrub  <idx>
+//   clipbb_cli scrub  <idx> [--wal]
 //
 // `pquery` answers the query disk-resident: the index file is opened as a
 // page file and read through the buffer pool, so the printed I/O includes
@@ -19,9 +19,15 @@
 // event log. Setting CLIPBB_TRACE_SAMPLE also arms per-query tracing and
 // writes a Chrome trace-event JSON to CLIPBB_TRACE_OUT (default
 // clipbb_trace.json).
+// With `--follow` the index is opened as a live read replica
+// (OpenMode::kFollow): a writer in another process may hold the file
+// read-write, and the query answers over the committed WAL prefix at the
+// moment of the refresh.
 // `scrub` verifies every page checksum, the structural bounds, and the
 // free-page chain of a paged index offline (rtree/scrub.h); exit 0 means
-// the whole file is intact.
+// the whole file is intact. `scrub --wal` instead validates the sidecar
+// `<idx>.wal` through the follower's scanner: CRC chain, commit framing,
+// and the torn/uncommitted tail byte count recovery would discard.
 //
 // Datasets: par02 rea02 par03 rea03 axo03 den03 neu03.
 // Variants: qr hr r* rr*.
@@ -35,6 +41,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "replica/wal_scan.h"
 #include "rtree/factory.h"
 #include "rtree/paged_rtree.h"
 #include "rtree/query_api.h"
@@ -57,11 +64,14 @@ int Usage() {
                "<out.idx>\n"
                "  clipbb_cli stats  <idx> <data>\n"
                "  clipbb_cli query  <idx> <data> lo... hi...\n"
-               "  clipbb_cli pquery <idx> [--stats] lo... hi...\n"
+               "  clipbb_cli pquery <idx> [--stats] [--follow] lo... hi...\n"
                "                    (disk-resident; --stats dumps the "
-               "metrics registry + event log)\n"
+               "metrics registry + event log;\n"
+               "                    --follow opens a live read replica of "
+               "a writer in another process)\n"
                "  clipbb_cli knn    <idx> <data> <k> point...\n"
-               "  clipbb_cli scrub  <idx>               (verify checksums)\n");
+               "  clipbb_cli scrub  <idx> [--wal]       (verify checksums; "
+               "--wal validates the sidecar log)\n");
   return 2;
 }
 
@@ -204,12 +214,30 @@ int CmdQuery(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
 }
 
 template <int D>
-int CmdPagedQuery(const char* idx_path, bool stats, int argc, char** argv) {
+int CmdPagedQuery(const char* idx_path, bool stats, bool follow, int argc,
+                  char** argv) {
   if (argc != 2 * D) return Usage();
   rtree::PagedRTree<D> tree;
-  if (!tree.Open(idx_path)) {
+  typename rtree::PagedRTree<D>::OpenOptions opts;
+  if (follow) opts.mode = rtree::PagedRTree<D>::OpenMode::kFollow;
+  if (!tree.Open(idx_path, opts)) {
     std::fprintf(stderr, "cannot open %s as a paged index\n", idx_path);
     return 1;
+  }
+  if (follow) {
+    // Catch up with whatever the writer committed since the open: one
+    // explicit refresh tails the WAL and republishes the latest epoch.
+    storage::Status rstatus;
+    if (!tree.Refresh(&rstatus)) {
+      std::fprintf(stderr, "refresh failed: %s\n", rstatus.kind_name());
+      return 1;
+    }
+    std::printf("following %s: applied lsn %llu, %llu windows applied, "
+                "%llu rebases\n",
+                idx_path,
+                static_cast<unsigned long long>(tree.replica_applied_lsn()),
+                static_cast<unsigned long long>(tree.replica_windows_applied()),
+                static_cast<unsigned long long>(tree.replica_rebases()));
   }
   geom::Rect<D> q;
   for (int i = 0; i < D; ++i) q.lo[i] = std::atof(argv[i]);
@@ -306,6 +334,42 @@ int CmdScrub(const char* idx_path) {
   return ok ? 0 : 1;
 }
 
+// Offline WAL validation through the follower's committed-window scanner
+// (replica/wal_scan.h): the same code that decides what a tailing
+// replica applies decides what scrub calls valid, so the two can never
+// disagree about the committed prefix.
+int CmdScrubWal(const char* idx_path) {
+  const std::string wal_path = rtree::WalPathFor(idx_path);
+  replica::WalScrubReport rep;
+  if (!replica::ScrubWalFile(wal_path, &rep)) {
+    std::fprintf(stderr, "cannot read %s\n", wal_path.c_str());
+    return 1;
+  }
+  if (!rep.log_found) {
+    std::printf("%s: no log (clean — nothing to replay)\n",
+                wal_path.c_str());
+    return 0;
+  }
+  std::printf("%s: %llu bytes, page size %u, header %s\n", wal_path.c_str(),
+              static_cast<unsigned long long>(rep.file_bytes), rep.page_size,
+              rep.header_ok ? "ok" : "DAMAGED");
+  if (rep.header_ok) {
+    std::printf("committed: %llu windows (%llu page images, %llu records), "
+                "last op %llu, max lsn %llu\n",
+                static_cast<unsigned long long>(rep.commit_windows),
+                static_cast<unsigned long long>(rep.pages_imaged),
+                static_cast<unsigned long long>(rep.records_scanned),
+                static_cast<unsigned long long>(rep.last_op_seq),
+                static_cast<unsigned long long>(rep.max_lsn));
+    std::printf("tail: %llu bytes past the last commit (%llu pending "
+                "records) — recovery would discard these\n",
+                static_cast<unsigned long long>(rep.tail_bytes),
+                static_cast<unsigned long long>(rep.pending_records));
+  }
+  std::printf("%s\n", rep.ok() ? "clean" : "CORRUPT");
+  return rep.ok() ? 0 : 1;
+}
+
 template <int D>
 int CmdKnn(std::ifstream& idx, std::ifstream& dat, int argc, char** argv) {
   if (argc != 1 + D) return Usage();
@@ -349,12 +413,15 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "pquery") {
     if (argc < 3) return Usage();
-    // Filter the --stats flag out of the coordinate arguments.
+    // Filter the flags out of the coordinate arguments.
     bool stats = false;
+    bool follow = false;
     std::vector<char*> rest;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--stats") == 0) {
         stats = true;
+      } else if (std::strcmp(argv[i], "--follow") == 0) {
+        follow = true;
       } else {
         rest.push_back(argv[i]);
       }
@@ -367,13 +434,21 @@ int Main(int argc, char** argv) {
       return 1;
     }
     const int n = static_cast<int>(rest.size());
-    if (sb.dim == 2) return CmdPagedQuery<2>(argv[2], stats, n, rest.data());
-    if (sb.dim == 3) return CmdPagedQuery<3>(argv[2], stats, n, rest.data());
+    if (sb.dim == 2) {
+      return CmdPagedQuery<2>(argv[2], stats, follow, n, rest.data());
+    }
+    if (sb.dim == 3) {
+      return CmdPagedQuery<3>(argv[2], stats, follow, n, rest.data());
+    }
     std::fprintf(stderr, "bad index dimension\n");
     return 1;
   }
   if (cmd == "scrub") {
-    if (argc != 3) return Usage();
+    if (argc != 3 && argc != 4) return Usage();
+    if (argc == 4) {
+      if (std::strcmp(argv[3], "--wal") != 0) return Usage();
+      return CmdScrubWal(argv[2]);
+    }
     rtree::Superblock sb;
     std::ifstream idx(argv[2], std::ios::binary);
     if (!idx || !idx.read(reinterpret_cast<char*>(&sb), sizeof sb) ||
